@@ -1,0 +1,124 @@
+//! Alexa-rank binning for the adoption curves.
+//!
+//! Figures 2 and 11 plot adoption percentages "as a function of website
+//! popularity" in bins of 10 000 ranks. [`RankBins`] accumulates
+//! per-rank booleans and emits per-bin percentages.
+
+/// Rank-binned percentage accumulator.
+#[derive(Debug, Clone)]
+pub struct RankBins {
+    bin_width: usize,
+    bins: Vec<(u64, u64)>, // (hits, totals)
+}
+
+impl RankBins {
+    /// Bins of `bin_width` ranks (the paper uses 10 000).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width == 0`.
+    pub fn new(bin_width: usize) -> RankBins {
+        assert!(bin_width > 0, "bin width must be positive");
+        RankBins { bin_width, bins: Vec::new() }
+    }
+
+    /// Record whether the site at `rank` (1-based) has the property.
+    pub fn record(&mut self, rank: usize, hit: bool) {
+        let idx = rank.saturating_sub(1) / self.bin_width;
+        if self.bins.len() <= idx {
+            self.bins.resize(idx + 1, (0, 0));
+        }
+        let (hits, total) = &mut self.bins[idx];
+        *total += 1;
+        if hit {
+            *hits += 1;
+        }
+    }
+
+    /// Per-bin `(bin_start_rank, percentage)`.
+    pub fn percentages(&self) -> Vec<(usize, f64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &(hits, total))| {
+                (i * self.bin_width, 100.0 * hits as f64 / total.max(1) as f64)
+            })
+            .collect()
+    }
+
+    /// Overall percentage across all ranks.
+    pub fn overall_percentage(&self) -> f64 {
+        let (hits, total) = self
+            .bins
+            .iter()
+            .fold((0u64, 0u64), |(h, t), &(bh, bt)| (h + bh, t + bt));
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / total as f64
+        }
+    }
+
+    /// A simple popularity-trend statistic: percentage in the first bin
+    /// minus percentage in the last bin (positive = popular sites adopt
+    /// more, the paper's qualitative claim for both figures).
+    pub fn popularity_gradient(&self) -> f64 {
+        let p = self.percentages();
+        match (p.first(), p.last()) {
+            (Some(first), Some(last)) if p.len() > 1 => first.1 - last.1,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_split_on_width() {
+        let mut rb = RankBins::new(10);
+        for rank in 1..=10 {
+            rb.record(rank, true);
+        }
+        for rank in 11..=20 {
+            rb.record(rank, rank % 2 == 0);
+        }
+        let p = rb.percentages();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0], (0, 100.0));
+        assert_eq!(p[1], (10, 50.0));
+        assert_eq!(rb.overall_percentage(), 75.0);
+    }
+
+    #[test]
+    fn gradient_positive_when_top_sites_lead() {
+        let mut rb = RankBins::new(10);
+        for rank in 1..=10 {
+            rb.record(rank, true);
+        }
+        for rank in 11..=20 {
+            rb.record(rank, false);
+        }
+        assert_eq!(rb.popularity_gradient(), 100.0);
+    }
+
+    #[test]
+    fn rank_one_is_first_bin() {
+        let mut rb = RankBins::new(10_000);
+        rb.record(1, true);
+        rb.record(10_000, true);
+        rb.record(10_001, false);
+        let p = rb.percentages();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].1, 100.0);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let rb = RankBins::new(10);
+        assert_eq!(rb.overall_percentage(), 0.0);
+        assert_eq!(rb.popularity_gradient(), 0.0);
+        assert!(rb.percentages().is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Cumulative distribution functions.
+
+/// A CDF over `f64` samples, with optional +∞ entries (used for blank
+/// `nextUpdate` validity periods in Figure 8).
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    infinite: usize,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// An empty CDF.
+    pub fn new() -> Cdf {
+        Cdf::default()
+    }
+
+    /// Build from finite samples.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Cdf {
+        let mut cdf = Cdf::new();
+        for s in samples {
+            cdf.add(s);
+        }
+        cdf
+    }
+
+    /// Add one finite sample.
+    pub fn add(&mut self, sample: f64) {
+        debug_assert!(sample.is_finite(), "use add_infinite for unbounded samples");
+        self.samples.push(sample);
+        self.sorted = false;
+    }
+
+    /// Add a +∞ sample.
+    pub fn add_infinite(&mut self) {
+        self.infinite += 1;
+    }
+
+    /// Total sample count (finite + infinite).
+    pub fn len(&self) -> usize {
+        self.samples.len() + self.infinite
+    }
+
+    /// Whether no samples were added.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of infinite samples.
+    pub fn infinite_count(&self) -> usize {
+        self.infinite
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Fraction of samples ≤ `x` (infinite samples are never ≤ any
+    /// finite `x`).
+    pub fn fraction_at_most(&mut self, x: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let below = self.samples.partition_point(|&s| s <= x);
+        below as f64 / self.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) over finite samples; `None` when the
+    /// quantile falls into the infinite mass or there are no samples.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let idx = (q * (self.len() - 1) as f64).floor() as usize;
+        self.samples.get(idx).copied()
+    }
+
+    /// Median, if finite.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The finite maximum.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.last().copied()
+    }
+
+    /// The finite minimum.
+    pub fn min(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.first().copied()
+    }
+
+    /// The full curve as `(x, F(x))` points, one per distinct sample —
+    /// exactly what a plotting tool wants. Infinite mass shows up as the
+    /// curve plateauing below 1.0.
+    pub fn curve(&mut self) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.len() as f64;
+        let mut points = Vec::new();
+        let mut count = 0usize;
+        let mut i = 0;
+        while i < self.samples.len() {
+            let x = self.samples[i];
+            while i < self.samples.len() && self.samples[i] == x {
+                count += 1;
+                i += 1;
+            }
+            points.push((x, count as f64 / n));
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_quantiles() {
+        let mut cdf = Cdf::from_samples((1..=100).map(f64::from));
+        assert_eq!(cdf.median(), Some(50.0));
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(100.0));
+        assert_eq!(cdf.min(), Some(1.0));
+        assert_eq!(cdf.max(), Some(100.0));
+    }
+
+    #[test]
+    fn fraction_at_most() {
+        let mut cdf = Cdf::from_samples(vec![1.0, 2.0, 2.0, 10.0]);
+        assert_eq!(cdf.fraction_at_most(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_most(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_most(100.0), 1.0);
+    }
+
+    #[test]
+    fn infinite_mass_caps_the_curve() {
+        let mut cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0]);
+        cdf.add_infinite();
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.fraction_at_most(f64::MAX), 0.75);
+        let curve = cdf.curve();
+        assert_eq!(curve.last().unwrap().1, 0.75);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let mut cdf = Cdf::new();
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_most(1.0), 0.0);
+        assert_eq!(cdf.median(), None);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let mut cdf = Cdf::from_samples(vec![5.0, 1.0, 3.0, 3.0, 2.0, 8.0]);
+        let curve = cdf.curve();
+        for pair in curve.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].1 < pair[1].1);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn interleaved_add_and_query() {
+        let mut cdf = Cdf::new();
+        cdf.add(5.0);
+        assert_eq!(cdf.median(), Some(5.0));
+        cdf.add(1.0);
+        cdf.add(9.0);
+        assert_eq!(cdf.median(), Some(5.0));
+        assert_eq!(cdf.min(), Some(1.0));
+    }
+}

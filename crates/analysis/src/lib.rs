@@ -1,0 +1,26 @@
+//! Analysis toolkit for the measurement pipelines.
+//!
+//! Small, dependency-free statistics utilities shaped around what the
+//! paper's figures need:
+//!
+//! * [`cdf`] — cumulative distributions, including samples at +∞
+//!   (Figure 8 plots blank `nextUpdate` validity periods as infinite);
+//! * [`timeseries`] — time-binned aggregation for the availability
+//!   plots (Figures 3–5, 12);
+//! * [`bins`] — Alexa-rank binning (bins of 10 000) for the adoption
+//!   curves (Figures 2 and 11);
+//! * [`table`] — plain-text and CSV rendering used by the `figures`
+//!   binary so every table/figure has a machine-readable artifact.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bins;
+pub mod cdf;
+pub mod table;
+pub mod timeseries;
+
+pub use bins::RankBins;
+pub use cdf::Cdf;
+pub use table::Table;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,162 @@
+//! Plain-text and CSV table rendering.
+//!
+//! Every regenerated figure/table is emitted both human-readably (for
+//! the terminal) and as CSV (for plotting), so EXPERIMENTS.md can quote
+//! outputs directly.
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count does not match the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of string slices.
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Table {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render column-aligned plain text.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.len()..widths[c] {
+                    out.push(' ');
+                }
+            }
+            // Trim the trailing pad of the final column.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Render CSV (minimal quoting: fields containing commas or quotes
+    /// are quoted).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|s| field(s)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|s| field(s)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Format seconds compactly (s / h / d).
+pub fn secs(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else if v >= 86_400.0 {
+        format!("{:.1}d", v / 86_400.0)
+    } else if v >= 3_600.0 {
+        format!("{:.1}h", v / 3_600.0)
+    } else {
+        format!("{v:.0}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row_strs(&["alpha", "1"]).row_strs(&["b", "22222"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "name   value");
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2], "alpha  1");
+        assert_eq!(lines[3], "b      22222");
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row_strs(&["plain", "has,comma"]);
+        t.row_strs(&["has\"quote", "x"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("plain,\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\",x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        Table::new(&["one"]).row_strs(&["a", "b"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.954), "95.4%");
+        assert_eq!(secs(30.0), "30s");
+        assert_eq!(secs(7_200.0), "2.0h");
+        assert_eq!(secs(604_800.0), "7.0d");
+        assert_eq!(secs(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,176 @@
+//! Time-binned aggregation.
+
+use asn1::Time;
+use std::collections::BTreeMap;
+
+/// Accumulates `(time, success)`-style observations into fixed-width
+/// bins and reports per-bin fractions and counts — the engine behind the
+/// availability plots (Figures 3–5) and the adoption-over-time plot
+/// (Figure 12).
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bin_secs: i64,
+    bins: BTreeMap<i64, Bin>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bin {
+    hits: u64,
+    total: u64,
+    sum: f64,
+}
+
+impl TimeSeries {
+    /// A series with `bin_secs`-wide bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_secs` is not positive.
+    pub fn new(bin_secs: i64) -> TimeSeries {
+        assert!(bin_secs > 0, "bin width must be positive");
+        TimeSeries { bin_secs, bins: BTreeMap::new() }
+    }
+
+    fn bin_of(&self, t: Time) -> i64 {
+        t.unix().div_euclid(self.bin_secs)
+    }
+
+    /// Record a boolean observation (e.g. request success).
+    pub fn record_bool(&mut self, t: Time, hit: bool) {
+        let bin = self.bins.entry(self.bin_of(t)).or_default();
+        bin.total += 1;
+        if hit {
+            bin.hits += 1;
+        }
+    }
+
+    /// Record a weighted observation: `hits` out of `total` (used when a
+    /// single probe stands in for many dependent domains, as in the
+    /// Figure 4 impact analysis).
+    pub fn record_hits(&mut self, t: Time, hits: u64, total: u64) {
+        let bin = self.bins.entry(self.bin_of(t)).or_default();
+        bin.total += total;
+        bin.hits += hits;
+    }
+
+    /// Record a numeric observation (averaged per bin).
+    pub fn record_value(&mut self, t: Time, value: f64) {
+        let bin = self.bins.entry(self.bin_of(t)).or_default();
+        bin.total += 1;
+        bin.sum += value;
+    }
+
+    /// Per-bin `(bin_start_time, hit_fraction)`.
+    pub fn fractions(&self) -> Vec<(Time, f64)> {
+        self.bins
+            .iter()
+            .map(|(&k, b)| {
+                (Time::from_unix(k * self.bin_secs), b.hits as f64 / b.total.max(1) as f64)
+            })
+            .collect()
+    }
+
+    /// Per-bin `(bin_start_time, hit_count)` — absolute counts, as in
+    /// Figure 4's "number of domains" axis.
+    pub fn counts(&self) -> Vec<(Time, u64)> {
+        self.bins
+            .iter()
+            .map(|(&k, b)| (Time::from_unix(k * self.bin_secs), b.hits))
+            .collect()
+    }
+
+    /// Per-bin `(bin_start_time, mean_value)`.
+    pub fn means(&self) -> Vec<(Time, f64)> {
+        self.bins
+            .iter()
+            .map(|(&k, b)| {
+                (Time::from_unix(k * self.bin_secs), b.sum / b.total.max(1) as f64)
+            })
+            .collect()
+    }
+
+    /// Overall hit fraction across all bins.
+    pub fn overall_fraction(&self) -> f64 {
+        let (hits, total) = self
+            .bins
+            .values()
+            .fold((0u64, 0u64), |(h, t), b| (h + b.hits, t + b.total));
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Number of bins with at least one observation.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(h: i64) -> Time {
+        Time::from_civil(2018, 4, 25, 0, 0, 0) + h * 3_600
+    }
+
+    #[test]
+    fn fractions_per_bin() {
+        let mut ts = TimeSeries::new(3_600);
+        ts.record_bool(t(0), true);
+        ts.record_bool(t(0), true);
+        ts.record_bool(t(0), false);
+        ts.record_bool(t(1), false);
+        let f = ts.fractions();
+        assert_eq!(f.len(), 2);
+        assert!((f[0].1 - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(f[1].1, 0.0);
+        assert_eq!(ts.overall_fraction(), 0.5);
+    }
+
+    #[test]
+    fn counts_and_means() {
+        let mut ts = TimeSeries::new(3_600);
+        ts.record_bool(t(0), true);
+        ts.record_bool(t(0), true);
+        assert_eq!(ts.counts()[0].1, 2);
+
+        let mut ms = TimeSeries::new(3_600);
+        ms.record_value(t(0), 10.0);
+        ms.record_value(t(0), 20.0);
+        assert_eq!(ms.means()[0].1, 15.0);
+    }
+
+    #[test]
+    fn weighted_hits() {
+        let mut ts = TimeSeries::new(3_600);
+        ts.record_hits(t(0), 163_000, 600_000);
+        assert_eq!(ts.counts()[0].1, 163_000);
+        assert!((ts.fractions()[0].1 - 163_000.0 / 600_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bins_are_time_ordered() {
+        let mut ts = TimeSeries::new(3_600);
+        ts.record_bool(t(5), true);
+        ts.record_bool(t(1), true);
+        ts.record_bool(t(3), true);
+        let times: Vec<_> = ts.fractions().iter().map(|(t, _)| *t).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ts.bin_count(), 3);
+    }
+
+    #[test]
+    fn empty_overall_fraction() {
+        let ts = TimeSeries::new(60);
+        assert_eq!(ts.overall_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bin_width_panics() {
+        TimeSeries::new(0);
+    }
+}

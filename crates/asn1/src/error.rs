@@ -1,0 +1,74 @@
+//! Typed decoding/encoding errors.
+
+use core::fmt;
+
+/// Everything that can go wrong while reading (or, rarely, writing) DER.
+///
+/// The variants are deliberately fine-grained: the measurement pipeline
+/// classifies broken OCSP responses by *what kind* of damage they carry, so
+/// the decoder must report more than "bad input".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The input ended before a complete TLV could be read.
+    Truncated,
+    /// A tag byte was expected but a different one was found.
+    UnexpectedTag {
+        /// The tag the caller asked for.
+        expected: u8,
+        /// The tag actually present in the input.
+        found: u8,
+    },
+    /// A length field is not valid DER (non-minimal, reserved form 0xFF,
+    /// or longer than the library supports).
+    InvalidLength,
+    /// The declared length overruns the enclosing value or input buffer.
+    LengthOverrun,
+    /// An INTEGER used a non-minimal encoding (leading 0x00/0xFF padding).
+    NonCanonicalInteger,
+    /// A BOOLEAN carried a value other than 0x00 or 0xFF, or a wrong length.
+    InvalidBoolean,
+    /// An OBJECT IDENTIFIER was empty or had a truncated base-128 arc.
+    InvalidOid,
+    /// A BIT STRING declared more than 7 unused bits or was empty.
+    InvalidBitString,
+    /// A time value (UTCTime/GeneralizedTime) was syntactically invalid or
+    /// denoted a non-existent calendar date.
+    InvalidTime,
+    /// A string type carried bytes invalid for its character set.
+    InvalidString,
+    /// A value was structurally valid DER but violated a constraint of the
+    /// caller (e.g. an integer too large for the requested width).
+    ValueOutOfRange,
+    /// Trailing bytes remained after the caller finished reading a
+    /// container that DER requires to be fully consumed.
+    TrailingData,
+    /// An element that the schema marks as required was absent.
+    MissingField(&'static str),
+    /// Recursion depth limit exceeded while parsing nested containers.
+    DepthExceeded,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "input truncated mid-TLV"),
+            Error::UnexpectedTag { expected, found } => {
+                write!(f, "unexpected tag: expected {expected:#04x}, found {found:#04x}")
+            }
+            Error::InvalidLength => write!(f, "invalid DER length encoding"),
+            Error::LengthOverrun => write!(f, "declared length overruns buffer"),
+            Error::NonCanonicalInteger => write!(f, "non-canonical INTEGER encoding"),
+            Error::InvalidBoolean => write!(f, "invalid BOOLEAN encoding"),
+            Error::InvalidOid => write!(f, "invalid OBJECT IDENTIFIER encoding"),
+            Error::InvalidBitString => write!(f, "invalid BIT STRING encoding"),
+            Error::InvalidTime => write!(f, "invalid time value"),
+            Error::InvalidString => write!(f, "invalid character string"),
+            Error::ValueOutOfRange => write!(f, "value out of range for requested type"),
+            Error::TrailingData => write!(f, "trailing data after DER value"),
+            Error::MissingField(name) => write!(f, "missing required field `{name}`"),
+            Error::DepthExceeded => write!(f, "nesting depth limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

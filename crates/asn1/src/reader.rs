@@ -1,0 +1,492 @@
+//! Strict DER decoding.
+//!
+//! [`Decoder`] walks a byte slice, enforcing DER's canonical-form rules:
+//! definite minimal lengths, canonical INTEGER and BOOLEAN encodings, and
+//! full consumption of containers. Anything else is a typed [`Error`] —
+//! never a panic — because the study feeds the decoder deliberately broken
+//! OCSP responses and classifies the failures.
+
+use crate::{Error, Oid, Result, Tag, Time};
+
+/// Maximum nesting depth the decoder will follow. X.509/OCSP structures
+/// nest ~8 deep; 32 leaves comfortable margin while stopping
+/// maliciously recursive input.
+const MAX_DEPTH: u8 = 32;
+
+/// A DER decoder over a borrowed byte slice.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+    depth: u8,
+}
+
+impl<'a> Decoder<'a> {
+    /// Create a decoder over `input`.
+    pub fn new(input: &'a [u8]) -> Decoder<'a> {
+        Decoder { input, pos: 0, depth: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// The unconsumed remainder of the input.
+    pub fn remaining(&self) -> &'a [u8] {
+        &self.input[self.pos..]
+    }
+
+    /// Fail with [`Error::TrailingData`] unless the input is exhausted.
+    pub fn finish(self) -> Result<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::TrailingData)
+        }
+    }
+
+    /// Peek at the next tag byte without consuming anything.
+    pub fn peek_tag(&self) -> Option<Tag> {
+        self.input.get(self.pos).map(|&b| Tag(b))
+    }
+
+    /// Read one TLV header, returning `(tag, content_len)` and consuming
+    /// the header bytes. Validates DER length canonicality.
+    fn read_header(&mut self) -> Result<(Tag, usize)> {
+        let tag = Tag(*self.input.get(self.pos).ok_or(Error::Truncated)?);
+        if tag.number() == 0x1f {
+            // High-tag-number form: not used by any format we speak.
+            return Err(Error::InvalidLength);
+        }
+        self.pos += 1;
+        let first = *self.input.get(self.pos).ok_or(Error::Truncated)?;
+        self.pos += 1;
+        let len = if first < 0x80 {
+            usize::from(first)
+        } else if first == 0x80 {
+            // Indefinite length: forbidden in DER.
+            return Err(Error::InvalidLength);
+        } else if first == 0xff {
+            return Err(Error::InvalidLength);
+        } else {
+            let n = usize::from(first & 0x7f);
+            if n > 8 {
+                return Err(Error::InvalidLength);
+            }
+            let bytes = self.input.get(self.pos..self.pos + n).ok_or(Error::Truncated)?;
+            self.pos += n;
+            let mut value: u64 = 0;
+            for &b in bytes {
+                value = value << 8 | u64::from(b);
+            }
+            if value < 0x80 || bytes[0] == 0 {
+                // Long form used where short would do, or leading zero:
+                // non-minimal, rejected by DER.
+                return Err(Error::InvalidLength);
+            }
+            usize::try_from(value).map_err(|_| Error::InvalidLength)?
+        };
+        if self.input.len() - self.pos < len {
+            return Err(Error::LengthOverrun);
+        }
+        Ok((tag, len))
+    }
+
+    /// Read the next TLV of any tag, returning `(tag, content)`.
+    pub fn any(&mut self) -> Result<(Tag, &'a [u8])> {
+        let (tag, len) = self.read_header()?;
+        let content = &self.input[self.pos..self.pos + len];
+        self.pos += len;
+        Ok((tag, content))
+    }
+
+    /// Read the next TLV, requiring `tag`; returns the content octets.
+    pub fn expect(&mut self, tag: Tag) -> Result<&'a [u8]> {
+        let save = self.pos;
+        let (found, len) = self.read_header()?;
+        if found != tag {
+            self.pos = save;
+            return Err(Error::UnexpectedTag { expected: tag.0, found: found.0 });
+        }
+        let content = &self.input[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(content)
+    }
+
+    /// Skip the next TLV regardless of tag.
+    pub fn skip(&mut self) -> Result<()> {
+        self.any().map(|_| ())
+    }
+
+    /// Return the raw bytes (header + content) of the next TLV without
+    /// interpreting it — used to capture `tbs` byte ranges for signing.
+    pub fn raw_tlv(&mut self) -> Result<&'a [u8]> {
+        let start = self.pos;
+        let (_, len) = self.read_header()?;
+        let end = self.pos + len;
+        self.pos = end;
+        Ok(&self.input[start..end])
+    }
+
+    fn nested(&self, content: &'a [u8]) -> Result<Decoder<'a>> {
+        if self.depth + 1 > MAX_DEPTH {
+            return Err(Error::DepthExceeded);
+        }
+        Ok(Decoder { input: content, pos: 0, depth: self.depth + 1 })
+    }
+
+    /// Enter a SEQUENCE, returning a decoder over its content.
+    pub fn sequence(&mut self) -> Result<Decoder<'a>> {
+        let content = self.expect(Tag::SEQUENCE)?;
+        self.nested(content)
+    }
+
+    /// Enter a SET, returning a decoder over its content.
+    pub fn set(&mut self) -> Result<Decoder<'a>> {
+        let content = self.expect(Tag::SET)?;
+        self.nested(content)
+    }
+
+    /// Enter an EXPLICIT `[n]` wrapper.
+    pub fn explicit(&mut self, n: u8) -> Result<Decoder<'a>> {
+        let content = self.expect(Tag::context(n))?;
+        self.nested(content)
+    }
+
+    /// Enter an EXPLICIT `[n]` wrapper if it is present.
+    pub fn optional_explicit(&mut self, n: u8) -> Result<Option<Decoder<'a>>> {
+        if self.peek_tag() == Some(Tag::context(n)) {
+            self.explicit(n).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read an IMPLICIT `[n]` primitive, returning its content octets,
+    /// if present.
+    pub fn optional_implicit_primitive(&mut self, n: u8) -> Result<Option<&'a [u8]>> {
+        if self.peek_tag() == Some(Tag::context_primitive(n)) {
+            self.expect(Tag::context_primitive(n)).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read a BOOLEAN.
+    pub fn boolean(&mut self) -> Result<bool> {
+        let content = self.expect(Tag::BOOLEAN)?;
+        match content {
+            [0x00] => Ok(false),
+            [0xff] => Ok(true),
+            _ => Err(Error::InvalidBoolean),
+        }
+    }
+
+    /// Read a NULL.
+    pub fn null(&mut self) -> Result<()> {
+        let content = self.expect(Tag::NULL)?;
+        if content.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::InvalidBoolean)
+        }
+    }
+
+    /// Read an INTEGER into an `i64`.
+    pub fn integer_i64(&mut self) -> Result<i64> {
+        let content = self.integer_content(Tag::INTEGER)?;
+        if content.len() > 8 {
+            return Err(Error::ValueOutOfRange);
+        }
+        let negative = content[0] & 0x80 != 0;
+        let mut value: i64 = if negative { -1 } else { 0 };
+        for &b in content {
+            value = value << 8 | i64::from(b);
+        }
+        Ok(value)
+    }
+
+    /// Read an ENUMERATED into an `i64`.
+    pub fn enumerated(&mut self) -> Result<i64> {
+        let content = self.integer_content(Tag::ENUMERATED)?;
+        if content.len() > 8 {
+            return Err(Error::ValueOutOfRange);
+        }
+        let negative = content[0] & 0x80 != 0;
+        let mut value: i64 = if negative { -1 } else { 0 };
+        for &b in content {
+            value = value << 8 | i64::from(b);
+        }
+        Ok(value)
+    }
+
+    /// Read a non-negative INTEGER as big-endian magnitude bytes with any
+    /// sign pad stripped (serial numbers, RSA moduli).
+    pub fn integer_unsigned(&mut self) -> Result<&'a [u8]> {
+        let content = self.integer_content(Tag::INTEGER)?;
+        if content[0] & 0x80 != 0 {
+            return Err(Error::ValueOutOfRange); // negative
+        }
+        if content.len() > 1 && content[0] == 0 {
+            Ok(&content[1..])
+        } else {
+            Ok(content)
+        }
+    }
+
+    fn integer_content(&mut self, tag: Tag) -> Result<&'a [u8]> {
+        let content = self.expect(tag)?;
+        if content.is_empty() {
+            return Err(Error::NonCanonicalInteger);
+        }
+        if content.len() > 1 {
+            let redundant = (content[0] == 0x00 && content[1] & 0x80 == 0)
+                || (content[0] == 0xff && content[1] & 0x80 != 0);
+            if redundant {
+                return Err(Error::NonCanonicalInteger);
+            }
+        }
+        Ok(content)
+    }
+
+    /// Read an OBJECT IDENTIFIER.
+    pub fn oid(&mut self) -> Result<Oid> {
+        let content = self.expect(Tag::OID)?;
+        Oid::from_der_content(content)
+    }
+
+    /// Read an OCTET STRING, returning its content.
+    pub fn octet_string(&mut self) -> Result<&'a [u8]> {
+        self.expect(Tag::OCTET_STRING)
+    }
+
+    /// Enter an OCTET STRING whose content is nested DER (X.509 extension
+    /// payloads).
+    pub fn octet_string_nested(&mut self) -> Result<Decoder<'a>> {
+        let content = self.octet_string()?;
+        self.nested(content)
+    }
+
+    /// Read a BIT STRING, requiring zero unused bits (all our BIT STRINGs
+    /// are byte-aligned: signatures, key material).
+    pub fn bit_string(&mut self) -> Result<&'a [u8]> {
+        let content = self.expect(Tag::BIT_STRING)?;
+        match content.split_first() {
+            Some((0, rest)) => Ok(rest),
+            Some((1..=7, _)) => Err(Error::InvalidBitString),
+            _ => Err(Error::InvalidBitString),
+        }
+    }
+
+    /// Read a UTF8String.
+    pub fn utf8_string(&mut self) -> Result<&'a str> {
+        let content = self.expect(Tag::UTF8_STRING)?;
+        core::str::from_utf8(content).map_err(|_| Error::InvalidString)
+    }
+
+    /// Read a PrintableString.
+    pub fn printable_string(&mut self) -> Result<&'a str> {
+        let content = self.expect(Tag::PRINTABLE_STRING)?;
+        core::str::from_utf8(content).map_err(|_| Error::InvalidString)
+    }
+
+    /// Read an IA5String.
+    pub fn ia5_string(&mut self) -> Result<&'a str> {
+        let content = self.expect(Tag::IA5_STRING)?;
+        if !content.is_ascii() {
+            return Err(Error::InvalidString);
+        }
+        core::str::from_utf8(content).map_err(|_| Error::InvalidString)
+    }
+
+    /// Read any of the three string types we emit.
+    pub fn string(&mut self) -> Result<&'a str> {
+        match self.peek_tag() {
+            Some(Tag::UTF8_STRING) => self.utf8_string(),
+            Some(Tag::PRINTABLE_STRING) => self.printable_string(),
+            Some(Tag::IA5_STRING) => self.ia5_string(),
+            Some(found) => {
+                Err(Error::UnexpectedTag { expected: Tag::UTF8_STRING.0, found: found.0 })
+            }
+            None => Err(Error::Truncated),
+        }
+    }
+
+    /// Read a GeneralizedTime.
+    pub fn generalized_time(&mut self) -> Result<Time> {
+        let content = self.expect(Tag::GENERALIZED_TIME)?;
+        let s = core::str::from_utf8(content).map_err(|_| Error::InvalidTime)?;
+        Time::parse_generalized(s)
+    }
+
+    /// Read either a UTCTime or a GeneralizedTime (the X.509 `Time` CHOICE).
+    pub fn x509_time(&mut self) -> Result<Time> {
+        match self.peek_tag() {
+            Some(Tag::UTC_TIME) => {
+                let content = self.expect(Tag::UTC_TIME)?;
+                let s = core::str::from_utf8(content).map_err(|_| Error::InvalidTime)?;
+                Time::parse_utc_time(s)
+            }
+            Some(Tag::GENERALIZED_TIME) => self.generalized_time(),
+            Some(found) => Err(Error::UnexpectedTag { expected: Tag::UTC_TIME.0, found: found.0 }),
+            None => Err(Error::Truncated),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Encoder;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut e = Encoder::new();
+        e.boolean(true);
+        e.integer_i64(-4242);
+        e.null();
+        e.utf8_string("caf\u{e9}");
+        e.ia5_string("http://ocsp.example.com/");
+        let der = e.finish();
+
+        let mut d = Decoder::new(&der);
+        assert!(d.boolean().unwrap());
+        assert_eq!(d.integer_i64().unwrap(), -4242);
+        d.null().unwrap();
+        assert_eq!(d.utf8_string().unwrap(), "café");
+        assert_eq!(d.ia5_string().unwrap(), "http://ocsp.example.com/");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn rejects_trailing_data() {
+        let mut e = Encoder::new();
+        e.null();
+        e.null();
+        let der = e.finish();
+        let mut d = Decoder::new(&der);
+        d.null().unwrap();
+        assert_eq!(d.finish(), Err(Error::TrailingData));
+    }
+
+    #[test]
+    fn rejects_indefinite_length() {
+        let mut d = Decoder::new(&[0x30, 0x80, 0x00, 0x00]);
+        assert_eq!(d.sequence().map(|_| ()), Err(Error::InvalidLength));
+    }
+
+    #[test]
+    fn rejects_non_minimal_length() {
+        // 0x81 0x05 encodes length 5 in long form where short form suffices.
+        let mut d = Decoder::new(&[0x04, 0x81, 0x05, 1, 2, 3, 4, 5]);
+        assert_eq!(d.octet_string(), Err(Error::InvalidLength));
+    }
+
+    #[test]
+    fn rejects_length_overrun() {
+        let mut d = Decoder::new(&[0x04, 0x05, 1, 2]);
+        assert_eq!(d.octet_string(), Err(Error::LengthOverrun));
+    }
+
+    #[test]
+    fn rejects_non_canonical_integer() {
+        let mut d = Decoder::new(&[0x02, 0x02, 0x00, 0x01]);
+        assert_eq!(d.integer_i64(), Err(Error::NonCanonicalInteger));
+        let mut d = Decoder::new(&[0x02, 0x02, 0xff, 0xff]);
+        assert_eq!(d.integer_i64(), Err(Error::NonCanonicalInteger));
+        let mut d = Decoder::new(&[0x02, 0x00]);
+        assert_eq!(d.integer_i64(), Err(Error::NonCanonicalInteger));
+    }
+
+    #[test]
+    fn rejects_negative_serial() {
+        let mut e = Encoder::new();
+        e.integer_i64(-1);
+        let der = e.finish();
+        let mut d = Decoder::new(&der);
+        assert_eq!(d.integer_unsigned(), Err(Error::ValueOutOfRange));
+    }
+
+    #[test]
+    fn rejects_sloppy_boolean() {
+        // BER allows any nonzero byte for TRUE; DER requires 0xFF.
+        let mut d = Decoder::new(&[0x01, 0x01, 0x01]);
+        assert_eq!(d.boolean(), Err(Error::InvalidBoolean));
+    }
+
+    #[test]
+    fn unexpected_tag_leaves_position_unchanged() {
+        let mut e = Encoder::new();
+        e.integer_i64(7);
+        let der = e.finish();
+        let mut d = Decoder::new(&der);
+        assert!(matches!(d.boolean(), Err(Error::UnexpectedTag { .. })));
+        // The INTEGER must still be readable.
+        assert_eq!(d.integer_i64().unwrap(), 7);
+    }
+
+    #[test]
+    fn optional_fields() {
+        let mut e = Encoder::new();
+        e.explicit(2, |e| e.integer_i64(9));
+        let der = e.finish();
+        let mut d = Decoder::new(&der);
+        assert!(d.optional_explicit(0).unwrap().is_none());
+        let mut inner = d.optional_explicit(2).unwrap().unwrap();
+        assert_eq!(inner.integer_i64().unwrap(), 9);
+    }
+
+    #[test]
+    fn raw_tlv_captures_header_and_content() {
+        let mut e = Encoder::new();
+        e.sequence(|e| e.integer_i64(1));
+        let der = e.finish();
+        let mut d = Decoder::new(&der);
+        assert_eq!(d.raw_tlv().unwrap(), &der[..]);
+    }
+
+    #[test]
+    fn depth_limit_stops_recursion() {
+        // 64 nested sequences of a NULL.
+        let mut der = vec![0x05, 0x00];
+        for _ in 0..64 {
+            let mut e = Encoder::new();
+            e.tlv(Tag::SEQUENCE, &der);
+            der = e.finish();
+        }
+        fn descend(d: &mut Decoder) -> Result<()> {
+            if d.peek_tag() == Some(Tag::SEQUENCE) {
+                let mut inner = d.sequence()?;
+                descend(&mut inner)
+            } else {
+                d.null()
+            }
+        }
+        let mut d = Decoder::new(&der);
+        assert_eq!(descend(&mut d), Err(Error::DepthExceeded));
+    }
+
+    #[test]
+    fn bit_string_unused_bits() {
+        let mut d = Decoder::new(&[0x03, 0x02, 0x03, 0xa8]);
+        assert_eq!(d.bit_string(), Err(Error::InvalidBitString));
+        let mut d = Decoder::new(&[0x03, 0x00]);
+        assert_eq!(d.bit_string(), Err(Error::InvalidBitString));
+    }
+
+    #[test]
+    fn x509_time_choice() {
+        let mut e = Encoder::new();
+        let t1 = Time::from_civil(2018, 5, 1, 0, 0, 0);
+        let t2 = Time::from_civil(2055, 1, 1, 0, 0, 0);
+        e.x509_time(t1);
+        e.x509_time(t2);
+        let der = e.finish();
+        // First is UTCTime, second GeneralizedTime.
+        assert_eq!(der[0], Tag::UTC_TIME.0);
+        let mut d = Decoder::new(&der);
+        assert_eq!(d.x509_time().unwrap(), t1);
+        assert_eq!(d.x509_time().unwrap(), t2);
+    }
+}

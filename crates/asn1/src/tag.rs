@@ -1,0 +1,135 @@
+//! Tag bytes: class, constructed bit, and the universal tag numbers we use.
+//!
+//! Only single-byte (low-tag-number, number ≤ 30) tags are supported; no
+//! format used by X.509 or OCSP needs the high-tag-number form.
+
+/// The four ASN.1 tag classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Universal class (tag bits `00`): the standard ASN.1 types.
+    Universal,
+    /// Application class (tag bits `01`).
+    Application,
+    /// Context-specific class (tag bits `10`): `[n]` tags in schemas.
+    Context,
+    /// Private class (tag bits `11`).
+    Private,
+}
+
+impl Class {
+    /// The two high bits this class contributes to a tag byte.
+    pub fn bits(self) -> u8 {
+        match self {
+            Class::Universal => 0b0000_0000,
+            Class::Application => 0b0100_0000,
+            Class::Context => 0b1000_0000,
+            Class::Private => 0b1100_0000,
+        }
+    }
+
+    /// Recover the class from a raw tag byte.
+    pub fn from_byte(byte: u8) -> Class {
+        match byte >> 6 {
+            0 => Class::Universal,
+            1 => Class::Application,
+            2 => Class::Context,
+            _ => Class::Private,
+        }
+    }
+}
+
+/// A single-byte DER tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u8);
+
+impl Tag {
+    /// Universal BOOLEAN.
+    pub const BOOLEAN: Tag = Tag(0x01);
+    /// Universal INTEGER.
+    pub const INTEGER: Tag = Tag(0x02);
+    /// Universal BIT STRING.
+    pub const BIT_STRING: Tag = Tag(0x03);
+    /// Universal OCTET STRING.
+    pub const OCTET_STRING: Tag = Tag(0x04);
+    /// Universal NULL.
+    pub const NULL: Tag = Tag(0x05);
+    /// Universal OBJECT IDENTIFIER.
+    pub const OID: Tag = Tag(0x06);
+    /// Universal ENUMERATED.
+    pub const ENUMERATED: Tag = Tag(0x0a);
+    /// Universal UTF8String.
+    pub const UTF8_STRING: Tag = Tag(0x0c);
+    /// Universal PrintableString.
+    pub const PRINTABLE_STRING: Tag = Tag(0x13);
+    /// Universal IA5String (ASCII); used for URIs and DNS names.
+    pub const IA5_STRING: Tag = Tag(0x16);
+    /// Universal UTCTime (two-digit year).
+    pub const UTC_TIME: Tag = Tag(0x17);
+    /// Universal GeneralizedTime (four-digit year).
+    pub const GENERALIZED_TIME: Tag = Tag(0x18);
+    /// Universal SEQUENCE / SEQUENCE OF (always constructed).
+    pub const SEQUENCE: Tag = Tag(0x30);
+    /// Universal SET / SET OF (always constructed).
+    pub const SET: Tag = Tag(0x31);
+
+    /// A context-specific *constructed* tag `[n]`, as used for EXPLICIT
+    /// tagging (the wrapper is constructed because it contains a TLV).
+    pub fn context(n: u8) -> Tag {
+        debug_assert!(n <= 30, "high-tag-number form not supported");
+        Tag(Class::Context.bits() | 0b0010_0000 | n)
+    }
+
+    /// A context-specific *primitive* tag `[n]`, as used for IMPLICIT
+    /// tagging of primitive types.
+    pub fn context_primitive(n: u8) -> Tag {
+        debug_assert!(n <= 30, "high-tag-number form not supported");
+        Tag(Class::Context.bits() | n)
+    }
+
+    /// The class encoded in this tag byte.
+    pub fn class(self) -> Class {
+        Class::from_byte(self.0)
+    }
+
+    /// Whether the constructed bit (0x20) is set.
+    pub fn is_constructed(self) -> bool {
+        self.0 & 0b0010_0000 != 0
+    }
+
+    /// The low five tag-number bits.
+    pub fn number(self) -> u8 {
+        self.0 & 0b0001_1111
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universal_tags_have_expected_bytes() {
+        assert_eq!(Tag::SEQUENCE.0, 0x30);
+        assert_eq!(Tag::SET.0, 0x31);
+        assert_eq!(Tag::INTEGER.0, 0x02);
+        assert!(Tag::SEQUENCE.is_constructed());
+        assert!(!Tag::INTEGER.is_constructed());
+    }
+
+    #[test]
+    fn context_tags() {
+        assert_eq!(Tag::context(0).0, 0xa0);
+        assert_eq!(Tag::context(3).0, 0xa3);
+        assert_eq!(Tag::context_primitive(2).0, 0x82);
+        assert_eq!(Tag::context(1).class(), Class::Context);
+        assert!(Tag::context(1).is_constructed());
+        assert!(!Tag::context_primitive(1).is_constructed());
+        assert_eq!(Tag::context(7).number(), 7);
+    }
+
+    #[test]
+    fn class_round_trip() {
+        for class in [Class::Universal, Class::Application, Class::Context, Class::Private] {
+            assert_eq!(Class::from_byte(class.bits()), class);
+        }
+    }
+}

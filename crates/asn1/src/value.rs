@@ -1,0 +1,268 @@
+//! A dynamic DER value tree.
+//!
+//! [`Value`] parses arbitrary DER into a tree without a schema. The
+//! measurement pipeline uses it to *diagnose* responses that fail
+//! schema-driven parsing ("is this even DER? what does it contain?") and
+//! the property tests use it to fuzz round-trips.
+
+use crate::{writer::push_length, Decoder, Error, Oid, Result, Tag, Time};
+
+/// A schema-less DER value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// BOOLEAN.
+    Boolean(bool),
+    /// INTEGER, kept as raw content octets (may exceed i64).
+    Integer(Vec<u8>),
+    /// BIT STRING: (unused bit count, payload).
+    BitString(u8, Vec<u8>),
+    /// OCTET STRING.
+    OctetString(Vec<u8>),
+    /// NULL.
+    Null,
+    /// OBJECT IDENTIFIER.
+    Oid(Oid),
+    /// ENUMERATED, raw content octets.
+    Enumerated(Vec<u8>),
+    /// Any recognized character string (UTF8/Printable/IA5), with its tag.
+    String(Tag, String),
+    /// UTCTime or GeneralizedTime.
+    Time(Time),
+    /// SEQUENCE.
+    Sequence(Vec<Value>),
+    /// SET.
+    Set(Vec<Value>),
+    /// Context-specific constructed `[n]` containing nested values.
+    ContextConstructed(u8, Vec<Value>),
+    /// Context-specific primitive `[n]` with raw content.
+    ContextPrimitive(u8, Vec<u8>),
+    /// Anything else we do not interpret: (tag byte, raw content).
+    Unknown(u8, Vec<u8>),
+}
+
+impl Value {
+    /// Parse a single DER value (the input must contain exactly one TLV).
+    pub fn parse(input: &[u8]) -> Result<Value> {
+        let mut dec = Decoder::new(input);
+        let value = Self::parse_one(&mut dec, 0)?;
+        dec.finish()?;
+        Ok(value)
+    }
+
+    /// Parse a concatenated series of DER values.
+    pub fn parse_all(input: &[u8]) -> Result<Vec<Value>> {
+        let mut dec = Decoder::new(input);
+        let mut out = Vec::new();
+        while !dec.is_empty() {
+            out.push(Self::parse_one(&mut dec, 0)?);
+        }
+        Ok(out)
+    }
+
+    fn parse_one(dec: &mut Decoder<'_>, depth: u8) -> Result<Value> {
+        if depth > 24 {
+            return Err(Error::DepthExceeded);
+        }
+        let tag = dec.peek_tag().ok_or(Error::Truncated)?;
+        match tag {
+            Tag::BOOLEAN => dec.boolean().map(Value::Boolean),
+            Tag::INTEGER => {
+                let (_, content) = dec.any()?;
+                if content.is_empty() {
+                    return Err(Error::NonCanonicalInteger);
+                }
+                Ok(Value::Integer(content.to_vec()))
+            }
+            Tag::ENUMERATED => {
+                let (_, content) = dec.any()?;
+                Ok(Value::Enumerated(content.to_vec()))
+            }
+            Tag::BIT_STRING => {
+                let (_, content) = dec.any()?;
+                let (&unused, rest) = content.split_first().ok_or(Error::InvalidBitString)?;
+                if unused > 7 {
+                    return Err(Error::InvalidBitString);
+                }
+                Ok(Value::BitString(unused, rest.to_vec()))
+            }
+            Tag::OCTET_STRING => dec.octet_string().map(|b| Value::OctetString(b.to_vec())),
+            Tag::NULL => dec.null().map(|_| Value::Null),
+            Tag::OID => dec.oid().map(Value::Oid),
+            Tag::UTF8_STRING | Tag::PRINTABLE_STRING | Tag::IA5_STRING => {
+                let s = dec.string()?;
+                Ok(Value::String(tag, s.to_string()))
+            }
+            Tag::UTC_TIME | Tag::GENERALIZED_TIME => dec.x509_time().map(Value::Time),
+            Tag::SEQUENCE | Tag::SET => {
+                let (_, content) = dec.any()?;
+                let mut inner = Decoder::new(content);
+                let mut items = Vec::new();
+                while !inner.is_empty() {
+                    items.push(Self::parse_one(&mut inner, depth + 1)?);
+                }
+                if tag == Tag::SEQUENCE {
+                    Ok(Value::Sequence(items))
+                } else {
+                    Ok(Value::Set(items))
+                }
+            }
+            _ if tag.class() == crate::Class::Context && tag.is_constructed() => {
+                let n = tag.number();
+                let (_, content) = dec.any()?;
+                let mut inner = Decoder::new(content);
+                let mut items = Vec::new();
+                while !inner.is_empty() {
+                    items.push(Self::parse_one(&mut inner, depth + 1)?);
+                }
+                Ok(Value::ContextConstructed(n, items))
+            }
+            _ if tag.class() == crate::Class::Context => {
+                let n = tag.number();
+                let (_, content) = dec.any()?;
+                Ok(Value::ContextPrimitive(n, content.to_vec()))
+            }
+            _ => {
+                let (tag, content) = dec.any()?;
+                Ok(Value::Unknown(tag.0, content.to_vec()))
+            }
+        }
+    }
+
+    /// Re-encode this value to DER.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        fn tlv(out: &mut Vec<u8>, tag: u8, content: &[u8]) {
+            out.push(tag);
+            push_length(out, content.len());
+            out.extend_from_slice(content);
+        }
+        match self {
+            Value::Boolean(b) => tlv(out, Tag::BOOLEAN.0, &[if *b { 0xff } else { 0x00 }]),
+            Value::Integer(content) => tlv(out, Tag::INTEGER.0, content),
+            Value::Enumerated(content) => tlv(out, Tag::ENUMERATED.0, content),
+            Value::BitString(unused, payload) => {
+                let mut content = Vec::with_capacity(payload.len() + 1);
+                content.push(*unused);
+                content.extend_from_slice(payload);
+                tlv(out, Tag::BIT_STRING.0, &content);
+            }
+            Value::OctetString(b) => tlv(out, Tag::OCTET_STRING.0, b),
+            Value::Null => tlv(out, Tag::NULL.0, &[]),
+            Value::Oid(oid) => tlv(out, Tag::OID.0, &oid.to_der_content()),
+            Value::String(tag, s) => tlv(out, tag.0, s.as_bytes()),
+            Value::Time(t) => {
+                // Use the same RFC 5280 CHOICE rule as the encoder.
+                match t.to_utc_time() {
+                    Ok(s) => tlv(out, Tag::UTC_TIME.0, s.as_bytes()),
+                    Err(_) => tlv(out, Tag::GENERALIZED_TIME.0, t.to_generalized().as_bytes()),
+                }
+            }
+            Value::Sequence(items) | Value::Set(items) => {
+                let tag = if matches!(self, Value::Sequence(_)) { Tag::SEQUENCE } else { Tag::SET };
+                let mut content = Vec::new();
+                for item in items {
+                    item.encode_into(&mut content);
+                }
+                tlv(out, tag.0, &content);
+            }
+            Value::ContextConstructed(n, items) => {
+                let mut content = Vec::new();
+                for item in items {
+                    item.encode_into(&mut content);
+                }
+                tlv(out, Tag::context(*n).0, &content);
+            }
+            Value::ContextPrimitive(n, content) => {
+                tlv(out, Tag::context_primitive(*n).0, content)
+            }
+            Value::Unknown(tag, content) => tlv(out, *tag, content),
+        }
+    }
+
+    /// A terse human-readable shape description, e.g.
+    /// `SEQ(INT, OID, SEQ(OCTETS))` — handy in measurement logs.
+    pub fn shape(&self) -> String {
+        match self {
+            Value::Boolean(_) => "BOOL".into(),
+            Value::Integer(_) => "INT".into(),
+            Value::Enumerated(_) => "ENUM".into(),
+            Value::BitString(..) => "BITS".into(),
+            Value::OctetString(_) => "OCTETS".into(),
+            Value::Null => "NULL".into(),
+            Value::Oid(_) => "OID".into(),
+            Value::String(..) => "STR".into(),
+            Value::Time(_) => "TIME".into(),
+            Value::Sequence(items) => {
+                format!("SEQ({})", items.iter().map(Value::shape).collect::<Vec<_>>().join(", "))
+            }
+            Value::Set(items) => {
+                format!("SET({})", items.iter().map(Value::shape).collect::<Vec<_>>().join(", "))
+            }
+            Value::ContextConstructed(n, items) => format!(
+                "[{n}]({})",
+                items.iter().map(Value::shape).collect::<Vec<_>>().join(", ")
+            ),
+            Value::ContextPrimitive(n, _) => format!("[{n}]prim"),
+            Value::Unknown(tag, _) => format!("?{tag:#04x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Encoder;
+
+    #[test]
+    fn parses_a_mixed_structure() {
+        let mut e = Encoder::new();
+        e.sequence(|e| {
+            e.integer_i64(5);
+            e.oid(&Oid::TLS_FEATURE);
+            e.explicit(0, |e| e.boolean(true));
+        });
+        let der = e.finish();
+        let v = Value::parse(&der).unwrap();
+        assert_eq!(v.shape(), "SEQ(INT, OID, [0](BOOL))");
+    }
+
+    #[test]
+    fn round_trips_preserve_bytes() {
+        let mut e = Encoder::new();
+        e.sequence(|e| {
+            e.octet_string(b"abc");
+            e.set(|e| {
+                e.utf8_string("x");
+                e.null();
+            });
+            e.bit_string(&[0xde, 0xad]);
+        });
+        let der = e.finish();
+        let v = Value::parse(&der).unwrap();
+        assert_eq!(v.encode(), der);
+    }
+
+    #[test]
+    fn rejects_the_paper_observed_garbage() {
+        // The study observed responders returning the body "0", empty
+        // bodies, and JavaScript pages. None of these are DER.
+        assert!(Value::parse(b"0").is_err()); // 0x30 = SEQUENCE tag, then truncated
+        assert!(Value::parse(b"").is_err());
+        assert!(Value::parse(b"<script>alert(1)</script>").is_err());
+    }
+
+    #[test]
+    fn parse_all_reads_concatenated_values() {
+        let mut e = Encoder::new();
+        e.integer_i64(1);
+        e.integer_i64(2);
+        let der = e.finish();
+        let values = Value::parse_all(&der).unwrap();
+        assert_eq!(values.len(), 2);
+    }
+}

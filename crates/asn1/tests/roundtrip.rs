@@ -1,0 +1,107 @@
+//! Property tests: encode/decode symmetry and decoder robustness.
+
+use mustaple_asn1::{Decoder, Encoder, Oid, Time, Value};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn integer_i64_round_trips(v in any::<i64>()) {
+        let mut e = Encoder::new();
+        e.integer_i64(v);
+        let der = e.finish();
+        let mut d = Decoder::new(&der);
+        prop_assert_eq!(d.integer_i64().unwrap(), v);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn unsigned_integer_round_trips(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut e = Encoder::new();
+        e.integer_unsigned(&bytes);
+        let der = e.finish();
+        let mut d = Decoder::new(&der);
+        let back = d.integer_unsigned().unwrap();
+        // Compare magnitudes modulo leading zeros.
+        let trimmed: Vec<u8> = {
+            let mut s = &bytes[..];
+            while s.len() > 1 && s[0] == 0 { s = &s[1..]; }
+            if s.is_empty() { vec![0] } else { s.to_vec() }
+        };
+        prop_assert_eq!(back.to_vec(), trimmed);
+    }
+
+    #[test]
+    fn octet_string_round_trips(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut e = Encoder::new();
+        e.octet_string(&bytes);
+        let der = e.finish();
+        let mut d = Decoder::new(&der);
+        prop_assert_eq!(d.octet_string().unwrap(), &bytes[..]);
+    }
+
+    #[test]
+    fn utf8_string_round_trips(s in "\\PC{0,80}") {
+        let mut e = Encoder::new();
+        e.utf8_string(&s);
+        let der = e.finish();
+        let mut d = Decoder::new(&der);
+        prop_assert_eq!(d.utf8_string().unwrap(), s);
+    }
+
+    #[test]
+    fn oid_round_trips(arcs in proptest::collection::vec(0u64..100_000, 1..10), first in 0u64..3, second in 0u64..40) {
+        let mut all = vec![first, second];
+        all.extend(arcs);
+        let oid = Oid::new(&all);
+        let mut e = Encoder::new();
+        e.oid(&oid);
+        let der = e.finish();
+        let mut d = Decoder::new(&der);
+        prop_assert_eq!(d.oid().unwrap(), oid);
+    }
+
+    #[test]
+    fn time_round_trips(secs in 0i64..4_102_444_800) { // through 2100
+        let t = Time::from_unix(secs);
+        let mut e = Encoder::new();
+        e.generalized_time(t);
+        let der = e.finish();
+        let mut d = Decoder::new(&der);
+        prop_assert_eq!(d.generalized_time().unwrap(), t);
+    }
+
+    /// Random bytes must never panic the schema-less parser, only error.
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Value::parse(&bytes);
+    }
+
+    /// Anything the schema-less parser accepts must re-encode to the
+    /// identical bytes (DER is canonical).
+    #[test]
+    fn value_reencode_is_identity(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        if let Ok(v) = Value::parse(&bytes) {
+            // Times re-encode canonically only when the source was canonical;
+            // skip inputs containing time tags to keep the oracle exact.
+            if !bytes.contains(&0x17) && !bytes.contains(&0x18) {
+                prop_assert_eq!(v.encode(), bytes);
+            }
+        }
+    }
+
+    /// Truncating a valid encoding must produce an error, not a panic.
+    #[test]
+    fn truncation_is_detected(v in any::<i64>(), cut in 1usize..3) {
+        let mut e = Encoder::new();
+        e.sequence(|e| { e.integer_i64(v); e.boolean(true); });
+        let der = e.finish();
+        let cut = der.len().saturating_sub(cut);
+        let mut d = Decoder::new(&der[..cut]);
+        let result = d.sequence().and_then(|mut s| {
+            s.integer_i64()?;
+            s.boolean()?;
+            Ok(())
+        });
+        prop_assert!(result.is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Microbenchmarks of the cryptographic substrate, including the
+//! CRT-vs-plain signing ablation that justified the KeyPair layout.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use simcrypto::{sha256, KeyPair};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(std::hint::black_box(&data))));
+    }
+    group.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa");
+    for bits in [384usize, 512, 768] {
+        let kp = KeyPair::generate(&mut StdRng::seed_from_u64(1), bits);
+        let msg = b"a typical ocsp response data blob";
+        let sig = kp.sign(msg);
+        group.bench_function(format!("sign-crt-{bits}"), |b| {
+            b.iter(|| kp.sign(std::hint::black_box(msg)))
+        });
+        group.bench_function(format!("sign-plain-{bits}"), |b| {
+            b.iter(|| kp.sign_without_crt(std::hint::black_box(msg)))
+        });
+        group.bench_function(format!("verify-{bits}"), |b| {
+            b.iter(|| kp.public().verify(std::hint::black_box(msg), &sig).unwrap())
+        });
+    }
+    group.bench_function("keygen-384", |b| {
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                StdRng::seed_from_u64(seed)
+            },
+            |mut rng| KeyPair::generate(&mut rng, 384),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sha256, bench_rsa
+}
+criterion_main!(benches);

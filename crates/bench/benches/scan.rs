@@ -1,0 +1,49 @@
+//! Campaign-scale benchmarks: what does one probe / one round / one study
+//! cost? These bound how far the ecosystem scale can be pushed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecosystem::{EcosystemConfig, LiveEcosystem};
+use mustaple::Study;
+use netsim::Region;
+use ocsp::OcspRequest;
+use scanner::hourly::HourlyCampaign;
+use scanner::consistency::ConsistencyStudy;
+
+fn bench_probe(c: &mut Criterion) {
+    let eco = LiveEcosystem::generate(EcosystemConfig::tiny());
+    let mut world = eco.build_world();
+    let target = &eco.scan_targets[0];
+    let req = OcspRequest::single(target.cert_id.clone()).to_der();
+    let t = eco.config.campaign_start + 3_600;
+    c.bench_function("single-probe", |b| {
+        b.iter(|| world.http_post(Region::Virginia, &target.url, &req, t))
+    });
+}
+
+fn bench_campaigns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_function("hourly-tiny", |b| {
+        let eco = LiveEcosystem::generate(EcosystemConfig::tiny());
+        b.iter(|| HourlyCampaign::new(&eco).run())
+    });
+    group.bench_function("consistency-tiny", |b| {
+        let eco = LiveEcosystem::generate(EcosystemConfig::tiny());
+        let at = eco.config.campaign_start + 6 * 86_400;
+        b.iter(|| ConsistencyStudy::run(&eco, at, Region::Virginia))
+    });
+    group.bench_function("ecosystem-generate-tiny", |b| {
+        b.iter(|| LiveEcosystem::generate(EcosystemConfig::tiny()))
+    });
+    group.bench_function("full-study-tiny", |b| {
+        b.iter(|| Study::new(EcosystemConfig::tiny()).run())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_probe, bench_campaigns
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Benchmarks of the paper's two controlled test suites (the release
+//! artifacts a CA or vendor would run in CI).
+
+use asn1::Time;
+use browser::testsuite::run_browser_suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+use pki::RootStore;
+use webserver::experiment::{run_table3_experiments, TestBench};
+use webserver::{Apache, Ideal, Nginx};
+
+fn bench_suites(c: &mut Criterion) {
+    let t0 = Time::from_civil(2018, 6, 1, 0, 0, 0);
+    let bench = TestBench::new(42, t0);
+    let mut roots = RootStore::new("bench");
+    roots.add(bench.site.chain.last().unwrap().clone());
+
+    let mut group = c.benchmark_group("suites");
+    group.sample_size(20);
+    group.bench_function("browser-suite-16", |b| {
+        b.iter(|| run_browser_suite(&bench, &roots, t0))
+    });
+    group.bench_function("table3-apache", |b| {
+        b.iter(|| run_table3_experiments(&bench, Apache::new))
+    });
+    group.bench_function("table3-nginx", |b| {
+        b.iter(|| run_table3_experiments(&bench, Nginx::new))
+    });
+    group.bench_function("table3-ideal", |b| {
+        b.iter(|| run_table3_experiments(&bench, Ideal::new))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_suites);
+criterion_main!(benches);

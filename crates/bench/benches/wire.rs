@@ -1,0 +1,95 @@
+//! Wire-format benchmarks: certificate / OCSP / TLS encode-decode.
+
+use asn1::Time;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocsp::{CertId, OcspRequest, OcspResponse, Responder, ResponderProfile};
+use pki::{Certificate, CertificateAuthority, IssueParams};
+use rand::{rngs::StdRng, SeedableRng};
+use tls::wire::{CertificateMsg, ClientHello};
+
+fn now() -> Time {
+    Time::from_civil(2018, 5, 1, 0, 0, 0)
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut ca = CertificateAuthority::new_root(&mut rng, "Bench", "Bench Root", "b.test", now());
+    let leaf = ca.issue(&mut rng, &IssueParams::new("bench.example", now()).must_staple(true));
+    let der = leaf.to_der();
+
+    let mut group = c.benchmark_group("certificate");
+    group.bench_function("encode", |b| b.iter(|| std::hint::black_box(&leaf).to_der()));
+    group.bench_function("decode", |b| {
+        b.iter(|| Certificate::from_der(std::hint::black_box(&der)).unwrap())
+    });
+    group.bench_function("verify-chain-signature", |b| {
+        b.iter(|| assert!(leaf.verify_signature(ca.certificate().public_key())))
+    });
+    group.bench_function("issue-leaf", |b| {
+        b.iter(|| ca.issue(&mut rng, &IssueParams::new("issue.example", now())))
+    });
+    group.finish();
+}
+
+fn bench_ocsp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ca = CertificateAuthority::new_root(&mut rng, "Bench", "Bench Root", "b.test", now());
+    let leaf = ca.issue(&mut rng, &IssueParams::new("bench.example", now()));
+    let id = CertId::for_certificate(&leaf, ca.certificate());
+    let request = OcspRequest::single(id.clone());
+    let request_der = request.to_der();
+    let mut on_demand = Responder::new("u", ResponderProfile::healthy());
+    let mut pre_generated =
+        Responder::new("u", ResponderProfile::healthy().pre_generated(12 * 3_600));
+    let body = on_demand.handle(&ca, &request, now());
+
+    let mut group = c.benchmark_group("ocsp");
+    group.bench_function("request-encode", |b| b.iter(|| request.to_der()));
+    group.bench_function("request-decode", |b| {
+        b.iter(|| OcspRequest::from_der(std::hint::black_box(&request_der)).unwrap())
+    });
+    group.bench_function("respond-on-demand", |b| {
+        b.iter(|| on_demand.handle(&ca, &request, now()))
+    });
+    group.bench_function("respond-pre-generated-cached", |b| {
+        b.iter(|| pre_generated.handle(&ca, &request, now()))
+    });
+    group.bench_function("response-decode", |b| {
+        b.iter(|| OcspResponse::from_der(std::hint::black_box(&body)).unwrap())
+    });
+    group.bench_function("validate-full", |b| {
+        b.iter(|| {
+            ocsp::validate_response(&body, &id, ca.certificate(), now(), Default::default())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_tls(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut ca = CertificateAuthority::new_root(&mut rng, "Bench", "Bench Root", "b.test", now());
+    let leaf = ca.issue(&mut rng, &IssueParams::new("bench.example", now()));
+    let hello = ClientHello::new("bench.example", true);
+    let hello_bytes = hello.encode();
+    let cert_msg = CertificateMsg { chain: vec![leaf, ca.certificate().clone()] };
+    let cert_bytes = cert_msg.encode();
+
+    let mut group = c.benchmark_group("tls");
+    group.bench_function("client-hello-encode", |b| b.iter(|| hello.encode()));
+    group.bench_function("client-hello-decode", |b| {
+        b.iter(|| ClientHello::decode(std::hint::black_box(&hello_bytes)).unwrap())
+    });
+    group.bench_function("certificate-msg-encode", |b| b.iter(|| cert_msg.encode()));
+    group.bench_function("certificate-msg-decode", |b| {
+        b.iter(|| CertificateMsg::decode(std::hint::black_box(&cert_bytes)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_certificates, bench_ocsp, bench_tls
+}
+criterion_main!(benches);

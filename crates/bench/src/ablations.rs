@@ -1,0 +1,453 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! Each function quantifies one design axis the paper discusses
+//! qualitatively, using the same machinery as the main experiments:
+//!
+//! 1. [`refresh_validity_sweep`] — §5.4's non-overlapping-window hazard
+//!    as a function of the refresh/validity ratio;
+//! 2. [`server_policy_under_outage`] — the client-visible consequences
+//!    of Apache vs Nginx vs recommended stapling policies when the
+//!    responder goes down (the quantitative Table 3);
+//! 3. [`margin_vs_clock_skew`] — Figure 9's "slightly slow clocks"
+//!    concern: rejection rates for zero-margin responses;
+//! 4. [`blank_next_update_load`] — the §5.4 claim that blank
+//!    `nextUpdate` inflates responder load because clients cannot cache;
+//! 5. [`hard_vs_soft_fail`] — §2.3's threat model: an attacker stripping
+//!    staples succeeds against soft-fail clients and fails against
+//!    Must-Staple-respecting ones.
+
+use crate::Artifact;
+use analysis::Table;
+use asn1::Time;
+use browser::{BrowserClient, NoTransport, BROWSER_MATRIX};
+use ocsp::{
+    validate_response, OcspRequest, Responder, ResponderProfile, ValidationConfig,
+};
+use pki::RootStore;
+use tls::ServerFlight;
+use webserver::experiment::TestBench;
+use webserver::fetcher::{FetchOutcome, FnFetcher};
+use webserver::server::{ServerKind, SiteConfig, StaplingServer};
+use webserver::{Apache, Ideal, Nginx, OcspFetcher};
+
+fn t0() -> Time {
+    Time::from_civil(2018, 6, 1, 0, 0, 0)
+}
+
+/// Ablation 1: sweep the refresh-interval/validity ratio of a
+/// pre-generated responder and measure how often a client that refetches
+/// right after expiry receives an *already expired* response.
+pub fn refresh_validity_sweep(seed: u64) -> Artifact {
+    let bench = TestBench::new(seed, t0());
+    let validity = 7_200i64;
+    let mut table = Table::new(&["refresh/validity", "expired_refetch_pct"]);
+    for ratio_pct in [50i64, 75, 100, 125, 150] {
+        let refresh = validity * ratio_pct / 100;
+        let profile = ResponderProfile::healthy()
+            .margin(0)
+            .validity(validity)
+            .pre_generated(refresh);
+        let mut responder = Responder::new("u", profile);
+        let ca_view = bench_ca(&bench);
+        let mut expired = 0u32;
+        let mut total = 0u32;
+        // Client loop: fetch, cache until nextUpdate, refetch just after.
+        let mut now = t0() + 1;
+        for _ in 0..50 {
+            let body =
+                responder.handle(ca_view.0, &OcspRequest::single(ca_view.1.clone()), now);
+            let parsed = validate_response(
+                &body,
+                &ca_view.1,
+                ca_view.0.certificate(),
+                now,
+                ValidationConfig::default(),
+            );
+            total += 1;
+            match parsed {
+                Ok(v) => {
+                    let next = v.next_update.expect("finite validity");
+                    now = next + 60; // refetch just after expiry
+                }
+                Err(_) => {
+                    expired += 1;
+                    now = now + validity; // move on
+                }
+            }
+        }
+        table.row(&[
+            format!("{:.2}", ratio_pct as f64 / 100.0),
+            format!("{:.0}", 100.0 * expired as f64 / total as f64),
+        ]);
+    }
+    Artifact {
+        name: "ablation-refresh",
+        summary: "Ablation 1 — once the refresh interval reaches the validity period \
+                  (ratio ≥ 1.0), post-expiry refetches start hitting not-yet-refreshed \
+                  windows: the §5.4 non-overlap hazard (hinet.net, cnnic) in numbers."
+            .to_string(),
+        table,
+    }
+}
+
+// The test bench keeps its CA private; expose what the ablations need.
+fn bench_ca(bench: &TestBench) -> (&pki::CertificateAuthority, ocsp::CertId) {
+    (bench.ca(), bench.cert_id().clone())
+}
+
+/// Ablation 2: client-visible staple quality under a flaky responder,
+/// per server policy. Clients connect every 10 minutes for 48 hours; the
+/// responder is down for two 6-hour windows.
+pub fn server_policy_under_outage(seed: u64) -> Artifact {
+    let bench = TestBench::new(seed, t0());
+    let mut table = Table::new(&[
+        "server",
+        "valid_staple_pct",
+        "no_staple_pct",
+        "expired_staple_pct",
+        "stalled_pct",
+    ]);
+    for kind in [ServerKind::Apache, ServerKind::Nginx, ServerKind::Ideal] {
+        let mut server: Box<dyn StaplingServer> = match kind {
+            ServerKind::Apache => Box::new(Apache::new(bench.site.clone())),
+            ServerKind::Nginx => Box::new(Nginx::new(bench.site.clone())),
+            ServerKind::Ideal => Box::new(Ideal::new(bench.site.clone())),
+        };
+        let mut fetcher = flaky_fetcher(&bench);
+        let issuer = bench.ca().certificate().clone();
+        let cert_id = bench.cert_id().clone();
+        let (mut valid, mut none, mut expired, mut stalled) = (0u32, 0u32, 0u32, 0u32);
+        let mut connections = 0u32;
+        for minute in (0..48 * 60).step_by(10) {
+            let now = t0() + minute * 60;
+            server.tick(now, &mut fetcher);
+            let flight: ServerFlight = server.serve(now, &mut fetcher);
+            connections += 1;
+            if flight.stall_ms > 0.0 {
+                stalled += 1;
+            }
+            match flight.stapled_ocsp {
+                None => none += 1,
+                Some(body) => {
+                    match validate_response(
+                        &body,
+                        &cert_id,
+                        &issuer,
+                        now,
+                        ValidationConfig::default(),
+                    ) {
+                        Ok(_) => valid += 1,
+                        Err(_) => expired += 1,
+                    }
+                }
+            }
+        }
+        let pct = |n: u32| format!("{:.1}", 100.0 * n as f64 / connections as f64);
+        table.row(&[kind.name().into(), pct(valid), pct(none), pct(expired), pct(stalled)]);
+    }
+    Artifact {
+        name: "ablation-server-policy",
+        summary: "Ablation 2 — the quantitative Table 3: under responder outages the \
+                  recommended (prefetching, retaining) policy keeps nearly every client \
+                  stapled; Apache drops staples and serves errors; Nginx leaves first \
+                  clients unstapled."
+            .to_string(),
+        table,
+    }
+}
+
+/// A fetcher against the bench responder that is unreachable during two
+/// 6-hour windows (hours 12–18 and 30–36), with a 2-hour validity so
+/// refreshes matter.
+fn flaky_fetcher(bench: &TestBench) -> FnFetcher {
+    let mut live = bench.live_fetcher(7_200);
+    FnFetcher::new(move |now: Time| {
+        let hour = (now - t0()) / 3_600;
+        if (12..18).contains(&hour) || (30..36).contains(&hour) {
+            FetchOutcome::Unreachable { latency_ms: 2_000.0 }
+        } else {
+            live.fetch(now)
+        }
+    })
+}
+
+/// Ablation 3: rejection rate of zero-margin and future-dated responses
+/// as a function of client clock skew.
+pub fn margin_vs_clock_skew(seed: u64) -> Artifact {
+    let bench = TestBench::new(seed, t0());
+    let mut table = Table::new(&["margin_secs", "skew_-300s", "skew_-60s", "skew_0s", "skew_+60s"]);
+    for margin in [-120i64, 0, 60, 3_600] {
+        let profile = ResponderProfile::healthy().margin(margin);
+        let mut responder = Responder::new("u", profile);
+        let (ca, id) = bench_ca(&bench);
+        let body = responder.handle(ca, &OcspRequest::single(id.clone()), t0());
+        let mut row = vec![margin.to_string()];
+        for skew in [-300i64, -60, 0, 60] {
+            let rejected = validate_response(
+                &body,
+                &id,
+                ca.certificate(),
+                t0(),
+                ValidationConfig { clock_skew: skew, require_next_update: false },
+            )
+            .is_err();
+            row.push(if rejected { "reject".into() } else { "accept".to_string() });
+        }
+        table.row(&row);
+    }
+    Artifact {
+        name: "ablation-margin",
+        summary: "Ablation 3 — Figure 9's concern made concrete: zero-margin responses are \
+                  rejected by clients with slightly slow clocks; future-dated thisUpdate is \
+                  rejected even by accurate clocks; a one-hour margin absorbs realistic skew."
+            .to_string(),
+        table,
+    }
+}
+
+/// Ablation 4: responder request load per caching client over one week,
+/// blank `nextUpdate` vs one-week validity.
+pub fn blank_next_update_load(seed: u64) -> Artifact {
+    let bench = TestBench::new(seed, t0());
+    let mut table = Table::new(&["next_update", "requests_per_client_week"]);
+    for (label, profile) in [
+        ("blank", ResponderProfile::healthy().blank_next_update()),
+        ("7 days", ResponderProfile::healthy().validity(7 * 86_400)),
+        ("1 day", ResponderProfile::healthy().validity(86_400)),
+    ] {
+        let mut responder = Responder::new("u", profile);
+        let (ca, id) = bench_ca(&bench);
+        let mut requests = 0u32;
+        let mut cached_until: Option<Time> = None;
+        // A client consults revocation hourly for a week; it caches a
+        // response until nextUpdate, and cannot cache blank responses.
+        for hour in 0..(7 * 24) {
+            let now = t0() + hour * 3_600;
+            if cached_until.is_some_and(|until| now < until) {
+                continue;
+            }
+            let body = responder.handle(ca, &OcspRequest::single(id.clone()), now);
+            requests += 1;
+            if let Ok(v) =
+                validate_response(&body, &id, ca.certificate(), now, Default::default())
+            {
+                cached_until = v.next_update;
+            }
+        }
+        table.row(&[label.into(), requests.to_string()]);
+    }
+    Artifact {
+        name: "ablation-blank",
+        summary: "Ablation 4 — blank nextUpdate defeats client caching entirely: one probe \
+                  per consultation instead of one per validity window, the §5.4 workload \
+                  concern."
+            .to_string(),
+        table,
+    }
+}
+
+/// Ablation 5: an active attacker strips the staple from a revoked
+/// Must-Staple certificate. What fraction of the browser matrix still
+/// connects?
+pub fn hard_vs_soft_fail(seed: u64) -> Artifact {
+    let bench = TestBench::new(seed, t0());
+    let mut roots = RootStore::new("ablation");
+    roots.add(bench.site.chain.last().unwrap().clone());
+
+    // The attacker's server: presents the (revoked, Must-Staple)
+    // certificate with the staple stripped.
+    struct StrippingAttacker {
+        site: SiteConfig,
+    }
+    impl StaplingServer for StrippingAttacker {
+        fn kind(&self) -> ServerKind {
+            ServerKind::Apache
+        }
+        fn serve(&mut self, _now: Time, _f: &mut dyn OcspFetcher) -> ServerFlight {
+            self.site.flight(None, 0.0)
+        }
+        fn tick(&mut self, _now: Time, _f: &mut dyn OcspFetcher) {}
+    }
+
+    let mut table = Table::new(&["browser", "connection"]);
+    let mut accepted = 0;
+    for profile in BROWSER_MATRIX {
+        let mut server = StrippingAttacker { site: bench.site.clone() };
+        let mut fetcher = webserver::ScriptedFetcher::down();
+        let outcome = BrowserClient::new(profile).connect(
+            &mut server,
+            &mut fetcher,
+            &mut NoTransport::new(),
+            "bench.example",
+            &roots,
+            t0(),
+        );
+        let ok = outcome.verdict.is_accepted();
+        if ok {
+            accepted += 1;
+        }
+        table.row(&[
+            profile.label(),
+            if ok { "ACCEPTED (attack succeeds)".into() } else { "rejected".to_string() },
+        ]);
+    }
+    Artifact {
+        name: "ablation-attack",
+        summary: format!(
+            "Ablation 5 — §2.3's staple-stripping attacker: {accepted}/16 browsers accept \
+             the revoked Must-Staple certificate once the staple is stripped; only the \
+             Must-Staple-respecting Firefoxes refuse."
+        ),
+        table,
+    }
+}
+
+/// Ablation 6: exposure window after a key compromise, comparing
+/// revocation regimes — including the short-lived-certificate
+/// alternative of Topalovic et al. (paper §3). The attacker holds the
+/// compromised key, replays the last Good staple, and strips/blocks
+/// everything else; we measure how long a client keeps accepting.
+pub fn compromise_exposure(seed: u64) -> Artifact {
+    use pki::{CertificateAuthority, IssueParams, RevocationReason, RootStore};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5107);
+    let t_issue = t0();
+    let t_compromise = t_issue + 86_400; // compromised one day in
+    let mut ca = CertificateAuthority::new_root(&mut rng, "Exp CA", "Exp Root", "exp.test", t_issue);
+    let mut roots = RootStore::new("exp");
+    roots.add(ca.certificate().clone());
+
+    // Regime certificates: 90-day plain, 90-day Must-Staple, 3-day
+    // short-lived (the Topalovic et al. proposal: expiry replaces
+    // revocation entirely).
+    let plain = ca.issue(&mut rng, &IssueParams::new("exp.example", t_issue).valid_for(90));
+    let ms =
+        ca.issue(&mut rng, &IssueParams::new("exp.example", t_issue).valid_for(90).must_staple(true));
+    let short =
+        ca.issue(&mut rng, &IssueParams::new("exp.example", t_issue).valid_for(3));
+
+    // The attacker captures the last Good staple just before revocation.
+    let ms_id = ocsp::CertId::for_certificate(&ms, ca.certificate());
+    let mut responder = Responder::new("u", ResponderProfile::healthy().margin(0));
+    let captured_staple =
+        responder.handle(&ca, &OcspRequest::single(ms_id.clone()), t_compromise - 60);
+    ca.revoke(plain.serial(), t_compromise, Some(RevocationReason::KeyCompromise));
+    ca.revoke(ms.serial(), t_compromise, Some(RevocationReason::KeyCompromise));
+    ca.revoke(short.serial(), t_compromise, Some(RevocationReason::KeyCompromise));
+
+    // Probe acceptance daily: does a client still accept the attacker's
+    // handshake at day d after compromise?
+    let accepts = |cert: &pki::Certificate, staple: Option<&[u8]>, hard_fail: bool, at: asn1::Time| {
+        if !cert.validity().contains(at) {
+            return false;
+        }
+        if pki::validate_chain(&[cert.clone()], &roots, at, Some("exp.example")).is_err() {
+            return false;
+        }
+        match staple {
+            Some(body) => {
+                let id = ocsp::CertId::for_certificate(cert, ca.certificate());
+                match validate_response(body, &id, ca.certificate(), at, Default::default()) {
+                    Ok(v) => !matches!(v.status, ocsp::CertStatus::Revoked { .. }),
+                    Err(_) => !(cert.has_must_staple() && hard_fail),
+                }
+            }
+            None => !(cert.has_must_staple() && hard_fail),
+        }
+    };
+    let horizon = |cert: &pki::Certificate, staple: Option<&[u8]>, hard_fail: bool| -> i64 {
+        let mut last = -1i64;
+        for day in 0..120 {
+            let at = t_compromise + day * 86_400;
+            if accepts(cert, staple, hard_fail, at) {
+                last = day;
+            }
+        }
+        last + 1
+    };
+
+    let mut table = Table::new(&["regime", "exposure_after_compromise_days"]);
+    table.row(&[
+        "soft-fail client, attacker strips revocation".into(),
+        horizon(&plain, None, false).to_string(),
+    ]);
+    table.row(&[
+        "Must-Staple + hard-fail, attacker replays last staple".into(),
+        horizon(&ms, Some(&captured_staple), true).to_string(),
+    ]);
+    table.row(&[
+        "Must-Staple + hard-fail, staple blocked entirely".into(),
+        horizon(&ms, None, true).to_string(),
+    ]);
+    table.row(&[
+        "short-lived certificate (3-day), no revocation at all".into(),
+        horizon(&short, None, false).to_string(),
+    ]);
+    Artifact {
+        name: "ablation-shortlived",
+        summary: "Ablation 6 — exposure after key compromise. Soft-fail clients stay exposed                   until the certificate expires (~89 days); Must-Staple bounds exposure by                   the staple's validity (~7 days replayed, 0 once blocked); short-lived                   certificates bound it by the remaining lifetime (~2 days) with no                   revocation machinery at all — the Topalovic et al. trade-off."
+            .to_string(),
+        table,
+    }
+}
+
+/// All ablations.
+pub fn all(seed: u64) -> Vec<Artifact> {
+    vec![
+        refresh_validity_sweep(seed),
+        server_policy_under_outage(seed),
+        margin_vs_clock_skew(seed),
+        blank_next_update_load(seed),
+        hard_vs_soft_fail(seed),
+        compromise_exposure(seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ablations_produce_tables() {
+        for artifact in all(1234) {
+            assert!(!artifact.summary.is_empty());
+            assert!(artifact.table.len() >= 3, "{} rows", artifact.name);
+        }
+    }
+
+    #[test]
+    fn exposure_ordering_matches_the_argument() {
+        let artifact = compromise_exposure(55);
+        let csv = artifact.table.to_csv();
+        let days: Vec<i64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit(',').next().unwrap().parse().unwrap())
+            .collect();
+        let (soft, ms_replay, ms_blocked, short) = (days[0], days[1], days[2], days[3]);
+        assert!(soft >= 85, "soft-fail exposed for the cert lifetime: {soft}");
+        assert!((1..=8).contains(&ms_replay), "staple replay bounded by validity: {ms_replay}");
+        assert_eq!(ms_blocked, 0, "hard-fail with no staple = no exposure");
+        assert!((1..=3).contains(&short), "short-lived bounded by lifetime: {short}");
+        assert!(soft > ms_replay && ms_replay > ms_blocked);
+    }
+
+    #[test]
+    fn attack_succeeds_against_exactly_the_soft_failers() {
+        let artifact = hard_vs_soft_fail(7);
+        let rendered = artifact.table.render();
+        let accepted = rendered.matches("ACCEPTED").count();
+        assert_eq!(accepted, 12, "12 of 16 browsers soft-fail\n{rendered}");
+    }
+
+    #[test]
+    fn blank_next_update_costs_more_requests() {
+        let artifact = blank_next_update_load(9);
+        let csv = artifact.table.to_csv();
+        let mut lines = csv.lines().skip(1);
+        let blank: u32 = lines.next().unwrap().split(',').nth(1).unwrap().parse().unwrap();
+        let week: u32 = lines.next().unwrap().split(',').nth(1).unwrap().parse().unwrap();
+        assert!(blank > 50 * week, "blank={blank} week={week}");
+    }
+}

@@ -1,0 +1,117 @@
+//! `figures` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! figures [--scale tiny|figures] [--out DIR] [ARTIFACT...]
+//! ```
+//!
+//! With no artifact arguments, regenerates everything (all figures,
+//! all tables, the §5.4 freshness analysis, the five ablations, and the
+//! §8 readiness report). Each artifact prints a paper-vs-measured
+//! summary plus its data table, and is also written as CSV under the
+//! output directory (default `results/`).
+
+use ecosystem::EcosystemConfig;
+use mustaple::Study;
+use mustaple_bench::{ablations, build, Artifact, ALL_ARTIFACTS};
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = "figures".to_string();
+    let mut out_dir = PathBuf::from("results");
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().unwrap_or_else(|| usage("--scale needs a value")),
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a value")))
+            }
+            "--help" | "-h" => usage(""),
+            name => wanted.push(name.to_string()),
+        }
+    }
+
+    let config = match scale.as_str() {
+        "tiny" => EcosystemConfig::tiny(),
+        "figures" => EcosystemConfig::figures(),
+        other => usage(&format!("unknown scale `{other}` (use tiny|figures)")),
+    };
+
+    if wanted.is_empty() {
+        wanted = ALL_ARTIFACTS.iter().map(|s| s.to_string()).collect();
+        wanted.push("freshness".into());
+        wanted.push("recommendations".into());
+        wanted.push("ablations".into());
+        wanted.push("readiness".into());
+    }
+
+    eprintln!(
+        "running the study at `{scale}` scale ({} responders, {} scan rounds)...",
+        config.responders,
+        config.scan_rounds()
+    );
+    let started = std::time::Instant::now();
+    let results = Study::new(config.clone()).run();
+    eprintln!("study completed in {:.1?}; rendering artifacts\n", started.elapsed());
+
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    for name in &wanted {
+        match name.as_str() {
+            "ablations" => {
+                for artifact in ablations::all(config.seed) {
+                    emit(&out_dir, &artifact);
+                }
+            }
+            "readiness" => {
+                let report = results.readiness_report();
+                println!("== readiness ==============================================");
+                println!("{}", report.render());
+                fs::write(out_dir.join("readiness.txt"), report.render())
+                    .expect("write readiness report");
+            }
+            name => match build(name, &results) {
+                Some(artifact) => emit(&out_dir, &artifact),
+                None => eprintln!("warning: unknown artifact `{name}` (skipped)"),
+            },
+        }
+    }
+    eprintln!("\nartifacts written to {}", out_dir.display());
+}
+
+fn emit(out_dir: &std::path::Path, artifact: &Artifact) {
+    println!("== {} ==============================================", artifact.name);
+    println!("{}\n", artifact.summary);
+    let rendered = artifact.table.render();
+    // Long tables (time series, CDFs) are truncated on the terminal but
+    // written in full to CSV.
+    let lines: Vec<&str> = rendered.lines().collect();
+    if lines.len() > 24 {
+        for line in &lines[..12] {
+            println!("{line}");
+        }
+        println!("... ({} rows total; full data in CSV)", lines.len() - 2);
+        for line in &lines[lines.len() - 4..] {
+            println!("{line}");
+        }
+    } else {
+        println!("{rendered}");
+    }
+    println!();
+    fs::write(out_dir.join(format!("{}.csv", artifact.name)), artifact.table.to_csv())
+        .expect("write CSV artifact");
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: figures [--scale tiny|figures] [--out DIR] [ARTIFACT...]\n\
+         artifacts: {} freshness recommendations ablations readiness",
+        ALL_ARTIFACTS.join(" ")
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

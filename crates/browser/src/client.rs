@@ -1,0 +1,380 @@
+//! A browser profile turned into an actual TLS client.
+//!
+//! [`BrowserClient::connect`] drives a real handshake against a
+//! [`webserver::StaplingServer`], validates the chain, applies the
+//! profile's revocation policy, and reports both the verdict and the
+//! observable side effects (did it solicit a staple? did it make its own
+//! OCSP request?) — the three observables of Table 2.
+
+use crate::profile::BrowserProfile;
+use asn1::Time;
+use ocsp::{
+    validate_response, CertId, CertStatus, OcspRequest, ResponseError, ValidationConfig,
+};
+use pki::{validate_chain, Certificate, ChainError, RootStore};
+use tls::wire::ClientHello;
+use tls::Transcript;
+use webserver::{OcspFetcher, StaplingServer};
+
+/// Why a connection was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Chain validation failed.
+    BadChain(ChainError),
+    /// The certificate demands a staple and none was provided (the
+    /// Must-Staple hard-fail).
+    MustStapleViolation,
+    /// A staple was provided but did not validate.
+    BadStaple(ResponseError),
+    /// The stapled (or separately fetched) status was Revoked.
+    CertificateRevoked,
+}
+
+/// The client's decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Connection proceeds.
+    Accepted,
+    /// Connection refused (certificate error page).
+    Rejected(RejectReason),
+}
+
+impl Verdict {
+    /// Whether the connection proceeded.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Verdict::Accepted)
+    }
+}
+
+/// How the client would reach an OCSP responder for its *own* lookup.
+pub trait OcspTransport {
+    /// POST `body` to `url`; `None` models an unreachable responder.
+    fn post(&mut self, url: &str, body: &[u8], now: Time) -> Option<Vec<u8>>;
+}
+
+/// A transport for clients that never fetch (the common case in the
+/// matrix) or tests that must prove no fetch happened.
+pub struct NoTransport {
+    /// Number of times a fetch was attempted anyway.
+    pub attempts: u32,
+}
+
+impl NoTransport {
+    /// A fresh counter.
+    pub fn new() -> NoTransport {
+        NoTransport { attempts: 0 }
+    }
+}
+
+impl Default for NoTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OcspTransport for NoTransport {
+    fn post(&mut self, _url: &str, _body: &[u8], _now: Time) -> Option<Vec<u8>> {
+        self.attempts += 1;
+        None
+    }
+}
+
+/// Everything observable about one connection attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientOutcome {
+    /// The decision.
+    pub verdict: Verdict,
+    /// Whether the ClientHello carried `status_request` (verified from
+    /// the wire bytes, as the paper did with packet captures).
+    pub sent_status_request: bool,
+    /// Whether the client issued its own OCSP request after missing a
+    /// staple.
+    pub sent_own_ocsp: bool,
+    /// The handshake transcript, for further inspection.
+    pub transcript: Transcript,
+}
+
+/// A browser client.
+pub struct BrowserClient {
+    /// The behavior profile.
+    pub profile: BrowserProfile,
+}
+
+impl BrowserClient {
+    /// A client with the given profile.
+    pub fn new(profile: BrowserProfile) -> BrowserClient {
+        BrowserClient { profile }
+    }
+
+    /// Connect to `server` for `host` at `now`, trusting `roots`.
+    ///
+    /// `server_fetcher` is the *server's* path to its CA (used by server
+    /// models that fetch on demand); `own_transport` is the *client's*
+    /// path, used only by profiles with `sends_own_ocsp`.
+    pub fn connect(
+        &self,
+        server: &mut dyn StaplingServer,
+        server_fetcher: &mut dyn OcspFetcher,
+        own_transport: &mut dyn OcspTransport,
+        host: &str,
+        roots: &RootStore,
+        now: Time,
+    ) -> ClientOutcome {
+        let hello = ClientHello::new(host, self.profile.sends_status_request);
+        let flight = server.serve(now, server_fetcher);
+        let transcript = Transcript::record(&hello, &flight);
+
+        let mut outcome = ClientOutcome {
+            verdict: Verdict::Accepted,
+            sent_status_request: transcript.client_solicited_staple().unwrap_or(false),
+            sent_own_ocsp: false,
+            transcript,
+        };
+
+        // 1. Chain validation.
+        let chain = match outcome.transcript.server_chain() {
+            Ok(chain) => chain,
+            Err(_) => {
+                outcome.verdict = Verdict::Rejected(RejectReason::BadChain(ChainError::EmptyChain));
+                return outcome;
+            }
+        };
+        if let Err(e) = validate_chain(&chain, roots, now, Some(host)) {
+            outcome.verdict = Verdict::Rejected(RejectReason::BadChain(e));
+            return outcome;
+        }
+        let leaf = &chain[0];
+        let issuer = issuer_of(leaf, &chain, roots);
+
+        // 2. Staple handling.
+        let staple = outcome.transcript.stapled_ocsp().unwrap_or(None);
+        match (staple, issuer) {
+            (Some(bytes), Some(issuer)) => {
+                let cert_id = CertId::for_certificate(leaf, &issuer);
+                match validate_response(
+                    &bytes,
+                    &cert_id,
+                    &issuer,
+                    now,
+                    ValidationConfig::default(),
+                ) {
+                    Ok(validated) => match validated.status {
+                        CertStatus::Good | CertStatus::Unknown => {}
+                        CertStatus::Revoked { .. } => {
+                            outcome.verdict = Verdict::Rejected(RejectReason::CertificateRevoked);
+                            return outcome;
+                        }
+                    },
+                    Err(err) => {
+                        // An invalid staple on a Must-Staple certificate
+                        // is a hard failure for respecting clients;
+                        // everyone else shrugs (soft fail).
+                        if leaf.has_must_staple() && self.profile.respects_must_staple {
+                            outcome.verdict = Verdict::Rejected(RejectReason::BadStaple(err));
+                            return outcome;
+                        }
+                    }
+                }
+            }
+            (None, _) => {
+                // No staple.
+                if leaf.has_must_staple() && self.profile.respects_must_staple {
+                    outcome.verdict = Verdict::Rejected(RejectReason::MustStapleViolation);
+                    return outcome;
+                }
+                // Soft-failing browsers may or may not bother with their
+                // own lookup; the measured matrix says none do, but the
+                // model supports it for what-if experiments.
+                if self.profile.sends_own_ocsp {
+                    if let Some(issuer) = issuer_of(leaf, &chain, roots) {
+                        outcome.sent_own_ocsp = true;
+                        let cert_id = CertId::for_certificate(leaf, &issuer);
+                        for url in leaf.ocsp_urls() {
+                            let req = OcspRequest::single(cert_id.clone()).to_der();
+                            if let Some(body) = own_transport.post(&url, &req, now) {
+                                if let Ok(validated) = validate_response(
+                                    &body,
+                                    &cert_id,
+                                    &issuer,
+                                    now,
+                                    ValidationConfig::default(),
+                                ) {
+                                    if let CertStatus::Revoked { .. } = validated.status {
+                                        outcome.verdict =
+                                            Verdict::Rejected(RejectReason::CertificateRevoked);
+                                        return outcome;
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                        // Soft fail: unreachable/invalid → accept anyway.
+                    }
+                }
+            }
+            (Some(_), None) => {
+                // Staple but no identifiable issuer: treat as no staple.
+                if leaf.has_must_staple() && self.profile.respects_must_staple {
+                    outcome.verdict = Verdict::Rejected(RejectReason::MustStapleViolation);
+                    return outcome;
+                }
+            }
+        }
+        outcome
+    }
+}
+
+/// Locate the leaf's issuer certificate in the presented chain or the
+/// root store.
+fn issuer_of(
+    leaf: &Certificate,
+    chain: &[Certificate],
+    roots: &RootStore,
+) -> Option<Certificate> {
+    chain
+        .iter()
+        .skip(1)
+        .find(|c| c.subject() == leaf.issuer())
+        .cloned()
+        .or_else(|| roots.find_issuer(leaf.issuer()).cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BROWSER_MATRIX;
+    use webserver::experiment::TestBench;
+    use webserver::{Apache, Ideal, ScriptedFetcher};
+
+    fn t0() -> Time {
+        Time::from_civil(2018, 6, 1, 0, 0, 0)
+    }
+
+    fn bench() -> TestBench {
+        TestBench::new(88, t0())
+    }
+
+    fn roots(bench: &TestBench) -> RootStore {
+        let mut store = RootStore::new("test");
+        // The bench chain's last element is the root.
+        store.add(bench.site.chain.last().unwrap().clone());
+        store
+    }
+
+    fn firefox() -> BrowserClient {
+        BrowserClient::new(
+            *BROWSER_MATRIX.iter().find(|p| p.name == "Firefox 60").unwrap(),
+        )
+    }
+
+    fn chrome() -> BrowserClient {
+        BrowserClient::new(*BROWSER_MATRIX.iter().find(|p| p.name == "Chrome 66").unwrap())
+    }
+
+    #[test]
+    fn firefox_rejects_unstapled_must_staple() {
+        let b = bench();
+        let store = roots(&b);
+        // Stapling disabled: server that never staples = Apache with a
+        // dead responder and no cache.
+        let mut server = Apache::new(b.site.clone());
+        let mut fetcher = ScriptedFetcher::down();
+        let outcome = firefox().connect(
+            &mut server,
+            &mut fetcher,
+            &mut NoTransport::new(),
+            "bench.example",
+            &store,
+            t0(),
+        );
+        assert!(outcome.sent_status_request);
+        assert_eq!(outcome.verdict, Verdict::Rejected(RejectReason::MustStapleViolation));
+    }
+
+    #[test]
+    fn chrome_accepts_unstapled_must_staple_without_own_fetch() {
+        let b = bench();
+        let store = roots(&b);
+        let mut server = Apache::new(b.site.clone());
+        let mut fetcher = ScriptedFetcher::down();
+        let mut transport = NoTransport::new();
+        let outcome = chrome().connect(
+            &mut server,
+            &mut fetcher,
+            &mut transport,
+            "bench.example",
+            &store,
+            t0(),
+        );
+        assert!(outcome.sent_status_request);
+        assert!(outcome.verdict.is_accepted());
+        assert!(!outcome.sent_own_ocsp);
+        assert_eq!(transport.attempts, 0);
+    }
+
+    #[test]
+    fn firefox_accepts_when_staple_arrives() {
+        let b = bench();
+        let store = roots(&b);
+        let mut server = Ideal::new(b.site.clone());
+        let mut fetcher = b.live_fetcher(7 * 86_400);
+        server.tick(t0(), &mut fetcher);
+        let outcome = firefox().connect(
+            &mut server,
+            &mut fetcher,
+            &mut NoTransport::new(),
+            "bench.example",
+            &store,
+            t0() + 60,
+        );
+        assert!(outcome.verdict.is_accepted(), "verdict: {:?}", outcome.verdict);
+    }
+
+    #[test]
+    fn unknown_root_rejected_by_everyone() {
+        let b = bench();
+        let empty = RootStore::new("empty");
+        let mut server = Ideal::new(b.site.clone());
+        let mut fetcher = b.live_fetcher(7 * 86_400);
+        server.tick(t0(), &mut fetcher);
+        for profile in BROWSER_MATRIX {
+            let outcome = BrowserClient::new(profile).connect(
+                &mut server,
+                &mut fetcher,
+                &mut NoTransport::new(),
+                "bench.example",
+                &empty,
+                t0() + 60,
+            );
+            assert!(
+                matches!(outcome.verdict, Verdict::Rejected(RejectReason::BadChain(_))),
+                "{}",
+                profile.label()
+            );
+        }
+    }
+
+    #[test]
+    fn hypothetical_fallback_client_fetches_own_ocsp() {
+        // A what-if profile: soft-fail but with its own OCSP lookup.
+        let b = bench();
+        let store = roots(&b);
+        let mut profile = *BROWSER_MATRIX.first().unwrap();
+        profile.sends_own_ocsp = true;
+        let mut server = Apache::new(b.site.clone());
+        let mut fetcher = ScriptedFetcher::down();
+        let mut transport = NoTransport::new();
+        let outcome = BrowserClient::new(profile).connect(
+            &mut server,
+            &mut fetcher,
+            &mut transport,
+            "bench.example",
+            &store,
+            t0(),
+        );
+        assert!(outcome.sent_own_ocsp);
+        assert_eq!(transport.attempts, 1);
+        // Responder unreachable → soft fail → accepted.
+        assert!(outcome.verdict.is_accepted());
+    }
+}

@@ -1,0 +1,159 @@
+//! The Table 2 browser matrix.
+//!
+//! Sixteen browser/OS combinations, with the three behaviors the paper
+//! measured in May 2018. The matrix is data, not code: the *client
+//! logic* lives in [`crate::client`] and is shared by all profiles.
+
+/// Operating systems in the test matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Os {
+    /// macOS 10.12.6.
+    OsX,
+    /// Ubuntu 16.04.
+    Linux,
+    /// Windows 10.
+    Windows,
+    /// iOS 11.3.
+    Ios,
+    /// Android Oreo.
+    Android,
+}
+
+impl Os {
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Os::OsX => "OS X",
+            Os::Linux => "Lin.",
+            Os::Windows => "Win.",
+            Os::Ios => "iOS",
+            Os::Android => "And.",
+        }
+    }
+
+    /// Whether this is a mobile OS.
+    pub fn is_mobile(self) -> bool {
+        matches!(self, Os::Ios | Os::Android)
+    }
+}
+
+/// One browser/OS combination and its measured behaviors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrowserProfile {
+    /// Browser name and version as the paper lists it.
+    pub name: &'static str,
+    /// Operating system.
+    pub os: Os,
+    /// Sends the Certificate Status Request extension (Table 2 row 1).
+    pub sends_status_request: bool,
+    /// Hard-fails a Must-Staple certificate without a staple (row 2).
+    pub respects_must_staple: bool,
+    /// Falls back to its own OCSP fetch when no staple arrives (row 3;
+    /// meaningless for browsers that reject, rendered "-" in the paper).
+    pub sends_own_ocsp: bool,
+}
+
+impl BrowserProfile {
+    /// Display label, e.g. "Firefox 60 (Lin.)".
+    pub fn label(&self) -> String {
+        format!("{} ({})", self.name, self.os.label())
+    }
+
+    /// Whether this profile is a mobile browser.
+    pub fn is_mobile(&self) -> bool {
+        self.os.is_mobile()
+    }
+}
+
+/// Helper to keep the matrix readable.
+const fn profile(
+    name: &'static str,
+    os: Os,
+    respects_must_staple: bool,
+) -> BrowserProfile {
+    BrowserProfile {
+        name,
+        os,
+        // Row 1 of Table 2 is ✓ across the board: every tested browser
+        // solicits stapled responses.
+        sends_status_request: true,
+        respects_must_staple,
+        // Row 3 is ✗ across the board: no accepting browser falls back
+        // to its own OCSP request in this experiment.
+        sends_own_ocsp: false,
+    }
+}
+
+/// The measured May-2018 matrix (Table 2), in the paper's column order.
+///
+/// Only Firefox 60 on the desktop OSes and Firefox on Android respect
+/// Must-Staple; Firefox on iOS does not (it is WebKit underneath — iOS
+/// policy requires Apple's engine).
+pub const BROWSER_MATRIX: [BrowserProfile; 16] = [
+    // Desktop.
+    profile("Chrome 66", Os::OsX, false),
+    profile("Chrome 66", Os::Linux, false),
+    profile("Chrome 66", Os::Windows, false),
+    profile("Firefox 60", Os::OsX, true),
+    profile("Firefox 60", Os::Linux, true),
+    profile("Firefox 60", Os::Windows, true),
+    profile("Opera", Os::OsX, false),
+    profile("Opera", Os::Windows, false),
+    profile("Safari 11", Os::OsX, false),
+    profile("IE 11", Os::Windows, false),
+    profile("Edge 42", Os::Windows, false),
+    // Mobile.
+    profile("Safari", Os::Ios, false),
+    profile("Chrome", Os::Ios, false),
+    profile("Chrome", Os::Android, false),
+    profile("Firefox", Os::Ios, false),
+    profile("Firefox", Os::Android, true),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_combinations() {
+        assert_eq!(BROWSER_MATRIX.len(), 16);
+    }
+
+    #[test]
+    fn all_solicit_staples() {
+        assert!(BROWSER_MATRIX.iter().all(|p| p.sends_status_request));
+    }
+
+    #[test]
+    fn only_firefox_desktop_and_android_respect() {
+        let respecting: Vec<_> =
+            BROWSER_MATRIX.iter().filter(|p| p.respects_must_staple).collect();
+        assert_eq!(respecting.len(), 4);
+        assert!(respecting.iter().all(|p| p.name.starts_with("Firefox")));
+        assert!(respecting.iter().any(|p| p.os == Os::Android));
+        // The paper's headline iOS gap.
+        assert!(!BROWSER_MATRIX
+            .iter()
+            .find(|p| p.name == "Firefox" && p.os == Os::Ios)
+            .unwrap()
+            .respects_must_staple);
+    }
+
+    #[test]
+    fn none_send_own_ocsp() {
+        assert!(BROWSER_MATRIX.iter().all(|p| !p.sends_own_ocsp));
+    }
+
+    #[test]
+    fn mobile_split() {
+        assert_eq!(BROWSER_MATRIX.iter().filter(|p| p.is_mobile()).count(), 5);
+        assert_eq!(BROWSER_MATRIX.iter().filter(|p| !p.is_mobile()).count(), 11);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BROWSER_MATRIX[3].label(), "Firefox 60 (OS X)");
+        assert!(Os::Android.is_mobile());
+        assert!(!Os::Linux.is_mobile());
+    }
+}

@@ -1,0 +1,185 @@
+//! The §6 browser test suite — regenerates Table 2.
+//!
+//! Methodology, as in the paper: obtain a Must-Staple certificate for a
+//! controlled domain, serve it from a web server with OCSP Stapling
+//! deliberately disabled (`SSLUseStapling off`), point every browser at
+//! it, and capture (1) whether the ClientHello solicits a staple,
+//! (2) whether the connection is refused, (3) whether the browser makes
+//! its own OCSP request.
+
+use crate::client::{BrowserClient, OcspTransport};
+use crate::profile::{BrowserProfile, BROWSER_MATRIX};
+use asn1::Time;
+use pki::RootStore;
+use tls::ServerFlight;
+use webserver::experiment::TestBench;
+use webserver::server::{ServerKind, SiteConfig, StaplingServer};
+use webserver::{OcspFetcher, ScriptedFetcher};
+
+/// A server with stapling turned off — the paper's
+/// `SSLUseStapling off` Apache configuration.
+pub struct StaplingDisabled {
+    site: SiteConfig,
+}
+
+impl StaplingDisabled {
+    /// Wrap a site.
+    pub fn new(site: SiteConfig) -> StaplingDisabled {
+        StaplingDisabled { site }
+    }
+}
+
+impl StaplingServer for StaplingDisabled {
+    fn kind(&self) -> ServerKind {
+        // Reported as Apache: that is what the paper ran.
+        ServerKind::Apache
+    }
+
+    fn serve(&mut self, _now: Time, _fetcher: &mut dyn OcspFetcher) -> ServerFlight {
+        self.site.flight(None, 0.0)
+    }
+
+    fn tick(&mut self, _now: Time, _fetcher: &mut dyn OcspFetcher) {}
+}
+
+/// A transport that records whether the browser contacted the responder.
+struct CountingTransport {
+    posts: u32,
+}
+
+impl OcspTransport for CountingTransport {
+    fn post(&mut self, _url: &str, _body: &[u8], _now: Time) -> Option<Vec<u8>> {
+        self.posts += 1;
+        None
+    }
+}
+
+/// One row of the regenerated Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteRow {
+    /// Which browser/OS.
+    pub profile: BrowserProfile,
+    /// Observed: ClientHello carried `status_request`.
+    pub requested_ocsp: bool,
+    /// Observed: connection refused on the unstapled Must-Staple cert.
+    pub respected_must_staple: bool,
+    /// Observed: browser made its own OCSP request. `None` renders as
+    /// "-" (not applicable: the browser rejected the connection).
+    pub sent_own_ocsp: Option<bool>,
+}
+
+/// Run the suite for every profile in the matrix.
+pub fn run_browser_suite(bench: &TestBench, roots: &RootStore, now: Time) -> Vec<SuiteRow> {
+    BROWSER_MATRIX
+        .iter()
+        .map(|profile| run_one(bench, roots, now, *profile))
+        .collect()
+}
+
+/// Run the suite for one profile.
+pub fn run_one(
+    bench: &TestBench,
+    roots: &RootStore,
+    now: Time,
+    profile: BrowserProfile,
+) -> SuiteRow {
+    let mut server = StaplingDisabled::new(bench.site.clone());
+    let mut fetcher = ScriptedFetcher::down();
+    let mut transport = CountingTransport { posts: 0 };
+    let client = BrowserClient::new(profile);
+    let outcome = client.connect(
+        &mut server,
+        &mut fetcher,
+        &mut transport,
+        "bench.example",
+        roots,
+        now,
+    );
+    let rejected = !outcome.verdict.is_accepted();
+    SuiteRow {
+        profile,
+        requested_ocsp: outcome.sent_status_request,
+        respected_must_staple: rejected,
+        sent_own_ocsp: if rejected { None } else { Some(transport.posts > 0) },
+    }
+}
+
+/// Render rows in the paper's Table 2 layout (✓ / ✗ / -).
+pub fn render_table2(rows: &[SuiteRow]) -> String {
+    fn mark(b: bool) -> &'static str {
+        if b {
+            "\u{2713}"
+        } else {
+            "\u{2717}"
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{:28}| Req OCSP | Respect MS | Own OCSP\n", "Browser"));
+    for row in rows {
+        let own = match row.sent_own_ocsp {
+            None => "-",
+            Some(b) => mark(b),
+        };
+        out.push_str(&format!(
+            "{:28}| {:8} | {:10} | {}\n",
+            row.profile.label(),
+            mark(row.requested_ocsp),
+            mark(row.respected_must_staple),
+            own
+        ));
+    }
+    out
+}
+
+/// Convenience: verify a verdict matches the matrix expectation.
+pub fn row_matches_paper(row: &SuiteRow) -> bool {
+    row.requested_ocsp == row.profile.sends_status_request
+        && row.respected_must_staple == row.profile.respects_must_staple
+        && match row.sent_own_ocsp {
+            None => row.profile.respects_must_staple,
+            Some(sent) => sent == row.profile.sends_own_ocsp,
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TestBench, RootStore, Time) {
+        let t0 = Time::from_civil(2018, 6, 1, 0, 0, 0);
+        let bench = TestBench::new(99, t0);
+        let mut roots = RootStore::new("suite");
+        roots.add(bench.site.chain.last().unwrap().clone());
+        (bench, roots, t0)
+    }
+
+    #[test]
+    fn suite_reproduces_table2_exactly() {
+        let (bench, roots, t0) = setup();
+        let rows = run_browser_suite(&bench, &roots, t0);
+        assert_eq!(rows.len(), 16);
+        for row in &rows {
+            assert!(row_matches_paper(row), "mismatch for {}", row.profile.label());
+        }
+        // Spot-check the headline results.
+        let respecting = rows.iter().filter(|r| r.respected_must_staple).count();
+        assert_eq!(respecting, 4, "only Firefox desktop x3 + Android");
+        assert!(rows.iter().all(|r| r.requested_ocsp));
+        assert!(rows
+            .iter()
+            .filter_map(|r| r.sent_own_ocsp)
+            .all(|sent| !sent));
+    }
+
+    #[test]
+    fn rendered_table_has_all_browsers_and_dashes() {
+        let (bench, roots, t0) = setup();
+        let rows = run_browser_suite(&bench, &roots, t0);
+        let table = render_table2(&rows);
+        assert!(table.contains("Firefox 60 (Lin.)"));
+        assert!(table.contains("Safari (iOS)"));
+        assert!(table.contains('-'), "rejecting browsers render '-' for own-OCSP");
+        assert!(table.contains('\u{2713}'));
+        assert!(table.contains('\u{2717}'));
+    }
+}

@@ -1,0 +1,136 @@
+//! The end-to-end study driver.
+
+use crate::readiness::ReadinessReport;
+use browser::testsuite::{run_browser_suite, SuiteRow};
+use ecosystem::{AlexaList, Corpus, CorpusStats, EcosystemConfig, LiveEcosystem};
+use netsim::Region;
+use pki::RootStore;
+use scanner::alexa1m::{Alexa1mScan, Alexa1mSummary};
+use scanner::cdnlog::{CdnStudy, CdnSummary};
+use scanner::consistency::{ConsistencyStudy, ConsistencySummary};
+use scanner::hourly::{HourlyCampaign, HourlyDataset};
+use webserver::experiment::{run_table3_experiments, Table3Row, TestBench};
+use webserver::{Apache, Ideal, Nginx};
+
+/// The configured study, ready to run.
+pub struct Study {
+    config: EcosystemConfig,
+}
+
+/// Everything the paper's evaluation section reports, in one place.
+pub struct StudyResults {
+    /// The generation configuration used.
+    pub config: EcosystemConfig,
+    /// §4: corpus statistics (OCSP support, Must-Staple share, CA
+    /// breakdown).
+    pub corpus: CorpusStats,
+    /// §4: the per-CA Must-Staple breakdown.
+    pub must_staple_by_ca: Vec<(String, usize)>,
+    /// §4 / Figures 2 & 11: the Alexa list.
+    pub alexa: AlexaList,
+    /// §5: the Hourly campaign aggregation (Figures 3, 5–9, freshness).
+    pub hourly: HourlyDataset,
+    /// §5.2 / Figure 4: the Alexa-impact summary.
+    pub alexa1m: Alexa1mSummary,
+    /// §5.4 / Table 1 / Figure 10: the consistency study.
+    pub consistency: ConsistencySummary,
+    /// §5.2: the CDN-perspective study.
+    pub cdn: CdnSummary,
+    /// §6 / Table 2: the browser suite.
+    pub browsers: Vec<SuiteRow>,
+    /// §7.2 / Table 3: the web-server experiments (Apache, Nginx, Ideal).
+    pub table3: Vec<Table3Row>,
+}
+
+impl Study {
+    /// Configure a study.
+    pub fn new(config: EcosystemConfig) -> Study {
+        Study { config }
+    }
+
+    /// Run every campaign. At [`EcosystemConfig::tiny`] scale this takes
+    /// around a second; at [`EcosystemConfig::figures`] scale, minutes.
+    pub fn run(self) -> StudyResults {
+        // §4: the statistical corpus and Alexa list.
+        let corpus = Corpus::generate(self.config.seed, self.config.corpus_size);
+        let corpus_stats = corpus.stats();
+        let must_staple_by_ca = corpus.must_staple_by_issuer();
+        let alexa = AlexaList::generate(self.config.seed, self.config.alexa_size);
+
+        // §5: the live ecosystem and its campaigns.
+        let eco = LiveEcosystem::generate(self.config.clone());
+        let hourly = HourlyCampaign::new(&eco).run();
+        let alexa1m = Alexa1mScan::summarize(&hourly);
+        let consistency = ConsistencyStudy::run(
+            &eco,
+            self.config.campaign_start + 6 * 86_400, // the paper: May 1st
+            Region::Virginia,
+        );
+        let cdn = CdnStudy::run(&eco, self.config.campaign_start + 86_400, 60, 40);
+
+        // §6: the browser suite, against a controlled bench.
+        let bench = TestBench::new(self.config.seed, self.config.campaign_start);
+        let mut roots = RootStore::new("suite");
+        roots.add(bench.site.chain.last().expect("bench chain").clone());
+        let browsers = run_browser_suite(&bench, &roots, self.config.campaign_start);
+
+        // §7.2: the web-server experiments.
+        let table3 = vec![
+            run_table3_experiments(&bench, Apache::new),
+            run_table3_experiments(&bench, Nginx::new),
+            run_table3_experiments(&bench, Ideal::new),
+        ];
+
+        StudyResults {
+            config: self.config,
+            corpus: corpus_stats,
+            must_staple_by_ca,
+            alexa,
+            hourly,
+            alexa1m,
+            consistency,
+            cdn,
+            browsers,
+            table3,
+        }
+    }
+}
+
+impl StudyResults {
+    /// Distill the §8 readiness verdicts.
+    pub fn readiness_report(&self) -> ReadinessReport {
+        ReadinessReport::from_results(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_study_runs_at_tiny_scale() {
+        let results = Study::new(EcosystemConfig::tiny()).run();
+        // §4 shapes.
+        assert!(results.corpus.ocsp_fraction() > 0.9);
+        assert!(results.corpus.must_staple_fraction() < 0.01);
+        // §5 shapes.
+        assert!(results.hourly.requests > 0);
+        assert!(results.hourly.overall_failure_rate() < 0.2);
+        assert!(results.alexa1m.total_domains > 0);
+        assert!(results.consistency.responses_collected > 0);
+        assert!(results.cdn.cache_hit_ratio > 0.3);
+        // §6: sixteen browsers, four respecting.
+        assert_eq!(results.browsers.len(), 16);
+        assert_eq!(
+            results.browsers.iter().filter(|r| r.respected_must_staple).count(),
+            4
+        );
+        // §7.2: three server rows (Apache, Nginx, Ideal).
+        assert_eq!(results.table3.len(), 3);
+        // The verdict.
+        let report = results.readiness_report();
+        assert!(!report.web_is_ready());
+        let rendered = report.render();
+        assert!(rendered.contains("NOT ready"));
+    }
+}

@@ -1,0 +1,174 @@
+//! The synthetic Alexa Top-1M list.
+//!
+//! Adoption probabilities interpolate log-linearly between a "top" and a
+//! "tail" value across the rank range, which is exactly the shape of the
+//! paper's Figures 2 and 11: high and slowly declining.
+
+use crate::calibration as cal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One ranked site.
+#[derive(Debug, Clone)]
+pub struct AlexaSite {
+    /// 1-based popularity rank.
+    pub rank: usize,
+    /// Domain name.
+    pub domain: String,
+    /// Serves HTTPS with a valid certificate.
+    pub https: bool,
+    /// Its certificate carries an OCSP URL.
+    pub ocsp: bool,
+    /// The server staples OCSP responses (Figure 11).
+    pub staples: bool,
+    /// Its certificate carries Must-Staple (§4: 100 domains in 1M).
+    pub must_staple: bool,
+}
+
+/// The ranked list.
+#[derive(Debug, Clone)]
+pub struct AlexaList {
+    sites: Vec<AlexaSite>,
+}
+
+/// Interpolate between `top` (rank 1) and `tail` (rank n) on a
+/// log-rank scale.
+fn interp(rank: usize, n: usize, top: f64, tail: f64) -> f64 {
+    if n <= 1 {
+        return top;
+    }
+    let x = (rank as f64).ln() / (n as f64).ln();
+    top + (tail - top) * x
+}
+
+impl AlexaList {
+    /// Generate `size` ranked sites with `seed`.
+    pub fn generate(seed: u64, size: usize) -> AlexaList {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA1E_7A);
+        let mut sites = Vec::with_capacity(size);
+        for rank in 1..=size {
+            let https =
+                rng.gen_bool(interp(rank, size, cal::ALEXA_HTTPS_TOP, cal::ALEXA_HTTPS_TAIL));
+            let ocsp = https
+                && rng.gen_bool(interp(rank, size, cal::ALEXA_OCSP_TOP, cal::ALEXA_OCSP_TAIL));
+            let staples = ocsp
+                && rng.gen_bool(interp(
+                    rank,
+                    size,
+                    cal::ALEXA_STAPLING_TOP,
+                    cal::ALEXA_STAPLING_TAIL,
+                ));
+            let must_staple = ocsp && rng.gen_bool(cal::ALEXA_MUST_STAPLE_FRACTION);
+            sites.push(AlexaSite {
+                rank,
+                domain: format!("site-{rank:07}.example"),
+                https,
+                ocsp,
+                staples,
+                must_staple,
+            });
+        }
+        AlexaList { sites }
+    }
+
+    /// All sites, rank order.
+    pub fn sites(&self) -> &[AlexaSite] {
+        &self.sites
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Sites that support HTTPS + OCSP — the Alexa1M scan population
+    /// (paper: 606,367 of 1M).
+    pub fn ocsp_sites(&self) -> impl Iterator<Item = &AlexaSite> {
+        self.sites.iter().filter(|s| s.ocsp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis_shim::fraction;
+
+    /// Tiny local helper (the real analysis crate is a dev-dependency of
+    /// higher layers; keeping this crate dependency-light).
+    mod analysis_shim {
+        use super::super::AlexaSite;
+        pub fn fraction(sites: &[AlexaSite], f: impl Fn(&AlexaSite) -> bool) -> f64 {
+            sites.iter().filter(|s| f(s)).count() as f64 / sites.len().max(1) as f64
+        }
+    }
+
+    fn list() -> AlexaList {
+        AlexaList::generate(3, 100_000)
+    }
+
+    #[test]
+    fn https_is_roughly_three_quarters() {
+        let l = list();
+        let f = fraction(l.sites(), |s| s.https);
+        assert!((0.68..0.82).contains(&f), "https fraction {f}");
+    }
+
+    #[test]
+    fn ocsp_among_https_matches_paper_average() {
+        let l = list();
+        let https: Vec<_> = l.sites().iter().filter(|s| s.https).cloned().collect();
+        let f = fraction(&https, |s| s.ocsp);
+        // Paper: 91.3 % average.
+        assert!((0.88..0.945).contains(&f), "ocsp|https fraction {f}");
+    }
+
+    #[test]
+    fn stapling_is_roughly_a_third_of_ocsp_sites() {
+        let l = list();
+        let ocsp: Vec<_> = l.sites().iter().filter(|s| s.ocsp).cloned().collect();
+        let f = fraction(&ocsp, |s| s.staples);
+        assert!((0.25..0.45).contains(&f), "stapling fraction {f}");
+    }
+
+    #[test]
+    fn popular_sites_adopt_more() {
+        let l = list();
+        let head = &l.sites()[..10_000];
+        let tail = &l.sites()[90_000..];
+        assert!(fraction(head, |s| s.https) > fraction(tail, |s| s.https));
+        assert!(fraction(head, |s| s.staples) > fraction(tail, |s| s.staples));
+    }
+
+    #[test]
+    fn must_staple_count_is_tiny() {
+        let l = list();
+        let count = l.sites().iter().filter(|s| s.must_staple).count();
+        // Paper: 100 in 1M → ~10 in 100k. Allow generous slack.
+        assert!(count < 60, "count {count}");
+    }
+
+    #[test]
+    fn ocsp_sites_iterator_consistent() {
+        let l = list();
+        assert_eq!(
+            l.ocsp_sites().count(),
+            l.sites().iter().filter(|s| s.ocsp).count()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = AlexaList::generate(5, 1_000);
+        let b = AlexaList::generate(5, 1_000);
+        assert_eq!(a.sites().len(), b.sites().len());
+        for (x, y) in a.sites().iter().zip(b.sites()) {
+            assert_eq!(x.https, y.https);
+            assert_eq!(x.staples, y.staples);
+        }
+    }
+}

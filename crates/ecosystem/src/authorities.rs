@@ -1,0 +1,401 @@
+//! The CA-operator cast.
+//!
+//! The paper names specific operators whose behavior it observed; this
+//! module encodes them as [`OperatorSpec`]s, plus anonymous filler
+//! operators drawn from the calibrated marginals to reach the configured
+//! responder count. Names use `.test` suffixes — these are simulations
+//! of the operators' *measured behaviors*, not the operators.
+
+use crate::calibration as cal;
+use netsim::Region;
+
+/// How an operator's CRL and OCSP revocation databases disagree (§5.4,
+/// Table 1, Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConsistencyFault {
+    /// Views agree (the overwhelming majority).
+    None,
+    /// A handful of CRL-revoked serials answer `Good` over OCSP
+    /// (Camerfirma 7, Quovadis 1, StartSSL 1, Symantec 1, TWCA 1).
+    GoodForSome {
+        /// How many revoked serials the OCSP view misses.
+        count: usize,
+    },
+    /// *Every* CRL-revoked serial answers `Unknown` over OCSP
+    /// (GlobalSign gsalphasha2g2: all 5,375; Firmaprofesional: 11).
+    UnknownForAll,
+    /// OCSP revocation times lag the CRL (ocsp.msocsp.com: 7 h–9 d).
+    OcspLag {
+        /// Minimum lag in seconds.
+        min: i64,
+        /// Maximum lag in seconds.
+        max: i64,
+    },
+}
+
+/// Which scripted outage episode an operator participates in (§5.2's
+/// narrated events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutageScript {
+    /// No scripted episode (may still draw random transient outages).
+    None,
+    /// The Comodo episode: 2 h outage at 7 pm Apr 25, seen from Oregon,
+    /// Sydney and Seoul, taking down 15 responders that share
+    /// infrastructure (CNAMEs + shared IPs).
+    ComodoApr25,
+    /// wosign/startssl: 1 h outage at 10 pm Aug 3, all regions.
+    WosignAug3,
+    /// Digicert: 9 servers down 5 h from 9 am Aug 27, Seoul only.
+    DigicertAug27,
+    /// Certum: 16 servers down 2 h at 5 pm Aug 9, Sydney only.
+    CertumAug9,
+    /// `*.digitalcertvalidation.com`: persistent HTTP 404 from São Paulo
+    /// (the wellsfargo.com scenario), fixed 11 pm Aug 31.
+    DigitalCertValidationSaoPaulo,
+    /// `ocsp.pki.wayport.net:2560`: fades out during the first month
+    /// (the Figure 3 note, footnote 12).
+    WayportGradualDeath,
+    /// sheca.com: returns the body `"0"` for 6 h on Apr 29 and 3 h on
+    /// Jul 28 (Figure 5's spikes).
+    ShecaZeroEpisodes,
+    /// postsignum.cz: starts returning `"0"` on May 1, briefly recovers
+    /// for 17 h on May 12, then relapses.
+    PostsignumZero,
+    /// The two IdenTrust URLs that never answered from anywhere.
+    IdentrustAlwaysDead,
+}
+
+/// A CA operator: identity, scale, quality profile, and scripted faults.
+#[derive(Debug, Clone)]
+pub struct OperatorSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// DNS slug (`ocsp.<slug>` etc.).
+    pub slug: &'static str,
+    /// Infrastructure group for correlated outages.
+    pub infra_group: Option<&'static str>,
+    /// Number of responder hostnames this operator runs.
+    pub responder_count: usize,
+    /// Where the responders are hosted.
+    pub home_region: Region,
+    /// Share of the certificate corpus issued by this operator.
+    pub market_share: f64,
+    /// Whether issued certificates carry a CRL Distribution Point
+    /// (Let's Encrypt: no — OCSP only, §5.4 footnote 18).
+    pub supports_crl: bool,
+    /// Share of this operator's certificates carrying Must-Staple.
+    pub must_staple_share: f64,
+    /// CRL↔OCSP database fault.
+    pub consistency: ConsistencyFault,
+    /// Scripted outage participation.
+    pub outage: OutageScript,
+    /// Validity period of OCSP responses in seconds; `None` = blank
+    /// `nextUpdate`.
+    pub validity_secs: Option<i64>,
+    /// `thisUpdate` margin (0 = zero margin; negative = future-dated).
+    pub this_update_margin: i64,
+    /// Pre-generation refresh interval; `None` = on-demand.
+    pub pregen_interval: Option<i64>,
+    /// Superfluous certificates per response.
+    pub superfluous_certs: usize,
+    /// Unsolicited serials per response.
+    pub extra_serials: usize,
+    /// Multi-instance producedAt skews (seconds); `&[0]` = one instance.
+    pub instance_skews: &'static [i64],
+}
+
+impl OperatorSpec {
+    /// A baseline spec; public so the generator can detect which knobs a
+    /// named operator left at their defaults.
+    pub const fn base(
+        name: &'static str,
+        slug: &'static str,
+        responder_count: usize,
+        home_region: Region,
+        market_share: f64,
+    ) -> OperatorSpec {
+        OperatorSpec {
+            name,
+            slug,
+            infra_group: None,
+            responder_count,
+            home_region,
+            market_share,
+            supports_crl: true,
+            must_staple_share: 0.0,
+            consistency: ConsistencyFault::None,
+            outage: OutageScript::None,
+            validity_secs: Some(cal::MEDIAN_VALIDITY_SECS),
+            this_update_margin: 3_600,
+            pregen_interval: Some(12 * 3_600),
+            superfluous_certs: 0,
+            extra_serials: 0,
+            instance_skews: &[0],
+        }
+    }
+}
+
+/// The named operators, in declaration order. Market shares are loosely
+/// modeled on 2018 issuance volume; Let's Encrypt dominates, and the
+/// long tail is covered by filler operators.
+pub fn named_operators() -> Vec<OperatorSpec> {
+    let mut ops = Vec::new();
+
+    // Let's Encrypt: the most popular CA, OCSP-only, supports
+    // Must-Staple since May 2016; 97.3 % of all Must-Staple certs.
+    let mut le = OperatorSpec::base("Let's Encrypt", "lets-encrypt.test", 1, Region::Virginia, 0.32);
+    le.supports_crl = false;
+    le.must_staple_share = 0.0008; // scaled so LE ends with ~97% of MS certs
+    ops.push(le);
+
+    // Comodo: the Apr 25 correlated episode — 15 responders tied
+    // together by CNAMEs / shared IPs.
+    let mut comodo = OperatorSpec::base("Comodo", "comodoca.test", 15, Region::Virginia, 0.20);
+    comodo.infra_group = Some("comodo-infra");
+    comodo.outage = OutageScript::ComodoApr25;
+    comodo.must_staple_share = 0.00001;
+    ops.push(comodo);
+
+    // DigiCert proper: 9 servers, the Seoul-only Aug 27 outage.
+    let mut digicert = OperatorSpec::base("DigiCert", "digicert.test", 9, Region::Oregon, 0.13);
+    digicert.infra_group = Some("digicert-infra");
+    digicert.outage = OutageScript::DigicertAug27;
+    ops.push(digicert);
+
+    // DigiCert's digitalcertvalidation brand: the São Paulo 404s
+    // (wellsfargo.com's responder).
+    let mut dcv = OperatorSpec::base(
+        "DigitalCertValidation",
+        "digitalcertvalidation.test",
+        5,
+        Region::Oregon,
+        0.02,
+    );
+    dcv.infra_group = Some("digicert-infra");
+    dcv.outage = OutageScript::DigitalCertValidationSaoPaulo;
+    ops.push(dcv);
+
+    // Certum: 16 servers, the Sydney-only Aug 9 outage.
+    let mut certum = OperatorSpec::base("Certum", "certum.test", 16, Region::Paris, 0.03);
+    certum.infra_group = Some("certum-infra");
+    certum.outage = OutageScript::CertumAug9;
+    ops.push(certum);
+
+    // WoSign + StartSSL share infrastructure; joint Aug 3 outage.
+    let mut wosign = OperatorSpec::base("WoSign", "wosign.test", 2, Region::Seoul, 0.02);
+    wosign.infra_group = Some("wosign-infra");
+    wosign.outage = OutageScript::WosignAug3;
+    ops.push(wosign);
+    let mut startssl = OperatorSpec::base("StartSSL", "startssl.test", 2, Region::Seoul, 0.02);
+    startssl.infra_group = Some("wosign-infra");
+    startssl.outage = OutageScript::WosignAug3;
+    // Table 1: one CRL-revoked serial answers Good.
+    startssl.consistency = ConsistencyFault::GoodForSome { count: 1 };
+    ops.push(startssl);
+
+    // SHECA: the "0"-body episodes (6 responders).
+    let mut sheca = OperatorSpec::base("SHECA", "sheca.test", 6, Region::Seoul, 0.01);
+    sheca.infra_group = Some("sheca-infra");
+    sheca.outage = OutageScript::ShecaZeroEpisodes;
+    ops.push(sheca);
+
+    // PostSignum: "0" bodies from May 1 on (3 responders).
+    let mut postsignum = OperatorSpec::base("PostSignum", "postsignum.test", 3, Region::Paris, 0.01);
+    postsignum.infra_group = Some("postsignum-infra");
+    postsignum.outage = OutageScript::PostsignumZero;
+    ops.push(postsignum);
+
+    // IdenTrust: the two URLs that never answered from anywhere.
+    let mut identrust = OperatorSpec::base("IdenTrust", "identrust.test", 2, Region::Virginia, 0.02);
+    identrust.outage = OutageScript::IdentrustAlwaysDead;
+    ops.push(identrust);
+
+    // Wayport: gradually dies during the first month (Figure 3's early
+    // downward trend).
+    let mut wayport = OperatorSpec::base("Wayport", "wayport.test", 1, Region::Oregon, 0.005);
+    wayport.outage = OutageScript::WayportGradualDeath;
+    ops.push(wayport);
+
+    // hinet.net: 3 responders with validity == refresh interval (7200 s).
+    let mut hinet = OperatorSpec::base("HiNet", "hinet.test", 3, Region::Seoul, 0.01);
+    hinet.validity_secs = Some(cal::HINET_PERIOD);
+    hinet.pregen_interval = Some(cal::HINET_PERIOD);
+    hinet.this_update_margin = 0;
+    ops.push(hinet);
+
+    // CNNIC: one responder, 10 800 s validity == interval, plus the
+    // multi-instance producedAt regressions of footnote 17.
+    let mut cnnic = OperatorSpec::base("CNNIC", "cnnic.test", 1, Region::Seoul, 0.005);
+    cnnic.validity_secs = Some(cal::CNNIC_PERIOD);
+    cnnic.pregen_interval = Some(cal::CNNIC_PERIOD);
+    cnnic.instance_skews = &[0, -150, -40];
+    ops.push(cnnic);
+
+    // A batch-mode operator standing in for the 17 responders (3.3 %)
+    // that always answer with 20 serials per response (Figure 7's tail).
+    let mut batch = OperatorSpec::base("BatchOCSP", "batch-ocsp.test", 2, Region::Virginia, 0.008);
+    batch.extra_serials = 19;
+    ops.push(batch);
+
+    // A blank-nextUpdate operator standing in for the 45 responders
+    // (9.1 %) whose responses never expire (Figure 8's infinite mass).
+    let mut blank = OperatorSpec::base("EverFresh", "everfresh.test", 2, Region::Paris, 0.008);
+    blank.validity_secs = None;
+    blank.pregen_interval = None; // "newer information is always available"
+    ops.push(blank);
+
+    // A long-validity operator standing in for the 2 % with windows over
+    // a month — stretched to the paper's observed 1,251-day maximum.
+    let mut longv = OperatorSpec::base("SlowRotate", "slowrotate.test", 1, Region::Oregon, 0.004);
+    longv.validity_secs = Some(cal::MAX_VALIDITY_SECS);
+    ops.push(longv);
+
+    // cpc.gov.ae: four full chains in every response (Figure 6's tail).
+    let mut cpc = OperatorSpec::base("CPC-Gov-AE", "cpc-gov-ae.test", 1, Region::Paris, 0.002);
+    cpc.superfluous_certs = 4;
+    ops.push(cpc);
+
+    // A CA whose OCSP view records revocations *earlier* than its CRL —
+    // the 14.7 % negative tail of Figure 10 (the paper does not name
+    // these operators).
+    let mut early = OperatorSpec::base("EarlyBird", "earlybird.test", 1, Region::Oregon, 0.004);
+    early.consistency = ConsistencyFault::OcspLag { min: -43_200, max: -60 };
+    ops.push(early);
+
+    // And one whose OCSP updates lag by months — Figure 10's long tail
+    // "extends to over 137M seconds (which is over 4 years!)".
+    let mut glacial = OperatorSpec::base("GlacialSync", "glacialsync.test", 1, Region::Paris, 0.003);
+    glacial.consistency =
+        ConsistencyFault::OcspLag { min: 30 * 86_400, max: cal::REVTIME_TAIL_SECS };
+    ops.push(glacial);
+
+    // Microsoft (ocsp.msocsp.com): OCSP revocation times behind the CRL
+    // by 7 h – 9 d.
+    let mut msocsp = OperatorSpec::base("Microsoft", "msocsp.test", 1, Region::Virginia, 0.015);
+    msocsp.consistency =
+        ConsistencyFault::OcspLag { min: cal::MSOCSP_LAG_MIN, max: cal::MSOCSP_LAG_MAX };
+    ops.push(msocsp);
+
+    // Table 1's Good-answering responders.
+    let mut camerfirma = OperatorSpec::base("Camerfirma", "camerfirma.test", 1, Region::Paris, 0.004);
+    camerfirma.consistency = ConsistencyFault::GoodForSome { count: 7 };
+    ops.push(camerfirma);
+    let mut quovadis = OperatorSpec::base("Quovadis", "quovadisglobal.test", 1, Region::Paris, 0.006);
+    quovadis.consistency = ConsistencyFault::GoodForSome { count: 1 };
+    ops.push(quovadis);
+    let mut symantec = OperatorSpec::base("Symantec", "symcd.test", 4, Region::Virginia, 0.08);
+    symantec.consistency = ConsistencyFault::GoodForSome { count: 1 };
+    ops.push(symantec);
+    let mut twca = OperatorSpec::base("TWCA", "twca.test", 1, Region::Seoul, 0.004);
+    twca.consistency = ConsistencyFault::GoodForSome { count: 1 };
+    ops.push(twca);
+
+    // Table 1's Unknown-answering responders.
+    let mut gs = OperatorSpec::base("GlobalSign-Alpha", "alphassl.test", 1, Region::Paris, 0.01);
+    gs.consistency = ConsistencyFault::UnknownForAll;
+    ops.push(gs);
+    let mut firma = OperatorSpec::base("Firmaprofesional", "firmaprofesional.test", 1, Region::Paris, 0.003);
+    firma.consistency = ConsistencyFault::UnknownForAll;
+    ops.push(firma);
+
+    // DFN and UserTrust: the remaining Must-Staple issuers of §4.
+    let mut dfn = OperatorSpec::base("DFN", "dfn.test", 1, Region::Paris, 0.01);
+    // Calibrated so LE keeps ~97.3 % of Must-Staple issuance overall.
+    dfn.must_staple_share = 0.0005;
+    ops.push(dfn);
+    let mut usertrust = OperatorSpec::base("UserTrust", "usertrust.test", 1, Region::Virginia, 0.01);
+    usertrust.must_staple_share = 0.000_005;
+    ops.push(usertrust);
+
+    ops
+}
+
+/// Total responders across the named operators.
+pub fn named_responder_count() -> usize {
+    named_operators().iter().map(|o| o.responder_count).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cast_is_complete() {
+        let ops = named_operators();
+        let names: Vec<_> = ops.iter().map(|o| o.name).collect();
+        for expected in [
+            "Let's Encrypt",
+            "Comodo",
+            "DigiCert",
+            "DigitalCertValidation",
+            "Certum",
+            "WoSign",
+            "StartSSL",
+            "SHECA",
+            "PostSignum",
+            "IdenTrust",
+            "Wayport",
+            "HiNet",
+            "CNNIC",
+            "EarlyBird",
+            "GlacialSync",
+            "BatchOCSP",
+            "EverFresh",
+            "SlowRotate",
+            "CPC-Gov-AE",
+            "Microsoft",
+            "Camerfirma",
+            "Quovadis",
+            "Symantec",
+            "TWCA",
+            "GlobalSign-Alpha",
+            "Firmaprofesional",
+            "DFN",
+            "UserTrust",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn market_shares_leave_room_for_fillers() {
+        let total: f64 = named_operators().iter().map(|o| o.market_share).sum();
+        assert!(total < 1.0, "total share {total} must leave filler room");
+        assert!(total > 0.8);
+    }
+
+    #[test]
+    fn lets_encrypt_is_ocsp_only_and_dominant() {
+        let ops = named_operators();
+        let le = ops.iter().find(|o| o.name == "Let's Encrypt").unwrap();
+        assert!(!le.supports_crl);
+        assert!(le.must_staple_share > 0.0);
+        assert!(ops.iter().all(|o| o.market_share <= le.market_share));
+    }
+
+    #[test]
+    fn infra_groups_bind_the_episodes() {
+        let ops = named_operators();
+        let comodo_group: Vec<_> =
+            ops.iter().filter(|o| o.infra_group == Some("comodo-infra")).collect();
+        assert_eq!(comodo_group.iter().map(|o| o.responder_count).sum::<usize>(), 15);
+        let wosign_group: Vec<_> =
+            ops.iter().filter(|o| o.infra_group == Some("wosign-infra")).collect();
+        assert_eq!(wosign_group.len(), 2);
+    }
+
+    #[test]
+    fn non_overlapping_operators_present() {
+        let ops = named_operators();
+        let hinet = ops.iter().find(|o| o.name == "HiNet").unwrap();
+        assert_eq!(hinet.validity_secs, hinet.pregen_interval);
+        let cnnic = ops.iter().find(|o| o.name == "CNNIC").unwrap();
+        assert!(cnnic.instance_skews.len() > 1, "footnote 17 multi-instance skew");
+    }
+
+    #[test]
+    fn named_count_is_under_figures_scale() {
+        assert!(named_responder_count() <= 110);
+        assert!(named_responder_count() >= 80);
+    }
+}

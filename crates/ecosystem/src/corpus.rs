@@ -1,0 +1,214 @@
+//! The statistical certificate corpus — the synthetic Censys.
+//!
+//! §4's analysis needs only a handful of per-certificate booleans at
+//! enormous scale, so the corpus is *statistical*: lightweight records
+//! drawn from the calibrated marginals, with the issuing operator
+//! attached. (Full cryptographic certificates live in [`crate::live`],
+//! where the scanning experiments need them.)
+
+use crate::authorities::{named_operators, OperatorSpec};
+use crate::calibration as cal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One corpus certificate (the fields §4 reads).
+#[derive(Debug, Clone)]
+pub struct CorpusCert {
+    /// Issuing operator name ("Let's Encrypt", "Comodo", …; filler
+    /// operators are "Other-N").
+    pub issuer: String,
+    /// AIA carries at least one OCSP URL.
+    pub has_ocsp: bool,
+    /// Carries the TLS Feature (Must-Staple) extension.
+    pub has_must_staple: bool,
+    /// Carries a CRL Distribution Points extension.
+    pub has_crl: bool,
+    /// Lists more than one OCSP responder in its AIA.
+    pub multi_responder: bool,
+}
+
+/// Aggregate statistics over a corpus (the §4 numbers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    /// Total valid certificates.
+    pub total: usize,
+    /// Certificates with an OCSP URL.
+    pub ocsp: usize,
+    /// Certificates with Must-Staple.
+    pub must_staple: usize,
+    /// Must-Staple certificates issued by Let's Encrypt.
+    pub must_staple_lets_encrypt: usize,
+    /// Certificates with multiple OCSP responders.
+    pub multi_responder: usize,
+}
+
+impl CorpusStats {
+    /// Fraction of certificates supporting OCSP (paper: 95.4 %).
+    pub fn ocsp_fraction(&self) -> f64 {
+        self.ocsp as f64 / self.total.max(1) as f64
+    }
+
+    /// Fraction supporting Must-Staple (paper: 0.02 %).
+    pub fn must_staple_fraction(&self) -> f64 {
+        self.must_staple as f64 / self.total.max(1) as f64
+    }
+
+    /// Let's Encrypt's share of Must-Staple certificates (paper: 97.3 %).
+    pub fn lets_encrypt_must_staple_share(&self) -> f64 {
+        self.must_staple_lets_encrypt as f64 / self.must_staple.max(1) as f64
+    }
+}
+
+/// The synthetic Censys corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    certs: Vec<CorpusCert>,
+}
+
+impl Corpus {
+    /// Generate a corpus of `size` certificates with `seed`.
+    pub fn generate(seed: u64, size: usize) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_45_05);
+        let operators = named_operators();
+        let named_share: f64 = operators.iter().map(|o| o.market_share).sum();
+        let mut certs = Vec::with_capacity(size);
+        for _ in 0..size {
+            let spec = pick_operator(&mut rng, &operators, named_share);
+            let (issuer, supports_crl, ms_share) = match spec {
+                Some(op) => (op.name.to_string(), op.supports_crl, op.must_staple_share),
+                None => {
+                    // Long-tail filler CA: generic behavior, no Must-Staple.
+                    (format!("Other-{}", rng.gen_range(0..40)), true, 0.0)
+                }
+            };
+            let has_ocsp = rng.gen_bool(cal::OCSP_SUPPORT_FRACTION);
+            let has_must_staple = has_ocsp && rng.gen_bool(ms_share);
+            certs.push(CorpusCert {
+                issuer,
+                has_ocsp,
+                has_must_staple,
+                has_crl: supports_crl,
+                multi_responder: has_ocsp && rng.gen_bool(cal::MULTI_RESPONDER_FRACTION),
+            });
+        }
+        Corpus { certs }
+    }
+
+    /// The certificates.
+    pub fn certs(&self) -> &[CorpusCert] {
+        &self.certs
+    }
+
+    /// Compute the §4 statistics.
+    pub fn stats(&self) -> CorpusStats {
+        let mut stats = CorpusStats {
+            total: self.certs.len(),
+            ocsp: 0,
+            must_staple: 0,
+            must_staple_lets_encrypt: 0,
+            multi_responder: 0,
+        };
+        for cert in &self.certs {
+            if cert.has_ocsp {
+                stats.ocsp += 1;
+            }
+            if cert.has_must_staple {
+                stats.must_staple += 1;
+                if cert.issuer == "Let's Encrypt" {
+                    stats.must_staple_lets_encrypt += 1;
+                }
+            }
+            if cert.multi_responder {
+                stats.multi_responder += 1;
+            }
+        }
+        stats
+    }
+
+    /// Must-Staple counts per issuer, descending — the §4 CA breakdown.
+    pub fn must_staple_by_issuer(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+        for cert in self.certs.iter().filter(|c| c.has_must_staple) {
+            *counts.entry(&cert.issuer).or_default() += 1;
+        }
+        let mut out: Vec<(String, usize)> =
+            counts.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1));
+        out
+    }
+}
+
+fn pick_operator<'a>(
+    rng: &mut StdRng,
+    operators: &'a [OperatorSpec],
+    named_share: f64,
+) -> Option<&'a OperatorSpec> {
+    let x: f64 = rng.gen_range(0.0..1.0);
+    if x >= named_share {
+        return None;
+    }
+    let mut acc = 0.0;
+    for op in operators {
+        acc += op.market_share;
+        if x < acc {
+            return Some(op);
+        }
+    }
+    operators.last()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(1, 200_000)
+    }
+
+    #[test]
+    fn ocsp_fraction_matches_calibration() {
+        let stats = corpus().stats();
+        assert!(
+            (stats.ocsp_fraction() - cal::OCSP_SUPPORT_FRACTION).abs() < 0.01,
+            "got {}",
+            stats.ocsp_fraction()
+        );
+    }
+
+    #[test]
+    fn must_staple_is_minuscule_and_lets_encrypt_dominates() {
+        let stats = corpus().stats();
+        // ~0.02-0.03 % of certs.
+        let f = stats.must_staple_fraction();
+        assert!(f > 0.000_05 && f < 0.001, "fraction {f}");
+        // LE ≈ 97 % of Must-Staple issuance.
+        let share = stats.lets_encrypt_must_staple_share();
+        assert!(share > 0.85, "share {share}");
+    }
+
+    #[test]
+    fn issuer_breakdown_ranks_lets_encrypt_first() {
+        let breakdown = corpus().must_staple_by_issuer();
+        assert!(!breakdown.is_empty());
+        assert_eq!(breakdown[0].0, "Let's Encrypt");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Corpus::generate(9, 10_000).stats();
+        let b = Corpus::generate(9, 10_000).stats();
+        let c = Corpus::generate(10, 10_000).stats();
+        assert_eq!(a, b);
+        assert!(a != c || a.total == c.total); // counts may coincide, but usually differ
+    }
+
+    #[test]
+    fn lets_encrypt_certs_have_no_crl() {
+        let corpus = corpus();
+        assert!(corpus
+            .certs()
+            .iter()
+            .filter(|c| c.issuer == "Let's Encrypt")
+            .all(|c| !c.has_crl));
+    }
+}

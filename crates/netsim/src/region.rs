@@ -1,0 +1,123 @@
+//! Regions and the RTT matrix.
+//!
+//! The six client regions are exactly the paper's vantage points (§5.1
+//! step 5): Oregon, Virginia, São Paulo, Paris, Sydney, Seoul. Servers
+//! are additionally hosted in coarse regions; RTTs come from a
+//! great-circle-flavored matrix of typical inter-region latencies.
+
+use core::fmt;
+
+/// A network region — client vantage points and server hosting locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// AWS us-west-2 (Oregon) — vantage point.
+    Oregon,
+    /// AWS us-east-1 (Virginia) — vantage point.
+    Virginia,
+    /// AWS sa-east-1 (São Paulo) — vantage point.
+    SaoPaulo,
+    /// AWS eu-west-3 (Paris) — vantage point.
+    Paris,
+    /// AWS ap-southeast-2 (Sydney) — vantage point.
+    Sydney,
+    /// AWS ap-northeast-2 (Seoul) — vantage point.
+    Seoul,
+}
+
+impl Region {
+    /// The paper's six measurement-client regions, in its listing order.
+    pub const VANTAGE_POINTS: [Region; 6] = [
+        Region::Oregon,
+        Region::Virginia,
+        Region::SaoPaulo,
+        Region::Paris,
+        Region::Sydney,
+        Region::Seoul,
+    ];
+
+    /// Short label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::Oregon => "Oregon",
+            Region::Virginia => "Virginia",
+            Region::SaoPaulo => "Sao-Paulo",
+            Region::Paris => "Paris",
+            Region::Sydney => "Sydney",
+            Region::Seoul => "Seoul",
+        }
+    }
+
+    /// Baseline round-trip time in milliseconds between two regions.
+    ///
+    /// Values are representative public inter-AWS-region medians; exact
+    /// numbers are not load-bearing for any reproduced result, only the
+    /// *ordering* (intra-continent < trans-continent < antipodal).
+    pub fn rtt_ms(self, other: Region) -> f64 {
+        use Region::*;
+        if self == other {
+            return 2.0;
+        }
+        let (a, b) = if self <= other { (self, other) } else { (other, self) };
+        match (a, b) {
+            (Oregon, Virginia) => 70.0,
+            (Oregon, SaoPaulo) => 180.0,
+            (Oregon, Paris) => 140.0,
+            (Oregon, Sydney) => 160.0,
+            (Oregon, Seoul) => 130.0,
+            (Virginia, SaoPaulo) => 120.0,
+            (Virginia, Paris) => 80.0,
+            (Virginia, Sydney) => 200.0,
+            (Virginia, Seoul) => 180.0,
+            (SaoPaulo, Paris) => 200.0,
+            (SaoPaulo, Sydney) => 310.0,
+            (SaoPaulo, Seoul) => 300.0,
+            (Paris, Sydney) => 280.0,
+            (Paris, Seoul) => 250.0,
+            (Sydney, Seoul) => 140.0,
+            _ => unreachable!("matrix covers all ordered pairs"),
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_vantage_points() {
+        assert_eq!(Region::VANTAGE_POINTS.len(), 6);
+    }
+
+    #[test]
+    fn rtt_is_symmetric_and_positive() {
+        for &a in &Region::VANTAGE_POINTS {
+            for &b in &Region::VANTAGE_POINTS {
+                assert_eq!(a.rtt_ms(b), b.rtt_ms(a));
+                assert!(a.rtt_ms(b) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn local_is_fastest() {
+        for &a in &Region::VANTAGE_POINTS {
+            for &b in &Region::VANTAGE_POINTS {
+                if a != b {
+                    assert!(a.rtt_ms(a) < a.rtt_ms(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(Region::SaoPaulo.label(), "Sao-Paulo");
+        assert_eq!(Region::Oregon.to_string(), "Oregon");
+    }
+}

@@ -1,0 +1,360 @@
+//! The host registry and HTTP dispatch.
+//!
+//! [`World`] is the simulated Internet: named hosts with handlers,
+//! infrastructure groups for correlated failures, and an
+//! [`World::http_post`] entry point that walks the full request path —
+//! DNS, outage checks (host- and group-level), latency, handler dispatch.
+
+use crate::latency::http_latency_ms;
+use crate::outage::{first_active, FailureKind, Outage};
+use crate::region::Region;
+use asn1::Time;
+use std::collections::{HashMap, HashSet};
+
+/// A boxed request handler: `(path, body, now, client_region) -> (status,
+/// body)`.
+pub type Handler = Box<dyn FnMut(&str, &[u8], Time, Region) -> (u16, Vec<u8>)>;
+
+/// How an HTTP transaction ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpOutcome {
+    /// HTTP 200 with a body.
+    Ok(Vec<u8>),
+    /// A non-200 HTTP status (body discarded; the study only needs the
+    /// code).
+    HttpError(u16),
+    /// DNS resolution failed.
+    DnsFailure,
+    /// TCP connection failed.
+    ConnectFailure,
+    /// TLS failure (invalid server certificate on an HTTPS URL).
+    TlsFailure,
+}
+
+impl HttpOutcome {
+    /// The paper's success criterion: "a request that resulted in the
+    /// server responding with HTTP status code 200" (§5.2).
+    pub fn is_success(&self) -> bool {
+        matches!(self, HttpOutcome::Ok(_))
+    }
+}
+
+/// The outcome plus timing of one transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpResult {
+    /// What happened.
+    pub outcome: HttpOutcome,
+    /// End-to-end latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+struct Host {
+    region: Region,
+    group: Option<String>,
+    outages: Vec<Outage>,
+    handler: Handler,
+    /// Server-side processing time per request, ms.
+    server_time_ms: f64,
+}
+
+/// The simulated Internet.
+pub struct World {
+    seed: u64,
+    hosts: HashMap<String, Host>,
+    group_outages: HashMap<String, Vec<Outage>>,
+    /// (client region, host) pairs that have resolved DNS before
+    /// (warm-cache latency).
+    dns_cache: HashSet<(Region, String)>,
+}
+
+impl World {
+    /// A fresh world with a latency seed.
+    pub fn new(seed: u64) -> World {
+        World {
+            seed,
+            hosts: HashMap::new(),
+            group_outages: HashMap::new(),
+            dns_cache: HashSet::new(),
+        }
+    }
+
+    /// Register a host. `group` ties hosts into shared infrastructure —
+    /// a group outage takes all members down together (the Comodo
+    /// CNAME/shared-IP episode).
+    pub fn register(
+        &mut self,
+        hostname: &str,
+        region: Region,
+        group: Option<&str>,
+        handler: Handler,
+    ) {
+        self.hosts.insert(
+            hostname.to_string(),
+            Host {
+                region,
+                group: group.map(str::to_string),
+                outages: Vec::new(),
+                handler,
+                server_time_ms: 5.0,
+            },
+        );
+    }
+
+    /// Whether a hostname is registered.
+    pub fn knows_host(&self, hostname: &str) -> bool {
+        self.hosts.contains_key(hostname)
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Attach an outage to one host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host is unknown (scenario-script bug).
+    pub fn add_outage(&mut self, hostname: &str, outage: Outage) {
+        self.hosts
+            .get_mut(hostname)
+            .unwrap_or_else(|| panic!("unknown host {hostname}"))
+            .outages
+            .push(outage);
+    }
+
+    /// Attach an outage to every member of an infrastructure group.
+    pub fn add_group_outage(&mut self, group: &str, outage: Outage) {
+        self.group_outages.entry(group.to_string()).or_default().push(outage);
+    }
+
+    /// Members of a group.
+    pub fn group_members(&self, group: &str) -> Vec<String> {
+        let mut members: Vec<String> = self
+            .hosts
+            .iter()
+            .filter(|(_, h)| h.group.as_deref() == Some(group))
+            .map(|(name, _)| name.clone())
+            .collect();
+        members.sort();
+        members
+    }
+
+    /// Perform an HTTP POST of `body` to `url` from `client` at `now`.
+    pub fn http_post(&mut self, client: Region, url: &str, body: &[u8], now: Time) -> HttpResult {
+        let (scheme, hostname, path) = match split_url(url) {
+            Some(parts) => parts,
+            None => {
+                return HttpResult { outcome: HttpOutcome::DnsFailure, latency_ms: 0.0 };
+            }
+        };
+
+        let Some(host) = self.hosts.get_mut(hostname) else {
+            // Unregistered host: NXDOMAIN after a resolver round trip.
+            return HttpResult { outcome: HttpOutcome::DnsFailure, latency_ms: 30.0 };
+        };
+
+        let cold_dns = self.dns_cache.insert((client, hostname.to_string()));
+        let latency_ms = http_latency_ms(
+            self.seed,
+            hostname,
+            client,
+            host.region,
+            now,
+            cold_dns,
+            host.server_time_ms,
+        );
+
+        // Failure injection: host outages first, then group outages.
+        let group_hit = host
+            .group
+            .as_ref()
+            .and_then(|g| self.group_outages.get(g))
+            .and_then(|outages| first_active(outages, now, client));
+        let failure =
+            first_active(&host.outages, now, client).or(group_hit).map(|o| o.kind);
+        if let Some(kind) = failure {
+            let outcome = match kind {
+                FailureKind::DnsNxDomain => HttpOutcome::DnsFailure,
+                FailureKind::TcpConnect => HttpOutcome::ConnectFailure,
+                FailureKind::Http4xx | FailureKind::Http5xx => {
+                    HttpOutcome::HttpError(kind.http_status().unwrap())
+                }
+                FailureKind::TlsBadCertificate => HttpOutcome::TlsFailure,
+            };
+            // DNS failures are fast; the rest pay partial latency.
+            let latency_ms = match kind {
+                FailureKind::DnsNxDomain => 30.0,
+                _ => latency_ms * 0.6,
+            };
+            return HttpResult { outcome, latency_ms };
+        }
+
+        // An https:// URL with TLS trouble is modeled via TlsBadCertificate
+        // outages; a plain handler call otherwise. (All real OCSP URLs are
+        // http://, but the paper found one https:// responder with an
+        // invalid certificate.)
+        let _ = scheme;
+        let (status, reply) = (host.handler)(path, body, now, client);
+        let outcome = if status == 200 {
+            HttpOutcome::Ok(reply)
+        } else {
+            HttpOutcome::HttpError(status)
+        };
+        HttpResult { outcome, latency_ms }
+    }
+}
+
+/// Split a URL into (scheme, host, path).
+fn split_url(url: &str) -> Option<(&str, &str, &str)> {
+    let (scheme, rest) = url.split_once("://")?;
+    if scheme != "http" && scheme != "https" {
+        return None;
+    }
+    match rest.split_once('/') {
+        Some((host, path_rest)) if !host.is_empty() => {
+            // Path pointer into the original string, keeping the slash.
+            let path_start = url.len() - path_rest.len() - 1;
+            Some((scheme, host, &url[path_start..]))
+        }
+        None if !rest.is_empty() => Some((scheme, rest, "/")),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outage::RegionScope;
+
+    fn t(h: i64) -> Time {
+        Time::from_civil(2018, 4, 25, 0, 0, 0) + h * 3_600
+    }
+
+    fn echo_handler() -> Handler {
+        Box::new(|path, body, _, _| {
+            let mut reply = path.as_bytes().to_vec();
+            reply.push(b'|');
+            reply.extend_from_slice(body);
+            (200, reply)
+        })
+    }
+
+    fn world_with_host() -> World {
+        let mut w = World::new(7);
+        w.register("ocsp.ca.test", Region::Virginia, Some("ca-infra"), echo_handler());
+        w
+    }
+
+    #[test]
+    fn successful_post_reaches_handler() {
+        let mut w = world_with_host();
+        let r = w.http_post(Region::Paris, "http://ocsp.ca.test/sub", b"req", t(0));
+        assert_eq!(r.outcome, HttpOutcome::Ok(b"/sub|req".to_vec()));
+        assert!(r.latency_ms > 100.0); // trans-Atlantic
+    }
+
+    #[test]
+    fn unknown_host_is_dns_failure() {
+        let mut w = world_with_host();
+        let r = w.http_post(Region::Paris, "http://missing.test/", b"", t(0));
+        assert_eq!(r.outcome, HttpOutcome::DnsFailure);
+    }
+
+    #[test]
+    fn bad_urls_fail() {
+        let mut w = world_with_host();
+        for url in ["not a url", "ftp://x/", "http://"] {
+            let r = w.http_post(Region::Paris, url, b"", t(0));
+            assert_eq!(r.outcome, HttpOutcome::DnsFailure, "{url}");
+        }
+    }
+
+    #[test]
+    fn url_without_path_defaults_to_root() {
+        let mut w = world_with_host();
+        let r = w.http_post(Region::Paris, "http://ocsp.ca.test", b"x", t(0));
+        assert_eq!(r.outcome, HttpOutcome::Ok(b"/|x".to_vec()));
+    }
+
+    #[test]
+    fn host_outage_fails_requests_in_window_only() {
+        let mut w = world_with_host();
+        w.add_outage("ocsp.ca.test", Outage::transient(t(19), 2 * 3_600, FailureKind::TcpConnect));
+        assert!(w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(18)).outcome.is_success());
+        assert_eq!(
+            w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(19)).outcome,
+            HttpOutcome::ConnectFailure
+        );
+        assert!(w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(21)).outcome.is_success());
+    }
+
+    #[test]
+    fn regional_outage_spares_other_regions() {
+        let mut w = world_with_host();
+        w.add_outage(
+            "ocsp.ca.test",
+            Outage::regional(t(0), 3_600, vec![Region::SaoPaulo], FailureKind::Http4xx),
+        );
+        assert_eq!(
+            w.http_post(Region::SaoPaulo, "http://ocsp.ca.test/", b"", t(0)).outcome,
+            HttpOutcome::HttpError(404)
+        );
+        assert!(w.http_post(Region::Virginia, "http://ocsp.ca.test/", b"", t(0)).outcome.is_success());
+    }
+
+    #[test]
+    fn group_outage_hits_all_members() {
+        let mut w = World::new(7);
+        for name in ["ocsp1.comodo.test", "ocsp2.comodo.test", "ocsp3.comodo.test"] {
+            w.register(name, Region::Virginia, Some("comodo"), echo_handler());
+        }
+        w.register("ocsp.other.test", Region::Virginia, None, echo_handler());
+        w.add_group_outage("comodo", Outage::transient(t(19), 2 * 3_600, FailureKind::TcpConnect));
+        for name in ["ocsp1.comodo.test", "ocsp2.comodo.test", "ocsp3.comodo.test"] {
+            let r = w.http_post(Region::Oregon, &format!("http://{name}/"), b"", t(20));
+            assert_eq!(r.outcome, HttpOutcome::ConnectFailure, "{name}");
+        }
+        assert!(w
+            .http_post(Region::Oregon, "http://ocsp.other.test/", b"", t(20))
+            .outcome
+            .is_success());
+        assert_eq!(w.group_members("comodo").len(), 3);
+    }
+
+    #[test]
+    fn persistent_regional_failure() {
+        // The wellsfargo scenario: a responder 404ing only from São Paulo.
+        let mut w = world_with_host();
+        w.add_outage(
+            "ocsp.ca.test",
+            Outage::persistent(t(0), RegionScope::Only(vec![Region::SaoPaulo]), FailureKind::Http4xx),
+        );
+        for h in [0, 100, 2000] {
+            assert!(!w.http_post(Region::SaoPaulo, "http://ocsp.ca.test/", b"", t(h)).outcome.is_success());
+            assert!(w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(h)).outcome.is_success());
+        }
+    }
+
+    #[test]
+    fn dns_cache_warms_up() {
+        let mut w = world_with_host();
+        let first = w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(0));
+        let second = w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(0));
+        assert!(second.latency_ms < first.latency_ms);
+    }
+
+    #[test]
+    fn non_200_from_handler_is_http_error() {
+        let mut w = World::new(1);
+        w.register(
+            "err.test",
+            Region::Paris,
+            None,
+            Box::new(|_, _, _, _| (500, Vec::new())),
+        );
+        let r = w.http_post(Region::Paris, "http://err.test/", b"", t(0));
+        assert_eq!(r.outcome, HttpOutcome::HttpError(500));
+        assert!(!r.outcome.is_success());
+    }
+}

@@ -1,0 +1,218 @@
+//! The responder fault model.
+//!
+//! [`ResponderProfile`] captures every quality defect §5 of the paper
+//! measured in deployed OCSP responders, as orthogonal knobs. A default
+//! profile is a well-behaved responder; each knob reproduces one observed
+//! misbehavior, and the ecosystem generator draws knob values from the
+//! paper's measured marginal distributions.
+
+/// How (whether) the responder mangles the bytes it returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MalformMode {
+    /// Well-formed DER (the default).
+    #[default]
+    Valid,
+    /// The literal body `"0"` — observed from `*.sheca.com` (6 responders)
+    /// and `postsignum.cz` (3 responders).
+    LiteralZero,
+    /// A zero-byte body.
+    Empty,
+    /// An HTML/JavaScript page instead of DER.
+    JavascriptPage,
+    /// Valid DER truncated mid-TLV.
+    TruncatedDer,
+}
+
+/// When responses are generated relative to requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenerationMode {
+    /// Generate a fresh response per request (48.3 % of responders).
+    OnDemand,
+    /// Pre-generate on a fixed cadence and serve the cached response
+    /// until the next refresh (51.7 % of responders). The paper flags
+    /// responders whose `interval` equals their validity period: clients
+    /// can then never fetch an *overlappingly* fresh response (hinet.net
+    /// at 7 200 s, cnnic.cn at 10 800 s).
+    PreGenerated {
+        /// Seconds between refreshes.
+        interval: i64,
+    },
+}
+
+/// A complete description of one responder's behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponderProfile {
+    /// Validity period in seconds (`nextUpdate - thisUpdate`). `None`
+    /// means a *blank* `nextUpdate` (9.1 % of responders) — the response
+    /// never expires. The paper's Figure 8 tail reaches 108 130 800 s
+    /// (1 251 days).
+    pub validity_secs: Option<i64>,
+    /// Margin subtracted from the generation time to produce
+    /// `thisUpdate`. `0` reproduces the 17.2 % of responders whose
+    /// responses become valid at the instant they are served (Figure 9);
+    /// a *negative* margin produces the 3 % with future `thisUpdate`
+    /// values, which slow-clocked clients reject.
+    pub this_update_margin: i64,
+    /// On-demand vs pre-generated responses (§5.4 freshness study).
+    pub generation: GenerationMode,
+    /// Number of extra certificates stuffed into the response beyond the
+    /// delegated-signer certificate (Figure 6: 14.5 % of responders send
+    /// more than one; `ocsp.cpc.gov.ae` sends four full chains).
+    pub superfluous_certs: usize,
+    /// Number of unsolicited serials added to each response (Figure 7:
+    /// 4.8 % of responders; 3.3 % always send 20).
+    pub extra_serials: usize,
+    /// Body mangling.
+    pub malform: MalformMode,
+    /// Answer with a mismatched serial number (§5.3 error class 2).
+    pub wrong_serial: bool,
+    /// Corrupt the signature (§5.3 error class 3).
+    pub corrupt_signature: bool,
+    /// Per-instance `producedAt` clock skews, in seconds. Responders that
+    /// round-robin requests across instances with skewed clocks produce
+    /// the "producedAt goes backwards every 3–4 scans" artifact the paper
+    /// observed (§5.4, footnote 17).
+    pub instance_skews: Vec<i64>,
+}
+
+impl Default for ResponderProfile {
+    fn default() -> Self {
+        ResponderProfile {
+            // The paper: median validity period is about a week.
+            validity_secs: Some(7 * 86_400),
+            // A healthy responder backdates thisUpdate a bit so clients
+            // with slightly slow clocks still accept the response.
+            this_update_margin: 3_600,
+            generation: GenerationMode::OnDemand,
+            superfluous_certs: 0,
+            extra_serials: 0,
+            malform: MalformMode::Valid,
+            wrong_serial: false,
+            corrupt_signature: false,
+            instance_skews: vec![0],
+        }
+    }
+}
+
+impl ResponderProfile {
+    /// A fully well-behaved responder.
+    pub fn healthy() -> ResponderProfile {
+        ResponderProfile::default()
+    }
+
+    /// Builder: set the validity period (seconds).
+    pub fn validity(mut self, secs: i64) -> ResponderProfile {
+        self.validity_secs = Some(secs);
+        self
+    }
+
+    /// Builder: blank `nextUpdate`.
+    pub fn blank_next_update(mut self) -> ResponderProfile {
+        self.validity_secs = None;
+        self
+    }
+
+    /// Builder: set the `thisUpdate` margin (0 = zero margin; negative =
+    /// future-dated).
+    pub fn margin(mut self, secs: i64) -> ResponderProfile {
+        self.this_update_margin = secs;
+        self
+    }
+
+    /// Builder: pre-generated responses every `interval` seconds.
+    pub fn pre_generated(mut self, interval: i64) -> ResponderProfile {
+        self.generation = GenerationMode::PreGenerated { interval };
+        self
+    }
+
+    /// Builder: stuff `n` superfluous certificates into each response.
+    pub fn superfluous_certs(mut self, n: usize) -> ResponderProfile {
+        self.superfluous_certs = n;
+        self
+    }
+
+    /// Builder: add `n` unsolicited serials to each response.
+    pub fn extra_serials(mut self, n: usize) -> ResponderProfile {
+        self.extra_serials = n;
+        self
+    }
+
+    /// Builder: mangle the body.
+    pub fn malformed(mut self, mode: MalformMode) -> ResponderProfile {
+        self.malform = mode;
+        self
+    }
+
+    /// Builder: answer with a mismatched serial.
+    pub fn wrong_serial(mut self) -> ResponderProfile {
+        self.wrong_serial = true;
+        self
+    }
+
+    /// Builder: corrupt signatures.
+    pub fn corrupt_signature(mut self) -> ResponderProfile {
+        self.corrupt_signature = true;
+        self
+    }
+
+    /// Builder: multi-instance clock skews.
+    pub fn instances(mut self, skews: Vec<i64>) -> ResponderProfile {
+        assert!(!skews.is_empty(), "need at least one instance");
+        self.instance_skews = skews;
+        self
+    }
+
+    /// Whether the validity window never overlaps a fresh successor:
+    /// `validity <= refresh interval` on a pre-generated responder (the
+    /// §5.4 non-overlap hazard; 7 responders in the paper).
+    pub fn has_non_overlapping_windows(&self) -> bool {
+        match (self.generation, self.validity_secs) {
+            (GenerationMode::PreGenerated { interval }, Some(validity)) => validity <= interval,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_healthy() {
+        let p = ResponderProfile::default();
+        assert_eq!(p.malform, MalformMode::Valid);
+        assert!(!p.wrong_serial);
+        assert!(!p.corrupt_signature);
+        assert!(p.validity_secs.is_some());
+        assert!(p.this_update_margin > 0);
+        assert!(!p.has_non_overlapping_windows());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let p = ResponderProfile::healthy()
+            .validity(7_200)
+            .margin(0)
+            .pre_generated(7_200)
+            .superfluous_certs(3)
+            .extra_serials(19);
+        assert_eq!(p.validity_secs, Some(7_200));
+        assert_eq!(p.this_update_margin, 0);
+        assert_eq!(p.superfluous_certs, 3);
+        assert_eq!(p.extra_serials, 19);
+        // hinet.net shape: validity == refresh interval.
+        assert!(p.has_non_overlapping_windows());
+    }
+
+    #[test]
+    fn blank_next_update_never_non_overlapping() {
+        let p = ResponderProfile::healthy().blank_next_update().pre_generated(3_600);
+        assert!(!p.has_non_overlapping_windows());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn empty_instances_rejected() {
+        ResponderProfile::healthy().instances(vec![]);
+    }
+}

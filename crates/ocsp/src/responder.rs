@@ -1,0 +1,497 @@
+//! The OCSP responder engine.
+//!
+//! A [`Responder`] answers [`OcspRequest`]s for one CA, with behavior
+//! governed by a [`ResponderProfile`]. It supports direct signing (with
+//! the CA key) and delegated signing (RFC 6960 §4.2.2.2, an
+//! `id-kp-OCSPSigning` certificate included in the response — "OCSP
+//! Signature Authority Delegation" in the paper's §2.2).
+
+use crate::certid::CertId;
+use crate::profile::{GenerationMode, MalformMode, ResponderProfile};
+use crate::request::OcspRequest;
+use crate::response::{CertStatus, OcspResponse, ResponseStatus, SingleResponse};
+use asn1::Time;
+use pki::{Certificate, CertificateAuthority, Serial};
+use simcrypto::KeyPair;
+use std::collections::HashMap;
+
+/// Who signs the responses.
+#[derive(Debug, Clone)]
+pub enum SignerRole {
+    /// The CA key signs directly.
+    Direct,
+    /// A delegated signer certificate; included in responses so clients
+    /// can verify.
+    Delegated {
+        /// The delegated certificate (must carry `id-kp-OCSPSigning`).
+        cert: Certificate,
+        /// Its private key.
+        key: KeyPair,
+    },
+}
+
+/// A cache entry for pre-generated responses: the boundary at which the
+/// current window's response was generated.
+#[derive(Debug, Clone)]
+struct CachedWindow {
+    /// Kept for observability (`Responder::window_of`).
+    generated_at: Time,
+}
+
+/// Key for the signed-response cache of pre-generated responders:
+/// (serial bytes, window boundary, instance index).
+type ResponseCacheKey = (Vec<u8>, i64, usize);
+
+/// An OCSP responder bound to one CA.
+#[derive(Debug, Clone)]
+pub struct Responder {
+    url: String,
+    profile: ResponderProfile,
+    signer: SignerRole,
+    /// Last pre-generation boundary per serial (pre-generated mode).
+    windows: HashMap<Serial, CachedWindow>,
+    /// Signed responses for pre-generated windows. A pre-generating
+    /// responder signs once per (serial, window, instance) and serves the
+    /// cached bytes — matching real deployments and keeping large scan
+    /// campaigns cheap.
+    response_cache: HashMap<ResponseCacheKey, Vec<u8>>,
+}
+
+impl Responder {
+    /// Create a responder signing directly with the CA key.
+    pub fn new(url: &str, profile: ResponderProfile) -> Responder {
+        Responder {
+            url: url.to_string(),
+            profile,
+            signer: SignerRole::Direct,
+            windows: HashMap::new(),
+            response_cache: HashMap::new(),
+        }
+    }
+
+    /// Create a responder with a delegated signer.
+    pub fn with_delegated_signer(
+        url: &str,
+        profile: ResponderProfile,
+        cert: Certificate,
+        key: KeyPair,
+    ) -> Responder {
+        Responder {
+            url: url.to_string(),
+            profile,
+            signer: SignerRole::Delegated { cert, key },
+            windows: HashMap::new(),
+            response_cache: HashMap::new(),
+        }
+    }
+
+    /// The responder's URL (what certificates' AIA extensions point at).
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// The behavior profile.
+    pub fn profile(&self) -> &ResponderProfile {
+        &self.profile
+    }
+
+    /// The pre-generation boundary last used for `serial`, if any —
+    /// lets the freshness analysis compare producedAt across windows.
+    pub fn window_of(&self, serial: &Serial) -> Option<Time> {
+        self.windows.get(serial).map(|w| w.generated_at)
+    }
+
+    /// Replace the behavior profile (used by scenario scripts that make a
+    /// responder go bad mid-measurement, like the sheca.com episodes).
+    pub fn set_profile(&mut self, profile: ResponderProfile) {
+        self.profile = profile;
+        self.response_cache.clear();
+    }
+
+    /// Handle raw request bytes, producing raw response bytes — exactly
+    /// what travels over HTTP POST.
+    pub fn handle_bytes(&mut self, ca: &CertificateAuthority, body: &[u8], now: Time) -> Vec<u8> {
+        match OcspRequest::from_der(body) {
+            Ok(req) => self.handle(ca, &req, now),
+            Err(_) => OcspResponse::error(ResponseStatus::MalformedRequest).to_der(),
+        }
+    }
+
+    /// Handle a parsed request.
+    pub fn handle(&mut self, ca: &CertificateAuthority, req: &OcspRequest, now: Time) -> Vec<u8> {
+        // Body-level mangling happens regardless of the request.
+        match self.profile.malform {
+            MalformMode::LiteralZero => return b"0".to_vec(),
+            MalformMode::Empty => return Vec::new(),
+            MalformMode::JavascriptPage => {
+                return b"<html><body><script>window.location='/status';</script></body></html>"
+                    .to_vec()
+            }
+            MalformMode::Valid | MalformMode::TruncatedDer => {}
+        }
+
+        if req.cert_ids.is_empty() {
+            return OcspResponse::error(ResponseStatus::MalformedRequest).to_der();
+        }
+
+        // Refuse questions about certificates from other issuers.
+        let issuer_cert = ca.certificate();
+        if !req.cert_ids.iter().any(|id| id.matches_issuer(issuer_cert)) {
+            return OcspResponse::error(ResponseStatus::Unauthorized).to_der();
+        }
+
+        // Work out which load-balanced instance serves this request.
+        // Selection is a deterministic hash of (time, first serial): over
+        // a scan campaign this behaves like the random instance placement
+        // of a real load balancer, producing the paper's "producedAt goes
+        // backwards every 3-4 scans" artifact when instances have skewed
+        // clocks (footnote 17).
+        let instance = {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in req.cert_ids[0]
+                .serial
+                .bytes()
+                .iter()
+                .chain(now.unix().to_be_bytes().iter())
+            {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+            (h % self.profile.instance_skews.len() as u64) as usize
+        };
+        let skew = self.profile.instance_skews[instance];
+
+        // Pre-generated single-serial requests on the healthy path are
+        // served from the signed-response cache.
+        let cache_key = match (self.profile.generation, self.profile.malform) {
+            (GenerationMode::PreGenerated { interval }, MalformMode::Valid)
+                if req.cert_ids.len() == 1 && !self.profile.corrupt_signature =>
+            {
+                let boundary = now.unix() - now.unix().rem_euclid(interval);
+                let key = (req.cert_ids[0].serial.bytes().to_vec(), boundary, instance);
+                if let Some(bytes) = self.response_cache.get(&key) {
+                    self.windows.insert(
+                        req.cert_ids[0].serial.clone(),
+                        CachedWindow { generated_at: Time::from_unix(boundary) },
+                    );
+                    return bytes.clone();
+                }
+                Some(key)
+            }
+            _ => None,
+        };
+
+        let generated_at = match self.profile.generation {
+            GenerationMode::OnDemand => now,
+            GenerationMode::PreGenerated { interval } => {
+                // Responses are refreshed on interval boundaries; every
+                // request within a window sees the same times.
+                let boundary = Time::from_unix(now.unix() - now.unix().rem_euclid(interval));
+                for id in &req.cert_ids {
+                    self.windows
+                        .insert(id.serial.clone(), CachedWindow { generated_at: boundary });
+                }
+                boundary
+            }
+        };
+        let produced_at = generated_at + skew;
+        let this_update = generated_at - self.profile.this_update_margin;
+        let next_update = self.profile.validity_secs.map(|v| this_update + v);
+
+        let mut singles = Vec::new();
+        for id in &req.cert_ids {
+            let mut answered_id = id.clone();
+            if self.profile.wrong_serial {
+                // Answer about a different serial — §5.3's second error
+                // class. Perturb deterministically.
+                let mut bytes = id.serial.bytes().to_vec();
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0x01;
+                answered_id.serial = Serial::from_bytes(&bytes);
+            }
+            singles.push(SingleResponse {
+                cert_id: answered_id,
+                status: self.status_for(ca, &id.serial),
+                this_update,
+                next_update,
+            });
+        }
+
+        // Unsolicited extras (Figure 7).
+        for i in 0..self.profile.extra_serials {
+            let filler = Serial::from_u64(0xF00D_0000 + i as u64);
+            singles.push(SingleResponse {
+                cert_id: CertId {
+                    issuer_name_hash: issuer_cert.subject().hash(),
+                    issuer_key_hash: issuer_cert.public_key().key_id(),
+                    serial: filler,
+                },
+                status: CertStatus::Good,
+                this_update,
+                next_update,
+            });
+        }
+
+        // Certificates riding along (Figure 6): the delegated signer if
+        // any, plus superfluous chain copies.
+        let mut certs = Vec::new();
+        let signing_key = match &self.signer {
+            SignerRole::Direct => ca.keypair().clone(),
+            SignerRole::Delegated { cert, key } => {
+                certs.push(cert.clone());
+                key.clone()
+            }
+        };
+        for _ in 0..self.profile.superfluous_certs {
+            certs.push(issuer_cert.clone());
+        }
+
+        let mut response = OcspResponse::successful(&signing_key, produced_at, singles, certs);
+
+        if self.profile.corrupt_signature {
+            if let Some(basic) = &mut response.basic {
+                basic.signature[0] ^= 0xff;
+            }
+        }
+
+        let mut der = response.to_der();
+        if self.profile.malform == MalformMode::TruncatedDer {
+            der.truncate(der.len() / 2);
+        }
+        if let Some(key) = cache_key {
+            self.response_cache.insert(key, der.clone());
+        }
+        der
+    }
+
+    /// The status of one serial according to the CA's *OCSP view*.
+    fn status_for(&self, ca: &CertificateAuthority, serial: &Serial) -> CertStatus {
+        if let Some(record) = ca.ocsp_revocation(serial) {
+            return CertStatus::Revoked { time: record.time, reason: record.reason };
+        }
+        if ca.ocsp_knows(serial) {
+            CertStatus::Good
+        } else {
+            CertStatus::Unknown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pki::{IssueParams, RevocationReason};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn now() -> Time {
+        Time::from_civil(2018, 5, 1, 10, 30, 0)
+    }
+
+    struct Fixture {
+        ca: CertificateAuthority,
+        leaf: Certificate,
+        id: CertId,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ca = CertificateAuthority::new_root(&mut rng, "CA", "Root", "ca.test", now());
+        let leaf = ca.issue(&mut rng, &IssueParams::new("site.example", now()));
+        let id = CertId::for_certificate(&leaf, ca.certificate());
+        Fixture { ca, leaf, id }
+    }
+
+    fn respond(f: &Fixture, profile: ResponderProfile) -> OcspResponse {
+        let mut responder = Responder::new("http://ocsp.ca.test/", profile);
+        let req = OcspRequest::single(f.id.clone());
+        let der = responder.handle(&f.ca, &req, now());
+        OcspResponse::from_der(&der).unwrap()
+    }
+
+    #[test]
+    fn healthy_good_response() {
+        let f = fixture(1);
+        let resp = respond(&f, ResponderProfile::healthy());
+        assert_eq!(resp.status, ResponseStatus::Successful);
+        let basic = resp.basic.unwrap();
+        assert!(basic.verify_signature(f.ca.certificate().public_key()));
+        assert_eq!(basic.responses.len(), 1);
+        assert_eq!(basic.responses[0].status, CertStatus::Good);
+        assert_eq!(basic.responses[0].cert_id, f.id);
+        // Margin: thisUpdate backdated one hour.
+        assert_eq!(now() - basic.responses[0].this_update, 3_600);
+        assert_eq!(
+            basic.responses[0].next_update.unwrap() - basic.responses[0].this_update,
+            7 * 86_400
+        );
+        let _ = f.leaf;
+    }
+
+    #[test]
+    fn revoked_serial_reported() {
+        let mut f = fixture(2);
+        f.ca.revoke(f.leaf.serial(), now() - 100, Some(RevocationReason::KeyCompromise));
+        let resp = respond(&f, ResponderProfile::healthy());
+        let basic = resp.basic.unwrap();
+        assert_eq!(
+            basic.responses[0].status,
+            CertStatus::Revoked { time: now() - 100, reason: Some(RevocationReason::KeyCompromise) }
+        );
+    }
+
+    #[test]
+    fn unknown_serial_reported() {
+        let f = fixture(3);
+        let mut foreign = f.id.clone();
+        foreign.serial = Serial::from_u64(0xdeadbeef);
+        let mut responder = Responder::new("http://ocsp.ca.test/", ResponderProfile::healthy());
+        let der = responder.handle(&f.ca, &OcspRequest::single(foreign), now());
+        let resp = OcspResponse::from_der(&der).unwrap();
+        assert_eq!(resp.basic.unwrap().responses[0].status, CertStatus::Unknown);
+    }
+
+    #[test]
+    fn foreign_issuer_unauthorized() {
+        let f = fixture(4);
+        let foreign = CertId {
+            issuer_name_hash: [9; 32],
+            issuer_key_hash: [8; 32],
+            serial: Serial::from_u64(1),
+        };
+        let mut responder = Responder::new("http://ocsp.ca.test/", ResponderProfile::healthy());
+        let der = responder.handle(&f.ca, &OcspRequest::single(foreign), now());
+        let resp = OcspResponse::from_der(&der).unwrap();
+        assert_eq!(resp.status, ResponseStatus::Unauthorized);
+        assert!(resp.basic.is_none());
+    }
+
+    #[test]
+    fn malformed_modes_produce_unparseable_bodies() {
+        let f = fixture(5);
+        let cases: Vec<(MalformMode, fn(&[u8]) -> bool)> = vec![
+            (MalformMode::LiteralZero, |b| b == b"0"),
+            (MalformMode::Empty, |b| b.is_empty()),
+            (MalformMode::JavascriptPage, |b| b.starts_with(b"<html>")),
+            (MalformMode::TruncatedDer, |b| !b.is_empty()),
+        ];
+        for (mode, check) in cases {
+            let mut responder =
+                Responder::new("u", ResponderProfile::healthy().malformed(mode));
+            let der = responder.handle(&f.ca, &OcspRequest::single(f.id.clone()), now());
+            assert!(check(&der), "{mode:?}");
+            assert!(OcspResponse::from_der(&der).is_err(), "{mode:?} should be unparseable");
+        }
+    }
+
+    #[test]
+    fn wrong_serial_mode_mismatches() {
+        let f = fixture(6);
+        let resp = respond(&f, ResponderProfile::healthy().wrong_serial());
+        let basic = resp.basic.unwrap();
+        assert_ne!(basic.responses[0].cert_id.serial, f.id.serial);
+    }
+
+    #[test]
+    fn corrupt_signature_mode_fails_verification() {
+        let f = fixture(7);
+        let resp = respond(&f, ResponderProfile::healthy().corrupt_signature());
+        let basic = resp.basic.unwrap();
+        assert!(!basic.verify_signature(f.ca.certificate().public_key()));
+    }
+
+    #[test]
+    fn superfluous_certs_and_extra_serials() {
+        let f = fixture(8);
+        let resp = respond(&f, ResponderProfile::healthy().superfluous_certs(4).extra_serials(19));
+        let basic = resp.basic.unwrap();
+        assert_eq!(basic.certs.len(), 4);
+        assert_eq!(basic.responses.len(), 20);
+        // The first entry is the one actually asked about.
+        assert_eq!(basic.responses[0].cert_id.serial, f.id.serial);
+    }
+
+    #[test]
+    fn blank_next_update() {
+        let f = fixture(9);
+        let resp = respond(&f, ResponderProfile::healthy().blank_next_update());
+        assert_eq!(resp.basic.unwrap().responses[0].next_update, None);
+    }
+
+    #[test]
+    fn zero_margin_and_future_this_update() {
+        let f = fixture(10);
+        let zero = respond(&f, ResponderProfile::healthy().margin(0));
+        assert_eq!(zero.basic.unwrap().responses[0].this_update, now());
+        let future = respond(&f, ResponderProfile::healthy().margin(-120));
+        assert_eq!(future.basic.unwrap().responses[0].this_update, now() + 120);
+    }
+
+    #[test]
+    fn pre_generated_windows_are_stable_within_interval() {
+        let f = fixture(11);
+        let mut responder = Responder::new(
+            "u",
+            ResponderProfile::healthy().pre_generated(7_200).validity(7_200),
+        );
+        let req = OcspRequest::single(f.id.clone());
+        let r1 = OcspResponse::from_der(&responder.handle(&f.ca, &req, now())).unwrap();
+        let r2 =
+            OcspResponse::from_der(&responder.handle(&f.ca, &req, now() + 600)).unwrap();
+        let r3 =
+            OcspResponse::from_der(&responder.handle(&f.ca, &req, now() + 7_200)).unwrap();
+        let t1 = r1.basic.unwrap().responses[0].this_update;
+        let t2 = r2.basic.unwrap().responses[0].this_update;
+        let t3 = r3.basic.unwrap().responses[0].this_update;
+        assert_eq!(t1, t2);
+        assert!(t3 > t1);
+    }
+
+    #[test]
+    fn instance_skew_regresses_produced_at() {
+        let f = fixture(12);
+        // Two instances, one 5 minutes behind: across a series of scans
+        // producedAt must go backwards at least once — the footnote 17
+        // artifact.
+        let mut responder =
+            Responder::new("u", ResponderProfile::healthy().instances(vec![0, -300]));
+        let req = OcspRequest::single(f.id.clone());
+        let mut produced = Vec::new();
+        for k in 0..12 {
+            let body = responder.handle(&f.ca, &req, now() + k * 10);
+            produced.push(OcspResponse::from_der(&body).unwrap().basic.unwrap().produced_at);
+        }
+        assert!(
+            produced.windows(2).any(|w| w[1] < w[0]),
+            "producedAt never regressed: {produced:?}"
+        );
+    }
+
+    #[test]
+    fn delegated_signer_included_and_verifies() {
+        let mut f = fixture(13);
+        let mut rng = StdRng::seed_from_u64(99);
+        let (cert, key) = f.ca.issue_ocsp_signer(&mut rng, now());
+        let mut responder = Responder::with_delegated_signer(
+            "u",
+            ResponderProfile::healthy(),
+            cert.clone(),
+            key,
+        );
+        let der = responder.handle(&f.ca, &OcspRequest::single(f.id.clone()), now());
+        let resp = OcspResponse::from_der(&der).unwrap();
+        let basic = resp.basic.unwrap();
+        // Signed by the delegate, not the CA.
+        assert!(!basic.verify_signature(f.ca.certificate().public_key()));
+        assert!(basic.verify_signature(cert.public_key()));
+        assert_eq!(basic.certs[0], cert);
+    }
+
+    #[test]
+    fn garbage_request_gets_malformed_request() {
+        let f = fixture(14);
+        let mut responder = Responder::new("u", ResponderProfile::healthy());
+        let der = responder.handle_bytes(&f.ca, b"not a request", now());
+        let resp = OcspResponse::from_der(&der).unwrap();
+        assert_eq!(resp.status, ResponseStatus::MalformedRequest);
+    }
+}

@@ -1,0 +1,454 @@
+//! Client-side OCSP response validation.
+//!
+//! [`validate_response`] performs every check a careful TLS client makes
+//! before trusting a response, and classifies failures with the paper's
+//! taxonomy:
+//!
+//! * §5.3 "Validity" errors — **malformed structure** (not parseable
+//!   DER), **serial number mismatch**, **incorrect signature** (under the
+//!   issuer key or a properly delegated responder certificate);
+//! * §5.4 "Quality" errors — **not yet valid** (`thisUpdate` in the
+//!   future relative to the client clock; zero-margin responders trip
+//!   clients with slightly slow clocks) and **expired**
+//!   (`nextUpdate` in the past).
+//!
+//! A *blank* `nextUpdate` is accepted (RFC 6960 allows it) but surfaced
+//! in [`ValidatedResponse::blank_next_update`], since the paper flags it
+//! as a caching hazard.
+
+use crate::certid::CertId;
+use crate::response::{CertStatus, OcspResponse, ResponseStatus};
+use asn1::Time;
+use pki::Certificate;
+
+/// How the client validates (clock model).
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationConfig {
+    /// Offset of the client's clock from true time, in seconds. Negative
+    /// = slow clock. The paper's Figure 9 analysis is about zero-margin
+    /// responses meeting slow clocks.
+    pub clock_skew: i64,
+    /// Whether to require a `nextUpdate` (strict clients may refuse
+    /// never-expiring responses; default false, as real clients accept).
+    pub require_next_update: bool,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig { clock_skew: 0, require_next_update: false }
+    }
+}
+
+/// Why a response was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseError {
+    /// Body is not parseable OCSP DER (Figure 5's dominant class —
+    /// includes the `"0"`, empty, and JavaScript bodies).
+    MalformedStructure,
+    /// Outer status was not `successful`.
+    ErrorStatus(ResponseStatus),
+    /// The response was `successful` but carried no basic response.
+    MissingPayload,
+    /// No single response matches the requested serial (Figure 5's
+    /// second class).
+    SerialMismatch,
+    /// Signature did not verify under the issuer key or an acceptable
+    /// delegate (Figure 5's third class).
+    SignatureInvalid,
+    /// A delegated signer certificate was present but not issued by the
+    /// certificate's issuer, or lacks the OCSP-signing EKU.
+    UntrustedDelegate,
+    /// `thisUpdate` is after the client's current time.
+    NotYetValid {
+        /// Seconds until the response becomes valid.
+        early_by: i64,
+    },
+    /// `nextUpdate` is before the client's current time.
+    Expired {
+        /// Seconds since expiry.
+        late_by: i64,
+    },
+    /// `require_next_update` was set and the response has none.
+    BlankNextUpdate,
+}
+
+impl core::fmt::Display for ResponseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ResponseError::MalformedStructure => write!(f, "malformed OCSP response structure"),
+            ResponseError::ErrorStatus(s) => write!(f, "OCSP error status {s:?}"),
+            ResponseError::MissingPayload => write!(f, "successful status without payload"),
+            ResponseError::SerialMismatch => write!(f, "no response for the requested serial"),
+            ResponseError::SignatureInvalid => write!(f, "OCSP signature invalid"),
+            ResponseError::UntrustedDelegate => write!(f, "untrusted delegated OCSP signer"),
+            ResponseError::NotYetValid { early_by } => {
+                write!(f, "response not yet valid ({early_by}s early)")
+            }
+            ResponseError::Expired { late_by } => write!(f, "response expired ({late_by}s ago)"),
+            ResponseError::BlankNextUpdate => write!(f, "response has no nextUpdate"),
+        }
+    }
+}
+
+impl std::error::Error for ResponseError {}
+
+/// The distilled result of a successful validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidatedResponse {
+    /// The certificate's status.
+    pub status: CertStatus,
+    /// When the response was produced.
+    pub produced_at: Time,
+    /// Window start.
+    pub this_update: Time,
+    /// Window end (`None` = blank).
+    pub next_update: Option<Time>,
+    /// Whether `nextUpdate` was blank (the §5.4 caching hazard).
+    pub blank_next_update: bool,
+    /// Total certificates attached to the response (Figure 6 metric).
+    pub cert_count: usize,
+    /// Total serials answered (Figure 7 metric).
+    pub serial_count: usize,
+    /// Margin between `thisUpdate` and the *true* receive time — the
+    /// Figure 9 metric (negative means future-dated).
+    pub this_update_margin: i64,
+}
+
+impl ValidatedResponse {
+    /// Validity period in seconds, or `None` for blank `nextUpdate`
+    /// (plotted as ∞ in Figure 8).
+    pub fn validity_period(&self) -> Option<i64> {
+        self.next_update.map(|nu| nu - self.this_update)
+    }
+
+    /// How long a client may cache this response from `now`.
+    pub fn cacheable_for(&self, now: Time) -> Option<i64> {
+        self.next_update.map(|nu| (nu - now).max(0))
+    }
+}
+
+/// Validate `body` as the answer to a request about `cert_id`, issued by
+/// `issuer`, received at true time `received_at`, through a client with
+/// `config`.
+pub fn validate_response(
+    body: &[u8],
+    cert_id: &CertId,
+    issuer: &Certificate,
+    received_at: Time,
+    config: ValidationConfig,
+) -> Result<ValidatedResponse, ResponseError> {
+    let response = OcspResponse::from_der(body).map_err(|_| ResponseError::MalformedStructure)?;
+    if response.status != ResponseStatus::Successful {
+        return Err(ResponseError::ErrorStatus(response.status));
+    }
+    let basic = response.basic.as_ref().ok_or(ResponseError::MissingPayload)?;
+
+    // Find the single response answering our serial.
+    let single = basic
+        .responses
+        .iter()
+        .find(|sr| sr.cert_id.serial == cert_id.serial)
+        .ok_or(ResponseError::SerialMismatch)?;
+
+    // Signature: directly under the issuer key, or under a delegate that
+    // (a) is signed by the issuer and (b) carries id-kp-OCSPSigning.
+    let direct = basic.verify_signature(issuer.public_key());
+    if !direct {
+        let delegate = basic.certs.iter().find(|c| {
+            c.allows_ocsp_signing() && basic.verify_signature(c.public_key())
+        });
+        match delegate {
+            Some(delegate) => {
+                if !delegate.verify_signature(issuer.public_key()) {
+                    return Err(ResponseError::UntrustedDelegate);
+                }
+            }
+            None => {
+                // Any certs present but none fit? Distinguish "a cert
+                // claims to sign but is not delegated" from plain bad sig.
+                let signer_without_eku = basic
+                    .certs
+                    .iter()
+                    .any(|c| basic.verify_signature(c.public_key()) && !c.allows_ocsp_signing());
+                if signer_without_eku {
+                    return Err(ResponseError::UntrustedDelegate);
+                }
+                return Err(ResponseError::SignatureInvalid);
+            }
+        }
+    }
+
+    // Time window, as seen through the client's (possibly skewed) clock.
+    let client_now = received_at + config.clock_skew;
+    if single.this_update > client_now {
+        return Err(ResponseError::NotYetValid { early_by: single.this_update - client_now });
+    }
+    match single.next_update {
+        Some(nu) => {
+            if nu < client_now {
+                return Err(ResponseError::Expired { late_by: client_now - nu });
+            }
+        }
+        None => {
+            if config.require_next_update {
+                return Err(ResponseError::BlankNextUpdate);
+            }
+        }
+    }
+
+    Ok(ValidatedResponse {
+        status: single.status.clone(),
+        produced_at: basic.produced_at,
+        this_update: single.this_update,
+        next_update: single.next_update,
+        blank_next_update: single.next_update.is_none(),
+        cert_count: basic.certs.len(),
+        serial_count: basic.responses.len(),
+        this_update_margin: received_at - single.this_update,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{MalformMode, ResponderProfile};
+    use crate::request::OcspRequest;
+    use crate::responder::Responder;
+    use pki::{CertificateAuthority, IssueParams, RevocationReason};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn now() -> Time {
+        Time::from_civil(2018, 5, 1, 12, 0, 0)
+    }
+
+    struct Fixture {
+        ca: CertificateAuthority,
+        leaf: Certificate,
+        id: CertId,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ca = CertificateAuthority::new_root(&mut rng, "CA", "Root", "ca.test", now());
+        let leaf = ca.issue(&mut rng, &IssueParams::new("v.example", now()));
+        let id = CertId::for_certificate(&leaf, ca.certificate());
+        Fixture { ca, leaf, id }
+    }
+
+    fn fetch(f: &Fixture, profile: ResponderProfile, at: Time) -> Vec<u8> {
+        let mut responder = Responder::new("u", profile);
+        responder.handle(&f.ca, &OcspRequest::single(f.id.clone()), at)
+    }
+
+    fn check(
+        f: &Fixture,
+        profile: ResponderProfile,
+        config: ValidationConfig,
+    ) -> Result<ValidatedResponse, ResponseError> {
+        let body = fetch(f, profile, now());
+        validate_response(&body, &f.id, f.ca.certificate(), now(), config)
+    }
+
+    #[test]
+    fn healthy_response_validates() {
+        let f = fixture(1);
+        let v = check(&f, ResponderProfile::healthy(), ValidationConfig::default()).unwrap();
+        assert_eq!(v.status, CertStatus::Good);
+        assert_eq!(v.this_update_margin, 3_600);
+        assert_eq!(v.validity_period(), Some(7 * 86_400));
+        assert!(!v.blank_next_update);
+        assert_eq!(v.serial_count, 1);
+        assert_eq!(v.cert_count, 0);
+        let _ = &f.leaf;
+    }
+
+    #[test]
+    fn revoked_status_passes_validation() {
+        let mut f = fixture(2);
+        f.ca.revoke(f.leaf.serial(), now() - 50, Some(RevocationReason::Superseded));
+        let v = check(&f, ResponderProfile::healthy(), ValidationConfig::default()).unwrap();
+        assert!(matches!(v.status, CertStatus::Revoked { .. }));
+    }
+
+    #[test]
+    fn malformed_bodies_classified() {
+        let f = fixture(3);
+        for mode in [
+            MalformMode::LiteralZero,
+            MalformMode::Empty,
+            MalformMode::JavascriptPage,
+            MalformMode::TruncatedDer,
+        ] {
+            let err = check(
+                &f,
+                ResponderProfile::healthy().malformed(mode),
+                ValidationConfig::default(),
+            )
+            .unwrap_err();
+            assert_eq!(err, ResponseError::MalformedStructure, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn serial_mismatch_classified() {
+        let f = fixture(4);
+        let err = check(
+            &f,
+            ResponderProfile::healthy().wrong_serial(),
+            ValidationConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ResponseError::SerialMismatch);
+    }
+
+    #[test]
+    fn bad_signature_classified() {
+        let f = fixture(5);
+        let err = check(
+            &f,
+            ResponderProfile::healthy().corrupt_signature(),
+            ValidationConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ResponseError::SignatureInvalid);
+    }
+
+    #[test]
+    fn zero_margin_fails_slow_clock_only() {
+        let f = fixture(6);
+        // Zero margin + accurate clock: fine.
+        check(&f, ResponderProfile::healthy().margin(0), ValidationConfig::default()).unwrap();
+        // Zero margin + clock 30 s slow: rejected as not yet valid.
+        let err = check(
+            &f,
+            ResponderProfile::healthy().margin(0),
+            ValidationConfig { clock_skew: -30, require_next_update: false },
+        )
+        .unwrap_err();
+        assert_eq!(err, ResponseError::NotYetValid { early_by: 30 });
+        // Healthy margin + slow clock: fine.
+        check(
+            &f,
+            ResponderProfile::healthy(),
+            ValidationConfig { clock_skew: -30, require_next_update: false },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn future_this_update_fails_even_accurate_clocks() {
+        let f = fixture(7);
+        let err =
+            check(&f, ResponderProfile::healthy().margin(-120), ValidationConfig::default())
+                .unwrap_err();
+        assert_eq!(err, ResponseError::NotYetValid { early_by: 120 });
+    }
+
+    #[test]
+    fn expired_response_rejected() {
+        let f = fixture(8);
+        // Fetch at `now`, validate a day after the 2h validity lapsed.
+        let body = fetch(&f, ResponderProfile::healthy().validity(7_200), now());
+        let later = now() + 86_400;
+        let err = validate_response(
+            &body,
+            &f.id,
+            f.ca.certificate(),
+            later,
+            ValidationConfig::default(),
+        )
+        .unwrap_err();
+        match err {
+            ResponseError::Expired { late_by } => {
+                assert_eq!(late_by, 86_400 - (7_200 - 3_600));
+            }
+            other => panic!("expected Expired, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_next_update_accepted_by_default_rejected_when_strict() {
+        let f = fixture(9);
+        let v = check(
+            &f,
+            ResponderProfile::healthy().blank_next_update(),
+            ValidationConfig::default(),
+        )
+        .unwrap();
+        assert!(v.blank_next_update);
+        assert_eq!(v.validity_period(), None);
+        assert_eq!(v.cacheable_for(now()), None);
+
+        let err = check(
+            &f,
+            ResponderProfile::healthy().blank_next_update(),
+            ValidationConfig { clock_skew: 0, require_next_update: true },
+        )
+        .unwrap_err();
+        assert_eq!(err, ResponseError::BlankNextUpdate);
+    }
+
+    #[test]
+    fn error_status_classified() {
+        let f = fixture(10);
+        // Ask about a foreign issuer to trigger Unauthorized.
+        let foreign = CertId {
+            issuer_name_hash: [1; 32],
+            issuer_key_hash: [2; 32],
+            serial: pki::Serial::from_u64(3),
+        };
+        let mut responder = Responder::new("u", ResponderProfile::healthy());
+        let body = responder.handle(&f.ca, &OcspRequest::single(foreign.clone()), now());
+        let err =
+            validate_response(&body, &foreign, f.ca.certificate(), now(), Default::default())
+                .unwrap_err();
+        assert_eq!(err, ResponseError::ErrorStatus(ResponseStatus::Unauthorized));
+    }
+
+    #[test]
+    fn delegated_signature_validates() {
+        let mut f = fixture(11);
+        let mut rng = StdRng::seed_from_u64(50);
+        let (cert, key) = f.ca.issue_ocsp_signer(&mut rng, now());
+        let mut responder =
+            Responder::with_delegated_signer("u", ResponderProfile::healthy(), cert, key);
+        let body = responder.handle(&f.ca, &OcspRequest::single(f.id.clone()), now());
+        let v = validate_response(&body, &f.id, f.ca.certificate(), now(), Default::default())
+            .unwrap();
+        assert_eq!(v.status, CertStatus::Good);
+        assert_eq!(v.cert_count, 1);
+    }
+
+    #[test]
+    fn delegate_from_wrong_ca_rejected() {
+        let f = fixture(12);
+        let mut rng = StdRng::seed_from_u64(51);
+        // Delegate issued by an unrelated CA.
+        let mut other = CertificateAuthority::new_root(&mut rng, "Evil", "Evil Root", "e.test", now());
+        let (cert, key) = other.issue_ocsp_signer(&mut rng, now());
+        let mut responder =
+            Responder::with_delegated_signer("u", ResponderProfile::healthy(), cert, key);
+        let body = responder.handle(&f.ca, &OcspRequest::single(f.id.clone()), now());
+        let err = validate_response(&body, &f.id, f.ca.certificate(), now(), Default::default())
+            .unwrap_err();
+        assert_eq!(err, ResponseError::UntrustedDelegate);
+        let _ = f.ca.issued_count();
+    }
+
+    #[test]
+    fn validity_metrics_exposed() {
+        let f = fixture(13);
+        let v = check(
+            &f,
+            ResponderProfile::healthy()
+                .validity(30 * 86_400 + 1) // the "over one month" hazard
+                .superfluous_certs(3)
+                .extra_serials(19),
+            ValidationConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(v.validity_period(), Some(30 * 86_400 + 1));
+        assert_eq!(v.cert_count, 3);
+        assert_eq!(v.serial_count, 20);
+    }
+}

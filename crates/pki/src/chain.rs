@@ -1,0 +1,280 @@
+//! Client-side certificate chain validation.
+//!
+//! Implements the checks the paper's background section lists as the
+//! client's job (§2.1): correct signatures along the chain, validity
+//! windows, CA constraints, and host coverage. Revocation is *not*
+//! checked here — that is the whole subject of the study and lives in the
+//! OCSP/browser crates, which layer it on top of this.
+
+use crate::cert::Certificate;
+use crate::store::RootStore;
+use asn1::Time;
+use core::fmt;
+
+/// Why a chain failed to validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// The presented chain was empty.
+    EmptyChain,
+    /// No root in the store matches the last certificate's issuer.
+    UnknownRoot,
+    /// A signature along the chain failed to verify. The index is the
+    /// certificate whose signature was bad (0 = leaf).
+    BadSignature(usize),
+    /// A certificate was outside its validity window at the given index.
+    Expired(usize),
+    /// A non-CA certificate appeared in an issuing position.
+    NotACa(usize),
+    /// A path-length constraint was violated at the given index.
+    PathLenExceeded(usize),
+    /// An intermediate's subject does not match the next certificate's
+    /// issuer.
+    IssuerMismatch(usize),
+    /// The leaf does not cover the requested host name.
+    HostMismatch,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::EmptyChain => write!(f, "empty certificate chain"),
+            ChainError::UnknownRoot => write!(f, "chain does not terminate at a trusted root"),
+            ChainError::BadSignature(i) => write!(f, "bad signature on chain element {i}"),
+            ChainError::Expired(i) => write!(f, "chain element {i} outside validity window"),
+            ChainError::NotACa(i) => write!(f, "chain element {i} is not a CA"),
+            ChainError::PathLenExceeded(i) => {
+                write!(f, "path length constraint violated at element {i}")
+            }
+            ChainError::IssuerMismatch(i) => {
+                write!(f, "issuer of element {i} does not match subject of element {}", i + 1)
+            }
+            ChainError::HostMismatch => write!(f, "leaf does not cover the requested host"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// Validate `chain` (leaf first, root-ward after) against `roots` at time
+/// `now`, for host `host` (pass `None` to skip host checking).
+///
+/// The chain may or may not include the root itself; the issuer of the
+/// final element is looked up in the store either way.
+pub fn validate_chain(
+    chain: &[Certificate],
+    roots: &RootStore,
+    now: Time,
+    host: Option<&str>,
+) -> Result<(), ChainError> {
+    if chain.is_empty() {
+        return Err(ChainError::EmptyChain);
+    }
+
+    // Trim a self-signed root off the end if the server sent one; we only
+    // trust what is in the store.
+    let effective: &[Certificate] = if chain.len() > 1 && chain[chain.len() - 1].is_self_signed() {
+        &chain[..chain.len() - 1]
+    } else {
+        chain
+    };
+    if effective.is_empty() {
+        return Err(ChainError::EmptyChain);
+    }
+
+    // Validity windows.
+    for (i, cert) in effective.iter().enumerate() {
+        if !cert.validity().contains(now) {
+            return Err(ChainError::Expired(i));
+        }
+    }
+
+    // Issuer/subject linkage + intermediate constraints.
+    for i in 0..effective.len() - 1 {
+        let cert = &effective[i];
+        let issuer = &effective[i + 1];
+        if cert.issuer() != issuer.subject() {
+            return Err(ChainError::IssuerMismatch(i));
+        }
+        if !issuer.is_ca() {
+            return Err(ChainError::NotACa(i + 1));
+        }
+        // path_len counts intermediates *below* the constrained cert;
+        // element i+1 has i intermediates below it in this chain.
+        if let Some(limit) = issuer.path_len() {
+            let below = i; // number of CA certs between issuer and leaf
+            if below > limit as usize {
+                return Err(ChainError::PathLenExceeded(i + 1));
+            }
+        }
+        if !cert.verify_signature(issuer.public_key()) {
+            return Err(ChainError::BadSignature(i));
+        }
+    }
+
+    // Terminate at a trusted root.
+    let last = &effective[effective.len() - 1];
+    let root = roots.find_issuer(last.issuer()).ok_or(ChainError::UnknownRoot)?;
+    if !root.validity().contains(now) {
+        return Err(ChainError::Expired(effective.len()));
+    }
+    if !last.verify_signature(root.public_key()) {
+        return Err(ChainError::BadSignature(effective.len() - 1));
+    }
+
+    // Host coverage for the leaf.
+    if let Some(host) = host {
+        if !effective[0].covers_host(host) {
+            return Err(ChainError::HostMismatch);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::{CertificateAuthority, IssueParams};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn now() -> Time {
+        Time::from_civil(2018, 4, 25, 0, 0, 0)
+    }
+
+    struct Fixture {
+        root: CertificateAuthority,
+        inter: CertificateAuthority,
+        leaf: Certificate,
+        store: RootStore,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut root = CertificateAuthority::new_root(&mut rng, "Trust Co", "Trust Root", "trust.test", now());
+        let mut inter =
+            root.issue_intermediate(&mut rng, "Trust Co", "Trust CA 1", "ca1.trust.test", now());
+        let leaf = inter.issue(&mut rng, &IssueParams::new("site.example", now()));
+        let mut store = RootStore::new("test");
+        store.add(root.certificate().clone());
+        Fixture { root, inter, leaf, store }
+    }
+
+    #[test]
+    fn valid_two_level_chain() {
+        let f = fixture();
+        let chain = vec![f.leaf.clone(), f.inter.certificate().clone()];
+        validate_chain(&chain, &f.store, now(), Some("site.example")).unwrap();
+    }
+
+    #[test]
+    fn chain_including_root_is_accepted() {
+        let f = fixture();
+        let chain = vec![
+            f.leaf.clone(),
+            f.inter.certificate().clone(),
+            f.root.certificate().clone(),
+        ];
+        validate_chain(&chain, &f.store, now(), Some("site.example")).unwrap();
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let f = fixture();
+        assert_eq!(
+            validate_chain(&[], &f.store, now(), None),
+            Err(ChainError::EmptyChain)
+        );
+    }
+
+    #[test]
+    fn untrusted_root_rejected() {
+        let f = fixture();
+        let empty_store = RootStore::new("empty");
+        let chain = vec![f.leaf.clone(), f.inter.certificate().clone()];
+        assert_eq!(
+            validate_chain(&chain, &empty_store, now(), None),
+            Err(ChainError::UnknownRoot)
+        );
+    }
+
+    #[test]
+    fn expired_leaf_rejected() {
+        let f = fixture();
+        let chain = vec![f.leaf.clone(), f.inter.certificate().clone()];
+        let after_expiry = now() + 200 * 86_400;
+        assert_eq!(
+            validate_chain(&chain, &f.store, after_expiry, None),
+            Err(ChainError::Expired(0))
+        );
+    }
+
+    #[test]
+    fn not_yet_valid_rejected() {
+        let f = fixture();
+        let chain = vec![f.leaf.clone(), f.inter.certificate().clone()];
+        let before = now() - 30 * 86_400;
+        assert!(matches!(
+            validate_chain(&chain, &f.store, before, None),
+            Err(ChainError::Expired(_))
+        ));
+    }
+
+    #[test]
+    fn host_mismatch_rejected() {
+        let f = fixture();
+        let chain = vec![f.leaf.clone(), f.inter.certificate().clone()];
+        assert_eq!(
+            validate_chain(&chain, &f.store, now(), Some("other.example")),
+            Err(ChainError::HostMismatch)
+        );
+    }
+
+    #[test]
+    fn wrong_intermediate_rejected() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let f = fixture();
+        // An unrelated intermediate whose subject matches nothing.
+        let mut other_root =
+            CertificateAuthority::new_root(&mut rng, "Other", "Other Root", "other.test", now());
+        let other_inter =
+            other_root.issue_intermediate(&mut rng, "Other", "Other CA", "ca.other.test", now());
+        let chain = vec![f.leaf.clone(), other_inter.certificate().clone()];
+        assert_eq!(
+            validate_chain(&chain, &f.store, now(), None),
+            Err(ChainError::IssuerMismatch(0))
+        );
+    }
+
+    #[test]
+    fn leaf_in_issuing_position_rejected() {
+        let f = fixture();
+        // Chain the leaf to itself: a non-CA in issuing position must be
+        // rejected (issuer mismatch fires first here; any error is
+        // acceptable evidence of rejection).
+        let chain = vec![f.leaf.clone(), f.leaf.clone()];
+        assert!(validate_chain(&chain, &f.store, now(), None).is_err());
+    }
+
+    #[test]
+    fn tampered_leaf_signature_rejected() {
+        let f = fixture();
+        // Re-assemble the leaf with a corrupted signature.
+        let mut sig = f.leaf.signature().to_vec();
+        sig[0] ^= 0xff;
+        let tampered = Certificate::assemble(f.leaf.tbs().clone(), sig);
+        let chain = vec![tampered, f.inter.certificate().clone()];
+        assert_eq!(
+            validate_chain(&chain, &f.store, now(), None),
+            Err(ChainError::BadSignature(0))
+        );
+    }
+
+    #[test]
+    fn direct_root_issued_leaf() {
+        let mut rng = StdRng::seed_from_u64(79);
+        let mut root = CertificateAuthority::new_root(&mut rng, "Direct", "Direct Root", "direct.test", now());
+        let leaf = root.issue(&mut rng, &IssueParams::new("direct.example", now()));
+        let mut store = RootStore::new("s");
+        store.add(root.certificate().clone());
+        validate_chain(&[leaf], &store, now(), Some("direct.example")).unwrap();
+    }
+}

@@ -1,0 +1,408 @@
+//! Certificate Revocation Lists (RFC 5280 §5).
+//!
+//! CRLs are one of the two revocation channels the paper compares (§5.4):
+//! the consistency study downloads CRLs, extracts `(serial, revocation
+//! time, reason)` triples, and cross-checks them against OCSP responses.
+//! The entry reason-code extension matters because the paper found 15 %
+//! of revocations carry a reason in the CRL but none over OCSP.
+
+use crate::name::Name;
+use crate::serial::Serial;
+use asn1::{Decoder, Encoder, Error, Oid, Result, Tag, Time};
+use simcrypto::{KeyPair, PublicKey};
+
+/// RFC 5280 CRLReason codes (shared verbatim with OCSP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RevocationReason {
+    /// unspecified (0)
+    Unspecified,
+    /// keyCompromise (1)
+    KeyCompromise,
+    /// cACompromise (2)
+    CaCompromise,
+    /// affiliationChanged (3)
+    AffiliationChanged,
+    /// superseded (4)
+    Superseded,
+    /// cessationOfOperation (5)
+    CessationOfOperation,
+    /// certificateHold (6)
+    CertificateHold,
+    /// removeFromCRL (8)
+    RemoveFromCrl,
+    /// privilegeWithdrawn (9)
+    PrivilegeWithdrawn,
+    /// aACompromise (10)
+    AaCompromise,
+}
+
+impl RevocationReason {
+    /// The wire code.
+    pub fn code(self) -> i64 {
+        match self {
+            RevocationReason::Unspecified => 0,
+            RevocationReason::KeyCompromise => 1,
+            RevocationReason::CaCompromise => 2,
+            RevocationReason::AffiliationChanged => 3,
+            RevocationReason::Superseded => 4,
+            RevocationReason::CessationOfOperation => 5,
+            RevocationReason::CertificateHold => 6,
+            RevocationReason::RemoveFromCrl => 8,
+            RevocationReason::PrivilegeWithdrawn => 9,
+            RevocationReason::AaCompromise => 10,
+        }
+    }
+
+    /// Decode a wire code.
+    pub fn from_code(code: i64) -> Result<RevocationReason> {
+        Ok(match code {
+            0 => RevocationReason::Unspecified,
+            1 => RevocationReason::KeyCompromise,
+            2 => RevocationReason::CaCompromise,
+            3 => RevocationReason::AffiliationChanged,
+            4 => RevocationReason::Superseded,
+            5 => RevocationReason::CessationOfOperation,
+            6 => RevocationReason::CertificateHold,
+            8 => RevocationReason::RemoveFromCrl,
+            9 => RevocationReason::PrivilegeWithdrawn,
+            10 => RevocationReason::AaCompromise,
+            _ => return Err(Error::ValueOutOfRange),
+        })
+    }
+}
+
+/// One revoked certificate in a CRL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevokedEntry {
+    /// Serial of the revoked certificate.
+    pub serial: Serial,
+    /// When it was revoked.
+    pub revocation_time: Time,
+    /// Optional reason code (the paper: most revocations omit it).
+    pub reason: Option<RevocationReason>,
+}
+
+/// A signed certificate revocation list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crl {
+    issuer: Name,
+    this_update: Time,
+    next_update: Option<Time>,
+    entries: Vec<RevokedEntry>,
+    tbs_der: Vec<u8>,
+    signature: Vec<u8>,
+}
+
+impl Crl {
+    /// Build and sign a CRL.
+    pub fn build(
+        issuer: Name,
+        this_update: Time,
+        next_update: Option<Time>,
+        mut entries: Vec<RevokedEntry>,
+        signer: &KeyPair,
+    ) -> Crl {
+        // DER SEQUENCE OF is emitted in list order; keep it deterministic.
+        entries.sort_by(|a, b| a.serial.cmp(&b.serial));
+        let tbs_der = encode_tbs(&issuer, this_update, next_update, &entries);
+        let signature = signer.sign(&tbs_der);
+        Crl { issuer, this_update, next_update, entries, tbs_der, signature }
+    }
+
+    /// Issuer name.
+    pub fn issuer(&self) -> &Name {
+        &self.issuer
+    }
+
+    /// Start of the validity window.
+    pub fn this_update(&self) -> Time {
+        self.this_update
+    }
+
+    /// End of the validity window (CAs must publish a fresh CRL before it).
+    pub fn next_update(&self) -> Option<Time> {
+        self.next_update
+    }
+
+    /// The revoked entries, sorted by serial.
+    pub fn entries(&self) -> &[RevokedEntry] {
+        &self.entries
+    }
+
+    /// Look up a serial.
+    pub fn find(&self, serial: &Serial) -> Option<&RevokedEntry> {
+        self.entries
+            .binary_search_by(|e| e.serial.cmp(serial))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Whether `serial` is revoked according to this CRL.
+    pub fn is_revoked(&self, serial: &Serial) -> bool {
+        self.find(serial).is_some()
+    }
+
+    /// Whether the CRL is within its validity window at `now`.
+    pub fn is_current(&self, now: Time) -> bool {
+        self.this_update <= now && self.next_update.is_none_or(|nu| now <= nu)
+    }
+
+    /// Verify the CRL signature.
+    pub fn verify_signature(&self, issuer_key: &PublicKey) -> bool {
+        issuer_key.verify(&self.tbs_der, &self.signature).is_ok()
+    }
+
+    /// Encode the full CRL to DER.
+    pub fn to_der(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.sequence(|enc| {
+            enc.raw(&self.tbs_der);
+            encode_algorithm_id(enc);
+            enc.bit_string(&self.signature);
+        });
+        enc.finish()
+    }
+
+    /// Decode a CRL from DER.
+    pub fn from_der(der: &[u8]) -> Result<Crl> {
+        let mut dec = Decoder::new(der);
+        let mut seq = dec.sequence()?;
+        let tbs_der = seq.raw_tlv()?.to_vec();
+        let (issuer, this_update, next_update, entries) = decode_tbs(&tbs_der)?;
+        decode_algorithm_id(&mut seq)?;
+        let signature = seq.bit_string()?.to_vec();
+        seq.finish()?;
+        dec.finish()?;
+        Ok(Crl { issuer, this_update, next_update, entries, tbs_der, signature })
+    }
+
+    /// Approximate serialized size in bytes — the paper leans on CRLs
+    /// being "up to 76 MB" as a motivation for OCSP.
+    pub fn size_bytes(&self) -> usize {
+        self.to_der().len()
+    }
+}
+
+fn encode_algorithm_id(enc: &mut Encoder) {
+    enc.sequence(|enc| {
+        enc.oid(&Oid::SIM_RSA_SHA256);
+        enc.null();
+    });
+}
+
+fn decode_algorithm_id(dec: &mut Decoder<'_>) -> Result<()> {
+    let mut seq = dec.sequence()?;
+    if seq.oid()? != Oid::SIM_RSA_SHA256 {
+        return Err(Error::ValueOutOfRange);
+    }
+    seq.null()?;
+    seq.finish()
+}
+
+fn encode_tbs(
+    issuer: &Name,
+    this_update: Time,
+    next_update: Option<Time>,
+    entries: &[RevokedEntry],
+) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.sequence(|enc| {
+        enc.integer_i64(1); // version v2
+        encode_algorithm_id(enc);
+        issuer.encode(enc);
+        enc.x509_time(this_update);
+        if let Some(nu) = next_update {
+            enc.x509_time(nu);
+        }
+        if !entries.is_empty() {
+            enc.sequence(|enc| {
+                for entry in entries {
+                    enc.sequence(|enc| {
+                        entry.serial.encode(enc);
+                        enc.x509_time(entry.revocation_time);
+                        if let Some(reason) = entry.reason {
+                            enc.sequence(|enc| {
+                                // crlEntryExtensions: one Extension with
+                                // an ENUMERATED payload.
+                                enc.sequence(|enc| {
+                                    enc.oid(&Oid::CRL_REASON);
+                                    let mut payload = Encoder::new();
+                                    payload.enumerated(reason.code());
+                                    enc.octet_string(&payload.finish());
+                                });
+                            });
+                        }
+                    });
+                }
+            });
+        }
+    });
+    enc.finish()
+}
+
+type TbsParts = (Name, Time, Option<Time>, Vec<RevokedEntry>);
+
+fn decode_tbs(tbs_der: &[u8]) -> Result<TbsParts> {
+    let mut dec = Decoder::new(tbs_der);
+    let mut tbs = dec.sequence()?;
+    let version = tbs.integer_i64()?;
+    if version != 1 {
+        return Err(Error::ValueOutOfRange);
+    }
+    decode_algorithm_id(&mut tbs)?;
+    let issuer = Name::decode(&mut tbs)?;
+    let this_update = tbs.x509_time()?;
+    let next_update = match tbs.peek_tag() {
+        Some(Tag::UTC_TIME) | Some(Tag::GENERALIZED_TIME) => Some(tbs.x509_time()?),
+        _ => None,
+    };
+    let mut entries = Vec::new();
+    if tbs.peek_tag() == Some(Tag::SEQUENCE) {
+        let mut list = tbs.sequence()?;
+        while !list.is_empty() {
+            let mut entry = list.sequence()?;
+            let serial = Serial::decode(&mut entry)?;
+            let revocation_time = entry.x509_time()?;
+            let mut reason = None;
+            if entry.peek_tag() == Some(Tag::SEQUENCE) {
+                let mut exts = entry.sequence()?;
+                while !exts.is_empty() {
+                    let ext = crate::extensions::Extension::decode(&mut exts)?;
+                    if ext.oid == Oid::CRL_REASON {
+                        let mut payload = Decoder::new(&ext.payload);
+                        reason = Some(RevocationReason::from_code(payload.enumerated()?)?);
+                        payload.finish()?;
+                    }
+                }
+            }
+            entry.finish()?;
+            entries.push(RevokedEntry { serial, revocation_time, reason });
+        }
+    }
+    tbs.finish()?;
+    dec.finish()?;
+    Ok((issuer, this_update, next_update, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn signer() -> KeyPair {
+        KeyPair::generate(&mut StdRng::seed_from_u64(11), 384)
+    }
+
+    fn t(day: u8) -> Time {
+        Time::from_civil(2018, 5, day, 0, 0, 0)
+    }
+
+    fn sample_entries() -> Vec<RevokedEntry> {
+        vec![
+            RevokedEntry {
+                serial: Serial::from_u64(1000),
+                revocation_time: t(2),
+                reason: Some(RevocationReason::KeyCompromise),
+            },
+            RevokedEntry { serial: Serial::from_u64(17), revocation_time: t(3), reason: None },
+            RevokedEntry {
+                serial: Serial::from_u64(555),
+                revocation_time: t(1),
+                reason: Some(RevocationReason::Superseded),
+            },
+        ]
+    }
+
+    #[test]
+    fn build_lookup_and_round_trip() {
+        let kp = signer();
+        let crl = Crl::build(
+            Name::ca("Example CA", "Example Root"),
+            t(5),
+            Some(t(12)),
+            sample_entries(),
+            &kp,
+        );
+        assert!(crl.is_revoked(&Serial::from_u64(17)));
+        assert!(crl.is_revoked(&Serial::from_u64(1000)));
+        assert!(!crl.is_revoked(&Serial::from_u64(18)));
+        assert_eq!(
+            crl.find(&Serial::from_u64(555)).unwrap().reason,
+            Some(RevocationReason::Superseded)
+        );
+        assert!(crl.verify_signature(kp.public()));
+
+        let der = crl.to_der();
+        let back = Crl::from_der(&der).unwrap();
+        assert_eq!(back, crl);
+        assert!(back.verify_signature(kp.public()));
+    }
+
+    #[test]
+    fn validity_window() {
+        let kp = signer();
+        let crl = Crl::build(Name::common_name("ca"), t(5), Some(t(12)), vec![], &kp);
+        assert!(crl.is_current(t(5)));
+        assert!(crl.is_current(t(12)));
+        assert!(!crl.is_current(t(13)));
+        assert!(!crl.is_current(t(4)));
+        // Blank nextUpdate: always current once published.
+        let open = Crl::build(Name::common_name("ca"), t(5), None, vec![], &kp);
+        assert!(open.is_current(t(5) + 365 * 86_400));
+    }
+
+    #[test]
+    fn empty_crl_round_trips() {
+        let kp = signer();
+        let crl = Crl::build(Name::common_name("ca"), t(1), Some(t(8)), vec![], &kp);
+        let back = Crl::from_der(&crl.to_der()).unwrap();
+        assert!(back.entries().is_empty());
+    }
+
+    #[test]
+    fn tampered_crl_fails_signature() {
+        let kp = signer();
+        let crl = Crl::build(Name::common_name("ca"), t(1), Some(t(8)), sample_entries(), &kp);
+        let mut der = crl.to_der();
+        let idx = der.len() / 3;
+        der[idx] ^= 0x04;
+        if let Ok(parsed) = Crl::from_der(&der) {
+            assert!(!parsed.verify_signature(kp.public()));
+        }
+    }
+
+    #[test]
+    fn reason_codes_round_trip() {
+        for code in [0i64, 1, 2, 3, 4, 5, 6, 8, 9, 10] {
+            let r = RevocationReason::from_code(code).unwrap();
+            assert_eq!(r.code(), code);
+        }
+        assert!(RevocationReason::from_code(7).is_err()); // 7 is unassigned
+        assert!(RevocationReason::from_code(11).is_err());
+    }
+
+    #[test]
+    fn entries_sorted_by_serial() {
+        let kp = signer();
+        let crl = Crl::build(Name::common_name("ca"), t(1), None, sample_entries(), &kp);
+        let serials: Vec<_> = crl.entries().iter().map(|e| e.serial.clone()).collect();
+        let mut sorted = serials.clone();
+        sorted.sort();
+        assert_eq!(serials, sorted);
+    }
+
+    #[test]
+    fn size_grows_with_entries() {
+        let kp = signer();
+        let small = Crl::build(Name::common_name("ca"), t(1), None, vec![], &kp);
+        let entries: Vec<_> = (0..100)
+            .map(|i| RevokedEntry {
+                serial: Serial::from_u64(i),
+                revocation_time: t(1),
+                reason: None,
+            })
+            .collect();
+        let big = Crl::build(Name::common_name("ca"), t(1), None, entries, &kp);
+        assert!(big.size_bytes() > small.size_bytes() + 100 * 10);
+    }
+}

@@ -1,0 +1,558 @@
+//! X.509 v3 extensions.
+//!
+//! A raw [`Extension`] is `(OID, critical, DER payload)`; typed
+//! representations convert to and from it. The set implemented here is
+//! exactly what the paper's pipeline reads:
+//!
+//! * **TLS Feature** (`1.3.6.1.5.5.7.1.24`) — OCSP Must-Staple, the
+//!   subject of the study;
+//! * **Authority Information Access** — where the OCSP responder URL
+//!   lives (§4 and §5 key off this);
+//! * **CRL Distribution Points** — where the CRL lives (§5.4);
+//! * **Basic Constraints**, **Key Usage**, **Extended Key Usage** — chain
+//!   validation and OCSP-signing delegation;
+//! * **Subject Alternative Name** — domain matching, including the
+//!   "cruise-liner" multi-domain certificates of §7.1.
+
+use asn1::{Decoder, Encoder, Error, Oid, Result, Tag};
+
+/// The TLS feature number for `status_request` (RFC 7633): requesting
+/// this feature in a certificate is what "OCSP Must-Staple" means.
+pub const FEATURE_STATUS_REQUEST: u16 = 5;
+/// The TLS feature number for `status_request_v2` (RFC 6961 multi-staple).
+pub const FEATURE_STATUS_REQUEST_V2: u16 = 17;
+
+/// A raw extension: OID, criticality, and the DER payload that lives
+/// inside the extension's OCTET STRING.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extension {
+    /// The extension's object identifier.
+    pub oid: Oid,
+    /// The criticality flag (clients must reject unknown critical
+    /// extensions).
+    pub critical: bool,
+    /// DER-encoded payload (content of the extnValue OCTET STRING).
+    pub payload: Vec<u8>,
+}
+
+impl Extension {
+    /// Encode as the standard `Extension ::= SEQUENCE` shape.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.sequence(|enc| {
+            enc.oid(&self.oid);
+            if self.critical {
+                enc.boolean(true); // DEFAULT FALSE is omitted when false
+            }
+            enc.octet_string(&self.payload);
+        });
+    }
+
+    /// Decode one extension.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Extension> {
+        let mut seq = dec.sequence()?;
+        let oid = seq.oid()?;
+        let critical = if seq.peek_tag() == Some(Tag::BOOLEAN) { seq.boolean()? } else { false };
+        let payload = seq.octet_string()?.to_vec();
+        seq.finish()?;
+        Ok(Extension { oid, critical, payload })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The TLS Feature extension (RFC 7633). `features` containing
+/// [`FEATURE_STATUS_REQUEST`] is OCSP Must-Staple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlsFeature {
+    /// The requested TLS feature numbers.
+    pub features: Vec<u16>,
+}
+
+impl TlsFeature {
+    /// The canonical Must-Staple extension: `status_request` only.
+    pub fn must_staple() -> TlsFeature {
+        TlsFeature { features: vec![FEATURE_STATUS_REQUEST] }
+    }
+
+    /// Whether `status_request` is among the features.
+    pub fn requires_staple(&self) -> bool {
+        self.features.contains(&FEATURE_STATUS_REQUEST)
+    }
+
+    /// Build the raw extension.
+    pub fn to_extension(&self) -> Extension {
+        let mut enc = Encoder::new();
+        enc.sequence(|enc| {
+            for &f in &self.features {
+                enc.integer_i64(i64::from(f));
+            }
+        });
+        Extension { oid: Oid::TLS_FEATURE, critical: false, payload: enc.finish() }
+    }
+
+    /// Parse from a raw extension payload.
+    pub fn from_extension(ext: &Extension) -> Result<TlsFeature> {
+        let mut dec = Decoder::new(&ext.payload);
+        let mut seq = dec.sequence()?;
+        let mut features = Vec::new();
+        while !seq.is_empty() {
+            let v = seq.integer_i64()?;
+            let f = u16::try_from(v).map_err(|_| Error::ValueOutOfRange)?;
+            features.push(f);
+        }
+        dec.finish()?;
+        Ok(TlsFeature { features })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Basic Constraints: is this a CA certificate, and how deep may it chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasicConstraints {
+    /// Whether the subject may issue certificates.
+    pub ca: bool,
+    /// Optional maximum number of intermediate certificates below this one.
+    pub path_len: Option<u32>,
+}
+
+impl BasicConstraints {
+    /// Build the raw extension (critical, per RFC 5280 for CAs).
+    pub fn to_extension(&self) -> Extension {
+        let mut enc = Encoder::new();
+        enc.sequence(|enc| {
+            if self.ca {
+                enc.boolean(true);
+            }
+            if let Some(n) = self.path_len {
+                enc.integer_i64(i64::from(n));
+            }
+        });
+        Extension { oid: Oid::BASIC_CONSTRAINTS, critical: true, payload: enc.finish() }
+    }
+
+    /// Parse from a raw extension payload.
+    pub fn from_extension(ext: &Extension) -> Result<BasicConstraints> {
+        let mut dec = Decoder::new(&ext.payload);
+        let mut seq = dec.sequence()?;
+        let ca = if seq.peek_tag() == Some(Tag::BOOLEAN) { seq.boolean()? } else { false };
+        let path_len = if seq.peek_tag() == Some(Tag::INTEGER) {
+            Some(u32::try_from(seq.integer_i64()?).map_err(|_| Error::ValueOutOfRange)?)
+        } else {
+            None
+        };
+        seq.finish()?;
+        dec.finish()?;
+        Ok(BasicConstraints { ca, path_len })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Key Usage bits (RFC 5280 §4.2.1.3), stored as a mask with bit *i* being
+/// the named bit *i* of the ASN.1 BIT STRING.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeyUsage(pub u16);
+
+impl KeyUsage {
+    /// `digitalSignature` (bit 0).
+    pub const DIGITAL_SIGNATURE: KeyUsage = KeyUsage(1 << 0);
+    /// `keyEncipherment` (bit 2).
+    pub const KEY_ENCIPHERMENT: KeyUsage = KeyUsage(1 << 2);
+    /// `keyCertSign` (bit 5) — CA certificates.
+    pub const KEY_CERT_SIGN: KeyUsage = KeyUsage(1 << 5);
+    /// `cRLSign` (bit 6) — CRL issuers.
+    pub const CRL_SIGN: KeyUsage = KeyUsage(1 << 6);
+
+    /// Union of two usage sets.
+    pub fn union(self, other: KeyUsage) -> KeyUsage {
+        KeyUsage(self.0 | other.0)
+    }
+
+    /// Whether every bit of `other` is present.
+    pub fn contains(self, other: KeyUsage) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Build the raw extension (critical, as in practice).
+    pub fn to_extension(&self) -> Extension {
+        // Named-bit-list DER: trailing zero bits are trimmed; bit i of the
+        // list is bit (7 - i%8) of content byte i/8.
+        let highest = (0..16).rev().find(|&i| self.0 >> i & 1 == 1);
+        let content = match highest {
+            None => vec![0u8],
+            Some(h) => {
+                let nbits = h as usize + 1;
+                let nbytes = (nbits + 7) / 8;
+                let unused = nbytes * 8 - nbits;
+                let mut bytes = vec![unused as u8];
+                bytes.resize(1 + nbytes, 0);
+                for i in 0..nbits {
+                    if self.0 >> i & 1 == 1 {
+                        bytes[1 + i / 8] |= 0x80 >> (i % 8);
+                    }
+                }
+                bytes
+            }
+        };
+        let mut enc = Encoder::new();
+        enc.tlv(Tag::BIT_STRING, &content);
+        Extension { oid: Oid::KEY_USAGE, critical: true, payload: enc.finish() }
+    }
+
+    /// Parse from a raw extension payload.
+    pub fn from_extension(ext: &Extension) -> Result<KeyUsage> {
+        let mut dec = Decoder::new(&ext.payload);
+        let content = dec.expect(Tag::BIT_STRING)?;
+        dec.finish()?;
+        let (&unused, bits) = content.split_first().ok_or(Error::InvalidBitString)?;
+        if unused > 7 || (bits.is_empty() && unused != 0) {
+            return Err(Error::InvalidBitString);
+        }
+        let mut mask: u16 = 0;
+        for (byte_idx, &byte) in bits.iter().enumerate() {
+            for bit in 0..8 {
+                if byte & (0x80 >> bit) != 0 {
+                    let i = byte_idx * 8 + bit;
+                    if i >= 16 {
+                        return Err(Error::ValueOutOfRange);
+                    }
+                    mask |= 1 << i;
+                }
+            }
+        }
+        Ok(KeyUsage(mask))
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Authority Information Access: where to reach the issuing CA's services.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AuthorityInfoAccess {
+    /// OCSP responder URLs (`id-ad-ocsp`). The paper treats presence of at
+    /// least one of these as "supports OCSP".
+    pub ocsp: Vec<String>,
+    /// CA certificate URLs (`id-ad-caIssuers`).
+    pub ca_issuers: Vec<String>,
+}
+
+/// GeneralName CHOICE tag for uniformResourceIdentifier.
+const GENERAL_NAME_URI: u8 = 6;
+/// GeneralName CHOICE tag for dNSName.
+const GENERAL_NAME_DNS: u8 = 2;
+
+impl AuthorityInfoAccess {
+    /// Build the raw extension.
+    pub fn to_extension(&self) -> Extension {
+        let mut enc = Encoder::new();
+        enc.sequence(|enc| {
+            for url in &self.ocsp {
+                enc.sequence(|enc| {
+                    enc.oid(&Oid::AD_OCSP);
+                    enc.implicit_primitive(GENERAL_NAME_URI, url.as_bytes());
+                });
+            }
+            for url in &self.ca_issuers {
+                enc.sequence(|enc| {
+                    enc.oid(&Oid::AD_CA_ISSUERS);
+                    enc.implicit_primitive(GENERAL_NAME_URI, url.as_bytes());
+                });
+            }
+        });
+        Extension { oid: Oid::AUTHORITY_INFO_ACCESS, critical: false, payload: enc.finish() }
+    }
+
+    /// Parse from a raw extension payload.
+    pub fn from_extension(ext: &Extension) -> Result<AuthorityInfoAccess> {
+        let mut dec = Decoder::new(&ext.payload);
+        let mut seq = dec.sequence()?;
+        let mut aia = AuthorityInfoAccess::default();
+        while !seq.is_empty() {
+            let mut desc = seq.sequence()?;
+            let method = desc.oid()?;
+            let loc = desc
+                .optional_implicit_primitive(GENERAL_NAME_URI)?
+                .ok_or(Error::MissingField("accessLocation"))?;
+            let url =
+                core::str::from_utf8(loc).map_err(|_| Error::InvalidString)?.to_string();
+            desc.finish()?;
+            if method == Oid::AD_OCSP {
+                aia.ocsp.push(url);
+            } else if method == Oid::AD_CA_ISSUERS {
+                aia.ca_issuers.push(url);
+            }
+            // Unknown access methods are ignored, as clients do.
+        }
+        dec.finish()?;
+        Ok(aia)
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// CRL Distribution Points, reduced to the URI form every real CA uses.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CrlDistributionPoints {
+    /// CRL URLs.
+    pub urls: Vec<String>,
+}
+
+impl CrlDistributionPoints {
+    /// Build the raw extension.
+    pub fn to_extension(&self) -> Extension {
+        let mut enc = Encoder::new();
+        enc.sequence(|enc| {
+            for url in &self.urls {
+                // DistributionPoint ::= SEQUENCE { distributionPoint [0]
+                //   DistributionPointName { fullName [0] GeneralNames } }
+                enc.sequence(|enc| {
+                    enc.explicit(0, |enc| {
+                        enc.implicit_constructed(0, |enc| {
+                            enc.implicit_primitive(GENERAL_NAME_URI, url.as_bytes());
+                        });
+                    });
+                });
+            }
+        });
+        Extension { oid: Oid::CRL_DISTRIBUTION_POINTS, critical: false, payload: enc.finish() }
+    }
+
+    /// Parse from a raw extension payload.
+    pub fn from_extension(ext: &Extension) -> Result<CrlDistributionPoints> {
+        let mut dec = Decoder::new(&ext.payload);
+        let mut seq = dec.sequence()?;
+        let mut out = CrlDistributionPoints::default();
+        while !seq.is_empty() {
+            let mut dp = seq.sequence()?;
+            if let Some(mut dpn) = dp.optional_explicit(0)? {
+                let mut names = dpn.explicit(0)?;
+                while !names.is_empty() {
+                    if let Some(uri) = names.optional_implicit_primitive(GENERAL_NAME_URI)? {
+                        let url = core::str::from_utf8(uri)
+                            .map_err(|_| Error::InvalidString)?
+                            .to_string();
+                        out.urls.push(url);
+                    } else {
+                        names.skip()?;
+                    }
+                }
+            }
+        }
+        dec.finish()?;
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Subject Alternative Name, reduced to DNS names.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SubjectAltName {
+    /// DNS names covered by the certificate.
+    pub dns_names: Vec<String>,
+}
+
+impl SubjectAltName {
+    /// Build the raw extension.
+    pub fn to_extension(&self) -> Extension {
+        let mut enc = Encoder::new();
+        enc.sequence(|enc| {
+            for name in &self.dns_names {
+                enc.implicit_primitive(GENERAL_NAME_DNS, name.as_bytes());
+            }
+        });
+        Extension { oid: Oid::SUBJECT_ALT_NAME, critical: false, payload: enc.finish() }
+    }
+
+    /// Parse from a raw extension payload.
+    pub fn from_extension(ext: &Extension) -> Result<SubjectAltName> {
+        let mut dec = Decoder::new(&ext.payload);
+        let mut seq = dec.sequence()?;
+        let mut out = SubjectAltName::default();
+        while !seq.is_empty() {
+            if let Some(dns) = seq.optional_implicit_primitive(GENERAL_NAME_DNS)? {
+                out.dns_names.push(
+                    core::str::from_utf8(dns).map_err(|_| Error::InvalidString)?.to_string(),
+                );
+            } else {
+                seq.skip()?;
+            }
+        }
+        dec.finish()?;
+        Ok(out)
+    }
+
+    /// Whether `host` is covered, with single-label wildcard support.
+    pub fn covers(&self, host: &str) -> bool {
+        self.dns_names.iter().any(|pattern| {
+            if let Some(suffix) = pattern.strip_prefix("*.") {
+                host.split_once('.').is_some_and(|(_, rest)| rest.eq_ignore_ascii_case(suffix))
+            } else {
+                pattern.eq_ignore_ascii_case(host)
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Extended Key Usage: a list of purpose OIDs. The one the study cares
+/// about is [`Oid::KP_OCSP_SIGNING`] (delegated OCSP responders).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExtendedKeyUsage {
+    /// The purpose OIDs.
+    pub oids: Vec<Oid>,
+}
+
+impl ExtendedKeyUsage {
+    /// An EKU granting OCSP signing delegation.
+    pub fn ocsp_signing() -> ExtendedKeyUsage {
+        ExtendedKeyUsage { oids: vec![Oid::KP_OCSP_SIGNING] }
+    }
+
+    /// Whether OCSP signing is among the purposes.
+    pub fn allows_ocsp_signing(&self) -> bool {
+        self.oids.contains(&Oid::KP_OCSP_SIGNING)
+    }
+
+    /// Build the raw extension.
+    pub fn to_extension(&self) -> Extension {
+        let mut enc = Encoder::new();
+        enc.sequence(|enc| {
+            for oid in &self.oids {
+                enc.oid(oid);
+            }
+        });
+        Extension { oid: Oid::EXT_KEY_USAGE, critical: false, payload: enc.finish() }
+    }
+
+    /// Parse from a raw extension payload.
+    pub fn from_extension(ext: &Extension) -> Result<ExtendedKeyUsage> {
+        let mut dec = Decoder::new(&ext.payload);
+        let mut seq = dec.sequence()?;
+        let mut oids = Vec::new();
+        while !seq.is_empty() {
+            oids.push(seq.oid()?);
+        }
+        dec.finish()?;
+        Ok(ExtendedKeyUsage { oids })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(ext: &Extension) -> Extension {
+        let mut enc = Encoder::new();
+        ext.encode(&mut enc);
+        let der = enc.finish();
+        let mut dec = Decoder::new(&der);
+        let back = Extension::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        back
+    }
+
+    #[test]
+    fn tls_feature_must_staple() {
+        let ms = TlsFeature::must_staple();
+        assert!(ms.requires_staple());
+        let ext = ms.to_extension();
+        assert_eq!(ext.oid, Oid::TLS_FEATURE);
+        let back = TlsFeature::from_extension(&round_trip(&ext)).unwrap();
+        assert_eq!(back, ms);
+    }
+
+    #[test]
+    fn tls_feature_without_status_request() {
+        let f = TlsFeature { features: vec![FEATURE_STATUS_REQUEST_V2] };
+        assert!(!f.requires_staple());
+    }
+
+    #[test]
+    fn basic_constraints_round_trip() {
+        for bc in [
+            BasicConstraints { ca: true, path_len: Some(0) },
+            BasicConstraints { ca: true, path_len: None },
+            BasicConstraints { ca: false, path_len: None },
+        ] {
+            let back = BasicConstraints::from_extension(&round_trip(&bc.to_extension())).unwrap();
+            assert_eq!(back, bc);
+        }
+    }
+
+    #[test]
+    fn key_usage_round_trip_and_bit_semantics() {
+        let ku = KeyUsage::DIGITAL_SIGNATURE.union(KeyUsage::KEY_CERT_SIGN).union(KeyUsage::CRL_SIGN);
+        let ext = ku.to_extension();
+        let back = KeyUsage::from_extension(&round_trip(&ext)).unwrap();
+        assert_eq!(back, ku);
+        assert!(back.contains(KeyUsage::KEY_CERT_SIGN));
+        assert!(!back.contains(KeyUsage::KEY_ENCIPHERMENT));
+        // digitalSignature alone uses a single byte with 7 unused bits.
+        let ds = KeyUsage::DIGITAL_SIGNATURE.to_extension();
+        assert_eq!(ds.payload, vec![0x03, 0x02, 0x07, 0x80]);
+    }
+
+    #[test]
+    fn aia_round_trip() {
+        let aia = AuthorityInfoAccess {
+            ocsp: vec!["http://ocsp.example-ca.com".into()],
+            ca_issuers: vec!["http://certs.example-ca.com/ca.der".into()],
+        };
+        let back = AuthorityInfoAccess::from_extension(&round_trip(&aia.to_extension())).unwrap();
+        assert_eq!(back, aia);
+    }
+
+    #[test]
+    fn aia_multiple_ocsp_urls() {
+        // The paper found 6,308 certificates with multiple OCSP responders.
+        let aia = AuthorityInfoAccess {
+            ocsp: vec!["http://ocsp1.ca.com".into(), "http://ocsp2.ca.com".into()],
+            ca_issuers: vec![],
+        };
+        let back = AuthorityInfoAccess::from_extension(&aia.to_extension()).unwrap();
+        assert_eq!(back.ocsp.len(), 2);
+    }
+
+    #[test]
+    fn crl_dp_round_trip() {
+        let dp = CrlDistributionPoints { urls: vec!["http://crl.example-ca.com/r1.crl".into()] };
+        let back = CrlDistributionPoints::from_extension(&round_trip(&dp.to_extension())).unwrap();
+        assert_eq!(back, dp);
+    }
+
+    #[test]
+    fn san_round_trip_and_wildcards() {
+        let san = SubjectAltName {
+            dns_names: vec!["example.com".into(), "*.example.com".into()],
+        };
+        let back = SubjectAltName::from_extension(&round_trip(&san.to_extension())).unwrap();
+        assert_eq!(back, san);
+        assert!(back.covers("example.com"));
+        assert!(back.covers("www.example.com"));
+        assert!(!back.covers("a.b.example.com"));
+        assert!(!back.covers("example.org"));
+    }
+
+    #[test]
+    fn eku_ocsp_signing() {
+        let eku = ExtendedKeyUsage::ocsp_signing();
+        assert!(eku.allows_ocsp_signing());
+        let back = ExtendedKeyUsage::from_extension(&round_trip(&eku.to_extension())).unwrap();
+        assert_eq!(back, eku);
+    }
+
+    #[test]
+    fn criticality_default_is_false() {
+        let ext = Extension { oid: Oid::TLS_FEATURE, critical: false, payload: vec![0x30, 0x00] };
+        let mut enc = Encoder::new();
+        ext.encode(&mut enc);
+        let der = enc.finish();
+        // No BOOLEAN byte inside: SEQ(OID, OCTETS)
+        assert!(!der.windows(3).any(|w| w == [0x01, 0x01, 0x00]));
+        let mut dec = Decoder::new(&der);
+        assert!(!Extension::decode(&mut dec).unwrap().critical);
+    }
+}

@@ -1,0 +1,170 @@
+//! X.501 distinguished names (the `Name` in certificate subject/issuer).
+//!
+//! We support the RDN attributes the study's corpus uses — common name,
+//! organization, country — encoded in the standard
+//! `SEQUENCE OF SET OF SEQUENCE { OID, value }` shape with one attribute
+//! per RDN (how virtually all web certificates are encoded in practice).
+
+use asn1::{Decoder, Encoder, Error, Oid, Result};
+use core::fmt;
+
+/// A distinguished name: an ordered list of (attribute OID, value) pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Name {
+    attributes: Vec<(Oid, String)>,
+}
+
+impl Name {
+    /// An empty name.
+    pub fn empty() -> Name {
+        Name { attributes: Vec::new() }
+    }
+
+    /// A name with just a common name — the typical leaf subject.
+    pub fn common_name(cn: &str) -> Name {
+        Name { attributes: vec![(Oid::COMMON_NAME, cn.to_string())] }
+    }
+
+    /// A CA-style name: organization + common name.
+    pub fn ca(org: &str, cn: &str) -> Name {
+        Name {
+            attributes: vec![
+                (Oid::ORGANIZATION, org.to_string()),
+                (Oid::COMMON_NAME, cn.to_string()),
+            ],
+        }
+    }
+
+    /// Append an attribute.
+    pub fn with(mut self, oid: Oid, value: &str) -> Name {
+        self.attributes.push((oid, value.to_string()));
+        self
+    }
+
+    /// All attributes in order.
+    pub fn attributes(&self) -> &[(Oid, String)] {
+        &self.attributes
+    }
+
+    /// The first common-name attribute, if any.
+    pub fn cn(&self) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(oid, _)| *oid == Oid::COMMON_NAME)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Encode into `enc` as a DER Name.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.sequence(|enc| {
+            for (oid, value) in &self.attributes {
+                enc.set(|enc| {
+                    enc.sequence(|enc| {
+                        enc.oid(oid);
+                        enc.utf8_string(value);
+                    });
+                });
+            }
+        });
+    }
+
+    /// Encode to standalone DER bytes.
+    pub fn to_der(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Decode a DER Name from `dec`.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Name> {
+        let mut seq = dec.sequence()?;
+        let mut attributes = Vec::new();
+        while !seq.is_empty() {
+            let mut set = seq.set()?;
+            let mut attr = set.sequence()?;
+            let oid = attr.oid()?;
+            let value = attr.string()?.to_string();
+            attr.finish()?;
+            set.finish()?;
+            attributes.push((oid, value));
+        }
+        if attributes.is_empty() {
+            // X.501 allows empty names, but nothing in our corpus emits
+            // them; treat as missing to surface generator bugs.
+            return Err(Error::MissingField("rdnSequence"));
+        }
+        Ok(Name { attributes })
+    }
+
+    /// SHA-256 over the DER encoding — the `issuerNameHash` used in OCSP
+    /// CertIDs.
+    pub fn hash(&self) -> [u8; 32] {
+        simcrypto::sha256(&self.to_der())
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (oid, value)) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let label = if *oid == Oid::COMMON_NAME {
+                "CN"
+            } else if *oid == Oid::ORGANIZATION {
+                "O"
+            } else if *oid == Oid::COUNTRY {
+                "C"
+            } else {
+                return write!(f, "{oid}={value}");
+            };
+            write!(f, "{label}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let name = Name::ca("Let's Encrypt", "Let's Encrypt Authority X3")
+            .with(Oid::COUNTRY, "US");
+        let der = name.to_der();
+        let mut dec = Decoder::new(&der);
+        let back = Name::decode(&mut dec).unwrap();
+        assert_eq!(back, name);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn display_renders_known_attrs() {
+        let name = Name::ca("Example Org", "example.com");
+        assert_eq!(name.to_string(), "O=Example Org, CN=example.com");
+    }
+
+    #[test]
+    fn cn_lookup() {
+        assert_eq!(Name::common_name("a.example").cn(), Some("a.example"));
+        assert_eq!(Name::empty().cn(), None);
+    }
+
+    #[test]
+    fn hash_is_stable_and_distinct() {
+        let a = Name::common_name("a.example");
+        let b = Name::common_name("b.example");
+        assert_eq!(a.hash(), a.hash());
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn empty_name_rejected_on_decode() {
+        let mut enc = Encoder::new();
+        enc.sequence(|_| {});
+        let der = enc.finish();
+        let mut dec = Decoder::new(&der);
+        assert!(Name::decode(&mut dec).is_err());
+    }
+}

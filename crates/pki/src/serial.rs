@@ -1,0 +1,121 @@
+//! Certificate serial numbers.
+//!
+//! Serials are the join key of the entire revocation ecosystem: CRLs list
+//! them, OCSP requests carry them, and §5.4's consistency study matches
+//! them across the two. They are arbitrary-precision non-negative
+//! integers; real CAs issue up to 20 octets.
+
+use asn1::{Decoder, Encoder, Result};
+use core::fmt;
+use rand::Rng;
+
+/// A certificate serial number: a non-negative integer of up to 20 octets,
+/// stored as minimal big-endian magnitude bytes.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Serial {
+    bytes: Vec<u8>,
+}
+
+impl Serial {
+    /// From a `u64`.
+    pub fn from_u64(v: u64) -> Serial {
+        let bytes = v.to_be_bytes();
+        let skip = bytes.iter().take_while(|&&b| b == 0).count().min(7);
+        Serial { bytes: bytes[skip..].to_vec() }
+    }
+
+    /// From magnitude bytes (leading zeros trimmed).
+    pub fn from_bytes(bytes: &[u8]) -> Serial {
+        let mut b = bytes;
+        while b.len() > 1 && b[0] == 0 {
+            b = &b[1..];
+        }
+        if b.is_empty() {
+            return Serial { bytes: vec![0] };
+        }
+        Serial { bytes: b.to_vec() }
+    }
+
+    /// A random 16-octet serial, as modern CAs issue (CAB Forum requires
+    /// ≥64 bits of CSPRNG output; most use 128).
+    pub fn random(rng: &mut impl Rng) -> Serial {
+        let mut bytes = [0u8; 16];
+        rng.fill(&mut bytes);
+        bytes[0] &= 0x7f; // keep it comfortably positive
+        Serial::from_bytes(&bytes)
+    }
+
+    /// The magnitude bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Encode as a DER INTEGER.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.integer_unsigned(&self.bytes);
+    }
+
+    /// Decode from a DER INTEGER.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Serial> {
+        Ok(Serial::from_bytes(dec.integer_unsigned()?))
+    }
+}
+
+impl fmt::Display for Serial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bytes {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Serial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Serial({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn from_u64_trims() {
+        assert_eq!(Serial::from_u64(0).bytes(), &[0]);
+        assert_eq!(Serial::from_u64(0xabcd).bytes(), &[0xab, 0xcd]);
+    }
+
+    #[test]
+    fn from_bytes_normalizes() {
+        assert_eq!(Serial::from_bytes(&[0, 0, 1]).bytes(), &[1]);
+        assert_eq!(Serial::from_bytes(&[]).bytes(), &[0]);
+        assert_eq!(Serial::from_bytes(&[0, 0]), Serial::from_u64(0));
+    }
+
+    #[test]
+    fn der_round_trip() {
+        for serial in [Serial::from_u64(0), Serial::from_u64(1 << 40), Serial::from_bytes(&[0x9a; 16])] {
+            let mut enc = Encoder::new();
+            serial.encode(&mut enc);
+            let der = enc.finish();
+            let mut dec = Decoder::new(&der);
+            assert_eq!(Serial::decode(&mut dec).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn random_serials_are_distinct_and_16_bytes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Serial::random(&mut rng);
+        let b = Serial::random(&mut rng);
+        assert_ne!(a, b);
+        assert_eq!(a.bytes().len(), 16);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Serial::from_u64(0xdead).to_string(), "dead");
+    }
+}

@@ -1,0 +1,132 @@
+//! Trusted root stores.
+//!
+//! Censys validates certificates against the Apple, Microsoft, and
+//! Mozilla NSS root stores and the paper counts a certificate as valid if
+//! *any* of the three trusts it (§4, footnote 7). [`RootStore`] models one
+//! store; [`RootStore::union`] models the paper's any-of-three rule.
+
+use crate::cert::Certificate;
+use crate::name::Name;
+
+/// A set of trusted self-signed root certificates.
+#[derive(Debug, Clone, Default)]
+pub struct RootStore {
+    name: String,
+    roots: Vec<Certificate>,
+}
+
+impl RootStore {
+    /// An empty store with a display name ("Mozilla NSS", …).
+    pub fn new(name: &str) -> RootStore {
+        RootStore { name: name.to_string(), roots: Vec::new() }
+    }
+
+    /// The store's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a trusted root. Only self-signed CA certificates are accepted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a self-signed CA certificate — root stores
+    /// are built by the simulation, so a violation is a generator bug.
+    pub fn add(&mut self, root: Certificate) {
+        assert!(root.is_self_signed(), "root store entries must be self-signed");
+        assert!(root.is_ca(), "root store entries must be CA certificates");
+        if !self.roots.iter().any(|r| r.fingerprint() == root.fingerprint()) {
+            self.roots.push(root);
+        }
+    }
+
+    /// All roots.
+    pub fn roots(&self) -> &[Certificate] {
+        &self.roots
+    }
+
+    /// Number of roots.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Find a root whose subject matches `issuer`.
+    pub fn find_issuer(&self, issuer: &Name) -> Option<&Certificate> {
+        self.roots.iter().find(|r| r.subject() == issuer)
+    }
+
+    /// Whether a specific root (by fingerprint) is present.
+    pub fn contains(&self, cert: &Certificate) -> bool {
+        self.roots.iter().any(|r| r.fingerprint() == cert.fingerprint())
+    }
+
+    /// The union of several stores — the paper's "trusted by at least one
+    /// of Apple/Microsoft/NSS" rule.
+    pub fn union<'a>(stores: impl IntoIterator<Item = &'a RootStore>) -> RootStore {
+        let mut out = RootStore::new("union");
+        for store in stores {
+            for root in &store.roots {
+                out.add(root.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use asn1::Time;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn now() -> Time {
+        Time::from_civil(2018, 4, 25, 0, 0, 0)
+    }
+
+    fn make_root(seed: u64, cn: &str) -> Certificate {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CertificateAuthority::new_root(&mut rng, "Org", cn, "x.test", now())
+            .certificate()
+            .clone()
+    }
+
+    #[test]
+    fn add_find_and_dedupe() {
+        let mut store = RootStore::new("Mozilla NSS");
+        let root = make_root(1, "Root A");
+        store.add(root.clone());
+        store.add(root.clone());
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(&root));
+        assert!(store.find_issuer(root.subject()).is_some());
+        assert!(store.find_issuer(&Name::common_name("missing")).is_none());
+    }
+
+    #[test]
+    fn union_merges_and_dedupes() {
+        let shared = make_root(2, "Shared Root");
+        let mut apple = RootStore::new("Apple");
+        let mut nss = RootStore::new("NSS");
+        apple.add(shared.clone());
+        apple.add(make_root(3, "Apple Only"));
+        nss.add(shared.clone());
+        nss.add(make_root(4, "NSS Only"));
+        let union = RootStore::union([&apple, &nss]);
+        assert_eq!(union.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-signed")]
+    fn rejects_non_root() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ca = CertificateAuthority::new_root(&mut rng, "Org", "Root", "x.test", now());
+        let leaf = ca.issue(&mut rng, &crate::ca::IssueParams::new("leaf.example", now()));
+        RootStore::new("strict").add(leaf);
+    }
+}

@@ -1,0 +1,601 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! A compact school-book implementation sized for the toy RSA keys the
+//! study uses (≤ 1024 bits). Limbs are `u32` so multiplication can use
+//! `u64` intermediates without overflow gymnastics. Nothing here is
+//! constant-time — these keys protect nothing.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Invariant: `limbs` has no trailing zero limbs (so zero is the empty
+/// vector), least-significant limb first.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> BigUint {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> BigUint {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a `u64`.
+    pub fn from_u64(v: u64) -> BigUint {
+        let mut n = BigUint { limbs: vec![v as u32, (v >> 32) as u32] };
+        n.normalize();
+        n
+    }
+
+    /// From big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut acc: u32 = 0;
+        let mut shift = 0;
+        for &b in bytes.iter().rev() {
+            acc |= u32::from(b) << shift;
+            shift += 8;
+            if shift == 32 {
+                limbs.push(acc);
+                acc = 0;
+                shift = 0;
+            }
+        }
+        if shift > 0 {
+            limbs.push(acc);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// To big-endian bytes (minimal length; zero encodes as empty).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for &limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// To big-endian bytes left-padded with zeros to exactly `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_be_bytes_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_be_bytes();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|&l| l & 1 == 1)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Test bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        let off = i % 32;
+        self.limbs.get(limb).is_some_and(|&l| l >> off & 1 == 1)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(longer.len() + 1);
+        let mut carry: u64 = 0;
+        for i in 0..longer.len() {
+            let sum = u64::from(longer[i])
+                + u64::from(shorter.get(i).copied().unwrap_or(0))
+                + carry;
+            out.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (unsigned arithmetic).
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self.cmp_to(other) != Ordering::Less, "unsigned subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow: i64 = 0;
+        for i in 0..self.limbs.len() {
+            let mut diff = i64::from(self.limbs[i])
+                - i64::from(other.limbs.get(i).copied().unwrap_or(0))
+                - borrow;
+            if diff < 0 {
+                diff += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(diff as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self * other`.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u64 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = u64::from(a) * u64::from(b) + u64::from(out[i + j]) + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = u64::from(out[k]) + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Shift left by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry: u32 = 0;
+            for &l in &self.limbs {
+                out.push(l << bit_shift | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Shift right by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = src.get(i + 1).copied().unwrap_or(0) << (32 - bit_shift);
+                out.push(lo | hi);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Compare (avoiding the `Ord` trait name clash in call sites).
+    pub fn cmp_to(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `(self / divisor, self % divisor)` by binary long division.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self.cmp_to(divisor) == Ordering::Less {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            // Fast path: single-limb divisor.
+            let d = u64::from(divisor.limbs[0]);
+            let mut rem: u64 = 0;
+            let mut q = vec![0u32; self.limbs.len()];
+            for i in (0..self.limbs.len()).rev() {
+                let cur = rem << 32 | u64::from(self.limbs[i]);
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            let mut quot = BigUint { limbs: q };
+            quot.normalize();
+            return (quot, BigUint::from_u64(rem));
+        }
+        // General case: Knuth TAOCP vol. 2 Algorithm D (word-based long
+        // division). Normalize so the divisor's top limb has its high bit
+        // set, estimate each quotient digit from the top two remainder
+        // limbs, and correct with at most two fix-ups.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let v = divisor.shl(shift).limbs;
+        let u_big = self.shl(shift);
+        let n = v.len();
+        let m = u_big.limbs.len() - n;
+        let mut u = u_big.limbs;
+        u.push(0); // extra high limb for the algorithm
+        let mut q = vec![0u32; m + 1];
+        let v_top = u64::from(v[n - 1]);
+        let v_next = u64::from(v[n - 2]);
+        for j in (0..=m).rev() {
+            // Estimate q_hat from the top two limbs of the current window.
+            let top = (u64::from(u[j + n]) << 32) | u64::from(u[j + n - 1]);
+            let mut q_hat = top / v_top;
+            let mut r_hat = top % v_top;
+            while q_hat >= 1 << 32
+                || q_hat * v_next > (r_hat << 32 | u64::from(u[j + n - 2]))
+            {
+                q_hat -= 1;
+                r_hat += v_top;
+                if r_hat >= 1 << 32 {
+                    break;
+                }
+            }
+            // Multiply-subtract q_hat * v from u[j .. j+n].
+            let mut borrow: i64 = 0;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let p = q_hat * u64::from(v[i]) + carry;
+                carry = p >> 32;
+                let sub = i64::from(u[j + i]) - (p as u32 as i64) - borrow;
+                if sub < 0 {
+                    u[j + i] = (sub + (1 << 32)) as u32;
+                    borrow = 1;
+                } else {
+                    u[j + i] = sub as u32;
+                    borrow = 0;
+                }
+            }
+            let sub = i64::from(u[j + n]) - carry as i64 - borrow;
+            if sub < 0 {
+                // q_hat was one too large: add the divisor back.
+                u[j + n] = (sub + (1 << 32)) as u32;
+                q_hat -= 1;
+                let mut carry: u64 = 0;
+                for i in 0..n {
+                    let t = u64::from(u[j + i]) + u64::from(v[i]) + carry;
+                    u[j + i] = t as u32;
+                    carry = t >> 32;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u32);
+            } else {
+                u[j + n] = sub as u32;
+            }
+            q[j] = q_hat as u32;
+        }
+        let mut quotient = BigUint { limbs: q };
+        quotient.normalize();
+        u.truncate(n);
+        let mut rem = BigUint { limbs: u };
+        rem.normalize();
+        rem = rem.shr(shift);
+        (quotient, rem)
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).1
+    }
+
+    /// `self * other mod m`.
+    pub fn mulmod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(other).rem(m)
+    }
+
+    /// `self ^ exp mod m` by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow modulus is zero");
+        if m.limbs == [1] {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self.rem(m);
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.mulmod(&base, m);
+            }
+            base = base.mulmod(&base, m);
+        }
+        result
+    }
+
+    /// Modular inverse of `self` modulo `m` via the extended Euclidean
+    /// algorithm; `None` if `gcd(self, m) != 1`.
+    pub fn modinv(&self, m: &BigUint) -> Option<BigUint> {
+        // Extended Euclid on signed values represented as (sign, magnitude).
+        // r_{k+1} = r_{k-1} - q r_k ; track t coefficients only.
+        let mut r0 = m.clone();
+        let mut r1 = self.rem(m);
+        // t as (negative?, magnitude)
+        let mut t0 = (false, BigUint::zero());
+        let mut t1 = (false, BigUint::one());
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            // t2 = t0 - q * t1
+            let qt1 = q.mul(&t1.1);
+            let t2 = signed_sub(t0.clone(), (t1.0, qt1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if r0 != BigUint::one() {
+            return None;
+        }
+        // Normalize t0 into [0, m).
+        let (neg, mag) = t0;
+        let mag = mag.rem(m);
+        if neg && !mag.is_zero() {
+            Some(m.sub(&mag))
+        } else {
+            Some(mag)
+        }
+    }
+}
+
+/// `(a_sign, a) - (b_sign, b)` on sign/magnitude pairs.
+fn signed_sub(a: (bool, BigUint), b: (bool, BigUint)) -> (bool, BigUint) {
+    match (a.0, b.0) {
+        // a - b with both positive.
+        (false, false) => {
+            if a.1.cmp_to(&b.1) != Ordering::Less {
+                (false, a.1.sub(&b.1))
+            } else {
+                (true, b.1.sub(&a.1))
+            }
+        }
+        // a - (-b) = a + b
+        (false, true) => (false, a.1.add(&b.1)),
+        // -a - b = -(a + b)
+        (true, false) => (true, a.1.add(&b.1)),
+        // -a - (-b) = b - a
+        (true, true) => {
+            if b.1.cmp_to(&a.1) != Ordering::Less {
+                (false, b.1.sub(&a.1))
+            } else {
+                (true, a.1.sub(&b.1))
+            }
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_to(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_to(other)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x")?;
+        for (i, limb) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{limb:x}")?;
+            } else {
+                write!(f, "{limb:08x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn construction_and_bytes() {
+        assert!(BigUint::zero().is_zero());
+        assert_eq!(BigUint::from_be_bytes(&[]).to_be_bytes(), Vec::<u8>::new());
+        let x = BigUint::from_be_bytes(&[0x01, 0x02, 0x03, 0x04, 0x05]);
+        assert_eq!(x.to_be_bytes(), vec![0x01, 0x02, 0x03, 0x04, 0x05]);
+        assert_eq!(x.bit_len(), 33);
+        assert_eq!(BigUint::from_be_bytes(&[0, 0, 7]).to_be_bytes(), vec![7]);
+        assert_eq!(n(0x1_0000_0001).to_be_bytes(), vec![1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn padded_bytes() {
+        assert_eq!(n(5).to_be_bytes_padded(4), vec![0, 0, 0, 5]);
+        assert_eq!(BigUint::zero().to_be_bytes_padded(2), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_bytes_too_small_panics() {
+        n(0x1_0000).to_be_bytes_padded(2);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = n(u64::MAX);
+        let b = n(12345);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.add(&b).sub(&a), b);
+        // Carry chain across limbs.
+        let c = BigUint::from_be_bytes(&[0xff; 12]);
+        assert_eq!(c.add(&BigUint::one()).sub(&BigUint::one()), c);
+    }
+
+    #[test]
+    fn mul_known_values() {
+        assert_eq!(n(0).mul(&n(77)), n(0));
+        assert_eq!(n(123456789).mul(&n(987654321)), n(123456789 * 987654321));
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let a = n(u64::MAX);
+        let sq = a.mul(&a);
+        let expect = BigUint::one()
+            .shl(128)
+            .sub(&BigUint::one().shl(65))
+            .add(&BigUint::one());
+        assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(n(1).shl(100).shr(100), n(1));
+        assert_eq!(n(0b1011).shl(3), n(0b1011000));
+        assert_eq!(n(0b1011).shr(2), n(0b10));
+        assert_eq!(n(5).shr(64), n(0));
+    }
+
+    #[test]
+    fn div_rem_properties() {
+        let a = BigUint::from_be_bytes(&[0xde, 0xad, 0xbe, 0xef, 0xfe, 0xed, 0xfa, 0xce, 0x01]);
+        let b = n(0xabcdef);
+        let (q, r) = a.div_rem(&b);
+        assert!(r.cmp_to(&b) == Ordering::Less);
+        assert_eq!(q.mul(&b).add(&r), a);
+        // Divisor bigger than dividend.
+        let (q, r) = n(5).div_rem(&n(100));
+        assert_eq!(q, n(0));
+        assert_eq!(r, n(5));
+        // Multi-limb divisor.
+        let big = a.mul(&a).add(&n(17));
+        let (q, r) = big.div_rem(&a);
+        assert_eq!(q.mul(&a).add(&r), big);
+        assert_eq!(r, n(17));
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        // 4^13 mod 497 = 445 (classic example)
+        assert_eq!(n(4).modpow(&n(13), &n(497)), n(445));
+        // Fermat: a^(p-1) mod p == 1 for prime p, a not divisible by p.
+        let p = n(1_000_000_007);
+        assert_eq!(n(123456).modpow(&p.sub(&BigUint::one()), &p), n(1));
+        // mod 1 is always 0.
+        assert_eq!(n(9).modpow(&n(9), &n(1)), n(0));
+        // exponent 0 gives 1.
+        assert_eq!(n(9).modpow(&n(0), &n(7)), n(1));
+    }
+
+    #[test]
+    fn modinv_basics() {
+        // 3 * 4 = 12 ≡ 1 mod 11
+        assert_eq!(n(3).modinv(&n(11)), Some(n(4)));
+        // gcd(6, 9) = 3: no inverse.
+        assert_eq!(n(6).modinv(&n(9)), None);
+        // e=65537 mod a typical phi.
+        let phi = n(3_233_462_989_238_497_280);
+        let e = n(65537);
+        let d = e.modinv(&phi).unwrap();
+        assert_eq!(e.mulmod(&d, &phi), BigUint::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        n(1).sub(&n(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        n(1).div_rem(&n(0));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(n(5) < n(6));
+        assert!(BigUint::one().shl(64) > n(u64::MAX));
+        assert_eq!(n(7).cmp_to(&n(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", n(0)), "0x0");
+        assert_eq!(format!("{:?}", n(0xdeadbeef)), "0xdeadbeef");
+        assert_eq!(format!("{:?}", n(0x1_0000_0000)), "0x100000000");
+    }
+}

@@ -1,0 +1,185 @@
+//! Probabilistic primality testing and prime generation.
+//!
+//! Miller–Rabin with random bases (plus a small-prime sieve for speed).
+//! Prime generation draws candidates from a caller-supplied [`rand::Rng`]
+//! so the whole PKI can be generated deterministically from one seed.
+
+use crate::bigint::BigUint;
+use rand::Rng;
+
+/// Small primes used to quickly reject obvious composites.
+const SMALL_PRIMES: [u32; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+/// Miller–Rabin rounds. For *random* candidates (our only use) the
+/// composite-escape probability after 8 rounds is far below 4^-8;
+/// the small-prime sieve removes the easy composites first.
+const MR_ROUNDS: usize = 8;
+
+/// Test whether `n` is (very probably) prime.
+pub fn is_probable_prime(n: &BigUint, rng: &mut impl Rng) -> bool {
+    if n.is_zero() {
+        return false;
+    }
+    let one = BigUint::one();
+    let two = BigUint::from_u64(2);
+    if n == &one {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p_big = BigUint::from_u64(u64::from(p));
+        if n == &p_big {
+            return true;
+        }
+        if n.rem(&p_big).is_zero() {
+            return false;
+        }
+    }
+    if !n.is_odd() {
+        return false;
+    }
+
+    // Write n-1 = d * 2^r with d odd.
+    let n_minus_1 = n.sub(&one);
+    let mut d = n_minus_1.clone();
+    let mut r = 0usize;
+    while !d.is_odd() {
+        d = d.shr(1);
+        r += 1;
+    }
+
+    'witness: for _ in 0..MR_ROUNDS {
+        // Random base in [2, n-2].
+        let a = random_below(rng, &n_minus_1.sub(&two)).add(&two);
+        let mut x = a.modpow(&d, n);
+        if x == one || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..r.saturating_sub(1) {
+            x = x.mulmod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Uniform random value in `[0, bound)`; `bound` must be nonzero.
+pub fn random_below(rng: &mut impl Rng, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "random_below bound must be nonzero");
+    let bytes = (bound.bit_len() + 7) / 8;
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill(&mut buf[..]);
+        // Mask the top byte down to the bound's bit length to keep the
+        // rejection rate below 50%.
+        let top_bits = bound.bit_len() % 8;
+        if top_bits > 0 {
+            buf[0] &= (1u16 << top_bits).wrapping_sub(1) as u8;
+        }
+        let candidate = BigUint::from_be_bytes(&buf);
+        if candidate.cmp_to(bound) == core::cmp::Ordering::Less {
+            return candidate;
+        }
+    }
+}
+
+/// Generate a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 8`.
+pub fn generate_prime(rng: &mut impl Rng, bits: usize) -> BigUint {
+    assert!(bits >= 8, "prime size must be at least 8 bits");
+    loop {
+        let bytes = (bits + 7) / 8;
+        let mut buf = vec![0u8; bytes];
+        rng.fill(&mut buf[..]);
+        let mut candidate = BigUint::from_be_bytes(&buf);
+        // Force exact bit length and oddness.
+        candidate = candidate
+            .rem(&BigUint::one().shl(bits - 1))
+            .add(&BigUint::one().shl(bits - 1));
+        if !candidate.is_odd() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        // March up in steps of 2 for a while before redrawing; cheaper
+        // than fresh candidates because the sieve rejects most.
+        for _ in 0..64 {
+            if candidate.bit_len() != bits {
+                break;
+            }
+            if is_probable_prime(&candidate, rng) {
+                return candidate;
+            }
+            candidate = candidate.add(&BigUint::from_u64(2));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed)
+    }
+
+    #[test]
+    fn small_primes_and_composites() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 199, 211, 65537, 1_000_000_007] {
+            assert!(is_probable_prime(&BigUint::from_u64(p), &mut r), "{p} should be prime");
+        }
+        for c in [0u64, 1, 4, 9, 15, 201, 65536, 1_000_000_008, 561, 41041] {
+            // 561 and 41041 are Carmichael numbers — MR must catch them.
+            assert!(!is_probable_prime(&BigUint::from_u64(c), &mut r), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn known_large_prime() {
+        // 2^89 - 1 is a Mersenne prime.
+        let m89 = BigUint::one().shl(89).sub(&BigUint::one());
+        assert!(is_probable_prime(&m89, &mut rng()));
+        // 2^83 - 1 is composite.
+        let m83 = BigUint::one().shl(83).sub(&BigUint::one());
+        assert!(!is_probable_prime(&m83, &mut rng()));
+    }
+
+    #[test]
+    fn generated_primes_have_exact_size() {
+        let mut r = rng();
+        for bits in [16usize, 64, 128] {
+            let p = generate_prime(&mut r, bits);
+            assert_eq!(p.bit_len(), bits);
+            assert!(p.is_odd());
+            assert!(is_probable_prime(&p, &mut r));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate_prime(&mut StdRng::seed_from_u64(7), 64);
+        let b = generate_prime(&mut StdRng::seed_from_u64(7), 64);
+        let c = generate_prime(&mut StdRng::seed_from_u64(8), 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_below_is_in_range() {
+        let mut r = rng();
+        let bound = BigUint::from_u64(1000);
+        for _ in 0..200 {
+            let v = random_below(&mut r, &bound);
+            assert!(v.cmp_to(&bound) == core::cmp::Ordering::Less);
+        }
+    }
+}

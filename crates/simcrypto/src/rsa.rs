@@ -1,0 +1,299 @@
+//! Toy-size textbook RSA signatures with PKCS#1 v1.5-shaped padding.
+//!
+//! Signing encodes `EM = 0x00 || 0x01 || 0xFF.. || 0x00 || SHA256(msg)`
+//! and computes `EM^d mod n`; verification recomputes `sig^e mod n` and
+//! compares the full encoded message. The padding check is strict
+//! (full re-encode comparison), so truncation/garbage attacks used by the
+//! study's fault injector are reliably detected.
+//!
+//! The default modulus size is 384 bits: large enough that the byte-level
+//! encodings look realistic, small enough that a measurement campaign can
+//! sign millions of responses in seconds.
+
+use crate::bigint::BigUint;
+use crate::prime::generate_prime;
+use crate::sha256;
+use rand::Rng;
+
+/// Default modulus size in bits for simulation keys — the smallest size
+/// that fits PKCS#1-style SHA-256 padding. Signing cost scales roughly
+/// cubically with modulus size, and the scan campaigns sign millions of
+/// responses, so the default stays at the floor.
+pub const DEFAULT_BITS: usize = 384;
+
+/// The fixed public exponent, 65537.
+pub fn public_exponent() -> BigUint {
+    BigUint::from_u64(65537)
+}
+
+/// Verification failure reasons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignatureError {
+    /// The signature integer was not smaller than the modulus, or had the
+    /// wrong byte length.
+    Malformed,
+    /// The recovered encoded message did not match the expected padding
+    /// and digest.
+    Invalid,
+}
+
+impl core::fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SignatureError::Malformed => write!(f, "malformed signature"),
+            SignatureError::Invalid => write!(f, "signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// An RSA public key (n, e).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+impl PublicKey {
+    /// Construct from raw components.
+    pub fn new(n: BigUint, e: BigUint) -> PublicKey {
+        PublicKey { n, e }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// The public exponent.
+    pub fn exponent(&self) -> &BigUint {
+        &self.e
+    }
+
+    /// Modulus size in whole bytes.
+    pub fn modulus_len(&self) -> usize {
+        (self.n.bit_len() + 7) / 8
+    }
+
+    /// Verify `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> Result<(), SignatureError> {
+        let k = self.modulus_len();
+        if signature.len() != k {
+            return Err(SignatureError::Malformed);
+        }
+        let s = BigUint::from_be_bytes(signature);
+        if s.cmp_to(&self.n) != core::cmp::Ordering::Less {
+            return Err(SignatureError::Malformed);
+        }
+        let em = s.modpow(&self.e, &self.n).to_be_bytes_padded(k);
+        let expected = encode_em(message, k).ok_or(SignatureError::Malformed)?;
+        if em == expected {
+            Ok(())
+        } else {
+            Err(SignatureError::Invalid)
+        }
+    }
+
+    /// A stable identifier for this key: SHA-256 of `n || e` bytes.
+    /// Used as the `issuerKeyHash` in OCSP CertIDs.
+    pub fn key_id(&self) -> [u8; 32] {
+        let mut data = self.n.to_be_bytes();
+        data.extend_from_slice(&self.e.to_be_bytes());
+        sha256(&data)
+    }
+}
+
+/// An RSA key pair, with CRT parameters for fast signing.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    public: PublicKey,
+    d: BigUint,
+    /// CRT: the prime factors and reduced exponents. Signing via the
+    /// Chinese Remainder Theorem is ~4x faster than a full modpow, which
+    /// matters because the simulated responders sign hundreds of
+    /// thousands of OCSP responses per measurement campaign.
+    p: BigUint,
+    q: BigUint,
+    dp: BigUint,
+    dq: BigUint,
+    qinv: BigUint,
+}
+
+impl KeyPair {
+    /// Generate a key pair with a modulus of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 384`: the encoded message needs 32 (digest) + 3
+    /// (header) + 8 (minimum pad) = 43 bytes, i.e. 344 bits, and we round
+    /// up to the next common size.
+    pub fn generate(rng: &mut impl Rng, bits: usize) -> KeyPair {
+        assert!(bits >= 384, "modulus too small for SHA-256 padding");
+        let e = public_exponent();
+        loop {
+            let p = generate_prime(rng, bits / 2);
+            let q = generate_prime(rng, bits - bits / 2);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            if n.bit_len() != bits {
+                continue;
+            }
+            let one = BigUint::one();
+            let phi = p.sub(&one).mul(&q.sub(&one));
+            let Some(d) = e.modinv(&phi) else { continue };
+            let Some(qinv) = q.modinv(&p) else { continue };
+            let dp = d.rem(&p.sub(&one));
+            let dq = d.rem(&q.sub(&one));
+            return KeyPair { public: PublicKey { n, e }, d, p, q, dp, dq, qinv };
+        }
+    }
+
+    /// Generate with the default simulation size.
+    pub fn generate_default(rng: &mut impl Rng) -> KeyPair {
+        Self::generate(rng, DEFAULT_BITS)
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Sign `message`, returning a signature of exactly `modulus_len`
+    /// bytes. Uses CRT: `s1 = m^dp mod p`, `s2 = m^dq mod q`,
+    /// `h = qinv (s1 - s2) mod p`, `s = s2 + q h`.
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        let k = self.public.modulus_len();
+        let em = encode_em(message, k).expect("modulus checked at generation");
+        let m = BigUint::from_be_bytes(&em);
+        let s1 = m.modpow(&self.dp, &self.p);
+        let s2 = m.modpow(&self.dq, &self.q);
+        // (s1 - s2) mod p, lifting s2 into Z_p first to avoid underflow.
+        let s2_mod_p = s2.rem(&self.p);
+        let diff = if s1.cmp_to(&s2_mod_p) != core::cmp::Ordering::Less {
+            s1.sub(&s2_mod_p)
+        } else {
+            s1.add(&self.p).sub(&s2_mod_p)
+        };
+        let h = self.qinv.mulmod(&diff, &self.p);
+        let s = s2.add(&self.q.mul(&h));
+        s.to_be_bytes_padded(k)
+    }
+
+    /// The full private exponent (exposed for tests/ablations comparing
+    /// CRT signing against the straight `m^d mod n` path).
+    pub fn sign_without_crt(&self, message: &[u8]) -> Vec<u8> {
+        let k = self.public.modulus_len();
+        let em = encode_em(message, k).expect("modulus checked at generation");
+        let m = BigUint::from_be_bytes(&em);
+        m.modpow(&self.d, &self.public.n).to_be_bytes_padded(k)
+    }
+}
+
+/// PKCS#1 v1.5-shaped encoded message for a SHA-256 digest.
+/// Returns `None` when `k` is too small to hold the padding.
+fn encode_em(message: &[u8], k: usize) -> Option<Vec<u8>> {
+    let digest = sha256(message);
+    // 0x00 0x01 PS 0x00 DIGEST, with PS at least 8 bytes of 0xFF.
+    let ps_len = k.checked_sub(3 + digest.len())?;
+    if ps_len < 8 {
+        return None;
+    }
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.extend(core::iter::repeat(0xff).take(ps_len));
+    em.push(0x00);
+    em.extend_from_slice(&digest);
+    Some(em)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn keypair() -> KeyPair {
+        KeyPair::generate(&mut StdRng::seed_from_u64(42), 384)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = keypair();
+        let sig = kp.sign(b"ocsp response body");
+        kp.public().verify(b"ocsp response body", &sig).unwrap();
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let kp = keypair();
+        let sig = kp.sign(b"original");
+        assert_eq!(kp.public().verify(b"tampered", &sig), Err(SignatureError::Invalid));
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let kp = keypair();
+        let mut sig = kp.sign(b"message");
+        sig[5] ^= 0x40;
+        assert!(kp.public().verify(b"message", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp1 = keypair();
+        let kp2 = KeyPair::generate(&mut StdRng::seed_from_u64(43), 384);
+        let sig = kp1.sign(b"message");
+        assert!(kp2.public().verify(b"message", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_length_signature_is_malformed() {
+        let kp = keypair();
+        let sig = kp.sign(b"m");
+        assert_eq!(kp.public().verify(b"m", &sig[1..]), Err(SignatureError::Malformed));
+        let mut long = sig.clone();
+        long.push(0);
+        assert_eq!(kp.public().verify(b"m", &long), Err(SignatureError::Malformed));
+    }
+
+    #[test]
+    fn signature_has_modulus_length() {
+        let kp = keypair();
+        for msg in [&b""[..], b"x", b"a much longer message spanning blocks"] {
+            assert_eq!(kp.sign(msg).len(), kp.public().modulus_len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = KeyPair::generate(&mut StdRng::seed_from_u64(9), 384);
+        let b = KeyPair::generate(&mut StdRng::seed_from_u64(9), 384);
+        assert_eq!(a.public(), b.public());
+    }
+
+    #[test]
+    fn key_ids_differ() {
+        let a = keypair();
+        let b = KeyPair::generate(&mut StdRng::seed_from_u64(77), 384);
+        assert_ne!(a.public().key_id(), b.public().key_id());
+    }
+
+    #[test]
+    fn crt_matches_plain_signing() {
+        let kp = keypair();
+        for msg in [&b"a"[..], b"bb", b"a longer message for crt equivalence"] {
+            assert_eq!(kp.sign(msg), kp.sign_without_crt(msg));
+        }
+    }
+
+    #[test]
+    fn default_bits_keypair_works() {
+        let kp = KeyPair::generate_default(&mut StdRng::seed_from_u64(1));
+        assert_eq!(kp.public().modulus_len(), DEFAULT_BITS / 8);
+        let sig = kp.sign(b"default");
+        kp.public().verify(b"default", &sig).unwrap();
+    }
+}

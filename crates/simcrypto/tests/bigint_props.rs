@@ -1,0 +1,96 @@
+//! Property tests for the big-integer arithmetic, with special attention
+//! to Knuth Algorithm D division (the fiddliest code in the crate).
+
+use mustaple_simcrypto::BigUint;
+use proptest::prelude::*;
+
+fn big(bytes: &[u8]) -> BigUint {
+    BigUint::from_be_bytes(bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn division_identity(a in proptest::collection::vec(any::<u8>(), 0..40),
+                         b in proptest::collection::vec(any::<u8>(), 1..24)) {
+        let a = big(&a);
+        let b = big(&b);
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        // a == q*b + r and r < b
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+        prop_assert!(r.cmp_to(&b) == core::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn add_sub_inverse(a in proptest::collection::vec(any::<u8>(), 0..40),
+                       b in proptest::collection::vec(any::<u8>(), 0..40)) {
+        let a = big(&a);
+        let b = big(&b);
+        prop_assert_eq!(a.add(&b).sub(&b), a.clone());
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn mul_distributes(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (BigUint::from_u64(a), BigUint::from_u64(b), BigUint::from_u64(c));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let n = big(&bytes);
+        let back = BigUint::from_be_bytes(&n.to_be_bytes());
+        prop_assert_eq!(back, n);
+    }
+
+    #[test]
+    fn shifts_are_mul_div_by_powers(a in proptest::collection::vec(any::<u8>(), 0..32),
+                                    s in 0usize..80) {
+        let a = big(&a);
+        let pow = BigUint::one().shl(s);
+        prop_assert_eq!(a.shl(s), a.mul(&pow));
+        prop_assert_eq!(a.shr(s), a.div_rem(&pow).0);
+    }
+
+    #[test]
+    fn modpow_matches_naive(base in 0u64..1000, exp in 0u32..24, m in 2u64..100_000) {
+        let m_big = BigUint::from_u64(m);
+        let got = BigUint::from_u64(base).modpow(&BigUint::from_u64(u64::from(exp)), &m_big);
+        // Naive reference using u128.
+        let mut acc: u128 = 1;
+        for _ in 0..exp {
+            acc = acc * u128::from(base) % u128::from(m);
+        }
+        prop_assert_eq!(got, BigUint::from_u64(acc as u64));
+    }
+
+    #[test]
+    fn modinv_really_inverts(a in 1u64..u64::MAX, m in 3u64..u64::MAX) {
+        let a = BigUint::from_u64(a);
+        let m = BigUint::from_u64(m);
+        if let Some(inv) = a.modinv(&m) {
+            prop_assert_eq!(a.mulmod(&inv, &m), BigUint::one());
+            prop_assert!(inv.cmp_to(&m) == core::cmp::Ordering::Less);
+        }
+    }
+
+    /// Stress exactly the Algorithm D q_hat fix-up path: divisors whose
+    /// top limb is large and dividends built to sit near digit boundaries.
+    #[test]
+    fn division_near_digit_boundaries(top in (1u32 << 31)..=u32::MAX,
+                                      lows in proptest::collection::vec(any::<u32>(), 1..4),
+                                      q in any::<u64>(), extra in any::<u32>()) {
+        // divisor = [lows..., top]; dividend = divisor * q + extra
+        let mut div_bytes = top.to_be_bytes().to_vec();
+        for l in &lows {
+            div_bytes.extend_from_slice(&l.to_be_bytes());
+        }
+        let divisor = big(&div_bytes);
+        let dividend = divisor.mul(&BigUint::from_u64(q)).add(&BigUint::from_u64(u64::from(extra)));
+        let (got_q, got_r) = dividend.div_rem(&divisor);
+        prop_assert_eq!(got_q.mul(&divisor).add(&got_r), dividend);
+        prop_assert!(got_r.cmp_to(&divisor) == core::cmp::Ordering::Less);
+    }
+}

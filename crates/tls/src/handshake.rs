@@ -1,0 +1,167 @@
+//! The handshake exchange and its transcript.
+//!
+//! The simulation keeps the handshake synchronous: the client sends a
+//! [`crate::wire::ClientHello`]; the server answers with a
+//! [`ServerFlight`] (certificate chain + optional stapled
+//! CertificateStatus + how long it stalled before answering); the client
+//! then renders a verdict (in the `browser` crate). The [`Transcript`]
+//! records the on-the-wire artifacts the paper's packet captures looked
+//! for.
+
+use crate::wire::{
+    CertificateMsg, CertificateStatusMsg, CertificateStatusV2Msg, ClientHello, WireError,
+};
+use pki::Certificate;
+
+/// What the server sends after the ClientHello.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerFlight {
+    /// The certificate chain, leaf first.
+    pub chain: Vec<Certificate>,
+    /// Stapled OCSP response bytes, if the server staples. Only sent
+    /// when the client offered `status_request` (RFC 6066 requires the
+    /// client to solicit it).
+    pub stapled_ocsp: Option<Vec<u8>>,
+    /// Extra delay the server imposed before completing the handshake,
+    /// in milliseconds. Apache's pause-and-fetch behavior (§7.2) shows
+    /// up here.
+    pub stall_ms: f64,
+    /// RFC 6961 multi-staple responses (one optional entry per chain
+    /// element), for servers that support `status_request_v2`. Almost
+    /// nobody does (§2.3); `None` = v2 unsupported.
+    pub stapled_ocsp_multi: Option<Vec<Option<Vec<u8>>>>,
+}
+
+impl ServerFlight {
+    /// The common single-staple flight.
+    pub fn new(chain: Vec<Certificate>, stapled_ocsp: Option<Vec<u8>>, stall_ms: f64) -> Self {
+        ServerFlight { chain, stapled_ocsp, stall_ms, stapled_ocsp_multi: None }
+    }
+
+    /// Attach RFC 6961 multi-staple responses.
+    pub fn with_multi_staple(mut self, responses: Vec<Option<Vec<u8>>>) -> Self {
+        self.stapled_ocsp_multi = Some(responses);
+        self
+    }
+}
+
+/// The observable record of one handshake — what a packet capture shows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transcript {
+    /// Raw ClientHello bytes.
+    pub client_hello: Vec<u8>,
+    /// Raw Certificate message bytes.
+    pub certificate_msg: Vec<u8>,
+    /// Raw CertificateStatus bytes, when the server stapled.
+    pub certificate_status_msg: Option<Vec<u8>>,
+    /// Raw RFC 6961 CertificateStatus (ocsp_multi) bytes, when the
+    /// client offered `status_request_v2` and the server supports it.
+    pub certificate_status_v2_msg: Option<Vec<u8>>,
+    /// Total handshake stall beyond network RTTs, ms.
+    pub stall_ms: f64,
+}
+
+impl Transcript {
+    /// Assemble the transcript for a hello/flight exchange, producing the
+    /// exact bytes each side would emit.
+    pub fn record(hello: &ClientHello, flight: &ServerFlight) -> Transcript {
+        let certificate_msg = CertificateMsg { chain: flight.chain.clone() }.encode();
+        // Servers must not staple to clients that did not ask (RFC 6066);
+        // honoring that here means misbehaving-server experiments encode
+        // the rule violation explicitly rather than by accident.
+        let certificate_status_msg = if hello.status_request {
+            flight
+                .stapled_ocsp
+                .as_ref()
+                .map(|ocsp| CertificateStatusMsg { ocsp_response: ocsp.clone() }.encode())
+        } else {
+            None
+        };
+        let certificate_status_v2_msg = if hello.status_request_v2 {
+            flight.stapled_ocsp_multi.as_ref().map(|responses| {
+                CertificateStatusV2Msg { responses: responses.clone() }.encode()
+            })
+        } else {
+            None
+        };
+        Transcript {
+            client_hello: hello.encode(),
+            certificate_msg,
+            certificate_status_msg,
+            certificate_status_v2_msg,
+            stall_ms: flight.stall_ms,
+        }
+    }
+
+    /// Did the client solicit a staple? (Table 2, row "Request OCSP
+    /// response".)
+    pub fn client_solicited_staple(&self) -> Result<bool, WireError> {
+        Ok(ClientHello::decode(&self.client_hello)?.status_request)
+    }
+
+    /// The server's chain, re-parsed from the wire.
+    pub fn server_chain(&self) -> Result<Vec<Certificate>, WireError> {
+        Ok(CertificateMsg::decode(&self.certificate_msg)?.chain)
+    }
+
+    /// The stapled OCSP response bytes, re-parsed from the wire.
+    pub fn stapled_ocsp(&self) -> Result<Option<Vec<u8>>, WireError> {
+        match &self.certificate_status_msg {
+            None => Ok(None),
+            Some(bytes) => Ok(Some(CertificateStatusMsg::decode(bytes)?.ocsp_response)),
+        }
+    }
+
+    /// The RFC 6961 multi-staple responses, re-parsed from the wire.
+    pub fn stapled_ocsp_multi(&self) -> Result<Option<Vec<Option<Vec<u8>>>>, WireError> {
+        match &self.certificate_status_v2_msg {
+            None => Ok(None),
+            Some(bytes) => Ok(Some(CertificateStatusV2Msg::decode(bytes)?.responses)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asn1::Time;
+    use pki::{CertificateAuthority, IssueParams};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn chain() -> Vec<Certificate> {
+        let mut rng = StdRng::seed_from_u64(10);
+        let now = Time::from_civil(2018, 5, 1, 0, 0, 0);
+        let mut ca = CertificateAuthority::new_root(&mut rng, "CA", "Root", "ca.test", now);
+        let leaf = ca.issue(&mut rng, &IssueParams::new("hs.example", now));
+        vec![leaf, ca.certificate().clone()]
+    }
+
+    #[test]
+    fn stapled_exchange_round_trips() {
+        let hello = ClientHello::new("hs.example", true);
+        let flight =
+            ServerFlight::new(chain(), Some(vec![0x30, 0x03, 0x0a, 0x01, 0x00]), 0.0);
+        let t = Transcript::record(&hello, &flight);
+        assert!(t.client_solicited_staple().unwrap());
+        assert_eq!(t.server_chain().unwrap().len(), 2);
+        assert_eq!(t.stapled_ocsp().unwrap().unwrap(), vec![0x30, 0x03, 0x0a, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn staple_suppressed_when_not_solicited() {
+        let hello = ClientHello::new("hs.example", false);
+        let flight = ServerFlight::new(chain(), Some(vec![1, 2, 3]), 0.0);
+        let t = Transcript::record(&hello, &flight);
+        assert!(!t.client_solicited_staple().unwrap());
+        assert_eq!(t.stapled_ocsp().unwrap(), None);
+    }
+
+    #[test]
+    fn absent_staple_recorded_as_none() {
+        let hello = ClientHello::new("hs.example", true);
+        let flight = ServerFlight::new(chain(), None, 120.0);
+        let t = Transcript::record(&hello, &flight);
+        assert_eq!(t.stapled_ocsp().unwrap(), None);
+        assert_eq!(t.stall_ms, 120.0);
+    }
+}

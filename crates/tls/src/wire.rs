@@ -1,0 +1,516 @@
+//! Binary encodings of the handshake messages the study inspects.
+//!
+//! Layouts follow RFC 5246 §7.4 (handshake framing: 1-byte type + 3-byte
+//! length), RFC 6066 §8 (`status_request`), and RFC 6066 §8 /
+//! RFC 4366 (CertificateStatus). Parsing is strict and never panics —
+//! the test suite feeds these parsers damaged input.
+
+use pki::Certificate;
+
+/// Handshake message type codes (RFC 5246 §7.4).
+pub mod msg_type {
+    /// ClientHello.
+    pub const CLIENT_HELLO: u8 = 1;
+    /// Certificate.
+    pub const CERTIFICATE: u8 = 11;
+    /// CertificateStatus (RFC 4366 §3.6).
+    pub const CERTIFICATE_STATUS: u8 = 22;
+}
+
+/// TLS extension type codes.
+pub mod ext_type {
+    /// server_name (RFC 6066 §3).
+    pub const SERVER_NAME: u16 = 0;
+    /// status_request (RFC 6066 §8) — the Certificate Status Request
+    /// extension the paper's Table 2 row 1 tests for.
+    pub const STATUS_REQUEST: u16 = 5;
+    /// status_request_v2 (RFC 6961) — multi-staple; §2.3 notes it "has
+    /// yet to see wide adoption".
+    pub const STATUS_REQUEST_V2: u16 = 17;
+}
+
+/// Wire-format decoding errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended early.
+    Truncated,
+    /// A declared length disagrees with the available bytes.
+    BadLength,
+    /// Wrong handshake message type byte.
+    WrongType {
+        /// What the caller expected.
+        expected: u8,
+        /// What was found.
+        found: u8,
+    },
+    /// A certificate in a Certificate message failed DER parsing.
+    BadCertificate,
+    /// CertificateStatus carried an unknown status_type.
+    UnknownStatusType(u8),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadLength => write!(f, "inconsistent length field"),
+            WireError::WrongType { expected, found } => {
+                write!(f, "wrong handshake type: expected {expected}, found {found}")
+            }
+            WireError::BadCertificate => write!(f, "unparseable certificate in chain"),
+            WireError::UnknownStatusType(t) => write!(f, "unknown certificate status type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// --- primitives -------------------------------------------------------------
+
+fn push_u24(out: &mut Vec<u8>, v: usize) {
+    debug_assert!(v < 1 << 24);
+    out.push((v >> 16) as u8);
+    out.push((v >> 8) as u8);
+    out.push(v as u8);
+}
+
+fn push_u16(out: &mut Vec<u8>, v: usize) {
+    debug_assert!(v < 1 << 16);
+    out.push((v >> 8) as u8);
+    out.push(v as u8);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+    fn u16(&mut self) -> Result<usize, WireError> {
+        Ok((self.u8()? as usize) << 8 | self.u8()? as usize)
+    }
+    fn u24(&mut self) -> Result<usize, WireError> {
+        Ok((self.u8()? as usize) << 16 | (self.u8()? as usize) << 8 | self.u8()? as usize)
+    }
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let slice = self.buf.get(self.pos..self.pos + n).ok_or(WireError::Truncated)?;
+        self.pos += n;
+        Ok(slice)
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Frame a handshake body with its type byte and u24 length.
+fn frame(msg_type: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 4);
+    out.push(msg_type);
+    push_u24(&mut out, body.len());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Unframe, checking the type byte and exact length.
+fn unframe(expected: u8, buf: &[u8]) -> Result<&[u8], WireError> {
+    let mut r = Reader::new(buf);
+    let found = r.u8()?;
+    if found != expected {
+        return Err(WireError::WrongType { expected, found });
+    }
+    let len = r.u24()?;
+    let body = r.bytes(len)?;
+    if !r.done() {
+        return Err(WireError::BadLength);
+    }
+    Ok(body)
+}
+
+// --- ClientHello -------------------------------------------------------------
+
+/// A (reduced) ClientHello: the fields the study inspects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// SNI host name.
+    pub server_name: String,
+    /// Whether the `status_request` extension is present — "Request OCSP
+    /// response" in the paper's Table 2.
+    pub status_request: bool,
+    /// Whether the RFC 6961 `status_request_v2` extension is present.
+    /// No 2018 browser sends it (§2.3).
+    pub status_request_v2: bool,
+}
+
+impl ClientHello {
+    /// The common 2018 hello: `status_request` only.
+    pub fn new(server_name: &str, status_request: bool) -> ClientHello {
+        ClientHello {
+            server_name: server_name.to_string(),
+            status_request,
+            status_request_v2: false,
+        }
+    }
+}
+
+impl ClientHello {
+    /// Encode to handshake bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        push_u16(&mut body, 0x0303); // TLS 1.2
+        let mut exts = Vec::new();
+        {
+            // server_name: list of one host_name entry.
+            let mut data = Vec::new();
+            let mut list = Vec::new();
+            list.push(0); // name_type host_name
+            push_u16(&mut list, self.server_name.len());
+            list.extend_from_slice(self.server_name.as_bytes());
+            push_u16(&mut data, list.len());
+            data.extend_from_slice(&list);
+            push_u16(&mut exts, ext_type::SERVER_NAME as usize);
+            push_u16(&mut exts, data.len());
+            exts.extend_from_slice(&data);
+        }
+        if self.status_request {
+            // CertificateStatusRequest: status_type=ocsp(1),
+            // empty responder_id_list, empty request_extensions.
+            let data = [1u8, 0, 0, 0, 0];
+            push_u16(&mut exts, ext_type::STATUS_REQUEST as usize);
+            push_u16(&mut exts, data.len());
+            exts.extend_from_slice(&data);
+        }
+        if self.status_request_v2 {
+            // CertificateStatusRequestListV2 with one ocsp_multi item.
+            let item = [2u8, 0, 4, 0, 0, 0, 0]; // type, u16 len, empty lists
+            let mut data = Vec::new();
+            push_u16(&mut data, item.len());
+            data.extend_from_slice(&item);
+            push_u16(&mut exts, ext_type::STATUS_REQUEST_V2 as usize);
+            push_u16(&mut exts, data.len());
+            exts.extend_from_slice(&data);
+        }
+        push_u16(&mut body, exts.len());
+        body.extend_from_slice(&exts);
+        frame(msg_type::CLIENT_HELLO, &body)
+    }
+
+    /// Decode from handshake bytes.
+    pub fn decode(buf: &[u8]) -> Result<ClientHello, WireError> {
+        let body = unframe(msg_type::CLIENT_HELLO, buf)?;
+        let mut r = Reader::new(body);
+        let _version = r.u16()?;
+        let ext_len = r.u16()?;
+        let exts = r.bytes(ext_len)?;
+        if !r.done() {
+            return Err(WireError::BadLength);
+        }
+        let mut server_name = String::new();
+        let mut status_request = false;
+        let mut status_request_v2 = false;
+        let mut er = Reader::new(exts);
+        while !er.done() {
+            let etype = er.u16()? as u16;
+            let elen = er.u16()?;
+            let data = er.bytes(elen)?;
+            match etype {
+                ext_type::SERVER_NAME => {
+                    let mut nr = Reader::new(data);
+                    let list_len = nr.u16()?;
+                    let list = nr.bytes(list_len)?;
+                    let mut lr = Reader::new(list);
+                    let name_type = lr.u8()?;
+                    let name_len = lr.u16()?;
+                    let name = lr.bytes(name_len)?;
+                    if name_type == 0 {
+                        server_name = String::from_utf8_lossy(name).into_owned();
+                    }
+                }
+                ext_type::STATUS_REQUEST => {
+                    let mut sr = Reader::new(data);
+                    if sr.u8()? == 1 {
+                        status_request = true;
+                    }
+                }
+                ext_type::STATUS_REQUEST_V2 => {
+                    status_request_v2 = true;
+                }
+                _ => {}
+            }
+        }
+        Ok(ClientHello { server_name, status_request, status_request_v2 })
+    }
+}
+
+// --- Certificate --------------------------------------------------------------
+
+/// The Certificate handshake message: the server's chain, leaf first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificateMsg {
+    /// The chain, leaf first.
+    pub chain: Vec<Certificate>,
+}
+
+impl CertificateMsg {
+    /// Encode to handshake bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut list = Vec::new();
+        for cert in &self.chain {
+            let der = cert.to_der();
+            push_u24(&mut list, der.len());
+            list.extend_from_slice(&der);
+        }
+        let mut body = Vec::new();
+        push_u24(&mut body, list.len());
+        body.extend_from_slice(&list);
+        frame(msg_type::CERTIFICATE, &body)
+    }
+
+    /// Decode from handshake bytes.
+    pub fn decode(buf: &[u8]) -> Result<CertificateMsg, WireError> {
+        let body = unframe(msg_type::CERTIFICATE, buf)?;
+        let mut r = Reader::new(body);
+        let list_len = r.u24()?;
+        let list = r.bytes(list_len)?;
+        if !r.done() {
+            return Err(WireError::BadLength);
+        }
+        let mut lr = Reader::new(list);
+        let mut chain = Vec::new();
+        while !lr.done() {
+            let len = lr.u24()?;
+            let der = lr.bytes(len)?;
+            chain.push(Certificate::from_der(der).map_err(|_| WireError::BadCertificate)?);
+        }
+        Ok(CertificateMsg { chain })
+    }
+}
+
+// --- CertificateStatus ---------------------------------------------------------
+
+/// The CertificateStatus message: the stapled OCSP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificateStatusMsg {
+    /// Raw OCSP response DER (opaque at this layer; the client's OCSP
+    /// validator interprets it).
+    pub ocsp_response: Vec<u8>,
+}
+
+impl CertificateStatusMsg {
+    /// Encode to handshake bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.push(1); // CertificateStatusType ocsp
+        push_u24(&mut body, self.ocsp_response.len());
+        body.extend_from_slice(&self.ocsp_response);
+        frame(msg_type::CERTIFICATE_STATUS, &body)
+    }
+
+    /// Decode from handshake bytes.
+    pub fn decode(buf: &[u8]) -> Result<CertificateStatusMsg, WireError> {
+        let body = unframe(msg_type::CERTIFICATE_STATUS, buf)?;
+        let mut r = Reader::new(body);
+        let status_type = r.u8()?;
+        if status_type != 1 {
+            return Err(WireError::UnknownStatusType(status_type));
+        }
+        let len = r.u24()?;
+        let ocsp = r.bytes(len)?;
+        if !r.done() {
+            return Err(WireError::BadLength);
+        }
+        Ok(CertificateStatusMsg { ocsp_response: ocsp.to_vec() })
+    }
+}
+
+// --- CertificateStatus v2 (RFC 6961 multi-staple) ----------------------------
+
+/// The RFC 6961 `ocsp_multi` CertificateStatus: one optional OCSP
+/// response per chain element, leaf first. §2.3 of the paper: "There is
+/// an extension to OCSP Stapling that tries to address this limitation
+/// by allowing the server to include multiple certificate statuses in a
+/// single response, but it has yet to see wide adoption."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificateStatusV2Msg {
+    /// Per-chain-position responses; `None` encodes as a zero-length
+    /// entry (RFC 6961 §5.2 allows empty responses for positions the
+    /// server has nothing for).
+    pub responses: Vec<Option<Vec<u8>>>,
+}
+
+impl CertificateStatusV2Msg {
+    /// Encode to handshake bytes (status_type = 2, `ocsp_multi`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut list = Vec::new();
+        for response in &self.responses {
+            match response {
+                Some(bytes) => {
+                    push_u24(&mut list, bytes.len());
+                    list.extend_from_slice(bytes);
+                }
+                None => push_u24(&mut list, 0),
+            }
+        }
+        let mut body = Vec::new();
+        body.push(2); // CertificateStatusType ocsp_multi
+        push_u24(&mut body, list.len());
+        body.extend_from_slice(&list);
+        frame(msg_type::CERTIFICATE_STATUS, &body)
+    }
+
+    /// Decode from handshake bytes.
+    pub fn decode(buf: &[u8]) -> Result<CertificateStatusV2Msg, WireError> {
+        let body = unframe(msg_type::CERTIFICATE_STATUS, buf)?;
+        let mut r = Reader::new(body);
+        let status_type = r.u8()?;
+        if status_type != 2 {
+            return Err(WireError::UnknownStatusType(status_type));
+        }
+        let list_len = r.u24()?;
+        let list = r.bytes(list_len)?;
+        if !r.done() {
+            return Err(WireError::BadLength);
+        }
+        let mut lr = Reader::new(list);
+        let mut responses = Vec::new();
+        while !lr.done() {
+            let len = lr.u24()?;
+            if len == 0 {
+                responses.push(None);
+            } else {
+                responses.push(Some(lr.bytes(len)?.to_vec()));
+            }
+        }
+        Ok(CertificateStatusV2Msg { responses })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asn1::Time;
+    use pki::{CertificateAuthority, IssueParams};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn client_hello_round_trip() {
+        for status_request in [true, false] {
+            let hello = ClientHello::new("site.example", status_request);
+            let bytes = hello.encode();
+            let back = ClientHello::decode(&bytes).unwrap();
+            assert_eq!(back, hello);
+        }
+    }
+
+    #[test]
+    fn status_request_bytes_visible_on_wire() {
+        let with = ClientHello::new("a.test", true).encode();
+        let without = ClientHello::new("a.test", false).encode();
+        // Extension type 5 appears as 0x00 0x05 followed by length 0x00 0x05.
+        assert!(with.windows(4).any(|w| w == [0x00, 0x05, 0x00, 0x05]));
+        assert!(!without.windows(4).any(|w| w == [0x00, 0x05, 0x00, 0x05]));
+    }
+
+    #[test]
+    fn certificate_msg_round_trip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let now = Time::from_civil(2018, 5, 1, 0, 0, 0);
+        let mut ca = CertificateAuthority::new_root(&mut rng, "CA", "Root", "ca.test", now);
+        let leaf = ca.issue(&mut rng, &IssueParams::new("x.example", now));
+        let msg = CertificateMsg { chain: vec![leaf, ca.certificate().clone()] };
+        let back = CertificateMsg::decode(&msg.encode()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn certificate_status_round_trip() {
+        let msg = CertificateStatusMsg { ocsp_response: vec![0x30, 0x03, 0x0a, 0x01, 0x00] };
+        let back = CertificateStatusMsg::decode(&msg.encode()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn wrong_type_detected() {
+        let hello = ClientHello::new("x", true).encode();
+        assert_eq!(
+            CertificateMsg::decode(&hello),
+            Err(WireError::WrongType { expected: 11, found: 1 })
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let hello = ClientHello::new("host.example", true).encode();
+        for cut in 1..hello.len() {
+            assert!(ClientHello::decode(&hello[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut bytes = ClientHello::new("x", false).encode();
+        bytes.push(0xff);
+        assert!(ClientHello::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn certificate_status_v2_round_trip() {
+        let msg = CertificateStatusV2Msg {
+            responses: vec![Some(vec![0x30, 0x01, 0x00]), None, Some(vec![9, 9])],
+        };
+        let back = CertificateStatusV2Msg::decode(&msg.encode()).unwrap();
+        assert_eq!(back, msg);
+        // v1 and v2 reject each other's status_type.
+        assert!(CertificateStatusMsg::decode(&msg.encode()).is_err());
+        let v1 = CertificateStatusMsg { ocsp_response: vec![1] }.encode();
+        assert!(CertificateStatusV2Msg::decode(&v1).is_err());
+    }
+
+    #[test]
+    fn certificate_status_v2_empty_list() {
+        let msg = CertificateStatusV2Msg { responses: vec![] };
+        assert_eq!(CertificateStatusV2Msg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn unknown_status_type_rejected() {
+        let mut bytes = CertificateStatusMsg { ocsp_response: vec![1, 2, 3] }.encode();
+        // Flip the status_type byte (first body byte, offset 4).
+        bytes[4] = 9;
+        assert_eq!(CertificateStatusMsg::decode(&bytes), Err(WireError::UnknownStatusType(9)));
+    }
+
+    #[test]
+    fn unknown_extensions_are_skipped() {
+        // Hand-build a hello with an unknown extension before server_name.
+        let inner = ClientHello::new("z.example", true);
+        let mut reference = inner.encode();
+        // Splice a bogus extension (type 0x7777, 2 bytes) into the list.
+        // Easier: decode must tolerate it when we rebuild manually.
+        let mut body = Vec::new();
+        push_u16(&mut body, 0x0303);
+        let mut exts = Vec::new();
+        push_u16(&mut exts, 0x7777);
+        push_u16(&mut exts, 2);
+        exts.extend_from_slice(&[0xde, 0xad]);
+        // status_request
+        push_u16(&mut exts, ext_type::STATUS_REQUEST as usize);
+        push_u16(&mut exts, 5);
+        exts.extend_from_slice(&[1, 0, 0, 0, 0]);
+        push_u16(&mut body, exts.len());
+        body.extend_from_slice(&exts);
+        let framed = frame(msg_type::CLIENT_HELLO, &body);
+        let parsed = ClientHello::decode(&framed).unwrap();
+        assert!(parsed.status_request);
+        assert_eq!(parsed.server_name, ""); // no SNI in this build
+        reference.clear(); // silence unused warning path
+        let _ = reference;
+    }
+}

@@ -1,0 +1,316 @@
+//! The §7.2 web-server test suite — regenerates Table 3.
+//!
+//! The paper's harness: a controlled CA + OCSP responder, a certificate
+//! with the Must-Staple extension, and four controlled experiments per
+//! server implementation. This module is that harness as a library.
+
+use crate::fetcher::{FetchOutcome, FnFetcher, OcspFetcher, ScriptedFetcher};
+use crate::server::{CachedStaple, ServerKind, SiteConfig, StaplingServer};
+use asn1::Time;
+use ocsp::{CertId, OcspRequest, Responder, ResponderProfile};
+use pki::{CertificateAuthority, IssueParams};
+use rand::{rngs::StdRng, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// How a server treats its first-ever client (the prefetch experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchBehavior {
+    /// A staple was ready before the first connection (paper: neither
+    /// Apache nor Nginx; the §8 recommendation).
+    Prefetches,
+    /// The first handshake stalls while the response is fetched (Apache).
+    PausesConnection,
+    /// The first client simply gets no staple (Nginx).
+    NoResponse,
+}
+
+impl PrefetchBehavior {
+    /// Table cell rendering, matching the paper's notation.
+    pub fn cell(self) -> &'static str {
+        match self {
+            PrefetchBehavior::Prefetches => "\u{2713}",
+            PrefetchBehavior::PausesConnection => "\u{2717} (pause conn.)",
+            PrefetchBehavior::NoResponse => "\u{2717} (provide no resp.)",
+        }
+    }
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table3Row {
+    /// Which server.
+    pub server: ServerKind,
+    /// Prefetch experiment result.
+    pub prefetch: PrefetchBehavior,
+    /// Does the server cache OCSP responses at all?
+    pub caches: bool,
+    /// Does it stop serving a response once its `nextUpdate` passes?
+    pub respects_next_update: bool,
+    /// Does it keep a valid cached response when a refresh fails?
+    pub retains_on_error: bool,
+}
+
+/// The controlled environment: CA + Must-Staple site + live responder.
+pub struct TestBench {
+    ca: CertificateAuthority,
+    cert_id: CertId,
+    /// The site configuration servers under test present.
+    pub site: SiteConfig,
+    t0: Time,
+}
+
+impl TestBench {
+    /// Build the bench (deterministic from `seed`).
+    pub fn new(seed: u64, t0: Time) -> TestBench {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ca = CertificateAuthority::new_root(&mut rng, "Bench CA", "Bench Root", "bench.test", t0);
+        let leaf = ca.issue(&mut rng, &IssueParams::new("bench.example", t0).must_staple(true));
+        let cert_id = CertId::for_certificate(&leaf, ca.certificate());
+        let site = SiteConfig { chain: vec![leaf, ca.certificate().clone()] };
+        TestBench { ca, cert_id, site, t0 }
+    }
+
+    /// Start of the bench's timeline.
+    pub fn t0(&self) -> Time {
+        self.t0
+    }
+
+    /// The bench CA (for experiments that drive the responder directly).
+    pub fn ca(&self) -> &CertificateAuthority {
+        &self.ca
+    }
+
+    /// The CertID of the bench site's certificate.
+    pub fn cert_id(&self) -> &CertId {
+        &self.cert_id
+    }
+
+    /// A fetcher wired to a live healthy responder with `validity_secs`
+    /// of validity and zero margin, generating fresh responses at fetch
+    /// time.
+    pub fn live_fetcher(&self, validity_secs: i64) -> FnFetcher {
+        let responder = Rc::new(RefCell::new(Responder::new(
+            "http://ocsp.bench.test/",
+            ResponderProfile::healthy().margin(0).validity(validity_secs),
+        )));
+        let ca = self.ca.clone();
+        let id = self.cert_id.clone();
+        FnFetcher::new(move |now| {
+            let body = responder.borrow_mut().handle(&ca, &OcspRequest::single(id.clone()), now);
+            FetchOutcome::Fetched { body, latency_ms: 80.0 }
+        })
+    }
+
+    /// One pre-generated healthy staple body (7-day validity).
+    pub fn staple_at(&self, now: Time, validity_secs: i64) -> Vec<u8> {
+        let mut responder = Responder::new(
+            "http://ocsp.bench.test/",
+            ResponderProfile::healthy().margin(0).validity(validity_secs),
+        );
+        responder.handle(&self.ca, &OcspRequest::single(self.cert_id.clone()), now)
+    }
+}
+
+/// Run all four Table 3 experiments against servers produced by `make`.
+/// Each experiment gets a fresh server instance.
+pub fn run_table3_experiments<S: StaplingServer>(
+    bench: &TestBench,
+    make: impl Fn(SiteConfig) -> S,
+) -> Table3Row {
+    let kind = make(bench.site.clone()).kind();
+    Table3Row {
+        server: kind,
+        prefetch: prefetch_experiment(bench, &make),
+        caches: cache_experiment(bench, &make),
+        respects_next_update: next_update_experiment(bench, &make),
+        retains_on_error: error_experiment(bench, &make),
+    }
+}
+
+/// Experiment 1: is a staple ready for the very first client, and at
+/// what cost?
+fn prefetch_experiment<S: StaplingServer>(
+    bench: &TestBench,
+    make: &impl Fn(SiteConfig) -> S,
+) -> PrefetchBehavior {
+    let mut server = make(bench.site.clone());
+    let mut fetcher = bench.live_fetcher(7 * 86_400);
+    let t0 = bench.t0();
+    // Give prefetching implementations their timers.
+    server.tick(t0, &mut fetcher);
+    server.tick(t0 + 60, &mut fetcher);
+    let flight = server.serve(t0 + 120, &mut fetcher);
+    match (&flight.stapled_ocsp, flight.stall_ms > 0.0) {
+        (Some(_), false) => {
+            // Stapled without stalling — but was it *pre*-fetched, or
+            // fetched in background during this serve? Distinguish by
+            // whether a fetch happened before the serve.
+            if fetcher.attempts() >= 1 && flight.stall_ms == 0.0 {
+                PrefetchBehavior::Prefetches
+            } else {
+                PrefetchBehavior::NoResponse
+            }
+        }
+        (Some(_), true) => PrefetchBehavior::PausesConnection,
+        (None, _) => PrefetchBehavior::NoResponse,
+    }
+}
+
+/// Experiment 2: are responses cached across connections?
+fn cache_experiment<S: StaplingServer>(
+    bench: &TestBench,
+    make: &impl Fn(SiteConfig) -> S,
+) -> bool {
+    let mut server = make(bench.site.clone());
+    let mut fetcher = bench.live_fetcher(7 * 86_400);
+    let t0 = bench.t0();
+    // Warm: tick + two serves.
+    server.tick(t0, &mut fetcher);
+    server.serve(t0 + 1, &mut fetcher);
+    server.serve(t0 + 2, &mut fetcher);
+    let warm_attempts = fetcher.attempts();
+    // Two more connections shortly after must not refetch.
+    server.serve(t0 + 30, &mut fetcher);
+    server.serve(t0 + 60, &mut fetcher);
+    fetcher.attempts() == warm_attempts
+}
+
+/// Experiment 3: once `nextUpdate` passes, do clients stop receiving the
+/// stale response? Uses a 10-minute validity (shorter than Apache's
+/// 1-hour cache) and probes 30 minutes in.
+fn next_update_experiment<S: StaplingServer>(
+    bench: &TestBench,
+    make: &impl Fn(SiteConfig) -> S,
+) -> bool {
+    let mut server = make(bench.site.clone());
+    let mut fetcher = bench.live_fetcher(600);
+    let t0 = bench.t0();
+    server.tick(t0, &mut fetcher);
+    server.serve(t0 + 1, &mut fetcher);
+    server.serve(t0 + 2, &mut fetcher);
+    // 30 minutes later the original response is long expired. Give the
+    // server two connection-driven refresh opportunities, then judge the
+    // staple the third client receives.
+    let late = t0 + 1_800;
+    server.serve(late, &mut fetcher);
+    server.tick(late + 30, &mut fetcher);
+    server.serve(late + 60, &mut fetcher);
+    let flight = server.serve(late + 90, &mut fetcher);
+    match flight.stapled_ocsp {
+        None => true, // refusing to staple an expired response also respects it
+        Some(body) => {
+            let cached = CachedStaple::from_fetch(body, late + 90);
+            cached.ocsp_fresh(late + 90)
+        }
+    }
+}
+
+/// Experiment 4: when a refresh fails, is the old (still valid) response
+/// retained? Uses a 2-hour validity and kills the responder after the
+/// first fetch; probes at t0+4000 (inside the original validity).
+fn error_experiment<S: StaplingServer>(
+    bench: &TestBench,
+    make: &impl Fn(SiteConfig) -> S,
+) -> bool {
+    let mut server = make(bench.site.clone());
+    let t0 = bench.t0();
+    let mut fetcher = ScriptedFetcher::new(vec![
+        FetchOutcome::Fetched { body: bench.staple_at(t0, 7_200), latency_ms: 80.0 },
+        FetchOutcome::Unreachable { latency_ms: 2_000.0 },
+    ]);
+    server.tick(t0, &mut fetcher);
+    server.serve(t0 + 1, &mut fetcher);
+    server.serve(t0 + 2, &mut fetcher);
+    // Probe inside the original validity, but past Apache's cache
+    // timeout and inside Nginx's refresh-ahead window, with the
+    // responder down.
+    let probe = t0 + 4_000;
+    server.tick(probe, &mut fetcher);
+    server.serve(probe + 1, &mut fetcher);
+    let flight = server.serve(probe + 2, &mut fetcher);
+    flight.stapled_ocsp.is_some()
+}
+
+/// Render rows in the paper's Table 3 layout.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Experiment                      ");
+    for row in rows {
+        out.push_str(&format!("| {:22} ", row.server.name()));
+    }
+    out.push('\n');
+    let mark = |b: bool| if b { "\u{2713}" } else { "\u{2717}" };
+    let lines: Vec<(&str, Box<dyn Fn(&Table3Row) -> String>)> = vec![
+        ("Prefetch OCSP response", Box::new(|r: &Table3Row| r.prefetch.cell().to_string())),
+        ("Cache OCSP response", Box::new(move |r: &Table3Row| mark(r.caches).to_string())),
+        (
+            "Respect nextUpdate in cache",
+            Box::new(move |r: &Table3Row| mark(r.respects_next_update).to_string()),
+        ),
+        (
+            "Retain OCSP response on error",
+            Box::new(move |r: &Table3Row| mark(r.retains_on_error).to_string()),
+        ),
+    ];
+    for (label, cell) in lines {
+        out.push_str(&format!("{label:32}"));
+        for row in rows {
+            out.push_str(&format!("| {:22} ", cell(row)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Apache, Ideal, Nginx};
+
+    fn bench() -> TestBench {
+        TestBench::new(77, Time::from_civil(2018, 6, 1, 0, 0, 0))
+    }
+
+    #[test]
+    fn apache_row_matches_paper() {
+        let b = bench();
+        let row = run_table3_experiments(&b, Apache::new);
+        assert_eq!(row.prefetch, PrefetchBehavior::PausesConnection);
+        assert!(row.caches);
+        assert!(!row.respects_next_update);
+        assert!(!row.retains_on_error);
+    }
+
+    #[test]
+    fn nginx_row_matches_paper() {
+        let b = bench();
+        let row = run_table3_experiments(&b, Nginx::new);
+        assert_eq!(row.prefetch, PrefetchBehavior::NoResponse);
+        assert!(row.caches);
+        assert!(row.respects_next_update);
+        assert!(row.retains_on_error);
+    }
+
+    #[test]
+    fn ideal_row_is_all_green() {
+        let b = bench();
+        let row = run_table3_experiments(&b, Ideal::new);
+        assert_eq!(row.prefetch, PrefetchBehavior::Prefetches);
+        assert!(row.caches);
+        assert!(row.respects_next_update);
+        assert!(row.retains_on_error);
+    }
+
+    #[test]
+    fn table_renders_both_servers() {
+        let b = bench();
+        let rows =
+            vec![run_table3_experiments(&b, Apache::new), run_table3_experiments(&b, Nginx::new)];
+        let table = render_table3(&rows);
+        assert!(table.contains("Apache"));
+        assert!(table.contains("Nginx"));
+        assert!(table.contains("pause conn."));
+        assert!(table.contains("provide no resp."));
+    }
+}

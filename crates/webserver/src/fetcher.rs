@@ -1,0 +1,147 @@
+//! How servers reach their CA's OCSP responder.
+//!
+//! [`OcspFetcher`] abstracts the network: the Table 3 harness uses a
+//! [`ScriptedFetcher`] with programmable outcomes; the full simulation
+//! wires a netsim-backed fetcher in the core crate.
+
+use asn1::Time;
+
+/// The result of one fetch attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchOutcome {
+    /// HTTP 200 with a body (which may itself be an OCSP *error*
+    /// response such as `tryLater` — Apache famously staples those).
+    Fetched {
+        /// The response body.
+        body: Vec<u8>,
+        /// Time the fetch took, in milliseconds.
+        latency_ms: f64,
+    },
+    /// The responder could not be reached (DNS/TCP/HTTP failure).
+    Unreachable {
+        /// Time wasted before giving up, ms.
+        latency_ms: f64,
+    },
+}
+
+/// A source of OCSP responses for the server's own certificate.
+pub trait OcspFetcher {
+    /// Attempt to fetch a fresh response at `now`.
+    fn fetch(&mut self, now: Time) -> FetchOutcome;
+    /// How many fetches have been attempted (test observability).
+    fn attempts(&self) -> u32;
+}
+
+/// A fetcher driven by a script of outcomes; repeats the last entry when
+/// the script runs out.
+pub struct ScriptedFetcher {
+    script: Vec<FetchOutcome>,
+    cursor: usize,
+    attempts: u32,
+}
+
+impl ScriptedFetcher {
+    /// Build from a script. Must be non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty script.
+    pub fn new(script: Vec<FetchOutcome>) -> ScriptedFetcher {
+        assert!(!script.is_empty(), "fetcher script must not be empty");
+        ScriptedFetcher { script, cursor: 0, attempts: 0 }
+    }
+
+    /// A fetcher that always succeeds with `body`.
+    pub fn always(body: Vec<u8>) -> ScriptedFetcher {
+        ScriptedFetcher::new(vec![FetchOutcome::Fetched { body, latency_ms: 80.0 }])
+    }
+
+    /// A fetcher that always fails.
+    pub fn down() -> ScriptedFetcher {
+        ScriptedFetcher::new(vec![FetchOutcome::Unreachable { latency_ms: 2_000.0 }])
+    }
+
+    /// Append an outcome to the script.
+    pub fn push(&mut self, outcome: FetchOutcome) {
+        self.script.push(outcome);
+    }
+}
+
+impl OcspFetcher for ScriptedFetcher {
+    fn fetch(&mut self, _now: Time) -> FetchOutcome {
+        let outcome = self.script[self.cursor.min(self.script.len() - 1)].clone();
+        self.cursor += 1;
+        self.attempts += 1;
+        outcome
+    }
+
+    fn attempts(&self) -> u32 {
+        self.attempts
+    }
+}
+
+/// A fetcher backed by a closure — used when each fetch must produce a
+/// response generated *at fetch time* (fresh `thisUpdate`).
+pub struct FnFetcher {
+    f: Box<dyn FnMut(Time) -> FetchOutcome>,
+    attempts: u32,
+}
+
+impl FnFetcher {
+    /// Wrap a closure.
+    pub fn new(f: impl FnMut(Time) -> FetchOutcome + 'static) -> FnFetcher {
+        FnFetcher { f: Box::new(f), attempts: 0 }
+    }
+}
+
+impl OcspFetcher for FnFetcher {
+    fn fetch(&mut self, now: Time) -> FetchOutcome {
+        self.attempts += 1;
+        (self.f)(now)
+    }
+
+    fn attempts(&self) -> u32 {
+        self.attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Time {
+        Time::from_civil(2018, 6, 1, 0, 0, 0)
+    }
+
+    #[test]
+    fn fn_fetcher_sees_fetch_time() {
+        let mut f = FnFetcher::new(|now| FetchOutcome::Fetched {
+            body: now.unix().to_be_bytes().to_vec(),
+            latency_ms: 1.0,
+        });
+        let a = f.fetch(t());
+        let b = f.fetch(t() + 60);
+        assert_ne!(a, b);
+        assert_eq!(f.attempts(), 2);
+    }
+
+    #[test]
+    fn script_plays_in_order_then_repeats_last() {
+        let mut f = ScriptedFetcher::new(vec![
+            FetchOutcome::Fetched { body: vec![1], latency_ms: 1.0 },
+            FetchOutcome::Unreachable { latency_ms: 2.0 },
+        ]);
+        assert!(matches!(f.fetch(t()), FetchOutcome::Fetched { .. }));
+        assert!(matches!(f.fetch(t()), FetchOutcome::Unreachable { .. }));
+        assert!(matches!(f.fetch(t()), FetchOutcome::Unreachable { .. }));
+        assert_eq!(f.attempts(), 3);
+    }
+
+    #[test]
+    fn always_and_down_helpers() {
+        let mut up = ScriptedFetcher::always(vec![9]);
+        assert!(matches!(up.fetch(t()), FetchOutcome::Fetched { body, .. } if body == vec![9]));
+        let mut down = ScriptedFetcher::down();
+        assert!(matches!(down.fetch(t()), FetchOutcome::Unreachable { .. }));
+    }
+}

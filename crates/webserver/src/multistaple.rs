@@ -1,0 +1,312 @@
+//! RFC 6961 multi-stapling — the §2.3 extension.
+//!
+//! "A client needs to check the revocation status of all certificates on
+//! the chain using OCSP, but OCSP Stapling only allows the revocation
+//! status for the leaf certificate to be included. There is an extension
+//! to OCSP Stapling [RFC 6961] that tries to address this limitation by
+//! allowing the server to include multiple certificate statuses in a
+//! single response, but it has yet to see wide adoption."
+//!
+//! [`MultiIdeal`] extends the recommended prefetching server with a
+//! staple cache per chain element, so a `status_request_v2` client can
+//! verify the *whole chain's* revocation in one handshake — closing the
+//! revoked-intermediate blind spot that single stapling leaves open.
+
+use crate::fetcher::{FetchOutcome, OcspFetcher};
+use crate::server::{CachedStaple, ServerKind, SiteConfig, StaplingServer};
+use asn1::Time;
+use tls::ServerFlight;
+
+/// A prefetching server that staples the full chain (RFC 6961).
+pub struct MultiIdeal {
+    site: SiteConfig,
+    /// One cache slot per chain element, leaf first. Elements whose CA
+    /// exposes no OCSP (typically the root) stay `None`.
+    caches: Vec<Option<CachedStaple>>,
+}
+
+impl MultiIdeal {
+    /// A server for `site`.
+    pub fn new(site: SiteConfig) -> MultiIdeal {
+        let n = site.chain.len();
+        MultiIdeal { site, caches: vec![None; n] }
+    }
+
+    /// Background refresh for every chain element; `fetchers[i]` fetches
+    /// the status of chain element `i`. Fewer fetchers than chain
+    /// elements is fine — the tail (the root) simply goes unstapled.
+    pub fn tick_chain(&mut self, now: Time, fetchers: &mut [&mut dyn OcspFetcher]) {
+        for (i, fetcher) in fetchers.iter_mut().enumerate() {
+            if i >= self.caches.len() {
+                break;
+            }
+            let needs = match &self.caches[i] {
+                None => true,
+                Some(c) => match c.next_update {
+                    Some(nu) => {
+                        let midpoint = c.fetched_at + (nu - c.fetched_at) / 2;
+                        now >= midpoint
+                    }
+                    None => false,
+                },
+            };
+            if !needs {
+                continue;
+            }
+            if let FetchOutcome::Fetched { body, .. } = fetcher.fetch(now) {
+                let fresh = CachedStaple::from_fetch(body, now);
+                if fresh.is_successful_response && fresh.ocsp_fresh(now) {
+                    self.caches[i] = Some(fresh);
+                }
+            }
+        }
+    }
+
+    /// The multi-staple list the server would send right now.
+    fn multi(&self, now: Time) -> Vec<Option<Vec<u8>>> {
+        self.caches
+            .iter()
+            .map(|slot| {
+                slot.as_ref().filter(|c| c.ocsp_fresh(now)).map(|c| c.body.clone())
+            })
+            .collect()
+    }
+}
+
+impl StaplingServer for MultiIdeal {
+    fn kind(&self) -> ServerKind {
+        ServerKind::Ideal
+    }
+
+    fn serve(&mut self, now: Time, fetcher: &mut dyn OcspFetcher) -> ServerFlight {
+        // Leaf slot doubles as the classic single staple; keep it fresh
+        // through the trait's single-fetcher path too.
+        if self.caches[0].is_none() {
+            if let FetchOutcome::Fetched { body, .. } = fetcher.fetch(now) {
+                let fresh = CachedStaple::from_fetch(body, now);
+                if fresh.is_successful_response && fresh.ocsp_fresh(now) {
+                    self.caches[0] = Some(fresh);
+                }
+            }
+        }
+        let leaf_staple = self.caches[0]
+            .as_ref()
+            .filter(|c| c.ocsp_fresh(now))
+            .map(|c| c.body.clone());
+        self.site
+            .flight(leaf_staple, 0.0)
+            .with_multi_staple(self.multi(now))
+    }
+
+    fn tick(&mut self, now: Time, fetcher: &mut dyn OcspFetcher) {
+        let mut fetchers: [&mut dyn OcspFetcher; 1] = [fetcher];
+        self.tick_chain(now, &mut fetchers);
+    }
+}
+
+/// Validate a multi-staple transcript: every chain element that *has* a
+/// staple must validate against its issuer, and none may be revoked.
+/// Returns the number of chain elements covered by a valid staple.
+pub fn verify_multi_staple(
+    transcript: &tls::Transcript,
+    roots: &pki::RootStore,
+    now: Time,
+) -> Result<usize, MultiStapleError> {
+    use ocsp::{validate_response, CertId, CertStatus, ValidationConfig};
+
+    let chain = transcript
+        .server_chain()
+        .map_err(|_| MultiStapleError::BadTranscript)?;
+    let staples = transcript
+        .stapled_ocsp_multi()
+        .map_err(|_| MultiStapleError::BadTranscript)?
+        .ok_or(MultiStapleError::NotSupported)?;
+
+    let mut covered = 0;
+    for (i, cert) in chain.iter().enumerate() {
+        let Some(Some(staple)) = staples.get(i) else { continue };
+        // The issuer is the next chain element, or a root from the store.
+        let issuer = chain
+            .get(i + 1)
+            .cloned()
+            .or_else(|| roots.find_issuer(cert.issuer()).cloned())
+            .ok_or(MultiStapleError::MissingIssuer(i))?;
+        let cert_id = CertId::for_certificate(cert, &issuer);
+        match validate_response(staple, &cert_id, &issuer, now, ValidationConfig::default()) {
+            Ok(v) => match v.status {
+                CertStatus::Good | CertStatus::Unknown => covered += 1,
+                CertStatus::Revoked { .. } => return Err(MultiStapleError::Revoked(i)),
+            },
+            Err(_) => return Err(MultiStapleError::InvalidStaple(i)),
+        }
+    }
+    Ok(covered)
+}
+
+/// Multi-staple verification failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiStapleError {
+    /// Transcript bytes did not parse.
+    BadTranscript,
+    /// The server did not answer `status_request_v2`.
+    NotSupported,
+    /// No issuer available for chain element `i`.
+    MissingIssuer(usize),
+    /// Chain element `i` is revoked.
+    Revoked(usize),
+    /// Chain element `i`'s staple failed validation.
+    InvalidStaple(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fetcher::FnFetcher;
+    use asn1::Time;
+    use ocsp::{CertId, OcspRequest, Responder, ResponderProfile};
+    use pki::{CertificateAuthority, IssueParams, RevocationReason, RootStore};
+    use rand::{rngs::StdRng, SeedableRng};
+    use tls::wire::ClientHello;
+    use tls::Transcript;
+
+    fn t0() -> Time {
+        Time::from_civil(2018, 6, 10, 0, 0, 0)
+    }
+
+    struct Env {
+        root: CertificateAuthority,
+        inter: CertificateAuthority,
+        site: SiteConfig,
+        leaf_id: CertId,
+        inter_id: CertId,
+        roots: RootStore,
+    }
+
+    fn env(seed: u64) -> Env {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut root =
+            CertificateAuthority::new_root(&mut rng, "Multi", "Multi Root", "mr.test", t0());
+        let mut inter =
+            root.issue_intermediate(&mut rng, "Multi", "Multi CA 1", "m1.test", t0());
+        let leaf = inter.issue(&mut rng, &IssueParams::new("multi.example", t0()));
+        let leaf_id = CertId::for_certificate(&leaf, inter.certificate());
+        let inter_id = CertId::for_certificate(inter.certificate(), root.certificate());
+        let mut roots = RootStore::new("multi");
+        roots.add(root.certificate().clone());
+        let site = SiteConfig { chain: vec![leaf, inter.certificate().clone()] };
+        Env { root, inter, site, leaf_id, inter_id, roots }
+    }
+
+    fn fetcher_for(ca: &CertificateAuthority, id: &CertId) -> FnFetcher {
+        let ca = ca.clone();
+        let id = id.clone();
+        FnFetcher::new(move |now| {
+            let mut responder = Responder::new("u", ResponderProfile::healthy());
+            let body = responder.handle(&ca, &OcspRequest::single(id.clone()), now);
+            FetchOutcome::Fetched { body, latency_ms: 20.0 }
+        })
+    }
+
+    fn v2_hello() -> ClientHello {
+        let mut hello = ClientHello::new("multi.example", true);
+        hello.status_request_v2 = true;
+        hello
+    }
+
+    #[test]
+    fn full_chain_staple_verifies() {
+        let e = env(1);
+        let mut server = MultiIdeal::new(e.site.clone());
+        let mut leaf_f = fetcher_for(&e.inter, &e.leaf_id);
+        let mut inter_f = fetcher_for(&e.root, &e.inter_id);
+        {
+            let mut fetchers: [&mut dyn OcspFetcher; 2] = [&mut leaf_f, &mut inter_f];
+            server.tick_chain(t0(), &mut fetchers);
+        }
+        let flight = server.serve(t0() + 60, &mut leaf_f);
+        // Single staple present for v1 clients too.
+        assert!(flight.stapled_ocsp.is_some());
+        let t = Transcript::record(&v2_hello(), &flight);
+        let covered = verify_multi_staple(&t, &e.roots, t0() + 60).unwrap();
+        assert_eq!(covered, 2, "leaf and intermediate both covered");
+    }
+
+    #[test]
+    fn revoked_intermediate_caught_only_by_v2() {
+        let mut e = env(2);
+        // The root CA revokes the intermediate.
+        let inter_serial = e.inter.certificate().serial().clone();
+        e.root.revoke(&inter_serial, t0(), Some(RevocationReason::CaCompromise));
+
+        let mut server = MultiIdeal::new(e.site.clone());
+        let mut leaf_f = fetcher_for(&e.inter, &e.leaf_id);
+        let mut inter_f = fetcher_for(&e.root, &e.inter_id);
+        {
+            let mut fetchers: [&mut dyn OcspFetcher; 2] = [&mut leaf_f, &mut inter_f];
+            server.tick_chain(t0() + 10, &mut fetchers);
+        }
+        let flight = server.serve(t0() + 60, &mut leaf_f);
+
+        // The v1 view: leaf staple says Good — a single-staple client is
+        // blind to the revoked intermediate (the §2.3 limitation).
+        let leaf_staple = flight.stapled_ocsp.clone().unwrap();
+        let v = ocsp::validate_response(
+            &leaf_staple,
+            &e.leaf_id,
+            e.inter.certificate(),
+            t0() + 60,
+            Default::default(),
+        )
+        .unwrap();
+        assert_eq!(v.status, ocsp::CertStatus::Good);
+
+        // The v2 view: the chain staple exposes the revocation.
+        // (The prefetching server refuses to *install* a Revoked staple,
+        // so the intermediate slot is empty — detected as lack of
+        // coverage — or, if the server staples it anyway, as Revoked.
+        // Either way the v2 client knows something is wrong.)
+        let t = Transcript::record(&v2_hello(), &flight);
+        match verify_multi_staple(&t, &e.roots, t0() + 60) {
+            Ok(covered) => assert!(covered < 2, "intermediate must not be covered as Good"),
+            Err(MultiStapleError::Revoked(1)) => {}
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_client_gets_no_multi_staple() {
+        let e = env(3);
+        let mut server = MultiIdeal::new(e.site.clone());
+        let mut leaf_f = fetcher_for(&e.inter, &e.leaf_id);
+        server.tick(t0(), &mut leaf_f);
+        let flight = server.serve(t0() + 60, &mut leaf_f);
+        let hello = ClientHello::new("multi.example", true); // no v2
+        let t = Transcript::record(&hello, &flight);
+        assert_eq!(t.stapled_ocsp_multi().unwrap(), None);
+        assert_eq!(
+            verify_multi_staple(&t, &e.roots, t0() + 60),
+            Err(MultiStapleError::NotSupported)
+        );
+        // But the classic staple still works.
+        assert!(t.stapled_ocsp().unwrap().is_some());
+    }
+
+    #[test]
+    fn root_slot_without_fetcher_stays_unstapled() {
+        let e = env(4);
+        let mut server = MultiIdeal::new(e.site.clone());
+        let mut leaf_f = fetcher_for(&e.inter, &e.leaf_id);
+        {
+            let mut fetchers: [&mut dyn OcspFetcher; 1] = [&mut leaf_f];
+            server.tick_chain(t0(), &mut fetchers);
+        }
+        let flight = server.serve(t0() + 60, &mut leaf_f);
+        let t = Transcript::record(&v2_hello(), &flight);
+        let staples = t.stapled_ocsp_multi().unwrap().unwrap();
+        assert_eq!(staples.len(), 2);
+        assert!(staples[0].is_some());
+        assert!(staples[1].is_none());
+        let covered = verify_multi_staple(&t, &e.roots, t0() + 60).unwrap();
+        assert_eq!(covered, 1);
+    }
+}

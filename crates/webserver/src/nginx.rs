@@ -1,0 +1,220 @@
+//! The Nginx 1.13.12 stapling model.
+//!
+//! Measured behaviors (§7.2 and Table 3):
+//!
+//! * **No prefetch** — the first connection triggers a *background*
+//!   fetch; that first client simply gets **no staple** (so a
+//!   Must-Staple-respecting client like Firefox refuses the
+//!   connection — the three-year-old bug the paper cites).
+//! * **Caches** and **respects `nextUpdate`** — a fresh response is
+//!   fetched once the cached one expires…
+//! * …but **no more than once every 5 minutes** (the paper's footnote
+//!   28): with a validity period under 5 minutes, clients receive
+//!   expired cached responses inside the refresh-clamp window.
+//! * **Retains on error** — a failed refresh keeps the old response,
+//!   which continues to be stapled until it expires.
+//!
+//! Refresh is modeled with a small refresh-ahead margin (real nginx
+//! refetches when its cached staple is about to lapse), which is what
+//! makes retain-on-error observable while the old response is still
+//! valid.
+
+use crate::fetcher::{FetchOutcome, OcspFetcher};
+use crate::server::{CachedStaple, ServerKind, SiteConfig, StaplingServer};
+use asn1::Time;
+use tls::ServerFlight;
+
+/// Minimum seconds between refresh attempts (nginx hardcodes 5 minutes).
+pub const NGINX_REFRESH_CLAMP: i64 = 300;
+/// How far ahead of expiry the model starts trying to refresh.
+pub const NGINX_REFRESH_AHEAD: i64 = 3_600;
+
+/// The Nginx model.
+pub struct Nginx {
+    site: SiteConfig,
+    cache: Option<CachedStaple>,
+    last_attempt: Option<Time>,
+}
+
+impl Nginx {
+    /// A server for `site`.
+    pub fn new(site: SiteConfig) -> Nginx {
+        Nginx { site, cache: None, last_attempt: None }
+    }
+
+    fn clamp_allows(&self, now: Time) -> bool {
+        self.last_attempt.is_none_or(|t| now - t >= NGINX_REFRESH_CLAMP)
+    }
+
+    fn wants_refresh(&self, now: Time) -> bool {
+        match &self.cache {
+            None => true,
+            Some(c) => match c.next_update {
+                // Refresh when inside the refresh-ahead window of expiry.
+                Some(nu) => now + NGINX_REFRESH_AHEAD >= nu,
+                // Blank nextUpdate: nothing to key a refresh on.
+                None => false,
+            },
+        }
+    }
+
+    /// Background refresh; on failure the old cache entry is retained.
+    fn refresh(&mut self, now: Time, fetcher: &mut dyn OcspFetcher) {
+        if !self.wants_refresh(now) || !self.clamp_allows(now) {
+            return;
+        }
+        self.last_attempt = Some(now);
+        match fetcher.fetch(now) {
+            FetchOutcome::Fetched { body, .. } => {
+                let fresh = CachedStaple::from_fetch(body, now);
+                // Nginx only installs *successful* responses; an OCSP
+                // error response leaves the old staple in place.
+                if fresh.is_successful_response {
+                    self.cache = Some(fresh);
+                }
+            }
+            FetchOutcome::Unreachable { .. } => {
+                // Retain the old response (Table 3's ✓).
+            }
+        }
+    }
+}
+
+impl StaplingServer for Nginx {
+    fn kind(&self) -> ServerKind {
+        ServerKind::Nginx
+    }
+
+    fn serve(&mut self, now: Time, fetcher: &mut dyn OcspFetcher) -> ServerFlight {
+        let had_cache = self.cache.is_some();
+        // The staple this client gets is whatever is cached *before* the
+        // background refresh completes — nginx never stalls a handshake.
+        let staple = self.cache.as_ref().map(|c| c.body.clone());
+        self.refresh(now, fetcher);
+        if !had_cache {
+            // First client: no staple at all.
+            return self.site.flight(None, 0.0);
+        }
+        self.site.flight(staple, 0.0)
+    }
+
+    fn tick(&mut self, _now: Time, _fetcher: &mut dyn OcspFetcher) {
+        // Nginx 1.13 has no timer-driven prefetch; refreshes piggyback on
+        // connections.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fetcher::ScriptedFetcher;
+    use crate::testutil::{expired_staple_at, fixture, staple_bytes, try_later_bytes};
+
+    fn t0() -> Time {
+        Time::from_civil(2018, 6, 1, 0, 0, 0)
+    }
+
+    #[test]
+    fn first_connection_gets_no_staple() {
+        let f = fixture(31);
+        let mut server = Nginx::new(f.site.clone());
+        let mut fetcher = ScriptedFetcher::always(staple_bytes(&f, t0()));
+        let flight = server.serve(t0(), &mut fetcher);
+        assert_eq!(flight.stapled_ocsp, None, "nginx's first client gets nothing");
+        assert_eq!(flight.stall_ms, 0.0, "and is not stalled");
+        assert_eq!(fetcher.attempts(), 1, "fetch happens in the background");
+    }
+
+    #[test]
+    fn second_connection_is_stapled() {
+        let f = fixture(32);
+        let mut server = Nginx::new(f.site.clone());
+        let mut fetcher = ScriptedFetcher::always(staple_bytes(&f, t0()));
+        server.serve(t0(), &mut fetcher);
+        let flight = server.serve(t0() + 10, &mut fetcher);
+        assert!(flight.stapled_ocsp.is_some());
+    }
+
+    #[test]
+    fn respects_next_update() {
+        // 2-hour validity: after expiry (and outside the clamp), a new
+        // response is fetched and the staple advances.
+        let f = fixture(33);
+        let mut server = Nginx::new(f.site.clone());
+        let mut fetcher = ScriptedFetcher::new(vec![
+            FetchOutcome::Fetched { body: expired_staple_at(&f, t0(), 7_200), latency_ms: 50.0 },
+            FetchOutcome::Fetched {
+                body: expired_staple_at(&f, t0() + 8_000, 7_200),
+                latency_ms: 50.0,
+            },
+        ]);
+        server.serve(t0(), &mut fetcher); // background fetch #1
+        let late = t0() + 8_000; // past the 7200 s validity
+        server.serve(late, &mut fetcher); // triggers refresh #2
+        let flight = server.serve(late + 1, &mut fetcher);
+        let staple = flight.stapled_ocsp.unwrap();
+        let cached = CachedStaple::from_fetch(staple, late);
+        assert!(cached.ocsp_fresh(late), "nginx refreshed past nextUpdate");
+        assert_eq!(fetcher.attempts(), 2);
+    }
+
+    #[test]
+    fn refresh_clamped_to_five_minutes() {
+        // Footnote 28: validity 2 minutes < clamp 5 minutes — clients in
+        // the gap get the expired staple.
+        let f = fixture(34);
+        let mut server = Nginx::new(f.site.clone());
+        let mut fetcher = ScriptedFetcher::always(expired_staple_at(&f, t0(), 120));
+        server.serve(t0(), &mut fetcher); // background fetch
+        let at = t0() + 200; // staple expired at +120, clamp until +300
+        let flight = server.serve(at, &mut fetcher);
+        let staple = flight.stapled_ocsp.expect("expired staple still served");
+        let cached = CachedStaple::from_fetch(staple, at);
+        assert!(!cached.ocsp_fresh(at), "client received an expired response");
+        assert_eq!(fetcher.attempts(), 1, "clamp suppressed the refresh");
+        // After the clamp lapses, refresh happens.
+        server.serve(t0() + 301, &mut fetcher);
+        assert_eq!(fetcher.attempts(), 2);
+    }
+
+    #[test]
+    fn retains_old_staple_when_responder_down() {
+        let f = fixture(35);
+        let mut server = Nginx::new(f.site.clone());
+        // 2-hour validity so the refresh-ahead window opens immediately.
+        let mut fetcher = ScriptedFetcher::new(vec![
+            FetchOutcome::Fetched { body: expired_staple_at(&f, t0(), 7_200), latency_ms: 50.0 },
+            FetchOutcome::Unreachable { latency_ms: 1_000.0 },
+        ]);
+        server.serve(t0(), &mut fetcher);
+        // Inside refresh-ahead, responder now down.
+        let at = t0() + 4_000;
+        server.serve(at, &mut fetcher); // refresh attempt fails
+        let flight = server.serve(at + 1, &mut fetcher);
+        assert!(
+            flight.stapled_ocsp.is_some(),
+            "the old still-valid staple is retained (Table 3 ✓)"
+        );
+    }
+
+    #[test]
+    fn error_responses_are_not_installed() {
+        let f = fixture(36);
+        let mut server = Nginx::new(f.site.clone());
+        let mut fetcher = ScriptedFetcher::new(vec![
+            FetchOutcome::Fetched { body: expired_staple_at(&f, t0(), 7_200), latency_ms: 50.0 },
+            FetchOutcome::Fetched { body: try_later_bytes(), latency_ms: 50.0 },
+        ]);
+        server.serve(t0(), &mut fetcher);
+        let at = t0() + 4_000;
+        server.serve(at, &mut fetcher); // refresh returns tryLater
+        let flight = server.serve(at + 1, &mut fetcher);
+        let staple = flight.stapled_ocsp.unwrap();
+        let parsed = ocsp::OcspResponse::from_der(&staple).unwrap();
+        assert_eq!(
+            parsed.status,
+            ocsp::ResponseStatus::Successful,
+            "nginx keeps the old good response, never staples the error"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! The server-model interface and shared staple-cache plumbing.
+
+use crate::fetcher::OcspFetcher;
+use asn1::Time;
+use ocsp::{OcspResponse, ResponseStatus};
+use pki::Certificate;
+use tls::ServerFlight;
+
+/// Which model a server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerKind {
+    /// Apache httpd 2.4.18 (mod_ssl stapling).
+    Apache,
+    /// Nginx 1.13.12.
+    Nginx,
+    /// The paper's §8 recommendation.
+    Ideal,
+}
+
+impl ServerKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerKind::Apache => "Apache",
+            ServerKind::Nginx => "Nginx",
+            ServerKind::Ideal => "Ideal",
+        }
+    }
+}
+
+/// A web server with OCSP Stapling, modeled at the staple-cache level.
+pub trait StaplingServer {
+    /// Which model this is.
+    fn kind(&self) -> ServerKind;
+
+    /// Handle one TLS connection at `now`. The server may consult its
+    /// staple cache and/or the fetcher; the returned flight carries the
+    /// chain, the staple (if any), and any handshake stall it imposed.
+    fn serve(&mut self, now: Time, fetcher: &mut dyn OcspFetcher) -> ServerFlight;
+
+    /// Background maintenance at `now` (prefetch/refresh timers). Models
+    /// without background behavior ignore this.
+    fn tick(&mut self, now: Time, fetcher: &mut dyn OcspFetcher);
+}
+
+/// A cached staple plus the metadata servers key their decisions on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedStaple {
+    /// The raw bytes served in CertificateStatus.
+    pub body: Vec<u8>,
+    /// When the fetch that produced it completed.
+    pub fetched_at: Time,
+    /// The response's `nextUpdate`, if it parsed and had one.
+    pub next_update: Option<Time>,
+    /// Whether the body parsed as a *successful* OCSP response.
+    pub is_successful_response: bool,
+}
+
+impl CachedStaple {
+    /// Inspect freshly fetched bytes.
+    pub fn from_fetch(body: Vec<u8>, fetched_at: Time) -> CachedStaple {
+        let parsed = OcspResponse::from_der(&body).ok();
+        let (next_update, is_successful_response) = match &parsed {
+            Some(resp) if resp.status == ResponseStatus::Successful => {
+                let nu = resp
+                    .basic
+                    .as_ref()
+                    .and_then(|b| b.responses.first())
+                    .and_then(|sr| sr.next_update);
+                (nu, true)
+            }
+            _ => (None, false),
+        };
+        CachedStaple { body, fetched_at, next_update, is_successful_response }
+    }
+
+    /// Whether the *OCSP-level* validity window still covers `now`
+    /// (blank `nextUpdate` never expires).
+    pub fn ocsp_fresh(&self, now: Time) -> bool {
+        self.next_update.is_none_or(|nu| now <= nu)
+    }
+}
+
+/// Shared certificate configuration for a simulated server.
+#[derive(Debug, Clone)]
+pub struct SiteConfig {
+    /// The chain the server presents, leaf first.
+    pub chain: Vec<Certificate>,
+}
+
+impl SiteConfig {
+    /// Build a flight with an optional staple and stall.
+    pub fn flight(&self, staple: Option<Vec<u8>>, stall_ms: f64) -> ServerFlight {
+        ServerFlight::new(self.chain.clone(), staple, stall_ms)
+    }
+}

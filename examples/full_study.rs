@@ -1,0 +1,51 @@
+//! The full study, end to end: generate the ecosystem, run every
+//! measurement campaign, and print the §8 readiness report.
+//!
+//! ```sh
+//! cargo run --release --example full_study            # tiny scale (~1s)
+//! cargo run --release --example full_study -- figures # paper scale (minutes)
+//! ```
+
+use mustaple::ecosystem::EcosystemConfig;
+use mustaple::Study;
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
+    let config = match scale.as_str() {
+        "tiny" => EcosystemConfig::tiny(),
+        "figures" => EcosystemConfig::figures(),
+        other => {
+            eprintln!("unknown scale `{other}`; use tiny or figures");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "running the full study at `{scale}` scale: {} responders, {} certificates, {} scan rounds",
+        config.responders,
+        config.responders * config.certs_per_responder,
+        config.scan_rounds()
+    );
+    let results = Study::new(config).run();
+
+    println!("--- campaign overview -------------------------------------");
+    println!("probes sent:               {}", results.hourly.requests);
+    println!(
+        "overall failure rate:      {:.2}% (paper: 1.7%)",
+        results.hourly.overall_failure_rate() * 100.0
+    );
+    println!(
+        "responders with outages:   {:.1}% (paper: 36.8%)",
+        results.hourly.transient_outage_fraction() * 100.0
+    );
+    println!(
+        "consistency: {} discrepant responders (paper: 7 CRLs)",
+        results.consistency.table1.len()
+    );
+    println!(
+        "browsers respecting MS:    {}/16 (paper: 4/16)",
+        results.browsers.iter().filter(|r| r.respected_must_staple).count()
+    );
+    println!();
+    println!("{}", results.readiness_report().render());
+}

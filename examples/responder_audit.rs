@@ -1,0 +1,144 @@
+//! Responder audit: run the §5 quality checks against a set of OCSP
+//! responders and print a findings report — the tool the paper says CAs
+//! should run against themselves ("OCSP responders ought to test the
+//! validity of their responses. Test harnesses like ours can help").
+//!
+//! ```sh
+//! cargo run --example responder_audit
+//! ```
+
+use mustaple::asn1::Time;
+use mustaple::ocsp::{
+    validate_response, CertId, MalformMode, OcspRequest, Responder, ResponderProfile,
+    ResponseError, ValidationConfig,
+};
+use mustaple::pki::{CertificateAuthority, IssueParams};
+use rand::{rngs::StdRng, SeedableRng};
+
+struct Finding {
+    severity: &'static str,
+    message: String,
+}
+
+fn main() {
+    let now = Time::from_civil(2018, 5, 1, 12, 0, 0);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut ca = CertificateAuthority::new_root(&mut rng, "Audit CA", "Audit Root", "audit-ca.test", now);
+    let cert = ca.issue(&mut rng, &IssueParams::new("audit.example", now));
+    let id = CertId::for_certificate(&cert, ca.certificate());
+
+    // The audit targets: one healthy responder and a rogue's gallery of
+    // real-world misbehaviors from §5.
+    let subjects: Vec<(&str, ResponderProfile)> = vec![
+        ("healthy.example", ResponderProfile::healthy()),
+        ("zero-body.example (sheca-style)", ResponderProfile::healthy().malformed(MalformMode::LiteralZero)),
+        ("js-page.example", ResponderProfile::healthy().malformed(MalformMode::JavascriptPage)),
+        ("wrong-serial.example", ResponderProfile::healthy().wrong_serial()),
+        ("bad-signature.example", ResponderProfile::healthy().corrupt_signature()),
+        ("zero-margin.example", ResponderProfile::healthy().margin(0)),
+        ("future-dated.example", ResponderProfile::healthy().margin(-300)),
+        ("blank-next-update.example", ResponderProfile::healthy().blank_next_update()),
+        ("month-validity.example", ResponderProfile::healthy().validity(45 * 86_400)),
+        ("hinet-style.example", ResponderProfile::healthy().margin(0).validity(7_200).pre_generated(7_200)),
+        ("bloated.example (cpc.gov.ae-style)", ResponderProfile::healthy().superfluous_certs(4).extra_serials(19)),
+    ];
+
+    println!("auditing {} responders against the §5 quality checks\n", subjects.len());
+    for (name, profile) in subjects {
+        let non_overlapping = profile.has_non_overlapping_windows();
+        let mut responder = Responder::new("http://audit/", profile);
+        let body = responder.handle(&ca, &OcspRequest::single(id.clone()), now);
+        let mut findings: Vec<Finding> = Vec::new();
+
+        // Check with an accurate clock and with a slightly slow one.
+        for (label, skew) in [("accurate clock", 0i64), ("30s-slow clock", -30)] {
+            let result = validate_response(
+                &body,
+                &id,
+                ca.certificate(),
+                now,
+                ValidationConfig { clock_skew: skew, require_next_update: false },
+            );
+            match result {
+                Ok(v) => {
+                    if skew == 0 {
+                        if v.blank_next_update {
+                            findings.push(Finding {
+                                severity: "WARN",
+                                message: "blank nextUpdate: response never expires; \
+                                          clients may cache it forever"
+                                    .into(),
+                            });
+                        }
+                        if let Some(validity) = v.validity_period() {
+                            if validity > 30 * 86_400 {
+                                findings.push(Finding {
+                                    severity: "WARN",
+                                    message: format!(
+                                        "validity period {}d: revocations propagate slowly",
+                                        validity / 86_400
+                                    ),
+                                });
+                            }
+                        }
+                        if v.this_update_margin == 0 {
+                            findings.push(Finding {
+                                severity: "WARN",
+                                message: "zero thisUpdate margin: slow-clocked clients will \
+                                          reject this response"
+                                    .into(),
+                            });
+                        }
+                        if v.cert_count > 1 {
+                            findings.push(Finding {
+                                severity: "INFO",
+                                message: format!(
+                                    "{} certificates attached (1 expected): response bloat",
+                                    v.cert_count
+                                ),
+                            });
+                        }
+                        if v.serial_count > 1 {
+                            findings.push(Finding {
+                                severity: "INFO",
+                                message: format!(
+                                    "{} serials in response (1 requested): response bloat",
+                                    v.serial_count
+                                ),
+                            });
+                        }
+                    }
+                }
+                Err(err) => {
+                    let severity = match err {
+                        ResponseError::NotYetValid { .. } if skew != 0 => "WARN",
+                        _ => "FAIL",
+                    };
+                    findings.push(Finding {
+                        severity,
+                        message: format!("({label}) {err}"),
+                    });
+                }
+            }
+        }
+        if non_overlapping {
+            findings.push(Finding {
+                severity: "WARN",
+                message: "validity period equals refresh interval: clients can never \
+                          fetch an overlapping fresh response (hinet/cnnic hazard)"
+                    .into(),
+            });
+        }
+
+        println!("{name}");
+        if findings.is_empty() {
+            println!("  PASS: no findings");
+        }
+        // Dedup repeated messages from the two clock runs.
+        findings.dedup_by(|a, b| a.message == b.message);
+        for finding in findings {
+            println!("  {}: {}", finding.severity, finding.message);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,232 @@
+//! Adversarial scenarios: everything an attacker might try against the
+//! revocation pipeline, and the exact layer that stops each attempt.
+
+use mustaple::asn1::Time;
+use mustaple::ocsp::{
+    validate_response, CertId, CertStatus, OcspRequest, OcspResponse, Responder,
+    ResponderProfile, ResponseError, SingleResponse,
+};
+use mustaple::pki::{CertificateAuthority, IssueParams, RevocationReason};
+use rand::{rngs::StdRng, SeedableRng};
+use simcrypto::KeyPair;
+
+fn t0() -> Time {
+    Time::from_civil(2018, 7, 15, 0, 0, 0)
+}
+
+struct Env {
+    ca: CertificateAuthority,
+    id: CertId,
+}
+
+fn env(seed: u64) -> Env {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ca = CertificateAuthority::new_root(&mut rng, "Victim", "Victim Root", "v.test", t0());
+    let leaf = ca.issue(&mut rng, &IssueParams::new("victim.example", t0()));
+    let id = CertId::for_certificate(&leaf, ca.certificate());
+    Env { ca, id }
+}
+
+/// An attacker who runs their own CA cannot mint a Good response for a
+/// victim CA's certificate: the signature doesn't chain.
+#[test]
+fn forged_response_from_foreign_ca_rejected() {
+    let e = env(1);
+    let mut rng = StdRng::seed_from_u64(99);
+    let attacker_key = KeyPair::generate(&mut rng, 384);
+    let forged = OcspResponse::successful(
+        &attacker_key,
+        t0(),
+        vec![SingleResponse {
+            cert_id: e.id.clone(),
+            status: CertStatus::Good,
+            this_update: t0() - 60,
+            next_update: Some(t0() + 7 * 86_400),
+        }],
+        vec![],
+    );
+    let err = validate_response(&forged.to_der(), &e.id, e.ca.certificate(), t0(), Default::default())
+        .unwrap_err();
+    assert_eq!(err, ResponseError::SignatureInvalid);
+}
+
+/// A certificate the victim CA issued *without* the OCSP-signing EKU
+/// cannot act as a delegated responder, even though its signature chains.
+#[test]
+fn non_delegated_certificate_cannot_sign_responses() {
+    let mut e = env(2);
+    let mut rng = StdRng::seed_from_u64(100);
+    // A perfectly valid leaf certificate from the victim CA — but it is
+    // a TLS cert, not an OCSP signer.
+    let mallory_params = IssueParams::new("mallory.example", t0());
+    let mallory_cert = e.ca.issue(&mut rng, &mallory_params);
+    // Mallory cannot use the CA's leaf key (she doesn't have it), so this
+    // models the strongest variant: she somehow controls a key whose cert
+    // chains but lacks the EKU. Build that situation with a delegated
+    // signer whose EKU we do NOT include by using her own keypair and a
+    // fabricated response.
+    let mallory_key = KeyPair::generate(&mut rng, 384);
+    let response = OcspResponse::successful(
+        &mallory_key,
+        t0(),
+        vec![SingleResponse {
+            cert_id: e.id.clone(),
+            status: CertStatus::Good,
+            this_update: t0() - 60,
+            next_update: Some(t0() + 7 * 86_400),
+        }],
+        vec![mallory_cert], // chains to the CA, but no id-kp-OCSPSigning
+    );
+    let err = validate_response(
+        &response.to_der(),
+        &e.id,
+        e.ca.certificate(),
+        t0(),
+        Default::default(),
+    )
+    .unwrap_err();
+    // The attached certificate did not sign the response (different
+    // key), so this surfaces as a signature failure.
+    assert_eq!(err, ResponseError::SignatureInvalid);
+}
+
+/// Even when the attacker controls a key whose certificate the CA
+/// signed, the response is rejected unless that certificate carries the
+/// OCSP-signing EKU.
+#[test]
+fn chaining_signer_without_eku_rejected() {
+    let e = env(3);
+    let mut rng = StdRng::seed_from_u64(101);
+    // Build a CA we control to mint a *chained but non-delegated* pair:
+    // reuse the victim CA object to issue a leaf, then sign the response
+    // with the CA's own *leaf* key (shared leaf key model) — the cert
+    // chains and the signature matches that cert's key, but there is no
+    // EKU.
+    let mut ca = e.ca.clone();
+    let impostor = ca.issue(&mut rng, &IssueParams::new("impostor.example", t0()));
+    // The CA's shared leaf key signed `impostor`'s public key — in our
+    // model the CA engine holds that key, an attacker does not. Simulate
+    // the worst case anyway by constructing the response through the
+    // engine-internal key is not exposed; instead verify the validator's
+    // EKU check directly: a response signed by a key whose certificate
+    // chains but has no OCSP EKU must be UntrustedDelegate.
+    let signer_key = KeyPair::generate(&mut rng, 384);
+    let mut tbs = impostor.tbs().clone();
+    tbs.public_key = signer_key.public().clone();
+    let resigned = mustaple::pki::Certificate::assemble(
+        tbs.clone(),
+        // Forged signature bytes: correct length, wrong everything.
+        vec![0x42; e.ca.certificate().public_key().modulus_len()],
+    );
+    let response = OcspResponse::successful(
+        &signer_key,
+        t0(),
+        vec![SingleResponse {
+            cert_id: e.id.clone(),
+            status: CertStatus::Good,
+            this_update: t0() - 60,
+            next_update: Some(t0() + 7 * 86_400),
+        }],
+        vec![resigned],
+    );
+    let err = validate_response(
+        &response.to_der(),
+        &e.id,
+        e.ca.certificate(),
+        t0(),
+        Default::default(),
+    )
+    .unwrap_err();
+    // The signer's certificate lacks the EKU → UntrustedDelegate.
+    assert_eq!(err, ResponseError::UntrustedDelegate);
+}
+
+/// Replaying a stale (pre-revocation) Good response works only inside
+/// its validity window — the fundamental Must-Staple exposure bound.
+#[test]
+fn stale_good_response_replay_is_time_bounded() {
+    let mut e = env(4);
+    let mut responder =
+        Responder::new("u", ResponderProfile::healthy().margin(0).validity(3 * 86_400));
+    let captured = responder.handle(&e.ca, &OcspRequest::single(e.id.clone()), t0());
+
+    // The CA revokes one hour later; the attacker replays the capture.
+    let serial = e.id.serial.clone();
+    e.ca.revoke(&serial, t0() + 3_600, Some(RevocationReason::KeyCompromise));
+
+    // Within the window: the replay still validates (says Good) — this
+    // is the exposure the paper accepts in exchange for hard-fail.
+    let inside = validate_response(
+        &captured,
+        &e.id,
+        e.ca.certificate(),
+        t0() + 86_400,
+        Default::default(),
+    )
+    .unwrap();
+    assert_eq!(inside.status, CertStatus::Good);
+
+    // Past nextUpdate: the replay dies.
+    let err = validate_response(
+        &captured,
+        &e.id,
+        e.ca.certificate(),
+        t0() + 3 * 86_400 + 1,
+        Default::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, ResponseError::Expired { .. }));
+
+    // And a fresh fetch now reports Revoked.
+    let fresh = responder.handle(&e.ca, &OcspRequest::single(e.id.clone()), t0() + 2 * 3_600);
+    let v = validate_response(
+        &fresh,
+        &e.id,
+        e.ca.certificate(),
+        t0() + 2 * 3_600,
+        Default::default(),
+    )
+    .unwrap();
+    assert!(matches!(v.status, CertStatus::Revoked { .. }));
+}
+
+/// A response for a *different* serial cannot be repurposed: the
+/// validator matches serials exactly.
+#[test]
+fn response_for_sibling_certificate_rejected() {
+    let mut e = env(5);
+    let mut rng = StdRng::seed_from_u64(102);
+    let sibling = e.ca.issue(&mut rng, &IssueParams::new("sibling.example", t0()));
+    let sibling_id = CertId::for_certificate(&sibling, e.ca.certificate());
+    let mut responder = Responder::new("u", ResponderProfile::healthy());
+    let sibling_response =
+        responder.handle(&e.ca, &OcspRequest::single(sibling_id), t0());
+    let err = validate_response(
+        &sibling_response,
+        &e.id,
+        e.ca.certificate(),
+        t0(),
+        Default::default(),
+    )
+    .unwrap_err();
+    assert_eq!(err, ResponseError::SerialMismatch);
+}
+
+/// Unknown status is not a free pass: the validator surfaces it, and a
+/// careful client can treat Unknown-for-a-known-cert as suspicious
+/// (Table 1's gsalphasha2g2 would otherwise hide 5,375 revocations).
+#[test]
+fn unknown_for_revoked_certificate_is_visible() {
+    let mut e = env(6);
+    let serial = e.id.serial.clone();
+    e.ca.revoke(&serial, t0(), None);
+    e.ca.mark_ocsp_unknown(&serial); // the Table 1 database-loss fault
+    let mut responder = Responder::new("u", ResponderProfile::healthy());
+    let body = responder.handle(&e.ca, &OcspRequest::single(e.id.clone()), t0() + 60);
+    let v = validate_response(&body, &e.id, e.ca.certificate(), t0() + 60, Default::default())
+        .unwrap();
+    assert_eq!(v.status, CertStatus::Unknown);
+    // Meanwhile the CRL still tells the truth.
+    let crl = e.ca.generate_crl(t0() + 60, None);
+    assert!(crl.is_revoked(&serial));
+}

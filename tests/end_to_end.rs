@@ -1,0 +1,240 @@
+//! End-to-end integration: the full revocation lifecycle across every
+//! crate — CA issuance, OCSP stapling through real web-server models,
+//! TLS wire messages, and browser verdicts.
+
+use mustaple::asn1::Time;
+use mustaple::browser::{BrowserClient, NoTransport, Verdict, BROWSER_MATRIX};
+use mustaple::ocsp::{CertId, OcspRequest, Responder, ResponderProfile};
+use mustaple::pki::{
+    validate_chain, CertificateAuthority, IssueParams, RevocationReason, RootStore,
+};
+use mustaple::webserver::server::SiteConfig;
+use mustaple::webserver::{FetchOutcome, FnFetcher, Ideal, Nginx, StaplingServer};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn t0() -> Time {
+    Time::from_civil(2018, 6, 1, 0, 0, 0)
+}
+
+struct Pki {
+    ca: CertificateAuthority,
+    site: SiteConfig,
+    cert_id: CertId,
+    roots: RootStore,
+}
+
+fn pki(seed: u64, must_staple: bool) -> Pki {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ca =
+        CertificateAuthority::new_root(&mut rng, "E2E CA", "E2E Root", "e2e-ca.test", t0());
+    let cert =
+        ca.issue(&mut rng, &IssueParams::new("e2e.example", t0()).must_staple(must_staple));
+    let cert_id = CertId::for_certificate(&cert, ca.certificate());
+    let mut roots = RootStore::new("e2e");
+    roots.add(ca.certificate().clone());
+    let site = SiteConfig { chain: vec![cert, ca.certificate().clone()] };
+    Pki { ca, site, cert_id, roots }
+}
+
+fn live_fetcher(ca: &CertificateAuthority, id: &CertId, validity: i64) -> FnFetcher {
+    let ca = ca.clone();
+    let id = id.clone();
+    FnFetcher::new(move |now| {
+        let mut responder = Responder::new(
+            "http://ocsp.e2e-ca.test/",
+            ResponderProfile::healthy().validity(validity),
+        );
+        let body = responder.handle(&ca, &OcspRequest::single(id.clone()), now);
+        FetchOutcome::Fetched { body, latency_ms: 30.0 }
+    })
+}
+
+fn firefox() -> BrowserClient {
+    BrowserClient::new(*BROWSER_MATRIX.iter().find(|p| p.name == "Firefox 60").unwrap())
+}
+
+fn chrome() -> BrowserClient {
+    BrowserClient::new(*BROWSER_MATRIX.iter().find(|p| p.name == "Chrome 66").unwrap())
+}
+
+#[test]
+fn revoked_certificate_is_caught_through_the_staple() {
+    let mut p = pki(1, true);
+    // Healthy lifecycle first.
+    let mut server = Ideal::new(p.site.clone());
+    let mut fetcher = live_fetcher(&p.ca, &p.cert_id, 7_200);
+    server.tick(t0(), &mut fetcher);
+    let ok = firefox().connect(
+        &mut server,
+        &mut fetcher,
+        &mut NoTransport::new(),
+        "e2e.example",
+        &p.roots,
+        t0() + 60,
+    );
+    assert!(ok.verdict.is_accepted());
+
+    // The CA revokes the certificate; once the server refreshes its
+    // staple past the old validity, every browser sees Revoked.
+    let serial = p.site.chain[0].serial().clone();
+    p.ca.revoke(&serial, t0() + 100, Some(RevocationReason::KeyCompromise));
+    let mut fetcher = live_fetcher(&p.ca, &p.cert_id, 7_200);
+    let mut server = Ideal::new(p.site.clone());
+    server.tick(t0() + 10_000, &mut fetcher);
+    for client in [firefox(), chrome()] {
+        let outcome = client.connect(
+            &mut server,
+            &mut fetcher,
+            &mut NoTransport::new(),
+            "e2e.example",
+            &p.roots,
+            t0() + 10_060,
+        );
+        assert_eq!(
+            outcome.verdict,
+            Verdict::Rejected(mustaple::browser::RejectReason::CertificateRevoked),
+            "{}",
+            client.profile.label()
+        );
+    }
+}
+
+#[test]
+fn soft_fail_gap_only_firefox_blocks_a_stripped_staple() {
+    let p = pki(2, true);
+    // Nginx with a dead responder: first client gets no staple at all.
+    let mut server = Nginx::new(p.site.clone());
+    let mut fetcher = mustaple::webserver::ScriptedFetcher::down();
+    let ff = firefox().connect(
+        &mut server,
+        &mut fetcher,
+        &mut NoTransport::new(),
+        "e2e.example",
+        &p.roots,
+        t0(),
+    );
+    assert!(!ff.verdict.is_accepted(), "Firefox hard-fails");
+    let ch = chrome().connect(
+        &mut server,
+        &mut fetcher,
+        &mut NoTransport::new(),
+        "e2e.example",
+        &p.roots,
+        t0() + 1,
+    );
+    assert!(ch.verdict.is_accepted(), "Chrome soft-fails");
+}
+
+#[test]
+fn non_must_staple_certificates_never_hard_fail() {
+    let p = pki(3, false);
+    let mut server = Nginx::new(p.site.clone());
+    let mut fetcher = mustaple::webserver::ScriptedFetcher::down();
+    for profile in BROWSER_MATRIX {
+        let outcome = BrowserClient::new(profile).connect(
+            &mut server,
+            &mut fetcher,
+            &mut NoTransport::new(),
+            "e2e.example",
+            &p.roots,
+            t0(),
+        );
+        assert!(
+            outcome.verdict.is_accepted(),
+            "{} must soft-fail a plain certificate",
+            profile.label()
+        );
+    }
+}
+
+#[test]
+fn crl_and_ocsp_agree_for_a_healthy_ca() {
+    let mut p = pki(4, false);
+    let serial = p.site.chain[0].serial().clone();
+    p.ca.revoke(&serial, t0() + 50, Some(RevocationReason::Superseded));
+
+    // CRL channel.
+    let crl = p.ca.generate_crl(t0() + 100, Some(t0() + 100 + 7 * 86_400));
+    assert!(crl.verify_signature(p.ca.certificate().public_key()));
+    let entry = crl.find(&serial).expect("revoked in CRL");
+    assert_eq!(entry.revocation_time, t0() + 50);
+    assert_eq!(entry.reason, Some(RevocationReason::Superseded));
+
+    // OCSP channel.
+    let mut responder = Responder::new("u", ResponderProfile::healthy());
+    let body =
+        responder.handle(&p.ca, &OcspRequest::single(p.cert_id.clone()), t0() + 100);
+    let validated = mustaple::ocsp::validate_response(
+        &body,
+        &p.cert_id,
+        p.ca.certificate(),
+        t0() + 100,
+        Default::default(),
+    )
+    .unwrap();
+    match validated.status {
+        mustaple::ocsp::CertStatus::Revoked { time, reason } => {
+            assert_eq!(time, entry.revocation_time);
+            assert_eq!(reason, entry.reason);
+        }
+        other => panic!("expected Revoked, got {other:?}"),
+    }
+}
+
+#[test]
+fn full_chain_validation_spans_intermediates() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut root =
+        CertificateAuthority::new_root(&mut rng, "Chain Co", "Chain Root", "chain.test", t0());
+    let mut inter =
+        root.issue_intermediate(&mut rng, "Chain Co", "Chain CA 1", "ca1.chain.test", t0());
+    let leaf = inter.issue(&mut rng, &IssueParams::new("deep.example", t0()));
+    let mut roots = RootStore::new("chain");
+    roots.add(root.certificate().clone());
+
+    let chain = vec![leaf, inter.certificate().clone()];
+    validate_chain(&chain, &roots, t0() + 10, Some("deep.example")).unwrap();
+
+    // Through the browser too.
+    let site = SiteConfig { chain };
+    let cert_id = CertId::for_certificate(&site.chain[0], inter.certificate());
+    let mut server = Ideal::new(site);
+    let mut fetcher = live_fetcher(&inter, &cert_id, 7_200);
+    server.tick(t0(), &mut fetcher);
+    let outcome = firefox().connect(
+        &mut server,
+        &mut fetcher,
+        &mut NoTransport::new(),
+        "deep.example",
+        &roots,
+        t0() + 60,
+    );
+    assert!(outcome.verdict.is_accepted(), "{:?}", outcome.verdict);
+}
+
+#[test]
+fn expired_staple_from_nginx_clamp_is_rejected_by_firefox_on_must_staple() {
+    let p = pki(6, true);
+    // 2-minute validity, so the staple expires inside nginx's 5-minute
+    // refresh clamp (the paper's footnote 28).
+    let mut server = Nginx::new(p.site.clone());
+    let mut fetcher = live_fetcher(&p.ca, &p.cert_id, 120);
+    server.serve(t0(), &mut fetcher); // background fetch
+    // At +200s the cached staple is expired and the clamp blocks refresh.
+    let outcome = firefox().connect(
+        &mut server,
+        &mut fetcher,
+        &mut NoTransport::new(),
+        "e2e.example",
+        &p.roots,
+        t0() + 200,
+    );
+    assert!(
+        matches!(
+            outcome.verdict,
+            Verdict::Rejected(mustaple::browser::RejectReason::BadStaple(_))
+        ),
+        "{:?}",
+        outcome.verdict
+    );
+}

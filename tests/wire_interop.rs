@@ -1,0 +1,122 @@
+//! Cross-crate wire interoperability: bytes produced by one subsystem
+//! must parse in every other subsystem that consumes them, and the
+//! schema-less ASN.1 diagnostics must agree with the schema-driven
+//! parsers about what is and is not DER.
+
+use mustaple::asn1::{Time, Value};
+use mustaple::ocsp::{
+    CertId, MalformMode, OcspRequest, OcspResponse, Responder, ResponderProfile,
+};
+use mustaple::pki::{Certificate, CertificateAuthority, Crl, IssueParams};
+use mustaple::tls::wire::{CertificateMsg, ClientHello};
+use mustaple::tls::{ServerFlight, Transcript};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn t0() -> Time {
+    Time::from_civil(2018, 7, 1, 0, 0, 0)
+}
+
+struct Env {
+    ca: CertificateAuthority,
+    leaf: Certificate,
+    id: CertId,
+}
+
+fn env(seed: u64) -> Env {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ca = CertificateAuthority::new_root(&mut rng, "Interop", "Interop Root", "io.test", t0());
+    let leaf = ca.issue(&mut rng, &IssueParams::new("interop.example", t0()).must_staple(true));
+    let id = CertId::for_certificate(&leaf, ca.certificate());
+    Env { ca, leaf, id }
+}
+
+#[test]
+fn certificate_der_is_universally_parseable() {
+    let e = env(1);
+    let der = e.leaf.to_der();
+
+    // The schema-less parser sees a well-formed SEQUENCE tree.
+    let value = Value::parse(&der).expect("generic DER parse");
+    assert!(value.shape().starts_with("SEQ(SEQ("), "{}", value.shape());
+    // And re-encodes to the identical bytes (DER canonicality).
+    assert_eq!(value.encode(), der);
+
+    // The TLS Certificate message carries it byte-identically.
+    let msg = CertificateMsg { chain: vec![e.leaf.clone(), e.ca.certificate().clone()] };
+    let parsed = CertificateMsg::decode(&msg.encode()).unwrap();
+    assert_eq!(parsed.chain[0].to_der(), der);
+}
+
+#[test]
+fn ocsp_bytes_flow_through_tls_unaltered() {
+    let e = env(2);
+    let mut responder = Responder::new("u", ResponderProfile::healthy());
+    let body = responder.handle(&e.ca, &OcspRequest::single(e.id.clone()), t0());
+
+    // Server staples the exact responder bytes; the client's transcript
+    // recovers them bit for bit, and they validate.
+    let flight = ServerFlight::new(
+        vec![e.leaf.clone(), e.ca.certificate().clone()],
+        Some(body.clone()),
+        0.0,
+    );
+    let hello = ClientHello::new("interop.example", true);
+    let transcript = Transcript::record(&hello, &flight);
+    let recovered = transcript.stapled_ocsp().unwrap().unwrap();
+    assert_eq!(recovered, body);
+    mustaple::ocsp::validate_response(&recovered, &e.id, e.ca.certificate(), t0(), Default::default())
+        .unwrap();
+}
+
+#[test]
+fn generic_parser_and_schema_parser_agree_on_garbage() {
+    let e = env(3);
+    // Everything the fault injector emits as "malformed" must be
+    // rejected by both the generic ASN.1 parser and the OCSP parser.
+    for mode in [MalformMode::LiteralZero, MalformMode::Empty, MalformMode::JavascriptPage] {
+        let mut responder = Responder::new("u", ResponderProfile::healthy().malformed(mode));
+        let body = responder.handle(&e.ca, &OcspRequest::single(e.id.clone()), t0());
+        assert!(Value::parse(&body).is_err(), "{mode:?} generic");
+        assert!(OcspResponse::from_der(&body).is_err(), "{mode:?} schema");
+    }
+    // TruncatedDer may keep a structurally complete prefix invalid only
+    // at the schema level; the schema parser must still reject it.
+    let mut responder =
+        Responder::new("u", ResponderProfile::healthy().malformed(MalformMode::TruncatedDer));
+    let body = responder.handle(&e.ca, &OcspRequest::single(e.id.clone()), t0());
+    assert!(OcspResponse::from_der(&body).is_err());
+}
+
+#[test]
+fn crl_der_parses_generically_and_carries_the_extension_shape() {
+    let mut e = env(4);
+    e.ca.revoke(
+        e.leaf.serial(),
+        t0(),
+        Some(mustaple::pki::RevocationReason::KeyCompromise),
+    );
+    let crl = e.ca.generate_crl(t0() + 10, Some(t0() + 7 * 86_400));
+    let der = crl.to_der();
+    let value = Value::parse(&der).unwrap();
+    assert_eq!(value.encode(), der);
+    let reparsed = Crl::from_der(&der).unwrap();
+    assert!(reparsed.is_revoked(e.leaf.serial()));
+}
+
+#[test]
+fn transcript_bytes_are_self_describing() {
+    let e = env(5);
+    let hello = ClientHello::new("interop.example", true);
+    let flight = ServerFlight::new(vec![e.leaf.clone(), e.ca.certificate().clone()], None, 0.0);
+    let transcript = Transcript::record(&hello, &flight);
+
+    // The raw ClientHello bytes re-parse and identify the solicitation.
+    let reparsed = ClientHello::decode(&transcript.client_hello).unwrap();
+    assert!(reparsed.status_request);
+    assert_eq!(reparsed.server_name, "interop.example");
+    // The chain parses out of the raw Certificate message and still
+    // carries the Must-Staple extension end to end.
+    let chain = transcript.server_chain().unwrap();
+    assert!(chain[0].has_must_staple());
+    assert!(chain[0].verify_signature(chain[1].public_key()));
+}
