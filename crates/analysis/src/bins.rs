@@ -19,7 +19,10 @@ impl RankBins {
     /// Panics if `bin_width == 0`.
     pub fn new(bin_width: usize) -> RankBins {
         assert!(bin_width > 0, "bin width must be positive");
-        RankBins { bin_width, bins: Vec::new() }
+        RankBins {
+            bin_width,
+            bins: Vec::new(),
+        }
     }
 
     /// Record whether the site at `rank` (1-based) has the property.
@@ -41,7 +44,10 @@ impl RankBins {
             .iter()
             .enumerate()
             .map(|(i, &(hits, total))| {
-                (i * self.bin_width, 100.0 * hits as f64 / total.max(1) as f64)
+                (
+                    i * self.bin_width,
+                    100.0 * hits as f64 / total.max(1) as f64,
+                )
             })
             .collect()
     }

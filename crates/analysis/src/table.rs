@@ -14,7 +14,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row.
@@ -91,7 +94,14 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|s| field(s)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|s| field(s))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|s| field(s)).collect::<Vec<_>>().join(","));

@@ -28,7 +28,10 @@ impl TimeSeries {
     /// Panics if `bin_secs` is not positive.
     pub fn new(bin_secs: i64) -> TimeSeries {
         assert!(bin_secs > 0, "bin width must be positive");
-        TimeSeries { bin_secs, bins: BTreeMap::new() }
+        TimeSeries {
+            bin_secs,
+            bins: BTreeMap::new(),
+        }
     }
 
     fn bin_of(&self, t: Time) -> i64 {
@@ -65,7 +68,10 @@ impl TimeSeries {
         self.bins
             .iter()
             .map(|(&k, b)| {
-                (Time::from_unix(k * self.bin_secs), b.hits as f64 / b.total.max(1) as f64)
+                (
+                    Time::from_unix(k * self.bin_secs),
+                    b.hits as f64 / b.total.max(1) as f64,
+                )
             })
             .collect()
     }
@@ -84,7 +90,10 @@ impl TimeSeries {
         self.bins
             .iter()
             .map(|(&k, b)| {
-                (Time::from_unix(k * self.bin_secs), b.sum / b.total.max(1) as f64)
+                (
+                    Time::from_unix(k * self.bin_secs),
+                    b.sum / b.total.max(1) as f64,
+                )
             })
             .collect()
     }
@@ -105,6 +114,28 @@ impl TimeSeries {
     /// Number of bins with at least one observation.
     pub fn bin_count(&self) -> usize {
         self.bins.len()
+    }
+
+    /// Fold another series into this one, bin by bin. Counters are
+    /// plain sums, so merging per-shard partials in shard-id order
+    /// reproduces the serial series exactly (for `record_value` series
+    /// the float sums are still deterministic because the merge order is
+    /// fixed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin widths differ.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.bin_secs, other.bin_secs,
+            "cannot merge series with different bin widths"
+        );
+        for (&k, b) in &other.bins {
+            let bin = self.bins.entry(k).or_default();
+            bin.hits += b.hits;
+            bin.total += b.total;
+            bin.sum += b.sum;
+        }
     }
 }
 
@@ -172,5 +203,31 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bin_width_panics() {
         TimeSeries::new(0);
+    }
+
+    #[test]
+    fn merge_equals_serial_recording() {
+        let mut serial = TimeSeries::new(3_600);
+        let mut a = TimeSeries::new(3_600);
+        let mut b = TimeSeries::new(3_600);
+        for (h, hit) in [(0, true), (0, false), (1, true), (5, false)] {
+            serial.record_bool(t(h), hit);
+            a.record_bool(t(h), hit);
+        }
+        for (h, hit) in [(0, true), (2, true), (5, true)] {
+            serial.record_bool(t(h), hit);
+            b.record_bool(t(h), hit);
+        }
+        a.merge(&b);
+        assert_eq!(serial.fractions(), a.fractions());
+        assert_eq!(serial.counts(), a.counts());
+        assert_eq!(serial.bin_count(), a.bin_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin widths")]
+    fn merge_rejects_mismatched_bins() {
+        let mut a = TimeSeries::new(60);
+        a.merge(&TimeSeries::new(120));
     }
 }

@@ -53,7 +53,10 @@ impl fmt::Display for Error {
         match self {
             Error::Truncated => write!(f, "input truncated mid-TLV"),
             Error::UnexpectedTag { expected, found } => {
-                write!(f, "unexpected tag: expected {expected:#04x}, found {found:#04x}")
+                write!(
+                    f,
+                    "unexpected tag: expected {expected:#04x}, found {found:#04x}"
+                )
             }
             Error::InvalidLength => write!(f, "invalid DER length encoding"),
             Error::LengthOverrun => write!(f, "declared length overruns buffer"),

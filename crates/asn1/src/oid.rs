@@ -91,7 +91,9 @@ impl Oid {
 
     /// Create an OID borrowing a static arc slice (usable in `const`).
     pub const fn from_static(arcs: &'static [u64]) -> Oid {
-        Oid { arcs: Arcs::Static(arcs) }
+        Oid {
+            arcs: Arcs::Static(arcs),
+        }
     }
 
     /// Create an OID from its arcs.
@@ -106,7 +108,9 @@ impl Oid {
         if arcs[0] < 2 {
             assert!(arcs[1] <= 39, "second arc must be <= 39 when first arc < 2");
         }
-        Oid { arcs: Arcs::Owned(arcs.to_vec()) }
+        Oid {
+            arcs: Arcs::Owned(arcs.to_vec()),
+        }
     }
 
     /// The component arcs.
@@ -169,7 +173,9 @@ impl Oid {
                 arcs.push(value);
             }
         }
-        Ok(Oid { arcs: Arcs::Owned(arcs) })
+        Ok(Oid {
+            arcs: Arcs::Owned(arcs),
+        })
     }
 }
 
@@ -253,7 +259,10 @@ mod tests {
 
     #[test]
     fn rejects_leading_pad() {
-        assert_eq!(Oid::from_der_content(&[0x2b, 0x80, 0x01]), Err(Error::InvalidOid));
+        assert_eq!(
+            Oid::from_der_content(&[0x2b, 0x80, 0x01]),
+            Err(Error::InvalidOid)
+        );
     }
 
     #[test]

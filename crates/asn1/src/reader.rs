@@ -24,7 +24,11 @@ pub struct Decoder<'a> {
 impl<'a> Decoder<'a> {
     /// Create a decoder over `input`.
     pub fn new(input: &'a [u8]) -> Decoder<'a> {
-        Decoder { input, pos: 0, depth: 0 }
+        Decoder {
+            input,
+            pos: 0,
+            depth: 0,
+        }
     }
 
     /// Whether every byte has been consumed.
@@ -74,7 +78,10 @@ impl<'a> Decoder<'a> {
             if n > 8 {
                 return Err(Error::InvalidLength);
             }
-            let bytes = self.input.get(self.pos..self.pos + n).ok_or(Error::Truncated)?;
+            let bytes = self
+                .input
+                .get(self.pos..self.pos + n)
+                .ok_or(Error::Truncated)?;
             self.pos += n;
             let mut value: u64 = 0;
             for &b in bytes {
@@ -107,7 +114,10 @@ impl<'a> Decoder<'a> {
         let (found, len) = self.read_header()?;
         if found != tag {
             self.pos = save;
-            return Err(Error::UnexpectedTag { expected: tag.0, found: found.0 });
+            return Err(Error::UnexpectedTag {
+                expected: tag.0,
+                found: found.0,
+            });
         }
         let content = &self.input[self.pos..self.pos + len];
         self.pos += len;
@@ -133,7 +143,11 @@ impl<'a> Decoder<'a> {
         if self.depth + 1 > MAX_DEPTH {
             return Err(Error::DepthExceeded);
         }
-        Ok(Decoder { input: content, pos: 0, depth: self.depth + 1 })
+        Ok(Decoder {
+            input: content,
+            pos: 0,
+            depth: self.depth + 1,
+        })
     }
 
     /// Enter a SEQUENCE, returning a decoder over its content.
@@ -306,9 +320,10 @@ impl<'a> Decoder<'a> {
             Some(Tag::UTF8_STRING) => self.utf8_string(),
             Some(Tag::PRINTABLE_STRING) => self.printable_string(),
             Some(Tag::IA5_STRING) => self.ia5_string(),
-            Some(found) => {
-                Err(Error::UnexpectedTag { expected: Tag::UTF8_STRING.0, found: found.0 })
-            }
+            Some(found) => Err(Error::UnexpectedTag {
+                expected: Tag::UTF8_STRING.0,
+                found: found.0,
+            }),
             None => Err(Error::Truncated),
         }
     }
@@ -329,7 +344,10 @@ impl<'a> Decoder<'a> {
                 Time::parse_utc_time(s)
             }
             Some(Tag::GENERALIZED_TIME) => self.generalized_time(),
-            Some(found) => Err(Error::UnexpectedTag { expected: Tag::UTC_TIME.0, found: found.0 }),
+            Some(found) => Err(Error::UnexpectedTag {
+                expected: Tag::UTC_TIME.0,
+                found: found.0,
+            }),
             None => Err(Error::Truncated),
         }
     }

@@ -128,7 +128,12 @@ mod tests {
 
     #[test]
     fn class_round_trip() {
-        for class in [Class::Universal, Class::Application, Class::Context, Class::Private] {
+        for class in [
+            Class::Universal,
+            Class::Application,
+            Class::Context,
+            Class::Private,
+        ] {
             assert_eq!(Class::from_byte(class.bits()), class);
         }
     }

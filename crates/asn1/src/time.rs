@@ -55,8 +55,15 @@ impl Time {
     /// Panics if the civil fields do not denote a real calendar moment;
     /// use [`Time::try_from_civil`] for untrusted input.
     pub fn from_civil(year: i32, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> Time {
-        Time::try_from_civil(Civil { year, month, day, hour, minute, second })
-            .expect("invalid civil date")
+        Time::try_from_civil(Civil {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+        })
+        .expect("invalid civil date")
     }
 
     /// Construct from a civil UTC date/time, failing on impossible dates.
@@ -70,7 +77,9 @@ impl Time {
         }
         let days = days_from_civil(c.year, c.month, c.day);
         Ok(Time(
-            days * 86_400 + i64::from(c.hour) * 3_600 + i64::from(c.minute) * 60
+            days * 86_400
+                + i64::from(c.hour) * 3_600
+                + i64::from(c.minute) * 60
                 + i64::from(c.second),
         ))
     }
@@ -295,8 +304,14 @@ mod tests {
         assert_eq!(s, "180501120000Z");
         assert_eq!(Time::parse_utc_time(&s).unwrap(), t);
         // 49 maps to 2049, 50 maps to 1950.
-        assert_eq!(Time::parse_utc_time("490101000000Z").unwrap().civil().year, 2049);
-        assert_eq!(Time::parse_utc_time("500101000000Z").unwrap().civil().year, 1950);
+        assert_eq!(
+            Time::parse_utc_time("490101000000Z").unwrap().civil().year,
+            2049
+        );
+        assert_eq!(
+            Time::parse_utc_time("500101000000Z").unwrap().civil().year,
+            1950
+        );
     }
 
     #[test]

@@ -163,7 +163,11 @@ impl Value {
                 }
             }
             Value::Sequence(items) | Value::Set(items) => {
-                let tag = if matches!(self, Value::Sequence(_)) { Tag::SEQUENCE } else { Tag::SET };
+                let tag = if matches!(self, Value::Sequence(_)) {
+                    Tag::SEQUENCE
+                } else {
+                    Tag::SET
+                };
                 let mut content = Vec::new();
                 for item in items {
                     item.encode_into(&mut content);
@@ -177,9 +181,7 @@ impl Value {
                 }
                 tlv(out, Tag::context(*n).0, &content);
             }
-            Value::ContextPrimitive(n, content) => {
-                tlv(out, Tag::context_primitive(*n).0, content)
-            }
+            Value::ContextPrimitive(n, content) => tlv(out, Tag::context_primitive(*n).0, content),
             Value::Unknown(tag, content) => tlv(out, *tag, content),
         }
     }
@@ -198,14 +200,32 @@ impl Value {
             Value::String(..) => "STR".into(),
             Value::Time(_) => "TIME".into(),
             Value::Sequence(items) => {
-                format!("SEQ({})", items.iter().map(Value::shape).collect::<Vec<_>>().join(", "))
+                format!(
+                    "SEQ({})",
+                    items
+                        .iter()
+                        .map(Value::shape)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
             }
             Value::Set(items) => {
-                format!("SET({})", items.iter().map(Value::shape).collect::<Vec<_>>().join(", "))
+                format!(
+                    "SET({})",
+                    items
+                        .iter()
+                        .map(Value::shape)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
             }
             Value::ContextConstructed(n, items) => format!(
                 "[{n}]({})",
-                items.iter().map(Value::shape).collect::<Vec<_>>().join(", ")
+                items
+                    .iter()
+                    .map(Value::shape)
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             Value::ContextPrimitive(n, _) => format!("[{n}]prim"),
             Value::Unknown(tag, _) => format!("?{tag:#04x}"),

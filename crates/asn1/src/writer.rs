@@ -103,8 +103,7 @@ impl Encoder {
         while start < 7 {
             let cur = bytes[start];
             let next = bytes[start + 1];
-            let redundant =
-                (cur == 0x00 && next & 0x80 == 0) || (cur == 0xff && next & 0x80 != 0);
+            let redundant = (cur == 0x00 && next & 0x80 == 0) || (cur == 0xff && next & 0x80 != 0);
             if redundant {
                 start += 1;
             } else {
@@ -180,7 +179,10 @@ impl Encoder {
     /// Append a PrintableString. The caller must only pass characters in
     /// the PrintableString repertoire; this is checked in debug builds.
     pub fn printable_string(&mut self, s: &str) {
-        debug_assert!(s.bytes().all(is_printable_char), "not a PrintableString: {s:?}");
+        debug_assert!(
+            s.bytes().all(is_printable_char),
+            "not a PrintableString: {s:?}"
+        );
         self.tlv(Tag::PRINTABLE_STRING, s.as_bytes());
     }
 
@@ -242,7 +244,10 @@ mod tests {
 
     #[test]
     fn short_and_long_lengths() {
-        assert_eq!(enc(|e| e.octet_string(&[0xab; 3])), vec![0x04, 0x03, 0xab, 0xab, 0xab]);
+        assert_eq!(
+            enc(|e| e.octet_string(&[0xab; 3])),
+            vec![0x04, 0x03, 0xab, 0xab, 0xab]
+        );
         let der = enc(|e| e.octet_string(&[0u8; 200]));
         assert_eq!(&der[..3], &[0x04, 0x81, 200]);
         let der = enc(|e| e.octet_string(&[0u8; 300]));
@@ -262,10 +267,16 @@ mod tests {
 
     #[test]
     fn unsigned_integer_adds_sign_pad() {
-        assert_eq!(enc(|e| e.integer_unsigned(&[0x80])), vec![0x02, 0x02, 0x00, 0x80]);
+        assert_eq!(
+            enc(|e| e.integer_unsigned(&[0x80])),
+            vec![0x02, 0x02, 0x00, 0x80]
+        );
         assert_eq!(enc(|e| e.integer_unsigned(&[0x7f])), vec![0x02, 0x01, 0x7f]);
         // Leading zeros in the magnitude are trimmed first.
-        assert_eq!(enc(|e| e.integer_unsigned(&[0x00, 0x00, 0x01])), vec![0x02, 0x01, 0x01]);
+        assert_eq!(
+            enc(|e| e.integer_unsigned(&[0x00, 0x00, 0x01])),
+            vec![0x02, 0x01, 0x01]
+        );
         assert_eq!(enc(|e| e.integer_unsigned(&[])), vec![0x02, 0x01, 0x00]);
     }
 

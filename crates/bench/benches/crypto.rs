@@ -9,7 +9,9 @@ fn bench_sha256(c: &mut Criterion) {
     let mut group = c.benchmark_group("sha256");
     for size in [64usize, 1024, 16 * 1024] {
         let data = vec![0xabu8; size];
-        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(std::hint::black_box(&data))));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(std::hint::black_box(&data)))
+        });
     }
     group.finish();
 }

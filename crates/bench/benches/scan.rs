@@ -6,8 +6,10 @@ use ecosystem::{EcosystemConfig, LiveEcosystem};
 use mustaple::Study;
 use netsim::Region;
 use ocsp::OcspRequest;
-use scanner::hourly::HourlyCampaign;
 use scanner::consistency::ConsistencyStudy;
+use scanner::executor::Executor;
+use scanner::hourly::HourlyCampaign;
+use std::num::NonZeroUsize;
 
 fn bench_probe(c: &mut Criterion) {
     let eco = LiveEcosystem::generate(EcosystemConfig::tiny());
@@ -41,9 +43,36 @@ fn bench_campaigns(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs sharded executor on the identical campaign: the tentpole
+/// comparison. Output equality is enforced by tests; this measures the
+/// wall-clock side of the trade.
+fn bench_executor(c: &mut Criterion) {
+    let eco = LiveEcosystem::generate(EcosystemConfig::tiny());
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(10);
+    group.bench_function("hourly-serial", |b| {
+        b.iter(|| HourlyCampaign::new(&eco).run_with(&Executor::serial()))
+    });
+    for workers in [2usize, 4] {
+        let executor = Executor::new(NonZeroUsize::new(workers));
+        group.bench_function(format!("hourly-sharded-{workers}"), |b| {
+            b.iter(|| HourlyCampaign::new(&eco).run_with(&executor))
+        });
+    }
+    let at = eco.config.campaign_start + 6 * 86_400;
+    group.bench_function("consistency-serial", |b| {
+        b.iter(|| ConsistencyStudy::run_with(&eco, at, Region::Virginia, &Executor::serial()))
+    });
+    let four = Executor::new(NonZeroUsize::new(4));
+    group.bench_function("consistency-sharded-4", |b| {
+        b.iter(|| ConsistencyStudy::run_with(&eco, at, Region::Virginia, &four))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_probe, bench_campaigns
+    targets = bench_probe, bench_campaigns, bench_executor
 }
 criterion_main!(benches);

@@ -14,11 +14,16 @@ fn now() -> Time {
 fn bench_certificates(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let mut ca = CertificateAuthority::new_root(&mut rng, "Bench", "Bench Root", "b.test", now());
-    let leaf = ca.issue(&mut rng, &IssueParams::new("bench.example", now()).must_staple(true));
+    let leaf = ca.issue(
+        &mut rng,
+        &IssueParams::new("bench.example", now()).must_staple(true),
+    );
     let der = leaf.to_der();
 
     let mut group = c.benchmark_group("certificate");
-    group.bench_function("encode", |b| b.iter(|| std::hint::black_box(&leaf).to_der()));
+    group.bench_function("encode", |b| {
+        b.iter(|| std::hint::black_box(&leaf).to_der())
+    });
     group.bench_function("decode", |b| {
         b.iter(|| Certificate::from_der(std::hint::black_box(&der)).unwrap())
     });
@@ -72,7 +77,9 @@ fn bench_tls(c: &mut Criterion) {
     let leaf = ca.issue(&mut rng, &IssueParams::new("bench.example", now()));
     let hello = ClientHello::new("bench.example", true);
     let hello_bytes = hello.encode();
-    let cert_msg = CertificateMsg { chain: vec![leaf, ca.certificate().clone()] };
+    let cert_msg = CertificateMsg {
+        chain: vec![leaf, ca.certificate().clone()],
+    };
     let cert_bytes = cert_msg.encode();
 
     let mut group = c.benchmark_group("tls");

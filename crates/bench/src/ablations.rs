@@ -20,9 +20,7 @@ use crate::Artifact;
 use analysis::Table;
 use asn1::Time;
 use browser::{BrowserClient, NoTransport, BROWSER_MATRIX};
-use ocsp::{
-    validate_response, OcspRequest, Responder, ResponderProfile, ValidationConfig,
-};
+use ocsp::{validate_response, OcspRequest, Responder, ResponderProfile, ValidationConfig};
 use pki::RootStore;
 use tls::ServerFlight;
 use webserver::experiment::TestBench;
@@ -54,8 +52,7 @@ pub fn refresh_validity_sweep(seed: u64) -> Artifact {
         // Client loop: fetch, cache until nextUpdate, refetch just after.
         let mut now = t0() + 1;
         for _ in 0..50 {
-            let body =
-                responder.handle(ca_view.0, &OcspRequest::single(ca_view.1.clone()), now);
+            let body = responder.handle(ca_view.0, &OcspRequest::single(ca_view.1.clone()), now);
             let parsed = validate_response(
                 &body,
                 &ca_view.1,
@@ -71,7 +68,7 @@ pub fn refresh_validity_sweep(seed: u64) -> Artifact {
                 }
                 Err(_) => {
                     expired += 1;
-                    now = now + validity; // move on
+                    now += validity; // move on
                 }
             }
         }
@@ -143,7 +140,13 @@ pub fn server_policy_under_outage(seed: u64) -> Artifact {
             }
         }
         let pct = |n: u32| format!("{:.1}", 100.0 * n as f64 / connections as f64);
-        table.row(&[kind.name().into(), pct(valid), pct(none), pct(expired), pct(stalled)]);
+        table.row(&[
+            kind.name().into(),
+            pct(valid),
+            pct(none),
+            pct(expired),
+            pct(stalled),
+        ]);
     }
     Artifact {
         name: "ablation-server-policy",
@@ -164,7 +167,9 @@ fn flaky_fetcher(bench: &TestBench) -> FnFetcher {
     FnFetcher::new(move |now: Time| {
         let hour = (now - t0()) / 3_600;
         if (12..18).contains(&hour) || (30..36).contains(&hour) {
-            FetchOutcome::Unreachable { latency_ms: 2_000.0 }
+            FetchOutcome::Unreachable {
+                latency_ms: 2_000.0,
+            }
         } else {
             live.fetch(now)
         }
@@ -175,7 +180,13 @@ fn flaky_fetcher(bench: &TestBench) -> FnFetcher {
 /// as a function of client clock skew.
 pub fn margin_vs_clock_skew(seed: u64) -> Artifact {
     let bench = TestBench::new(seed, t0());
-    let mut table = Table::new(&["margin_secs", "skew_-300s", "skew_-60s", "skew_0s", "skew_+60s"]);
+    let mut table = Table::new(&[
+        "margin_secs",
+        "skew_-300s",
+        "skew_-60s",
+        "skew_0s",
+        "skew_+60s",
+    ]);
     for margin in [-120i64, 0, 60, 3_600] {
         let profile = ResponderProfile::healthy().margin(margin);
         let mut responder = Responder::new("u", profile);
@@ -188,10 +199,17 @@ pub fn margin_vs_clock_skew(seed: u64) -> Artifact {
                 &id,
                 ca.certificate(),
                 t0(),
-                ValidationConfig { clock_skew: skew, require_next_update: false },
+                ValidationConfig {
+                    clock_skew: skew,
+                    require_next_update: false,
+                },
             )
             .is_err();
-            row.push(if rejected { "reject".into() } else { "accept".to_string() });
+            row.push(if rejected {
+                "reject".into()
+            } else {
+                "accept".to_string()
+            });
         }
         table.row(&row);
     }
@@ -228,8 +246,7 @@ pub fn blank_next_update_load(seed: u64) -> Artifact {
             }
             let body = responder.handle(ca, &OcspRequest::single(id.clone()), now);
             requests += 1;
-            if let Ok(v) =
-                validate_response(&body, &id, ca.certificate(), now, Default::default())
+            if let Ok(v) = validate_response(&body, &id, ca.certificate(), now, Default::default())
             {
                 cached_until = v.next_update;
             }
@@ -272,7 +289,9 @@ pub fn hard_vs_soft_fail(seed: u64) -> Artifact {
     let mut table = Table::new(&["browser", "connection"]);
     let mut accepted = 0;
     for profile in BROWSER_MATRIX {
-        let mut server = StrippingAttacker { site: bench.site.clone() };
+        let mut server = StrippingAttacker {
+            site: bench.site.clone(),
+        };
         let mut fetcher = webserver::ScriptedFetcher::down();
         let outcome = BrowserClient::new(profile).connect(
             &mut server,
@@ -288,7 +307,11 @@ pub fn hard_vs_soft_fail(seed: u64) -> Artifact {
         }
         table.row(&[
             profile.label(),
-            if ok { "ACCEPTED (attack succeeds)".into() } else { "rejected".to_string() },
+            if ok {
+                "ACCEPTED (attack succeeds)".into()
+            } else {
+                "rejected".to_string()
+            },
         ]);
     }
     Artifact {
@@ -314,48 +337,73 @@ pub fn compromise_exposure(seed: u64) -> Artifact {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5107);
     let t_issue = t0();
     let t_compromise = t_issue + 86_400; // compromised one day in
-    let mut ca = CertificateAuthority::new_root(&mut rng, "Exp CA", "Exp Root", "exp.test", t_issue);
+    let mut ca =
+        CertificateAuthority::new_root(&mut rng, "Exp CA", "Exp Root", "exp.test", t_issue);
     let mut roots = RootStore::new("exp");
     roots.add(ca.certificate().clone());
 
     // Regime certificates: 90-day plain, 90-day Must-Staple, 3-day
     // short-lived (the Topalovic et al. proposal: expiry replaces
     // revocation entirely).
-    let plain = ca.issue(&mut rng, &IssueParams::new("exp.example", t_issue).valid_for(90));
-    let ms =
-        ca.issue(&mut rng, &IssueParams::new("exp.example", t_issue).valid_for(90).must_staple(true));
-    let short =
-        ca.issue(&mut rng, &IssueParams::new("exp.example", t_issue).valid_for(3));
+    let plain = ca.issue(
+        &mut rng,
+        &IssueParams::new("exp.example", t_issue).valid_for(90),
+    );
+    let ms = ca.issue(
+        &mut rng,
+        &IssueParams::new("exp.example", t_issue)
+            .valid_for(90)
+            .must_staple(true),
+    );
+    let short = ca.issue(
+        &mut rng,
+        &IssueParams::new("exp.example", t_issue).valid_for(3),
+    );
 
     // The attacker captures the last Good staple just before revocation.
     let ms_id = ocsp::CertId::for_certificate(&ms, ca.certificate());
     let mut responder = Responder::new("u", ResponderProfile::healthy().margin(0));
     let captured_staple =
         responder.handle(&ca, &OcspRequest::single(ms_id.clone()), t_compromise - 60);
-    ca.revoke(plain.serial(), t_compromise, Some(RevocationReason::KeyCompromise));
-    ca.revoke(ms.serial(), t_compromise, Some(RevocationReason::KeyCompromise));
-    ca.revoke(short.serial(), t_compromise, Some(RevocationReason::KeyCompromise));
+    ca.revoke(
+        plain.serial(),
+        t_compromise,
+        Some(RevocationReason::KeyCompromise),
+    );
+    ca.revoke(
+        ms.serial(),
+        t_compromise,
+        Some(RevocationReason::KeyCompromise),
+    );
+    ca.revoke(
+        short.serial(),
+        t_compromise,
+        Some(RevocationReason::KeyCompromise),
+    );
 
     // Probe acceptance daily: does a client still accept the attacker's
     // handshake at day d after compromise?
-    let accepts = |cert: &pki::Certificate, staple: Option<&[u8]>, hard_fail: bool, at: asn1::Time| {
-        if !cert.validity().contains(at) {
-            return false;
-        }
-        if pki::validate_chain(&[cert.clone()], &roots, at, Some("exp.example")).is_err() {
-            return false;
-        }
-        match staple {
-            Some(body) => {
-                let id = ocsp::CertId::for_certificate(cert, ca.certificate());
-                match validate_response(body, &id, ca.certificate(), at, Default::default()) {
-                    Ok(v) => !matches!(v.status, ocsp::CertStatus::Revoked { .. }),
-                    Err(_) => !(cert.has_must_staple() && hard_fail),
-                }
+    let accepts =
+        |cert: &pki::Certificate, staple: Option<&[u8]>, hard_fail: bool, at: asn1::Time| {
+            if !cert.validity().contains(at) {
+                return false;
             }
-            None => !(cert.has_must_staple() && hard_fail),
-        }
-    };
+            if pki::validate_chain(std::slice::from_ref(cert), &roots, at, Some("exp.example"))
+                .is_err()
+            {
+                return false;
+            }
+            match staple {
+                Some(body) => {
+                    let id = ocsp::CertId::for_certificate(cert, ca.certificate());
+                    match validate_response(body, &id, ca.certificate(), at, Default::default()) {
+                        Ok(v) => !matches!(v.status, ocsp::CertStatus::Revoked { .. }),
+                        Err(_) => !(cert.has_must_staple() && hard_fail),
+                    }
+                }
+                None => !(cert.has_must_staple() && hard_fail),
+            }
+        };
     let horizon = |cert: &pki::Certificate, staple: Option<&[u8]>, hard_fail: bool| -> i64 {
         let mut last = -1i64;
         for day in 0..120 {
@@ -426,10 +474,19 @@ mod tests {
             .map(|l| l.rsplit(',').next().unwrap().parse().unwrap())
             .collect();
         let (soft, ms_replay, ms_blocked, short) = (days[0], days[1], days[2], days[3]);
-        assert!(soft >= 85, "soft-fail exposed for the cert lifetime: {soft}");
-        assert!((1..=8).contains(&ms_replay), "staple replay bounded by validity: {ms_replay}");
+        assert!(
+            soft >= 85,
+            "soft-fail exposed for the cert lifetime: {soft}"
+        );
+        assert!(
+            (1..=8).contains(&ms_replay),
+            "staple replay bounded by validity: {ms_replay}"
+        );
         assert_eq!(ms_blocked, 0, "hard-fail with no staple = no exposure");
-        assert!((1..=3).contains(&short), "short-lived bounded by lifetime: {short}");
+        assert!(
+            (1..=3).contains(&short),
+            "short-lived bounded by lifetime: {short}"
+        );
         assert!(soft > ms_replay && ms_replay > ms_blocked);
     }
 
@@ -446,8 +503,22 @@ mod tests {
         let artifact = blank_next_update_load(9);
         let csv = artifact.table.to_csv();
         let mut lines = csv.lines().skip(1);
-        let blank: u32 = lines.next().unwrap().split(',').nth(1).unwrap().parse().unwrap();
-        let week: u32 = lines.next().unwrap().split(',').nth(1).unwrap().parse().unwrap();
+        let blank: u32 = lines
+            .next()
+            .unwrap()
+            .split(',')
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let week: u32 = lines
+            .next()
+            .unwrap()
+            .split(',')
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(blank > 50 * week, "blank={blank} week={week}");
     }
 }

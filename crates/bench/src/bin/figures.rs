@@ -1,18 +1,23 @@
 //! `figures` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! figures [--scale tiny|figures] [--out DIR] [ARTIFACT...]
+//! figures [--scale tiny|figures] [--out DIR] [--serial | --workers N] [ARTIFACT...]
 //! ```
 //!
 //! With no artifact arguments, regenerates everything (all figures,
-//! all tables, the §5.4 freshness analysis, the five ablations, and the
-//! §8 readiness report). Each artifact prints a paper-vs-measured
-//! summary plus its data table, and is also written as CSV under the
-//! output directory (default `results/`).
+//! all tables, the §5.4 freshness analysis, the five ablations, the
+//! §8 readiness report, and the scan-executor benchmark). Each artifact
+//! prints a paper-vs-measured summary plus its data table, and is also
+//! written as CSV under the output directory (default `results/`).
+//!
+//! The scan campaigns are sharded across worker threads by default
+//! (`available_parallelism`); `--serial` forces one worker and
+//! `--workers N` pins the count. Every setting produces byte-identical
+//! CSVs — parallelism is purely a wall-clock knob.
 
 use ecosystem::EcosystemConfig;
 use mustaple::Study;
-use mustaple_bench::{ablations, build, Artifact, ALL_ARTIFACTS};
+use mustaple_bench::{ablations, bench_scan, build, Artifact, ALL_ARTIFACTS};
 use std::fs;
 use std::path::PathBuf;
 
@@ -20,24 +25,44 @@ fn main() {
     let mut scale = "figures".to_string();
     let mut out_dir = PathBuf::from("results");
     let mut wanted: Vec<String> = Vec::new();
+    let mut workers: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => scale = args.next().unwrap_or_else(|| usage("--scale needs a value")),
+            "--scale" => {
+                scale = args
+                    .next()
+                    .unwrap_or_else(|| usage("--scale needs a value"))
+            }
             "--out" => {
                 out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a value")))
+            }
+            "--serial" => workers = Some(1),
+            "--workers" => {
+                let n = args
+                    .next()
+                    .unwrap_or_else(|| usage("--workers needs a value"));
+                workers = Some(n.parse().unwrap_or_else(|_| {
+                    usage(&format!("--workers needs a positive integer, got `{n}`"))
+                }));
             }
             "--help" | "-h" => usage(""),
             name => wanted.push(name.to_string()),
         }
     }
 
-    let config = match scale.as_str() {
+    let mut config = match scale.as_str() {
         "tiny" => EcosystemConfig::tiny(),
         "figures" => EcosystemConfig::figures(),
         other => usage(&format!("unknown scale `{other}` (use tiny|figures)")),
     };
+    if let Some(n) = workers {
+        if n == 0 {
+            usage("--workers needs a positive integer, got `0`");
+        }
+        config = config.with_parallelism(n);
+    }
 
     if wanted.is_empty() {
         wanted = ALL_ARTIFACTS.iter().map(|s| s.to_string()).collect();
@@ -45,6 +70,7 @@ fn main() {
         wanted.push("recommendations".into());
         wanted.push("ablations".into());
         wanted.push("readiness".into());
+        wanted.push("bench-scan".into());
     }
 
     eprintln!(
@@ -54,7 +80,10 @@ fn main() {
     );
     let started = std::time::Instant::now();
     let results = Study::new(config.clone()).run();
-    eprintln!("study completed in {:.1?}; rendering artifacts\n", started.elapsed());
+    eprintln!(
+        "study completed in {:.1?}; rendering artifacts\n",
+        started.elapsed()
+    );
 
     fs::create_dir_all(&out_dir).expect("create output directory");
 
@@ -72,6 +101,7 @@ fn main() {
                 fs::write(out_dir.join("readiness.txt"), report.render())
                     .expect("write readiness report");
             }
+            "bench-scan" => emit(&out_dir, &bench_scan(&config)),
             name => match build(name, &results) {
                 Some(artifact) => emit(&out_dir, &artifact),
                 None => eprintln!("warning: unknown artifact `{name}` (skipped)"),
@@ -82,7 +112,10 @@ fn main() {
 }
 
 fn emit(out_dir: &std::path::Path, artifact: &Artifact) {
-    println!("== {} ==============================================", artifact.name);
+    println!(
+        "== {} ==============================================",
+        artifact.name
+    );
     println!("{}\n", artifact.summary);
     let rendered = artifact.table.render();
     // Long tables (time series, CDFs) are truncated on the terminal but
@@ -100,8 +133,11 @@ fn emit(out_dir: &std::path::Path, artifact: &Artifact) {
         println!("{rendered}");
     }
     println!();
-    fs::write(out_dir.join(format!("{}.csv", artifact.name)), artifact.table.to_csv())
-        .expect("write CSV artifact");
+    fs::write(
+        out_dir.join(format!("{}.csv", artifact.name)),
+        artifact.table.to_csv(),
+    )
+    .expect("write CSV artifact");
 }
 
 fn usage(err: &str) -> ! {
@@ -109,8 +145,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: figures [--scale tiny|figures] [--out DIR] [ARTIFACT...]\n\
-         artifacts: {} freshness recommendations ablations readiness",
+        "usage: figures [--scale tiny|figures] [--out DIR] [--serial | --workers N] [ARTIFACT...]\n\
+         artifacts: {} freshness recommendations ablations readiness bench-scan",
         ALL_ARTIFACTS.join(" ")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

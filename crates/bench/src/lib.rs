@@ -12,9 +12,12 @@ pub mod ablations;
 
 use analysis::table::{pct, secs};
 use analysis::{Cdf, RankBins, Table};
-use ecosystem::monthly_snapshots;
-use mustaple::StudyResults;
+use ecosystem::{monthly_snapshots, EcosystemConfig, LiveEcosystem};
+use scanner::executor::Executor;
+use scanner::hourly::HourlyCampaign;
 use scanner::ErrorClass;
+
+use mustaple::StudyResults;
 
 /// A regenerated figure or table.
 pub struct Artifact {
@@ -77,7 +80,11 @@ fn sec4(results: &StudyResults) -> Artifact {
         pct(stats.lets_encrypt_must_staple_share()),
     ]);
     for (issuer, count) in results.must_staple_by_ca.iter().take(6) {
-        table.row(&[format!("Must-Staple issuer: {issuer}"), "-".into(), count.to_string()]);
+        table.row(&[
+            format!("Must-Staple issuer: {issuer}"),
+            "-".into(),
+            count.to_string(),
+        ]);
     }
     Artifact {
         name: "sec4",
@@ -103,10 +110,16 @@ fn fig2(results: &StudyResults) -> Artifact {
         }
     }
     let mut table = Table::new(&["rank_bin", "https_pct", "ocsp_pct_of_https"]);
-    for ((rank, https), (_, ocsp)) in
-        https_bins.percentages().into_iter().zip(ocsp_bins.percentages())
+    for ((rank, https), (_, ocsp)) in https_bins
+        .percentages()
+        .into_iter()
+        .zip(ocsp_bins.percentages())
     {
-        table.row(&[rank.to_string(), format!("{https:.1}"), format!("{ocsp:.1}")]);
+        table.row(&[
+            rank.to_string(),
+            format!("{https:.1}"),
+            format!("{ocsp:.1}"),
+        ]);
     }
     Artifact {
         name: "fig2",
@@ -125,10 +138,20 @@ fn fig2(results: &StudyResults) -> Artifact {
 
 fn fig3(results: &StudyResults) -> Artifact {
     let mut table = Table::new(&[
-        "time", "Oregon", "Virginia", "Sao-Paulo", "Paris", "Sydney", "Seoul",
+        "time",
+        "Oregon",
+        "Virginia",
+        "Sao-Paulo",
+        "Paris",
+        "Sydney",
+        "Seoul",
     ]);
-    let series: Vec<Vec<(asn1::Time, f64)>> =
-        results.hourly.per_region_success.iter().map(|(_, ts)| ts.fractions()).collect();
+    let series: Vec<Vec<(asn1::Time, f64)>> = results
+        .hourly
+        .per_region_success
+        .iter()
+        .map(|(_, ts)| ts.fractions())
+        .collect();
     if let Some(first) = series.first() {
         for (i, (t, _)) in first.iter().enumerate() {
             let mut row = vec![t.to_string()];
@@ -157,7 +180,13 @@ fn fig3(results: &StudyResults) -> Artifact {
 
 fn fig4(results: &StudyResults) -> Artifact {
     let mut table = Table::new(&[
-        "time", "Oregon", "Virginia", "Sao-Paulo", "Paris", "Sydney", "Seoul",
+        "time",
+        "Oregon",
+        "Virginia",
+        "Sao-Paulo",
+        "Paris",
+        "Sydney",
+        "Seoul",
     ]);
     let series: Vec<&[(asn1::Time, u64)]> = netsim::Region::VANTAGE_POINTS
         .iter()
@@ -187,10 +216,18 @@ fn fig4(results: &StudyResults) -> Artifact {
 }
 
 fn fig5(results: &StudyResults) -> Artifact {
-    let mut table =
-        Table::new(&["time", "asn1_unparseable_pct", "serial_unmatch_pct", "signature_pct"]);
-    let series: Vec<Vec<(asn1::Time, f64)>> =
-        results.hourly.class_series.iter().map(|(_, ts)| ts.fractions()).collect();
+    let mut table = Table::new(&[
+        "time",
+        "asn1_unparseable_pct",
+        "serial_unmatch_pct",
+        "signature_pct",
+    ]);
+    let series: Vec<Vec<(asn1::Time, f64)>> = results
+        .hourly
+        .class_series
+        .iter()
+        .map(|(_, ts)| ts.fractions())
+        .collect();
     if let Some(first) = series.first() {
         for (i, (t, _)) in first.iter().enumerate() {
             let mut row = vec![t.to_string()];
@@ -288,7 +325,12 @@ fn table1(results: &StudyResults) -> Artifact {
              discrepant responders, of which {} answer Good for some revoked serials and {} \
              answer Unknown for every revoked serial.",
             results.consistency.table1.len(),
-            results.consistency.table1.iter().filter(|r| r.good > 0).count(),
+            results
+                .consistency
+                .table1
+                .iter()
+                .filter(|r| r.good > 0)
+                .count(),
             results
                 .consistency
                 .table1
@@ -326,8 +368,14 @@ fn fig10(results: &StudyResults) -> Artifact {
 fn reasons(results: &StudyResults) -> Artifact {
     let c = &results.consistency;
     let mut table = Table::new(&["category", "count"]);
-    table.row(&["reason absent on both sides".into(), c.reason_absent.to_string()]);
-    table.row(&["reason matches on both sides".into(), c.reason_match.to_string()]);
+    table.row(&[
+        "reason absent on both sides".into(),
+        c.reason_absent.to_string(),
+    ]);
+    table.row(&[
+        "reason matches on both sides".into(),
+        c.reason_match.to_string(),
+    ]);
     table.row(&["reason in CRL only".into(), c.reason_crl_only.to_string()]);
     table.row(&["other mismatch".into(), c.reason_other_mismatch.to_string()]);
     Artifact {
@@ -342,8 +390,7 @@ fn reasons(results: &StudyResults) -> Artifact {
 }
 
 fn table2(results: &StudyResults) -> Artifact {
-    let mut table =
-        Table::new(&["browser", "request_ocsp", "respect_must_staple", "own_ocsp"]);
+    let mut table = Table::new(&["browser", "request_ocsp", "respect_must_staple", "own_ocsp"]);
     for row in &results.browsers {
         table.row(&[
             row.profile.label(),
@@ -355,7 +402,11 @@ fn table2(results: &StudyResults) -> Artifact {
             },
         ]);
     }
-    let respecting = results.browsers.iter().filter(|r| r.respected_must_staple).count();
+    let respecting = results
+        .browsers
+        .iter()
+        .filter(|r| r.respected_must_staple)
+        .count();
     Artifact {
         name: "table2",
         summary: format!(
@@ -415,12 +466,7 @@ fn fig12() -> Artifact {
 }
 
 fn table3(results: &StudyResults) -> Artifact {
-    let mut table = Table::new(&[
-        "experiment",
-        "Apache",
-        "Nginx",
-        "Ideal (recommended)",
-    ]);
+    let mut table = Table::new(&["experiment", "Apache", "Nginx", "Ideal (recommended)"]);
     let get = |kind| {
         results
             .table3
@@ -472,7 +518,10 @@ fn cdn(results: &StudyResults) -> Artifact {
     let c = &results.cdn;
     let mut table = Table::new(&["metric", "value"]);
     table.row(&["lookups replayed".into(), c.lookups.to_string()]);
-    table.row(&["distinct responders contacted".into(), c.distinct_responders.to_string()]);
+    table.row(&[
+        "distinct responders contacted".into(),
+        c.distinct_responders.to_string(),
+    ]);
     table.row(&["cache hit ratio".into(), pct(c.cache_hit_ratio)]);
     table.row(&["origin fetches".into(), c.origin_fetches.to_string()]);
     table.row(&["origin success ratio".into(), pct(c.origin_success_ratio)]);
@@ -494,8 +543,14 @@ fn freshness(results: &StudyResults) -> Artifact {
     let f = results.hourly.freshness();
     let mut table = Table::new(&["metric", "value"]);
     table.row(&["on-demand responders".into(), f.on_demand.to_string()]);
-    table.row(&["pre-generated responders".into(), f.pre_generated.to_string()]);
-    table.row(&["non-overlapping windows".into(), f.non_overlapping.len().to_string()]);
+    table.row(&[
+        "pre-generated responders".into(),
+        f.pre_generated.to_string(),
+    ]);
+    table.row(&[
+        "non-overlapping windows".into(),
+        f.non_overlapping.len().to_string(),
+    ]);
     table.row(&[
         "producedAt regressions (multi-instance)".into(),
         f.produced_at_regressions.len().to_string(),
@@ -523,14 +578,22 @@ fn freshness(results: &StudyResults) -> Artifact {
 /// periods. If most outages are much shorter than most validity windows,
 /// a prefetching server survives them with a cached staple.
 fn recommendations(results: &StudyResults) -> Artifact {
-    let mut outages = results.hourly.cdf_outage_durations(results.config.scan_interval);
+    let mut outages = results
+        .hourly
+        .cdf_outage_durations(results.config.scan_interval);
     let mut validity = results.hourly.cdf_validity();
     let mut table = Table::new(&["percentile", "outage_duration", "validity_period"]);
     for q in [0.5, 0.75, 0.9, 0.99] {
         table.row(&[
             format!("p{:.0}", q * 100.0),
-            outages.quantile(q).map(secs).unwrap_or_else(|| "n/a".into()),
-            validity.quantile(q).map(secs).unwrap_or_else(|| "n/a".into()),
+            outages
+                .quantile(q)
+                .map(secs)
+                .unwrap_or_else(|| "n/a".into()),
+            validity
+                .quantile(q)
+                .map(secs)
+                .unwrap_or_else(|| "n/a".into()),
         ]);
     }
     let median_outage = outages.median().unwrap_or(0.0);
@@ -544,7 +607,78 @@ fn recommendations(results: &StudyResults) -> Artifact {
              cached staple.",
             secs(median_outage),
             secs(median_validity),
-            if median_outage > 0.0 { (median_validity / median_outage) as i64 } else { 0 },
+            if median_outage > 0.0 {
+                (median_validity / median_outage) as i64
+            } else {
+                0
+            },
+        ),
+        table,
+    }
+}
+
+/// The `bench-scan` artifact: serial vs parallel wall-clock for the
+/// hourly campaign, over the same ecosystem. Also sanity-checks the two
+/// runs agree (request count and responder reports), so the artifact
+/// doubles as a determinism probe at full scale.
+pub fn bench_scan(config: &EcosystemConfig) -> Artifact {
+    let eco = LiveEcosystem::generate(config.clone());
+    let time = |executor: &Executor| {
+        let started = std::time::Instant::now();
+        let dataset = HourlyCampaign::new(&eco).run_with(executor);
+        (started.elapsed(), dataset)
+    };
+
+    let serial_exec = Executor::serial();
+    // The parallel leg honors `config.parallelism` when set (and >1);
+    // otherwise it uses every available core, with a floor of 4 workers
+    // so the sharded path is always what gets measured (on a single-core
+    // host the honest speedup is then ~1x).
+    let parallel_exec = match config.parallelism {
+        Some(n) if n.get() > 1 => Executor::new(Some(n)),
+        _ => {
+            let avail = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            Executor::new(std::num::NonZeroUsize::new(avail.max(4)))
+        }
+    };
+    let (serial_wall, serial_data) = time(&serial_exec);
+    let (parallel_wall, parallel_data) = time(&parallel_exec);
+    assert_eq!(
+        serial_data.requests, parallel_data.requests,
+        "parallel run diverged"
+    );
+    assert_eq!(
+        serial_data.responders, parallel_data.responders,
+        "parallel run diverged from serial"
+    );
+
+    let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
+    let mut table = Table::new(&["mode", "workers", "wall_ms", "requests", "speedup"]);
+    table.row(&[
+        "serial".into(),
+        "1".into(),
+        format!("{:.1}", serial_wall.as_secs_f64() * 1e3),
+        serial_data.requests.to_string(),
+        "1.00".into(),
+    ]);
+    table.row(&[
+        "parallel".into(),
+        parallel_exec.workers().to_string(),
+        format!("{:.1}", parallel_wall.as_secs_f64() * 1e3),
+        parallel_data.requests.to_string(),
+        format!("{speedup:.2}"),
+    ]);
+    Artifact {
+        name: "bench-scan",
+        summary: format!(
+            "Hourly-scan wall clock, serial vs sharded: {:.1?} serial vs {:.1?} on {} \
+             workers ({speedup:.2}x) for {} probes — outputs verified identical.",
+            serial_wall,
+            parallel_wall,
+            parallel_exec.workers(),
+            serial_data.requests,
         ),
         table,
     }
@@ -567,7 +701,10 @@ mod tests {
     #[test]
     fn every_artifact_builds_at_tiny_scale() {
         let results = Study::new(EcosystemConfig::tiny()).run();
-        for name in ALL_ARTIFACTS.iter().chain(["freshness", "recommendations"].iter()) {
+        for name in ALL_ARTIFACTS
+            .iter()
+            .chain(["freshness", "recommendations"].iter())
+        {
             let artifact = build(name, &results).unwrap_or_else(|| panic!("missing {name}"));
             assert_eq!(&artifact.name, name);
             assert!(!artifact.summary.is_empty(), "{name} summary");

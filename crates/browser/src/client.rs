@@ -8,9 +8,7 @@
 
 use crate::profile::BrowserProfile;
 use asn1::Time;
-use ocsp::{
-    validate_response, CertId, CertStatus, OcspRequest, ResponseError, ValidationConfig,
-};
+use ocsp::{validate_response, CertId, CertStatus, OcspRequest, ResponseError, ValidationConfig};
 use pki::{validate_chain, Certificate, ChainError, RootStore};
 use tls::wire::ClientHello;
 use tls::Transcript;
@@ -151,13 +149,8 @@ impl BrowserClient {
         match (staple, issuer) {
             (Some(bytes), Some(issuer)) => {
                 let cert_id = CertId::for_certificate(leaf, &issuer);
-                match validate_response(
-                    &bytes,
-                    &cert_id,
-                    &issuer,
-                    now,
-                    ValidationConfig::default(),
-                ) {
+                match validate_response(&bytes, &cert_id, &issuer, now, ValidationConfig::default())
+                {
                     Ok(validated) => match validated.status {
                         CertStatus::Good | CertStatus::Unknown => {}
                         CertStatus::Revoked { .. } => {
@@ -226,11 +219,7 @@ impl BrowserClient {
 
 /// Locate the leaf's issuer certificate in the presented chain or the
 /// root store.
-fn issuer_of(
-    leaf: &Certificate,
-    chain: &[Certificate],
-    roots: &RootStore,
-) -> Option<Certificate> {
+fn issuer_of(leaf: &Certificate, chain: &[Certificate], roots: &RootStore) -> Option<Certificate> {
     chain
         .iter()
         .skip(1)
@@ -263,12 +252,20 @@ mod tests {
 
     fn firefox() -> BrowserClient {
         BrowserClient::new(
-            *BROWSER_MATRIX.iter().find(|p| p.name == "Firefox 60").unwrap(),
+            *BROWSER_MATRIX
+                .iter()
+                .find(|p| p.name == "Firefox 60")
+                .unwrap(),
         )
     }
 
     fn chrome() -> BrowserClient {
-        BrowserClient::new(*BROWSER_MATRIX.iter().find(|p| p.name == "Chrome 66").unwrap())
+        BrowserClient::new(
+            *BROWSER_MATRIX
+                .iter()
+                .find(|p| p.name == "Chrome 66")
+                .unwrap(),
+        )
     }
 
     #[test]
@@ -288,7 +285,10 @@ mod tests {
             t0(),
         );
         assert!(outcome.sent_status_request);
-        assert_eq!(outcome.verdict, Verdict::Rejected(RejectReason::MustStapleViolation));
+        assert_eq!(
+            outcome.verdict,
+            Verdict::Rejected(RejectReason::MustStapleViolation)
+        );
     }
 
     #[test]
@@ -327,7 +327,11 @@ mod tests {
             &store,
             t0() + 60,
         );
-        assert!(outcome.verdict.is_accepted(), "verdict: {:?}", outcome.verdict);
+        assert!(
+            outcome.verdict.is_accepted(),
+            "verdict: {:?}",
+            outcome.verdict
+        );
     }
 
     #[test]
@@ -347,7 +351,10 @@ mod tests {
                 t0() + 60,
             );
             assert!(
-                matches!(outcome.verdict, Verdict::Rejected(RejectReason::BadChain(_))),
+                matches!(
+                    outcome.verdict,
+                    Verdict::Rejected(RejectReason::BadChain(_))
+                ),
                 "{}",
                 profile.label()
             );

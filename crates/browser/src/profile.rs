@@ -66,11 +66,7 @@ impl BrowserProfile {
 }
 
 /// Helper to keep the matrix readable.
-const fn profile(
-    name: &'static str,
-    os: Os,
-    respects_must_staple: bool,
-) -> BrowserProfile {
+const fn profile(name: &'static str, os: Os, respects_must_staple: bool) -> BrowserProfile {
     BrowserProfile {
         name,
         os,
@@ -126,17 +122,21 @@ mod tests {
 
     #[test]
     fn only_firefox_desktop_and_android_respect() {
-        let respecting: Vec<_> =
-            BROWSER_MATRIX.iter().filter(|p| p.respects_must_staple).collect();
+        let respecting: Vec<_> = BROWSER_MATRIX
+            .iter()
+            .filter(|p| p.respects_must_staple)
+            .collect();
         assert_eq!(respecting.len(), 4);
         assert!(respecting.iter().all(|p| p.name.starts_with("Firefox")));
         assert!(respecting.iter().any(|p| p.os == Os::Android));
         // The paper's headline iOS gap.
-        assert!(!BROWSER_MATRIX
-            .iter()
-            .find(|p| p.name == "Firefox" && p.os == Os::Ios)
-            .unwrap()
-            .respects_must_staple);
+        assert!(
+            !BROWSER_MATRIX
+                .iter()
+                .find(|p| p.name == "Firefox" && p.os == Os::Ios)
+                .unwrap()
+                .respects_must_staple
+        );
     }
 
     #[test]

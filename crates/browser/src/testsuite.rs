@@ -100,7 +100,11 @@ pub fn run_one(
         profile,
         requested_ocsp: outcome.sent_status_request,
         respected_must_staple: rejected,
-        sent_own_ocsp: if rejected { None } else { Some(transport.posts > 0) },
+        sent_own_ocsp: if rejected {
+            None
+        } else {
+            Some(transport.posts > 0)
+        },
     }
 }
 
@@ -114,7 +118,10 @@ pub fn render_table2(rows: &[SuiteRow]) -> String {
         }
     }
     let mut out = String::new();
-    out.push_str(&format!("{:28}| Req OCSP | Respect MS | Own OCSP\n", "Browser"));
+    out.push_str(&format!(
+        "{:28}| Req OCSP | Respect MS | Own OCSP\n",
+        "Browser"
+    ));
     for row in rows {
         let own = match row.sent_own_ocsp {
             None => "-",
@@ -159,7 +166,11 @@ mod tests {
         let rows = run_browser_suite(&bench, &roots, t0);
         assert_eq!(rows.len(), 16);
         for row in &rows {
-            assert!(row_matches_paper(row), "mismatch for {}", row.profile.label());
+            assert!(
+                row_matches_paper(row),
+                "mismatch for {}",
+                row.profile.label()
+            );
         }
         // Spot-check the headline results.
         let respecting = rows.iter().filter(|r| r.respected_must_staple).count();
@@ -178,7 +189,10 @@ mod tests {
         let table = render_table2(&rows);
         assert!(table.contains("Firefox 60 (Lin.)"));
         assert!(table.contains("Safari (iOS)"));
-        assert!(table.contains('-'), "rejecting browsers render '-' for own-OCSP");
+        assert!(
+            table.contains('-'),
+            "rejecting browsers render '-' for own-OCSP"
+        );
         assert!(table.contains('\u{2713}'));
         assert!(table.contains('\u{2717}'));
     }

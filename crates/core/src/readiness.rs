@@ -36,7 +36,10 @@ impl ReadinessReport {
         let transient = results.hourly.transient_outage_fraction();
         let discrepant = results.consistency.table1.len();
         let ca_findings = vec![
-            format!("{:.1}% of OCSP requests fail on average", failure_rate * 100.0),
+            format!(
+                "{:.1}% of OCSP requests fail on average",
+                failure_rate * 100.0
+            ),
             format!(
                 "{:.1}% of responders had at least one outage during the campaign",
                 transient * 100.0
@@ -81,8 +84,11 @@ impl ReadinessReport {
         });
 
         // --- Clients (browsers) ------------------------------------------
-        let respecting =
-            results.browsers.iter().filter(|r| r.respected_must_staple).count();
+        let respecting = results
+            .browsers
+            .iter()
+            .filter(|r| r.respected_must_staple)
+            .count();
         let total = results.browsers.len();
         let own_ocsp = results
             .browsers
@@ -104,8 +110,14 @@ impl ReadinessReport {
         });
 
         // --- Web servers ---------------------------------------------------
-        let apache = results.table3.iter().find(|r| r.server == ServerKind::Apache);
-        let nginx = results.table3.iter().find(|r| r.server == ServerKind::Nginx);
+        let apache = results
+            .table3
+            .iter()
+            .find(|r| r.server == ServerKind::Apache);
+        let nginx = results
+            .table3
+            .iter()
+            .find(|r| r.server == ServerKind::Nginx);
         let servers_ready = results
             .table3
             .iter()
@@ -163,7 +175,11 @@ impl ReadinessReport {
         }
         out.push_str(&format!(
             "Conclusion: the web is {} for OCSP Must-Staple.\n",
-            if self.web_is_ready() { "ready" } else { "NOT ready" }
+            if self.web_is_ready() {
+                "ready"
+            } else {
+                "NOT ready"
+            }
         ));
         out
     }
@@ -182,8 +198,11 @@ mod tests {
         assert_eq!(report.verdicts.len(), 4);
         // The paper's state of the world: clients and servers are not
         // ready; deployment is minuscule.
-        let by_name: std::collections::HashMap<&str, bool> =
-            report.verdicts.iter().map(|v| (v.principal, v.ready)).collect();
+        let by_name: std::collections::HashMap<&str, bool> = report
+            .verdicts
+            .iter()
+            .map(|v| (v.principal, v.ready))
+            .collect();
         assert!(!by_name["Clients (browsers)"]);
         assert!(!by_name["Web server software"]);
         assert!(!by_name["Deployment"]);

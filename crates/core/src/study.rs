@@ -8,6 +8,7 @@ use pki::RootStore;
 use scanner::alexa1m::{Alexa1mScan, Alexa1mSummary};
 use scanner::cdnlog::{CdnStudy, CdnSummary};
 use scanner::consistency::{ConsistencyStudy, ConsistencySummary};
+use scanner::executor::Executor;
 use scanner::hourly::{HourlyCampaign, HourlyDataset};
 use webserver::experiment::{run_table3_experiments, Table3Row, TestBench};
 use webserver::{Apache, Ideal, Nginx};
@@ -57,14 +58,18 @@ impl Study {
         let must_staple_by_ca = corpus.must_staple_by_issuer();
         let alexa = AlexaList::generate(self.config.seed, self.config.alexa_size);
 
-        // §5: the live ecosystem and its campaigns.
+        // §5: the live ecosystem and its campaigns. One executor, sized
+        // by `config.parallelism`, drives all of them; every worker
+        // count produces bit-identical results.
+        let executor = Executor::new(self.config.parallelism);
         let eco = LiveEcosystem::generate(self.config.clone());
-        let hourly = HourlyCampaign::new(&eco).run();
-        let alexa1m = Alexa1mScan::summarize(&hourly);
-        let consistency = ConsistencyStudy::run(
+        let hourly = HourlyCampaign::new(&eco).run_with(&executor);
+        let alexa1m = Alexa1mScan::summarize_with(&hourly, &executor);
+        let consistency = ConsistencyStudy::run_with(
             &eco,
             self.config.campaign_start + 6 * 86_400, // the paper: May 1st
             Region::Virginia,
+            &executor,
         );
         let cdn = CdnStudy::run(&eco, self.config.campaign_start + 86_400, 60, 40);
 
@@ -122,7 +127,11 @@ mod tests {
         // §6: sixteen browsers, four respecting.
         assert_eq!(results.browsers.len(), 16);
         assert_eq!(
-            results.browsers.iter().filter(|r| r.respected_must_staple).count(),
+            results
+                .browsers
+                .iter()
+                .filter(|r| r.respected_must_staple)
+                .count(),
             4
         );
         // §7.2: three server rows (Apache, Nginx, Ideal).

@@ -1,0 +1,256 @@
+//! Vendored stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build container has no crates.io registry, so this crate
+//! implements the 0.5 API surface the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. It measures real wall-clock time and prints mean and median
+//! per-iteration cost, but does no statistical outlier analysis, HTML
+//! reports, or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortizes setup cost. The stand-in
+/// runs one routine call per setup call regardless of variant, so the
+/// variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_count: usize,
+    time_budget: Duration,
+}
+
+impl Bencher<'_> {
+    /// Benchmark `routine`, timing batches of calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call to estimate cost and warm caches.
+        let est_start = Instant::now();
+        black_box(routine());
+        let est = est_start.elapsed().max(Duration::from_nanos(1));
+
+        // Batch fast routines so each sample is at least ~1ms of work.
+        let per_sample = (Duration::from_millis(1).as_nanos() / est.as_nanos()).max(1) as u64;
+        let deadline = Instant::now() + self.time_budget;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_nanos() as f64 / per_sample as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.time_budget;
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_count: usize,
+    time_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_count: 100,
+            time_budget: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set how many timing samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name.into(), self.sample_count, self.time_budget, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: self.sample_count,
+            time_budget: self.time_budget,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    time_budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(full, self.sample_count, self.time_budget, f);
+        self
+    }
+
+    /// End the group (upstream finalizes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(
+    name: String,
+    sample_count: usize,
+    time_budget: Duration,
+    f: F,
+) {
+    let mut samples = Vec::with_capacity(sample_count);
+    let mut bencher = Bencher {
+        samples: &mut samples,
+        sample_count,
+        time_budget,
+    };
+    f(&mut bencher);
+    if samples.is_empty() {
+        println!("{name:<44} (no samples collected)");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<44} time: [median {} mean {}] ({} samples)",
+        format_ns(median),
+        format_ns(mean),
+        samples.len()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Define a benchmark group runner function (both the struct-like and
+/// tuple-like upstream forms are accepted).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_work() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert_eq!(format_ns(12.3), "12.3 ns");
+        assert_eq!(format_ns(12_300.0), "12.300 µs");
+        assert_eq!(format_ns(12_300_000.0), "12.300 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+}

@@ -44,13 +44,22 @@ fn interp(rank: usize, n: usize, top: f64, tail: f64) -> f64 {
 impl AlexaList {
     /// Generate `size` ranked sites with `seed`.
     pub fn generate(seed: u64, size: usize) -> AlexaList {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xA1E_7A);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA1E7A);
         let mut sites = Vec::with_capacity(size);
         for rank in 1..=size {
-            let https =
-                rng.gen_bool(interp(rank, size, cal::ALEXA_HTTPS_TOP, cal::ALEXA_HTTPS_TAIL));
+            let https = rng.gen_bool(interp(
+                rank,
+                size,
+                cal::ALEXA_HTTPS_TOP,
+                cal::ALEXA_HTTPS_TAIL,
+            ));
             let ocsp = https
-                && rng.gen_bool(interp(rank, size, cal::ALEXA_OCSP_TOP, cal::ALEXA_OCSP_TAIL));
+                && rng.gen_bool(interp(
+                    rank,
+                    size,
+                    cal::ALEXA_OCSP_TOP,
+                    cal::ALEXA_OCSP_TAIL,
+                ));
             let staples = ocsp
                 && rng.gen_bool(interp(
                     rank,

@@ -143,7 +143,13 @@ pub fn named_operators() -> Vec<OperatorSpec> {
 
     // Let's Encrypt: the most popular CA, OCSP-only, supports
     // Must-Staple since May 2016; 97.3 % of all Must-Staple certs.
-    let mut le = OperatorSpec::base("Let's Encrypt", "lets-encrypt.test", 1, Region::Virginia, 0.32);
+    let mut le = OperatorSpec::base(
+        "Let's Encrypt",
+        "lets-encrypt.test",
+        1,
+        Region::Virginia,
+        0.32,
+    );
     le.supports_crl = false;
     le.must_staple_share = 0.0008; // scaled so LE ends with ~97% of MS certs
     ops.push(le);
@@ -200,13 +206,15 @@ pub fn named_operators() -> Vec<OperatorSpec> {
     ops.push(sheca);
 
     // PostSignum: "0" bodies from May 1 on (3 responders).
-    let mut postsignum = OperatorSpec::base("PostSignum", "postsignum.test", 3, Region::Paris, 0.01);
+    let mut postsignum =
+        OperatorSpec::base("PostSignum", "postsignum.test", 3, Region::Paris, 0.01);
     postsignum.infra_group = Some("postsignum-infra");
     postsignum.outage = OutageScript::PostsignumZero;
     ops.push(postsignum);
 
     // IdenTrust: the two URLs that never answered from anywhere.
-    let mut identrust = OperatorSpec::base("IdenTrust", "identrust.test", 2, Region::Virginia, 0.02);
+    let mut identrust =
+        OperatorSpec::base("IdenTrust", "identrust.test", 2, Region::Virginia, 0.02);
     identrust.outage = OutageScript::IdentrustAlwaysDead;
     ops.push(identrust);
 
@@ -259,28 +267,38 @@ pub fn named_operators() -> Vec<OperatorSpec> {
     // the 14.7 % negative tail of Figure 10 (the paper does not name
     // these operators).
     let mut early = OperatorSpec::base("EarlyBird", "earlybird.test", 1, Region::Oregon, 0.004);
-    early.consistency = ConsistencyFault::OcspLag { min: -43_200, max: -60 };
+    early.consistency = ConsistencyFault::OcspLag {
+        min: -43_200,
+        max: -60,
+    };
     ops.push(early);
 
     // And one whose OCSP updates lag by months — Figure 10's long tail
     // "extends to over 137M seconds (which is over 4 years!)".
-    let mut glacial = OperatorSpec::base("GlacialSync", "glacialsync.test", 1, Region::Paris, 0.003);
-    glacial.consistency =
-        ConsistencyFault::OcspLag { min: 30 * 86_400, max: cal::REVTIME_TAIL_SECS };
+    let mut glacial =
+        OperatorSpec::base("GlacialSync", "glacialsync.test", 1, Region::Paris, 0.003);
+    glacial.consistency = ConsistencyFault::OcspLag {
+        min: 30 * 86_400,
+        max: cal::REVTIME_TAIL_SECS,
+    };
     ops.push(glacial);
 
     // Microsoft (ocsp.msocsp.com): OCSP revocation times behind the CRL
     // by 7 h – 9 d.
     let mut msocsp = OperatorSpec::base("Microsoft", "msocsp.test", 1, Region::Virginia, 0.015);
-    msocsp.consistency =
-        ConsistencyFault::OcspLag { min: cal::MSOCSP_LAG_MIN, max: cal::MSOCSP_LAG_MAX };
+    msocsp.consistency = ConsistencyFault::OcspLag {
+        min: cal::MSOCSP_LAG_MIN,
+        max: cal::MSOCSP_LAG_MAX,
+    };
     ops.push(msocsp);
 
     // Table 1's Good-answering responders.
-    let mut camerfirma = OperatorSpec::base("Camerfirma", "camerfirma.test", 1, Region::Paris, 0.004);
+    let mut camerfirma =
+        OperatorSpec::base("Camerfirma", "camerfirma.test", 1, Region::Paris, 0.004);
     camerfirma.consistency = ConsistencyFault::GoodForSome { count: 7 };
     ops.push(camerfirma);
-    let mut quovadis = OperatorSpec::base("Quovadis", "quovadisglobal.test", 1, Region::Paris, 0.006);
+    let mut quovadis =
+        OperatorSpec::base("Quovadis", "quovadisglobal.test", 1, Region::Paris, 0.006);
     quovadis.consistency = ConsistencyFault::GoodForSome { count: 1 };
     ops.push(quovadis);
     let mut symantec = OperatorSpec::base("Symantec", "symcd.test", 4, Region::Virginia, 0.08);
@@ -294,7 +312,13 @@ pub fn named_operators() -> Vec<OperatorSpec> {
     let mut gs = OperatorSpec::base("GlobalSign-Alpha", "alphassl.test", 1, Region::Paris, 0.01);
     gs.consistency = ConsistencyFault::UnknownForAll;
     ops.push(gs);
-    let mut firma = OperatorSpec::base("Firmaprofesional", "firmaprofesional.test", 1, Region::Paris, 0.003);
+    let mut firma = OperatorSpec::base(
+        "Firmaprofesional",
+        "firmaprofesional.test",
+        1,
+        Region::Paris,
+        0.003,
+    );
     firma.consistency = ConsistencyFault::UnknownForAll;
     ops.push(firma);
 
@@ -303,7 +327,8 @@ pub fn named_operators() -> Vec<OperatorSpec> {
     // Calibrated so LE keeps ~97.3 % of Must-Staple issuance overall.
     dfn.must_staple_share = 0.0005;
     ops.push(dfn);
-    let mut usertrust = OperatorSpec::base("UserTrust", "usertrust.test", 1, Region::Virginia, 0.01);
+    let mut usertrust =
+        OperatorSpec::base("UserTrust", "usertrust.test", 1, Region::Virginia, 0.01);
     usertrust.must_staple_share = 0.000_005;
     ops.push(usertrust);
 
@@ -376,11 +401,21 @@ mod tests {
     #[test]
     fn infra_groups_bind_the_episodes() {
         let ops = named_operators();
-        let comodo_group: Vec<_> =
-            ops.iter().filter(|o| o.infra_group == Some("comodo-infra")).collect();
-        assert_eq!(comodo_group.iter().map(|o| o.responder_count).sum::<usize>(), 15);
-        let wosign_group: Vec<_> =
-            ops.iter().filter(|o| o.infra_group == Some("wosign-infra")).collect();
+        let comodo_group: Vec<_> = ops
+            .iter()
+            .filter(|o| o.infra_group == Some("comodo-infra"))
+            .collect();
+        assert_eq!(
+            comodo_group
+                .iter()
+                .map(|o| o.responder_count)
+                .sum::<usize>(),
+            15
+        );
+        let wosign_group: Vec<_> = ops
+            .iter()
+            .filter(|o| o.infra_group == Some("wosign-infra"))
+            .collect();
         assert_eq!(wosign_group.len(), 2);
     }
 
@@ -390,7 +425,10 @@ mod tests {
         let hinet = ops.iter().find(|o| o.name == "HiNet").unwrap();
         assert_eq!(hinet.validity_secs, hinet.pregen_interval);
         let cnnic = ops.iter().find(|o| o.name == "CNNIC").unwrap();
-        assert!(cnnic.instance_skews.len() > 1, "footnote 17 multi-instance skew");
+        assert!(
+            cnnic.instance_skews.len() > 1,
+            "footnote 17 multi-instance skew"
+        );
     }
 
     #[test]

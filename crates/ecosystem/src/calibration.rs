@@ -18,8 +18,7 @@ pub const MUST_STAPLE_FRACTION: f64 = 0.000_263;
 pub const MUST_STAPLE_LETS_ENCRYPT_SHARE: f64 = 0.973;
 
 /// §4: the remaining Must-Staple issuers and their certificate counts.
-pub const MUST_STAPLE_OTHERS: [(&str, u64); 3] =
-    [("DFN", 716), ("Comodo", 73), ("UserTrust", 1)];
+pub const MUST_STAPLE_OTHERS: [(&str, u64); 3] = [("DFN", 716), ("Comodo", 73), ("UserTrust", 1)];
 
 /// §4 / Figure 2: HTTPS support across the Alexa range is "close to 75 %".
 pub const ALEXA_HTTPS_TOP: f64 = 0.80;

@@ -1,6 +1,7 @@
 //! Scale configuration.
 
 use asn1::Time;
+use std::num::NonZeroUsize;
 
 /// How large the synthetic ecosystem is. The *distributions* are always
 /// calibrated to the paper; these knobs set only the sample counts.
@@ -26,6 +27,11 @@ pub struct EcosystemConfig {
     /// Seconds between scan rounds (paper: hourly; default coarser to
     /// keep full campaigns fast — shapes are insensitive to this).
     pub scan_interval: i64,
+    /// Worker threads for the scan campaigns. `None` means "use
+    /// `std::thread::available_parallelism()`". Results are bit-identical
+    /// for every setting — shards carry their own derived RNG streams —
+    /// so this is purely a wall-clock knob.
+    pub parallelism: Option<NonZeroUsize>,
 }
 
 impl EcosystemConfig {
@@ -43,6 +49,7 @@ impl EcosystemConfig {
             campaign_start: Time::from_civil(2018, 4, 25, 0, 0, 0),
             campaign_end: Time::from_civil(2018, 9, 4, 0, 0, 0),
             scan_interval: 2 * 3_600,
+            parallelism: None,
         }
     }
 
@@ -59,12 +66,19 @@ impl EcosystemConfig {
             campaign_start: Time::from_civil(2018, 4, 25, 0, 0, 0),
             campaign_end: Time::from_civil(2018, 5, 5, 0, 0, 0),
             scan_interval: 3 * 3_600,
+            parallelism: None,
         }
     }
 
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> EcosystemConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Override the worker-thread count (`1` forces a serial run).
+    pub fn with_parallelism(mut self, workers: usize) -> EcosystemConfig {
+        self.parallelism = NonZeroUsize::new(workers);
         self
     }
 

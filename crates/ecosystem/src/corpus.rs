@@ -131,9 +131,11 @@ impl Corpus {
         for cert in self.certs.iter().filter(|c| c.has_must_staple) {
             *counts.entry(&cert.issuer).or_default() += 1;
         }
-        let mut out: Vec<(String, usize)> =
-            counts.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
-        out.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut out: Vec<(String, usize)> = counts
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        out.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
         out
     }
 }

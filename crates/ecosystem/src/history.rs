@@ -48,9 +48,8 @@ pub fn monthly_snapshots() -> Vec<MonthlySnapshot> {
         // The Cloudflare step contributes roughly the jump the paper
         // reports: ~67k domains over an Alexa-1M base with ~600k
         // OCSP-capable HTTPS domains ≈ +8 percentage points among them.
-        let cloudflare_boost = (cloudflare as f64 - cal::CLOUDFLARE_STAPLES_MAY17 as f64)
-            .max(0.0)
-            / 800_000.0;
+        let cloudflare_boost =
+            (cloudflare as f64 - cal::CLOUDFLARE_STAPLES_MAY17 as f64).max(0.0) / 800_000.0;
         let stapling_fraction = 0.23 + 0.08 * progress + cloudflare_boost;
         out.push(MonthlySnapshot {
             time: Time::from_civil(*year, *month, 15, 0, 0, 0),
@@ -98,24 +97,42 @@ mod tests {
         assert!(last.ocsp_fraction > first.ocsp_fraction);
         assert!(last.stapling_fraction > first.stapling_fraction);
         // Nothing exceeds 100 %.
-        assert!(snaps.iter().all(|s| s.stapling_fraction < 1.0 && s.ocsp_fraction < 1.0));
+        assert!(snaps
+            .iter()
+            .all(|s| s.stapling_fraction < 1.0 && s.ocsp_fraction < 1.0));
     }
 
     #[test]
     fn june_2017_cloudflare_step() {
         let snaps = monthly_snapshots();
-        let may17 = snaps.iter().find(|s| s.time.civil() == civil(2017, 5)).unwrap();
-        let jun17 = snaps.iter().find(|s| s.time.civil() == civil(2017, 6)).unwrap();
-        assert_eq!(may17.cloudflare_stapling_domains, cal::CLOUDFLARE_STAPLES_MAY17);
-        assert_eq!(jun17.cloudflare_stapling_domains, cal::CLOUDFLARE_STAPLES_JUN17);
+        let may17 = snaps
+            .iter()
+            .find(|s| s.time.civil() == civil(2017, 5))
+            .unwrap();
+        let jun17 = snaps
+            .iter()
+            .find(|s| s.time.civil() == civil(2017, 6))
+            .unwrap();
+        assert_eq!(
+            may17.cloudflare_stapling_domains,
+            cal::CLOUDFLARE_STAPLES_MAY17
+        );
+        assert_eq!(
+            jun17.cloudflare_stapling_domains,
+            cal::CLOUDFLARE_STAPLES_JUN17
+        );
         // The visible spike: the largest month-over-month stapling jump
         // in the whole series is May → June 2017.
         let jumps: Vec<f64> = snaps
             .windows(2)
             .map(|w| w[1].stapling_fraction - w[0].stapling_fraction)
             .collect();
-        let max_jump_idx =
-            jumps.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let max_jump_idx = jumps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(snaps[max_jump_idx + 1].time.civil(), civil(2017, 6));
     }
 

@@ -19,11 +19,12 @@ use crate::calibration as cal;
 use crate::config::EcosystemConfig;
 use asn1::Time;
 use netsim::outage::RegionScope;
-use netsim::{FailureKind, Outage, Region, World};
+use netsim::{FailureKind, HandlerFactory, Outage, Region, Topology, World};
 use ocsp::{CertId, MalformMode, Responder, ResponderProfile};
 use pki::{Certificate, CertificateAuthority, IssueParams, RevocationReason, RootStore, Serial};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// One responder hostname and its behavior.
 #[derive(Debug, Clone)]
@@ -132,7 +133,9 @@ impl LiveEcosystem {
                 t0 - 365 * 86_400,
             );
             root_store.add(ca.certificate().clone());
-            let count = spec.responder_count.min(config.responders - responders.len());
+            let count = spec
+                .responder_count
+                .min(config.responders - responders.len());
             for r in 0..count {
                 let hostname = if spec.responder_count == 1 {
                     format!("ocsp.{}", spec.slug)
@@ -177,7 +180,7 @@ impl LiveEcosystem {
             let hostname = format!("ocsp.{slug}");
             let mut profile = draw_filler_profile(&mut rng);
             if malformed_budget > 0 && rng.gen_bool(0.3) {
-                profile = profile.malformed(if malformed_budget % 2 == 0 {
+                profile = profile.malformed(if malformed_budget.is_multiple_of(2) {
                     MalformMode::LiteralZero
                 } else {
                     MalformMode::JavascriptPage
@@ -189,15 +192,12 @@ impl LiveEcosystem {
                 hostname,
                 operator: idx,
                 profile,
-                region: *[
+                region: [
                     Region::Oregon,
                     Region::Virginia,
                     Region::Paris,
                     Region::Seoul,
-                ]
-                .iter()
-                .nth(rng.gen_range(0..4))
-                .unwrap(),
+                ][rng.gen_range(0..4usize)],
                 infra_group: None,
             });
             operators.push(LiveOperator {
@@ -274,8 +274,14 @@ impl LiveEcosystem {
             };
             let cert = op.ca.issue(&mut rng, &params);
             let serial = cert.serial().clone();
-            let revoked_at = t0 - rng.gen_range(1..150) * 86_400;
-            apply_revocation(&mut rng, op, &serial, revoked_at, &mut crl_only_used[op_idx]);
+            let revoked_at = t0 - rng.gen_range(1i64..150) * 86_400;
+            apply_revocation(
+                &mut rng,
+                op,
+                &serial,
+                revoked_at,
+                &mut crl_only_used[op_idx],
+            );
             revoked.push(RevokedTarget {
                 cert_id: CertId::for_certificate(&cert, op.ca.certificate()),
                 serial,
@@ -285,57 +291,87 @@ impl LiveEcosystem {
             });
         }
 
-        LiveEcosystem { config, operators, responders, scan_targets, revoked, root_store }
+        LiveEcosystem {
+            config,
+            operators,
+            responders,
+            scan_targets,
+            revoked,
+            root_store,
+        }
     }
 
-    /// Wire the ecosystem into a fresh `World`: responder handlers, CRL
-    /// handlers, and the full outage calendar.
-    pub fn build_world(&self) -> World {
-        let mut world = World::new(self.config.seed ^ 0x0417);
+    /// Wire the ecosystem into a shared, immutable [`Topology`]:
+    /// responder handler factories, CRL handler factories, and the full
+    /// outage calendar. Any number of [`World`]s — one per scan shard —
+    /// can be built over the result; each instantiates its own handler
+    /// (and thus its own responder caches) on first contact with a host.
+    pub fn build_topology(&self) -> Arc<Topology> {
+        let mut topo = Topology::new(self.config.seed ^ 0x0417);
         let t0 = self.config.campaign_start;
 
         for host in &self.responders {
             let op = &self.operators[host.operator];
             let ca = op.ca.clone();
-            let mut responder = Responder::new(&host.url, host.profile.clone());
+            let url = host.url.clone();
             // The sheca/postsignum "0"-body episodes are HTTP-200
             // garbage, not outages — handled inside the HTTP handler.
             let zero_windows = zero_body_windows(op.outage, t0);
             let healthy_profile = host.profile.clone();
-            let handler = Box::new(move |_path: &str, body: &[u8], now: Time, _region: Region| {
-                let in_zero_episode =
-                    zero_windows.iter().any(|&(start, end)| start <= now && now < end);
-                if in_zero_episode {
-                    responder.set_profile(healthy_profile.clone().malformed(MalformMode::LiteralZero));
-                } else if responder.profile().malform == MalformMode::LiteralZero
-                    && healthy_profile.malform != MalformMode::LiteralZero
-                {
-                    responder.set_profile(healthy_profile.clone());
-                }
-                (200, responder.handle_bytes(&ca, body, now))
+            let factory: HandlerFactory = Box::new(move || {
+                let ca = ca.clone();
+                let mut responder = Responder::new(&url, healthy_profile.clone());
+                let healthy_profile = healthy_profile.clone();
+                let zero_windows = zero_windows.clone();
+                Box::new(
+                    move |_path: &str, body: &[u8], now: Time, _region: Region| {
+                        let in_zero_episode = zero_windows
+                            .iter()
+                            .any(|&(start, end)| start <= now && now < end);
+                        if in_zero_episode {
+                            responder.set_profile(
+                                healthy_profile.clone().malformed(MalformMode::LiteralZero),
+                            );
+                        } else if responder.profile().malform == MalformMode::LiteralZero
+                            && healthy_profile.malform != MalformMode::LiteralZero
+                        {
+                            responder.set_profile(healthy_profile.clone());
+                        }
+                        (200, responder.handle_bytes(&ca, body, now))
+                    },
+                )
             });
-            world.register(&host.hostname, host.region, host.infra_group.as_deref(), handler);
+            topo.register(
+                &host.hostname,
+                host.region,
+                host.infra_group.as_deref(),
+                factory,
+            );
 
             // Host-scoped pieces of the outage script.
             for outage in host_outages(op.outage, t0, self.config.campaign_end) {
-                world.add_outage(&host.hostname, outage);
+                topo.add_outage(&host.hostname, outage);
             }
         }
 
         // CRL endpoints: one per operator, serving a freshly signed CRL.
         for op in &self.operators {
             let ca = op.ca.clone();
-            let handler = Box::new(move |_path: &str, _body: &[u8], now: Time, _r: Region| {
-                // Weekly CRL windows.
-                let this_update = Time::from_unix(now.unix() - now.unix().rem_euclid(7 * 86_400));
-                let crl = ca.generate_crl(this_update, Some(this_update + 7 * 86_400));
-                (200, crl.to_der())
+            let factory: HandlerFactory = Box::new(move || {
+                let ca = ca.clone();
+                Box::new(move |_path: &str, _body: &[u8], now: Time, _r: Region| {
+                    // Weekly CRL windows.
+                    let this_update =
+                        Time::from_unix(now.unix() - now.unix().rem_euclid(7 * 86_400));
+                    let crl = ca.generate_crl(this_update, Some(this_update + 7 * 86_400));
+                    (200, crl.to_der())
+                })
             });
-            world.register(&op.crl_host, Region::Virginia, None, handler);
+            topo.register(&op.crl_host, Region::Virginia, None, factory);
         }
 
         // Group-scoped episodes.
-        self.schedule_group_episodes(&mut world, t0);
+        self.schedule_group_episodes(&mut topo, t0);
 
         // Random transient outages at the calibrated incidence.
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x007A6E);
@@ -354,7 +390,7 @@ impl LiveEcosystem {
             let episodes = rng.gen_range(1..=3);
             for _ in 0..episodes {
                 let start = t0 + rng.gen_range(0..campaign_secs.max(1));
-                let duration = rng.gen_range(1..=5) * 3_600;
+                let duration = rng.gen_range(1i64..=5) * 3_600;
                 let kind = match rng.gen_range(0..4) {
                     0 => FailureKind::DnsNxDomain,
                     1 => FailureKind::TcpConnect,
@@ -373,19 +409,29 @@ impl LiveEcosystem {
                     regions.truncate(n);
                     RegionScope::Only(regions)
                 };
-                world.add_outage(
+                topo.add_outage(
                     &host.hostname,
-                    Outage { start, end: Some(start + duration), scope, kind },
+                    Outage {
+                        start,
+                        end: Some(start + duration),
+                        scope,
+                        kind,
+                    },
                 );
             }
         }
 
-        world
+        Arc::new(topo)
     }
 
-    fn schedule_group_episodes(&self, world: &mut World, t0: Time) {
+    /// Wire the ecosystem into one fresh `World` over its own topology.
+    pub fn build_world(&self) -> World {
+        World::from_topology(self.build_topology())
+    }
+
+    fn schedule_group_episodes(&self, topo: &mut Topology, t0: Time) {
         // Comodo, Apr 25 19:00, 2 h, Oregon/Sydney/Seoul, whole group.
-        world.add_group_outage(
+        topo.add_group_outage(
             "comodo-infra",
             Outage::regional(
                 t0 + 19 * 3_600,
@@ -395,7 +441,7 @@ impl LiveEcosystem {
             ),
         );
         // wosign/startssl, Aug 3 22:00, 1 h, everywhere.
-        world.add_group_outage(
+        topo.add_group_outage(
             "wosign-infra",
             Outage::transient(
                 Time::from_civil(2018, 8, 3, 22, 0, 0),
@@ -404,7 +450,7 @@ impl LiveEcosystem {
             ),
         );
         // Digicert, Aug 27 09:00, 5 h, Seoul only.
-        world.add_group_outage(
+        topo.add_group_outage(
             "digicert-infra",
             Outage::regional(
                 Time::from_civil(2018, 8, 27, 9, 0, 0),
@@ -414,7 +460,7 @@ impl LiveEcosystem {
             ),
         );
         // Certum, Aug 9 17:00, 2 h, Sydney only.
-        world.add_group_outage(
+        topo.add_group_outage(
             "certum-infra",
             Outage::regional(
                 Time::from_civil(2018, 8, 9, 17, 0, 0),
@@ -427,7 +473,9 @@ impl LiveEcosystem {
 
     /// Scan targets belonging to one responder.
     pub fn targets_of(&self, responder: usize) -> impl Iterator<Item = &ScanTarget> {
-        self.scan_targets.iter().filter(move |t| t.responder == responder)
+        self.scan_targets
+            .iter()
+            .filter(move |t| t.responder == responder)
     }
 
     /// The CA certificate of an operator.
@@ -444,8 +492,11 @@ impl LiveEcosystem {
         let mut weights = vec![0usize; self.responders.len()];
         for (idx, host) in self.responders.iter().enumerate() {
             let op = &self.operators[host.operator];
-            let responders_of_op =
-                self.responders.iter().filter(|r| r.operator == host.operator).count();
+            let responders_of_op = self
+                .responders
+                .iter()
+                .filter(|r| r.operator == host.operator)
+                .count();
             let op_domains =
                 (alexa_ocsp_domains as f64 * op.market_share / total_share).round() as usize;
             weights[idx] = op_domains / responders_of_op.max(1);
@@ -523,25 +574,32 @@ fn draw_filler_profile(rng: &mut StdRng) -> ResponderProfile {
     if v < cal::BLANK_NEXT_UPDATE_FRACTION {
         profile.validity_secs = None;
     } else if v < cal::BLANK_NEXT_UPDATE_FRACTION + cal::MONTH_PLUS_VALIDITY_FRACTION {
-        profile.validity_secs =
-            Some(rng.gen_range(31 * 86_400..=cal::MAX_VALIDITY_SECS));
+        profile.validity_secs = Some(rng.gen_range(31 * 86_400..=cal::MAX_VALIDITY_SECS));
     } else {
         profile.validity_secs = Some(rng.gen_range(86_400..=14 * 86_400));
     }
 
     // thisUpdate margin (Figure 9): zero 17.2 %, future 3 %, else 1 m–1 d.
     let m: f64 = rng.gen_range(0.0..1.0);
+    let zero_or_future = m < cal::ZERO_MARGIN_FRACTION + cal::FUTURE_THIS_UPDATE_FRACTION;
     profile.this_update_margin = if m < cal::ZERO_MARGIN_FRACTION {
         0
-    } else if m < cal::ZERO_MARGIN_FRACTION + cal::FUTURE_THIS_UPDATE_FRACTION {
-        -rng.gen_range(30..600)
+    } else if zero_or_future {
+        -rng.gen_range(30i64..600)
     } else {
         rng.gen_range(60..86_400)
     };
 
-    // Pre-generation (51.7 %), refresh 1–24 h.
-    if rng.gen_bool(cal::PRE_GENERATED_FRACTION) {
-        let interval = rng.gen_range(1..=24) * 3_600;
+    // Pre-generation (51.7 % of all responders), refresh 1–24 h. The
+    // zero/future-margin responders above are necessarily on-demand — a
+    // cached window always shows a positive observed margin (window age),
+    // so Figure 9's zero-margin mass can only come from responders that
+    // sign at fetch time. Concentrate the pre-generated mass on the rest,
+    // scaled so the population marginal still comes out at 51.7 %.
+    let pregen_given_nonzero = cal::PRE_GENERATED_FRACTION
+        / (1.0 - cal::ZERO_MARGIN_FRACTION - cal::FUTURE_THIS_UPDATE_FRACTION);
+    if !zero_or_future && rng.gen_bool(pregen_given_nonzero) {
+        let interval = rng.gen_range(1i64..=24) * 3_600;
         profile = profile.pre_generated(interval);
     }
 
@@ -652,7 +710,10 @@ fn apply_revocation(
     } else if reason_draw < 0.60 + cal::REASON_DIFF_FRACTION {
         (Some(RevocationReason::CessationOfOperation), None)
     } else {
-        (Some(RevocationReason::KeyCompromise), Some(RevocationReason::KeyCompromise))
+        (
+            Some(RevocationReason::KeyCompromise),
+            Some(RevocationReason::KeyCompromise),
+        )
     };
 
     // Revocation-time drift.
@@ -663,7 +724,7 @@ fn apply_revocation(
             // negative (OCSP earlier), the rest a log-uniform positive
             // tail out to the Figure 10 maximum of ~137 M seconds.
             if rng.gen_bool(cal::REVTIME_NEGATIVE_FRACTION) {
-                revoked_at - rng.gen_range(60..43_200)
+                revoked_at - rng.gen_range(60i64..43_200)
             } else {
                 let exp: f64 = rng.gen_range(2.0..(cal::REVTIME_TAIL_SECS as f64).log10());
                 revoked_at + 10f64.powf(exp) as i64
@@ -672,8 +733,14 @@ fn apply_revocation(
         _ => revoked_at,
     };
 
-    let crl_record = RevocationRecord { time: revoked_at, reason: crl_reason };
-    let ocsp_record = RevocationRecord { time: ocsp_time, reason: ocsp_reason };
+    let crl_record = RevocationRecord {
+        time: revoked_at,
+        reason: crl_reason,
+    };
+    let ocsp_record = RevocationRecord {
+        time: ocsp_time,
+        reason: ocsp_reason,
+    };
 
     match op.consistency {
         ConsistencyFault::GoodForSome { count } if *crl_only_used < count => {
@@ -685,7 +752,8 @@ fn apply_revocation(
             op.ca.mark_ocsp_unknown(serial);
         }
         _ => {
-            op.ca.revoke_detailed(serial, Some(crl_record), Some(ocsp_record));
+            op.ca
+                .revoke_detailed(serial, Some(crl_record), Some(ocsp_record));
         }
     }
 }
@@ -718,7 +786,10 @@ mod tests {
         for target in e.scan_targets.iter().take(5) {
             let issuer = e.issuer_of(target.operator);
             assert!(target.cert.verify_signature(issuer.public_key()));
-            assert_eq!(target.cert.ocsp_urls(), vec![e.operators[target.operator].ca.ocsp_url().to_string()]);
+            assert_eq!(
+                target.cert.ocsp_urls(),
+                vec![e.operators[target.operator].ca.ocsp_url().to_string()]
+            );
         }
     }
 
@@ -733,13 +804,8 @@ mod tests {
         match result.outcome {
             HttpOutcome::Ok(body) => {
                 let issuer = e.issuer_of(target.operator);
-                let validated = ocsp::validate_response(
-                    &body,
-                    &target.cert_id,
-                    issuer,
-                    t,
-                    Default::default(),
-                );
+                let validated =
+                    ocsp::validate_response(&body, &target.cert_id, issuer, t, Default::default());
                 // Healthy or profiled-faulty are both possible; what must
                 // hold is that *parse + validate* runs and classifies.
                 let _ = validated;

@@ -62,7 +62,11 @@ pub struct CdnNode {
 impl CdnNode {
     /// An edge node in `region`.
     pub fn new(region: Region) -> CdnNode {
-        CdnNode { region, cache: HashMap::new(), stats: CdnStats::default() }
+        CdnNode {
+            region,
+            cache: HashMap::new(),
+            stats: CdnStats::default(),
+        }
     }
 
     /// The node's region (requests to origins depart from here).
@@ -105,8 +109,13 @@ impl CdnNode {
             self.stats.origin_successes += 1;
             let ttl = ttl_of(reply);
             if ttl > 0 {
-                self.cache
-                    .insert(key, CacheEntry { body: reply.clone(), expires: now + ttl });
+                self.cache.insert(
+                    key,
+                    CacheEntry {
+                        body: reply.clone(),
+                        expires: now + ttl,
+                    },
+                );
             }
         }
         result
@@ -172,8 +181,20 @@ mod tests {
     fn distinct_bodies_cached_separately() {
         let mut w = world();
         let mut cdn = CdnNode::new(Region::Paris);
-        cdn.fetch(&mut w, "http://ocsp.origin.test/", b"serial-1", t(0), |_| 7_200);
-        cdn.fetch(&mut w, "http://ocsp.origin.test/", b"serial-2", t(0), |_| 7_200);
+        cdn.fetch(
+            &mut w,
+            "http://ocsp.origin.test/",
+            b"serial-1",
+            t(0),
+            |_| 7_200,
+        );
+        cdn.fetch(
+            &mut w,
+            "http://ocsp.origin.test/",
+            b"serial-2",
+            t(0),
+            |_| 7_200,
+        );
         assert_eq!(cdn.stats().origin_fetches, 2);
         assert_eq!(cdn.cached_entries(), 2);
     }

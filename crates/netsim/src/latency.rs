@@ -51,8 +51,24 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = http_latency_ms(1, "ocsp.ca.test", Region::Paris, Region::Virginia, t(), true, 5.0);
-        let b = http_latency_ms(1, "ocsp.ca.test", Region::Paris, Region::Virginia, t(), true, 5.0);
+        let a = http_latency_ms(
+            1,
+            "ocsp.ca.test",
+            Region::Paris,
+            Region::Virginia,
+            t(),
+            true,
+            5.0,
+        );
+        let b = http_latency_ms(
+            1,
+            "ocsp.ca.test",
+            Region::Paris,
+            Region::Virginia,
+            t(),
+            true,
+            5.0,
+        );
         assert_eq!(a, b);
     }
 
@@ -60,7 +76,15 @@ mod tests {
     fn varies_with_inputs() {
         let a = http_latency_ms(1, "a.test", Region::Paris, Region::Virginia, t(), true, 5.0);
         let b = http_latency_ms(1, "b.test", Region::Paris, Region::Virginia, t(), true, 5.0);
-        let c = http_latency_ms(1, "a.test", Region::Paris, Region::Virginia, t() + 3600, true, 5.0);
+        let c = http_latency_ms(
+            1,
+            "a.test",
+            Region::Paris,
+            Region::Virginia,
+            t() + 3600,
+            true,
+            5.0,
+        );
         assert_ne!(a, b);
         assert_ne!(a, c);
     }
@@ -76,7 +100,15 @@ mod tests {
     fn nearby_beats_faraway() {
         // Same-region (CDN-edge-like) exchange ~ a few ms; antipodal ~ 600+.
         let near = http_latency_ms(1, "x.test", Region::Sydney, Region::Sydney, t(), false, 1.0);
-        let far = http_latency_ms(1, "x.test", Region::Sydney, Region::SaoPaulo, t(), false, 1.0);
+        let far = http_latency_ms(
+            1,
+            "x.test",
+            Region::Sydney,
+            Region::SaoPaulo,
+            t(),
+            false,
+            1.0,
+        );
         assert!(near < 10.0, "near = {near}");
         assert!(far > 500.0, "far = {far}");
     }

@@ -78,7 +78,12 @@ pub struct Outage {
 impl Outage {
     /// A transient outage affecting all regions.
     pub fn transient(start: Time, duration_secs: i64, kind: FailureKind) -> Outage {
-        Outage { start, end: Some(start + duration_secs), scope: RegionScope::All, kind }
+        Outage {
+            start,
+            end: Some(start + duration_secs),
+            scope: RegionScope::All,
+            kind,
+        }
     }
 
     /// A transient outage visible only from certain regions.
@@ -99,7 +104,12 @@ impl Outage {
     /// A persistent failure from `start` on, for certain regions
     /// (pass all vantage points for a globally dead responder).
     pub fn persistent(start: Time, regions: RegionScope, kind: FailureKind) -> Outage {
-        Outage { start, end: None, scope: regions, kind }
+        Outage {
+            start,
+            end: None,
+            scope: regions,
+            kind,
+        }
     }
 
     /// Whether this outage affects `region` at `time`.

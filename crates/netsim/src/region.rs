@@ -57,7 +57,11 @@ impl Region {
         if self == other {
             return 2.0;
         }
-        let (a, b) = if self <= other { (self, other) } else { (other, self) };
+        let (a, b) = if self <= other {
+            (self, other)
+        } else {
+            (other, self)
+        };
         match (a, b) {
             (Oregon, Virginia) => 70.0,
             (Oregon, SaoPaulo) => 180.0,

@@ -1,19 +1,35 @@
 //! The host registry and HTTP dispatch.
 //!
-//! [`World`] is the simulated Internet: named hosts with handlers,
-//! infrastructure groups for correlated failures, and an
-//! [`World::http_post`] entry point that walks the full request path —
-//! DNS, outage checks (host- and group-level), latency, handler dispatch.
+//! The simulated Internet is split in two layers so scan shards can run
+//! in parallel:
+//!
+//! - [`Topology`] is the immutable wiring: hosts, regions,
+//!   infrastructure groups, outage schedules, and *handler factories*
+//!   (recipes for building a host's request handler). Once built it is
+//!   shared read-only behind an `Arc` by any number of worlds.
+//! - [`World`] is one mutable view: its own lazily-instantiated
+//!   handlers (responder caches and the like live here) and its own DNS
+//!   cache. Two worlds over the same topology evolve independently —
+//!   exactly what a per-shard scan executor needs.
+//!
+//! [`World::http_post`] walks the full request path — DNS, outage
+//! checks (host- and group-level), latency, handler dispatch.
 
 use crate::latency::http_latency_ms;
 use crate::outage::{first_active, FailureKind, Outage};
 use crate::region::Region;
 use asn1::Time;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A boxed request handler: `(path, body, now, client_region) -> (status,
 /// body)`.
-pub type Handler = Box<dyn FnMut(&str, &[u8], Time, Region) -> (u16, Vec<u8>)>;
+pub type Handler = Box<dyn FnMut(&str, &[u8], Time, Region) -> (u16, Vec<u8>) + Send>;
+
+/// A recipe for building a host's handler. Stored in the shared
+/// [`Topology`] so every [`World`] can instantiate its own private
+/// handler (and therefore its own responder state).
+pub type HandlerFactory = Box<dyn Fn() -> Handler + Send + Sync>;
 
 /// How an HTTP transaction ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,53 +64,61 @@ pub struct HttpResult {
     pub latency_ms: f64,
 }
 
-struct Host {
+struct HostSpec {
     region: Region,
     group: Option<String>,
     outages: Vec<Outage>,
-    handler: Handler,
+    factory: Option<HandlerFactory>,
     /// Server-side processing time per request, ms.
     server_time_ms: f64,
 }
 
-/// The simulated Internet.
-pub struct World {
+/// The immutable network wiring: hosts, groups, outage schedules, and
+/// handler factories. Build once, share behind an `Arc` across worlds.
+pub struct Topology {
     seed: u64,
-    hosts: HashMap<String, Host>,
+    hosts: HashMap<String, HostSpec>,
     group_outages: HashMap<String, Vec<Outage>>,
-    /// (client region, host) pairs that have resolved DNS before
-    /// (warm-cache latency).
-    dns_cache: HashSet<(Region, String)>,
 }
 
-impl World {
-    /// A fresh world with a latency seed.
-    pub fn new(seed: u64) -> World {
-        World {
+impl Topology {
+    /// A fresh topology with a latency seed.
+    pub fn new(seed: u64) -> Topology {
+        Topology {
             seed,
             hosts: HashMap::new(),
             group_outages: HashMap::new(),
-            dns_cache: HashSet::new(),
         }
     }
 
-    /// Register a host. `group` ties hosts into shared infrastructure —
-    /// a group outage takes all members down together (the Comodo
-    /// CNAME/shared-IP episode).
+    /// Register a host whose handler is built on demand, per world.
+    /// `group` ties hosts into shared infrastructure — a group outage
+    /// takes all members down together (the Comodo CNAME/shared-IP
+    /// episode).
     pub fn register(
         &mut self,
         hostname: &str,
         region: Region,
         group: Option<&str>,
-        handler: Handler,
+        factory: HandlerFactory,
+    ) {
+        self.insert(hostname, region, group, Some(factory));
+    }
+
+    fn insert(
+        &mut self,
+        hostname: &str,
+        region: Region,
+        group: Option<&str>,
+        factory: Option<HandlerFactory>,
     ) {
         self.hosts.insert(
             hostname.to_string(),
-            Host {
+            HostSpec {
                 region,
                 group: group.map(str::to_string),
                 outages: Vec::new(),
-                handler,
+                factory,
                 server_time_ms: 5.0,
             },
         );
@@ -125,7 +149,10 @@ impl World {
 
     /// Attach an outage to every member of an infrastructure group.
     pub fn add_group_outage(&mut self, group: &str, outage: Outage) {
-        self.group_outages.entry(group.to_string()).or_default().push(outage);
+        self.group_outages
+            .entry(group.to_string())
+            .or_default()
+            .push(outage);
     }
 
     /// Members of a group.
@@ -139,24 +166,114 @@ impl World {
         members.sort();
         members
     }
+}
+
+/// One mutable view over a shared [`Topology`]: private handler
+/// instances and a private DNS cache.
+pub struct World {
+    topo: Arc<Topology>,
+    /// Handlers this world has instantiated (or had registered
+    /// directly), keyed by hostname.
+    handlers: HashMap<String, Handler>,
+    /// (client region, host) pairs that have resolved DNS before
+    /// (warm-cache latency).
+    dns_cache: HashSet<(Region, String)>,
+}
+
+impl World {
+    /// A fresh world over its own fresh topology.
+    pub fn new(seed: u64) -> World {
+        World::from_topology(Arc::new(Topology::new(seed)))
+    }
+
+    /// A world over an existing (possibly shared) topology. Handler
+    /// state and DNS cache start empty and evolve independently of any
+    /// sibling world.
+    pub fn from_topology(topo: Arc<Topology>) -> World {
+        World {
+            topo,
+            handlers: HashMap::new(),
+            dns_cache: HashSet::new(),
+        }
+    }
+
+    /// The shared topology (clone the `Arc` to build sibling worlds).
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    fn topo_mut(&mut self) -> &mut Topology {
+        Arc::get_mut(&mut self.topo)
+            .expect("cannot mutate a World whose Topology is shared with other worlds")
+    }
+
+    /// Register a host with a ready-made handler (single-world usage;
+    /// sibling worlds of a shared topology cannot rebuild it — use
+    /// [`Topology::register`] with a factory for that).
+    pub fn register(
+        &mut self,
+        hostname: &str,
+        region: Region,
+        group: Option<&str>,
+        handler: Handler,
+    ) {
+        self.topo_mut().insert(hostname, region, group, None);
+        self.handlers.insert(hostname.to_string(), handler);
+    }
+
+    /// Whether a hostname is registered.
+    pub fn knows_host(&self, hostname: &str) -> bool {
+        self.topo.knows_host(hostname)
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.topo.host_count()
+    }
+
+    /// Attach an outage to one host (requires sole ownership of the
+    /// topology; see [`Topology::add_outage`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host is unknown (scenario-script bug).
+    pub fn add_outage(&mut self, hostname: &str, outage: Outage) {
+        self.topo_mut().add_outage(hostname, outage);
+    }
+
+    /// Attach an outage to every member of an infrastructure group.
+    pub fn add_group_outage(&mut self, group: &str, outage: Outage) {
+        self.topo_mut().add_group_outage(group, outage);
+    }
+
+    /// Members of a group.
+    pub fn group_members(&self, group: &str) -> Vec<String> {
+        self.topo.group_members(group)
+    }
 
     /// Perform an HTTP POST of `body` to `url` from `client` at `now`.
     pub fn http_post(&mut self, client: Region, url: &str, body: &[u8], now: Time) -> HttpResult {
         let (scheme, hostname, path) = match split_url(url) {
             Some(parts) => parts,
             None => {
-                return HttpResult { outcome: HttpOutcome::DnsFailure, latency_ms: 0.0 };
+                return HttpResult {
+                    outcome: HttpOutcome::DnsFailure,
+                    latency_ms: 0.0,
+                };
             }
         };
 
-        let Some(host) = self.hosts.get_mut(hostname) else {
+        let Some(host) = self.topo.hosts.get(hostname) else {
             // Unregistered host: NXDOMAIN after a resolver round trip.
-            return HttpResult { outcome: HttpOutcome::DnsFailure, latency_ms: 30.0 };
+            return HttpResult {
+                outcome: HttpOutcome::DnsFailure,
+                latency_ms: 30.0,
+            };
         };
 
         let cold_dns = self.dns_cache.insert((client, hostname.to_string()));
         let latency_ms = http_latency_ms(
-            self.seed,
+            self.topo.seed,
             hostname,
             client,
             host.region,
@@ -169,10 +286,11 @@ impl World {
         let group_hit = host
             .group
             .as_ref()
-            .and_then(|g| self.group_outages.get(g))
+            .and_then(|g| self.topo.group_outages.get(g))
             .and_then(|outages| first_active(outages, now, client));
-        let failure =
-            first_active(&host.outages, now, client).or(group_hit).map(|o| o.kind);
+        let failure = first_active(&host.outages, now, client)
+            .or(group_hit)
+            .map(|o| o.kind);
         if let Some(kind) = failure {
             let outcome = match kind {
                 FailureKind::DnsNxDomain => HttpOutcome::DnsFailure,
@@ -187,7 +305,10 @@ impl World {
                 FailureKind::DnsNxDomain => 30.0,
                 _ => latency_ms * 0.6,
             };
-            return HttpResult { outcome, latency_ms };
+            return HttpResult {
+                outcome,
+                latency_ms,
+            };
         }
 
         // An https:// URL with TLS trouble is modeled via TlsBadCertificate
@@ -195,13 +316,28 @@ impl World {
         // http://, but the paper found one https:// responder with an
         // invalid certificate.)
         let _ = scheme;
-        let (status, reply) = (host.handler)(path, body, now, client);
+
+        // This world's private handler instance, built from the shared
+        // factory on first contact.
+        let handler = match self.handlers.entry(hostname.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let factory = host.factory.as_ref().unwrap_or_else(|| {
+                    panic!("host {hostname} has neither a handler nor a factory")
+                });
+                e.insert(factory())
+            }
+        };
+        let (status, reply) = handler(path, body, now, client);
         let outcome = if status == 200 {
             HttpOutcome::Ok(reply)
         } else {
             HttpOutcome::HttpError(status)
         };
-        HttpResult { outcome, latency_ms }
+        HttpResult {
+            outcome,
+            latency_ms,
+        }
     }
 }
 
@@ -242,7 +378,12 @@ mod tests {
 
     fn world_with_host() -> World {
         let mut w = World::new(7);
-        w.register("ocsp.ca.test", Region::Virginia, Some("ca-infra"), echo_handler());
+        w.register(
+            "ocsp.ca.test",
+            Region::Virginia,
+            Some("ca-infra"),
+            echo_handler(),
+        );
         w
     }
 
@@ -280,13 +421,23 @@ mod tests {
     #[test]
     fn host_outage_fails_requests_in_window_only() {
         let mut w = world_with_host();
-        w.add_outage("ocsp.ca.test", Outage::transient(t(19), 2 * 3_600, FailureKind::TcpConnect));
-        assert!(w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(18)).outcome.is_success());
+        w.add_outage(
+            "ocsp.ca.test",
+            Outage::transient(t(19), 2 * 3_600, FailureKind::TcpConnect),
+        );
+        assert!(w
+            .http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(18))
+            .outcome
+            .is_success());
         assert_eq!(
-            w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(19)).outcome,
+            w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(19))
+                .outcome,
             HttpOutcome::ConnectFailure
         );
-        assert!(w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(21)).outcome.is_success());
+        assert!(w
+            .http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(21))
+            .outcome
+            .is_success());
     }
 
     #[test]
@@ -297,21 +448,36 @@ mod tests {
             Outage::regional(t(0), 3_600, vec![Region::SaoPaulo], FailureKind::Http4xx),
         );
         assert_eq!(
-            w.http_post(Region::SaoPaulo, "http://ocsp.ca.test/", b"", t(0)).outcome,
+            w.http_post(Region::SaoPaulo, "http://ocsp.ca.test/", b"", t(0))
+                .outcome,
             HttpOutcome::HttpError(404)
         );
-        assert!(w.http_post(Region::Virginia, "http://ocsp.ca.test/", b"", t(0)).outcome.is_success());
+        assert!(w
+            .http_post(Region::Virginia, "http://ocsp.ca.test/", b"", t(0))
+            .outcome
+            .is_success());
     }
 
     #[test]
     fn group_outage_hits_all_members() {
         let mut w = World::new(7);
-        for name in ["ocsp1.comodo.test", "ocsp2.comodo.test", "ocsp3.comodo.test"] {
+        for name in [
+            "ocsp1.comodo.test",
+            "ocsp2.comodo.test",
+            "ocsp3.comodo.test",
+        ] {
             w.register(name, Region::Virginia, Some("comodo"), echo_handler());
         }
         w.register("ocsp.other.test", Region::Virginia, None, echo_handler());
-        w.add_group_outage("comodo", Outage::transient(t(19), 2 * 3_600, FailureKind::TcpConnect));
-        for name in ["ocsp1.comodo.test", "ocsp2.comodo.test", "ocsp3.comodo.test"] {
+        w.add_group_outage(
+            "comodo",
+            Outage::transient(t(19), 2 * 3_600, FailureKind::TcpConnect),
+        );
+        for name in [
+            "ocsp1.comodo.test",
+            "ocsp2.comodo.test",
+            "ocsp3.comodo.test",
+        ] {
             let r = w.http_post(Region::Oregon, &format!("http://{name}/"), b"", t(20));
             assert_eq!(r.outcome, HttpOutcome::ConnectFailure, "{name}");
         }
@@ -328,11 +494,21 @@ mod tests {
         let mut w = world_with_host();
         w.add_outage(
             "ocsp.ca.test",
-            Outage::persistent(t(0), RegionScope::Only(vec![Region::SaoPaulo]), FailureKind::Http4xx),
+            Outage::persistent(
+                t(0),
+                RegionScope::Only(vec![Region::SaoPaulo]),
+                FailureKind::Http4xx,
+            ),
         );
         for h in [0, 100, 2000] {
-            assert!(!w.http_post(Region::SaoPaulo, "http://ocsp.ca.test/", b"", t(h)).outcome.is_success());
-            assert!(w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(h)).outcome.is_success());
+            assert!(!w
+                .http_post(Region::SaoPaulo, "http://ocsp.ca.test/", b"", t(h))
+                .outcome
+                .is_success());
+            assert!(w
+                .http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(h))
+                .outcome
+                .is_success());
         }
     }
 
@@ -356,5 +532,75 @@ mod tests {
         let r = w.http_post(Region::Paris, "http://err.test/", b"", t(0));
         assert_eq!(r.outcome, HttpOutcome::HttpError(500));
         assert!(!r.outcome.is_success());
+    }
+
+    #[test]
+    fn shared_topology_worlds_are_independent() {
+        let mut topo = Topology::new(7);
+        // A stateful factory-built handler: counts requests per world.
+        topo.register(
+            "ocsp.ca.test",
+            Region::Virginia,
+            None,
+            Box::new(|| {
+                let mut count = 0u32;
+                Box::new(move |_, _, _, _| {
+                    count += 1;
+                    (200, count.to_be_bytes().to_vec())
+                })
+            }),
+        );
+        let topo = Arc::new(topo);
+        let mut a = World::from_topology(topo.clone());
+        let mut b = World::from_topology(topo.clone());
+
+        let post = |w: &mut World| match w
+            .http_post(Region::Virginia, "http://ocsp.ca.test/", b"", t(0))
+            .outcome
+        {
+            HttpOutcome::Ok(body) => u32::from_be_bytes(body.try_into().unwrap()),
+            other => panic!("unexpected outcome {other:?}"),
+        };
+        assert_eq!(post(&mut a), 1);
+        assert_eq!(post(&mut a), 2);
+        // b has its own handler instance and its own DNS cache.
+        assert_eq!(post(&mut b), 1);
+        let cold = b.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(0));
+        let warm = b.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(0));
+        assert!(warm.latency_ms < cold.latency_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "Topology is shared")]
+    fn mutating_a_shared_topology_panics() {
+        let mut w = world_with_host();
+        let _sibling = World::from_topology(w.topology().clone());
+        w.add_outage(
+            "ocsp.ca.test",
+            Outage::transient(t(0), 60, FailureKind::TcpConnect),
+        );
+    }
+
+    #[test]
+    fn identical_worlds_over_one_topology_agree_byte_for_byte() {
+        let mut topo = Topology::new(42);
+        topo.register(
+            "ocsp.ca.test",
+            Region::Virginia,
+            Some("g"),
+            Box::new(echo_handler),
+        );
+        topo.add_outage(
+            "ocsp.ca.test",
+            Outage::transient(t(5), 3_600, FailureKind::Http5xx),
+        );
+        let topo = Arc::new(topo);
+        let mut a = World::from_topology(topo.clone());
+        let mut b = World::from_topology(topo);
+        for h in 0..10 {
+            let ra = a.http_post(Region::Seoul, "http://ocsp.ca.test/x", b"q", t(h));
+            let rb = b.http_post(Region::Seoul, "http://ocsp.ca.test/x", b"q", t(h));
+            assert_eq!(ra, rb);
+        }
     }
 }

@@ -64,9 +64,12 @@ impl CertId {
         seq.finish()?;
         let issuer_name_hash: [u8; 32] =
             name_hash.try_into().map_err(|_| Error::ValueOutOfRange)?;
-        let issuer_key_hash: [u8; 32] =
-            key_hash.try_into().map_err(|_| Error::ValueOutOfRange)?;
-        Ok(CertId { issuer_name_hash, issuer_key_hash, serial })
+        let issuer_key_hash: [u8; 32] = key_hash.try_into().map_err(|_| Error::ValueOutOfRange)?;
+        Ok(CertId {
+            issuer_name_hash,
+            issuer_key_hash,
+            serial,
+        })
     }
 }
 
@@ -85,7 +88,8 @@ mod tests {
     fn build_match_and_round_trip() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut ca = CertificateAuthority::new_root(&mut rng, "CA", "Root", "ca.test", now());
-        let mut other = CertificateAuthority::new_root(&mut rng, "Other", "Other Root", "o.test", now());
+        let mut other =
+            CertificateAuthority::new_root(&mut rng, "Other", "Other Root", "o.test", now());
         let leaf = ca.issue(&mut rng, &IssueParams::new("x.example", now()));
 
         let id = CertId::for_certificate(&leaf, ca.certificate());

@@ -206,7 +206,9 @@ mod tests {
 
     #[test]
     fn blank_next_update_never_non_overlapping() {
-        let p = ResponderProfile::healthy().blank_next_update().pre_generated(3_600);
+        let p = ResponderProfile::healthy()
+            .blank_next_update()
+            .pre_generated(3_600);
         assert!(!p.has_non_overlapping_windows());
     }
 

@@ -24,7 +24,10 @@ pub struct OcspRequest {
 impl OcspRequest {
     /// A single-certificate request, the overwhelmingly common case.
     pub fn single(cert_id: CertId) -> OcspRequest {
-        OcspRequest { cert_ids: vec![cert_id], nonce: None }
+        OcspRequest {
+            cert_ids: vec![cert_id],
+            nonce: None,
+        }
     }
 
     /// Attach a nonce.

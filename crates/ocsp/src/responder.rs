@@ -24,9 +24,10 @@ pub enum SignerRole {
     /// can verify.
     Delegated {
         /// The delegated certificate (must carry `id-kp-OCSPSigning`).
-        cert: Certificate,
+        /// Boxed: a certificate plus key dwarfs the `Direct` variant.
+        cert: Box<Certificate>,
         /// Its private key.
-        key: KeyPair,
+        key: Box<KeyPair>,
     },
 }
 
@@ -79,7 +80,10 @@ impl Responder {
         Responder {
             url: url.to_string(),
             profile,
-            signer: SignerRole::Delegated { cert, key },
+            signer: SignerRole::Delegated {
+                cert: Box::new(cert),
+                key: Box::new(key),
+            },
             windows: HashMap::new(),
             response_cache: HashMap::new(),
         }
@@ -172,7 +176,9 @@ impl Responder {
                 if let Some(bytes) = self.response_cache.get(&key) {
                     self.windows.insert(
                         req.cert_ids[0].serial.clone(),
-                        CachedWindow { generated_at: Time::from_unix(boundary) },
+                        CachedWindow {
+                            generated_at: Time::from_unix(boundary),
+                        },
                     );
                     return bytes.clone();
                 }
@@ -188,8 +194,12 @@ impl Responder {
                 // request within a window sees the same times.
                 let boundary = Time::from_unix(now.unix() - now.unix().rem_euclid(interval));
                 for id in &req.cert_ids {
-                    self.windows
-                        .insert(id.serial.clone(), CachedWindow { generated_at: boundary });
+                    self.windows.insert(
+                        id.serial.clone(),
+                        CachedWindow {
+                            generated_at: boundary,
+                        },
+                    );
                 }
                 boundary
             }
@@ -238,8 +248,8 @@ impl Responder {
         let signing_key = match &self.signer {
             SignerRole::Direct => ca.keypair().clone(),
             SignerRole::Delegated { cert, key } => {
-                certs.push(cert.clone());
-                key.clone()
+                certs.push((**cert).clone());
+                (**key).clone()
             }
         };
         for _ in 0..self.profile.superfluous_certs {
@@ -267,7 +277,10 @@ impl Responder {
     /// The status of one serial according to the CA's *OCSP view*.
     fn status_for(&self, ca: &CertificateAuthority, serial: &Serial) -> CertStatus {
         if let Some(record) = ca.ocsp_revocation(serial) {
-            return CertStatus::Revoked { time: record.time, reason: record.reason };
+            return CertStatus::Revoked {
+                time: record.time,
+                reason: record.reason,
+            };
         }
         if ca.ocsp_knows(serial) {
             CertStatus::Good
@@ -330,12 +343,19 @@ mod tests {
     #[test]
     fn revoked_serial_reported() {
         let mut f = fixture(2);
-        f.ca.revoke(f.leaf.serial(), now() - 100, Some(RevocationReason::KeyCompromise));
+        f.ca.revoke(
+            f.leaf.serial(),
+            now() - 100,
+            Some(RevocationReason::KeyCompromise),
+        );
         let resp = respond(&f, ResponderProfile::healthy());
         let basic = resp.basic.unwrap();
         assert_eq!(
             basic.responses[0].status,
-            CertStatus::Revoked { time: now() - 100, reason: Some(RevocationReason::KeyCompromise) }
+            CertStatus::Revoked {
+                time: now() - 100,
+                reason: Some(RevocationReason::KeyCompromise)
+            }
         );
     }
 
@@ -375,11 +395,13 @@ mod tests {
             (MalformMode::TruncatedDer, |b| !b.is_empty()),
         ];
         for (mode, check) in cases {
-            let mut responder =
-                Responder::new("u", ResponderProfile::healthy().malformed(mode));
+            let mut responder = Responder::new("u", ResponderProfile::healthy().malformed(mode));
             let der = responder.handle(&f.ca, &OcspRequest::single(f.id.clone()), now());
             assert!(check(&der), "{mode:?}");
-            assert!(OcspResponse::from_der(&der).is_err(), "{mode:?} should be unparseable");
+            assert!(
+                OcspResponse::from_der(&der).is_err(),
+                "{mode:?} should be unparseable"
+            );
         }
     }
 
@@ -402,7 +424,12 @@ mod tests {
     #[test]
     fn superfluous_certs_and_extra_serials() {
         let f = fixture(8);
-        let resp = respond(&f, ResponderProfile::healthy().superfluous_certs(4).extra_serials(19));
+        let resp = respond(
+            &f,
+            ResponderProfile::healthy()
+                .superfluous_certs(4)
+                .extra_serials(19),
+        );
         let basic = resp.basic.unwrap();
         assert_eq!(basic.certs.len(), 4);
         assert_eq!(basic.responses.len(), 20);
@@ -431,14 +458,14 @@ mod tests {
         let f = fixture(11);
         let mut responder = Responder::new(
             "u",
-            ResponderProfile::healthy().pre_generated(7_200).validity(7_200),
+            ResponderProfile::healthy()
+                .pre_generated(7_200)
+                .validity(7_200),
         );
         let req = OcspRequest::single(f.id.clone());
         let r1 = OcspResponse::from_der(&responder.handle(&f.ca, &req, now())).unwrap();
-        let r2 =
-            OcspResponse::from_der(&responder.handle(&f.ca, &req, now() + 600)).unwrap();
-        let r3 =
-            OcspResponse::from_der(&responder.handle(&f.ca, &req, now() + 7_200)).unwrap();
+        let r2 = OcspResponse::from_der(&responder.handle(&f.ca, &req, now() + 600)).unwrap();
+        let r3 = OcspResponse::from_der(&responder.handle(&f.ca, &req, now() + 7_200)).unwrap();
         let t1 = r1.basic.unwrap().responses[0].this_update;
         let t2 = r2.basic.unwrap().responses[0].this_update;
         let t3 = r3.basic.unwrap().responses[0].this_update;
@@ -451,14 +478,22 @@ mod tests {
         let f = fixture(12);
         // Two instances, one 5 minutes behind: across a series of scans
         // producedAt must go backwards at least once — the footnote 17
-        // artifact.
+        // artifact. Instance choice is a deterministic hash of
+        // (serial, time), so probe enough scans that a balanced hash is
+        // guaranteed to alternate at least once.
         let mut responder =
             Responder::new("u", ResponderProfile::healthy().instances(vec![0, -300]));
         let req = OcspRequest::single(f.id.clone());
         let mut produced = Vec::new();
-        for k in 0..12 {
+        for k in 0..48 {
             let body = responder.handle(&f.ca, &req, now() + k * 10);
-            produced.push(OcspResponse::from_der(&body).unwrap().basic.unwrap().produced_at);
+            produced.push(
+                OcspResponse::from_der(&body)
+                    .unwrap()
+                    .basic
+                    .unwrap()
+                    .produced_at,
+            );
         }
         assert!(
             produced.windows(2).any(|w| w[1] < w[0]),
@@ -471,12 +506,8 @@ mod tests {
         let mut f = fixture(13);
         let mut rng = StdRng::seed_from_u64(99);
         let (cert, key) = f.ca.issue_ocsp_signer(&mut rng, now());
-        let mut responder = Responder::with_delegated_signer(
-            "u",
-            ResponderProfile::healthy(),
-            cert.clone(),
-            key,
-        );
+        let mut responder =
+            Responder::with_delegated_signer("u", ResponderProfile::healthy(), cert.clone(), key);
         let der = responder.handle(&f.ca, &OcspRequest::single(f.id.clone()), now());
         let resp = OcspResponse::from_der(&der).unwrap();
         let basic = resp.basic.unwrap();

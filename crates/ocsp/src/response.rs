@@ -148,7 +148,10 @@ pub struct OcspResponse {
 impl OcspResponse {
     /// Build an error response (no payload).
     pub fn error(status: ResponseStatus) -> OcspResponse {
-        OcspResponse { status, basic: None }
+        OcspResponse {
+            status,
+            basic: None,
+        }
     }
 
     /// Build and sign a successful response.
@@ -261,7 +264,14 @@ impl BasicResponse {
             wrapper.finish()?;
         }
         seq.finish()?;
-        Ok(BasicResponse { responder_id, produced_at, responses, tbs_der, signature, certs })
+        Ok(BasicResponse {
+            responder_id,
+            produced_at,
+            responses,
+            tbs_der,
+            signature,
+            certs,
+        })
     }
 
     /// Verify the signature with a given public key.
@@ -318,8 +328,10 @@ fn decode_response_data(tbs_der: &[u8]) -> Result<ResponseDataParts> {
     let mut dec = Decoder::new(tbs_der);
     let mut seq = dec.sequence()?;
     let mut by_key = seq.explicit(2)?;
-    let key_hash: [u8; 32] =
-        by_key.octet_string()?.try_into().map_err(|_| Error::ValueOutOfRange)?;
+    let key_hash: [u8; 32] = by_key
+        .octet_string()?
+        .try_into()
+        .map_err(|_| Error::ValueOutOfRange)?;
     by_key.finish()?;
     let produced_at = seq.generalized_time()?;
     let mut list = seq.sequence()?;
@@ -362,7 +374,10 @@ fn decode_single(dec: &mut Decoder<'_>) -> Result<SingleResponse> {
             CertStatus::Unknown
         }
         Some(found) => {
-            return Err(Error::UnexpectedTag { expected: 0x80, found: found.0 });
+            return Err(Error::UnexpectedTag {
+                expected: 0x80,
+                found: found.0,
+            });
         }
         None => return Err(Error::Truncated),
     };
@@ -376,7 +391,12 @@ fn decode_single(dec: &mut Decoder<'_>) -> Result<SingleResponse> {
         None => None,
     };
     seq.finish()?;
-    Ok(SingleResponse { cert_id, status, this_update, next_update })
+    Ok(SingleResponse {
+        cert_id,
+        status,
+        this_update,
+        next_update,
+    })
 }
 
 #[cfg(test)]
@@ -438,7 +458,10 @@ mod tests {
     #[test]
     fn revoked_without_reason_round_trip() {
         let kp = key();
-        let status = CertStatus::Revoked { time: t(3), reason: None };
+        let status = CertStatus::Revoked {
+            time: t(3),
+            reason: None,
+        };
         let resp = OcspResponse::successful(&kp, t(4), vec![single(8, status.clone())], vec![]);
         let back = OcspResponse::from_der(&resp.to_der()).unwrap();
         assert_eq!(back.basic.unwrap().responses[0].status, status);

@@ -22,7 +22,7 @@ use asn1::Time;
 use pki::Certificate;
 
 /// How the client validates (clock model).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ValidationConfig {
     /// Offset of the client's clock from true time, in seconds. Negative
     /// = slow clock. The paper's Figure 9 analysis is about zero-margin
@@ -31,12 +31,6 @@ pub struct ValidationConfig {
     /// Whether to require a `nextUpdate` (strict clients may refuse
     /// never-expiring responses; default false, as real clients accept).
     pub require_next_update: bool,
-}
-
-impl Default for ValidationConfig {
-    fn default() -> Self {
-        ValidationConfig { clock_skew: 0, require_next_update: false }
-    }
 }
 
 /// Why a response was rejected.
@@ -141,7 +135,10 @@ pub fn validate_response(
     if response.status != ResponseStatus::Successful {
         return Err(ResponseError::ErrorStatus(response.status));
     }
-    let basic = response.basic.as_ref().ok_or(ResponseError::MissingPayload)?;
+    let basic = response
+        .basic
+        .as_ref()
+        .ok_or(ResponseError::MissingPayload)?;
 
     // Find the single response answering our serial.
     let single = basic
@@ -154,9 +151,10 @@ pub fn validate_response(
     // (a) is signed by the issuer and (b) carries id-kp-OCSPSigning.
     let direct = basic.verify_signature(issuer.public_key());
     if !direct {
-        let delegate = basic.certs.iter().find(|c| {
-            c.allows_ocsp_signing() && basic.verify_signature(c.public_key())
-        });
+        let delegate = basic
+            .certs
+            .iter()
+            .find(|c| c.allows_ocsp_signing() && basic.verify_signature(c.public_key()));
         match delegate {
             Some(delegate) => {
                 if !delegate.verify_signature(issuer.public_key()) {
@@ -181,12 +179,16 @@ pub fn validate_response(
     // Time window, as seen through the client's (possibly skewed) clock.
     let client_now = received_at + config.clock_skew;
     if single.this_update > client_now {
-        return Err(ResponseError::NotYetValid { early_by: single.this_update - client_now });
+        return Err(ResponseError::NotYetValid {
+            early_by: single.this_update - client_now,
+        });
     }
     match single.next_update {
         Some(nu) => {
             if nu < client_now {
-                return Err(ResponseError::Expired { late_by: client_now - nu });
+                return Err(ResponseError::Expired {
+                    late_by: client_now - nu,
+                });
             }
         }
         None => {
@@ -265,7 +267,11 @@ mod tests {
     #[test]
     fn revoked_status_passes_validation() {
         let mut f = fixture(2);
-        f.ca.revoke(f.leaf.serial(), now() - 50, Some(RevocationReason::Superseded));
+        f.ca.revoke(
+            f.leaf.serial(),
+            now() - 50,
+            Some(RevocationReason::Superseded),
+        );
         let v = check(&f, ResponderProfile::healthy(), ValidationConfig::default()).unwrap();
         assert!(matches!(v.status, CertStatus::Revoked { .. }));
     }
@@ -317,12 +323,20 @@ mod tests {
     fn zero_margin_fails_slow_clock_only() {
         let f = fixture(6);
         // Zero margin + accurate clock: fine.
-        check(&f, ResponderProfile::healthy().margin(0), ValidationConfig::default()).unwrap();
+        check(
+            &f,
+            ResponderProfile::healthy().margin(0),
+            ValidationConfig::default(),
+        )
+        .unwrap();
         // Zero margin + clock 30 s slow: rejected as not yet valid.
         let err = check(
             &f,
             ResponderProfile::healthy().margin(0),
-            ValidationConfig { clock_skew: -30, require_next_update: false },
+            ValidationConfig {
+                clock_skew: -30,
+                require_next_update: false,
+            },
         )
         .unwrap_err();
         assert_eq!(err, ResponseError::NotYetValid { early_by: 30 });
@@ -330,7 +344,10 @@ mod tests {
         check(
             &f,
             ResponderProfile::healthy(),
-            ValidationConfig { clock_skew: -30, require_next_update: false },
+            ValidationConfig {
+                clock_skew: -30,
+                require_next_update: false,
+            },
         )
         .unwrap();
     }
@@ -338,9 +355,12 @@ mod tests {
     #[test]
     fn future_this_update_fails_even_accurate_clocks() {
         let f = fixture(7);
-        let err =
-            check(&f, ResponderProfile::healthy().margin(-120), ValidationConfig::default())
-                .unwrap_err();
+        let err = check(
+            &f,
+            ResponderProfile::healthy().margin(-120),
+            ValidationConfig::default(),
+        )
+        .unwrap_err();
         assert_eq!(err, ResponseError::NotYetValid { early_by: 120 });
     }
 
@@ -382,7 +402,10 @@ mod tests {
         let err = check(
             &f,
             ResponderProfile::healthy().blank_next_update(),
-            ValidationConfig { clock_skew: 0, require_next_update: true },
+            ValidationConfig {
+                clock_skew: 0,
+                require_next_update: true,
+            },
         )
         .unwrap_err();
         assert_eq!(err, ResponseError::BlankNextUpdate);
@@ -399,10 +422,18 @@ mod tests {
         };
         let mut responder = Responder::new("u", ResponderProfile::healthy());
         let body = responder.handle(&f.ca, &OcspRequest::single(foreign.clone()), now());
-        let err =
-            validate_response(&body, &foreign, f.ca.certificate(), now(), Default::default())
-                .unwrap_err();
-        assert_eq!(err, ResponseError::ErrorStatus(ResponseStatus::Unauthorized));
+        let err = validate_response(
+            &body,
+            &foreign,
+            f.ca.certificate(),
+            now(),
+            Default::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ResponseError::ErrorStatus(ResponseStatus::Unauthorized)
+        );
     }
 
     #[test]
@@ -413,8 +444,8 @@ mod tests {
         let mut responder =
             Responder::with_delegated_signer("u", ResponderProfile::healthy(), cert, key);
         let body = responder.handle(&f.ca, &OcspRequest::single(f.id.clone()), now());
-        let v = validate_response(&body, &f.id, f.ca.certificate(), now(), Default::default())
-            .unwrap();
+        let v =
+            validate_response(&body, &f.id, f.ca.certificate(), now(), Default::default()).unwrap();
         assert_eq!(v.status, CertStatus::Good);
         assert_eq!(v.cert_count, 1);
     }
@@ -424,7 +455,8 @@ mod tests {
         let f = fixture(12);
         let mut rng = StdRng::seed_from_u64(51);
         // Delegate issued by an unrelated CA.
-        let mut other = CertificateAuthority::new_root(&mut rng, "Evil", "Evil Root", "e.test", now());
+        let mut other =
+            CertificateAuthority::new_root(&mut rng, "Evil", "Evil Root", "e.test", now());
         let (cert, key) = other.issue_ocsp_signer(&mut rng, now());
         let mut responder =
             Responder::with_delegated_signer("u", ResponderProfile::healthy(), cert, key);

@@ -5,8 +5,8 @@
 
 use asn1::Time;
 use mustaple_ocsp::{
-    validate_response, CertId, CertStatus, OcspRequest, OcspResponse, Responder,
-    ResponderProfile, SingleResponse, ValidationConfig,
+    validate_response, CertId, CertStatus, OcspRequest, OcspResponse, Responder, ResponderProfile,
+    SingleResponse, ValidationConfig,
 };
 use pki::{CertificateAuthority, IssueParams, RevocationReason, Serial};
 use proptest::prelude::*;
@@ -46,7 +46,10 @@ fn arb_status() -> impl Strategy<Value = CertStatus> {
     prop_oneof![
         Just(CertStatus::Good),
         Just(CertStatus::Unknown),
-        (arb_time(), proptest::option::of(Just(RevocationReason::KeyCompromise)))
+        (
+            arb_time(),
+            proptest::option::of(Just(RevocationReason::KeyCompromise))
+        )
             .prop_map(|(time, reason)| CertStatus::Revoked { time, reason }),
     ]
 }

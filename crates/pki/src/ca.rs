@@ -59,7 +59,10 @@ impl IssueParams {
         IssueParams {
             domain: domain.to_string(),
             extra_dns_names: Vec::new(),
-            validity: Validity { not_before: now, not_after: now + 90 * 86_400 },
+            validity: Validity {
+                not_before: now,
+                not_after: now + 90 * 86_400,
+            },
             must_staple: false,
             with_ocsp_url: true,
             with_crl_url: true,
@@ -86,7 +89,8 @@ impl IssueParams {
 
     /// Add SAN names.
     pub fn with_sans(mut self, names: &[&str]) -> IssueParams {
-        self.extra_dns_names.extend(names.iter().map(|s| s.to_string()));
+        self.extra_dns_names
+            .extend(names.iter().map(|s| s.to_string()));
         self
     }
 }
@@ -128,11 +132,20 @@ impl CertificateAuthority {
             serial: Serial::random(rng),
             issuer: name.clone(),
             subject: name.clone(),
-            validity: Validity { not_before: now - 86_400, not_after: now + 20 * 365 * 86_400 },
+            validity: Validity {
+                not_before: now - 86_400,
+                not_after: now + 20 * 365 * 86_400,
+            },
             public_key: keypair.public().clone(),
             extensions: vec![
-                BasicConstraints { ca: true, path_len: None }.to_extension(),
-                KeyUsage::KEY_CERT_SIGN.union(KeyUsage::CRL_SIGN).to_extension(),
+                BasicConstraints {
+                    ca: true,
+                    path_len: None,
+                }
+                .to_extension(),
+                KeyUsage::KEY_CERT_SIGN
+                    .union(KeyUsage::CRL_SIGN)
+                    .to_extension(),
             ],
         };
         let sig = keypair.sign(&tbs.to_der());
@@ -164,8 +177,10 @@ impl CertificateAuthority {
         let leaf_key = KeyPair::generate_default(rng);
         let name = Name::ca(org, cn);
         let serial = Serial::random(rng);
-        let validity =
-            Validity { not_before: now - 86_400, not_after: now + 10 * 365 * 86_400 };
+        let validity = Validity {
+            not_before: now - 86_400,
+            not_after: now + 10 * 365 * 86_400,
+        };
         let tbs = TbsCertificate {
             serial: serial.clone(),
             issuer: self.name.clone(),
@@ -173,8 +188,14 @@ impl CertificateAuthority {
             validity,
             public_key: keypair.public().clone(),
             extensions: vec![
-                BasicConstraints { ca: true, path_len: Some(0) }.to_extension(),
-                KeyUsage::KEY_CERT_SIGN.union(KeyUsage::CRL_SIGN).to_extension(),
+                BasicConstraints {
+                    ca: true,
+                    path_len: Some(0),
+                }
+                .to_extension(),
+                KeyUsage::KEY_CERT_SIGN
+                    .union(KeyUsage::CRL_SIGN)
+                    .to_extension(),
                 AuthorityInfoAccess {
                     ocsp: vec![self.ocsp_url.clone()],
                     ca_issuers: vec![],
@@ -203,21 +224,34 @@ impl CertificateAuthority {
     pub fn issue(&mut self, rng: &mut impl Rng, params: &IssueParams) -> Certificate {
         let serial = Serial::random(rng);
         let mut extensions = vec![
-            BasicConstraints { ca: false, path_len: None }.to_extension(),
-            KeyUsage::DIGITAL_SIGNATURE.union(KeyUsage::KEY_ENCIPHERMENT).to_extension(),
+            BasicConstraints {
+                ca: false,
+                path_len: None,
+            }
+            .to_extension(),
+            KeyUsage::DIGITAL_SIGNATURE
+                .union(KeyUsage::KEY_ENCIPHERMENT)
+                .to_extension(),
         ];
         let mut dns = vec![params.domain.clone()];
         dns.extend(params.extra_dns_names.iter().cloned());
         extensions.push(SubjectAltName { dns_names: dns }.to_extension());
         if params.with_ocsp_url {
             extensions.push(
-                AuthorityInfoAccess { ocsp: vec![self.ocsp_url.clone()], ca_issuers: vec![] }
-                    .to_extension(),
+                AuthorityInfoAccess {
+                    ocsp: vec![self.ocsp_url.clone()],
+                    ca_issuers: vec![],
+                }
+                .to_extension(),
             );
         }
         if params.with_crl_url {
-            extensions
-                .push(CrlDistributionPoints { urls: vec![self.crl_url.clone()] }.to_extension());
+            extensions.push(
+                CrlDistributionPoints {
+                    urls: vec![self.crl_url.clone()],
+                }
+                .to_extension(),
+            );
         }
         if params.must_staple {
             extensions.push(TlsFeature::must_staple().to_extension());
@@ -240,7 +274,10 @@ impl CertificateAuthority {
     pub fn issue_ocsp_signer(&mut self, rng: &mut impl Rng, now: Time) -> (Certificate, KeyPair) {
         let keypair = KeyPair::generate_default(rng);
         let serial = Serial::random(rng);
-        let validity = Validity { not_before: now - 3_600, not_after: now + 365 * 86_400 };
+        let validity = Validity {
+            not_before: now - 3_600,
+            not_after: now + 365 * 86_400,
+        };
         let tbs = TbsCertificate {
             serial: serial.clone(),
             issuer: self.name.clone(),
@@ -248,7 +285,11 @@ impl CertificateAuthority {
             validity,
             public_key: keypair.public().clone(),
             extensions: vec![
-                BasicConstraints { ca: false, path_len: None }.to_extension(),
+                BasicConstraints {
+                    ca: false,
+                    path_len: None,
+                }
+                .to_extension(),
                 KeyUsage::DIGITAL_SIGNATURE.to_extension(),
                 ExtendedKeyUsage::ocsp_signing().to_extension(),
             ],
@@ -276,9 +317,15 @@ impl CertificateAuthority {
         time: Time,
         reason: RevocationReason,
     ) {
-        self.crl_view
-            .insert(serial.clone(), RevocationRecord { time, reason: Some(reason) });
-        self.ocsp_view.insert(serial.clone(), RevocationRecord { time, reason: None });
+        self.crl_view.insert(
+            serial.clone(),
+            RevocationRecord {
+                time,
+                reason: Some(reason),
+            },
+        );
+        self.ocsp_view
+            .insert(serial.clone(), RevocationRecord { time, reason: None });
     }
 
     /// Revoke in the CRL view only — the Table 1 failure mode where OCSP
@@ -289,7 +336,8 @@ impl CertificateAuthority {
         time: Time,
         reason: Option<RevocationReason>,
     ) {
-        self.crl_view.insert(serial.clone(), RevocationRecord { time, reason });
+        self.crl_view
+            .insert(serial.clone(), RevocationRecord { time, reason });
     }
 
     /// Revoke in both views with the OCSP view's *time* lagging by
@@ -301,9 +349,15 @@ impl CertificateAuthority {
         reason: Option<RevocationReason>,
         ocsp_lag: i64,
     ) {
-        self.crl_view.insert(serial.clone(), RevocationRecord { time, reason });
-        self.ocsp_view
-            .insert(serial.clone(), RevocationRecord { time: time + ocsp_lag, reason });
+        self.crl_view
+            .insert(serial.clone(), RevocationRecord { time, reason });
+        self.ocsp_view.insert(
+            serial.clone(),
+            RevocationRecord {
+                time: time + ocsp_lag,
+                reason,
+            },
+        );
     }
 
     /// Write both views directly — the general form behind the scripted
@@ -389,7 +443,13 @@ impl CertificateAuthority {
                 reason: record.reason,
             })
             .collect();
-        Crl::build(self.name.clone(), this_update, next_update, entries, &self.keypair)
+        Crl::build(
+            self.name.clone(),
+            this_update,
+            next_update,
+            entries,
+            &self.keypair,
+        )
     }
 
     // --- Accessors ----------------------------------------------------------
@@ -431,7 +491,13 @@ mod tests {
 
     fn root() -> CertificateAuthority {
         let mut rng = StdRng::seed_from_u64(100);
-        CertificateAuthority::new_root(&mut rng, "Example Trust", "Example Root R1", "example-ca.test", now())
+        CertificateAuthority::new_root(
+            &mut rng,
+            "Example Trust",
+            "Example Root R1",
+            "example-ca.test",
+            now(),
+        )
     }
 
     #[test]
@@ -445,7 +511,10 @@ mod tests {
     fn issued_leaf_chains_to_root() {
         let mut ca = root();
         let mut rng = StdRng::seed_from_u64(200);
-        let leaf = ca.issue(&mut rng, &IssueParams::new("www.example.com", now()).must_staple(true));
+        let leaf = ca.issue(
+            &mut rng,
+            &IssueParams::new("www.example.com", now()).must_staple(true),
+        );
         assert!(leaf.verify_signature(ca.certificate().public_key()));
         assert!(leaf.has_must_staple());
         assert_eq!(leaf.ocsp_urls(), vec![ca.ocsp_url().to_string()]);
@@ -461,7 +530,10 @@ mod tests {
     fn ocsp_only_issuance_omits_crl() {
         let mut ca = root();
         let mut rng = StdRng::seed_from_u64(201);
-        let leaf = ca.issue(&mut rng, &IssueParams::new("le-style.example", now()).without_crl());
+        let leaf = ca.issue(
+            &mut rng,
+            &IssueParams::new("le-style.example", now()).without_crl(),
+        );
         assert!(leaf.crl_urls().is_empty());
         assert!(!leaf.ocsp_urls().is_empty());
     }
@@ -470,9 +542,17 @@ mod tests {
     fn intermediate_chain() {
         let mut rootca = root();
         let mut rng = StdRng::seed_from_u64(202);
-        let mut inter = rootca.issue_intermediate(&mut rng, "Example Trust", "Example CA A1", "a1.example-ca.test", now());
+        let mut inter = rootca.issue_intermediate(
+            &mut rng,
+            "Example Trust",
+            "Example CA A1",
+            "a1.example-ca.test",
+            now(),
+        );
         let leaf = inter.issue(&mut rng, &IssueParams::new("site.example", now()));
-        assert!(inter.certificate().verify_signature(rootca.certificate().public_key()));
+        assert!(inter
+            .certificate()
+            .verify_signature(rootca.certificate().public_key()));
         assert!(leaf.verify_signature(inter.certificate().public_key()));
         assert!(!leaf.verify_signature(rootca.certificate().public_key()));
     }
@@ -482,7 +562,11 @@ mod tests {
         let mut ca = root();
         let mut rng = StdRng::seed_from_u64(203);
         let leaf = ca.issue(&mut rng, &IssueParams::new("r.example", now()));
-        ca.revoke(leaf.serial(), now() + 10, Some(RevocationReason::KeyCompromise));
+        ca.revoke(
+            leaf.serial(),
+            now() + 10,
+            Some(RevocationReason::KeyCompromise),
+        );
         let crl_rec = ca.crl_revocation(leaf.serial()).unwrap();
         let ocsp_rec = ca.ocsp_revocation(leaf.serial()).unwrap();
         assert_eq!(crl_rec, ocsp_rec);
@@ -530,7 +614,10 @@ mod tests {
     fn expired_certs_drop_out_of_crl() {
         let mut ca = root();
         let mut rng = StdRng::seed_from_u64(207);
-        let leaf = ca.issue(&mut rng, &IssueParams::new("exp.example", now()).valid_for(10));
+        let leaf = ca.issue(
+            &mut rng,
+            &IssueParams::new("exp.example", now()).valid_for(10),
+        );
         ca.revoke(leaf.serial(), now() + 5 * 86_400, None);
         // Before expiry: present.
         let crl = ca.generate_crl(now() + 6 * 86_400, None);
@@ -554,8 +641,11 @@ mod tests {
     fn cruise_liner_certificate() {
         let mut ca = root();
         let mut rng = StdRng::seed_from_u64(209);
-        let params = IssueParams::new("shared.example", now())
-            .with_sans(&["a.example", "b.example", "c.example"]);
+        let params = IssueParams::new("shared.example", now()).with_sans(&[
+            "a.example",
+            "b.example",
+            "c.example",
+        ]);
         let leaf = ca.issue(&mut rng, &params);
         assert_eq!(leaf.dns_names().len(), 4);
         assert!(leaf.covers_host("b.example"));

@@ -1,7 +1,7 @@
 //! X.509 v3 certificates with real DER encoding and toy-RSA signatures.
 
 use crate::extensions::{
-    AuthorityInfoAccess, BasicConstraints, CrlDistributionPoints, Extension, ExtendedKeyUsage,
+    AuthorityInfoAccess, BasicConstraints, CrlDistributionPoints, ExtendedKeyUsage, Extension,
     SubjectAltName, TlsFeature,
 };
 use crate::name::Name;
@@ -103,7 +103,14 @@ impl TbsCertificate {
             wrapper.finish()?;
         }
         tbs.finish()?;
-        Ok(TbsCertificate { serial, issuer, validity, subject, public_key, extensions })
+        Ok(TbsCertificate {
+            serial,
+            issuer,
+            validity,
+            subject,
+            public_key,
+            extensions,
+        })
     }
 }
 
@@ -124,7 +131,11 @@ impl Certificate {
     /// CA engine; `signature` must cover `tbs.to_der()`.
     pub fn assemble(tbs: TbsCertificate, signature: Vec<u8>) -> Certificate {
         let tbs_der = tbs.to_der();
-        Certificate { tbs, tbs_der, signature }
+        Certificate {
+            tbs,
+            tbs_der,
+            signature,
+        }
     }
 
     /// The to-be-signed content.
@@ -166,7 +177,11 @@ impl Certificate {
         let signature = seq.bit_string()?.to_vec();
         seq.finish()?;
         dec.finish()?;
-        Ok(Certificate { tbs, tbs_der, signature })
+        Ok(Certificate {
+            tbs,
+            tbs_der,
+            signature,
+        })
     }
 
     /// Verify this certificate's signature against an issuer public key.
@@ -251,7 +266,10 @@ impl Certificate {
                 return san.covers(host);
             }
         }
-        self.tbs.subject.cn().is_some_and(|cn| cn.eq_ignore_ascii_case(host))
+        self.tbs
+            .subject
+            .cn()
+            .is_some_and(|cn| cn.eq_ignore_ascii_case(host))
     }
 
     /// Whether Basic Constraints marks this as a CA certificate.
@@ -365,7 +383,11 @@ mod tests {
         let subject_kp = test_keypair(1);
         let ca_kp = test_keypair(2);
         let exts = vec![
-            BasicConstraints { ca: false, path_len: None }.to_extension(),
+            BasicConstraints {
+                ca: false,
+                path_len: None,
+            }
+            .to_extension(),
             TlsFeature::must_staple().to_extension(),
             AuthorityInfoAccess {
                 ocsp: vec!["http://ocsp.example-ca.com".into()],
@@ -380,7 +402,10 @@ mod tests {
         assert!(back.verify_signature(ca_kp.public()));
         assert!(!back.verify_signature(subject_kp.public()));
         assert!(back.has_must_staple());
-        assert_eq!(back.ocsp_urls(), vec!["http://ocsp.example-ca.com".to_string()]);
+        assert_eq!(
+            back.ocsp_urls(),
+            vec!["http://ocsp.example-ca.com".to_string()]
+        );
         assert!(!back.is_ca());
     }
 
@@ -401,7 +426,14 @@ mod tests {
     #[test]
     fn self_signed_detection() {
         let kp = test_keypair(4);
-        let mut tbs = sample_tbs(&kp, vec![BasicConstraints { ca: true, path_len: None }.to_extension()]);
+        let mut tbs = sample_tbs(
+            &kp,
+            vec![BasicConstraints {
+                ca: true,
+                path_len: None,
+            }
+            .to_extension()],
+        );
         tbs.subject = tbs.issuer.clone();
         let root = signed(tbs, &kp);
         assert!(root.is_self_signed());
@@ -469,7 +501,10 @@ mod tests {
         // Patch version INTEGER 2 -> 1. The version TLV is at a fixed
         // offset: SEQ hdr, SEQ hdr, [0] hdr, INT(1 byte).
         let mut patched = der.clone();
-        let pos = patched.windows(5).position(|w| w == [0xa0, 0x03, 0x02, 0x01, 0x02]).unwrap();
+        let pos = patched
+            .windows(5)
+            .position(|w| w == [0xa0, 0x03, 0x02, 0x01, 0x02])
+            .unwrap();
         patched[pos + 4] = 0x01;
         assert!(Certificate::from_der(&patched).is_err());
     }

@@ -46,7 +46,11 @@ impl fmt::Display for ChainError {
                 write!(f, "path length constraint violated at element {i}")
             }
             ChainError::IssuerMismatch(i) => {
-                write!(f, "issuer of element {i} does not match subject of element {}", i + 1)
+                write!(
+                    f,
+                    "issuer of element {i} does not match subject of element {}",
+                    i + 1
+                )
             }
             ChainError::HostMismatch => write!(f, "leaf does not cover the requested host"),
         }
@@ -113,7 +117,9 @@ pub fn validate_chain(
 
     // Terminate at a trusted root.
     let last = &effective[effective.len() - 1];
-    let root = roots.find_issuer(last.issuer()).ok_or(ChainError::UnknownRoot)?;
+    let root = roots
+        .find_issuer(last.issuer())
+        .ok_or(ChainError::UnknownRoot)?;
     if !root.validity().contains(now) {
         return Err(ChainError::Expired(effective.len()));
     }
@@ -149,13 +155,19 @@ mod tests {
 
     fn fixture() -> Fixture {
         let mut rng = StdRng::seed_from_u64(42);
-        let mut root = CertificateAuthority::new_root(&mut rng, "Trust Co", "Trust Root", "trust.test", now());
+        let mut root =
+            CertificateAuthority::new_root(&mut rng, "Trust Co", "Trust Root", "trust.test", now());
         let mut inter =
             root.issue_intermediate(&mut rng, "Trust Co", "Trust CA 1", "ca1.trust.test", now());
         let leaf = inter.issue(&mut rng, &IssueParams::new("site.example", now()));
         let mut store = RootStore::new("test");
         store.add(root.certificate().clone());
-        Fixture { root, inter, leaf, store }
+        Fixture {
+            root,
+            inter,
+            leaf,
+            store,
+        }
     }
 
     #[test]
@@ -271,7 +283,8 @@ mod tests {
     #[test]
     fn direct_root_issued_leaf() {
         let mut rng = StdRng::seed_from_u64(79);
-        let mut root = CertificateAuthority::new_root(&mut rng, "Direct", "Direct Root", "direct.test", now());
+        let mut root =
+            CertificateAuthority::new_root(&mut rng, "Direct", "Direct Root", "direct.test", now());
         let leaf = root.issue(&mut rng, &IssueParams::new("direct.example", now()));
         let mut store = RootStore::new("s");
         store.add(root.certificate().clone());

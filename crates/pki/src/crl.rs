@@ -106,7 +106,14 @@ impl Crl {
         entries.sort_by(|a, b| a.serial.cmp(&b.serial));
         let tbs_der = encode_tbs(&issuer, this_update, next_update, &entries);
         let signature = signer.sign(&tbs_der);
-        Crl { issuer, this_update, next_update, entries, tbs_der, signature }
+        Crl {
+            issuer,
+            this_update,
+            next_update,
+            entries,
+            tbs_der,
+            signature,
+        }
     }
 
     /// Issuer name.
@@ -173,7 +180,14 @@ impl Crl {
         let signature = seq.bit_string()?.to_vec();
         seq.finish()?;
         dec.finish()?;
-        Ok(Crl { issuer, this_update, next_update, entries, tbs_der, signature })
+        Ok(Crl {
+            issuer,
+            this_update,
+            next_update,
+            entries,
+            tbs_der,
+            signature,
+        })
     }
 
     /// Approximate serialized size in bytes — the paper leans on CRLs
@@ -276,7 +290,11 @@ fn decode_tbs(tbs_der: &[u8]) -> Result<TbsParts> {
                 }
             }
             entry.finish()?;
-            entries.push(RevokedEntry { serial, revocation_time, reason });
+            entries.push(RevokedEntry {
+                serial,
+                revocation_time,
+                reason,
+            });
         }
     }
     tbs.finish()?;
@@ -304,7 +322,11 @@ mod tests {
                 revocation_time: t(2),
                 reason: Some(RevocationReason::KeyCompromise),
             },
-            RevokedEntry { serial: Serial::from_u64(17), revocation_time: t(3), reason: None },
+            RevokedEntry {
+                serial: Serial::from_u64(17),
+                revocation_time: t(3),
+                reason: None,
+            },
             RevokedEntry {
                 serial: Serial::from_u64(555),
                 revocation_time: t(1),
@@ -362,7 +384,13 @@ mod tests {
     #[test]
     fn tampered_crl_fails_signature() {
         let kp = signer();
-        let crl = Crl::build(Name::common_name("ca"), t(1), Some(t(8)), sample_entries(), &kp);
+        let crl = Crl::build(
+            Name::common_name("ca"),
+            t(1),
+            Some(t(8)),
+            sample_entries(),
+            &kp,
+        );
         let mut der = crl.to_der();
         let idx = der.len() / 3;
         der[idx] ^= 0x04;

@@ -51,10 +51,18 @@ impl Extension {
     pub fn decode(dec: &mut Decoder<'_>) -> Result<Extension> {
         let mut seq = dec.sequence()?;
         let oid = seq.oid()?;
-        let critical = if seq.peek_tag() == Some(Tag::BOOLEAN) { seq.boolean()? } else { false };
+        let critical = if seq.peek_tag() == Some(Tag::BOOLEAN) {
+            seq.boolean()?
+        } else {
+            false
+        };
         let payload = seq.octet_string()?.to_vec();
         seq.finish()?;
-        Ok(Extension { oid, critical, payload })
+        Ok(Extension {
+            oid,
+            critical,
+            payload,
+        })
     }
 }
 
@@ -71,7 +79,9 @@ pub struct TlsFeature {
 impl TlsFeature {
     /// The canonical Must-Staple extension: `status_request` only.
     pub fn must_staple() -> TlsFeature {
-        TlsFeature { features: vec![FEATURE_STATUS_REQUEST] }
+        TlsFeature {
+            features: vec![FEATURE_STATUS_REQUEST],
+        }
     }
 
     /// Whether `status_request` is among the features.
@@ -87,7 +97,11 @@ impl TlsFeature {
                 enc.integer_i64(i64::from(f));
             }
         });
-        Extension { oid: Oid::TLS_FEATURE, critical: false, payload: enc.finish() }
+        Extension {
+            oid: Oid::TLS_FEATURE,
+            critical: false,
+            payload: enc.finish(),
+        }
     }
 
     /// Parse from a raw extension payload.
@@ -128,14 +142,22 @@ impl BasicConstraints {
                 enc.integer_i64(i64::from(n));
             }
         });
-        Extension { oid: Oid::BASIC_CONSTRAINTS, critical: true, payload: enc.finish() }
+        Extension {
+            oid: Oid::BASIC_CONSTRAINTS,
+            critical: true,
+            payload: enc.finish(),
+        }
     }
 
     /// Parse from a raw extension payload.
     pub fn from_extension(ext: &Extension) -> Result<BasicConstraints> {
         let mut dec = Decoder::new(&ext.payload);
         let mut seq = dec.sequence()?;
-        let ca = if seq.peek_tag() == Some(Tag::BOOLEAN) { seq.boolean()? } else { false };
+        let ca = if seq.peek_tag() == Some(Tag::BOOLEAN) {
+            seq.boolean()?
+        } else {
+            false
+        };
         let path_len = if seq.peek_tag() == Some(Tag::INTEGER) {
             Some(u32::try_from(seq.integer_i64()?).map_err(|_| Error::ValueOutOfRange)?)
         } else {
@@ -183,7 +205,7 @@ impl KeyUsage {
             None => vec![0u8],
             Some(h) => {
                 let nbits = h as usize + 1;
-                let nbytes = (nbits + 7) / 8;
+                let nbytes = nbits.div_ceil(8);
                 let unused = nbytes * 8 - nbits;
                 let mut bytes = vec![unused as u8];
                 bytes.resize(1 + nbytes, 0);
@@ -197,7 +219,11 @@ impl KeyUsage {
         };
         let mut enc = Encoder::new();
         enc.tlv(Tag::BIT_STRING, &content);
-        Extension { oid: Oid::KEY_USAGE, critical: true, payload: enc.finish() }
+        Extension {
+            oid: Oid::KEY_USAGE,
+            critical: true,
+            payload: enc.finish(),
+        }
     }
 
     /// Parse from a raw extension payload.
@@ -260,7 +286,11 @@ impl AuthorityInfoAccess {
                 });
             }
         });
-        Extension { oid: Oid::AUTHORITY_INFO_ACCESS, critical: false, payload: enc.finish() }
+        Extension {
+            oid: Oid::AUTHORITY_INFO_ACCESS,
+            critical: false,
+            payload: enc.finish(),
+        }
     }
 
     /// Parse from a raw extension payload.
@@ -274,8 +304,9 @@ impl AuthorityInfoAccess {
             let loc = desc
                 .optional_implicit_primitive(GENERAL_NAME_URI)?
                 .ok_or(Error::MissingField("accessLocation"))?;
-            let url =
-                core::str::from_utf8(loc).map_err(|_| Error::InvalidString)?.to_string();
+            let url = core::str::from_utf8(loc)
+                .map_err(|_| Error::InvalidString)?
+                .to_string();
             desc.finish()?;
             if method == Oid::AD_OCSP {
                 aia.ocsp.push(url);
@@ -315,7 +346,11 @@ impl CrlDistributionPoints {
                 });
             }
         });
-        Extension { oid: Oid::CRL_DISTRIBUTION_POINTS, critical: false, payload: enc.finish() }
+        Extension {
+            oid: Oid::CRL_DISTRIBUTION_POINTS,
+            critical: false,
+            payload: enc.finish(),
+        }
     }
 
     /// Parse from a raw extension payload.
@@ -362,7 +397,11 @@ impl SubjectAltName {
                 enc.implicit_primitive(GENERAL_NAME_DNS, name.as_bytes());
             }
         });
-        Extension { oid: Oid::SUBJECT_ALT_NAME, critical: false, payload: enc.finish() }
+        Extension {
+            oid: Oid::SUBJECT_ALT_NAME,
+            critical: false,
+            payload: enc.finish(),
+        }
     }
 
     /// Parse from a raw extension payload.
@@ -373,7 +412,9 @@ impl SubjectAltName {
         while !seq.is_empty() {
             if let Some(dns) = seq.optional_implicit_primitive(GENERAL_NAME_DNS)? {
                 out.dns_names.push(
-                    core::str::from_utf8(dns).map_err(|_| Error::InvalidString)?.to_string(),
+                    core::str::from_utf8(dns)
+                        .map_err(|_| Error::InvalidString)?
+                        .to_string(),
                 );
             } else {
                 seq.skip()?;
@@ -387,7 +428,8 @@ impl SubjectAltName {
     pub fn covers(&self, host: &str) -> bool {
         self.dns_names.iter().any(|pattern| {
             if let Some(suffix) = pattern.strip_prefix("*.") {
-                host.split_once('.').is_some_and(|(_, rest)| rest.eq_ignore_ascii_case(suffix))
+                host.split_once('.')
+                    .is_some_and(|(_, rest)| rest.eq_ignore_ascii_case(suffix))
             } else {
                 pattern.eq_ignore_ascii_case(host)
             }
@@ -408,7 +450,9 @@ pub struct ExtendedKeyUsage {
 impl ExtendedKeyUsage {
     /// An EKU granting OCSP signing delegation.
     pub fn ocsp_signing() -> ExtendedKeyUsage {
-        ExtendedKeyUsage { oids: vec![Oid::KP_OCSP_SIGNING] }
+        ExtendedKeyUsage {
+            oids: vec![Oid::KP_OCSP_SIGNING],
+        }
     }
 
     /// Whether OCSP signing is among the purposes.
@@ -424,7 +468,11 @@ impl ExtendedKeyUsage {
                 enc.oid(oid);
             }
         });
-        Extension { oid: Oid::EXT_KEY_USAGE, critical: false, payload: enc.finish() }
+        Extension {
+            oid: Oid::EXT_KEY_USAGE,
+            critical: false,
+            payload: enc.finish(),
+        }
     }
 
     /// Parse from a raw extension payload.
@@ -466,16 +514,27 @@ mod tests {
 
     #[test]
     fn tls_feature_without_status_request() {
-        let f = TlsFeature { features: vec![FEATURE_STATUS_REQUEST_V2] };
+        let f = TlsFeature {
+            features: vec![FEATURE_STATUS_REQUEST_V2],
+        };
         assert!(!f.requires_staple());
     }
 
     #[test]
     fn basic_constraints_round_trip() {
         for bc in [
-            BasicConstraints { ca: true, path_len: Some(0) },
-            BasicConstraints { ca: true, path_len: None },
-            BasicConstraints { ca: false, path_len: None },
+            BasicConstraints {
+                ca: true,
+                path_len: Some(0),
+            },
+            BasicConstraints {
+                ca: true,
+                path_len: None,
+            },
+            BasicConstraints {
+                ca: false,
+                path_len: None,
+            },
         ] {
             let back = BasicConstraints::from_extension(&round_trip(&bc.to_extension())).unwrap();
             assert_eq!(back, bc);
@@ -484,7 +543,9 @@ mod tests {
 
     #[test]
     fn key_usage_round_trip_and_bit_semantics() {
-        let ku = KeyUsage::DIGITAL_SIGNATURE.union(KeyUsage::KEY_CERT_SIGN).union(KeyUsage::CRL_SIGN);
+        let ku = KeyUsage::DIGITAL_SIGNATURE
+            .union(KeyUsage::KEY_CERT_SIGN)
+            .union(KeyUsage::CRL_SIGN);
         let ext = ku.to_extension();
         let back = KeyUsage::from_extension(&round_trip(&ext)).unwrap();
         assert_eq!(back, ku);
@@ -518,7 +579,9 @@ mod tests {
 
     #[test]
     fn crl_dp_round_trip() {
-        let dp = CrlDistributionPoints { urls: vec!["http://crl.example-ca.com/r1.crl".into()] };
+        let dp = CrlDistributionPoints {
+            urls: vec!["http://crl.example-ca.com/r1.crl".into()],
+        };
         let back = CrlDistributionPoints::from_extension(&round_trip(&dp.to_extension())).unwrap();
         assert_eq!(back, dp);
     }
@@ -546,7 +609,11 @@ mod tests {
 
     #[test]
     fn criticality_default_is_false() {
-        let ext = Extension { oid: Oid::TLS_FEATURE, critical: false, payload: vec![0x30, 0x00] };
+        let ext = Extension {
+            oid: Oid::TLS_FEATURE,
+            critical: false,
+            payload: vec![0x30, 0x00],
+        };
         let mut enc = Encoder::new();
         ext.encode(&mut enc);
         let der = enc.finish();

@@ -43,9 +43,7 @@ pub use ca::{CertificateAuthority, IssueParams};
 pub use cert::{Certificate, TbsCertificate, Validity};
 pub use chain::{validate_chain, ChainError};
 pub use crl::{Crl, RevocationReason, RevokedEntry};
-pub use extensions::{
-    AuthorityInfoAccess, BasicConstraints, Extension, KeyUsage, TlsFeature,
-};
+pub use extensions::{AuthorityInfoAccess, BasicConstraints, Extension, KeyUsage, TlsFeature};
 pub use name::Name;
 pub use serial::Serial;
 pub use store::RootStore;

@@ -17,12 +17,16 @@ pub struct Name {
 impl Name {
     /// An empty name.
     pub fn empty() -> Name {
-        Name { attributes: Vec::new() }
+        Name {
+            attributes: Vec::new(),
+        }
     }
 
     /// A name with just a common name — the typical leaf subject.
     pub fn common_name(cn: &str) -> Name {
-        Name { attributes: vec![(Oid::COMMON_NAME, cn.to_string())] }
+        Name {
+            attributes: vec![(Oid::COMMON_NAME, cn.to_string())],
+        }
     }
 
     /// A CA-style name: organization + common name.
@@ -130,8 +134,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let name = Name::ca("Let's Encrypt", "Let's Encrypt Authority X3")
-            .with(Oid::COUNTRY, "US");
+        let name = Name::ca("Let's Encrypt", "Let's Encrypt Authority X3").with(Oid::COUNTRY, "US");
         let der = name.to_der();
         let mut dec = Decoder::new(&der);
         let back = Name::decode(&mut dec).unwrap();

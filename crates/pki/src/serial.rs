@@ -21,7 +21,9 @@ impl Serial {
     pub fn from_u64(v: u64) -> Serial {
         let bytes = v.to_be_bytes();
         let skip = bytes.iter().take_while(|&&b| b == 0).count().min(7);
-        Serial { bytes: bytes[skip..].to_vec() }
+        Serial {
+            bytes: bytes[skip..].to_vec(),
+        }
     }
 
     /// From magnitude bytes (leading zeros trimmed).
@@ -96,7 +98,11 @@ mod tests {
 
     #[test]
     fn der_round_trip() {
-        for serial in [Serial::from_u64(0), Serial::from_u64(1 << 40), Serial::from_bytes(&[0x9a; 16])] {
+        for serial in [
+            Serial::from_u64(0),
+            Serial::from_u64(1 << 40),
+            Serial::from_bytes(&[0x9a; 16]),
+        ] {
             let mut enc = Encoder::new();
             serial.encode(&mut enc);
             let der = enc.finish();

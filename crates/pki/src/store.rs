@@ -18,7 +18,10 @@ pub struct RootStore {
 impl RootStore {
     /// An empty store with a display name ("Mozilla NSS", …).
     pub fn new(name: &str) -> RootStore {
-        RootStore { name: name.to_string(), roots: Vec::new() }
+        RootStore {
+            name: name.to_string(),
+            roots: Vec::new(),
+        }
     }
 
     /// The store's display name.
@@ -33,9 +36,16 @@ impl RootStore {
     /// Panics if `root` is not a self-signed CA certificate — root stores
     /// are built by the simulation, so a violation is a generator bug.
     pub fn add(&mut self, root: Certificate) {
-        assert!(root.is_self_signed(), "root store entries must be self-signed");
+        assert!(
+            root.is_self_signed(),
+            "root store entries must be self-signed"
+        );
         assert!(root.is_ca(), "root store entries must be CA certificates");
-        if !self.roots.iter().any(|r| r.fingerprint() == root.fingerprint()) {
+        if !self
+            .roots
+            .iter()
+            .any(|r| r.fingerprint() == root.fingerprint())
+        {
             self.roots.push(root);
         }
     }
@@ -62,7 +72,9 @@ impl RootStore {
 
     /// Whether a specific root (by fingerprint) is present.
     pub fn contains(&self, cert: &Certificate) -> bool {
-        self.roots.iter().any(|r| r.fingerprint() == cert.fingerprint())
+        self.roots
+            .iter()
+            .any(|r| r.fingerprint() == cert.fingerprint())
     }
 
     /// The union of several stores — the paper's "trusted by at least one
@@ -126,7 +138,10 @@ mod tests {
     fn rejects_non_root() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut ca = CertificateAuthority::new_root(&mut rng, "Org", "Root", "x.test", now());
-        let leaf = ca.issue(&mut rng, &crate::ca::IssueParams::new("leaf.example", now()));
+        let leaf = ca.issue(
+            &mut rng,
+            &crate::ca::IssueParams::new("leaf.example", now()),
+        );
         RootStore::new("strict").add(leaf);
     }
 }

@@ -2,11 +2,11 @@
 //! randomized contents, and decoder robustness against mutation.
 
 use asn1::Time;
-use mustaple_pki::{
-    Certificate, Crl, Name, RevocationReason, RevokedEntry, Serial, TbsCertificate, Validity,
-};
 use mustaple_pki::extensions::{
     AuthorityInfoAccess, BasicConstraints, CrlDistributionPoints, SubjectAltName, TlsFeature,
+};
+use mustaple_pki::{
+    Certificate, Crl, Name, RevocationReason, RevokedEntry, Serial, TbsCertificate, Validity,
 };
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};

@@ -8,6 +8,7 @@
 //! during the Digicert episode; 318 domains *persistently* unavailable
 //! from São Paulo.
 
+use crate::executor::Executor;
 use crate::hourly::HourlyDataset;
 use asn1::Time;
 use netsim::Region;
@@ -16,7 +17,7 @@ use netsim::Region;
 pub struct Alexa1mScan;
 
 /// The Figure 4 summary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Alexa1mSummary {
     /// Per-region `(time, domains unreachable)` series.
     pub series: Vec<(Region, Vec<(Time, u64)>)>,
@@ -29,8 +30,16 @@ pub struct Alexa1mSummary {
 }
 
 impl Alexa1mScan {
-    /// Derive the summary from a campaign.
+    /// Derive the summary from a campaign (default executor).
     pub fn summarize(dataset: &HourlyDataset) -> Alexa1mSummary {
+        Alexa1mScan::summarize_with(dataset, &Executor::default())
+    }
+
+    /// Derive the summary from a campaign on a specific executor. One
+    /// shard per responder; each shard's contribution to the persistent
+    /// count is a pure function of its responder's report, and the merge
+    /// is a plain sum — identical for every worker count.
+    pub fn summarize_with(dataset: &HourlyDataset, executor: &Executor) -> Alexa1mSummary {
         let series: Vec<(Region, Vec<(Time, u64)>)> = dataset
             .alexa_unreachable
             .iter()
@@ -54,8 +63,8 @@ impl Alexa1mScan {
             .iter()
             .position(|&r| r == Region::SaoPaulo)
             .expect("São Paulo is a vantage point");
-        let mut sao_paulo_persistent = 0u64;
-        for (idx, report) in dataset.responders.iter().enumerate() {
+        let contributions = executor.run_sharded(0, dataset.responders.len(), |shard, _rng| {
+            let report = &dataset.responders[shard];
             // "Persistent" as the paper used it: dark from São Paulo for
             // essentially the whole campaign while reachable elsewhere.
             // (The digitalcertvalidation responders were fixed on Aug 31
@@ -65,12 +74,20 @@ impl Alexa1mScan {
             let dead_fraction = 1.0 - report.successes[sp] as f64 / attempts as f64;
             let alive_elsewhere = (0..6).any(|i| i != sp && report.successes[i] > 0);
             if dead_fraction >= 0.9 && alive_elsewhere {
-                sao_paulo_persistent += dataset.alexa_weights[idx] as u64;
+                dataset.alexa_weights[shard] as u64
+            } else {
+                0
             }
-        }
+        });
+        let sao_paulo_persistent = contributions.iter().sum();
 
         let total_domains = dataset.alexa_weights.iter().map(|&w| w as u64).sum();
-        Alexa1mSummary { series, peaks, sao_paulo_persistent, total_domains }
+        Alexa1mSummary {
+            series,
+            peaks,
+            sao_paulo_persistent,
+            total_domains,
+        }
     }
 }
 
@@ -120,10 +137,26 @@ mod tests {
         );
         assert!(peak > 0);
         let civil = t.civil();
-        assert_eq!((civil.year, civil.month, civil.day), (2018, 4, 25), "peak at {t}");
+        assert_eq!(
+            (civil.year, civil.month, civil.day),
+            (2018, 4, 25),
+            "peak at {t}"
+        );
 
         // And Comodo's market share makes the peak a big share of all
         // domains.
         assert!(peak as f64 / summary.total_domains as f64 > 0.1);
+    }
+
+    #[test]
+    fn parallel_summary_equals_serial_summary_exactly() {
+        let eco = LiveEcosystem::generate(EcosystemConfig::tiny());
+        let dataset = HourlyCampaign::new(&eco).run();
+        let serial = Alexa1mScan::summarize_with(&dataset, &Executor::serial());
+        for workers in [2usize, 5] {
+            let executor = Executor::new(std::num::NonZeroUsize::new(workers));
+            let parallel = Alexa1mScan::summarize_with(&dataset, &executor);
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
     }
 }

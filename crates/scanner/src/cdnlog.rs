@@ -51,8 +51,11 @@ impl CdnStudy {
         // share (popular sites skew toward the big CAs even harder than
         // issuance volume does), then one of its certificates. This is
         // why the paper's CDN logs show only ~20 distinct responders.
-        let weights: Vec<f64> =
-            eco.operators.iter().map(|op| op.market_share * op.market_share).collect();
+        let weights: Vec<f64> = eco
+            .operators
+            .iter()
+            .map(|op| op.market_share * op.market_share)
+            .collect();
         let total_weight: f64 = weights.iter().sum();
         let targets = &eco.scan_targets;
         let mut lookups = 0u64;
@@ -134,13 +137,21 @@ mod tests {
 
         assert_eq!(summary.lookups, 60 * 50);
         // "most responses are served from cache".
-        assert!(summary.cache_hit_ratio > 0.5, "hit ratio {}", summary.cache_hit_ratio);
+        assert!(
+            summary.cache_hit_ratio > 0.5,
+            "hit ratio {}",
+            summary.cache_hit_ratio
+        );
         // Origin contacts are far rarer than lookups.
         assert!(summary.origin_fetches < summary.lookups / 2);
         // The CDN talks to a small set of responders.
         assert!(summary.distinct_responders <= eco.responders.len());
         // Origin success is high (the paper saw 100 %; our world has
         // scripted outages, so allow a small margin).
-        assert!(summary.origin_success_ratio > 0.9, "{}", summary.origin_success_ratio);
+        assert!(
+            summary.origin_success_ratio > 0.9,
+            "{}",
+            summary.origin_success_ratio
+        );
     }
 }

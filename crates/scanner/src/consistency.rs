@@ -12,10 +12,11 @@
 //! * **reason code** — 15 % differ, 99.99 % of those because the CRL
 //!   carries a code and OCSP none.
 
+use crate::executor::Executor;
 use analysis::Cdf;
 use asn1::Time;
 use ecosystem::LiveEcosystem;
-use netsim::{HttpOutcome, Region};
+use netsim::{HttpOutcome, Region, World};
 use ocsp::{CertStatus, OcspRequest, ValidationConfig};
 use pki::Crl;
 use std::collections::HashMap;
@@ -36,7 +37,7 @@ pub struct DiscrepantResponder {
 }
 
 /// The study results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConsistencySummary {
     /// Distinct CRLs fetched and parsed.
     pub crls_fetched: usize,
@@ -69,8 +70,12 @@ impl ConsistencySummary {
     /// Of the differing times, the fraction that are negative
     /// (paper: 14.7 %).
     pub fn negative_diff_fraction(&self) -> f64 {
-        let differing: Vec<i64> =
-            self.time_diffs.iter().copied().filter(|&d| d != 0).collect();
+        let differing: Vec<i64> = self
+            .time_diffs
+            .iter()
+            .copied()
+            .filter(|&d| d != 0)
+            .collect();
         if differing.is_empty() {
             return 0.0;
         }
@@ -79,7 +84,12 @@ impl ConsistencySummary {
 
     /// Figure 10: the CDF of nonzero time differences.
     pub fn time_diff_cdf(&self) -> Cdf {
-        Cdf::from_samples(self.time_diffs.iter().filter(|&&d| d != 0).map(|&d| d as f64))
+        Cdf::from_samples(
+            self.time_diffs
+                .iter()
+                .filter(|&&d| d != 0)
+                .map(|&d| d as f64),
+        )
     }
 
     /// Fraction of revocations with a reason-code discrepancy.
@@ -92,30 +102,150 @@ impl ConsistencySummary {
     }
 }
 
+/// One shard's partial study results (one operator's targets).
+struct ShardSummary {
+    crls_fetched: usize,
+    responses_collected: u64,
+    requests: u64,
+    rows: Vec<DiscrepantResponder>,
+    time_diffs: Vec<i64>,
+    reason_crl_only: u64,
+    reason_match: u64,
+    reason_absent: u64,
+    reason_other_mismatch: u64,
+}
+
 /// The study driver.
 pub struct ConsistencyStudy;
 
 impl ConsistencyStudy {
     /// Run the study at time `at` (the paper ran on May 1st, 2018) from
-    /// the given vantage point.
+    /// the given vantage point, with the worker count from the
+    /// ecosystem config.
     pub fn run(eco: &LiveEcosystem, at: Time, vantage: Region) -> ConsistencySummary {
-        let mut world = eco.build_world();
+        let executor = Executor::new(eco.config.parallelism);
+        ConsistencyStudy::run_with(eco, at, vantage, &executor)
+    }
 
-        // Step 1: fetch and parse each distinct CRL once.
-        let mut crls: HashMap<String, Option<Crl>> = HashMap::new();
-        for target in &eco.revoked {
-            crls.entry(target.crl_url.clone()).or_insert_with(|| {
-                match world.http_post(vantage, &target.crl_url, b"", at).outcome {
-                    HttpOutcome::Ok(body) => Crl::from_der(&body).ok(),
-                    _ => None,
-                }
-            });
+    /// Run the study on a specific executor.
+    ///
+    /// Each shard is one *operator*: its CRL endpoint and its responder
+    /// URLs are touched by no other shard, and every operator's CRL URL
+    /// is distinct, so per-shard CRL deduplication is exactly the global
+    /// deduplication and the merged counters equal a serial run's.
+    pub fn run_with(
+        eco: &LiveEcosystem,
+        at: Time,
+        vantage: Region,
+        executor: &Executor,
+    ) -> ConsistencySummary {
+        let topo = eco.build_topology();
+
+        // Partition the revoked pool by operator, preserving pool order
+        // within each shard (the order responder caches see).
+        let mut targets_of: Vec<Vec<usize>> = vec![Vec::new(); eco.operators.len()];
+        for (idx, target) in eco.revoked.iter().enumerate() {
+            targets_of[target.operator].push(idx);
         }
-        let crls_fetched = crls.values().filter(|c| c.is_some()).count();
+        let targets_of = &targets_of;
+        let topo = &topo;
 
-        // Step 2: OCSP for every revoked target; compare.
+        // The study draws no randomness of its own; the shard RNG is
+        // part of the executor contract but unused here.
+        let shards = executor.run_sharded(eco.config.seed, eco.operators.len(), |shard, _rng| {
+            let mut world = World::from_topology(topo.clone());
+
+            // Step 1: fetch and parse this operator's CRLs once each.
+            let mut crls: HashMap<String, Option<Crl>> = HashMap::new();
+            for &idx in &targets_of[shard] {
+                let target = &eco.revoked[idx];
+                crls.entry(target.crl_url.clone()).or_insert_with(|| {
+                    match world.http_post(vantage, &target.crl_url, b"", at).outcome {
+                        HttpOutcome::Ok(body) => Crl::from_der(&body).ok(),
+                        _ => None,
+                    }
+                });
+            }
+
+            let mut partial = ShardSummary {
+                crls_fetched: crls.values().filter(|c| c.is_some()).count(),
+                responses_collected: 0,
+                requests: 0,
+                rows: Vec::new(),
+                time_diffs: Vec::new(),
+                reason_crl_only: 0,
+                reason_match: 0,
+                reason_absent: 0,
+                reason_other_mismatch: 0,
+            };
+            let mut per_responder: HashMap<String, DiscrepantResponder> = HashMap::new();
+
+            // Step 2: OCSP for every revoked target; compare.
+            for &idx in &targets_of[shard] {
+                let target = &eco.revoked[idx];
+                let Some(Some(crl)) = crls.get(&target.crl_url) else {
+                    continue;
+                };
+                let Some(crl_entry) = crl.find(&target.serial) else {
+                    continue;
+                };
+
+                partial.requests += 1;
+                let req = OcspRequest::single(target.cert_id.clone()).to_der();
+                let HttpOutcome::Ok(body) = world.http_post(vantage, &target.url, &req, at).outcome
+                else {
+                    continue;
+                };
+                // "Collected" means an HTTP response arrived (the paper's
+                // 99.9 %); unusable bodies are then excluded from comparison.
+                partial.responses_collected += 1;
+                let issuer = eco.issuer_of(target.operator);
+                let Ok(validated) = ocsp::validate_response(
+                    &body,
+                    &target.cert_id,
+                    issuer,
+                    at,
+                    ValidationConfig::default(),
+                ) else {
+                    continue;
+                };
+
+                let row = per_responder.entry(target.url.clone()).or_insert_with(|| {
+                    DiscrepantResponder {
+                        ocsp_url: target.url.clone(),
+                        crl_url: target.crl_url.clone(),
+                        unknown: 0,
+                        good: 0,
+                        revoked: 0,
+                    }
+                });
+                match validated.status {
+                    CertStatus::Good => row.good += 1,
+                    CertStatus::Unknown => row.unknown += 1,
+                    CertStatus::Revoked { time, reason } => {
+                        row.revoked += 1;
+                        partial.time_diffs.push(time - crl_entry.revocation_time);
+                        match (crl_entry.reason, reason) {
+                            (None, None) => partial.reason_absent += 1,
+                            (Some(a), Some(b)) if a == b => partial.reason_match += 1,
+                            (Some(_), None) => partial.reason_crl_only += 1,
+                            _ => partial.reason_other_mismatch += 1,
+                        }
+                    }
+                }
+            }
+
+            partial.rows = per_responder
+                .into_values()
+                .filter(|row| row.unknown + row.good > 0)
+                .collect();
+            partial
+        });
+
+        // Canonical merge in shard-id (operator) order; Table 1 gets a
+        // final global sort, so intra-shard row order is irrelevant.
         let mut summary = ConsistencySummary {
-            crls_fetched,
+            crls_fetched: 0,
             responses_collected: 0,
             requests: 0,
             table1: Vec::new(),
@@ -125,64 +255,18 @@ impl ConsistencyStudy {
             reason_absent: 0,
             reason_other_mismatch: 0,
         };
-        let mut per_responder: HashMap<String, DiscrepantResponder> = HashMap::new();
-
-        for target in &eco.revoked {
-            let Some(Some(crl)) = crls.get(&target.crl_url) else { continue };
-            let Some(crl_entry) = crl.find(&target.serial) else { continue };
-
-            summary.requests += 1;
-            let req = OcspRequest::single(target.cert_id.clone()).to_der();
-            let HttpOutcome::Ok(body) = world.http_post(vantage, &target.url, &req, at).outcome
-            else {
-                continue;
-            };
-            // "Collected" means an HTTP response arrived (the paper's
-            // 99.9 %); unusable bodies are then excluded from comparison.
-            summary.responses_collected += 1;
-            let issuer = eco.issuer_of(target.operator);
-            let Ok(validated) = ocsp::validate_response(
-                &body,
-                &target.cert_id,
-                issuer,
-                at,
-                ValidationConfig::default(),
-            ) else {
-                continue;
-            };
-
-            let row = per_responder
-                .entry(target.url.clone())
-                .or_insert_with(|| DiscrepantResponder {
-                    ocsp_url: target.url.clone(),
-                    crl_url: target.crl_url.clone(),
-                    unknown: 0,
-                    good: 0,
-                    revoked: 0,
-                });
-            match validated.status {
-                CertStatus::Good => row.good += 1,
-                CertStatus::Unknown => row.unknown += 1,
-                CertStatus::Revoked { time, reason } => {
-                    row.revoked += 1;
-                    summary.time_diffs.push(time - crl_entry.revocation_time);
-                    match (crl_entry.reason, reason) {
-                        (None, None) => summary.reason_absent += 1,
-                        (Some(a), Some(b)) if a == b => summary.reason_match += 1,
-                        (Some(_), None) => summary.reason_crl_only += 1,
-                        _ => summary.reason_other_mismatch += 1,
-                    }
-                }
-            }
+        for partial in shards {
+            summary.crls_fetched += partial.crls_fetched;
+            summary.responses_collected += partial.responses_collected;
+            summary.requests += partial.requests;
+            summary.table1.extend(partial.rows);
+            summary.time_diffs.extend(partial.time_diffs);
+            summary.reason_crl_only += partial.reason_crl_only;
+            summary.reason_match += partial.reason_match;
+            summary.reason_absent += partial.reason_absent;
+            summary.reason_other_mismatch += partial.reason_other_mismatch;
         }
-
-        // Table 1 keeps only the discrepant responders.
-        let mut table1: Vec<DiscrepantResponder> = per_responder
-            .into_values()
-            .filter(|row| row.unknown + row.good > 0)
-            .collect();
-        table1.sort_by(|a, b| a.ocsp_url.cmp(&b.ocsp_url));
-        summary.table1 = table1;
+        summary.table1.sort_by(|a, b| a.ocsp_url.cmp(&b.ocsp_url));
         summary
     }
 }
@@ -218,10 +302,15 @@ mod tests {
         let s = summary();
         assert!(!s.table1.is_empty(), "discrepant responders expected");
         let has_good = s.table1.iter().any(|r| r.good > 0);
-        let has_unknown_for_all =
-            s.table1.iter().any(|r| r.unknown > 0 && r.revoked == 0 && r.good == 0);
+        let has_unknown_for_all = s
+            .table1
+            .iter()
+            .any(|r| r.unknown > 0 && r.revoked == 0 && r.good == 0);
         assert!(has_good, "a GoodForSome responder should appear");
-        assert!(has_unknown_for_all, "an UnknownForAll responder should appear");
+        assert!(
+            has_unknown_for_all,
+            "an UnknownForAll responder should appear"
+        );
     }
 
     #[test]
@@ -240,10 +329,25 @@ mod tests {
     }
 
     #[test]
+    fn parallel_run_equals_serial_run_exactly() {
+        let eco = LiveEcosystem::generate(EcosystemConfig::tiny());
+        let at = Time::from_civil(2018, 5, 1, 0, 0, 0);
+        let serial = ConsistencyStudy::run_with(&eco, at, Region::Virginia, &Executor::serial());
+        for workers in [2usize, 5] {
+            let executor = Executor::new(std::num::NonZeroUsize::new(workers));
+            let parallel = ConsistencyStudy::run_with(&eco, at, Region::Virginia, &executor);
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
     fn reason_discrepancies_are_crl_only() {
         let s = summary();
         assert!(s.reason_crl_only > 0, "CRL-only reasons expected");
-        assert_eq!(s.reason_other_mismatch, 0, "no cross-coded reasons in the model");
+        assert_eq!(
+            s.reason_other_mismatch, 0,
+            "no cross-coded reasons in the model"
+        );
         let f = s.reason_diff_fraction();
         assert!((0.05..0.3).contains(&f), "reason diff fraction {f}");
     }

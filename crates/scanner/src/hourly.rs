@@ -12,16 +12,18 @@
 //!   (on-demand vs pre-generated, non-overlapping windows, multi-
 //!   instance `producedAt` regressions).
 
+use crate::executor::Executor;
 use crate::records::{classify_validation_error, ErrorClass, ProbeOutcome};
 use analysis::{Cdf, TimeSeries};
 use asn1::Time;
 use ecosystem::LiveEcosystem;
-use netsim::{HttpOutcome, Region, World};
+use netsim::{HttpOutcome, Region, Topology, World};
 use ocsp::{validate_response, OcspRequest, ValidationConfig};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Per-responder accumulators.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResponderReport {
     /// Responder URL.
     pub url: String,
@@ -87,8 +89,7 @@ impl ResponderReport {
 
     /// Average certificates per response (Figure 6 sample).
     pub fn avg_cert_count(&self) -> Option<f64> {
-        (self.quality_samples > 0)
-            .then(|| self.cert_count_sum as f64 / self.quality_samples as f64)
+        (self.quality_samples > 0).then(|| self.cert_count_sum as f64 / self.quality_samples as f64)
     }
 
     /// Average serials per response (Figure 7 sample).
@@ -127,9 +128,7 @@ impl ResponderReport {
     /// success, is approximated here as "some but not all requests
     /// failed from a region that generally works".
     pub fn had_transient_outage(&self) -> bool {
-        (0..6).any(|r| {
-            self.successes[r] > 0 && self.successes[r] < self.attempts[r]
-        })
+        (0..6).any(|r| self.successes[r] > 0 && self.successes[r] < self.attempts[r])
     }
 }
 
@@ -206,7 +205,7 @@ impl HourlyDataset {
             .iter()
             .filter(|r| {
                 let dead = (0..6).filter(|&i| r.never_succeeded_from(i)).count();
-                dead >= 1 && dead < 6
+                (1..6).contains(&dead)
             })
             .count()
     }
@@ -215,17 +214,29 @@ impl HourlyDataset {
     /// (paper: 36.8 %).
     pub fn transient_outage_fraction(&self) -> f64 {
         let n = self.responders.len().max(1);
-        self.responders.iter().filter(|r| r.had_transient_outage()).count() as f64 / n as f64
+        self.responders
+            .iter()
+            .filter(|r| r.had_transient_outage())
+            .count() as f64
+            / n as f64
     }
 
     /// Figure 6: CDF of average certificates per response.
     pub fn cdf_cert_counts(&self) -> Cdf {
-        Cdf::from_samples(self.responders.iter().filter_map(ResponderReport::avg_cert_count))
+        Cdf::from_samples(
+            self.responders
+                .iter()
+                .filter_map(ResponderReport::avg_cert_count),
+        )
     }
 
     /// Figure 7: CDF of average serials per response.
     pub fn cdf_serial_counts(&self) -> Cdf {
-        Cdf::from_samples(self.responders.iter().filter_map(ResponderReport::avg_serial_count))
+        Cdf::from_samples(
+            self.responders
+                .iter()
+                .filter_map(ResponderReport::avg_serial_count),
+        )
     }
 
     /// Figure 8: CDF of average validity periods; blank `nextUpdate`
@@ -244,14 +255,21 @@ impl HourlyDataset {
 
     /// Figure 9: CDF of average `thisUpdate` margins (receive − thisUpdate).
     pub fn cdf_margins(&self) -> Cdf {
-        Cdf::from_samples(self.responders.iter().filter_map(ResponderReport::avg_margin))
+        Cdf::from_samples(
+            self.responders
+                .iter()
+                .filter_map(ResponderReport::avg_margin),
+        )
     }
 
     /// Fraction of responders whose average margin is (effectively) zero
     /// or negative — Figure 9's headline 17.2 % + 3 %.
     pub fn zero_margin_fraction(&self) -> f64 {
-        let samples: Vec<f64> =
-            self.responders.iter().filter_map(ResponderReport::avg_margin).collect();
+        let samples: Vec<f64> = self
+            .responders
+            .iter()
+            .filter_map(ResponderReport::avg_margin)
+            .collect();
         if samples.is_empty() {
             return 0.0;
         }
@@ -299,8 +317,7 @@ impl HourlyDataset {
 
             // Refresh-period estimate: minimum positive gap between
             // distinct consecutive producedAt values.
-            let mut produced: Vec<Time> =
-                r.produced_at_samples.iter().map(|&(_, p)| p).collect();
+            let mut produced: Vec<Time> = r.produced_at_samples.iter().map(|&(_, p)| p).collect();
             // Regressions (footnote 17): producedAt going backwards.
             if produced.windows(2).any(|w| w[1] < w[0]) {
                 report.produced_at_regressions.push(r.url.clone());
@@ -335,157 +352,232 @@ fn fnv1a(data: &[u8]) -> u64 {
 }
 
 fn region_index(region: Region) -> usize {
-    Region::VANTAGE_POINTS.iter().position(|&r| r == region).expect("vantage point")
+    Region::VANTAGE_POINTS
+        .iter()
+        .position(|&r| r == region)
+        .expect("vantage point")
+}
+
+/// One shard's partial campaign results: everything one responder
+/// contributes to the global accumulators. Merged in shard-id order, so
+/// the assembled [`HourlyDataset`] is identical for every worker count.
+struct ShardRecords {
+    requests: u64,
+    report: ResponderReport,
+    per_region_success: Vec<TimeSeries>,
+    class_series: Vec<TimeSeries>,
+    alexa_unreachable: Vec<TimeSeries>,
 }
 
 /// The campaign driver.
 pub struct HourlyCampaign<'a> {
     eco: &'a LiveEcosystem,
-    world: World,
+    topo: Arc<Topology>,
 }
 
 impl<'a> HourlyCampaign<'a> {
-    /// Wire a fresh world for the ecosystem.
+    /// Wire the shared topology for the ecosystem.
     pub fn new(eco: &'a LiveEcosystem) -> HourlyCampaign<'a> {
-        HourlyCampaign { eco, world: eco.build_world() }
+        HourlyCampaign {
+            eco,
+            topo: eco.build_topology(),
+        }
     }
 
-    /// Run the full campaign.
-    pub fn run(mut self) -> HourlyDataset {
-        let config = &self.eco.config;
+    /// Run the full campaign with the worker count from the ecosystem
+    /// config.
+    pub fn run(self) -> HourlyDataset {
+        let executor = Executor::new(self.eco.config.parallelism);
+        self.run_with(&executor)
+    }
+
+    /// Run the full campaign on a specific executor.
+    ///
+    /// Each shard is one responder. A shard replays *its responder's*
+    /// exact serial-run probe subsequence — round by round, region by
+    /// region, target by target — against a private [`World`] over the
+    /// shared topology. Because responder caches, DNS warm-up, and
+    /// failure streaks are all per-responder state, and latency is a
+    /// pure function of `(topology seed, host, time)`, each shard's
+    /// records are byte-identical to the serial run's contribution from
+    /// that responder, for any worker count.
+    pub fn run_with(self, executor: &Executor) -> HourlyDataset {
+        let eco = self.eco;
+        let config = &eco.config;
         let bin = config.scan_interval;
-        let mut per_region: Vec<(Region, TimeSeries)> = Region::VANTAGE_POINTS
-            .iter()
-            .map(|&r| (r, TimeSeries::new(bin)))
-            .collect();
-        let mut class_series: Vec<(ErrorClass, TimeSeries)> =
-            ErrorClass::ALL.iter().map(|&c| (c, TimeSeries::new(bin))).collect();
-        let mut responders: Vec<ResponderReport> = self
-            .eco
-            .responders
-            .iter()
-            .map(|host| ResponderReport::new(&host.url, &self.eco.operators[host.operator].name))
-            .collect();
+        let rounds = config.scan_rounds();
+
         // Figure 4: how many Alexa domains ride on each responder. The
         // paper's Alexa1M population is the ~60 % of the list that
         // supports HTTPS+OCSP.
         let alexa_ocsp_domains = (config.alexa_size as f64 * 0.6) as usize;
-        let alexa_weights = self.eco.alexa_domains_per_responder(alexa_ocsp_domains);
-        let mut alexa_unreachable: Vec<(Region, TimeSeries)> = Region::VANTAGE_POINTS
-            .iter()
-            .map(|&r| (r, TimeSeries::new(bin)))
-            .collect();
+        let alexa_weights = eco.alexa_domains_per_responder(alexa_ocsp_domains);
 
-        // Pre-encode requests; remember which target samples producedAt.
-        let requests_der: Vec<Vec<u8>> = self
-            .eco
+        // Pre-encode requests; remember which target samples producedAt
+        // and which targets belong to which responder shard.
+        let requests_der: Vec<Vec<u8>> = eco
             .scan_targets
             .iter()
             .map(|t| OcspRequest::single(t.cert_id.clone()).to_der())
             .collect();
-        let mut first_target_of: Vec<Option<usize>> = vec![None; self.eco.responders.len()];
-        for (idx, target) in self.eco.scan_targets.iter().enumerate() {
+        let mut first_target_of: Vec<Option<usize>> = vec![None; eco.responders.len()];
+        let mut targets_of: Vec<Vec<usize>> = vec![Vec::new(); eco.responders.len()];
+        for (idx, target) in eco.scan_targets.iter().enumerate() {
             first_target_of[target.responder].get_or_insert(idx);
+            targets_of[target.responder].push(idx);
         }
         // Per-responder probe stagger within the scan interval.
-        let offsets: Vec<i64> = self
-            .eco
+        let offsets: Vec<i64> = eco
             .responders
             .iter()
             .map(|host| (fnv1a(host.hostname.as_bytes()) % config.scan_interval as u64) as i64)
             .collect();
 
-        let mut requests = 0u64;
-        let rounds = config.scan_rounds();
-        for round in 0..rounds {
-            let round_start = config.campaign_start + round as i64 * config.scan_interval;
-            for (region_idx, &region) in Region::VANTAGE_POINTS.iter().enumerate() {
-                for (target_idx, target) in self.eco.scan_targets.iter().enumerate() {
-                    let t = round_start + offsets[target.responder];
-                    requests += 1;
-                    let result =
-                        self.world.http_post(region, &target.url, &requests_der[target_idx], t);
-                    let report = &mut responders[target.responder];
-                    report.attempts[region_idx] += 1;
-                    let probe_ok = matches!(result.outcome, HttpOutcome::Ok(_));
-                    if first_target_of[target.responder] == Some(target_idx) {
-                        if probe_ok {
-                            report.failure_streak[region_idx] = 0;
-                        } else {
-                            report.failure_streak[region_idx] += 1;
-                            report.max_failure_streak[region_idx] = report.max_failure_streak
-                                [region_idx]
-                                .max(report.failure_streak[region_idx]);
-                        }
-                    }
+        let topo = &self.topo;
+        let requests_der = &requests_der;
+        let first_target_of = &first_target_of;
+        let targets_of = &targets_of;
+        let offsets = &offsets;
 
-                    let outcome = match result.outcome {
-                        HttpOutcome::Ok(body) => {
-                            report.successes[region_idx] += 1;
-                            match validate_response(
-                                &body,
-                                &target.cert_id,
-                                self.eco.issuer_of(target.operator),
-                                t,
-                                ValidationConfig::default(),
-                            ) {
-                                Ok(validated) => ProbeOutcome::Valid(validated),
-                                Err(err) => classify_validation_error(err),
+        // The campaign draws no randomness of its own (probe times are
+        // FNV-staggered, latency is a pure hash) — the shard RNG is part
+        // of the executor contract but unused here.
+        let shards = executor.run_sharded(config.seed, eco.responders.len(), |shard, _rng| {
+            let host = &eco.responders[shard];
+            let mut world = World::from_topology(topo.clone());
+            let mut records = ShardRecords {
+                requests: 0,
+                report: ResponderReport::new(&host.url, &eco.operators[host.operator].name),
+                per_region_success: (0..6).map(|_| TimeSeries::new(bin)).collect(),
+                class_series: ErrorClass::ALL
+                    .iter()
+                    .map(|_| TimeSeries::new(bin))
+                    .collect(),
+                alexa_unreachable: (0..6).map(|_| TimeSeries::new(bin)).collect(),
+            };
+            let report = &mut records.report;
+            for round in 0..rounds {
+                let round_start = config.campaign_start + round as i64 * config.scan_interval;
+                let t = round_start + offsets[shard];
+                for (region_idx, &region) in Region::VANTAGE_POINTS.iter().enumerate() {
+                    for &target_idx in &targets_of[shard] {
+                        let target = &eco.scan_targets[target_idx];
+                        records.requests += 1;
+                        let result =
+                            world.http_post(region, &target.url, &requests_der[target_idx], t);
+                        report.attempts[region_idx] += 1;
+                        let probe_ok = matches!(result.outcome, HttpOutcome::Ok(_));
+                        if first_target_of[shard] == Some(target_idx) {
+                            if probe_ok {
+                                report.failure_streak[region_idx] = 0;
+                            } else {
+                                report.failure_streak[region_idx] += 1;
+                                report.max_failure_streak[region_idx] = report.max_failure_streak
+                                    [region_idx]
+                                    .max(report.failure_streak[region_idx]);
                             }
                         }
-                        other => ProbeOutcome::TransportFailure(other),
-                    };
 
-                    per_region[region_idx].1.record_bool(t, outcome.http_success());
-                    if first_target_of[target.responder] == Some(target_idx) {
-                        let weight = alexa_weights[target.responder] as u64;
-                        let down = if outcome.http_success() { 0 } else { weight };
-                        alexa_unreachable[region_idx].1.record_hits(t, down, weight);
-                    }
-                    if outcome.http_success() {
-                        for (class, series) in class_series.iter_mut() {
-                            series.record_bool(t, outcome.error_class() == Some(*class));
-                        }
-                    }
-                    match &outcome {
-                        ProbeOutcome::Valid(v) => {
-                            report.valid += 1;
-                            report.quality_samples += 1;
-                            report.cert_count_sum += v.cert_count as u64;
-                            report.serial_count_sum += v.serial_count as u64;
-                            match v.validity_period() {
-                                Some(secs) => {
-                                    report.validity_sum += secs;
-                                    report.validity_samples += 1;
+                        let outcome = match result.outcome {
+                            HttpOutcome::Ok(body) => {
+                                report.successes[region_idx] += 1;
+                                match validate_response(
+                                    &body,
+                                    &target.cert_id,
+                                    eco.issuer_of(target.operator),
+                                    t,
+                                    ValidationConfig::default(),
+                                ) {
+                                    Ok(validated) => ProbeOutcome::Valid(validated),
+                                    Err(err) => classify_validation_error(err),
                                 }
-                                None => report.blank_next_update += 1,
                             }
-                            report.margin_sum += v.this_update_margin;
-                            // The paper sampled producedAt across all of a
-                            // responder's tracked certificates; multiple
-                            // samples per window are what expose the
-                            // footnote 17 multi-instance regressions.
-                            if region == Region::Virginia {
-                                report.produced_at_samples.push((t, v.produced_at));
+                            other => ProbeOutcome::TransportFailure(other),
+                        };
+
+                        records.per_region_success[region_idx]
+                            .record_bool(t, outcome.http_success());
+                        if first_target_of[shard] == Some(target_idx) {
+                            let weight = alexa_weights[shard] as u64;
+                            let down = if outcome.http_success() { 0 } else { weight };
+                            records.alexa_unreachable[region_idx].record_hits(t, down, weight);
+                        }
+                        if outcome.http_success() {
+                            for (class_idx, class) in ErrorClass::ALL.iter().enumerate() {
+                                records.class_series[class_idx]
+                                    .record_bool(t, outcome.error_class() == Some(*class));
                             }
                         }
-                        ProbeOutcome::Unusable(class) => {
-                            *report.unusable.entry(*class).or_default() += 1;
-                        }
-                        ProbeOutcome::OtherInvalid(err) => {
-                            report.other_invalid += 1;
-                            // Future-dated thisUpdate responders show up
-                            // here; keep their margin contribution so the
-                            // Figure 9 CDF reaches below zero.
-                            if let ocsp::ResponseError::NotYetValid { early_by } = err {
+                        match &outcome {
+                            ProbeOutcome::Valid(v) => {
+                                report.valid += 1;
                                 report.quality_samples += 1;
-                                report.margin_sum -= *early_by;
+                                report.cert_count_sum += v.cert_count as u64;
+                                report.serial_count_sum += v.serial_count as u64;
+                                match v.validity_period() {
+                                    Some(secs) => {
+                                        report.validity_sum += secs;
+                                        report.validity_samples += 1;
+                                    }
+                                    None => report.blank_next_update += 1,
+                                }
+                                report.margin_sum += v.this_update_margin;
+                                // The paper sampled producedAt across all of a
+                                // responder's tracked certificates; multiple
+                                // samples per window are what expose the
+                                // footnote 17 multi-instance regressions.
+                                if region == Region::Virginia {
+                                    report.produced_at_samples.push((t, v.produced_at));
+                                }
                             }
+                            ProbeOutcome::Unusable(class) => {
+                                *report.unusable.entry(*class).or_default() += 1;
+                            }
+                            ProbeOutcome::OtherInvalid(err) => {
+                                report.other_invalid += 1;
+                                // Future-dated thisUpdate responders show up
+                                // here; keep their margin contribution so the
+                                // Figure 9 CDF reaches below zero.
+                                if let ocsp::ResponseError::NotYetValid { early_by } = err {
+                                    report.quality_samples += 1;
+                                    report.margin_sum -= *early_by;
+                                }
+                            }
+                            ProbeOutcome::TransportFailure(_) => {}
                         }
-                        ProbeOutcome::TransportFailure(_) => {}
                     }
                 }
             }
+            records
+        });
+
+        // Canonical merge: shard-id order == responder order.
+        let mut requests = 0u64;
+        let mut per_region: Vec<(Region, TimeSeries)> = Region::VANTAGE_POINTS
+            .iter()
+            .map(|&r| (r, TimeSeries::new(bin)))
+            .collect();
+        let mut class_series: Vec<(ErrorClass, TimeSeries)> = ErrorClass::ALL
+            .iter()
+            .map(|&c| (c, TimeSeries::new(bin)))
+            .collect();
+        let mut alexa_unreachable: Vec<(Region, TimeSeries)> = Region::VANTAGE_POINTS
+            .iter()
+            .map(|&r| (r, TimeSeries::new(bin)))
+            .collect();
+        let mut responders = Vec::with_capacity(shards.len());
+        for shard in shards {
+            requests += shard.requests;
+            for (i, series) in shard.per_region_success.iter().enumerate() {
+                per_region[i].1.merge(series);
+            }
+            for (i, series) in shard.class_series.iter().enumerate() {
+                class_series[i].1.merge(series);
+            }
+            for (i, series) in shard.alexa_unreachable.iter().enumerate() {
+                alexa_unreachable[i].1.merge(series);
+            }
+            responders.push(shard.report);
         }
 
         HourlyDataset {
@@ -565,6 +657,38 @@ mod tests {
         let d = dataset();
         for (_, series) in &d.per_region_success {
             assert_eq!(series.bin_count(), d.rounds);
+        }
+    }
+
+    #[test]
+    fn parallel_run_equals_serial_run_exactly() {
+        let eco = LiveEcosystem::generate(EcosystemConfig::tiny());
+        let serial = HourlyCampaign::new(&eco).run_with(&Executor::serial());
+        for workers in [2usize, 5] {
+            let executor = Executor::new(std::num::NonZeroUsize::new(workers));
+            let parallel = HourlyCampaign::new(&eco).run_with(&executor);
+            assert_eq!(serial.requests, parallel.requests);
+            assert_eq!(serial.responders, parallel.responders, "workers={workers}");
+            assert_eq!(serial.alexa_weights, parallel.alexa_weights);
+            for (a, b) in serial
+                .per_region_success
+                .iter()
+                .zip(&parallel.per_region_success)
+            {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.fractions(), b.1.fractions());
+            }
+            for (a, b) in serial.class_series.iter().zip(&parallel.class_series) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.fractions(), b.1.fractions());
+            }
+            for (a, b) in serial
+                .alexa_unreachable
+                .iter()
+                .zip(&parallel.alexa_unreachable)
+            {
+                assert_eq!(a.1.counts(), b.1.counts());
+            }
         }
     }
 }

@@ -17,6 +17,9 @@
 //! * [`cdnlog`] — the **CDN perspective**: replays traffic through a
 //!   caching CDN edge and reports origin-contact rarity and success
 //!   (§5.2's Akamai-log observation).
+//!
+//! All campaigns run on [`executor`] — a sharded, deterministic thread
+//! executor whose output is byte-identical for every worker count.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,11 +27,13 @@
 pub mod alexa1m;
 pub mod cdnlog;
 pub mod consistency;
+pub mod executor;
 pub mod hourly;
 pub mod records;
 
 pub use alexa1m::{Alexa1mScan, Alexa1mSummary};
 pub use cdnlog::{CdnStudy, CdnSummary};
 pub use consistency::{ConsistencyStudy, ConsistencySummary};
+pub use executor::{seed_for_shard, Executor};
 pub use hourly::{HourlyCampaign, HourlyDataset, ResponderReport};
 pub use records::{ErrorClass, ProbeOutcome};

@@ -26,8 +26,11 @@ impl ErrorClass {
     }
 
     /// All classes, in the figure's legend order.
-    pub const ALL: [ErrorClass; 3] =
-        [ErrorClass::Asn1Unparseable, ErrorClass::SerialUnmatch, ErrorClass::Signature];
+    pub const ALL: [ErrorClass; 3] = [
+        ErrorClass::Asn1Unparseable,
+        ErrorClass::SerialUnmatch,
+        ErrorClass::Signature,
+    ];
 }
 
 /// The complete classification of one probe.
@@ -103,8 +106,7 @@ mod tests {
 
     #[test]
     fn http_success_criterion() {
-        let transport =
-            ProbeOutcome::TransportFailure(HttpOutcome::DnsFailure);
+        let transport = ProbeOutcome::TransportFailure(HttpOutcome::DnsFailure);
         assert!(!transport.http_success());
         assert!(!transport.usable());
         let unusable = ProbeOutcome::Unusable(ErrorClass::Signature);

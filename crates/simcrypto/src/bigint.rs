@@ -30,7 +30,9 @@ impl BigUint {
 
     /// From a `u64`.
     pub fn from_u64(v: u64) -> BigUint {
-        let mut n = BigUint { limbs: vec![v as u32, (v >> 32) as u32] };
+        let mut n = BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
         n.normalize();
         n
     }
@@ -122,10 +124,8 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(longer.len() + 1);
         let mut carry: u64 = 0;
-        for i in 0..longer.len() {
-            let sum = u64::from(longer[i])
-                + u64::from(shorter.get(i).copied().unwrap_or(0))
-                + carry;
+        for (i, &limb) in longer.iter().enumerate() {
+            let sum = u64::from(limb) + u64::from(shorter.get(i).copied().unwrap_or(0)) + carry;
             out.push(sum as u32);
             carry = sum >> 32;
         }
@@ -143,7 +143,10 @@ impl BigUint {
     ///
     /// Panics if `other > self` (unsigned arithmetic).
     pub fn sub(&self, other: &BigUint) -> BigUint {
-        assert!(self.cmp_to(other) != Ordering::Less, "unsigned subtraction underflow");
+        assert!(
+            self.cmp_to(other) != Ordering::Less,
+            "unsigned subtraction underflow"
+        );
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow: i64 = 0;
         for i in 0..self.limbs.len() {
@@ -295,9 +298,7 @@ impl BigUint {
             let top = (u64::from(u[j + n]) << 32) | u64::from(u[j + n - 1]);
             let mut q_hat = top / v_top;
             let mut r_hat = top % v_top;
-            while q_hat >= 1 << 32
-                || q_hat * v_next > (r_hat << 32 | u64::from(u[j + n - 2]))
-            {
+            while q_hat >= 1 << 32 || q_hat * v_next > (r_hat << 32 | u64::from(u[j + n - 2])) {
                 q_hat -= 1;
                 r_hat += v_top;
                 if r_hat >= 1 << 32 {
@@ -438,7 +439,7 @@ fn signed_sub(a: (bool, BigUint), b: (bool, BigUint)) -> (bool, BigUint) {
 
 impl PartialOrd for BigUint {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_to(other))
+        Some(self.cmp(other))
     }
 }
 

@@ -51,7 +51,13 @@ pub struct Prf {
 impl Prf {
     /// Create a PRF stream for (`seed`, `label`).
     pub fn new(seed: &[u8], label: &[u8]) -> Prf {
-        Prf { seed: seed.to_vec(), label: label.to_vec(), counter: 0, buffer: [0; 32], used: 32 }
+        Prf {
+            seed: seed.to_vec(),
+            label: label.to_vec(),
+            counter: 0,
+            buffer: [0; 32],
+            used: 32,
+        }
     }
 
     /// Fill `out` with the next bytes of the stream.
@@ -119,7 +125,10 @@ mod tests {
     #[test]
     fn rfc4231_case_6_long_key() {
         let key = [0xaau8; 131];
-        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let mac = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             hex(&mac),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"

@@ -9,9 +9,9 @@ use rand::Rng;
 
 /// Small primes used to quickly reject obvious composites.
 const SMALL_PRIMES: [u32; 46] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199,
 ];
 
 /// Miller–Rabin rounds. For *random* candidates (our only use) the
@@ -72,7 +72,7 @@ pub fn is_probable_prime(n: &BigUint, rng: &mut impl Rng) -> bool {
 /// Uniform random value in `[0, bound)`; `bound` must be nonzero.
 pub fn random_below(rng: &mut impl Rng, bound: &BigUint) -> BigUint {
     assert!(!bound.is_zero(), "random_below bound must be nonzero");
-    let bytes = (bound.bit_len() + 7) / 8;
+    let bytes = bound.bit_len().div_ceil(8);
     loop {
         let mut buf = vec![0u8; bytes];
         rng.fill(&mut buf[..]);
@@ -97,7 +97,7 @@ pub fn random_below(rng: &mut impl Rng, bound: &BigUint) -> BigUint {
 pub fn generate_prime(rng: &mut impl Rng, bits: usize) -> BigUint {
     assert!(bits >= 8, "prime size must be at least 8 bits");
     loop {
-        let bytes = (bits + 7) / 8;
+        let bytes = bits.div_ceil(8);
         let mut buf = vec![0u8; bytes];
         rng.fill(&mut buf[..]);
         let mut candidate = BigUint::from_be_bytes(&buf);
@@ -135,11 +135,17 @@ mod tests {
     fn small_primes_and_composites() {
         let mut r = rng();
         for p in [2u64, 3, 5, 7, 199, 211, 65537, 1_000_000_007] {
-            assert!(is_probable_prime(&BigUint::from_u64(p), &mut r), "{p} should be prime");
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), &mut r),
+                "{p} should be prime"
+            );
         }
         for c in [0u64, 1, 4, 9, 15, 201, 65536, 1_000_000_008, 561, 41041] {
             // 561 and 41041 are Carmichael numbers — MR must catch them.
-            assert!(!is_probable_prime(&BigUint::from_u64(c), &mut r), "{c} should be composite");
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), &mut r),
+                "{c} should be composite"
+            );
         }
     }
 

@@ -73,7 +73,7 @@ impl PublicKey {
 
     /// Modulus size in whole bytes.
     pub fn modulus_len(&self) -> usize {
-        (self.n.bit_len() + 7) / 8
+        self.n.bit_len().div_ceil(8)
     }
 
     /// Verify `signature` over `message`.
@@ -147,7 +147,15 @@ impl KeyPair {
             let Some(qinv) = q.modinv(&p) else { continue };
             let dp = d.rem(&p.sub(&one));
             let dq = d.rem(&q.sub(&one));
-            return KeyPair { public: PublicKey { n, e }, d, p, q, dp, dq, qinv };
+            return KeyPair {
+                public: PublicKey { n, e },
+                d,
+                p,
+                q,
+                dp,
+                dq,
+                qinv,
+            };
         }
     }
 
@@ -204,7 +212,7 @@ fn encode_em(message: &[u8], k: usize) -> Option<Vec<u8>> {
     let mut em = Vec::with_capacity(k);
     em.push(0x00);
     em.push(0x01);
-    em.extend(core::iter::repeat(0xff).take(ps_len));
+    em.extend(core::iter::repeat_n(0xff, ps_len));
     em.push(0x00);
     em.extend_from_slice(&digest);
     Some(em)
@@ -230,7 +238,10 @@ mod tests {
     fn tampered_message_fails() {
         let kp = keypair();
         let sig = kp.sign(b"original");
-        assert_eq!(kp.public().verify(b"tampered", &sig), Err(SignatureError::Invalid));
+        assert_eq!(
+            kp.public().verify(b"tampered", &sig),
+            Err(SignatureError::Invalid)
+        );
     }
 
     #[test]
@@ -253,10 +264,16 @@ mod tests {
     fn wrong_length_signature_is_malformed() {
         let kp = keypair();
         let sig = kp.sign(b"m");
-        assert_eq!(kp.public().verify(b"m", &sig[1..]), Err(SignatureError::Malformed));
+        assert_eq!(
+            kp.public().verify(b"m", &sig[1..]),
+            Err(SignatureError::Malformed)
+        );
         let mut long = sig.clone();
         long.push(0);
-        assert_eq!(kp.public().verify(b"m", &long), Err(SignatureError::Malformed));
+        assert_eq!(
+            kp.public().verify(b"m", &long),
+            Err(SignatureError::Malformed)
+        );
     }
 
     #[test]

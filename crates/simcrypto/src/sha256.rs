@@ -31,7 +31,12 @@ const H0: [u32; 8] = [
 impl Sha256 {
     /// Create a fresh hasher.
     pub fn new() -> Sha256 {
-        Sha256 { state: H0, length: 0, buffer: [0; 64], buffered: 0 }
+        Sha256 {
+            state: H0,
+            length: 0,
+            buffer: [0; 64],
+            buffered: 0,
+        }
     }
 
     /// Absorb `data`.

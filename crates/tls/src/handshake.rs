@@ -35,7 +35,12 @@ pub struct ServerFlight {
 impl ServerFlight {
     /// The common single-staple flight.
     pub fn new(chain: Vec<Certificate>, stapled_ocsp: Option<Vec<u8>>, stall_ms: f64) -> Self {
-        ServerFlight { chain, stapled_ocsp, stall_ms, stapled_ocsp_multi: None }
+        ServerFlight {
+            chain,
+            stapled_ocsp,
+            stall_ms,
+            stapled_ocsp_multi: None,
+        }
     }
 
     /// Attach RFC 6961 multi-staple responses.
@@ -65,21 +70,29 @@ impl Transcript {
     /// Assemble the transcript for a hello/flight exchange, producing the
     /// exact bytes each side would emit.
     pub fn record(hello: &ClientHello, flight: &ServerFlight) -> Transcript {
-        let certificate_msg = CertificateMsg { chain: flight.chain.clone() }.encode();
+        let certificate_msg = CertificateMsg {
+            chain: flight.chain.clone(),
+        }
+        .encode();
         // Servers must not staple to clients that did not ask (RFC 6066);
         // honoring that here means misbehaving-server experiments encode
         // the rule violation explicitly rather than by accident.
         let certificate_status_msg = if hello.status_request {
-            flight
-                .stapled_ocsp
-                .as_ref()
-                .map(|ocsp| CertificateStatusMsg { ocsp_response: ocsp.clone() }.encode())
+            flight.stapled_ocsp.as_ref().map(|ocsp| {
+                CertificateStatusMsg {
+                    ocsp_response: ocsp.clone(),
+                }
+                .encode()
+            })
         } else {
             None
         };
         let certificate_status_v2_msg = if hello.status_request_v2 {
             flight.stapled_ocsp_multi.as_ref().map(|responses| {
-                CertificateStatusV2Msg { responses: responses.clone() }.encode()
+                CertificateStatusV2Msg {
+                    responses: responses.clone(),
+                }
+                .encode()
             })
         } else {
             None
@@ -139,12 +152,14 @@ mod tests {
     #[test]
     fn stapled_exchange_round_trips() {
         let hello = ClientHello::new("hs.example", true);
-        let flight =
-            ServerFlight::new(chain(), Some(vec![0x30, 0x03, 0x0a, 0x01, 0x00]), 0.0);
+        let flight = ServerFlight::new(chain(), Some(vec![0x30, 0x03, 0x0a, 0x01, 0x00]), 0.0);
         let t = Transcript::record(&hello, &flight);
         assert!(t.client_solicited_staple().unwrap());
         assert_eq!(t.server_chain().unwrap().len(), 2);
-        assert_eq!(t.stapled_ocsp().unwrap().unwrap(), vec![0x30, 0x03, 0x0a, 0x01, 0x00]);
+        assert_eq!(
+            t.stapled_ocsp().unwrap().unwrap(),
+            vec![0x30, 0x03, 0x0a, 0x01, 0x00]
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl core::fmt::Display for WireError {
             WireError::Truncated => write!(f, "message truncated"),
             WireError::BadLength => write!(f, "inconsistent length field"),
             WireError::WrongType { expected, found } => {
-                write!(f, "wrong handshake type: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "wrong handshake type: expected {expected}, found {found}"
+                )
             }
             WireError::BadCertificate => write!(f, "unparseable certificate in chain"),
             WireError::UnknownStatusType(t) => write!(f, "unknown certificate status type {t}"),
@@ -101,7 +104,10 @@ impl<'a> Reader<'a> {
         Ok((self.u8()? as usize) << 16 | (self.u8()? as usize) << 8 | self.u8()? as usize)
     }
     fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        let slice = self.buf.get(self.pos..self.pos + n).ok_or(WireError::Truncated)?;
+        let slice = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or(WireError::Truncated)?;
         self.pos += n;
         Ok(slice)
     }
@@ -245,7 +251,11 @@ impl ClientHello {
                 _ => {}
             }
         }
-        Ok(ClientHello { server_name, status_request, status_request_v2 })
+        Ok(ClientHello {
+            server_name,
+            status_request,
+            status_request_v2,
+        })
     }
 }
 
@@ -326,7 +336,9 @@ impl CertificateStatusMsg {
         if !r.done() {
             return Err(WireError::BadLength);
         }
-        Ok(CertificateStatusMsg { ocsp_response: ocsp.to_vec() })
+        Ok(CertificateStatusMsg {
+            ocsp_response: ocsp.to_vec(),
+        })
     }
 }
 
@@ -424,14 +436,18 @@ mod tests {
         let now = Time::from_civil(2018, 5, 1, 0, 0, 0);
         let mut ca = CertificateAuthority::new_root(&mut rng, "CA", "Root", "ca.test", now);
         let leaf = ca.issue(&mut rng, &IssueParams::new("x.example", now));
-        let msg = CertificateMsg { chain: vec![leaf, ca.certificate().clone()] };
+        let msg = CertificateMsg {
+            chain: vec![leaf, ca.certificate().clone()],
+        };
         let back = CertificateMsg::decode(&msg.encode()).unwrap();
         assert_eq!(back, msg);
     }
 
     #[test]
     fn certificate_status_round_trip() {
-        let msg = CertificateStatusMsg { ocsp_response: vec![0x30, 0x03, 0x0a, 0x01, 0x00] };
+        let msg = CertificateStatusMsg {
+            ocsp_response: vec![0x30, 0x03, 0x0a, 0x01, 0x00],
+        };
         let back = CertificateStatusMsg::decode(&msg.encode()).unwrap();
         assert_eq!(back, msg);
     }
@@ -441,7 +457,10 @@ mod tests {
         let hello = ClientHello::new("x", true).encode();
         assert_eq!(
             CertificateMsg::decode(&hello),
-            Err(WireError::WrongType { expected: 11, found: 1 })
+            Err(WireError::WrongType {
+                expected: 11,
+                found: 1
+            })
         );
     }
 
@@ -469,7 +488,10 @@ mod tests {
         assert_eq!(back, msg);
         // v1 and v2 reject each other's status_type.
         assert!(CertificateStatusMsg::decode(&msg.encode()).is_err());
-        let v1 = CertificateStatusMsg { ocsp_response: vec![1] }.encode();
+        let v1 = CertificateStatusMsg {
+            ocsp_response: vec![1],
+        }
+        .encode();
         assert!(CertificateStatusV2Msg::decode(&v1).is_err());
     }
 
@@ -481,10 +503,16 @@ mod tests {
 
     #[test]
     fn unknown_status_type_rejected() {
-        let mut bytes = CertificateStatusMsg { ocsp_response: vec![1, 2, 3] }.encode();
+        let mut bytes = CertificateStatusMsg {
+            ocsp_response: vec![1, 2, 3],
+        }
+        .encode();
         // Flip the status_type byte (first body byte, offset 4).
         bytes[4] = 9;
-        assert_eq!(CertificateStatusMsg::decode(&bytes), Err(WireError::UnknownStatusType(9)));
+        assert_eq!(
+            CertificateStatusMsg::decode(&bytes),
+            Err(WireError::UnknownStatusType(9))
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ pub struct Apache {
 impl Apache {
     /// A server for `site` with the default cache timeout.
     pub fn new(site: SiteConfig) -> Apache {
-        Apache { site, cache: None, cache_timeout: APACHE_CACHE_TIMEOUT }
+        Apache {
+            site,
+            cache: None,
+            cache_timeout: APACHE_CACHE_TIMEOUT,
+        }
     }
 
     /// Override the cache timeout (test hook).
@@ -137,7 +141,10 @@ mod tests {
         let flight = server.serve(at, &mut fetcher);
         let staple = flight.stapled_ocsp.expect("still staples");
         let cached = CachedStaple::from_fetch(staple, at);
-        assert!(!cached.ocsp_fresh(at), "the staple Apache serves is expired");
+        assert!(
+            !cached.ocsp_fresh(at),
+            "the staple Apache serves is expired"
+        );
         assert_eq!(fetcher.attempts(), 1);
     }
 
@@ -146,8 +153,13 @@ mod tests {
         let f = fixture(24);
         let mut server = Apache::new(f.site.clone());
         let mut fetcher = ScriptedFetcher::new(vec![
-            FetchOutcome::Fetched { body: staple_bytes(&f, t0()), latency_ms: 50.0 },
-            FetchOutcome::Unreachable { latency_ms: 1_000.0 },
+            FetchOutcome::Fetched {
+                body: staple_bytes(&f, t0()),
+                latency_ms: 50.0,
+            },
+            FetchOutcome::Unreachable {
+                latency_ms: 1_000.0,
+            },
         ]);
         server.serve(t0(), &mut fetcher);
         // Apache cache expires; the refetch fails; the old, still-valid
@@ -161,12 +173,20 @@ mod tests {
         let f = fixture(25);
         let mut server = Apache::new(f.site.clone());
         let mut fetcher = ScriptedFetcher::new(vec![
-            FetchOutcome::Fetched { body: staple_bytes(&f, t0()), latency_ms: 50.0 },
-            FetchOutcome::Fetched { body: try_later_bytes(), latency_ms: 50.0 },
+            FetchOutcome::Fetched {
+                body: staple_bytes(&f, t0()),
+                latency_ms: 50.0,
+            },
+            FetchOutcome::Fetched {
+                body: try_later_bytes(),
+                latency_ms: 50.0,
+            },
         ]);
         server.serve(t0(), &mut fetcher);
         let flight = server.serve(t0() + APACHE_CACHE_TIMEOUT + 1, &mut fetcher);
-        let staple = flight.stapled_ocsp.expect("Apache staples the error itself");
+        let staple = flight
+            .stapled_ocsp
+            .expect("Apache staples the error itself");
         let parsed = ocsp::OcspResponse::from_der(&staple).unwrap();
         assert_eq!(parsed.status, ocsp::ResponseStatus::TryLater);
     }

@@ -64,11 +64,22 @@ impl TestBench {
     /// Build the bench (deterministic from `seed`).
     pub fn new(seed: u64, t0: Time) -> TestBench {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut ca = CertificateAuthority::new_root(&mut rng, "Bench CA", "Bench Root", "bench.test", t0);
-        let leaf = ca.issue(&mut rng, &IssueParams::new("bench.example", t0).must_staple(true));
+        let mut ca =
+            CertificateAuthority::new_root(&mut rng, "Bench CA", "Bench Root", "bench.test", t0);
+        let leaf = ca.issue(
+            &mut rng,
+            &IssueParams::new("bench.example", t0).must_staple(true),
+        );
         let cert_id = CertId::for_certificate(&leaf, ca.certificate());
-        let site = SiteConfig { chain: vec![leaf, ca.certificate().clone()] };
-        TestBench { ca, cert_id, site, t0 }
+        let site = SiteConfig {
+            chain: vec![leaf, ca.certificate().clone()],
+        };
+        TestBench {
+            ca,
+            cert_id,
+            site,
+            t0,
+        }
     }
 
     /// Start of the bench's timeline.
@@ -92,13 +103,20 @@ impl TestBench {
     pub fn live_fetcher(&self, validity_secs: i64) -> FnFetcher {
         let responder = Rc::new(RefCell::new(Responder::new(
             "http://ocsp.bench.test/",
-            ResponderProfile::healthy().margin(0).validity(validity_secs),
+            ResponderProfile::healthy()
+                .margin(0)
+                .validity(validity_secs),
         )));
         let ca = self.ca.clone();
         let id = self.cert_id.clone();
         FnFetcher::new(move |now| {
-            let body = responder.borrow_mut().handle(&ca, &OcspRequest::single(id.clone()), now);
-            FetchOutcome::Fetched { body, latency_ms: 80.0 }
+            let body = responder
+                .borrow_mut()
+                .handle(&ca, &OcspRequest::single(id.clone()), now);
+            FetchOutcome::Fetched {
+                body,
+                latency_ms: 80.0,
+            }
         })
     }
 
@@ -106,7 +124,9 @@ impl TestBench {
     pub fn staple_at(&self, now: Time, validity_secs: i64) -> Vec<u8> {
         let mut responder = Responder::new(
             "http://ocsp.bench.test/",
-            ResponderProfile::healthy().margin(0).validity(validity_secs),
+            ResponderProfile::healthy()
+                .margin(0)
+                .validity(validity_secs),
         );
         responder.handle(&self.ca, &OcspRequest::single(self.cert_id.clone()), now)
     }
@@ -158,10 +178,7 @@ fn prefetch_experiment<S: StaplingServer>(
 }
 
 /// Experiment 2: are responses cached across connections?
-fn cache_experiment<S: StaplingServer>(
-    bench: &TestBench,
-    make: &impl Fn(SiteConfig) -> S,
-) -> bool {
+fn cache_experiment<S: StaplingServer>(bench: &TestBench, make: &impl Fn(SiteConfig) -> S) -> bool {
     let mut server = make(bench.site.clone());
     let mut fetcher = bench.live_fetcher(7 * 86_400);
     let t0 = bench.t0();
@@ -209,15 +226,17 @@ fn next_update_experiment<S: StaplingServer>(
 /// Experiment 4: when a refresh fails, is the old (still valid) response
 /// retained? Uses a 2-hour validity and kills the responder after the
 /// first fetch; probes at t0+4000 (inside the original validity).
-fn error_experiment<S: StaplingServer>(
-    bench: &TestBench,
-    make: &impl Fn(SiteConfig) -> S,
-) -> bool {
+fn error_experiment<S: StaplingServer>(bench: &TestBench, make: &impl Fn(SiteConfig) -> S) -> bool {
     let mut server = make(bench.site.clone());
     let t0 = bench.t0();
     let mut fetcher = ScriptedFetcher::new(vec![
-        FetchOutcome::Fetched { body: bench.staple_at(t0, 7_200), latency_ms: 80.0 },
-        FetchOutcome::Unreachable { latency_ms: 2_000.0 },
+        FetchOutcome::Fetched {
+            body: bench.staple_at(t0, 7_200),
+            latency_ms: 80.0,
+        },
+        FetchOutcome::Unreachable {
+            latency_ms: 2_000.0,
+        },
     ]);
     server.tick(t0, &mut fetcher);
     server.serve(t0 + 1, &mut fetcher);
@@ -232,6 +251,9 @@ fn error_experiment<S: StaplingServer>(
     flight.stapled_ocsp.is_some()
 }
 
+/// One Table 3 line: a label plus how to render a row's cell for it.
+type Table3Line = (&'static str, Box<dyn Fn(&Table3Row) -> String>);
+
 /// Render rows in the paper's Table 3 layout.
 pub fn render_table3(rows: &[Table3Row]) -> String {
     let mut out = String::new();
@@ -241,9 +263,15 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
     }
     out.push('\n');
     let mark = |b: bool| if b { "\u{2713}" } else { "\u{2717}" };
-    let lines: Vec<(&str, Box<dyn Fn(&Table3Row) -> String>)> = vec![
-        ("Prefetch OCSP response", Box::new(|r: &Table3Row| r.prefetch.cell().to_string())),
-        ("Cache OCSP response", Box::new(move |r: &Table3Row| mark(r.caches).to_string())),
+    let lines: Vec<Table3Line> = vec![
+        (
+            "Prefetch OCSP response",
+            Box::new(|r: &Table3Row| r.prefetch.cell().to_string()),
+        ),
+        (
+            "Cache OCSP response",
+            Box::new(move |r: &Table3Row| mark(r.caches).to_string()),
+        ),
         (
             "Respect nextUpdate in cache",
             Box::new(move |r: &Table3Row| mark(r.respects_next_update).to_string()),
@@ -305,8 +333,10 @@ mod tests {
     #[test]
     fn table_renders_both_servers() {
         let b = bench();
-        let rows =
-            vec![run_table3_experiments(&b, Apache::new), run_table3_experiments(&b, Nginx::new)];
+        let rows = vec![
+            run_table3_experiments(&b, Apache::new),
+            run_table3_experiments(&b, Nginx::new),
+        ];
         let table = render_table3(&rows);
         assert!(table.contains("Apache"));
         assert!(table.contains("Nginx"));

@@ -48,17 +48,26 @@ impl ScriptedFetcher {
     /// Panics on an empty script.
     pub fn new(script: Vec<FetchOutcome>) -> ScriptedFetcher {
         assert!(!script.is_empty(), "fetcher script must not be empty");
-        ScriptedFetcher { script, cursor: 0, attempts: 0 }
+        ScriptedFetcher {
+            script,
+            cursor: 0,
+            attempts: 0,
+        }
     }
 
     /// A fetcher that always succeeds with `body`.
     pub fn always(body: Vec<u8>) -> ScriptedFetcher {
-        ScriptedFetcher::new(vec![FetchOutcome::Fetched { body, latency_ms: 80.0 }])
+        ScriptedFetcher::new(vec![FetchOutcome::Fetched {
+            body,
+            latency_ms: 80.0,
+        }])
     }
 
     /// A fetcher that always fails.
     pub fn down() -> ScriptedFetcher {
-        ScriptedFetcher::new(vec![FetchOutcome::Unreachable { latency_ms: 2_000.0 }])
+        ScriptedFetcher::new(vec![FetchOutcome::Unreachable {
+            latency_ms: 2_000.0,
+        }])
     }
 
     /// Append an outcome to the script.
@@ -90,7 +99,10 @@ pub struct FnFetcher {
 impl FnFetcher {
     /// Wrap a closure.
     pub fn new(f: impl FnMut(Time) -> FetchOutcome + 'static) -> FnFetcher {
-        FnFetcher { f: Box::new(f), attempts: 0 }
+        FnFetcher {
+            f: Box::new(f),
+            attempts: 0,
+        }
     }
 }
 
@@ -128,7 +140,10 @@ mod tests {
     #[test]
     fn script_plays_in_order_then_repeats_last() {
         let mut f = ScriptedFetcher::new(vec![
-            FetchOutcome::Fetched { body: vec![1], latency_ms: 1.0 },
+            FetchOutcome::Fetched {
+                body: vec![1],
+                latency_ms: 1.0,
+            },
             FetchOutcome::Unreachable { latency_ms: 2.0 },
         ]);
         assert!(matches!(f.fetch(t()), FetchOutcome::Fetched { .. }));

@@ -114,8 +114,14 @@ mod tests {
         let first = expired_staple_at(&f, t0(), 7_200);
         let second = expired_staple_at(&f, t0() + 3_700, 7_200);
         let mut fetcher = ScriptedFetcher::new(vec![
-            FetchOutcome::Fetched { body: first, latency_ms: 50.0 },
-            FetchOutcome::Fetched { body: second, latency_ms: 50.0 },
+            FetchOutcome::Fetched {
+                body: first,
+                latency_ms: 50.0,
+            },
+            FetchOutcome::Fetched {
+                body: second,
+                latency_ms: 50.0,
+            },
         ]);
         server.tick(t0(), &mut fetcher);
         // Past the midpoint (t0+3600) the next tick refreshes.
@@ -130,13 +136,21 @@ mod tests {
         let f = fixture(43);
         let mut server = Ideal::new(f.site.clone());
         let mut fetcher = ScriptedFetcher::new(vec![
-            FetchOutcome::Fetched { body: expired_staple_at(&f, t0(), 7_200), latency_ms: 50.0 },
-            FetchOutcome::Unreachable { latency_ms: 1_000.0 },
+            FetchOutcome::Fetched {
+                body: expired_staple_at(&f, t0(), 7_200),
+                latency_ms: 50.0,
+            },
+            FetchOutcome::Unreachable {
+                latency_ms: 1_000.0,
+            },
         ]);
         server.tick(t0(), &mut fetcher);
         server.tick(t0() + 4_000, &mut fetcher); // refresh fails
-        // Still valid: staple retained.
-        assert!(server.serve(t0() + 5_000, &mut fetcher).stapled_ocsp.is_some());
+                                                 // Still valid: staple retained.
+        assert!(server
+            .serve(t0() + 5_000, &mut fetcher)
+            .stapled_ocsp
+            .is_some());
         // After expiry with the responder still down: no staple, but
         // crucially also no expired staple.
         let flight = server.serve(t0() + 8_000, &mut fetcher);
@@ -148,12 +162,21 @@ mod tests {
         let f = fixture(44);
         let mut server = Ideal::new(f.site.clone());
         let mut fetcher = ScriptedFetcher::new(vec![
-            FetchOutcome::Fetched { body: expired_staple_at(&f, t0(), 7_200), latency_ms: 50.0 },
-            FetchOutcome::Fetched { body: try_later_bytes(), latency_ms: 50.0 },
+            FetchOutcome::Fetched {
+                body: expired_staple_at(&f, t0(), 7_200),
+                latency_ms: 50.0,
+            },
+            FetchOutcome::Fetched {
+                body: try_later_bytes(),
+                latency_ms: 50.0,
+            },
         ]);
         server.tick(t0(), &mut fetcher);
         server.tick(t0() + 4_000, &mut fetcher); // tryLater ignored
-        let staple = server.serve(t0() + 5_000, &mut fetcher).stapled_ocsp.unwrap();
+        let staple = server
+            .serve(t0() + 5_000, &mut fetcher)
+            .stapled_ocsp
+            .unwrap();
         let parsed = ocsp::OcspResponse::from_der(&staple).unwrap();
         assert_eq!(parsed.status, ocsp::ResponseStatus::Successful);
     }

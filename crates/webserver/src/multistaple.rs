@@ -29,7 +29,10 @@ impl MultiIdeal {
     /// A server for `site`.
     pub fn new(site: SiteConfig) -> MultiIdeal {
         let n = site.chain.len();
-        MultiIdeal { site, caches: vec![None; n] }
+        MultiIdeal {
+            site,
+            caches: vec![None; n],
+        }
     }
 
     /// Background refresh for every chain element; `fetchers[i]` fetches
@@ -67,7 +70,9 @@ impl MultiIdeal {
         self.caches
             .iter()
             .map(|slot| {
-                slot.as_ref().filter(|c| c.ocsp_fresh(now)).map(|c| c.body.clone())
+                slot.as_ref()
+                    .filter(|c| c.ocsp_fresh(now))
+                    .map(|c| c.body.clone())
             })
             .collect()
     }
@@ -124,7 +129,9 @@ pub fn verify_multi_staple(
 
     let mut covered = 0;
     for (i, cert) in chain.iter().enumerate() {
-        let Some(Some(staple)) = staples.get(i) else { continue };
+        let Some(Some(staple)) = staples.get(i) else {
+            continue;
+        };
         // The issuer is the next chain element, or a root from the store.
         let issuer = chain
             .get(i + 1)
@@ -186,15 +193,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut root =
             CertificateAuthority::new_root(&mut rng, "Multi", "Multi Root", "mr.test", t0());
-        let mut inter =
-            root.issue_intermediate(&mut rng, "Multi", "Multi CA 1", "m1.test", t0());
+        let mut inter = root.issue_intermediate(&mut rng, "Multi", "Multi CA 1", "m1.test", t0());
         let leaf = inter.issue(&mut rng, &IssueParams::new("multi.example", t0()));
         let leaf_id = CertId::for_certificate(&leaf, inter.certificate());
         let inter_id = CertId::for_certificate(inter.certificate(), root.certificate());
         let mut roots = RootStore::new("multi");
         roots.add(root.certificate().clone());
-        let site = SiteConfig { chain: vec![leaf, inter.certificate().clone()] };
-        Env { root, inter, site, leaf_id, inter_id, roots }
+        let site = SiteConfig {
+            chain: vec![leaf, inter.certificate().clone()],
+        };
+        Env {
+            root,
+            inter,
+            site,
+            leaf_id,
+            inter_id,
+            roots,
+        }
     }
 
     fn fetcher_for(ca: &CertificateAuthority, id: &CertId) -> FnFetcher {
@@ -203,7 +218,10 @@ mod tests {
         FnFetcher::new(move |now| {
             let mut responder = Responder::new("u", ResponderProfile::healthy());
             let body = responder.handle(&ca, &OcspRequest::single(id.clone()), now);
-            FetchOutcome::Fetched { body, latency_ms: 20.0 }
+            FetchOutcome::Fetched {
+                body,
+                latency_ms: 20.0,
+            }
         })
     }
 
@@ -236,7 +254,8 @@ mod tests {
         let mut e = env(2);
         // The root CA revokes the intermediate.
         let inter_serial = e.inter.certificate().serial().clone();
-        e.root.revoke(&inter_serial, t0(), Some(RevocationReason::CaCompromise));
+        e.root
+            .revoke(&inter_serial, t0(), Some(RevocationReason::CaCompromise));
 
         let mut server = MultiIdeal::new(e.site.clone());
         let mut leaf_f = fetcher_for(&e.inter, &e.leaf_id);

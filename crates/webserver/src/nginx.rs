@@ -39,11 +39,16 @@ pub struct Nginx {
 impl Nginx {
     /// A server for `site`.
     pub fn new(site: SiteConfig) -> Nginx {
-        Nginx { site, cache: None, last_attempt: None }
+        Nginx {
+            site,
+            cache: None,
+            last_attempt: None,
+        }
     }
 
     fn clamp_allows(&self, now: Time) -> bool {
-        self.last_attempt.is_none_or(|t| now - t >= NGINX_REFRESH_CLAMP)
+        self.last_attempt
+            .is_none_or(|t| now - t >= NGINX_REFRESH_CLAMP)
     }
 
     fn wants_refresh(&self, now: Time) -> bool {
@@ -120,7 +125,10 @@ mod tests {
         let mut server = Nginx::new(f.site.clone());
         let mut fetcher = ScriptedFetcher::always(staple_bytes(&f, t0()));
         let flight = server.serve(t0(), &mut fetcher);
-        assert_eq!(flight.stapled_ocsp, None, "nginx's first client gets nothing");
+        assert_eq!(
+            flight.stapled_ocsp, None,
+            "nginx's first client gets nothing"
+        );
         assert_eq!(flight.stall_ms, 0.0, "and is not stalled");
         assert_eq!(fetcher.attempts(), 1, "fetch happens in the background");
     }
@@ -142,7 +150,10 @@ mod tests {
         let f = fixture(33);
         let mut server = Nginx::new(f.site.clone());
         let mut fetcher = ScriptedFetcher::new(vec![
-            FetchOutcome::Fetched { body: expired_staple_at(&f, t0(), 7_200), latency_ms: 50.0 },
+            FetchOutcome::Fetched {
+                body: expired_staple_at(&f, t0(), 7_200),
+                latency_ms: 50.0,
+            },
             FetchOutcome::Fetched {
                 body: expired_staple_at(&f, t0() + 8_000, 7_200),
                 latency_ms: 50.0,
@@ -170,7 +181,10 @@ mod tests {
         let flight = server.serve(at, &mut fetcher);
         let staple = flight.stapled_ocsp.expect("expired staple still served");
         let cached = CachedStaple::from_fetch(staple, at);
-        assert!(!cached.ocsp_fresh(at), "client received an expired response");
+        assert!(
+            !cached.ocsp_fresh(at),
+            "client received an expired response"
+        );
         assert_eq!(fetcher.attempts(), 1, "clamp suppressed the refresh");
         // After the clamp lapses, refresh happens.
         server.serve(t0() + 301, &mut fetcher);
@@ -183,8 +197,13 @@ mod tests {
         let mut server = Nginx::new(f.site.clone());
         // 2-hour validity so the refresh-ahead window opens immediately.
         let mut fetcher = ScriptedFetcher::new(vec![
-            FetchOutcome::Fetched { body: expired_staple_at(&f, t0(), 7_200), latency_ms: 50.0 },
-            FetchOutcome::Unreachable { latency_ms: 1_000.0 },
+            FetchOutcome::Fetched {
+                body: expired_staple_at(&f, t0(), 7_200),
+                latency_ms: 50.0,
+            },
+            FetchOutcome::Unreachable {
+                latency_ms: 1_000.0,
+            },
         ]);
         server.serve(t0(), &mut fetcher);
         // Inside refresh-ahead, responder now down.
@@ -202,8 +221,14 @@ mod tests {
         let f = fixture(36);
         let mut server = Nginx::new(f.site.clone());
         let mut fetcher = ScriptedFetcher::new(vec![
-            FetchOutcome::Fetched { body: expired_staple_at(&f, t0(), 7_200), latency_ms: 50.0 },
-            FetchOutcome::Fetched { body: try_later_bytes(), latency_ms: 50.0 },
+            FetchOutcome::Fetched {
+                body: expired_staple_at(&f, t0(), 7_200),
+                latency_ms: 50.0,
+            },
+            FetchOutcome::Fetched {
+                body: try_later_bytes(),
+                latency_ms: 50.0,
+            },
         ]);
         server.serve(t0(), &mut fetcher);
         let at = t0() + 4_000;

@@ -71,7 +71,12 @@ impl CachedStaple {
             }
             _ => (None, false),
         };
-        CachedStaple { body, fetched_at, next_update, is_successful_response }
+        CachedStaple {
+            body,
+            fetched_at,
+            next_update,
+            is_successful_response,
+        }
     }
 
     /// Whether the *OCSP-level* validity window still covers `now`

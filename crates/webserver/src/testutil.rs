@@ -18,9 +18,14 @@ pub fn fixture(seed: u64) -> Fixture {
     let mut rng = StdRng::seed_from_u64(seed);
     let now = Time::from_civil(2018, 6, 1, 0, 0, 0);
     let mut ca = CertificateAuthority::new_root(&mut rng, "CA", "Root", "ca.test", now);
-    let leaf = ca.issue(&mut rng, &IssueParams::new("site.example", now).must_staple(true));
+    let leaf = ca.issue(
+        &mut rng,
+        &IssueParams::new("site.example", now).must_staple(true),
+    );
     let id = CertId::for_certificate(&leaf, ca.certificate());
-    let site = SiteConfig { chain: vec![leaf.clone(), ca.certificate().clone()] };
+    let site = SiteConfig {
+        chain: vec![leaf.clone(), ca.certificate().clone()],
+    };
     Fixture { ca, leaf, id, site }
 }
 
@@ -33,8 +38,12 @@ pub fn staple_bytes(f: &Fixture, now: Time) -> Vec<u8> {
 /// Response bytes whose validity is only `validity_secs` (zero margin so
 /// the window starts exactly at `now`).
 pub fn expired_staple_at(f: &Fixture, now: Time, validity_secs: i64) -> Vec<u8> {
-    let mut responder =
-        Responder::new("u", ResponderProfile::healthy().margin(0).validity(validity_secs));
+    let mut responder = Responder::new(
+        "u",
+        ResponderProfile::healthy()
+            .margin(0)
+            .validity(validity_secs),
+    );
     responder.handle(&f.ca, &OcspRequest::single(f.id.clone()), now)
 }
 

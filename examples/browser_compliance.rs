@@ -39,5 +39,8 @@ fn main() {
         rows.len()
     );
     let matches = rows.iter().filter(|r| row_matches_paper(r)).count();
-    println!("{matches}/{} rows match the paper's Table 2 exactly.", rows.len());
+    println!(
+        "{matches}/{} rows match the paper's Table 2 exactly.",
+        rows.len()
+    );
 }

@@ -44,7 +44,11 @@ fn main() {
     );
     println!(
         "browsers respecting MS:    {}/16 (paper: 4/16)",
-        results.browsers.iter().filter(|r| r.respected_must_staple).count()
+        results
+            .browsers
+            .iter()
+            .filter(|r| r.respected_must_staple)
+            .count()
     );
     println!();
     println!("{}", results.readiness_report().render());

@@ -6,12 +6,12 @@
 //! cargo run --example quickstart
 //! ```
 
+use mustaple::asn1::Time;
 use mustaple::browser::{BrowserClient, NoTransport, BROWSER_MATRIX};
 use mustaple::ocsp::{CertId, OcspRequest, Responder, ResponderProfile};
 use mustaple::pki::{CertificateAuthority, IssueParams, RootStore};
 use mustaple::webserver::server::SiteConfig;
 use mustaple::webserver::{FetchOutcome, FnFetcher, Ideal, ScriptedFetcher, StaplingServer};
-use mustaple::asn1::Time;
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
@@ -19,13 +19,23 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1);
 
     // 1. A CA issues a Must-Staple certificate for our site.
-    let mut ca = CertificateAuthority::new_root(&mut rng, "Demo CA", "Demo Root", "demo-ca.test", now);
-    let cert = ca.issue(&mut rng, &IssueParams::new("quickstart.example", now).must_staple(true));
-    println!("issued {} (must-staple: {})", cert.subject(), cert.has_must_staple());
+    let mut ca =
+        CertificateAuthority::new_root(&mut rng, "Demo CA", "Demo Root", "demo-ca.test", now);
+    let cert = ca.issue(
+        &mut rng,
+        &IssueParams::new("quickstart.example", now).must_staple(true),
+    );
+    println!(
+        "issued {} (must-staple: {})",
+        cert.subject(),
+        cert.has_must_staple()
+    );
 
     let mut roots = RootStore::new("demo");
     roots.add(ca.certificate().clone());
-    let site = SiteConfig { chain: vec![cert.clone(), ca.certificate().clone()] };
+    let site = SiteConfig {
+        chain: vec![cert.clone(), ca.certificate().clone()],
+    };
     let cert_id = CertId::for_certificate(&cert, ca.certificate());
 
     // 2. A web server that follows the paper's §8 recommendation:
@@ -34,15 +44,22 @@ fn main() {
     let ca_for_fetcher = ca.clone();
     let id = cert_id.clone();
     let mut fetcher = FnFetcher::new(move |t| {
-        let mut responder = Responder::new("http://ocsp.demo-ca.test/", ResponderProfile::healthy());
+        let mut responder =
+            Responder::new("http://ocsp.demo-ca.test/", ResponderProfile::healthy());
         let body = responder.handle(&ca_for_fetcher, &OcspRequest::single(id.clone()), t);
-        FetchOutcome::Fetched { body, latency_ms: 40.0 }
+        FetchOutcome::Fetched {
+            body,
+            latency_ms: 40.0,
+        }
     });
     server.tick(now, &mut fetcher); // the prefetch
 
     // 3. Firefox (a Must-Staple-respecting client) connects.
     let firefox = BrowserClient::new(
-        *BROWSER_MATRIX.iter().find(|p| p.name == "Firefox 60").unwrap(),
+        *BROWSER_MATRIX
+            .iter()
+            .find(|p| p.name == "Firefox 60")
+            .unwrap(),
     );
     let outcome = firefox.connect(
         &mut server,

@@ -23,7 +23,8 @@ struct Finding {
 fn main() {
     let now = Time::from_civil(2018, 5, 1, 12, 0, 0);
     let mut rng = StdRng::seed_from_u64(2);
-    let mut ca = CertificateAuthority::new_root(&mut rng, "Audit CA", "Audit Root", "audit-ca.test", now);
+    let mut ca =
+        CertificateAuthority::new_root(&mut rng, "Audit CA", "Audit Root", "audit-ca.test", now);
     let cert = ca.issue(&mut rng, &IssueParams::new("audit.example", now));
     let id = CertId::for_certificate(&cert, ca.certificate());
 
@@ -31,19 +32,54 @@ fn main() {
     // real-world misbehaviors from §5.
     let subjects: Vec<(&str, ResponderProfile)> = vec![
         ("healthy.example", ResponderProfile::healthy()),
-        ("zero-body.example (sheca-style)", ResponderProfile::healthy().malformed(MalformMode::LiteralZero)),
-        ("js-page.example", ResponderProfile::healthy().malformed(MalformMode::JavascriptPage)),
-        ("wrong-serial.example", ResponderProfile::healthy().wrong_serial()),
-        ("bad-signature.example", ResponderProfile::healthy().corrupt_signature()),
+        (
+            "zero-body.example (sheca-style)",
+            ResponderProfile::healthy().malformed(MalformMode::LiteralZero),
+        ),
+        (
+            "js-page.example",
+            ResponderProfile::healthy().malformed(MalformMode::JavascriptPage),
+        ),
+        (
+            "wrong-serial.example",
+            ResponderProfile::healthy().wrong_serial(),
+        ),
+        (
+            "bad-signature.example",
+            ResponderProfile::healthy().corrupt_signature(),
+        ),
         ("zero-margin.example", ResponderProfile::healthy().margin(0)),
-        ("future-dated.example", ResponderProfile::healthy().margin(-300)),
-        ("blank-next-update.example", ResponderProfile::healthy().blank_next_update()),
-        ("month-validity.example", ResponderProfile::healthy().validity(45 * 86_400)),
-        ("hinet-style.example", ResponderProfile::healthy().margin(0).validity(7_200).pre_generated(7_200)),
-        ("bloated.example (cpc.gov.ae-style)", ResponderProfile::healthy().superfluous_certs(4).extra_serials(19)),
+        (
+            "future-dated.example",
+            ResponderProfile::healthy().margin(-300),
+        ),
+        (
+            "blank-next-update.example",
+            ResponderProfile::healthy().blank_next_update(),
+        ),
+        (
+            "month-validity.example",
+            ResponderProfile::healthy().validity(45 * 86_400),
+        ),
+        (
+            "hinet-style.example",
+            ResponderProfile::healthy()
+                .margin(0)
+                .validity(7_200)
+                .pre_generated(7_200),
+        ),
+        (
+            "bloated.example (cpc.gov.ae-style)",
+            ResponderProfile::healthy()
+                .superfluous_certs(4)
+                .extra_serials(19),
+        ),
     ];
 
-    println!("auditing {} responders against the §5 quality checks\n", subjects.len());
+    println!(
+        "auditing {} responders against the §5 quality checks\n",
+        subjects.len()
+    );
     for (name, profile) in subjects {
         let non_overlapping = profile.has_non_overlapping_windows();
         let mut responder = Responder::new("http://audit/", profile);
@@ -57,7 +93,10 @@ fn main() {
                 &id,
                 ca.certificate(),
                 now,
-                ValidationConfig { clock_skew: skew, require_next_update: false },
+                ValidationConfig {
+                    clock_skew: skew,
+                    require_next_update: false,
+                },
             );
             match result {
                 Ok(v) => {

@@ -53,9 +53,14 @@ fn main() {
     });
     let flight = apache.serve(t0, &mut flaky);
     let parsed = OcspResponse::from_der(&flight.stapled_ocsp.expect("stapled")).unwrap();
-    println!("  first client received a stapled response with status {:?}", parsed.status);
+    println!(
+        "  first client received a stapled response with status {:?}",
+        parsed.status
+    );
     assert_eq!(parsed.status, ResponseStatus::TryLater);
 
     println!("\nconclusion: neither Apache nor Nginx fully supports what Must-Staple needs;");
-    println!("the recommended policy (prefetch + refresh-ahead + retain-on-error) passes all four.");
+    println!(
+        "the recommended policy (prefetch + refresh-ahead + retain-on-error) passes all four."
+    );
 }

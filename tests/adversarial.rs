@@ -3,8 +3,8 @@
 
 use mustaple::asn1::Time;
 use mustaple::ocsp::{
-    validate_response, CertId, CertStatus, OcspRequest, OcspResponse, Responder,
-    ResponderProfile, ResponseError, SingleResponse,
+    validate_response, CertId, CertStatus, OcspRequest, OcspResponse, Responder, ResponderProfile,
+    ResponseError, SingleResponse,
 };
 use mustaple::pki::{CertificateAuthority, IssueParams, RevocationReason};
 use rand::{rngs::StdRng, SeedableRng};
@@ -45,8 +45,14 @@ fn forged_response_from_foreign_ca_rejected() {
         }],
         vec![],
     );
-    let err = validate_response(&forged.to_der(), &e.id, e.ca.certificate(), t0(), Default::default())
-        .unwrap_err();
+    let err = validate_response(
+        &forged.to_der(),
+        &e.id,
+        e.ca.certificate(),
+        t0(),
+        Default::default(),
+    )
+    .unwrap_err();
     assert_eq!(err, ResponseError::SignatureInvalid);
 }
 
@@ -146,8 +152,10 @@ fn chaining_signer_without_eku_rejected() {
 #[test]
 fn stale_good_response_replay_is_time_bounded() {
     let mut e = env(4);
-    let mut responder =
-        Responder::new("u", ResponderProfile::healthy().margin(0).validity(3 * 86_400));
+    let mut responder = Responder::new(
+        "u",
+        ResponderProfile::healthy().margin(0).validity(3 * 86_400),
+    );
     let captured = responder.handle(&e.ca, &OcspRequest::single(e.id.clone()), t0());
 
     // The CA revokes one hour later; the attacker replays the capture.
@@ -196,11 +204,11 @@ fn stale_good_response_replay_is_time_bounded() {
 fn response_for_sibling_certificate_rejected() {
     let mut e = env(5);
     let mut rng = StdRng::seed_from_u64(102);
-    let sibling = e.ca.issue(&mut rng, &IssueParams::new("sibling.example", t0()));
+    let sibling =
+        e.ca.issue(&mut rng, &IssueParams::new("sibling.example", t0()));
     let sibling_id = CertId::for_certificate(&sibling, e.ca.certificate());
     let mut responder = Responder::new("u", ResponderProfile::healthy());
-    let sibling_response =
-        responder.handle(&e.ca, &OcspRequest::single(sibling_id), t0());
+    let sibling_response = responder.handle(&e.ca, &OcspRequest::single(sibling_id), t0());
     let err = validate_response(
         &sibling_response,
         &e.id,
@@ -223,8 +231,14 @@ fn unknown_for_revoked_certificate_is_visible() {
     e.ca.mark_ocsp_unknown(&serial); // the Table 1 database-loss fault
     let mut responder = Responder::new("u", ResponderProfile::healthy());
     let body = responder.handle(&e.ca, &OcspRequest::single(e.id.clone()), t0() + 60);
-    let v = validate_response(&body, &e.id, e.ca.certificate(), t0() + 60, Default::default())
-        .unwrap();
+    let v = validate_response(
+        &body,
+        &e.id,
+        e.ca.certificate(),
+        t0() + 60,
+        Default::default(),
+    )
+    .unwrap();
     assert_eq!(v.status, CertStatus::Unknown);
     // Meanwhile the CRL still tells the truth.
     let crl = e.ca.generate_crl(t0() + 60, None);

@@ -1,0 +1,61 @@
+//! The determinism gate: the scan campaigns must produce byte-identical
+//! artifacts for every worker count.
+//!
+//! This is the repo's contract for the sharded executor — parallelism
+//! is a wall-clock knob only. The same study runs once serially
+//! (`--serial` equivalent: one worker) and once on four workers, and
+//! every scan-derived artifact's CSV must match byte for byte. CI runs
+//! this test plus a binary-level `figures` diff.
+
+use ecosystem::EcosystemConfig;
+use mustaple::{Study, StudyResults};
+use mustaple_bench::{build, ALL_ARTIFACTS};
+
+fn run_study(workers: usize) -> StudyResults {
+    Study::new(EcosystemConfig::tiny().with_parallelism(workers)).run()
+}
+
+#[test]
+fn serial_and_parallel_artifacts_are_byte_identical() {
+    let serial = run_study(1);
+    let parallel = run_study(4);
+
+    for name in ALL_ARTIFACTS
+        .iter()
+        .chain(["freshness", "recommendations"].iter())
+    {
+        let a = build(name, &serial).unwrap_or_else(|| panic!("missing artifact {name}"));
+        let b = build(name, &parallel).unwrap_or_else(|| panic!("missing artifact {name}"));
+        let csv_a = a.table.to_csv();
+        let csv_b = b.table.to_csv();
+        assert!(
+            csv_a.as_bytes() == csv_b.as_bytes(),
+            "artifact `{name}` differs between serial and 4-worker runs:\n\
+             --- serial ---\n{csv_a}\n--- parallel ---\n{csv_b}"
+        );
+    }
+
+    // The readiness verdict is derived from everything above; it must
+    // agree too.
+    assert_eq!(
+        serial.readiness_report().render(),
+        parallel.readiness_report().render(),
+        "readiness reports diverged"
+    );
+}
+
+#[test]
+fn repeated_parallel_runs_are_byte_identical() {
+    // Same seed, same worker count, two fresh runs: scheduling noise
+    // must not be observable.
+    let first = run_study(3);
+    let second = run_study(3);
+    for name in ["fig3", "fig4", "fig5", "table1", "fig10"] {
+        let a = build(name, &first).expect("artifact");
+        let b = build(name, &second).expect("artifact");
+        assert!(
+            a.table.to_csv().as_bytes() == b.table.to_csv().as_bytes(),
+            "artifact `{name}` differs between two identical runs"
+        );
+    }
+}

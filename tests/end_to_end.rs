@@ -27,13 +27,22 @@ fn pki(seed: u64, must_staple: bool) -> Pki {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ca =
         CertificateAuthority::new_root(&mut rng, "E2E CA", "E2E Root", "e2e-ca.test", t0());
-    let cert =
-        ca.issue(&mut rng, &IssueParams::new("e2e.example", t0()).must_staple(must_staple));
+    let cert = ca.issue(
+        &mut rng,
+        &IssueParams::new("e2e.example", t0()).must_staple(must_staple),
+    );
     let cert_id = CertId::for_certificate(&cert, ca.certificate());
     let mut roots = RootStore::new("e2e");
     roots.add(ca.certificate().clone());
-    let site = SiteConfig { chain: vec![cert, ca.certificate().clone()] };
-    Pki { ca, site, cert_id, roots }
+    let site = SiteConfig {
+        chain: vec![cert, ca.certificate().clone()],
+    };
+    Pki {
+        ca,
+        site,
+        cert_id,
+        roots,
+    }
 }
 
 fn live_fetcher(ca: &CertificateAuthority, id: &CertId, validity: i64) -> FnFetcher {
@@ -45,16 +54,29 @@ fn live_fetcher(ca: &CertificateAuthority, id: &CertId, validity: i64) -> FnFetc
             ResponderProfile::healthy().validity(validity),
         );
         let body = responder.handle(&ca, &OcspRequest::single(id.clone()), now);
-        FetchOutcome::Fetched { body, latency_ms: 30.0 }
+        FetchOutcome::Fetched {
+            body,
+            latency_ms: 30.0,
+        }
     })
 }
 
 fn firefox() -> BrowserClient {
-    BrowserClient::new(*BROWSER_MATRIX.iter().find(|p| p.name == "Firefox 60").unwrap())
+    BrowserClient::new(
+        *BROWSER_MATRIX
+            .iter()
+            .find(|p| p.name == "Firefox 60")
+            .unwrap(),
+    )
 }
 
 fn chrome() -> BrowserClient {
-    BrowserClient::new(*BROWSER_MATRIX.iter().find(|p| p.name == "Chrome 66").unwrap())
+    BrowserClient::new(
+        *BROWSER_MATRIX
+            .iter()
+            .find(|p| p.name == "Chrome 66")
+            .unwrap(),
+    )
 }
 
 #[test]
@@ -162,8 +184,7 @@ fn crl_and_ocsp_agree_for_a_healthy_ca() {
 
     // OCSP channel.
     let mut responder = Responder::new("u", ResponderProfile::healthy());
-    let body =
-        responder.handle(&p.ca, &OcspRequest::single(p.cert_id.clone()), t0() + 100);
+    let body = responder.handle(&p.ca, &OcspRequest::single(p.cert_id.clone()), t0() + 100);
     let validated = mustaple::ocsp::validate_response(
         &body,
         &p.cert_id,
@@ -220,7 +241,7 @@ fn expired_staple_from_nginx_clamp_is_rejected_by_firefox_on_must_staple() {
     let mut server = Nginx::new(p.site.clone());
     let mut fetcher = live_fetcher(&p.ca, &p.cert_id, 120);
     server.serve(t0(), &mut fetcher); // background fetch
-    // At +200s the cached staple is expired and the clamp blocks refresh.
+                                      // At +200s the cached staple is expired and the clamp blocks refresh.
     let outcome = firefox().connect(
         &mut server,
         &mut fetcher,

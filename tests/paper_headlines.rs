@@ -24,7 +24,11 @@ fn sec4_shapes_hold_at_scale() {
     let corpus = Corpus::generate(99, 300_000);
     let stats = corpus.stats();
     // 95.4% OCSP.
-    assert!((stats.ocsp_fraction() - 0.954).abs() < 0.01, "{}", stats.ocsp_fraction());
+    assert!(
+        (stats.ocsp_fraction() - 0.954).abs() < 0.01,
+        "{}",
+        stats.ocsp_fraction()
+    );
     // Must-Staple well under 0.1%.
     assert!(stats.must_staple_fraction() < 0.001);
     assert!(stats.must_staple > 0, "but not zero at 300k certs");
@@ -65,7 +69,10 @@ fn quality_shapes_hold() {
     // Figure 6: most responders send one certificate; a tail sends more,
     // with the cpc.gov.ae-style responder at 4+.
     let mut certs = dataset.cdf_cert_counts();
-    assert!(certs.fraction_at_most(0.51) > 0.6, "most responders send <= ~0 extra certs");
+    assert!(
+        certs.fraction_at_most(0.51) > 0.6,
+        "most responders send <= ~0 extra certs"
+    );
     assert!(certs.max().unwrap() >= 4.0, "the 4-chain responder exists");
 
     // Figure 7: overwhelmingly one serial, with a 20-serial tail.
@@ -107,7 +114,10 @@ fn quality_shapes_hold() {
     // Footnote 17: the CNNIC multi-instance skew shows up as producedAt
     // regressions.
     assert!(
-        freshness.produced_at_regressions.iter().any(|url| url.contains("cnnic")),
+        freshness
+            .produced_at_regressions
+            .iter()
+            .any(|url| url.contains("cnnic")),
         "{:?}",
         freshness.produced_at_regressions
     );
@@ -129,7 +139,10 @@ fn consistency_shapes_hold() {
         summary.table1.len()
     );
     assert!(summary.table1.iter().any(|r| r.good > 0));
-    assert!(summary.table1.iter().any(|r| r.unknown > 0 && r.revoked == 0));
+    assert!(summary
+        .table1
+        .iter()
+        .any(|r| r.unknown > 0 && r.revoked == 0));
 
     // Figure 10: time differences are rare; negatives exist; msocsp-like
     // lags of >= 7h exist.
@@ -149,7 +162,11 @@ fn full_study_conclusion_matches_the_paper() {
     assert!(!report.web_is_ready(), "2018's web must not be ready");
     // Browsers: 4/16; servers: Apache+Nginx fail at least one experiment.
     assert_eq!(
-        results.browsers.iter().filter(|r| r.respected_must_staple).count(),
+        results
+            .browsers
+            .iter()
+            .filter(|r| r.respected_must_staple)
+            .count(),
         4
     );
     let apache = results

@@ -4,9 +4,7 @@
 //! parsers about what is and is not DER.
 
 use mustaple::asn1::{Time, Value};
-use mustaple::ocsp::{
-    CertId, MalformMode, OcspRequest, OcspResponse, Responder, ResponderProfile,
-};
+use mustaple::ocsp::{CertId, MalformMode, OcspRequest, OcspResponse, Responder, ResponderProfile};
 use mustaple::pki::{Certificate, CertificateAuthority, Crl, IssueParams};
 use mustaple::tls::wire::{CertificateMsg, ClientHello};
 use mustaple::tls::{ServerFlight, Transcript};
@@ -24,8 +22,12 @@ struct Env {
 
 fn env(seed: u64) -> Env {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut ca = CertificateAuthority::new_root(&mut rng, "Interop", "Interop Root", "io.test", t0());
-    let leaf = ca.issue(&mut rng, &IssueParams::new("interop.example", t0()).must_staple(true));
+    let mut ca =
+        CertificateAuthority::new_root(&mut rng, "Interop", "Interop Root", "io.test", t0());
+    let leaf = ca.issue(
+        &mut rng,
+        &IssueParams::new("interop.example", t0()).must_staple(true),
+    );
     let id = CertId::for_certificate(&leaf, ca.certificate());
     Env { ca, leaf, id }
 }
@@ -42,7 +44,9 @@ fn certificate_der_is_universally_parseable() {
     assert_eq!(value.encode(), der);
 
     // The TLS Certificate message carries it byte-identically.
-    let msg = CertificateMsg { chain: vec![e.leaf.clone(), e.ca.certificate().clone()] };
+    let msg = CertificateMsg {
+        chain: vec![e.leaf.clone(), e.ca.certificate().clone()],
+    };
     let parsed = CertificateMsg::decode(&msg.encode()).unwrap();
     assert_eq!(parsed.chain[0].to_der(), der);
 }
@@ -64,8 +68,14 @@ fn ocsp_bytes_flow_through_tls_unaltered() {
     let transcript = Transcript::record(&hello, &flight);
     let recovered = transcript.stapled_ocsp().unwrap().unwrap();
     assert_eq!(recovered, body);
-    mustaple::ocsp::validate_response(&recovered, &e.id, e.ca.certificate(), t0(), Default::default())
-        .unwrap();
+    mustaple::ocsp::validate_response(
+        &recovered,
+        &e.id,
+        e.ca.certificate(),
+        t0(),
+        Default::default(),
+    )
+    .unwrap();
 }
 
 #[test]
@@ -73,7 +83,11 @@ fn generic_parser_and_schema_parser_agree_on_garbage() {
     let e = env(3);
     // Everything the fault injector emits as "malformed" must be
     // rejected by both the generic ASN.1 parser and the OCSP parser.
-    for mode in [MalformMode::LiteralZero, MalformMode::Empty, MalformMode::JavascriptPage] {
+    for mode in [
+        MalformMode::LiteralZero,
+        MalformMode::Empty,
+        MalformMode::JavascriptPage,
+    ] {
         let mut responder = Responder::new("u", ResponderProfile::healthy().malformed(mode));
         let body = responder.handle(&e.ca, &OcspRequest::single(e.id.clone()), t0());
         assert!(Value::parse(&body).is_err(), "{mode:?} generic");
@@ -81,8 +95,10 @@ fn generic_parser_and_schema_parser_agree_on_garbage() {
     }
     // TruncatedDer may keep a structurally complete prefix invalid only
     // at the schema level; the schema parser must still reject it.
-    let mut responder =
-        Responder::new("u", ResponderProfile::healthy().malformed(MalformMode::TruncatedDer));
+    let mut responder = Responder::new(
+        "u",
+        ResponderProfile::healthy().malformed(MalformMode::TruncatedDer),
+    );
     let body = responder.handle(&e.ca, &OcspRequest::single(e.id.clone()), t0());
     assert!(OcspResponse::from_der(&body).is_err());
 }
