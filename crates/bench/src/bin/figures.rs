@@ -14,6 +14,10 @@
 //! (`available_parallelism`); `--serial` forces one worker and
 //! `--workers N` pins the count. Every setting produces byte-identical
 //! CSVs — parallelism is purely a wall-clock knob.
+//!
+//! `--telemetry` additionally dumps the campaigns' deterministic
+//! counters and histograms to `telemetry.csv` (byte-identical for every
+//! worker count) with an ASCII summary on stdout.
 
 use ecosystem::EcosystemConfig;
 use mustaple::Study;
@@ -26,6 +30,7 @@ fn main() {
     let mut out_dir = PathBuf::from("results");
     let mut wanted: Vec<String> = Vec::new();
     let mut workers: Option<usize> = None;
+    let mut telemetry = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,6 +44,7 @@ fn main() {
                 out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a value")))
             }
             "--serial" => workers = Some(1),
+            "--telemetry" => telemetry = true,
             "--workers" => {
                 let n = args
                     .next()
@@ -71,6 +77,9 @@ fn main() {
         wanted.push("ablations".into());
         wanted.push("readiness".into());
         wanted.push("bench-scan".into());
+    }
+    if telemetry && !wanted.iter().any(|w| w == "telemetry") {
+        wanted.push("telemetry".into());
     }
 
     eprintln!(
@@ -145,8 +154,9 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: figures [--scale tiny|figures] [--out DIR] [--serial | --workers N] [ARTIFACT...]\n\
-         artifacts: {} freshness recommendations ablations readiness bench-scan",
+        "usage: figures [--scale tiny|figures] [--out DIR] [--serial | --workers N] \
+         [--telemetry] [ARTIFACT...]\n\
+         artifacts: {} freshness recommendations telemetry ablations readiness bench-scan",
         ALL_ARTIFACTS.join(" ")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

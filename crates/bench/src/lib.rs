@@ -57,6 +57,7 @@ pub fn build(name: &str, results: &StudyResults) -> Option<Artifact> {
         "cdn" => cdn(results),
         "freshness" => freshness(results),
         "recommendations" => recommendations(results),
+        "telemetry" => telemetry_artifact(results),
         _ => return None,
     })
 }
@@ -617,6 +618,48 @@ fn recommendations(results: &StudyResults) -> Artifact {
     }
 }
 
+/// The `telemetry` artifact: every deterministic counter and histogram
+/// the campaigns recorded, in canonical (lexicographic) order. The CSV
+/// rendering of this table is byte-identical for every worker count;
+/// wall-clock spans are deliberately excluded.
+fn telemetry_artifact(results: &StudyResults) -> Artifact {
+    let reg = &results.telemetry;
+    let mut table = Table::new(&["kind", "metric", "label", "value"]);
+    for (metric, label, value) in reg.counters() {
+        table.row(&[
+            "counter".into(),
+            metric.into(),
+            label.into(),
+            value.to_string(),
+        ]);
+    }
+    for (metric, label, h) in reg.histograms() {
+        table.row(&[
+            "histogram".into(),
+            metric.into(),
+            label.into(),
+            format!(
+                "count={};sum={};min={};max={}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max()
+            ),
+        ]);
+    }
+    let counters = reg.counters().count();
+    let events: u64 = reg.counters().map(|(_, _, v)| v).sum();
+    Artifact {
+        name: "telemetry",
+        summary: format!(
+            "Campaign telemetry — {counters} counters totalling {events} events, plus {} \
+             histogram series; deterministic and byte-identical across worker counts.",
+            reg.histograms().count(),
+        ),
+        table,
+    }
+}
+
 /// The `bench-scan` artifact: serial vs parallel wall-clock for the
 /// hourly campaign, over the same ecosystem. Also sanity-checks the two
 /// runs agree (request count and responder reports), so the artifact
@@ -703,7 +746,7 @@ mod tests {
         let results = Study::new(EcosystemConfig::tiny()).run();
         for name in ALL_ARTIFACTS
             .iter()
-            .chain(["freshness", "recommendations"].iter())
+            .chain(["freshness", "recommendations", "telemetry"].iter())
         {
             let artifact = build(name, &results).unwrap_or_else(|| panic!("missing {name}"));
             assert_eq!(&artifact.name, name);

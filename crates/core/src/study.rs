@@ -41,6 +41,10 @@ pub struct StudyResults {
     pub browsers: Vec<SuiteRow>,
     /// §7.2 / Table 3: the web-server experiments (Apache, Nginx, Ideal).
     pub table3: Vec<Table3Row>,
+    /// Telemetry from every campaign, merged in a fixed order (hourly,
+    /// alexa1m, consistency, cdn, table3 rows) so the combined registry
+    /// is identical for every worker count.
+    pub telemetry: telemetry::Registry,
 }
 
 impl Study {
@@ -86,6 +90,15 @@ impl Study {
             run_table3_experiments(&bench, Ideal::new),
         ];
 
+        let mut telemetry = telemetry::Registry::new();
+        telemetry.merge(&hourly.telemetry);
+        telemetry.merge(&alexa1m.telemetry);
+        telemetry.merge(&consistency.telemetry);
+        telemetry.merge(&cdn.telemetry);
+        for row in &table3 {
+            telemetry.merge(&row.telemetry);
+        }
+
         StudyResults {
             config: self.config,
             corpus: corpus_stats,
@@ -97,6 +110,7 @@ impl Study {
             cdn,
             browsers,
             table3,
+            telemetry,
         }
     }
 }

@@ -81,10 +81,50 @@ impl Bencher<'_> {
     }
 }
 
+/// Summary of one finished benchmark, handed to the reporter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Benchmark name (group-qualified for grouped benchmarks).
+    pub name: String,
+    /// Number of timing samples collected (0 if the closure never ran).
+    pub samples: usize,
+    /// Median per-iteration cost in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration cost in nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl BenchReport {
+    /// The console line upstream criterion would print for this report.
+    pub fn render(&self) -> String {
+        if self.samples == 0 {
+            return format!("{:<44} (no samples collected)", self.name);
+        }
+        format!(
+            "{:<44} time: [median {} mean {}] ({} samples)",
+            self.name,
+            format_ns(self.median_ns),
+            format_ns(self.mean_ns),
+            self.samples
+        )
+    }
+}
+
+/// Where finished benchmarks are announced. The default reporter prints
+/// [`BenchReport::render`] to stdout; tests and embedding harnesses can
+/// swap in their own sink.
+type Reporter = Box<dyn FnMut(&BenchReport)>;
+
+fn console_reporter() -> Reporter {
+    Box::new(|report: &BenchReport| println!("{}", report.render()))
+}
+
 /// The benchmark driver.
 pub struct Criterion {
     sample_count: usize,
     time_budget: Duration,
+    reporter: Reporter,
+    telemetry: telemetry::Registry,
 }
 
 impl Default for Criterion {
@@ -92,6 +132,8 @@ impl Default for Criterion {
         Criterion {
             sample_count: 100,
             time_budget: Duration::from_secs(3),
+            reporter: console_reporter(),
+            telemetry: telemetry::Registry::new(),
         }
     }
 }
@@ -103,12 +145,32 @@ impl Criterion {
         self
     }
 
+    /// Replace the console reporter with a custom sink for finished
+    /// benchmarks (not part of the upstream API).
+    pub fn with_reporter(mut self, reporter: impl FnMut(&BenchReport) + 'static) -> Criterion {
+        self.reporter = Box::new(reporter);
+        self
+    }
+
+    /// Telemetry accumulated so far: one `criterion.sample_ns` histogram
+    /// per benchmark name (not part of the upstream API).
+    pub fn telemetry(&self) -> &telemetry::Registry {
+        &self.telemetry
+    }
+
     /// Run one named benchmark.
     pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Criterion
     where
         F: FnOnce(&mut Bencher),
     {
-        run_one(name.into(), self.sample_count, self.time_budget, f);
+        run_one(
+            name.into(),
+            self.sample_count,
+            self.time_budget,
+            f,
+            &mut self.reporter,
+            &mut self.telemetry,
+        );
         self
     }
 
@@ -118,7 +180,7 @@ impl Criterion {
             name: name.into(),
             sample_count: self.sample_count,
             time_budget: self.time_budget,
-            _parent: self,
+            parent: self,
         }
     }
 }
@@ -128,7 +190,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_count: usize,
     time_budget: Duration,
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -144,7 +206,14 @@ impl BenchmarkGroup<'_> {
         F: FnOnce(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, name.into());
-        run_one(full, self.sample_count, self.time_budget, f);
+        run_one(
+            full,
+            self.sample_count,
+            self.time_budget,
+            f,
+            &mut self.parent.reporter,
+            &mut self.parent.telemetry,
+        );
         self
     }
 
@@ -157,6 +226,8 @@ fn run_one<F: FnOnce(&mut Bencher)>(
     sample_count: usize,
     time_budget: Duration,
     f: F,
+    reporter: &mut Reporter,
+    registry: &mut telemetry::Registry,
 ) {
     let mut samples = Vec::with_capacity(sample_count);
     let mut bencher = Bencher {
@@ -165,19 +236,28 @@ fn run_one<F: FnOnce(&mut Bencher)>(
         time_budget,
     };
     f(&mut bencher);
-    if samples.is_empty() {
-        println!("{name:<44} (no samples collected)");
-        return;
-    }
-    samples.sort_by(|a, b| a.total_cmp(b));
-    let median = samples[samples.len() / 2];
-    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    println!(
-        "{name:<44} time: [median {} mean {}] ({} samples)",
-        format_ns(median),
-        format_ns(mean),
-        samples.len()
-    );
+    let report = if samples.is_empty() {
+        BenchReport {
+            name,
+            samples: 0,
+            median_ns: 0.0,
+            mean_ns: 0.0,
+        }
+    } else {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        for &s in &samples {
+            registry.observe("criterion.sample_ns", &name, s as u64);
+        }
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        BenchReport {
+            name,
+            samples: samples.len(),
+            median_ns: median,
+            mean_ns: mean,
+        }
+    };
+    reporter(&report);
 }
 
 fn format_ns(ns: f64) -> String {
@@ -244,6 +324,29 @@ mod tests {
             b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
         });
         group.finish();
+    }
+
+    #[test]
+    fn custom_reporter_receives_reports_and_telemetry_accumulates() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<BenchReport>>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .with_reporter(move |r| sink.borrow_mut().push(r.clone()));
+        c.bench_function("reported", |b| b.iter(|| black_box(1 + 1)));
+        let reports = seen.borrow();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].name, "reported");
+        assert!(reports[0].samples > 0);
+        assert!(reports[0].render().contains("reported"));
+        // Every sample also lands in the telemetry histogram.
+        let hist = c
+            .telemetry()
+            .histogram("criterion.sample_ns", "reported")
+            .expect("histogram recorded");
+        assert_eq!(hist.count(), reports[0].samples as u64);
     }
 
     #[test]

@@ -324,7 +324,11 @@ impl LiveEcosystem {
                 let healthy_profile = healthy_profile.clone();
                 let zero_windows = zero_windows.clone();
                 Box::new(
-                    move |_path: &str, body: &[u8], now: Time, _region: Region| {
+                    move |_path: &str,
+                          body: &[u8],
+                          now: Time,
+                          _region: Region,
+                          reg: &mut telemetry::Registry| {
                         let in_zero_episode = zero_windows
                             .iter()
                             .any(|&(start, end)| start <= now && now < end);
@@ -337,7 +341,7 @@ impl LiveEcosystem {
                         {
                             responder.set_profile(healthy_profile.clone());
                         }
-                        (200, responder.handle_bytes(&ca, body, now))
+                        (200, responder.handle_bytes_with(&ca, body, now, reg))
                     },
                 )
             });
@@ -359,13 +363,19 @@ impl LiveEcosystem {
             let ca = op.ca.clone();
             let factory: HandlerFactory = Box::new(move || {
                 let ca = ca.clone();
-                Box::new(move |_path: &str, _body: &[u8], now: Time, _r: Region| {
-                    // Weekly CRL windows.
-                    let this_update =
-                        Time::from_unix(now.unix() - now.unix().rem_euclid(7 * 86_400));
-                    let crl = ca.generate_crl(this_update, Some(this_update + 7 * 86_400));
-                    (200, crl.to_der())
-                })
+                Box::new(
+                    move |_path: &str,
+                          _body: &[u8],
+                          now: Time,
+                          _r: Region,
+                          _reg: &mut telemetry::Registry| {
+                        // Weekly CRL windows.
+                        let this_update =
+                            Time::from_unix(now.unix() - now.unix().rem_euclid(7 * 86_400));
+                        let crl = ca.generate_crl(this_update, Some(this_update + 7 * 86_400));
+                        (200, crl.to_der())
+                    },
+                )
             });
             topo.register(&op.crl_host, Region::Virginia, None, factory);
         }

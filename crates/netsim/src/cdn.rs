@@ -93,6 +93,9 @@ impl CdnNode {
         if let Some(entry) = self.cache.get(&key) {
             if entry.expires > now {
                 self.stats.cache_hits += 1;
+                world
+                    .telemetry_mut()
+                    .incr("cdn.edge.hit", self.region.label());
                 // Edge hit: client-to-edge latency is the caller's
                 // concern; edge processing is ~1 ms.
                 return HttpResult {
@@ -104,9 +107,18 @@ impl CdnNode {
         }
 
         self.stats.origin_fetches += 1;
+        world
+            .telemetry_mut()
+            .incr("cdn.edge.miss", self.region.label());
+        world
+            .telemetry_mut()
+            .incr("cdn.origin.fetch", self.region.label());
         let result = world.http_post(self.region, url, body, now);
         if let HttpOutcome::Ok(reply) = &result.outcome {
             self.stats.origin_successes += 1;
+            world
+                .telemetry_mut()
+                .incr("cdn.origin.success", self.region.label());
             let ttl = ttl_of(reply);
             if ttl > 0 {
                 self.cache.insert(
@@ -146,7 +158,7 @@ mod tests {
             "ocsp.origin.test",
             Region::Virginia,
             None,
-            Box::new(|_, body, now, _| {
+            Box::new(|_, body, now, _, _| {
                 let mut reply = body.to_vec();
                 reply.extend_from_slice(&now.unix().to_be_bytes());
                 (200, reply)
@@ -224,5 +236,19 @@ mod tests {
             cdn.fetch(&mut w, "http://ocsp.origin.test/", b"q", t(0), |_| 7_200);
         }
         assert!(cdn.stats().hit_ratio() > 0.7);
+    }
+
+    #[test]
+    fn edge_traffic_is_recorded_in_world_telemetry() {
+        let mut w = world();
+        let mut cdn = CdnNode::new(Region::Paris);
+        cdn.fetch(&mut w, "http://ocsp.origin.test/", b"q", t(0), |_| 7_200);
+        cdn.fetch(&mut w, "http://ocsp.origin.test/", b"q", t(1), |_| 7_200);
+        cdn.fetch(&mut w, "http://nxdomain.test/", b"q", t(0), |_| 7_200);
+        let reg = w.telemetry();
+        assert_eq!(reg.counter("cdn.edge.hit", "Paris"), 1);
+        assert_eq!(reg.counter("cdn.edge.miss", "Paris"), 2);
+        assert_eq!(reg.counter("cdn.origin.fetch", "Paris"), 2);
+        assert_eq!(reg.counter("cdn.origin.success", "Paris"), 1);
     }
 }

@@ -41,6 +41,17 @@ impl FailureKind {
             _ => None,
         }
     }
+
+    /// Stable short name used in telemetry metric names.
+    pub fn metric_label(self) -> &'static str {
+        match self {
+            FailureKind::DnsNxDomain => "dns",
+            FailureKind::TcpConnect => "tcp",
+            FailureKind::Http4xx => "http4xx",
+            FailureKind::Http5xx => "http5xx",
+            FailureKind::TlsBadCertificate => "tls",
+        }
+    }
 }
 
 /// Which regions an outage affects.

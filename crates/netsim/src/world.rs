@@ -13,7 +13,12 @@
 //!   exactly what a per-shard scan executor needs.
 //!
 //! [`World::http_post`] walks the full request path — DNS, outage
-//! checks (host- and group-level), latency, handler dispatch.
+//! checks (host- and group-level), latency, handler dispatch. Along the
+//! way it records deterministic telemetry into the world's
+//! [`Registry`]: per-region failure counts by kind, per-group failure
+//! counts, and outage-schedule activations. Per-shard worlds hand their
+//! registry back via [`World::take_telemetry`] so pipelines can merge
+//! them in canonical shard order.
 
 use crate::latency::http_latency_ms;
 use crate::outage::{first_active, FailureKind, Outage};
@@ -21,10 +26,13 @@ use crate::region::Region;
 use asn1::Time;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use telemetry::Registry;
 
-/// A boxed request handler: `(path, body, now, client_region) -> (status,
-/// body)`.
-pub type Handler = Box<dyn FnMut(&str, &[u8], Time, Region) -> (u16, Vec<u8>) + Send>;
+/// A boxed request handler: `(path, body, now, client_region, telemetry)
+/// -> (status, body)`. The handler may record its own events (e.g.
+/// responder fault-profile triggers) into the world's registry.
+pub type Handler =
+    Box<dyn FnMut(&str, &[u8], Time, Region, &mut Registry) -> (u16, Vec<u8>) + Send>;
 
 /// A recipe for building a host's handler. Stored in the shared
 /// [`Topology`] so every [`World`] can instantiate its own private
@@ -178,6 +186,8 @@ pub struct World {
     /// (client region, host) pairs that have resolved DNS before
     /// (warm-cache latency).
     dns_cache: HashSet<(Region, String)>,
+    /// Deterministic event counters for this world (one per shard).
+    telemetry: Registry,
 }
 
 impl World {
@@ -194,7 +204,24 @@ impl World {
             topo,
             handlers: HashMap::new(),
             dns_cache: HashSet::new(),
+            telemetry: Registry::new(),
         }
+    }
+
+    /// This world's telemetry registry.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// Mutable access for callers recording world-adjacent events.
+    pub fn telemetry_mut(&mut self) -> &mut Registry {
+        &mut self.telemetry
+    }
+
+    /// Take the accumulated telemetry, leaving an empty registry (used
+    /// by per-shard pipelines handing their registry to the merge).
+    pub fn take_telemetry(&mut self) -> Registry {
+        std::mem::take(&mut self.telemetry)
     }
 
     /// The shared topology (clone the `Arc` to build sibling worlds).
@@ -253,9 +280,11 @@ impl World {
 
     /// Perform an HTTP POST of `body` to `url` from `client` at `now`.
     pub fn http_post(&mut self, client: Region, url: &str, body: &[u8], now: Time) -> HttpResult {
+        self.telemetry.incr("net.request", client.label());
         let (scheme, hostname, path) = match split_url(url) {
             Some(parts) => parts,
             None => {
+                self.telemetry.incr("net.failure.dns", client.label());
                 return HttpResult {
                     outcome: HttpOutcome::DnsFailure,
                     latency_ms: 0.0,
@@ -265,6 +294,7 @@ impl World {
 
         let Some(host) = self.topo.hosts.get(hostname) else {
             // Unregistered host: NXDOMAIN after a resolver round trip.
+            self.telemetry.incr("net.failure.dns", client.label());
             return HttpResult {
                 outcome: HttpOutcome::DnsFailure,
                 latency_ms: 30.0,
@@ -283,15 +313,27 @@ impl World {
         );
 
         // Failure injection: host outages first, then group outages.
+        let host_hit = first_active(&host.outages, now, client);
         let group_hit = host
             .group
             .as_ref()
             .and_then(|g| self.topo.group_outages.get(g))
             .and_then(|outages| first_active(outages, now, client));
-        let failure = first_active(&host.outages, now, client)
-            .or(group_hit)
-            .map(|o| o.kind);
+        let failure = host_hit.or(group_hit).map(|o| o.kind);
         if let Some(kind) = failure {
+            self.telemetry.incr(
+                &format!("net.failure.{}", kind.metric_label()),
+                client.label(),
+            );
+            if let Some(group) = &host.group {
+                self.telemetry.incr("net.failure.by_group", group);
+            }
+            let activation = if host_hit.is_some() {
+                hostname.to_string()
+            } else {
+                format!("group:{}", host.group.as_deref().unwrap_or("?"))
+            };
+            self.telemetry.incr("net.outage.activation", &activation);
             let outcome = match kind {
                 FailureKind::DnsNxDomain => HttpOutcome::DnsFailure,
                 FailureKind::TcpConnect => HttpOutcome::ConnectFailure,
@@ -328,10 +370,11 @@ impl World {
                 e.insert(factory())
             }
         };
-        let (status, reply) = handler(path, body, now, client);
+        let (status, reply) = handler(path, body, now, client, &mut self.telemetry);
         let outcome = if status == 200 {
             HttpOutcome::Ok(reply)
         } else {
+            self.telemetry.incr("net.failure.http", client.label());
             HttpOutcome::HttpError(status)
         };
         HttpResult {
@@ -368,7 +411,7 @@ mod tests {
     }
 
     fn echo_handler() -> Handler {
-        Box::new(|path, body, _, _| {
+        Box::new(|path, body, _, _, _| {
             let mut reply = path.as_bytes().to_vec();
             reply.push(b'|');
             reply.extend_from_slice(body);
@@ -527,7 +570,7 @@ mod tests {
             "err.test",
             Region::Paris,
             None,
-            Box::new(|_, _, _, _| (500, Vec::new())),
+            Box::new(|_, _, _, _, _| (500, Vec::new())),
         );
         let r = w.http_post(Region::Paris, "http://err.test/", b"", t(0));
         assert_eq!(r.outcome, HttpOutcome::HttpError(500));
@@ -544,7 +587,7 @@ mod tests {
             None,
             Box::new(|| {
                 let mut count = 0u32;
-                Box::new(move |_, _, _, _| {
+                Box::new(move |_, _, _, _, _| {
                     count += 1;
                     (200, count.to_be_bytes().to_vec())
                 })
@@ -568,6 +611,55 @@ mod tests {
         let cold = b.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(0));
         let warm = b.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(0));
         assert!(warm.latency_ms < cold.latency_ms);
+    }
+
+    #[test]
+    fn failures_and_outage_activations_are_counted() {
+        let mut w = world_with_host();
+        w.add_outage(
+            "ocsp.ca.test",
+            Outage::transient(t(19), 2 * 3_600, FailureKind::TcpConnect),
+        );
+        w.add_group_outage(
+            "ca-infra",
+            Outage::transient(t(30), 3_600, FailureKind::Http5xx),
+        );
+        w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(0)); // ok
+        w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(19)); // host outage
+        w.http_post(Region::Seoul, "http://ocsp.ca.test/", b"", t(20)); // host outage
+        w.http_post(Region::Paris, "http://ocsp.ca.test/", b"", t(30)); // group outage
+        w.http_post(Region::Paris, "http://nxdomain.test/", b"", t(0)); // unknown host
+
+        let reg = w.telemetry();
+        assert_eq!(reg.counter_total("net.request"), 5);
+        assert_eq!(reg.counter("net.failure.tcp", "Paris"), 1);
+        assert_eq!(reg.counter("net.failure.tcp", "Seoul"), 1);
+        assert_eq!(reg.counter("net.failure.http5xx", "Paris"), 1);
+        assert_eq!(reg.counter("net.failure.dns", "Paris"), 1);
+        assert_eq!(reg.counter("net.failure.by_group", "ca-infra"), 3);
+        assert_eq!(reg.counter("net.outage.activation", "ocsp.ca.test"), 2);
+        assert_eq!(reg.counter("net.outage.activation", "group:ca-infra"), 1);
+
+        let taken = w.take_telemetry();
+        assert_eq!(taken.counter_total("net.request"), 5);
+        assert!(w.telemetry().is_empty());
+    }
+
+    #[test]
+    fn handler_status_errors_are_counted() {
+        let mut w = World::new(1);
+        w.register(
+            "err.test",
+            Region::Paris,
+            None,
+            Box::new(|_, _, _, _, reg: &mut Registry| {
+                reg.incr("handler.custom", "err.test");
+                (500, Vec::new())
+            }),
+        );
+        w.http_post(Region::Paris, "http://err.test/", b"", t(0));
+        assert_eq!(w.telemetry().counter("net.failure.http", "Paris"), 1);
+        assert_eq!(w.telemetry().counter("handler.custom", "err.test"), 1);
     }
 
     #[test]

@@ -35,4 +35,6 @@ pub use profile::{MalformMode, ResponderProfile};
 pub use request::OcspRequest;
 pub use responder::Responder;
 pub use response::{BasicResponse, CertStatus, OcspResponse, ResponseStatus, SingleResponse};
-pub use validate::{validate_response, ResponseError, ValidatedResponse, ValidationConfig};
+pub use validate::{
+    validate_response, validate_response_with, ResponseError, ValidatedResponse, ValidationConfig,
+};

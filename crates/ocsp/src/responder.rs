@@ -115,32 +115,71 @@ impl Responder {
     /// Handle raw request bytes, producing raw response bytes — exactly
     /// what travels over HTTP POST.
     pub fn handle_bytes(&mut self, ca: &CertificateAuthority, body: &[u8], now: Time) -> Vec<u8> {
+        self.handle_bytes_with(ca, body, now, &mut telemetry::Registry::new())
+    }
+
+    /// [`Responder::handle_bytes`] plus telemetry: fault-profile triggers
+    /// are counted into `reg` under `ocsp.responder.fault`.
+    pub fn handle_bytes_with(
+        &mut self,
+        ca: &CertificateAuthority,
+        body: &[u8],
+        now: Time,
+        reg: &mut telemetry::Registry,
+    ) -> Vec<u8> {
         match OcspRequest::from_der(body) {
-            Ok(req) => self.handle(ca, &req, now),
-            Err(_) => OcspResponse::error(ResponseStatus::MalformedRequest).to_der(),
+            Ok(req) => self.handle_with(ca, &req, now, reg),
+            Err(_) => {
+                reg.incr("ocsp.responder.fault", "malformed_request");
+                OcspResponse::error(ResponseStatus::MalformedRequest).to_der()
+            }
         }
     }
 
     /// Handle a parsed request.
     pub fn handle(&mut self, ca: &CertificateAuthority, req: &OcspRequest, now: Time) -> Vec<u8> {
+        self.handle_with(ca, req, now, &mut telemetry::Registry::new())
+    }
+
+    /// [`Responder::handle`] plus telemetry: each fault-profile trigger
+    /// (malformed body, wrong serial, corrupted signature, fillers, …)
+    /// increments `ocsp.responder.fault` in `reg`, and the pre-generated
+    /// signed-response cache records hits/signs under
+    /// `ocsp.responder.pregen`.
+    pub fn handle_with(
+        &mut self,
+        ca: &CertificateAuthority,
+        req: &OcspRequest,
+        now: Time,
+        reg: &mut telemetry::Registry,
+    ) -> Vec<u8> {
         // Body-level mangling happens regardless of the request.
         match self.profile.malform {
-            MalformMode::LiteralZero => return b"0".to_vec(),
-            MalformMode::Empty => return Vec::new(),
+            MalformMode::LiteralZero => {
+                reg.incr("ocsp.responder.fault", "malformed.literal_zero");
+                return b"0".to_vec();
+            }
+            MalformMode::Empty => {
+                reg.incr("ocsp.responder.fault", "malformed.empty");
+                return Vec::new();
+            }
             MalformMode::JavascriptPage => {
+                reg.incr("ocsp.responder.fault", "malformed.javascript");
                 return b"<html><body><script>window.location='/status';</script></body></html>"
-                    .to_vec()
+                    .to_vec();
             }
             MalformMode::Valid | MalformMode::TruncatedDer => {}
         }
 
         if req.cert_ids.is_empty() {
+            reg.incr("ocsp.responder.fault", "malformed_request");
             return OcspResponse::error(ResponseStatus::MalformedRequest).to_der();
         }
 
         // Refuse questions about certificates from other issuers.
         let issuer_cert = ca.certificate();
         if !req.cert_ids.iter().any(|id| id.matches_issuer(issuer_cert)) {
+            reg.incr("ocsp.responder.fault", "unauthorized");
             return OcspResponse::error(ResponseStatus::Unauthorized).to_der();
         }
 
@@ -174,6 +213,7 @@ impl Responder {
                 let boundary = now.unix() - now.unix().rem_euclid(interval);
                 let key = (req.cert_ids[0].serial.bytes().to_vec(), boundary, instance);
                 if let Some(bytes) = self.response_cache.get(&key) {
+                    reg.incr("ocsp.responder.pregen", "cache_hit");
                     self.windows.insert(
                         req.cert_ids[0].serial.clone(),
                         CachedWindow {
@@ -214,6 +254,7 @@ impl Responder {
             if self.profile.wrong_serial {
                 // Answer about a different serial — §5.3's second error
                 // class. Perturb deterministically.
+                reg.incr("ocsp.responder.fault", "wrong_serial");
                 let mut bytes = id.serial.bytes().to_vec();
                 let last = bytes.len() - 1;
                 bytes[last] ^= 0x01;
@@ -228,6 +269,13 @@ impl Responder {
         }
 
         // Unsolicited extras (Figure 7).
+        if self.profile.extra_serials > 0 {
+            reg.add(
+                "ocsp.responder.fault",
+                "extra_serials",
+                self.profile.extra_serials as u64,
+            );
+        }
         for i in 0..self.profile.extra_serials {
             let filler = Serial::from_u64(0xF00D_0000 + i as u64);
             singles.push(SingleResponse {
@@ -252,6 +300,13 @@ impl Responder {
                 (**key).clone()
             }
         };
+        if self.profile.superfluous_certs > 0 {
+            reg.add(
+                "ocsp.responder.fault",
+                "superfluous_certs",
+                self.profile.superfluous_certs as u64,
+            );
+        }
         for _ in 0..self.profile.superfluous_certs {
             certs.push(issuer_cert.clone());
         }
@@ -259,6 +314,7 @@ impl Responder {
         let mut response = OcspResponse::successful(&signing_key, produced_at, singles, certs);
 
         if self.profile.corrupt_signature {
+            reg.incr("ocsp.responder.fault", "corrupt_signature");
             if let Some(basic) = &mut response.basic {
                 basic.signature[0] ^= 0xff;
             }
@@ -266,9 +322,11 @@ impl Responder {
 
         let mut der = response.to_der();
         if self.profile.malform == MalformMode::TruncatedDer {
+            reg.incr("ocsp.responder.fault", "malformed.truncated_der");
             der.truncate(der.len() / 2);
         }
         if let Some(key) = cache_key {
+            reg.incr("ocsp.responder.pregen", "sign");
             self.response_cache.insert(key, der.clone());
         }
         der
@@ -515,6 +573,56 @@ mod tests {
         assert!(!basic.verify_signature(f.ca.certificate().public_key()));
         assert!(basic.verify_signature(cert.public_key()));
         assert_eq!(basic.certs[0], cert);
+    }
+
+    #[test]
+    fn fault_profile_triggers_are_counted() {
+        let f = fixture(15);
+        let mut reg = telemetry::Registry::new();
+        let req = OcspRequest::single(f.id.clone());
+
+        let mut responder = Responder::new(
+            "u",
+            ResponderProfile::healthy()
+                .wrong_serial()
+                .corrupt_signature()
+                .extra_serials(3)
+                .superfluous_certs(2),
+        );
+        responder.handle_with(&f.ca, &req, now(), &mut reg);
+        assert_eq!(reg.counter("ocsp.responder.fault", "wrong_serial"), 1);
+        assert_eq!(reg.counter("ocsp.responder.fault", "corrupt_signature"), 1);
+        assert_eq!(reg.counter("ocsp.responder.fault", "extra_serials"), 3);
+        assert_eq!(reg.counter("ocsp.responder.fault", "superfluous_certs"), 2);
+
+        let mut malformed = Responder::new(
+            "u",
+            ResponderProfile::healthy().malformed(MalformMode::Empty),
+        );
+        malformed.handle_with(&f.ca, &req, now(), &mut reg);
+        assert_eq!(reg.counter("ocsp.responder.fault", "malformed.empty"), 1);
+
+        let mut garbage = Responder::new("u", ResponderProfile::healthy());
+        garbage.handle_bytes_with(&f.ca, b"junk", now(), &mut reg);
+        assert_eq!(reg.counter("ocsp.responder.fault", "malformed_request"), 1);
+    }
+
+    #[test]
+    fn pregen_cache_hits_and_signs_are_counted() {
+        let f = fixture(16);
+        let mut reg = telemetry::Registry::new();
+        let req = OcspRequest::single(f.id.clone());
+        let mut responder = Responder::new(
+            "u",
+            ResponderProfile::healthy()
+                .pre_generated(7_200)
+                .validity(7_200),
+        );
+        responder.handle_with(&f.ca, &req, now(), &mut reg);
+        responder.handle_with(&f.ca, &req, now() + 600, &mut reg);
+        responder.handle_with(&f.ca, &req, now() + 900, &mut reg);
+        assert_eq!(reg.counter("ocsp.responder.pregen", "sign"), 1);
+        assert_eq!(reg.counter("ocsp.responder.pregen", "cache_hit"), 2);
     }
 
     #[test]

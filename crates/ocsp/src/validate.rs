@@ -84,6 +84,25 @@ impl core::fmt::Display for ResponseError {
     }
 }
 
+impl ResponseError {
+    /// Stable telemetry label for this error class (one per
+    /// error-taxonomy variant, prefixed `err.` to keep them apart from
+    /// the `ok` label in a shared counter namespace).
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            ResponseError::MalformedStructure => "err.malformed_structure",
+            ResponseError::ErrorStatus(_) => "err.error_status",
+            ResponseError::MissingPayload => "err.missing_payload",
+            ResponseError::SerialMismatch => "err.serial_mismatch",
+            ResponseError::SignatureInvalid => "err.signature_invalid",
+            ResponseError::UntrustedDelegate => "err.untrusted_delegate",
+            ResponseError::NotYetValid { .. } => "err.not_yet_valid",
+            ResponseError::Expired { .. } => "err.expired",
+            ResponseError::BlankNextUpdate => "err.blank_next_update",
+        }
+    }
+}
+
 impl std::error::Error for ResponseError {}
 
 /// The distilled result of a successful validation.
@@ -208,6 +227,31 @@ pub fn validate_response(
         serial_count: basic.responses.len(),
         this_update_margin: received_at - single.this_update,
     })
+}
+
+/// [`validate_response`] plus telemetry: counts the outcome under
+/// `(metric, label)` where the label is `ok` or the error's
+/// [`ResponseError::metric_label`].
+///
+/// `metric` is caller-supplied so each pipeline gets its own counter
+/// namespace (e.g. `scan.hourly.validate` vs `scan.consistency.validate`)
+/// and cross-checks against per-pipeline figures stay exact.
+pub fn validate_response_with(
+    reg: &mut telemetry::Registry,
+    metric: &str,
+    body: &[u8],
+    cert_id: &CertId,
+    issuer: &Certificate,
+    received_at: Time,
+    config: ValidationConfig,
+) -> Result<ValidatedResponse, ResponseError> {
+    let result = validate_response(body, cert_id, issuer, received_at, config);
+    let label = match &result {
+        Ok(_) => "ok",
+        Err(err) => err.metric_label(),
+    };
+    reg.incr(metric, label);
+    result
 }
 
 #[cfg(test)]
@@ -465,6 +509,79 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, ResponseError::UntrustedDelegate);
         let _ = f.ca.issued_count();
+    }
+
+    #[test]
+    fn instrumented_validation_counts_per_variant() {
+        let f = fixture(20);
+        let mut reg = telemetry::Registry::new();
+        let metric = "scan.test.validate";
+
+        let ok_body = fetch(&f, ResponderProfile::healthy(), now());
+        validate_response_with(
+            &mut reg,
+            metric,
+            &ok_body,
+            &f.id,
+            f.ca.certificate(),
+            now(),
+            ValidationConfig::default(),
+        )
+        .unwrap();
+
+        let malformed = fetch(
+            &f,
+            ResponderProfile::healthy().malformed(MalformMode::Empty),
+            now(),
+        );
+        for _ in 0..2 {
+            validate_response_with(
+                &mut reg,
+                metric,
+                &malformed,
+                &f.id,
+                f.ca.certificate(),
+                now(),
+                ValidationConfig::default(),
+            )
+            .unwrap_err();
+        }
+
+        let bad_sig = fetch(&f, ResponderProfile::healthy().corrupt_signature(), now());
+        validate_response_with(
+            &mut reg,
+            metric,
+            &bad_sig,
+            &f.id,
+            f.ca.certificate(),
+            now(),
+            ValidationConfig::default(),
+        )
+        .unwrap_err();
+
+        assert_eq!(reg.counter(metric, "ok"), 1);
+        assert_eq!(reg.counter(metric, "err.malformed_structure"), 2);
+        assert_eq!(reg.counter(metric, "err.signature_invalid"), 1);
+        assert_eq!(reg.counter_total(metric), 4);
+    }
+
+    #[test]
+    fn every_error_variant_has_a_distinct_label() {
+        let variants = [
+            ResponseError::MalformedStructure,
+            ResponseError::ErrorStatus(ResponseStatus::Unauthorized),
+            ResponseError::MissingPayload,
+            ResponseError::SerialMismatch,
+            ResponseError::SignatureInvalid,
+            ResponseError::UntrustedDelegate,
+            ResponseError::NotYetValid { early_by: 1 },
+            ResponseError::Expired { late_by: 1 },
+            ResponseError::BlankNextUpdate,
+        ];
+        let labels: std::collections::BTreeSet<&str> =
+            variants.iter().map(|v| v.metric_label()).collect();
+        assert_eq!(labels.len(), variants.len());
+        assert!(labels.iter().all(|l| l.starts_with("err.")));
     }
 
     #[test]

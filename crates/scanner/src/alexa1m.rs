@@ -12,6 +12,8 @@ use crate::executor::Executor;
 use crate::hourly::HourlyDataset;
 use asn1::Time;
 use netsim::Region;
+use std::time::Instant;
+use telemetry::Registry;
 
 /// Analysis wrapper over a completed campaign.
 pub struct Alexa1mScan;
@@ -27,6 +29,9 @@ pub struct Alexa1mSummary {
     pub sao_paulo_persistent: u64,
     /// Total Alexa domains covered by the mapping.
     pub total_domains: u64,
+    /// Per-shard contribution counters (`scan.alexa1m.*`), merged in
+    /// shard-id order.
+    pub telemetry: Registry,
 }
 
 impl Alexa1mScan {
@@ -73,13 +78,26 @@ impl Alexa1mScan {
             let attempts = report.attempts[sp].max(1);
             let dead_fraction = 1.0 - report.successes[sp] as f64 / attempts as f64;
             let alive_elsewhere = (0..6).any(|i| i != sp && report.successes[i] > 0);
-            if dead_fraction >= 0.9 && alive_elsewhere {
-                dataset.alexa_weights[shard] as u64
+            let mut shard_telemetry = Registry::new();
+            shard_telemetry.incr("scan.alexa1m.responders_evaluated", &report.url);
+            let contribution = if dead_fraction >= 0.9 && alive_elsewhere {
+                let weight = dataset.alexa_weights[shard] as u64;
+                shard_telemetry.add("scan.alexa1m.persistent_domains", &report.url, weight);
+                weight
             } else {
                 0
-            }
+            };
+            (contribution, shard_telemetry)
         });
-        let sao_paulo_persistent = contributions.iter().sum();
+
+        let mut telemetry = Registry::new();
+        let merge_started = Instant::now();
+        let mut sao_paulo_persistent = 0u64;
+        for (contribution, shard_telemetry) in &contributions {
+            sao_paulo_persistent += contribution;
+            telemetry.merge(shard_telemetry);
+        }
+        telemetry.record_wall("scan.alexa1m.merge", merge_started.elapsed().as_nanos());
 
         let total_domains = dataset.alexa_weights.iter().map(|&w| w as u64).sum();
         Alexa1mSummary {
@@ -87,6 +105,7 @@ impl Alexa1mScan {
             peaks,
             sao_paulo_persistent,
             total_domains,
+            telemetry,
         }
     }
 }
@@ -153,10 +172,27 @@ mod tests {
         let eco = LiveEcosystem::generate(EcosystemConfig::tiny());
         let dataset = HourlyCampaign::new(&eco).run();
         let serial = Alexa1mScan::summarize_with(&dataset, &Executor::serial());
+        assert_eq!(
+            serial
+                .telemetry
+                .counter_total("scan.alexa1m.responders_evaluated"),
+            dataset.responders.len() as u64
+        );
+        assert_eq!(
+            serial
+                .telemetry
+                .counter_total("scan.alexa1m.persistent_domains"),
+            serial.sao_paulo_persistent
+        );
         for workers in [2usize, 5] {
             let executor = Executor::new(std::num::NonZeroUsize::new(workers));
             let parallel = Alexa1mScan::summarize_with(&dataset, &executor);
             assert_eq!(serial, parallel, "workers={workers}");
+            assert_eq!(
+                serial.telemetry.to_csv(),
+                parallel.telemetry.to_csv(),
+                "workers={workers}"
+            );
         }
     }
 }

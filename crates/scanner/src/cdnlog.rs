@@ -28,6 +28,9 @@ pub struct CdnSummary {
     pub origin_success_ratio: f64,
     /// Origin fetches made.
     pub origin_fetches: u64,
+    /// Study telemetry: per-edge lookup counters plus everything the
+    /// world recorded (edge hits/misses/origin fetches per region).
+    pub telemetry: telemetry::Registry,
 }
 
 /// The study driver.
@@ -82,7 +85,11 @@ impl CdnStudy {
                 let idx = candidates[rng.gen_range(0..candidates.len())];
                 let target = &targets[idx];
                 let req = OcspRequest::single(target.cert_id.clone()).to_der();
-                let edge = &mut edges[(hour % 2) as usize];
+                // Each request lands on an edge independently (real
+                // clients are routed per-connection, not per-hour);
+                // drawn from the study RNG so replay stays deterministic.
+                let edge = &mut edges[rng.gen_range(0..edges.len())];
+                let edge_region = edge.region();
                 let before = edge.stats().origin_fetches;
                 let result = edge.fetch(&mut world, &target.url, &req, now, |body| {
                     // Cache until the response's nextUpdate (cap 24 h).
@@ -101,6 +108,9 @@ impl CdnStudy {
                     contacted.insert(target.url.clone());
                 }
                 let _ = result;
+                world
+                    .telemetry_mut()
+                    .incr("scan.cdn.lookups", edge_region.label());
                 lookups += 1;
             }
         }
@@ -120,6 +130,7 @@ impl CdnStudy {
                 origin_ok as f64 / origin as f64
             },
             origin_fetches: origin,
+            telemetry: world.take_telemetry(),
         }
     }
 }
@@ -153,5 +164,36 @@ mod tests {
             "{}",
             summary.origin_success_ratio
         );
+    }
+
+    #[test]
+    fn single_hour_traffic_reaches_both_edges() {
+        // Regression: edge selection used to be `edges[(hour % 2)]`,
+        // pinning every request inside an hour to one location — a
+        // single-hour replay would leave the other edge completely
+        // idle. Requests are now routed per-lookup.
+        let eco = LiveEcosystem::generate(EcosystemConfig::tiny());
+        let start = eco.config.campaign_start + 86_400;
+        let summary = CdnStudy::run(&eco, start, 1, 200);
+
+        let virginia = summary
+            .telemetry
+            .counter("scan.cdn.lookups", Region::Virginia.label());
+        let paris = summary
+            .telemetry
+            .counter("scan.cdn.lookups", Region::Paris.label());
+        assert!(virginia > 0, "Virginia edge saw no traffic");
+        assert!(paris > 0, "Paris edge saw no traffic");
+        assert_eq!(virginia + paris, summary.lookups);
+        // The world-side edge counters rode along with the merge.
+        let hits: u64 = [Region::Virginia, Region::Paris]
+            .iter()
+            .map(|r| summary.telemetry.counter("cdn.edge.hit", r.label()))
+            .sum();
+        let misses: u64 = [Region::Virginia, Region::Paris]
+            .iter()
+            .map(|r| summary.telemetry.counter("cdn.edge.miss", r.label()))
+            .sum();
+        assert_eq!(hits + misses, summary.lookups);
     }
 }

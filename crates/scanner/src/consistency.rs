@@ -17,9 +17,11 @@ use analysis::Cdf;
 use asn1::Time;
 use ecosystem::LiveEcosystem;
 use netsim::{HttpOutcome, Region, World};
-use ocsp::{CertStatus, OcspRequest, ValidationConfig};
+use ocsp::{validate_response_with, CertStatus, OcspRequest, ValidationConfig};
 use pki::Crl;
 use std::collections::HashMap;
+use std::time::Instant;
+use telemetry::Registry;
 
 /// One Table 1 row: a responder whose OCSP answers disagree with its CRL.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +60,10 @@ pub struct ConsistencySummary {
     pub reason_absent: u64,
     /// Any other reason mismatch (paper: ~0.01 % of differing reasons).
     pub reason_other_mismatch: u64,
+    /// Study telemetry, merged from the per-operator shards in shard-id
+    /// order: CRL fetches, per-responder request counts, and one
+    /// `scan.consistency.validate` counter per validation outcome.
+    pub telemetry: Registry,
 }
 
 impl ConsistencySummary {
@@ -113,6 +119,7 @@ struct ShardSummary {
     reason_match: u64,
     reason_absent: u64,
     reason_other_mismatch: u64,
+    telemetry: Registry,
 }
 
 /// The study driver.
@@ -161,8 +168,24 @@ impl ConsistencyStudy {
                 let target = &eco.revoked[idx];
                 crls.entry(target.crl_url.clone()).or_insert_with(|| {
                     match world.http_post(vantage, &target.crl_url, b"", at).outcome {
-                        HttpOutcome::Ok(body) => Crl::from_der(&body).ok(),
-                        _ => None,
+                        HttpOutcome::Ok(body) => {
+                            let parsed = Crl::from_der(&body).ok();
+                            let label = if parsed.is_some() {
+                                "ok"
+                            } else {
+                                "unparseable"
+                            };
+                            world
+                                .telemetry_mut()
+                                .incr("scan.consistency.crl_fetch", label);
+                            parsed
+                        }
+                        _ => {
+                            world
+                                .telemetry_mut()
+                                .incr("scan.consistency.crl_fetch", "unreachable");
+                            None
+                        }
                     }
                 });
             }
@@ -177,6 +200,7 @@ impl ConsistencyStudy {
                 reason_match: 0,
                 reason_absent: 0,
                 reason_other_mismatch: 0,
+                telemetry: Registry::new(),
             };
             let mut per_responder: HashMap<String, DiscrepantResponder> = HashMap::new();
 
@@ -191,6 +215,9 @@ impl ConsistencyStudy {
                 };
 
                 partial.requests += 1;
+                world
+                    .telemetry_mut()
+                    .incr("scan.consistency.probes", &target.url);
                 let req = OcspRequest::single(target.cert_id.clone()).to_der();
                 let HttpOutcome::Ok(body) = world.http_post(vantage, &target.url, &req, at).outcome
                 else {
@@ -200,7 +227,9 @@ impl ConsistencyStudy {
                 // 99.9 %); unusable bodies are then excluded from comparison.
                 partial.responses_collected += 1;
                 let issuer = eco.issuer_of(target.operator);
-                let Ok(validated) = ocsp::validate_response(
+                let Ok(validated) = validate_response_with(
+                    world.telemetry_mut(),
+                    "scan.consistency.validate",
                     &body,
                     &target.cert_id,
                     issuer,
@@ -239,6 +268,7 @@ impl ConsistencyStudy {
                 .into_values()
                 .filter(|row| row.unknown + row.good > 0)
                 .collect();
+            partial.telemetry = world.take_telemetry();
             partial
         });
 
@@ -254,7 +284,9 @@ impl ConsistencyStudy {
             reason_match: 0,
             reason_absent: 0,
             reason_other_mismatch: 0,
+            telemetry: Registry::new(),
         };
+        let merge_started = Instant::now();
         for partial in shards {
             summary.crls_fetched += partial.crls_fetched;
             summary.responses_collected += partial.responses_collected;
@@ -265,7 +297,11 @@ impl ConsistencyStudy {
             summary.reason_match += partial.reason_match;
             summary.reason_absent += partial.reason_absent;
             summary.reason_other_mismatch += partial.reason_other_mismatch;
+            summary.telemetry.merge(&partial.telemetry);
         }
+        summary
+            .telemetry
+            .record_wall("scan.consistency.merge", merge_started.elapsed().as_nanos());
         summary.table1.sort_by(|a, b| a.ocsp_url.cmp(&b.ocsp_url));
         summary
     }
@@ -337,7 +373,30 @@ mod tests {
             let executor = Executor::new(std::num::NonZeroUsize::new(workers));
             let parallel = ConsistencyStudy::run_with(&eco, at, Region::Virginia, &executor);
             assert_eq!(serial, parallel, "workers={workers}");
+            assert_eq!(
+                serial.telemetry.to_csv(),
+                parallel.telemetry.to_csv(),
+                "workers={workers}"
+            );
         }
+    }
+
+    #[test]
+    fn telemetry_counts_match_summary_totals() {
+        let s = summary();
+        assert_eq!(
+            s.telemetry.counter_total("scan.consistency.probes"),
+            s.requests
+        );
+        assert_eq!(
+            s.telemetry.counter("scan.consistency.crl_fetch", "ok"),
+            s.crls_fetched as u64
+        );
+        // Every collected response is validated exactly once (ok or err).
+        assert_eq!(
+            s.telemetry.counter_total("scan.consistency.validate"),
+            s.responses_collected
+        );
     }
 
     #[test]

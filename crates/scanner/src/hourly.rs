@@ -18,9 +18,11 @@ use analysis::{Cdf, TimeSeries};
 use asn1::Time;
 use ecosystem::LiveEcosystem;
 use netsim::{HttpOutcome, Region, Topology, World};
-use ocsp::{validate_response, OcspRequest, ValidationConfig};
+use ocsp::{validate_response_with, OcspRequest, ValidationConfig};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
+use telemetry::Registry;
 
 /// Per-responder accumulators.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +64,11 @@ pub struct ResponderReport {
     /// §8 outage-duration argument: most outages are far shorter than
     /// most validity periods, so prefetching servers ride them out.
     pub max_failure_streak: [u32; 6],
+    /// Every *closed* failure streak per region (scan rounds), in the
+    /// order observed. A streak closes when a success follows failures;
+    /// streaks still open at campaign end are persistent failures, not
+    /// transient outages, and never appear here.
+    pub closed_streaks: [Vec<u32>; 6],
 }
 
 impl ResponderReport {
@@ -84,6 +91,7 @@ impl ResponderReport {
             produced_at_samples: Vec::new(),
             failure_streak: [0; 6],
             max_failure_streak: [0; 6],
+            closed_streaks: std::array::from_fn(|_| Vec::new()),
         }
     }
 
@@ -164,6 +172,11 @@ pub struct HourlyDataset {
     pub alexa_unreachable: Vec<(Region, TimeSeries)>,
     /// Alexa domains depending on each responder.
     pub alexa_weights: Vec<usize>,
+    /// Campaign telemetry: per-responder probe/round counters, the
+    /// `scan.hourly.validate` error-taxonomy counters, and everything
+    /// the per-shard worlds recorded (net failures, responder faults),
+    /// merged in canonical shard order.
+    pub telemetry: Registry,
 }
 
 impl HourlyDataset {
@@ -276,20 +289,18 @@ impl HourlyDataset {
         samples.iter().filter(|&&m| m <= 1.0).count() as f64 / samples.len() as f64
     }
 
-    /// CDF of the longest observed outage per (responder, region), in
-    /// seconds — only finite outages (streaks that ended before the
-    /// campaign did). The §8 argument compares this against the validity
-    /// CDF: "most failures persist far shorter than most OCSP responses'
-    /// validity periods".
+    /// CDF of every observed finite outage per (responder, region), in
+    /// seconds — all *closed* failure streaks, not just the longest one,
+    /// so short repeated outages carry their full weight. Streaks still
+    /// open at campaign end are persistent failures and excluded. The §8
+    /// argument compares this against the validity CDF: "most failures
+    /// persist far shorter than most OCSP responses' validity periods".
     pub fn cdf_outage_durations(&self, scan_interval: i64) -> Cdf {
         let mut cdf = Cdf::new();
         for r in &self.responders {
             for region in 0..6 {
-                let max = r.max_failure_streak[region];
-                // Streaks still open at campaign end are persistent
-                // failures, not transient outages; skip them.
-                if max > 0 && r.failure_streak[region] < max {
-                    cdf.add((max as i64 * scan_interval) as f64);
+                for &streak in &r.closed_streaks[region] {
+                    cdf.add((streak as i64 * scan_interval) as f64);
                 }
             }
         }
@@ -303,13 +314,13 @@ impl HourlyDataset {
             if r.produced_at_samples.len() < 2 {
                 continue;
             }
-            // The paper's rule: a response is *not* generated on demand
-            // when producedAt is more than two minutes before receipt.
-            let pre_generated = r
-                .produced_at_samples
-                .iter()
-                .any(|&(probe, produced)| probe - produced > 120);
-            if !pre_generated {
+            // The paper's rule, applied per responder behavior: a sample
+            // is "not generated on demand" when producedAt is more than
+            // two minutes before receipt, and a responder is classified
+            // pre-generated when the *majority* of its samples say so —
+            // a lone stale outlier (cache, load balancer hiccup) must
+            // not flip an on-demand responder.
+            if !is_pre_generated(&r.produced_at_samples) {
                 report.on_demand += 1;
                 continue;
             }
@@ -337,6 +348,17 @@ impl HourlyDataset {
         }
         report
     }
+}
+
+/// The §5.4 per-responder behavioral rule: pre-generated iff a strict
+/// majority of `(probe_time, produced_at)` samples show `producedAt`
+/// more than two minutes before receipt.
+fn is_pre_generated(samples: &[(Time, Time)]) -> bool {
+    let stale = samples
+        .iter()
+        .filter(|&&(probe, produced)| probe - produced > 120)
+        .count();
+    stale * 2 > samples.len()
 }
 
 /// Deterministic FNV-1a hash used to stagger probe times per responder.
@@ -367,6 +389,7 @@ struct ShardRecords {
     per_region_success: Vec<TimeSeries>,
     class_series: Vec<TimeSeries>,
     alexa_unreachable: Vec<TimeSeries>,
+    telemetry: Registry,
 }
 
 /// The campaign driver.
@@ -454,21 +477,30 @@ impl<'a> HourlyCampaign<'a> {
                     .map(|_| TimeSeries::new(bin))
                     .collect(),
                 alexa_unreachable: (0..6).map(|_| TimeSeries::new(bin)).collect(),
+                telemetry: Registry::new(),
             };
             let report = &mut records.report;
             for round in 0..rounds {
+                world.telemetry_mut().incr("scan.hourly.rounds", &host.url);
                 let round_start = config.campaign_start + round as i64 * config.scan_interval;
                 let t = round_start + offsets[shard];
                 for (region_idx, &region) in Region::VANTAGE_POINTS.iter().enumerate() {
                     for &target_idx in &targets_of[shard] {
                         let target = &eco.scan_targets[target_idx];
                         records.requests += 1;
+                        world.telemetry_mut().incr("scan.hourly.probes", &host.url);
                         let result =
                             world.http_post(region, &target.url, &requests_der[target_idx], t);
                         report.attempts[region_idx] += 1;
                         let probe_ok = matches!(result.outcome, HttpOutcome::Ok(_));
                         if first_target_of[shard] == Some(target_idx) {
                             if probe_ok {
+                                let ended = report.failure_streak[region_idx];
+                                if ended > 0 {
+                                    // A success closes the streak: record
+                                    // it for the §8 outage-duration CDF.
+                                    report.closed_streaks[region_idx].push(ended);
+                                }
                                 report.failure_streak[region_idx] = 0;
                             } else {
                                 report.failure_streak[region_idx] += 1;
@@ -481,7 +513,9 @@ impl<'a> HourlyCampaign<'a> {
                         let outcome = match result.outcome {
                             HttpOutcome::Ok(body) => {
                                 report.successes[region_idx] += 1;
-                                match validate_response(
+                                match validate_response_with(
+                                    world.telemetry_mut(),
+                                    "scan.hourly.validate",
                                     &body,
                                     &target.cert_id,
                                     eco.issuer_of(target.operator),
@@ -548,11 +582,14 @@ impl<'a> HourlyCampaign<'a> {
                     }
                 }
             }
+            records.telemetry = world.take_telemetry();
             records
         });
 
         // Canonical merge: shard-id order == responder order.
         let mut requests = 0u64;
+        let mut telemetry = Registry::new();
+        let merge_started = Instant::now();
         let mut per_region: Vec<(Region, TimeSeries)> = Region::VANTAGE_POINTS
             .iter()
             .map(|&r| (r, TimeSeries::new(bin)))
@@ -577,8 +614,11 @@ impl<'a> HourlyCampaign<'a> {
             for (i, series) in shard.alexa_unreachable.iter().enumerate() {
                 alexa_unreachable[i].1.merge(series);
             }
+            telemetry.merge(&shard.telemetry);
             responders.push(shard.report);
         }
+        // Wall-clock span only — never serialized, never compared.
+        telemetry.record_wall("scan.hourly.merge", merge_started.elapsed().as_nanos());
 
         HourlyDataset {
             rounds,
@@ -588,6 +628,7 @@ impl<'a> HourlyCampaign<'a> {
             responders,
             alexa_unreachable,
             alexa_weights,
+            telemetry,
         }
     }
 }
@@ -614,10 +655,57 @@ mod tests {
     }
 
     #[test]
-    fn debug_failure_rate() {
+    fn telemetry_accounts_for_every_probe() {
+        // Replaces the old eprintln-based debug test: the campaign's
+        // accounting is now a telemetry event stream we can assert on.
         let d = dataset();
-        eprintln!("failure rate = {}", d.overall_failure_rate());
-        eprintln!("transient fraction = {}", d.transient_outage_fraction());
+        assert_eq!(d.telemetry.counter_total("scan.hourly.probes"), d.requests);
+        let rounds_total: u64 = d.telemetry.counter_total("scan.hourly.rounds");
+        assert_eq!(rounds_total, (d.rounds * d.responders.len()) as u64);
+        // Every HTTP success was validated exactly once.
+        let successes: u64 = d
+            .responders
+            .iter()
+            .map(|r| r.successes.iter().sum::<u64>())
+            .sum();
+        assert_eq!(d.telemetry.counter_total("scan.hourly.validate"), successes);
+        // Transport failures show up in the netsim counters.
+        let failures = d.requests - successes;
+        let net_failures: u64 = ["dns", "tcp", "http4xx", "http5xx", "tls", "http"]
+            .iter()
+            .map(|k| d.telemetry.counter_total(&format!("net.failure.{k}")))
+            .sum();
+        assert_eq!(net_failures, failures);
+    }
+
+    #[test]
+    fn telemetry_validate_counters_cross_check_fig5_unusable_totals() {
+        // Acceptance cross-check: the per-variant validate counters must
+        // sum to the same totals Figure 5's unusable classes report.
+        let d = dataset();
+        let unusable_total = |class: ErrorClass| -> u64 {
+            d.responders
+                .iter()
+                .map(|r| r.unusable.get(&class).copied().unwrap_or(0))
+                .sum()
+        };
+        assert_eq!(
+            d.telemetry
+                .counter("scan.hourly.validate", "err.malformed_structure"),
+            unusable_total(ErrorClass::Asn1Unparseable)
+        );
+        assert_eq!(
+            d.telemetry
+                .counter("scan.hourly.validate", "err.serial_mismatch"),
+            unusable_total(ErrorClass::SerialUnmatch)
+        );
+        assert_eq!(
+            d.telemetry
+                .counter("scan.hourly.validate", "err.signature_invalid")
+                + d.telemetry
+                    .counter("scan.hourly.validate", "err.untrusted_delegate"),
+            unusable_total(ErrorClass::Signature)
+        );
     }
 
     #[test]
@@ -653,6 +741,78 @@ mod tests {
     }
 
     #[test]
+    fn one_stale_outlier_does_not_flip_freshness_to_pre_generated() {
+        // Regression: the old rule (`.any(gap > 120)`) classified a
+        // responder as pre-generated from a single outlier sample. Nine
+        // on-demand samples plus one stale must stay on-demand.
+        let t0 = Time::from_civil(2018, 4, 25, 0, 0, 0);
+        let mut samples: Vec<(Time, Time)> = (0..9)
+            .map(|k| (t0 + k * 3_600, t0 + k * 3_600 - 5))
+            .collect();
+        samples.push((t0 + 9 * 3_600, t0 + 9 * 3_600 - 7_200)); // the outlier
+        assert!(
+            samples
+                .iter()
+                .any(|&(probe, produced)| probe - produced > 120),
+            "the outlier must trip the old any() rule"
+        );
+        assert!(!is_pre_generated(&samples));
+    }
+
+    #[test]
+    fn majority_stale_samples_classify_as_pre_generated() {
+        let t0 = Time::from_civil(2018, 4, 25, 0, 0, 0);
+        // Six of ten samples stale by two hours: pre-generated.
+        let samples: Vec<(Time, Time)> = (0..10)
+            .map(|k| {
+                let probe = t0 + k * 3_600;
+                let produced = if k < 6 { probe - 7_200 } else { probe - 5 };
+                (probe, produced)
+            })
+            .collect();
+        assert!(is_pre_generated(&samples));
+        // An exact half is not a strict majority.
+        let split: Vec<(Time, Time)> = (0..10)
+            .map(|k| {
+                let probe = t0 + k * 3_600;
+                let produced = if k < 5 { probe - 7_200 } else { probe - 5 };
+                (probe, produced)
+            })
+            .collect();
+        assert!(!is_pre_generated(&split));
+    }
+
+    #[test]
+    fn every_closed_streak_enters_the_outage_cdf() {
+        // Regression: the old CDF kept only the longest closed streak
+        // per (responder, region), silently dropping shorter outages.
+        let mut report = ResponderReport::new("http://r.test/", "Op");
+        report.closed_streaks[0] = vec![2, 3]; // two distinct outages, region 0
+        report.closed_streaks[1] = vec![1]; // one more from region 1
+                                            // A still-open streak at campaign end must not contribute.
+        report.failure_streak[2] = 5;
+        report.max_failure_streak[2] = 5;
+
+        let d = HourlyDataset {
+            rounds: 10,
+            requests: 0,
+            per_region_success: Vec::new(),
+            class_series: Vec::new(),
+            responders: vec![report],
+            alexa_unreachable: Vec::new(),
+            alexa_weights: Vec::new(),
+            telemetry: Registry::new(),
+        };
+        let mut cdf = d.cdf_outage_durations(3_600);
+        assert_eq!(
+            cdf.len(),
+            3,
+            "all closed streaks counted, open one excluded"
+        );
+        assert_eq!(cdf.median(), Some(2.0 * 3_600.0));
+    }
+
+    #[test]
     fn time_series_cover_campaign() {
         let d = dataset();
         for (_, series) in &d.per_region_success {
@@ -670,6 +830,8 @@ mod tests {
             assert_eq!(serial.requests, parallel.requests);
             assert_eq!(serial.responders, parallel.responders, "workers={workers}");
             assert_eq!(serial.alexa_weights, parallel.alexa_weights);
+            assert_eq!(serial.telemetry, parallel.telemetry, "workers={workers}");
+            assert_eq!(serial.telemetry.to_csv(), parallel.telemetry.to_csv());
             for (a, b) in serial
                 .per_region_success
                 .iter()

@@ -1,0 +1,515 @@
+//! Deterministic, mergeable telemetry for the measurement pipelines.
+//!
+//! The scan campaigns are sharded across worker threads (DESIGN.md §6),
+//! and the repo's core invariant is that the *serial* and *parallel*
+//! runs are byte-identical. Telemetry must not weaken that, so this
+//! crate splits its state into two classes:
+//!
+//! * **Deterministic** — [`Registry::incr`] counters and
+//!   [`Registry::observe`] histograms. These depend only on simulated
+//!   events, participate in [`Registry::to_csv`] (the `telemetry.csv`
+//!   artifact) and in equality, and merge by elementwise sum, so
+//!   combining per-shard registries in canonical shard order yields the
+//!   exact registry a serial run would have produced.
+//! * **Wall-clock** — [`Registry::time`] span timers. These measure
+//!   real elapsed time (merge timings, shard durations) and are
+//!   **excluded** from `to_csv` and from `==`; they exist for human
+//!   inspection via [`Registry::wall_report`] only. No wall-clock value
+//!   can ever reach an artifact.
+//!
+//! Counters and histograms are keyed by a `(metric, label)` pair of
+//! strings, e.g. `("net.failure.tcp", "Virginia")`. Lookups on the hot
+//! path borrow the `&str` keys and allocate only on first insertion.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Number of log2 buckets in a [`Histogram`]: bucket 0 holds the value
+/// zero, bucket `i ≥ 1` holds values with `floor(log2(v)) == i - 1`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Exact `count`/`sum`/`min`/`max` are kept alongside the buckets, so
+/// merging histograms (elementwise) loses nothing the CSV artifact
+/// reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Index of the bucket a value falls in.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Histogram::bucket_of(value)] += 1;
+    }
+
+    fn absorb(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupancy of one log2 bucket.
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+}
+
+/// Aggregated wall-clock time for one span name. Never serialized into
+/// artifacts; see the crate docs.
+#[derive(Debug, Clone, Copy, Default)]
+struct WallSpan {
+    count: u64,
+    total_nanos: u128,
+}
+
+/// A mergeable set of deterministic counters/histograms plus
+/// non-deterministic wall-clock spans.
+///
+/// Equality and [`Registry::to_csv`] cover only the deterministic
+/// sections, so `assert_eq!` between a serial and a parallel run's
+/// registries is meaningful even when both also timed their merges.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, BTreeMap<String, u64>>,
+    histograms: BTreeMap<String, BTreeMap<String, Histogram>>,
+    wall: BTreeMap<String, WallSpan>,
+}
+
+impl PartialEq for Registry {
+    fn eq(&self, other: &Registry) -> bool {
+        // Wall-clock spans are intentionally ignored: two runs of the
+        // same simulation are equal even if their real durations differ.
+        self.counters == other.counters && self.histograms == other.histograms
+    }
+}
+
+impl Eq for Registry {}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// True if no deterministic metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Increment the counter `(metric, label)` by one.
+    pub fn incr(&mut self, metric: &str, label: &str) {
+        self.add(metric, label, 1);
+    }
+
+    /// Increment the counter `(metric, label)` by `n`.
+    pub fn add(&mut self, metric: &str, label: &str, n: u64) {
+        if let Some(labels) = self.counters.get_mut(metric) {
+            if let Some(v) = labels.get_mut(label) {
+                *v += n;
+                return;
+            }
+            labels.insert(label.to_owned(), n);
+            return;
+        }
+        let mut labels = BTreeMap::new();
+        labels.insert(label.to_owned(), n);
+        self.counters.insert(metric.to_owned(), labels);
+    }
+
+    /// Current value of the counter `(metric, label)` (0 if never set).
+    pub fn counter(&self, metric: &str, label: &str) -> u64 {
+        self.counters
+            .get(metric)
+            .and_then(|labels| labels.get(label))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of all labels under `metric` (0 if never set).
+    pub fn counter_total(&self, metric: &str) -> u64 {
+        self.counters
+            .get(metric)
+            .map(|labels| labels.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Record one sample into the histogram `(metric, label)`.
+    pub fn observe(&mut self, metric: &str, label: &str, value: u64) {
+        if let Some(labels) = self.histograms.get_mut(metric) {
+            if let Some(h) = labels.get_mut(label) {
+                h.record(value);
+                return;
+            }
+            let mut h = Histogram::new();
+            h.record(value);
+            labels.insert(label.to_owned(), h);
+            return;
+        }
+        let mut h = Histogram::new();
+        h.record(value);
+        let mut labels = BTreeMap::new();
+        labels.insert(label.to_owned(), h);
+        self.histograms.insert(metric.to_owned(), labels);
+    }
+
+    /// The histogram at `(metric, label)`, if any sample was recorded.
+    pub fn histogram(&self, metric: &str, label: &str) -> Option<&Histogram> {
+        self.histograms
+            .get(metric)
+            .and_then(|labels| labels.get(label))
+    }
+
+    /// Time `f` as a wall-clock span named `name`.
+    ///
+    /// The measurement lands in the wall section only — it can never
+    /// appear in `to_csv` output or influence equality.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record_wall(name, start.elapsed().as_nanos());
+        out
+    }
+
+    /// Record one wall-clock span observation directly.
+    pub fn record_wall(&mut self, name: &str, nanos: u128) {
+        if let Some(span) = self.wall.get_mut(name) {
+            span.count += 1;
+            span.total_nanos += nanos;
+            return;
+        }
+        self.wall.insert(
+            name.to_owned(),
+            WallSpan {
+                count: 1,
+                total_nanos: nanos,
+            },
+        );
+    }
+
+    /// Number of wall-clock observations recorded under `name`.
+    pub fn wall_count(&self, name: &str) -> u64 {
+        self.wall.get(name).map(|s| s.count).unwrap_or(0)
+    }
+
+    /// Fold `other` into `self`.
+    ///
+    /// Counters and histograms add elementwise, so merging is
+    /// associative and commutative; pipelines nevertheless merge
+    /// per-shard registries in canonical shard order (matching how their
+    /// other per-shard results merge), which the determinism tests rely
+    /// on.
+    pub fn merge(&mut self, other: &Registry) {
+        for (metric, labels) in &other.counters {
+            for (label, n) in labels {
+                self.add(metric, label, *n);
+            }
+        }
+        for (metric, labels) in &other.histograms {
+            for (label, h) in labels {
+                if let Some(mine) = self.histograms.get_mut(metric) {
+                    if let Some(existing) = mine.get_mut(label) {
+                        existing.absorb(h);
+                    } else {
+                        mine.insert(label.to_owned(), h.clone());
+                    }
+                } else {
+                    let mut mine = BTreeMap::new();
+                    mine.insert(label.to_owned(), h.clone());
+                    self.histograms.insert(metric.to_owned(), mine);
+                }
+            }
+        }
+        for (name, span) in &other.wall {
+            if let Some(mine) = self.wall.get_mut(name) {
+                mine.count += span.count;
+                mine.total_nanos += span.total_nanos;
+            } else {
+                self.wall.insert(name.to_owned(), *span);
+            }
+        }
+    }
+
+    /// Iterate all counters as `(metric, label, value)` in canonical
+    /// (lexicographic) order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.counters.iter().flat_map(|(metric, labels)| {
+            labels
+                .iter()
+                .map(move |(label, v)| (metric.as_str(), label.as_str(), *v))
+        })
+    }
+
+    /// Iterate all histograms as `(metric, label, histogram)` in
+    /// canonical (lexicographic) order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &str, &Histogram)> {
+        self.histograms.iter().flat_map(|(metric, labels)| {
+            labels
+                .iter()
+                .map(move |(label, h)| (metric.as_str(), label.as_str(), h))
+        })
+    }
+
+    /// Render the deterministic sections as CSV
+    /// (`kind,metric,label,value`), in canonical order.
+    ///
+    /// Histogram rows pack their summary into the value column as
+    /// `count=..;sum=..;min=..;max=..`. Wall-clock spans are *not*
+    /// rendered: the artifact must be byte-identical across runs.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,metric,label,value\n");
+        for (metric, label, v) in self.counters() {
+            let _ = writeln!(out, "counter,{metric},{label},{v}");
+        }
+        for (metric, label, h) in self.histograms() {
+            let _ = writeln!(
+                out,
+                "histogram,{metric},{label},count={};sum={};min={};max={}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max()
+            );
+        }
+        out
+    }
+
+    /// Render the wall-clock spans for human inspection (never an
+    /// artifact). Returns one line per span: `name count total_ms`.
+    pub fn wall_report(&self) -> String {
+        let mut out = String::new();
+        for (name, span) in &self.wall {
+            let _ = writeln!(
+                out,
+                "{name} count={} total={:.3}ms",
+                span.count,
+                span.total_nanos as f64 / 1e6
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_a() -> Registry {
+        let mut r = Registry::new();
+        r.incr("net.failure.tcp", "Virginia");
+        r.add("net.failure.tcp", "Oregon", 3);
+        r.incr("scan.probes", "r0");
+        r.observe("latency", "Virginia", 12);
+        r.observe("latency", "Virginia", 80);
+        r
+    }
+
+    fn sample_b() -> Registry {
+        let mut r = Registry::new();
+        r.add("net.failure.tcp", "Virginia", 4);
+        r.incr("scan.probes", "r1");
+        r.observe("latency", "Oregon", 7);
+        r
+    }
+
+    fn sample_c() -> Registry {
+        let mut r = Registry::new();
+        r.incr("net.failure.dns", "Sydney");
+        r.observe("latency", "Virginia", 200);
+        r
+    }
+
+    fn merged(parts: &[&Registry]) -> Registry {
+        let mut out = Registry::new();
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let r = sample_a();
+        assert_eq!(r.counter("net.failure.tcp", "Virginia"), 1);
+        assert_eq!(r.counter("net.failure.tcp", "Oregon"), 3);
+        assert_eq!(r.counter_total("net.failure.tcp"), 4);
+        assert_eq!(r.counter("net.failure.tcp", "Sydney"), 0);
+        assert_eq!(r.counter_total("absent"), 0);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let (a, b, c) = (sample_a(), sample_b(), sample_c());
+        let left = merged(&[&merged(&[&a, &b]), &c]);
+        let right = merged(&[&a, &merged(&[&b, &c])]);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_commutative_so_canonical_order_is_safe() {
+        // Elementwise sums commute, so the canonical shard-order merge
+        // the pipelines use yields the same registry any order would —
+        // the ordering convention is for auditability, not correctness.
+        let (a, b, c) = (sample_a(), sample_b(), sample_c());
+        let forward = merged(&[&a, &b, &c]);
+        let backward = merged(&[&c, &b, &a]);
+        assert_eq!(forward, backward);
+        assert_eq!(forward.to_csv(), backward.to_csv());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = sample_a();
+        let mut out = a.clone();
+        out.merge(&Registry::new());
+        assert_eq!(out, a);
+        let mut empty = Registry::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn histograms_track_summary_stats_and_buckets() {
+        let r = sample_a();
+        let h = r.histogram("latency", "Virginia").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 92);
+        assert_eq!(h.min(), 12);
+        assert_eq!(h.max(), 80);
+        assert!((h.mean() - 46.0).abs() < 1e-9);
+        assert_eq!(h.bucket(Histogram::bucket_of(12)), 1);
+        assert_eq!(h.bucket(Histogram::bucket_of(80)), 1);
+        assert!(r.histogram("latency", "Sydney").is_none());
+    }
+
+    #[test]
+    fn bucket_of_is_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn wall_spans_are_excluded_from_equality_and_csv() {
+        let mut with_wall = sample_a();
+        let result = with_wall.time("merge", || 2 + 2);
+        assert_eq!(result, 4);
+        with_wall.record_wall("merge", 1_000_000);
+        assert_eq!(with_wall.wall_count("merge"), 2);
+
+        let without_wall = sample_a();
+        assert_eq!(with_wall, without_wall);
+        assert_eq!(with_wall.to_csv(), without_wall.to_csv());
+        assert!(!with_wall.to_csv().contains("merge"));
+        assert!(with_wall.wall_report().contains("merge count=2"));
+    }
+
+    #[test]
+    fn wall_spans_merge_too() {
+        let mut a = Registry::new();
+        a.record_wall("shard", 10);
+        let mut b = Registry::new();
+        b.record_wall("shard", 30);
+        a.merge(&b);
+        assert_eq!(a.wall_count("shard"), 2);
+        assert!(a.wall_report().contains("total=0.000"));
+    }
+
+    #[test]
+    fn csv_is_canonically_ordered_and_complete() {
+        let all = merged(&[&sample_a(), &sample_b(), &sample_c()]);
+        let csv = all.to_csv();
+        let expected = "kind,metric,label,value\n\
+                        counter,net.failure.dns,Sydney,1\n\
+                        counter,net.failure.tcp,Oregon,3\n\
+                        counter,net.failure.tcp,Virginia,5\n\
+                        counter,scan.probes,r0,1\n\
+                        counter,scan.probes,r1,1\n\
+                        histogram,latency,Oregon,count=1;sum=7;min=7;max=7\n\
+                        histogram,latency,Virginia,count=3;sum=292;min=12;max=200\n";
+        assert_eq!(csv, expected);
+    }
+
+    #[test]
+    fn empty_registry_renders_header_only() {
+        let r = Registry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.to_csv(), "kind,metric,label,value\n");
+        assert_eq!(r.counter("x", "y"), 0);
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

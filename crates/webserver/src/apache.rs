@@ -19,6 +19,7 @@
 use crate::fetcher::{FetchOutcome, OcspFetcher};
 use crate::server::{CachedStaple, ServerKind, SiteConfig, StaplingServer};
 use asn1::Time;
+use telemetry::Registry;
 use tls::ServerFlight;
 
 /// Default `SSLStaplingStandardCacheTimeout` in seconds.
@@ -29,6 +30,7 @@ pub struct Apache {
     site: SiteConfig,
     cache: Option<CachedStaple>,
     cache_timeout: i64,
+    telemetry: Registry,
 }
 
 impl Apache {
@@ -38,6 +40,7 @@ impl Apache {
             site,
             cache: None,
             cache_timeout: APACHE_CACHE_TIMEOUT,
+            telemetry: Registry::new(),
         }
     }
 
@@ -62,11 +65,13 @@ impl Apache {
                 // Whatever came back gets cached and stapled — even an
                 // OCSP error response.
                 self.cache = Some(CachedStaple::from_fetch(body, now));
+                self.telemetry.incr("webserver.staple.install", "Apache");
                 latency_ms
             }
             FetchOutcome::Unreachable { latency_ms } => {
                 // The old response — even if still valid — is discarded.
                 self.cache = None;
+                self.telemetry.incr("webserver.staple.drop", "Apache");
                 latency_ms
             }
         }
@@ -80,11 +85,14 @@ impl StaplingServer for Apache {
 
     fn serve(&mut self, now: Time, fetcher: &mut dyn OcspFetcher) -> ServerFlight {
         if self.cache_live(now) {
+            self.telemetry.incr("webserver.cache.hit", "Apache");
             let body = self.cache.as_ref().unwrap().body.clone();
             return self.site.flight(Some(body), 0.0);
         }
         // Cache miss (first connection or Apache-cache expiry): fetch
         // synchronously, pausing this handshake.
+        self.telemetry.incr("webserver.cache.miss", "Apache");
+        self.telemetry.incr("webserver.fetch.sync", "Apache");
         let stall_ms = self.refresh(now, fetcher);
         let staple = self.cache.as_ref().map(|c| c.body.clone());
         self.site.flight(staple, stall_ms)
@@ -92,6 +100,10 @@ impl StaplingServer for Apache {
 
     fn tick(&mut self, _now: Time, _fetcher: &mut dyn OcspFetcher) {
         // Apache does no background prefetching.
+    }
+
+    fn telemetry(&self) -> Option<&Registry> {
+        Some(&self.telemetry)
     }
 }
 

@@ -49,6 +49,9 @@ pub struct Table3Row {
     pub respects_next_update: bool,
     /// Does it keep a valid cached response when a refresh fails?
     pub retains_on_error: bool,
+    /// Telemetry merged from the four experiments' server instances, in
+    /// experiment order (prefetch, cache, nextUpdate, error).
+    pub telemetry: telemetry::Registry,
 }
 
 /// The controlled environment: CA + Must-Staple site + live responder.
@@ -139,12 +142,21 @@ pub fn run_table3_experiments<S: StaplingServer>(
     make: impl Fn(SiteConfig) -> S,
 ) -> Table3Row {
     let kind = make(bench.site.clone()).kind();
+    let mut telemetry = telemetry::Registry::new();
+    let (prefetch, t1) = prefetch_experiment(bench, &make);
+    let (caches, t2) = cache_experiment(bench, &make);
+    let (respects_next_update, t3) = next_update_experiment(bench, &make);
+    let (retains_on_error, t4) = error_experiment(bench, &make);
+    for t in [t1, t2, t3, t4].iter().flatten() {
+        telemetry.merge(t);
+    }
     Table3Row {
         server: kind,
-        prefetch: prefetch_experiment(bench, &make),
-        caches: cache_experiment(bench, &make),
-        respects_next_update: next_update_experiment(bench, &make),
-        retains_on_error: error_experiment(bench, &make),
+        prefetch,
+        caches,
+        respects_next_update,
+        retains_on_error,
+        telemetry,
     }
 }
 
@@ -153,7 +165,7 @@ pub fn run_table3_experiments<S: StaplingServer>(
 fn prefetch_experiment<S: StaplingServer>(
     bench: &TestBench,
     make: &impl Fn(SiteConfig) -> S,
-) -> PrefetchBehavior {
+) -> (PrefetchBehavior, Option<telemetry::Registry>) {
     let mut server = make(bench.site.clone());
     let mut fetcher = bench.live_fetcher(7 * 86_400);
     let t0 = bench.t0();
@@ -161,7 +173,7 @@ fn prefetch_experiment<S: StaplingServer>(
     server.tick(t0, &mut fetcher);
     server.tick(t0 + 60, &mut fetcher);
     let flight = server.serve(t0 + 120, &mut fetcher);
-    match (&flight.stapled_ocsp, flight.stall_ms > 0.0) {
+    let behavior = match (&flight.stapled_ocsp, flight.stall_ms > 0.0) {
         (Some(_), false) => {
             // Stapled without stalling — but was it *pre*-fetched, or
             // fetched in background during this serve? Distinguish by
@@ -174,11 +186,15 @@ fn prefetch_experiment<S: StaplingServer>(
         }
         (Some(_), true) => PrefetchBehavior::PausesConnection,
         (None, _) => PrefetchBehavior::NoResponse,
-    }
+    };
+    (behavior, server.telemetry().cloned())
 }
 
 /// Experiment 2: are responses cached across connections?
-fn cache_experiment<S: StaplingServer>(bench: &TestBench, make: &impl Fn(SiteConfig) -> S) -> bool {
+fn cache_experiment<S: StaplingServer>(
+    bench: &TestBench,
+    make: &impl Fn(SiteConfig) -> S,
+) -> (bool, Option<telemetry::Registry>) {
     let mut server = make(bench.site.clone());
     let mut fetcher = bench.live_fetcher(7 * 86_400);
     let t0 = bench.t0();
@@ -190,7 +206,10 @@ fn cache_experiment<S: StaplingServer>(bench: &TestBench, make: &impl Fn(SiteCon
     // Two more connections shortly after must not refetch.
     server.serve(t0 + 30, &mut fetcher);
     server.serve(t0 + 60, &mut fetcher);
-    fetcher.attempts() == warm_attempts
+    (
+        fetcher.attempts() == warm_attempts,
+        server.telemetry().cloned(),
+    )
 }
 
 /// Experiment 3: once `nextUpdate` passes, do clients stop receiving the
@@ -199,7 +218,7 @@ fn cache_experiment<S: StaplingServer>(bench: &TestBench, make: &impl Fn(SiteCon
 fn next_update_experiment<S: StaplingServer>(
     bench: &TestBench,
     make: &impl Fn(SiteConfig) -> S,
-) -> bool {
+) -> (bool, Option<telemetry::Registry>) {
     let mut server = make(bench.site.clone());
     let mut fetcher = bench.live_fetcher(600);
     let t0 = bench.t0();
@@ -214,19 +233,23 @@ fn next_update_experiment<S: StaplingServer>(
     server.tick(late + 30, &mut fetcher);
     server.serve(late + 60, &mut fetcher);
     let flight = server.serve(late + 90, &mut fetcher);
-    match flight.stapled_ocsp {
+    let respects = match flight.stapled_ocsp {
         None => true, // refusing to staple an expired response also respects it
         Some(body) => {
             let cached = CachedStaple::from_fetch(body, late + 90);
             cached.ocsp_fresh(late + 90)
         }
-    }
+    };
+    (respects, server.telemetry().cloned())
 }
 
 /// Experiment 4: when a refresh fails, is the old (still valid) response
 /// retained? Uses a 2-hour validity and kills the responder after the
 /// first fetch; probes at t0+4000 (inside the original validity).
-fn error_experiment<S: StaplingServer>(bench: &TestBench, make: &impl Fn(SiteConfig) -> S) -> bool {
+fn error_experiment<S: StaplingServer>(
+    bench: &TestBench,
+    make: &impl Fn(SiteConfig) -> S,
+) -> (bool, Option<telemetry::Registry>) {
     let mut server = make(bench.site.clone());
     let t0 = bench.t0();
     let mut fetcher = ScriptedFetcher::new(vec![
@@ -248,7 +271,7 @@ fn error_experiment<S: StaplingServer>(bench: &TestBench, make: &impl Fn(SiteCon
     server.tick(probe, &mut fetcher);
     server.serve(probe + 1, &mut fetcher);
     let flight = server.serve(probe + 2, &mut fetcher);
-    flight.stapled_ocsp.is_some()
+    (flight.stapled_ocsp.is_some(), server.telemetry().cloned())
 }
 
 /// One Table 3 line: a label plus how to render a row's cell for it.
@@ -328,6 +351,37 @@ mod tests {
         assert!(row.caches);
         assert!(row.respects_next_update);
         assert!(row.retains_on_error);
+    }
+
+    #[test]
+    fn rows_carry_server_telemetry() {
+        let b = bench();
+        let apache = run_table3_experiments(&b, Apache::new);
+        // Apache's cache experiment serves warm connections from cache,
+        // and every miss is a synchronous (handshake-pausing) fetch.
+        assert!(apache.telemetry.counter("webserver.cache.hit", "Apache") > 0);
+        assert_eq!(
+            apache.telemetry.counter("webserver.cache.miss", "Apache"),
+            apache.telemetry.counter("webserver.fetch.sync", "Apache")
+        );
+        // The error experiment's failed refresh drops the old staple.
+        assert!(apache.telemetry.counter("webserver.staple.drop", "Apache") > 0);
+
+        let nginx = run_table3_experiments(&b, Nginx::new);
+        // Nginx's first client per experiment gets no staple.
+        assert!(nginx.telemetry.counter("webserver.staple.none", "Nginx") > 0);
+        // The error experiment retains the old staple on failure.
+        assert!(nginx.telemetry.counter("webserver.staple.retain", "Nginx") > 0);
+
+        let ideal = run_table3_experiments(&b, Ideal::new);
+        // Ideal prefetches from tick, never from the serve path.
+        assert!(ideal.telemetry.counter("webserver.prefetch", "Ideal") > 0);
+        assert_eq!(
+            ideal
+                .telemetry
+                .counter("webserver.fetch.background", "Ideal"),
+            0
+        );
     }
 
     #[test]

@@ -14,18 +14,24 @@
 use crate::fetcher::{FetchOutcome, OcspFetcher};
 use crate::server::{CachedStaple, ServerKind, SiteConfig, StaplingServer};
 use asn1::Time;
+use telemetry::Registry;
 use tls::ServerFlight;
 
 /// The recommended model.
 pub struct Ideal {
     site: SiteConfig,
     cache: Option<CachedStaple>,
+    telemetry: Registry,
 }
 
 impl Ideal {
     /// A server for `site`.
     pub fn new(site: SiteConfig) -> Ideal {
-        Ideal { site, cache: None }
+        Ideal {
+            site,
+            cache: None,
+            telemetry: Registry::new(),
+        }
     }
 
     fn needs_refresh(&self, now: Time) -> bool {
@@ -42,19 +48,28 @@ impl Ideal {
         }
     }
 
-    fn refresh(&mut self, now: Time, fetcher: &mut dyn OcspFetcher) {
+    /// `fetch_metric` distinguishes timer-driven prefetches from the
+    /// serve-path safety net in the telemetry.
+    fn refresh(&mut self, now: Time, fetcher: &mut dyn OcspFetcher, fetch_metric: &str) {
         if !self.needs_refresh(now) {
             return;
         }
+        self.telemetry.incr(fetch_metric, "Ideal");
         if let FetchOutcome::Fetched { body, .. } = fetcher.fetch(now) {
             let fresh = CachedStaple::from_fetch(body, now);
             if fresh.is_successful_response && fresh.ocsp_fresh(now) {
                 self.cache = Some(fresh);
+                self.telemetry.incr("webserver.staple.install", "Ideal");
+            } else {
+                // Error responses and stale responses are ignored; the
+                // old staple stays.
+                self.telemetry
+                    .incr("webserver.staple.reject_error", "Ideal");
             }
-            // Error responses and stale responses are ignored; the old
-            // staple stays.
+        } else {
+            // Unreachable: old staple stays; the next tick retries.
+            self.telemetry.incr("webserver.staple.retain", "Ideal");
         }
-        // Unreachable: old staple stays; the next tick retries.
     }
 }
 
@@ -69,7 +84,7 @@ impl StaplingServer for Ideal {
         // background (never stall, never fail closed beyond this one
         // connection).
         if self.cache.is_none() {
-            self.refresh(now, fetcher);
+            self.refresh(now, fetcher, "webserver.fetch.background");
         }
         // Never staple an expired response.
         let staple = self
@@ -77,11 +92,18 @@ impl StaplingServer for Ideal {
             .as_ref()
             .filter(|c| c.ocsp_fresh(now))
             .map(|c| c.body.clone());
+        if staple.is_some() {
+            self.telemetry.incr("webserver.cache.hit", "Ideal");
+        }
         self.site.flight(staple, 0.0)
     }
 
     fn tick(&mut self, now: Time, fetcher: &mut dyn OcspFetcher) {
-        self.refresh(now, fetcher);
+        self.refresh(now, fetcher, "webserver.prefetch");
+    }
+
+    fn telemetry(&self) -> Option<&Registry> {
+        Some(&self.telemetry)
     }
 }
 

@@ -22,6 +22,7 @@
 use crate::fetcher::{FetchOutcome, OcspFetcher};
 use crate::server::{CachedStaple, ServerKind, SiteConfig, StaplingServer};
 use asn1::Time;
+use telemetry::Registry;
 use tls::ServerFlight;
 
 /// Minimum seconds between refresh attempts (nginx hardcodes 5 minutes).
@@ -34,6 +35,7 @@ pub struct Nginx {
     site: SiteConfig,
     cache: Option<CachedStaple>,
     last_attempt: Option<Time>,
+    telemetry: Registry,
 }
 
 impl Nginx {
@@ -43,6 +45,7 @@ impl Nginx {
             site,
             cache: None,
             last_attempt: None,
+            telemetry: Registry::new(),
         }
     }
 
@@ -65,10 +68,17 @@ impl Nginx {
 
     /// Background refresh; on failure the old cache entry is retained.
     fn refresh(&mut self, now: Time, fetcher: &mut dyn OcspFetcher) {
-        if !self.wants_refresh(now) || !self.clamp_allows(now) {
+        if !self.wants_refresh(now) {
+            return;
+        }
+        if !self.clamp_allows(now) {
+            // Footnote 28: a wanted refresh suppressed by the 5-minute
+            // clamp — the window where clients get expired staples.
+            self.telemetry.incr("webserver.refresh.clamped", "Nginx");
             return;
         }
         self.last_attempt = Some(now);
+        self.telemetry.incr("webserver.fetch.background", "Nginx");
         match fetcher.fetch(now) {
             FetchOutcome::Fetched { body, .. } => {
                 let fresh = CachedStaple::from_fetch(body, now);
@@ -76,10 +86,15 @@ impl Nginx {
                 // error response leaves the old staple in place.
                 if fresh.is_successful_response {
                     self.cache = Some(fresh);
+                    self.telemetry.incr("webserver.staple.install", "Nginx");
+                } else {
+                    self.telemetry
+                        .incr("webserver.staple.reject_error", "Nginx");
                 }
             }
             FetchOutcome::Unreachable { .. } => {
                 // Retain the old response (Table 3's ✓).
+                self.telemetry.incr("webserver.staple.retain", "Nginx");
             }
         }
     }
@@ -98,14 +113,20 @@ impl StaplingServer for Nginx {
         self.refresh(now, fetcher);
         if !had_cache {
             // First client: no staple at all.
+            self.telemetry.incr("webserver.staple.none", "Nginx");
             return self.site.flight(None, 0.0);
         }
+        self.telemetry.incr("webserver.cache.hit", "Nginx");
         self.site.flight(staple, 0.0)
     }
 
     fn tick(&mut self, _now: Time, _fetcher: &mut dyn OcspFetcher) {
         // Nginx 1.13 has no timer-driven prefetch; refreshes piggyback on
         // connections.
+    }
+
+    fn telemetry(&self) -> Option<&Registry> {
+        Some(&self.telemetry)
     }
 }
 

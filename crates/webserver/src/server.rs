@@ -41,6 +41,13 @@ pub trait StaplingServer {
     /// Background maintenance at `now` (prefetch/refresh timers). Models
     /// without background behavior ignore this.
     fn tick(&mut self, now: Time, fetcher: &mut dyn OcspFetcher);
+
+    /// The server's telemetry registry (prefetches, cache hits, refresh
+    /// clamps, staple installs/drops). Models that do not record
+    /// telemetry return `None`.
+    fn telemetry(&self) -> Option<&telemetry::Registry> {
+        None
+    }
 }
 
 /// A cached staple plus the metadata servers key their decisions on.

@@ -22,7 +22,7 @@ fn serial_and_parallel_artifacts_are_byte_identical() {
 
     for name in ALL_ARTIFACTS
         .iter()
-        .chain(["freshness", "recommendations"].iter())
+        .chain(["freshness", "recommendations", "telemetry"].iter())
     {
         let a = build(name, &serial).unwrap_or_else(|| panic!("missing artifact {name}"));
         let b = build(name, &parallel).unwrap_or_else(|| panic!("missing artifact {name}"));
@@ -34,6 +34,18 @@ fn serial_and_parallel_artifacts_are_byte_identical() {
              --- serial ---\n{csv_a}\n--- parallel ---\n{csv_b}"
         );
     }
+
+    // The merged telemetry registries themselves must agree — both as
+    // values (counters + histograms; wall-clock spans are excluded from
+    // equality) and as the bytes `figures --telemetry` writes.
+    assert_eq!(
+        serial.telemetry, parallel.telemetry,
+        "telemetry registries diverged"
+    );
+    assert!(
+        serial.telemetry.to_csv().as_bytes() == parallel.telemetry.to_csv().as_bytes(),
+        "telemetry.csv differs between serial and 4-worker runs"
+    );
 
     // The readiness verdict is derived from everything above; it must
     // agree too.
