@@ -1,10 +1,11 @@
 //! DER encoding.
 //!
 //! [`Encoder`] appends TLVs to an internal buffer. Constructed types take a
-//! closure that fills in the content; the encoder then computes the
-//! definite length (DER forbids the indefinite form) and splices the header
-//! in front. This is O(n) amortized because headers are at most six bytes
-//! and spliced with `Vec::splice`-free manual insertion into a reserved gap.
+//! closure that fills the content directly into the same buffer; the
+//! encoder then computes the definite length (DER forbids the indefinite
+//! form) and inserts the header where the value started. No intermediate
+//! `Vec` is allocated per nesting level, and the insertion shifts at most
+//! the constructed value's own content by a ≤ 5-byte header.
 
 use crate::{Oid, Result, Tag, Time};
 
@@ -52,10 +53,15 @@ impl Encoder {
     }
 
     /// Append a constructed TLV whose content is produced by `f`.
+    ///
+    /// The content is encoded in place — `f` writes directly into this
+    /// encoder's buffer and the definite length is inserted afterwards —
+    /// so arbitrarily deep nesting costs no intermediate allocations.
     pub fn constructed(&mut self, tag: Tag, f: impl FnOnce(&mut Encoder)) {
-        let mut inner = Encoder::new();
-        f(&mut inner);
-        self.tlv(tag, &inner.out);
+        self.out.push(tag.0);
+        let len_pos = self.out.len();
+        f(self);
+        insert_length(&mut self.out, len_pos);
     }
 
     /// Append a SEQUENCE.
@@ -156,11 +162,13 @@ impl Encoder {
     }
 
     /// Append an OCTET STRING whose content is nested DER produced by `f`
-    /// (the standard way X.509 wraps extension payloads).
+    /// (the standard way X.509 wraps extension payloads). Encoded in
+    /// place, like [`Encoder::constructed`].
     pub fn octet_string_nested(&mut self, f: impl FnOnce(&mut Encoder)) {
-        let mut inner = Encoder::new();
-        f(&mut inner);
-        self.octet_string(&inner.out);
+        self.out.push(Tag::OCTET_STRING.0);
+        let len_pos = self.out.len();
+        f(self);
+        insert_length(&mut self.out, len_pos);
     }
 
     /// Append a BIT STRING with zero unused bits.
@@ -217,6 +225,24 @@ impl Encoder {
 /// True for bytes allowed in PrintableString.
 fn is_printable_char(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b" '()+,-./:=?".contains(&b)
+}
+
+/// Insert the DER definite length of `out[len_pos..]` at `len_pos`,
+/// shifting the already-encoded content right by the header size (at
+/// most five bytes, so the memmove is cheap relative to the content).
+fn insert_length(out: &mut Vec<u8>, len_pos: usize) {
+    let len = out.len() - len_pos;
+    if len < 0x80 {
+        out.insert(len_pos, len as u8);
+        return;
+    }
+    let bytes = (len as u64).to_be_bytes();
+    let skip = bytes.iter().take_while(|&&b| b == 0).count();
+    let tail = &bytes[skip..];
+    let mut header = Vec::with_capacity(1 + tail.len());
+    header.push(0x80 | tail.len() as u8);
+    header.extend_from_slice(tail);
+    out.splice(len_pos..len_pos, header);
 }
 
 /// Append a DER definite length.

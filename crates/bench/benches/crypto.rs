@@ -1,9 +1,13 @@
 //! Microbenchmarks of the cryptographic substrate, including the
-//! CRT-vs-plain signing ablation that justified the KeyPair layout.
+//! CRT-vs-plain signing ablation that justified the KeyPair layout, the
+//! schoolbook-vs-Montgomery modexp comparison behind the scan hot path,
+//! and the responder's signed-response cache (cold sign vs cached hit).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::{rngs::StdRng, SeedableRng};
-use simcrypto::{sha256, KeyPair};
+use ocsp::{CertId, OcspRequest, Responder, ResponderProfile};
+use pki::{CertificateAuthority, IssueParams};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use simcrypto::{sha256, BigUint, KeyPair};
 
 fn bench_sha256(c: &mut Criterion) {
     let mut group = c.benchmark_group("sha256");
@@ -46,9 +50,71 @@ fn bench_rsa(c: &mut Criterion) {
     group.finish();
 }
 
+/// The modexp ablation behind the scan hot path: LSB-first schoolbook
+/// square-and-multiply vs 4-bit windowed Montgomery (CIOS). Every RSA
+/// sign/verify in the study funnels through `modpow`.
+fn bench_modexp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modexp");
+    for bits in [384usize, 512, 768] {
+        let mut rng = StdRng::seed_from_u64(0xE0D * bits as u64);
+        let bytes = bits / 8;
+        let rand_int = |rng: &mut StdRng, len: usize| {
+            let mut buf = vec![0u8; len];
+            rng.fill(&mut buf[..]);
+            BigUint::from_be_bytes(&buf)
+        };
+        let base = rand_int(&mut rng, bytes);
+        let exp = rand_int(&mut rng, bytes);
+        let mut m_bytes = vec![0u8; bytes];
+        rng.fill(&mut m_bytes[..]);
+        m_bytes[0] |= 0x80; // full width
+        m_bytes[bytes - 1] |= 0x01; // odd: the Montgomery-eligible case
+        let m = BigUint::from_be_bytes(&m_bytes);
+        group.bench_function(format!("schoolbook-{bits}"), |b| {
+            b.iter(|| std::hint::black_box(&base).modpow_schoolbook(std::hint::black_box(&exp), &m))
+        });
+        group.bench_function(format!("montgomery-{bits}"), |b| {
+            b.iter(|| std::hint::black_box(&base).modpow(std::hint::black_box(&exp), &m))
+        });
+    }
+    group.finish();
+}
+
+/// The responder's signed-response cache: a cold `handle_with` pays a
+/// full RSA sign; a warm one serves cached DER. The gap is the per-probe
+/// saving the hourly campaign collects on every repeat probe of a
+/// (serial, window).
+fn bench_responder_cache(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x0C5);
+    let now = asn1::Time::from_civil(2018, 5, 1, 10, 30, 0);
+    let mut ca = CertificateAuthority::new_root(&mut rng, "CA", "Root", "ca.test", now);
+    let leaf = ca.issue(&mut rng, &IssueParams::new("site.example", now));
+    let id = CertId::for_certificate(&leaf, ca.certificate());
+    let req = OcspRequest::single(id);
+    let profile = ResponderProfile::healthy()
+        .pre_generated(7_200)
+        .validity(7_200);
+    let mut reg = telemetry::Registry::new();
+
+    let mut group = c.benchmark_group("responder");
+    group.bench_function("handle-cold", |b| {
+        b.iter_batched(
+            || Responder::new("http://ocsp.ca.test/", profile.clone()),
+            |mut responder| responder.handle_with(&ca, &req, now, &mut reg),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("handle-cache-hit", |b| {
+        let mut responder = Responder::new("http://ocsp.ca.test/", profile.clone());
+        responder.handle_with(&ca, &req, now, &mut reg); // prime the window
+        b.iter(|| responder.handle_with(&ca, &req, now, &mut reg))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_sha256, bench_rsa
+    targets = bench_sha256, bench_rsa, bench_modexp, bench_responder_cache
 }
 criterion_main!(benches);

@@ -89,9 +89,11 @@ fn main() {
     );
     let started = std::time::Instant::now();
     let results = Study::new(config.clone()).run();
+    let elapsed = started.elapsed();
     eprintln!(
-        "study completed in {:.1?}; rendering artifacts\n",
-        started.elapsed()
+        "study completed in {:.1?} ({:.0} hourly-scan req/s); rendering artifacts\n",
+        elapsed,
+        results.hourly.requests as f64 / elapsed.as_secs_f64().max(1e-9)
     );
 
     fs::create_dir_all(&out_dir).expect("create output directory");

@@ -75,7 +75,7 @@ impl Study {
             Region::Virginia,
             &executor,
         );
-        let cdn = CdnStudy::run(&eco, self.config.campaign_start + 86_400, 60, 40);
+        let cdn = CdnStudy::run_with(&eco, self.config.campaign_start + 86_400, 60, 40, &executor);
 
         // §6: the browser suite, against a controlled bench.
         let bench = TestBench::new(self.config.seed, self.config.campaign_start);

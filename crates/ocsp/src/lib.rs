@@ -36,5 +36,6 @@ pub use request::OcspRequest;
 pub use responder::Responder;
 pub use response::{BasicResponse, CertStatus, OcspResponse, ResponseStatus, SingleResponse};
 pub use validate::{
-    validate_response, validate_response_with, ResponseError, ValidatedResponse, ValidationConfig,
+    validate_response, validate_response_cached, validate_response_with, ResponseError,
+    SigVerifyCache, ValidatedResponse, ValidationConfig,
 };

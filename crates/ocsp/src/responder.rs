@@ -39,9 +39,11 @@ struct CachedWindow {
     generated_at: Time,
 }
 
-/// Key for the signed-response cache of pre-generated responders:
-/// (serial bytes, window boundary, instance index).
-type ResponseCacheKey = (Vec<u8>, i64, usize);
+/// Key for the signed-response cache: (serial bytes, window boundary,
+/// instance index, signer-role tag). Pre-generated responders use the
+/// interval boundary; on-demand responders use the request second, so a
+/// cache hit can only repeat bytes that are identical by construction.
+type ResponseCacheKey = (Vec<u8>, i64, usize, u8);
 
 /// An OCSP responder bound to one CA.
 #[derive(Debug, Clone)]
@@ -51,10 +53,11 @@ pub struct Responder {
     signer: SignerRole,
     /// Last pre-generation boundary per serial (pre-generated mode).
     windows: HashMap<Serial, CachedWindow>,
-    /// Signed responses for pre-generated windows. A pre-generating
-    /// responder signs once per (serial, window, instance) and serves the
-    /// cached bytes — matching real deployments and keeping large scan
-    /// campaigns cheap.
+    /// Signed responses for the healthy path. Any healthy single-serial
+    /// request signs once per (serial, window, instance, role) and
+    /// serves the cached bytes — matching real deployments and keeping
+    /// large scan campaigns cheap. Fault profiles (malformed bodies,
+    /// wrong serial, corrupted signatures) bypass the cache entirely.
     response_cache: HashMap<ResponseCacheKey, Vec<u8>>,
 }
 
@@ -143,9 +146,12 @@ impl Responder {
 
     /// [`Responder::handle`] plus telemetry: each fault-profile trigger
     /// (malformed body, wrong serial, corrupted signature, fillers, …)
-    /// increments `ocsp.responder.fault` in `reg`, and the pre-generated
-    /// signed-response cache records hits/signs under
-    /// `ocsp.responder.pregen`.
+    /// increments `ocsp.responder.fault` in `reg`, and the healthy-path
+    /// signed-response cache records under `ocsp.responder.cache`:
+    /// `hit` (cached bytes served), `miss` (an on-demand request-path
+    /// sign), and `window_sign` (a pre-generated window materialized on
+    /// first touch — scheduled signing in real deployments, so not a
+    /// request-path miss).
     pub fn handle_with(
         &mut self,
         ca: &CertificateAuthority,
@@ -204,27 +210,47 @@ impl Responder {
         };
         let skew = self.profile.instance_skews[instance];
 
-        // Pre-generated single-serial requests on the healthy path are
-        // served from the signed-response cache.
-        let cache_key = match (self.profile.generation, self.profile.malform) {
-            (GenerationMode::PreGenerated { interval }, MalformMode::Valid)
-                if req.cert_ids.len() == 1 && !self.profile.corrupt_signature =>
-            {
-                let boundary = now.unix() - now.unix().rem_euclid(interval);
-                let key = (req.cert_ids[0].serial.bytes().to_vec(), boundary, instance);
-                if let Some(bytes) = self.response_cache.get(&key) {
-                    reg.incr("ocsp.responder.pregen", "cache_hit");
+        // Healthy-path single-serial requests are served from the
+        // signed-response cache: the response bytes are a pure function
+        // of (serial, window boundary, instance, signer role). Fault
+        // profiles never reach the cache, so their bytes are always
+        // regenerated and cached healthy bytes cannot leak into them.
+        let healthy = self.profile.malform == MalformMode::Valid
+            && !self.profile.wrong_serial
+            && !self.profile.corrupt_signature
+            && req.cert_ids.len() == 1;
+        let cache_key = if healthy {
+            let (boundary, pre_generated) = match self.profile.generation {
+                GenerationMode::OnDemand => (now.unix(), false),
+                GenerationMode::PreGenerated { interval } => {
+                    (now.unix() - now.unix().rem_euclid(interval), true)
+                }
+            };
+            let role = match &self.signer {
+                SignerRole::Direct => 0u8,
+                SignerRole::Delegated { .. } => 1u8,
+            };
+            let key = (
+                req.cert_ids[0].serial.bytes().to_vec(),
+                boundary,
+                instance,
+                role,
+            );
+            if let Some(bytes) = self.response_cache.get(&key) {
+                reg.incr("ocsp.responder.cache", "hit");
+                if pre_generated {
                     self.windows.insert(
                         req.cert_ids[0].serial.clone(),
                         CachedWindow {
                             generated_at: Time::from_unix(boundary),
                         },
                     );
-                    return bytes.clone();
                 }
-                Some(key)
+                return bytes.clone();
             }
-            _ => None,
+            Some((key, pre_generated))
+        } else {
+            None
         };
 
         let generated_at = match self.profile.generation {
@@ -325,8 +351,16 @@ impl Responder {
             reg.incr("ocsp.responder.fault", "malformed.truncated_der");
             der.truncate(der.len() / 2);
         }
-        if let Some(key) = cache_key {
-            reg.incr("ocsp.responder.pregen", "sign");
+        if let Some((key, pre_generated)) = cache_key {
+            // A pre-generating responder materializes its window on
+            // first touch — the request-path stand-in for the scheduled
+            // signing real deployments do off-path (§5.4) — while an
+            // on-demand responder signs in the request path proper, so
+            // only the latter counts as a cache miss.
+            reg.incr(
+                "ocsp.responder.cache",
+                if pre_generated { "window_sign" } else { "miss" },
+            );
             self.response_cache.insert(key, der.clone());
         }
         der
@@ -608,7 +642,7 @@ mod tests {
     }
 
     #[test]
-    fn pregen_cache_hits_and_signs_are_counted() {
+    fn pregen_cache_hits_and_window_signs_are_counted() {
         let f = fixture(16);
         let mut reg = telemetry::Registry::new();
         let req = OcspRequest::single(f.id.clone());
@@ -621,8 +655,128 @@ mod tests {
         responder.handle_with(&f.ca, &req, now(), &mut reg);
         responder.handle_with(&f.ca, &req, now() + 600, &mut reg);
         responder.handle_with(&f.ca, &req, now() + 900, &mut reg);
-        assert_eq!(reg.counter("ocsp.responder.pregen", "sign"), 1);
-        assert_eq!(reg.counter("ocsp.responder.pregen", "cache_hit"), 2);
+        // Window materialization is not a request-path miss.
+        assert_eq!(reg.counter("ocsp.responder.cache", "window_sign"), 1);
+        assert_eq!(reg.counter("ocsp.responder.cache", "hit"), 2);
+        assert_eq!(reg.counter("ocsp.responder.cache", "miss"), 0);
+    }
+
+    #[test]
+    fn on_demand_cache_repeats_identical_bytes_within_a_second() {
+        let f = fixture(17);
+        let mut reg = telemetry::Registry::new();
+        let req = OcspRequest::single(f.id.clone());
+        let mut responder = Responder::new("u", ResponderProfile::healthy());
+        let first = responder.handle_with(&f.ca, &req, now(), &mut reg);
+        let second = responder.handle_with(&f.ca, &req, now(), &mut reg);
+        assert_eq!(first, second);
+        assert_eq!(reg.counter("ocsp.responder.cache", "miss"), 1);
+        assert_eq!(reg.counter("ocsp.responder.cache", "hit"), 1);
+        // A later request second is a distinct key: fresh sign.
+        responder.handle_with(&f.ca, &req, now() + 1, &mut reg);
+        assert_eq!(reg.counter("ocsp.responder.cache", "miss"), 2);
+        // And the cached bytes are exactly what a cold responder signs.
+        let mut cold = Responder::new("u", ResponderProfile::healthy());
+        assert_eq!(cold.handle(&f.ca, &req, now()), second);
+    }
+
+    #[test]
+    fn fault_profiles_never_touch_the_cache() {
+        let f = fixture(18);
+        let req = OcspRequest::single(f.id.clone());
+        let faults = vec![
+            ResponderProfile::healthy().wrong_serial(),
+            ResponderProfile::healthy().corrupt_signature(),
+            ResponderProfile::healthy().malformed(MalformMode::TruncatedDer),
+            ResponderProfile::healthy().malformed(MalformMode::LiteralZero),
+            ResponderProfile::healthy()
+                .pre_generated(7_200)
+                .corrupt_signature(),
+        ];
+        for profile in faults {
+            let mut reg = telemetry::Registry::new();
+            let mut responder = Responder::new("u", profile.clone());
+            responder.handle_with(&f.ca, &req, now(), &mut reg);
+            responder.handle_with(&f.ca, &req, now(), &mut reg);
+            assert_eq!(
+                reg.counter_total("ocsp.responder.cache"),
+                0,
+                "fault profile reached the cache: {profile:?}"
+            );
+        }
+        // Multi-serial requests are also uncached.
+        let mut reg = telemetry::Registry::new();
+        let mut responder = Responder::new("u", ResponderProfile::healthy());
+        let multi = OcspRequest {
+            cert_ids: vec![f.id.clone(), f.id.clone()],
+            nonce: None,
+        };
+        responder.handle_with(&f.ca, &multi, now(), &mut reg);
+        assert_eq!(reg.counter_total("ocsp.responder.cache"), 0);
+    }
+
+    #[test]
+    fn window_rollover_invalidates_the_cache_entry() {
+        let f = fixture(19);
+        let mut reg = telemetry::Registry::new();
+        let req = OcspRequest::single(f.id.clone());
+        let mut responder = Responder::new(
+            "u",
+            ResponderProfile::healthy()
+                .pre_generated(7_200)
+                .validity(7_200),
+        );
+        let before = responder.handle_with(&f.ca, &req, now(), &mut reg);
+        let after = responder.handle_with(&f.ca, &req, now() + 7_200, &mut reg);
+        assert_ne!(before, after, "rollover must produce fresh bytes");
+        let t_before = OcspResponse::from_der(&before)
+            .unwrap()
+            .basic
+            .unwrap()
+            .responses[0]
+            .this_update;
+        let t_after = OcspResponse::from_der(&after)
+            .unwrap()
+            .basic
+            .unwrap()
+            .responses[0]
+            .this_update;
+        assert!(t_after > t_before);
+        assert_eq!(reg.counter("ocsp.responder.cache", "window_sign"), 2);
+        assert_eq!(reg.counter("ocsp.responder.cache", "hit"), 0);
+    }
+
+    #[test]
+    fn profile_swap_clears_cached_bytes() {
+        // The sheca-style episode scripts swap profiles mid-campaign; a
+        // healthy response cached before the swap must not survive it.
+        let f = fixture(20);
+        let req = OcspRequest::single(f.id.clone());
+        let mut responder = Responder::new(
+            "u",
+            ResponderProfile::healthy()
+                .pre_generated(7_200)
+                .validity(7_200),
+        );
+        let healthy = responder.handle(&f.ca, &req, now());
+        responder.set_profile(
+            ResponderProfile::healthy()
+                .pre_generated(7_200)
+                .validity(7_200)
+                .malformed(MalformMode::Empty),
+        );
+        assert!(responder.handle(&f.ca, &req, now()).is_empty());
+        responder.set_profile(
+            ResponderProfile::healthy()
+                .pre_generated(7_200)
+                .validity(7_200),
+        );
+        // Recovery re-signs (deterministically identical bytes) rather
+        // than serving a stale pre-episode entry.
+        let mut reg = telemetry::Registry::new();
+        let again = responder.handle_with(&f.ca, &req, now(), &mut reg);
+        assert_eq!(again, healthy);
+        assert_eq!(reg.counter("ocsp.responder.cache", "window_sign"), 1);
     }
 
     #[test]

@@ -17,9 +17,43 @@
 //! as a caching hazard.
 
 use crate::certid::CertId;
-use crate::response::{CertStatus, OcspResponse, ResponseStatus};
+use crate::response::{BasicResponse, CertStatus, OcspResponse, ResponseStatus};
 use asn1::Time;
 use pki::Certificate;
+use std::collections::HashMap;
+
+/// Memo for the signature-verification stage.
+///
+/// The stage's outcome is a pure function of (issuer key, signed bytes,
+/// attached certificates) — all captured by the key (issuer key id,
+/// SHA-256 of the raw response body) — so each distinct signed response
+/// pays big-integer modexp once per cache, not once per
+/// vantage-point × hour. Time-window checks are *not* memoized; they
+/// depend on the receive time and always rerun.
+///
+/// Scan pipelines hold one cache per shard (or per work chunk), keeping
+/// the memo deterministic and thread-local.
+#[derive(Debug, Default)]
+pub struct SigVerifyCache {
+    entries: HashMap<([u8; 32], [u8; 32]), Result<(), ResponseError>>,
+}
+
+impl SigVerifyCache {
+    /// An empty cache.
+    pub fn new() -> SigVerifyCache {
+        SigVerifyCache::default()
+    }
+
+    /// Number of distinct (issuer, body) signature outcomes memoized.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
 
 /// How the client validates (clock model).
 #[derive(Debug, Clone, Copy, Default)]
@@ -150,6 +184,21 @@ pub fn validate_response(
     received_at: Time,
     config: ValidationConfig,
 ) -> Result<ValidatedResponse, ResponseError> {
+    validate_with_sig_cache(body, cert_id, issuer, received_at, config, None)
+}
+
+/// [`validate_response`] with an optional signature-verification memo.
+/// A hit skips the modexp-heavy signature stage entirely; hits and
+/// misses are counted under `ocsp.validate.sigcache` in the registry
+/// paired with the cache.
+pub fn validate_with_sig_cache(
+    body: &[u8],
+    cert_id: &CertId,
+    issuer: &Certificate,
+    received_at: Time,
+    config: ValidationConfig,
+    cache: Option<(&mut SigVerifyCache, &mut telemetry::Registry)>,
+) -> Result<ValidatedResponse, ResponseError> {
     let response = OcspResponse::from_der(body).map_err(|_| ResponseError::MalformedStructure)?;
     if response.status != ResponseStatus::Successful {
         return Err(ResponseError::ErrorStatus(response.status));
@@ -166,33 +215,26 @@ pub fn validate_response(
         .find(|sr| sr.cert_id.serial == cert_id.serial)
         .ok_or(ResponseError::SerialMismatch)?;
 
-    // Signature: directly under the issuer key, or under a delegate that
-    // (a) is signed by the issuer and (b) carries id-kp-OCSPSigning.
-    let direct = basic.verify_signature(issuer.public_key());
-    if !direct {
-        let delegate = basic
-            .certs
-            .iter()
-            .find(|c| c.allows_ocsp_signing() && basic.verify_signature(c.public_key()));
-        match delegate {
-            Some(delegate) => {
-                if !delegate.verify_signature(issuer.public_key()) {
-                    return Err(ResponseError::UntrustedDelegate);
+    // Signature stage, optionally memoized on (issuer key id, body
+    // digest): the outcome depends only on the signed bytes and the
+    // issuer, never on the receive time.
+    match cache {
+        Some((cache, reg)) => {
+            let key = (issuer.public_key().key_id(), simcrypto::sha256(body));
+            match cache.entries.get(&key) {
+                Some(outcome) => {
+                    reg.incr("ocsp.validate.sigcache", "hit");
+                    outcome.clone()?;
                 }
-            }
-            None => {
-                // Any certs present but none fit? Distinguish "a cert
-                // claims to sign but is not delegated" from plain bad sig.
-                let signer_without_eku = basic
-                    .certs
-                    .iter()
-                    .any(|c| basic.verify_signature(c.public_key()) && !c.allows_ocsp_signing());
-                if signer_without_eku {
-                    return Err(ResponseError::UntrustedDelegate);
+                None => {
+                    reg.incr("ocsp.validate.sigcache", "miss");
+                    let outcome = verify_signature_stage(basic, issuer);
+                    cache.entries.insert(key, outcome.clone());
+                    outcome?;
                 }
-                return Err(ResponseError::SignatureInvalid);
             }
         }
+        None => verify_signature_stage(basic, issuer)?,
     }
 
     // Time window, as seen through the client's (possibly skewed) clock.
@@ -229,6 +271,42 @@ pub fn validate_response(
     })
 }
 
+/// Signature check: directly under the issuer key, or under a delegate
+/// that (a) is signed by the issuer and (b) carries id-kp-OCSPSigning.
+/// Separated out so [`SigVerifyCache`] can memoize exactly this stage.
+fn verify_signature_stage(
+    basic: &BasicResponse,
+    issuer: &Certificate,
+) -> Result<(), ResponseError> {
+    if basic.verify_signature(issuer.public_key()) {
+        return Ok(());
+    }
+    let delegate = basic
+        .certs
+        .iter()
+        .find(|c| c.allows_ocsp_signing() && basic.verify_signature(c.public_key()));
+    match delegate {
+        Some(delegate) => {
+            if !delegate.verify_signature(issuer.public_key()) {
+                return Err(ResponseError::UntrustedDelegate);
+            }
+            Ok(())
+        }
+        None => {
+            // Any certs present but none fit? Distinguish "a cert
+            // claims to sign but is not delegated" from plain bad sig.
+            let signer_without_eku = basic
+                .certs
+                .iter()
+                .any(|c| basic.verify_signature(c.public_key()) && !c.allows_ocsp_signing());
+            if signer_without_eku {
+                return Err(ResponseError::UntrustedDelegate);
+            }
+            Err(ResponseError::SignatureInvalid)
+        }
+    }
+}
+
 /// [`validate_response`] plus telemetry: counts the outcome under
 /// `(metric, label)` where the label is `ok` or the error's
 /// [`ResponseError::metric_label`].
@@ -246,6 +324,37 @@ pub fn validate_response_with(
     config: ValidationConfig,
 ) -> Result<ValidatedResponse, ResponseError> {
     let result = validate_response(body, cert_id, issuer, received_at, config);
+    let label = match &result {
+        Ok(_) => "ok",
+        Err(err) => err.metric_label(),
+    };
+    reg.incr(metric, label);
+    result
+}
+
+/// [`validate_response_with`] plus a signature-verification memo: the
+/// outcome counter is identical to the uncached path (so per-pipeline
+/// cross-checks are unaffected), and `ocsp.validate.sigcache.{hit,miss}`
+/// records the memo's effectiveness separately.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_response_cached(
+    reg: &mut telemetry::Registry,
+    metric: &str,
+    cache: &mut SigVerifyCache,
+    body: &[u8],
+    cert_id: &CertId,
+    issuer: &Certificate,
+    received_at: Time,
+    config: ValidationConfig,
+) -> Result<ValidatedResponse, ResponseError> {
+    let result = validate_with_sig_cache(
+        body,
+        cert_id,
+        issuer,
+        received_at,
+        config,
+        Some((cache, reg)),
+    );
     let label = match &result {
         Ok(_) => "ok",
         Err(err) => err.metric_label(),
@@ -563,6 +672,120 @@ mod tests {
         assert_eq!(reg.counter(metric, "err.malformed_structure"), 2);
         assert_eq!(reg.counter(metric, "err.signature_invalid"), 1);
         assert_eq!(reg.counter_total(metric), 4);
+    }
+
+    #[test]
+    fn sigcache_memoizes_signature_outcomes_only() {
+        let f = fixture(21);
+        let mut reg = telemetry::Registry::new();
+        let mut cache = SigVerifyCache::new();
+        let metric = "scan.test.validate";
+
+        // Same signed bytes validated repeatedly: one miss, then hits,
+        // with outcomes identical to the uncached path.
+        let ok_body = fetch(&f, ResponderProfile::healthy(), now());
+        for i in 0..3 {
+            let cached = validate_response_cached(
+                &mut reg,
+                metric,
+                &mut cache,
+                &ok_body,
+                &f.id,
+                f.ca.certificate(),
+                now() + i,
+                ValidationConfig::default(),
+            )
+            .unwrap();
+            let plain = validate_response(
+                &ok_body,
+                &f.id,
+                f.ca.certificate(),
+                now() + i,
+                ValidationConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(cached, plain);
+        }
+        assert_eq!(reg.counter("ocsp.validate.sigcache", "miss"), 1);
+        assert_eq!(reg.counter("ocsp.validate.sigcache", "hit"), 2);
+        assert_eq!(cache.len(), 1);
+
+        // Error outcomes are memoized too.
+        let bad_sig = fetch(&f, ResponderProfile::healthy().corrupt_signature(), now());
+        for _ in 0..2 {
+            let err = validate_response_cached(
+                &mut reg,
+                metric,
+                &mut cache,
+                &bad_sig,
+                &f.id,
+                f.ca.certificate(),
+                now(),
+                ValidationConfig::default(),
+            )
+            .unwrap_err();
+            assert_eq!(err, ResponseError::SignatureInvalid);
+        }
+        assert_eq!(reg.counter("ocsp.validate.sigcache", "miss"), 2);
+        assert_eq!(reg.counter("ocsp.validate.sigcache", "hit"), 3);
+
+        // Outcome counters match what the uncached wrapper would record.
+        assert_eq!(reg.counter(metric, "ok"), 3);
+        assert_eq!(reg.counter(metric, "err.signature_invalid"), 2);
+
+        // Unparseable bodies never reach the signature stage or cache.
+        let malformed = fetch(
+            &f,
+            ResponderProfile::healthy().malformed(MalformMode::Empty),
+            now(),
+        );
+        validate_response_cached(
+            &mut reg,
+            metric,
+            &mut cache,
+            &malformed,
+            &f.id,
+            f.ca.certificate(),
+            now(),
+            ValidationConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(reg.counter_total("ocsp.validate.sigcache"), 5);
+    }
+
+    #[test]
+    fn sigcache_hit_still_reruns_time_window_checks() {
+        let f = fixture(22);
+        let mut reg = telemetry::Registry::new();
+        let mut cache = SigVerifyCache::new();
+        let body = fetch(&f, ResponderProfile::healthy().validity(7_200), now());
+        validate_response_cached(
+            &mut reg,
+            "m",
+            &mut cache,
+            &body,
+            &f.id,
+            f.ca.certificate(),
+            now(),
+            ValidationConfig::default(),
+        )
+        .unwrap();
+        // Same bytes, a day later: the sig stage hits but the window
+        // check must still reject.
+        let err = validate_response_cached(
+            &mut reg,
+            "m",
+            &mut cache,
+            &body,
+            &f.id,
+            f.ca.certificate(),
+            now() + 86_400,
+            ValidationConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ResponseError::Expired { .. }));
+        assert_eq!(reg.counter("ocsp.validate.sigcache", "hit"), 1);
     }
 
     #[test]

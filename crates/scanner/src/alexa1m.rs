@@ -68,7 +68,11 @@ impl Alexa1mScan {
             .iter()
             .position(|&r| r == Region::SaoPaulo)
             .expect("São Paulo is a vantage point");
-        let contributions = executor.run_sharded(0, dataset.responders.len(), |shard, _rng| {
+        // One chunk per responder: the per-shard work is a handful of
+        // arithmetic ops, so the chunked API is used in its degenerate
+        // (RNG-compatible) form purely for executor uniformity.
+        let chunk_counts = vec![1usize; dataset.responders.len()];
+        let contributions = executor.run_chunked(0, &chunk_counts, |shard, _chunk, _rng| {
             let report = &dataset.responders[shard];
             // "Persistent" as the paper used it: dark from São Paulo for
             // essentially the whole campaign while reachable elsewhere.
@@ -93,7 +97,7 @@ impl Alexa1mScan {
         let mut telemetry = Registry::new();
         let merge_started = Instant::now();
         let mut sao_paulo_persistent = 0u64;
-        for (contribution, shard_telemetry) in &contributions {
+        for (contribution, shard_telemetry) in contributions.iter().flatten() {
             sao_paulo_persistent += contribution;
             telemetry.merge(shard_telemetry);
         }

@@ -7,6 +7,7 @@
 //! through [`netsim::CdnNode`] edges and reports the same three
 //! observations.
 
+use crate::executor::Executor;
 use asn1::Time;
 use ecosystem::LiveEcosystem;
 use netsim::{CdnNode, Region};
@@ -45,6 +46,35 @@ impl CdnStudy {
         hours: i64,
         lookups_per_hour: usize,
     ) -> CdnSummary {
+        CdnStudy::run_with(eco, start, hours, lookups_per_hour, &Executor::serial())
+    }
+
+    /// [`CdnStudy::run`] scheduled on a specific executor.
+    ///
+    /// Both edges share one cache-coupled world and one sequentially
+    /// drawn RNG, so the replay cannot be subdivided without changing
+    /// its byte stream: it runs as a *single* work unit, letting the
+    /// executor overlap it with other studies rather than split it. The
+    /// study keeps its own `seed ^ 0xCD11` RNG (not the unit RNG) so
+    /// results are identical to the historical serial path.
+    pub fn run_with(
+        eco: &LiveEcosystem,
+        start: Time,
+        hours: i64,
+        lookups_per_hour: usize,
+        executor: &Executor,
+    ) -> CdnSummary {
+        let mut out =
+            executor.run_chunked(eco.config.seed ^ 0xCD11, &[1], |_shard, _chunk, _rng| {
+                CdnStudy::replay(eco, start, hours, lookups_per_hour)
+            });
+        out.pop()
+            .and_then(|mut chunks| chunks.pop())
+            .expect("one work unit")
+    }
+
+    /// The sequential replay body.
+    fn replay(eco: &LiveEcosystem, start: Time, hours: i64, lookups_per_hour: usize) -> CdnSummary {
         let mut world = eco.build_world();
         let mut edges = [CdnNode::new(Region::Virginia), CdnNode::new(Region::Paris)];
         let mut rng = StdRng::seed_from_u64(eco.config.seed ^ 0xCD11);

@@ -17,7 +17,7 @@ use analysis::Cdf;
 use asn1::Time;
 use ecosystem::LiveEcosystem;
 use netsim::{HttpOutcome, Region, World};
-use ocsp::{validate_response_with, CertStatus, OcspRequest, ValidationConfig};
+use ocsp::{validate_response_cached, CertStatus, OcspRequest, SigVerifyCache, ValidationConfig};
 use pki::Crl;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -158,9 +158,17 @@ impl ConsistencyStudy {
         let topo = &topo;
 
         // The study draws no randomness of its own; the shard RNG is
-        // part of the executor contract but unused here.
-        let shards = executor.run_sharded(eco.config.seed, eco.operators.len(), |shard, _rng| {
+        // part of the executor contract but unused here. One chunk per
+        // operator: a single probe instant gives time slicing nothing
+        // to cut, so the chunked API is used in its degenerate
+        // (RNG-compatible) form.
+        let chunk_counts = vec![1usize; eco.operators.len()];
+        let shards = executor.run_chunked(eco.config.seed, &chunk_counts, |shard, _chunk, _rng| {
             let mut world = World::from_topology(topo.clone());
+            // Memoized signature verification for this operator's
+            // responders — repeated bodies (shared windows, load
+            // balancing) verify once.
+            let mut sigcache = SigVerifyCache::new();
 
             // Step 1: fetch and parse this operator's CRLs once each.
             let mut crls: HashMap<String, Option<Crl>> = HashMap::new();
@@ -227,9 +235,10 @@ impl ConsistencyStudy {
                 // 99.9 %); unusable bodies are then excluded from comparison.
                 partial.responses_collected += 1;
                 let issuer = eco.issuer_of(target.operator);
-                let Ok(validated) = validate_response_with(
+                let Ok(validated) = validate_response_cached(
                     world.telemetry_mut(),
                     "scan.consistency.validate",
+                    &mut sigcache,
                     &body,
                     &target.cert_id,
                     issuer,
@@ -287,7 +296,7 @@ impl ConsistencyStudy {
             telemetry: Registry::new(),
         };
         let merge_started = Instant::now();
-        for partial in shards {
+        for partial in shards.into_iter().flatten() {
             summary.crls_fetched += partial.crls_fetched;
             summary.responses_collected += partial.responses_collected;
             summary.requests += partial.requests;

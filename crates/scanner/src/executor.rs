@@ -48,6 +48,23 @@ pub fn shard_rng(base_seed: u64, shard_id: u64) -> StdRng {
     StdRng::seed_from_u64(seed_for_shard(base_seed, shard_id))
 }
 
+/// Derive the RNG seed for one *chunk* of a shard: the
+/// [`seed_for_shard`] derivation applied twice, first over the shard id
+/// and then over the chunk index. A shard with a single chunk draws
+/// `seed_for_shard(base, shard)` exactly, so migrating a
+/// [`Executor::run_sharded`] caller to [`Executor::run_chunked`] with
+/// one chunk per shard changes no random stream.
+pub fn seed_for_chunk(base_seed: u64, shard_id: u64, chunk: u64) -> u64 {
+    seed_for_shard(seed_for_shard(base_seed, shard_id), chunk)
+}
+
+/// A ready-to-use RNG for one chunk of a shard. Chunk 0 of a
+/// single-chunk shard must use [`shard_rng`] instead — see
+/// [`Executor::run_chunked`] for the compatibility rule.
+pub fn chunk_rng(base_seed: u64, shard_id: u64, chunk: u64) -> StdRng {
+    StdRng::seed_from_u64(seed_for_chunk(base_seed, shard_id, chunk))
+}
+
 /// Runs shard closures across a fixed number of worker threads.
 #[derive(Debug, Clone, Copy)]
 pub struct Executor {
@@ -123,6 +140,85 @@ impl Executor {
                     .unwrap()
                     .expect("every shard index below shard_count was claimed exactly once")
             })
+            .collect()
+    }
+
+    /// Run `job` over (shard × chunk) work units, returning per-shard
+    /// result vectors in chunk order.
+    ///
+    /// Chunks split a shard's timeline into independently runnable
+    /// pieces, so one Alexa-heavy responder no longer serializes a whole
+    /// worker. `chunks_per_shard[s]` is the number of chunks for shard
+    /// `s`; all units feed one shared atomic queue.
+    ///
+    /// RNG rule: a shard with exactly one chunk draws
+    /// [`seed_for_shard`]`(base, shard)` — byte-for-byte what
+    /// [`Executor::run_sharded`] would give it — while multi-chunk
+    /// shards draw [`seed_for_chunk`]`(base, shard, chunk)` per chunk.
+    /// Both depend only on indices, never on worker count, so output
+    /// is identical for every worker count; callers must additionally
+    /// pick the *chunk plan* as a pure function of configuration.
+    pub fn run_chunked<R, F>(
+        &self,
+        base_seed: u64,
+        chunks_per_shard: &[usize],
+        job: F,
+    ) -> Vec<Vec<R>>
+    where
+        R: Send,
+        F: Fn(usize, usize, &mut StdRng) -> R + Sync,
+    {
+        fn unit_rng(base_seed: u64, shard: usize, chunk: usize, chunks_in_shard: usize) -> StdRng {
+            if chunks_in_shard == 1 {
+                shard_rng(base_seed, shard as u64)
+            } else {
+                chunk_rng(base_seed, shard as u64, chunk as u64)
+            }
+        }
+
+        let units: Vec<(usize, usize)> = chunks_per_shard
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, &chunks)| (0..chunks).map(move |chunk| (shard, chunk)))
+            .collect();
+        let workers = self.workers.get().min(units.len().max(1));
+        if workers <= 1 {
+            let mut out: Vec<Vec<R>> = chunks_per_shard
+                .iter()
+                .map(|&c| Vec::with_capacity(c))
+                .collect();
+            for (shard, chunk) in units {
+                let mut rng = unit_rng(base_seed, shard, chunk, chunks_per_shard[shard]);
+                out[shard].push(job(shard, chunk, &mut rng));
+            }
+            return out;
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..units.len()).map(|_| Mutex::new(None)).collect();
+        let job = &job;
+        let units = &units;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= units.len() {
+                        break;
+                    }
+                    let (shard, chunk) = units[i];
+                    let mut rng = unit_rng(base_seed, shard, chunk, chunks_per_shard[shard]);
+                    *slots[i].lock().unwrap() = Some(job(shard, chunk, &mut rng));
+                });
+            }
+        });
+        let mut results = slots.into_iter().map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every unit index was claimed exactly once")
+        });
+        chunks_per_shard
+            .iter()
+            .map(|&c| (&mut results).take(c).collect())
             .collect()
     }
 }
@@ -201,6 +297,74 @@ mod tests {
     fn zero_shards_is_fine() {
         let out = Executor::new(NonZeroUsize::new(4)).run_sharded(0, 0, |shard, _| shard);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_chunk_shards_reproduce_run_sharded_exactly() {
+        let sharded_job = |shard: usize, rng: &mut StdRng| -> (usize, Vec<u64>) {
+            (shard, (0..6).map(|_| rng.next_u64()).collect())
+        };
+        let chunked_job = |shard: usize, chunk: usize, rng: &mut StdRng| -> (usize, Vec<u64>) {
+            assert_eq!(chunk, 0);
+            (shard, (0..6).map(|_| rng.next_u64()).collect())
+        };
+        let sharded = Executor::serial().run_sharded(2018, 9, sharded_job);
+        let chunked = Executor::serial().run_chunked(2018, &[1; 9], chunked_job);
+        assert_eq!(
+            sharded,
+            chunked
+                .into_iter()
+                .map(|mut v| v.remove(0))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn chunk_streams_are_distinct_from_each_other_and_the_shard_stream() {
+        let shard = stream(2018, 4, 8);
+        let mut chunk_streams = Vec::new();
+        for chunk in 0..8u64 {
+            let mut rng = chunk_rng(2018, 4, chunk);
+            chunk_streams.push((0..8).map(|_| rng.next_u64()).collect::<Vec<_>>());
+        }
+        for (i, cs) in chunk_streams.iter().enumerate() {
+            assert_ne!(*cs, shard, "chunk {i} collided with the shard stream");
+            for (j, other) in chunk_streams.iter().enumerate().skip(i + 1) {
+                assert_ne!(cs, other, "chunks {i} and {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_affect_chunked_results() {
+        let chunks = [3usize, 1, 7, 2, 1, 5, 4];
+        let job = |shard: usize, chunk: usize, rng: &mut StdRng| -> (usize, usize, Vec<u64>) {
+            let n = 1 + (shard * 5 + chunk * 3) % 11;
+            (shard, chunk, (0..n).map(|_| rng.next_u64()).collect())
+        };
+        let serial = Executor::serial().run_chunked(42, &chunks, job);
+        assert_eq!(serial.len(), chunks.len());
+        for (shard, results) in serial.iter().enumerate() {
+            assert_eq!(results.len(), chunks[shard]);
+            for (chunk, r) in results.iter().enumerate() {
+                assert_eq!((r.0, r.1), (shard, chunk));
+            }
+        }
+        for workers in [2usize, 3, 4, 8] {
+            let parallel = Executor::new(NonZeroUsize::new(workers)).run_chunked(42, &chunks, job);
+            assert_eq!(serial, parallel, "workers={workers} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn zero_chunks_everywhere_is_fine() {
+        let out = Executor::new(NonZeroUsize::new(4)).run_chunked(
+            0,
+            &[0, 0, 0],
+            |_, _, _| unreachable!(),
+        );
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(Vec::<()>::is_empty));
     }
 
     #[test]

@@ -18,7 +18,8 @@ use analysis::{Cdf, TimeSeries};
 use asn1::Time;
 use ecosystem::LiveEcosystem;
 use netsim::{HttpOutcome, Region, Topology, World};
-use ocsp::{validate_response_with, OcspRequest, ValidationConfig};
+use ocsp::profile::GenerationMode;
+use ocsp::{validate_response_cached, OcspRequest, SigVerifyCache, ValidationConfig};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -380,16 +381,133 @@ fn region_index(region: Region) -> usize {
         .expect("vantage point")
 }
 
-/// One shard's partial campaign results: everything one responder
-/// contributes to the global accumulators. Merged in shard-id order, so
-/// the assembled [`HourlyDataset`] is identical for every worker count.
-struct ShardRecords {
+/// One work unit's partial campaign results: everything one responder
+/// contributes over one contiguous round range. Chunks merge in
+/// (shard, chunk) order — time order within each responder — so the
+/// assembled [`HourlyDataset`] is identical for every worker count and
+/// every chunk plan.
+struct ChunkRecords {
     requests: u64,
+    /// Accumulators for this round range only; the streak fields stay
+    /// zero here and are recomputed at merge time from
+    /// `first_target_ok`, so a chunk boundary can never split a streak.
     report: ResponderReport,
+    /// Per-region, per-round first-target HTTP success — the §8 streak
+    /// signal, logged raw so the merge can stitch streaks across chunk
+    /// boundaries with the one serial pass both paths share.
+    first_target_ok: [Vec<bool>; 6],
     per_region_success: Vec<TimeSeries>,
     class_series: Vec<TimeSeries>,
     alexa_unreachable: Vec<TimeSeries>,
     telemetry: Registry,
+}
+
+/// How the campaign splits its probe matrix into executor work units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chunking {
+    /// One work unit per responder — the original sharding. A slow
+    /// responder (many certs, long fault paths) straggles behind the
+    /// rest and caps parallel speedup.
+    PerResponder,
+    /// (responder × time-chunk) work units: each responder's rounds are
+    /// cut at cache-safe boundaries so many short units keep every
+    /// worker busy. Byte-identical to [`Chunking::PerResponder`] by
+    /// construction (see [`chunk_plan`]).
+    TimeSliced,
+}
+
+/// Aim for this many time chunks per responder.
+const TARGET_CHUNKS_PER_SHARD: usize = 8;
+
+/// Cut one responder's `rounds` probe rounds into contiguous
+/// `(start, end)` chunks at cache-safe boundaries.
+///
+/// A boundary is safe when a fresh per-chunk [`World`] replays the
+/// monolithic run byte-for-byte from that round on, *including* every
+/// telemetry counter. Responder state (the signed-response cache, the
+/// validator's signature memo) is a pure function of the request and
+/// its generation window, so:
+///
+/// * on-demand responders key everything by the request second — every
+///   round boundary is safe;
+/// * pre-generated responders share signed bytes (and the cache events
+///   they produce) across all rounds inside one window — boundaries are
+///   safe only where the window index `t.div_euclid(interval)` rolls
+///   over between consecutive probe times.
+///
+/// The plan is a pure function of the ecosystem config — never of the
+/// worker count — so every executor sees identical chunks.
+fn chunk_plan(
+    rounds: usize,
+    campaign_start: i64,
+    scan_interval: i64,
+    offset: i64,
+    generation: GenerationMode,
+) -> Vec<(usize, usize)> {
+    let target = (rounds / TARGET_CHUNKS_PER_SHARD).max(1);
+    let mut starts = vec![0usize];
+    for r in 1..rounds {
+        let safe = match generation {
+            GenerationMode::OnDemand => true,
+            GenerationMode::PreGenerated { interval } => {
+                let t_prev = campaign_start + (r as i64 - 1) * scan_interval + offset;
+                (t_prev + scan_interval).div_euclid(interval) != t_prev.div_euclid(interval)
+            }
+        };
+        if safe && r - starts.last().unwrap() >= target {
+            starts.push(r);
+        }
+    }
+    starts
+        .iter()
+        .enumerate()
+        .map(|(i, &start)| (start, starts.get(i + 1).copied().unwrap_or(rounds)))
+        .collect()
+}
+
+/// Fold one chunk's accumulators into the responder-wide report.
+/// Streak fields are deliberately untouched — they come from the
+/// stitched `first_target_ok` logs.
+fn absorb_report(into: &mut ResponderReport, chunk: ResponderReport) {
+    for i in 0..6 {
+        into.attempts[i] += chunk.attempts[i];
+        into.successes[i] += chunk.successes[i];
+    }
+    into.valid += chunk.valid;
+    for (class, n) in chunk.unusable {
+        *into.unusable.entry(class).or_default() += n;
+    }
+    into.other_invalid += chunk.other_invalid;
+    into.cert_count_sum += chunk.cert_count_sum;
+    into.quality_samples += chunk.quality_samples;
+    into.serial_count_sum += chunk.serial_count_sum;
+    into.validity_sum += chunk.validity_sum;
+    into.validity_samples += chunk.validity_samples;
+    into.blank_next_update += chunk.blank_next_update;
+    into.margin_sum += chunk.margin_sum;
+    into.produced_at_samples.extend(chunk.produced_at_samples);
+}
+
+/// The one streak pass both chunkings share: replay the per-round
+/// first-target outcomes in time order and fill the §8 streak fields.
+fn fill_streaks(report: &mut ResponderReport, first_target_ok: &[Vec<bool>; 6]) {
+    for (region, outcomes) in first_target_ok.iter().enumerate() {
+        let mut streak = 0u32;
+        for &ok in outcomes {
+            if ok {
+                if streak > 0 {
+                    // A success closes the streak: record it for the §8
+                    // outage-duration CDF.
+                    report.closed_streaks[region].push(streak);
+                }
+                streak = 0;
+            } else {
+                streak += 1;
+                report.max_failure_streak[region] = report.max_failure_streak[region].max(streak);
+            }
+        }
+        report.failure_streak[region] = streak;
+    }
 }
 
 /// The campaign driver.
@@ -414,17 +532,28 @@ impl<'a> HourlyCampaign<'a> {
         self.run_with(&executor)
     }
 
-    /// Run the full campaign on a specific executor.
+    /// Run the full campaign on a specific executor with the default
+    /// [`Chunking::TimeSliced`] work units.
     ///
-    /// Each shard is one responder. A shard replays *its responder's*
-    /// exact serial-run probe subsequence — round by round, region by
-    /// region, target by target — against a private [`World`] over the
-    /// shared topology. Because responder caches, DNS warm-up, and
-    /// failure streaks are all per-responder state, and latency is a
-    /// pure function of `(topology seed, host, time)`, each shard's
-    /// records are byte-identical to the serial run's contribution from
-    /// that responder, for any worker count.
+    /// Each work unit is one responder over one contiguous round range.
+    /// A unit replays *its responder's* exact serial-run probe
+    /// subsequence — round by round, region by region, target by
+    /// target — against a private [`World`] over the shared topology.
+    /// Responder caches and the validator's signature memo are pure
+    /// functions of the request and its generation window, chunk
+    /// boundaries fall only where no cached state crosses them (see
+    /// [`chunk_plan`]), latency is a pure hash of
+    /// `(topology seed, host, time)`, and failure streaks are stitched
+    /// from raw per-round logs at merge time — so the assembled dataset
+    /// is byte-identical for every worker count and both chunkings.
     pub fn run_with(self, executor: &Executor) -> HourlyDataset {
+        self.run_with_chunking(executor, Chunking::TimeSliced)
+    }
+
+    /// [`HourlyCampaign::run_with`] with an explicit [`Chunking`] —
+    /// the coarse plan exists so tests can prove the fine-grained one
+    /// changes nothing but wall-clock time.
+    pub fn run_with_chunking(self, executor: &Executor, chunking: Chunking) -> HourlyDataset {
         let eco = self.eco;
         let config = &eco.config;
         let bin = config.scan_interval;
@@ -456,21 +585,48 @@ impl<'a> HourlyCampaign<'a> {
             .map(|host| (fnv1a(host.hostname.as_bytes()) % config.scan_interval as u64) as i64)
             .collect();
 
+        // The chunk plan is a pure function of the config (never of the
+        // worker count): responders × window-aligned round ranges.
+        let plans: Vec<Vec<(usize, usize)>> = eco
+            .responders
+            .iter()
+            .enumerate()
+            .map(|(shard, host)| match chunking {
+                Chunking::PerResponder => vec![(0, rounds)],
+                Chunking::TimeSliced => chunk_plan(
+                    rounds,
+                    config.campaign_start.unix(),
+                    config.scan_interval,
+                    offsets[shard],
+                    host.profile.generation,
+                ),
+            })
+            .collect();
+        let chunk_counts: Vec<usize> = plans.iter().map(Vec::len).collect();
+
         let topo = &self.topo;
         let requests_der = &requests_der;
         let first_target_of = &first_target_of;
         let targets_of = &targets_of;
         let offsets = &offsets;
+        let plans = &plans;
 
         // The campaign draws no randomness of its own (probe times are
-        // FNV-staggered, latency is a pure hash) — the shard RNG is part
+        // FNV-staggered, latency is a pure hash) — the unit RNG is part
         // of the executor contract but unused here.
-        let shards = executor.run_sharded(config.seed, eco.responders.len(), |shard, _rng| {
+        let shards = executor.run_chunked(config.seed, &chunk_counts, |shard, chunk, _rng| {
+            let (start_round, end_round) = plans[shard][chunk];
             let host = &eco.responders[shard];
             let mut world = World::from_topology(topo.clone());
-            let mut records = ShardRecords {
+            // Signature verification is memoized per work unit; entries
+            // never outlive the generation window that produced their
+            // bytes, so per-chunk caches count exactly like a
+            // per-responder one.
+            let mut sigcache = SigVerifyCache::new();
+            let mut records = ChunkRecords {
                 requests: 0,
                 report: ResponderReport::new(&host.url, &eco.operators[host.operator].name),
+                first_target_ok: std::array::from_fn(|_| Vec::new()),
                 per_region_success: (0..6).map(|_| TimeSeries::new(bin)).collect(),
                 class_series: ErrorClass::ALL
                     .iter()
@@ -480,7 +636,7 @@ impl<'a> HourlyCampaign<'a> {
                 telemetry: Registry::new(),
             };
             let report = &mut records.report;
-            for round in 0..rounds {
+            for round in start_round..end_round {
                 world.telemetry_mut().incr("scan.hourly.rounds", &host.url);
                 let round_start = config.campaign_start + round as i64 * config.scan_interval;
                 let t = round_start + offsets[shard];
@@ -494,28 +650,16 @@ impl<'a> HourlyCampaign<'a> {
                         report.attempts[region_idx] += 1;
                         let probe_ok = matches!(result.outcome, HttpOutcome::Ok(_));
                         if first_target_of[shard] == Some(target_idx) {
-                            if probe_ok {
-                                let ended = report.failure_streak[region_idx];
-                                if ended > 0 {
-                                    // A success closes the streak: record
-                                    // it for the §8 outage-duration CDF.
-                                    report.closed_streaks[region_idx].push(ended);
-                                }
-                                report.failure_streak[region_idx] = 0;
-                            } else {
-                                report.failure_streak[region_idx] += 1;
-                                report.max_failure_streak[region_idx] = report.max_failure_streak
-                                    [region_idx]
-                                    .max(report.failure_streak[region_idx]);
-                            }
+                            records.first_target_ok[region_idx].push(probe_ok);
                         }
 
                         let outcome = match result.outcome {
                             HttpOutcome::Ok(body) => {
                                 report.successes[region_idx] += 1;
-                                match validate_response_with(
+                                match validate_response_cached(
                                     world.telemetry_mut(),
                                     "scan.hourly.validate",
+                                    &mut sigcache,
                                     &body,
                                     &target.cert_id,
                                     eco.issuer_of(target.operator),
@@ -586,7 +730,9 @@ impl<'a> HourlyCampaign<'a> {
             records
         });
 
-        // Canonical merge: shard-id order == responder order.
+        // Canonical merge: shard-id order == responder order; within a
+        // shard, chunk order == time order, so concatenated logs replay
+        // the serial probe sequence exactly.
         let mut requests = 0u64;
         let mut telemetry = Registry::new();
         let merge_started = Instant::now();
@@ -603,19 +749,29 @@ impl<'a> HourlyCampaign<'a> {
             .map(|&r| (r, TimeSeries::new(bin)))
             .collect();
         let mut responders = Vec::with_capacity(shards.len());
-        for shard in shards {
-            requests += shard.requests;
-            for (i, series) in shard.per_region_success.iter().enumerate() {
-                per_region[i].1.merge(series);
+        for (shard_idx, chunks) in shards.into_iter().enumerate() {
+            let host = &eco.responders[shard_idx];
+            let mut report = ResponderReport::new(&host.url, &eco.operators[host.operator].name);
+            let mut first_target_ok: [Vec<bool>; 6] = std::array::from_fn(|_| Vec::new());
+            for chunk in chunks {
+                requests += chunk.requests;
+                for (i, series) in chunk.per_region_success.iter().enumerate() {
+                    per_region[i].1.merge(series);
+                }
+                for (i, series) in chunk.class_series.iter().enumerate() {
+                    class_series[i].1.merge(series);
+                }
+                for (i, series) in chunk.alexa_unreachable.iter().enumerate() {
+                    alexa_unreachable[i].1.merge(series);
+                }
+                telemetry.merge(&chunk.telemetry);
+                for (into, log) in first_target_ok.iter_mut().zip(chunk.first_target_ok.iter()) {
+                    into.extend_from_slice(log);
+                }
+                absorb_report(&mut report, chunk.report);
             }
-            for (i, series) in shard.class_series.iter().enumerate() {
-                class_series[i].1.merge(series);
-            }
-            for (i, series) in shard.alexa_unreachable.iter().enumerate() {
-                alexa_unreachable[i].1.merge(series);
-            }
-            telemetry.merge(&shard.telemetry);
-            responders.push(shard.report);
+            fill_streaks(&mut report, &first_target_ok);
+            responders.push(report);
         }
         // Wall-clock span only — never serialized, never compared.
         telemetry.record_wall("scan.hourly.merge", merge_started.elapsed().as_nanos());
@@ -818,6 +974,102 @@ mod tests {
         for (_, series) in &d.per_region_success {
             assert_eq!(series.bin_count(), d.rounds);
         }
+    }
+
+    #[test]
+    fn chunk_plans_cover_all_rounds_contiguously() {
+        let eco = LiveEcosystem::generate(EcosystemConfig::tiny());
+        let config = &eco.config;
+        let rounds = config.scan_rounds();
+        let mut saw_multi_chunk = false;
+        for host in &eco.responders {
+            let offset = (fnv1a(host.hostname.as_bytes()) % config.scan_interval as u64) as i64;
+            let plan = chunk_plan(
+                rounds,
+                config.campaign_start.unix(),
+                config.scan_interval,
+                offset,
+                host.profile.generation,
+            );
+            assert_eq!(plan.first().unwrap().0, 0);
+            assert_eq!(plan.last().unwrap().1, rounds);
+            for pair in plan.windows(2) {
+                assert_eq!(pair[0].1, pair[1].0, "chunks must be contiguous");
+            }
+            // Pre-generated responders only split where the window rolls.
+            if let GenerationMode::PreGenerated { interval } = host.profile.generation {
+                for &(start, _) in &plan[1..] {
+                    let t_prev = config.campaign_start.unix()
+                        + (start as i64 - 1) * config.scan_interval
+                        + offset;
+                    assert_ne!(
+                        (t_prev + config.scan_interval).div_euclid(interval),
+                        t_prev.div_euclid(interval),
+                        "{}: chunk start {start} is mid-window",
+                        host.hostname
+                    );
+                }
+            }
+            saw_multi_chunk |= plan.len() > 1;
+        }
+        assert!(
+            saw_multi_chunk,
+            "tiny scale must actually exercise chunking"
+        );
+    }
+
+    #[test]
+    fn time_sliced_chunking_matches_per_responder_sharding_exactly() {
+        // The §5.2 replication contract for the fine-grained executor:
+        // (responder × time-chunk) units must reproduce the coarse
+        // shard-per-responder run byte-for-byte — figures, reports, AND
+        // telemetry (cache and sigcache counters included) — at every
+        // worker count.
+        let eco = LiveEcosystem::generate(EcosystemConfig::tiny());
+        let coarse = HourlyCampaign::new(&eco)
+            .run_with_chunking(&Executor::serial(), Chunking::PerResponder);
+        for workers in [1usize, 2, 4] {
+            let executor = Executor::new(std::num::NonZeroUsize::new(workers));
+            let fine = HourlyCampaign::new(&eco).run_with_chunking(&executor, Chunking::TimeSliced);
+            assert_eq!(coarse.requests, fine.requests, "workers={workers}");
+            assert_eq!(coarse.responders, fine.responders, "workers={workers}");
+            assert_eq!(coarse.alexa_weights, fine.alexa_weights);
+            assert_eq!(coarse.telemetry, fine.telemetry, "workers={workers}");
+            assert_eq!(coarse.telemetry.to_csv(), fine.telemetry.to_csv());
+            for (a, b) in coarse
+                .per_region_success
+                .iter()
+                .zip(&fine.per_region_success)
+            {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.fractions(), b.1.fractions());
+            }
+            for (a, b) in coarse.class_series.iter().zip(&fine.class_series) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.fractions(), b.1.fractions());
+            }
+            for (a, b) in coarse.alexa_unreachable.iter().zip(&fine.alexa_unreachable) {
+                assert_eq!(a.1.counts(), b.1.counts());
+            }
+        }
+    }
+
+    #[test]
+    fn responder_cache_hit_rate_is_high_on_healthy_paths_only() {
+        // Acceptance: with six vantage points sharing each probe second,
+        // the healthy-path signed-response cache must serve most probes
+        // from cached bytes, and fault-profile probes must never touch
+        // the cache (they'd serve valid bytes for broken responders).
+        let d = dataset();
+        let hit = d.telemetry.counter("ocsp.responder.cache", "hit");
+        let miss = d.telemetry.counter("ocsp.responder.cache", "miss");
+        assert!(hit + miss > 0);
+        let rate = hit as f64 / (hit + miss) as f64;
+        assert!(rate > 0.8, "request-path hit rate {rate} too low");
+        // Fault events and cache events are disjoint by construction:
+        // every probe is either served from the healthy path (cache
+        // gate) or triggers fault counters, never both.
+        assert!(d.telemetry.counter_total("ocsp.responder.fault") > 0);
     }
 
     #[test]

@@ -356,12 +356,40 @@ impl BigUint {
         self.mul(other).rem(m)
     }
 
-    /// `self ^ exp mod m` by square-and-multiply.
+    /// `self ^ exp mod m`.
+    ///
+    /// Odd moduli — every RSA modulus and CRT prime in the study — take
+    /// a 4-bit-windowed exponentiation over Montgomery (CIOS)
+    /// multiplication, which replaces the full division after every
+    /// product with a single word-by-word reduction pass. Even moduli
+    /// fall back to [`BigUint::modpow_schoolbook`].
     ///
     /// # Panics
     ///
     /// Panics if `m` is zero.
     pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow modulus is zero");
+        if m.limbs == [1] {
+            return BigUint::zero();
+        }
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        if m.is_odd() {
+            modpow_montgomery(self, exp, m)
+        } else {
+            self.modpow_schoolbook(exp, m)
+        }
+    }
+
+    /// `self ^ exp mod m` by LSB-first square-and-multiply, one full
+    /// division per product. The Montgomery path's correctness oracle
+    /// and benchmark baseline, and the fallback for even moduli.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow_schoolbook(&self, exp: &BigUint, m: &BigUint) -> BigUint {
         assert!(!m.is_zero(), "modpow modulus is zero");
         if m.limbs == [1] {
             return BigUint::zero();
@@ -409,6 +437,153 @@ impl BigUint {
             Some(mag)
         }
     }
+}
+
+/// Fixed-width Montgomery context for an odd modulus of `k` limbs.
+///
+/// All values below live as `k`-limb little-endian words (trailing
+/// zeros allowed), strictly less than `m`; CIOS keeps products under
+/// `2m`, so one conditional subtraction restores the invariant.
+struct Montgomery {
+    m: Vec<u32>,
+    /// `-m^{-1} mod 2^32`.
+    n0: u32,
+    /// `R^2 mod m` where `R = 2^(32k)` — converts into Montgomery form.
+    r2: Vec<u32>,
+    /// `R mod m` — the value one in Montgomery form.
+    one: Vec<u32>,
+}
+
+impl Montgomery {
+    fn new(m: &BigUint) -> Montgomery {
+        let k = m.limbs.len();
+        let m0 = m.limbs[0];
+        // Hensel lifting: x ← x·(2 − m0·x) doubles the correct low bits
+        // per step; odd m0 starts with 3 correct bits, 4 rounds cover 32.
+        let mut inv: u32 = m0;
+        for _ in 0..4 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        Montgomery {
+            m: m.limbs.clone(),
+            n0: inv.wrapping_neg(),
+            r2: pad_limbs(&BigUint::one().shl(64 * k).rem(m), k),
+            one: pad_limbs(&BigUint::one().shl(32 * k).rem(m), k),
+        }
+    }
+
+    /// `out ← a·b·R^{-1} mod m` (CIOS: interleave each multiplication
+    /// word with one reduction word). `a` and `b` may alias each other
+    /// but not `out`; `t` is `k + 2` words of scratch.
+    fn mul_into(&self, a: &[u32], b: &[u32], t: &mut [u64], out: &mut [u32]) {
+        let k = self.m.len();
+        t[..k + 2].fill(0);
+        for &a_limb in &a[..k] {
+            let ai = u64::from(a_limb);
+            let mut carry = 0u64;
+            for j in 0..k {
+                let sum = t[j] + ai * u64::from(b[j]) + carry;
+                t[j] = sum & 0xFFFF_FFFF;
+                carry = sum >> 32;
+            }
+            let sum = t[k] + carry;
+            t[k] = sum & 0xFFFF_FFFF;
+            t[k + 1] += sum >> 32;
+
+            let u = u64::from((t[0] as u32).wrapping_mul(self.n0));
+            let mut carry = (t[0] + u * u64::from(self.m[0])) >> 32;
+            for j in 1..k {
+                let sum = t[j] + u * u64::from(self.m[j]) + carry;
+                t[j - 1] = sum & 0xFFFF_FFFF;
+                carry = sum >> 32;
+            }
+            let sum = t[k] + carry;
+            t[k - 1] = sum & 0xFFFF_FFFF;
+            t[k] = t[k + 1] + (sum >> 32);
+            t[k + 1] = 0;
+        }
+        let ge_m = t[k] != 0 || {
+            let mut ge = true;
+            for j in (0..k).rev() {
+                let tj = t[j] as u32;
+                if tj != self.m[j] {
+                    ge = tj > self.m[j];
+                    break;
+                }
+            }
+            ge
+        };
+        if ge_m {
+            let mut borrow: i64 = 0;
+            for j in 0..k {
+                let d = t[j] as i64 - i64::from(self.m[j]) - borrow;
+                if d < 0 {
+                    out[j] = (d + (1 << 32)) as u32;
+                    borrow = 1;
+                } else {
+                    out[j] = d as u32;
+                    borrow = 0;
+                }
+            }
+        } else {
+            for j in 0..k {
+                out[j] = t[j] as u32;
+            }
+        }
+    }
+}
+
+fn pad_limbs(v: &BigUint, k: usize) -> Vec<u32> {
+    let mut limbs = v.limbs.clone();
+    limbs.resize(k, 0);
+    limbs
+}
+
+/// The 4-bit window of `exp` starting at bit `bit`.
+fn window_at(exp: &BigUint, bit: usize) -> usize {
+    (0..4).fold(0, |acc, i| acc | usize::from(exp.bit(bit + i)) << i)
+}
+
+/// Left-to-right 4-bit-windowed exponentiation over Montgomery
+/// multiplication. Requires odd nonzero `m != 1` and nonzero `exp`.
+fn modpow_montgomery(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
+    let k = m.limbs.len();
+    let mont = Montgomery::new(m);
+    let mut t = vec![0u64; k + 2];
+
+    // table[w] = base^w in Montgomery form, for window values 0..16.
+    let base_red = pad_limbs(&base.rem(m), k);
+    let mut table = vec![vec![0u32; k]; 16];
+    table[0].copy_from_slice(&mont.one);
+    mont.mul_into(&base_red, &mont.r2, &mut t, &mut table[1]);
+    for w in 2..16 {
+        let (lo, hi) = table.split_at_mut(w);
+        mont.mul_into(&lo[w - 1], &lo[1], &mut t, &mut hi[0]);
+    }
+
+    let windows = exp.bit_len().div_ceil(4);
+    let mut acc = vec![0u32; k];
+    let mut tmp = vec![0u32; k];
+    acc.copy_from_slice(&table[window_at(exp, (windows - 1) * 4)]);
+    for wi in (0..windows - 1).rev() {
+        for _ in 0..4 {
+            mont.mul_into(&acc, &acc, &mut t, &mut tmp);
+            core::mem::swap(&mut acc, &mut tmp);
+        }
+        let w = window_at(exp, wi * 4);
+        if w != 0 {
+            mont.mul_into(&acc, &table[w], &mut t, &mut tmp);
+            core::mem::swap(&mut acc, &mut tmp);
+        }
+    }
+
+    // Leave Montgomery form: multiply by plain 1.
+    let mut one_limb = vec![0u32; k];
+    one_limb[0] = 1;
+    mont.mul_into(&acc, &one_limb, &mut t, &mut tmp);
+    let mut n = BigUint { limbs: tmp };
+    n.normalize();
+    n
 }
 
 /// `(a_sign, a) - (b_sign, b)` on sign/magnitude pairs.
@@ -559,6 +734,57 @@ mod tests {
         assert_eq!(n(9).modpow(&n(9), &n(1)), n(0));
         // exponent 0 gives 1.
         assert_eq!(n(9).modpow(&n(0), &n(7)), n(1));
+    }
+
+    #[test]
+    fn montgomery_matches_schoolbook() {
+        // Deterministic pseudo-random operands from a SplitMix64 stream,
+        // across odd moduli from one limb up to RSA-grade widths.
+        let mut state = 0x9E37_79B9_97F4_A7C1u64;
+        let mut next = move |bytes: usize| {
+            let mut out = Vec::with_capacity(bytes);
+            while out.len() < bytes {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                out.extend_from_slice(&z.to_be_bytes());
+            }
+            out.truncate(bytes);
+            out
+        };
+        for bytes in [3usize, 4, 8, 16, 24, 48, 96] {
+            let mut m_bytes = next(bytes);
+            m_bytes[0] |= 0x80; // full width
+            m_bytes[bytes - 1] |= 1; // odd
+            let m = BigUint::from_be_bytes(&m_bytes);
+            for _ in 0..4 {
+                let a = BigUint::from_be_bytes(&next(bytes + 2));
+                let e = BigUint::from_be_bytes(&next(bytes / 2 + 1));
+                assert_eq!(
+                    a.modpow(&e, &m),
+                    a.modpow_schoolbook(&e, &m),
+                    "bytes={bytes} a={a:?} e={e:?} m={m:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_and_schoolbook_edge_cases() {
+        // Even modulus takes the schoolbook fallback inside modpow.
+        assert_eq!(
+            n(7).modpow(&n(5), &n(36)),
+            n(7).modpow_schoolbook(&n(5), &n(36))
+        );
+        // Base ≥ m, base ≡ 0 mod m, exponent one.
+        let m = n(0xFFFF_FFFF_FFFF_FFC5); // odd
+        assert_eq!(n(5).mul(&m).modpow(&n(3), &m), n(0));
+        assert_eq!(n(12345).modpow(&n(1), &m), n(12345));
+        // Schoolbook shares modpow's m==1 / exp==0 contract.
+        assert_eq!(n(9).modpow_schoolbook(&n(9), &n(1)), n(0));
+        assert_eq!(n(9).modpow_schoolbook(&n(0), &n(7)), n(1));
     }
 
     #[test]
