@@ -19,6 +19,8 @@
 //! counters and histograms to `telemetry.csv` (byte-identical for every
 //! worker count) with an ASCII summary on stdout.
 
+#![forbid(unsafe_code)]
+
 use ecosystem::EcosystemConfig;
 use mustaple::Study;
 use mustaple_bench::{ablations, bench_scan, build, Artifact, ALL_ARTIFACTS};

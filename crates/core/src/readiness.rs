@@ -187,7 +187,6 @@ impl ReadinessReport {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::study::Study;
     use ecosystem::EcosystemConfig;
 

@@ -1,0 +1,122 @@
+//! Lint policy: which rules apply where.
+//!
+//! The policy is code, not a config file, on purpose: the invariants it
+//! encodes (which crates produce artifacts, which crates own wall-clock
+//! reads, which files are the scan hot path) change only when the
+//! workspace architecture changes, and a PR that changes the
+//! architecture should have to change this file in the same diff.
+
+/// Lint configuration for one root directory.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose outputs feed scan artifacts (CSV rows, telemetry,
+    /// figures). The unordered-iter rule applies only here: iterating a
+    /// `HashMap`/`HashSet` in these crates risks artifact-order
+    /// nondeterminism.
+    pub artifact_crates: Vec<String>,
+    /// Crates allowed to read the wall clock. Telemetry spans and
+    /// criterion timings are *measurements about the run* (excluded from
+    /// artifact equality); everything else must be simulation time.
+    pub wall_clock_allowed_crates: Vec<String>,
+    /// Scan-hot-path files under the panic-hygiene ratchet, as
+    /// `/`-separated paths relative to the root.
+    pub hot_path_files: Vec<String>,
+    /// Path prefixes (relative, `/`-separated) skipped entirely —
+    /// lint-rule fixtures live here.
+    pub exclude: Vec<String>,
+    /// Path of the panic-hygiene baseline, relative to the root.
+    pub baseline_path: String,
+}
+
+impl Config {
+    /// The policy for this workspace.
+    pub fn workspace() -> Config {
+        Config {
+            artifact_crates: vec![
+                "scanner".into(),
+                "netsim".into(),
+                "ocsp".into(),
+                "analysis".into(),
+                "core".into(),
+            ],
+            wall_clock_allowed_crates: vec!["telemetry".into(), "criterion".into(), "bench".into()],
+            hot_path_files: vec![
+                "crates/ocsp/src/responder.rs".into(),
+                "crates/ocsp/src/validate.rs".into(),
+                "crates/scanner/src/hourly.rs".into(),
+                "crates/scanner/src/consistency.rs".into(),
+                "crates/scanner/src/alexa1m.rs".into(),
+                "crates/scanner/src/cdnlog.rs".into(),
+                "crates/scanner/src/executor.rs".into(),
+                "crates/netsim/src/world.rs".into(),
+                "crates/netsim/src/cdn.rs".into(),
+            ],
+            exclude: vec!["crates/detlint/tests/fixtures".into()],
+            baseline_path: "lint-baseline.json".into(),
+        }
+    }
+
+    /// An empty policy for fixture trees; tests fill in what they need.
+    pub fn bare() -> Config {
+        Config {
+            artifact_crates: Vec::new(),
+            wall_clock_allowed_crates: Vec::new(),
+            hot_path_files: Vec::new(),
+            exclude: Vec::new(),
+            baseline_path: "lint-baseline.json".into(),
+        }
+    }
+
+    /// The crate a workspace-relative path belongs to: `crates/<name>/…`
+    /// maps to `<name>`; the umbrella package's `src`/`tests`/`examples`
+    /// map to `study`.
+    pub fn crate_of(rel_path: &str) -> &str {
+        let mut parts = rel_path.split('/');
+        if parts.next() == Some("crates") {
+            if let Some(name) = parts.next() {
+                return name;
+            }
+        }
+        "study"
+    }
+
+    /// Whether `rel_path` is a crate root (where `#![forbid(unsafe_code)]`
+    /// must live): `src/lib.rs`, `src/main.rs`, or `src/bin/*.rs` of any
+    /// crate, including the umbrella package.
+    pub fn is_crate_root(rel_path: &str) -> bool {
+        let parts: Vec<&str> = rel_path.split('/').collect();
+        let tail: &[&str] = if parts.first() == Some(&"crates") && parts.len() > 2 {
+            &parts[2..]
+        } else {
+            &parts[..]
+        };
+        match tail {
+            ["src", f] => *f == "lib.rs" || *f == "main.rs",
+            ["src", "bin", f] => f.ends_with(".rs"),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_mapping() {
+        assert_eq!(Config::crate_of("crates/scanner/src/hourly.rs"), "scanner");
+        assert_eq!(Config::crate_of("src/lib.rs"), "study");
+        assert_eq!(Config::crate_of("tests/determinism.rs"), "study");
+    }
+
+    #[test]
+    fn crate_roots() {
+        assert!(Config::is_crate_root("crates/ocsp/src/lib.rs"));
+        assert!(Config::is_crate_root("crates/detlint/src/main.rs"));
+        assert!(Config::is_crate_root("crates/bench/src/bin/figures.rs"));
+        assert!(Config::is_crate_root("src/lib.rs"));
+        assert!(!Config::is_crate_root("crates/ocsp/src/responder.rs"));
+        assert!(!Config::is_crate_root("crates/asn1/tests/roundtrip.rs"));
+        assert!(!Config::is_crate_root("examples/quickstart.rs"));
+    }
+}

@@ -1,0 +1,536 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The build environment has no reachable registry, so `syn` is off the
+//! table; fortunately the rules in this linter only need a *token-level*
+//! view of each source file — identifiers, punctuation, literals, and
+//! comments, each tagged with a line number. The tricky parts of Rust
+//! lexing that matter for correctness here are exactly the ones that
+//! would make a regex-based scanner lie:
+//!
+//! * string literals (`"…"`, `b"…"`) with escapes — a `HashMap` inside a
+//!   string must not trigger the unordered-iter rule;
+//! * raw strings (`r"…"`, `r#"…"#`, any number of `#`s) — used heavily in
+//!   this workspace's fixtures and docs;
+//! * char literals vs. lifetimes (`'a'` vs. `'a`) — a naive scanner
+//!   eats from `'a` to the next apostrophe and desynchronizes;
+//! * nested block comments (`/* /* */ */`) — legal in Rust;
+//! * line comments, which carry this linter's suppression syntax
+//!   (`// detlint::allow(rule): reason`).
+//!
+//! Everything else (numeric literal suffixes, compound operators) can be
+//! tokenized loosely without affecting any rule.
+
+/// What a token is. Comments are produced as tokens too — the caller
+/// decides whether to keep them in the rule stream (the suppression
+/// scanner wants them; the rule matchers filter them out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// A lifetime (`'a`) — distinguished from `Char` so rules never
+    /// confuse the two.
+    Lifetime,
+    /// A numeric literal (integer or float, any base, any suffix).
+    Number,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`.`, `!`, `#`, `(`, …).
+    Punct,
+    /// A `// …` comment (text includes the slashes).
+    LineComment,
+    /// A `/* … */` comment (text includes the delimiters).
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Lex `source` into tokens (comments included, whitespace dropped).
+///
+/// The lexer is infallible: unexpected bytes become single-character
+/// `Punct` tokens, and an unterminated literal runs to end-of-file.
+/// Rules prefer resilience over diagnostics — a file that does not lex
+/// cleanly will not compile either, and `cargo build` owns that error.
+pub fn lex(source: &str) -> Vec<Token> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start_line = line;
+
+        // Whitespace.
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if b == b'/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                let end = memchr_newline(bytes, i);
+                tokens.push(Token {
+                    kind: TokenKind::LineComment,
+                    text: source[i..end].to_string(),
+                    line: start_line,
+                });
+                i = end;
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                let (end, newlines) = block_comment_end(bytes, i);
+                tokens.push(Token {
+                    kind: TokenKind::BlockComment,
+                    text: source[i..end].to_string(),
+                    line: start_line,
+                });
+                line += newlines;
+                i = end;
+                continue;
+            }
+        }
+
+        // Raw strings and raw identifiers: r"…", r#"…"#, r#ident,
+        // br"…", br#"…"#. The `b`/`r` prefixes must be checked before
+        // plain identifiers.
+        if let Some((end, newlines, kind)) = raw_or_prefixed_literal(bytes, i) {
+            tokens.push(Token {
+                kind,
+                text: source[i..end].to_string(),
+                line: start_line,
+            });
+            line += newlines;
+            i = end;
+            continue;
+        }
+
+        // Identifiers / keywords.
+        if b == b'_' || b.is_ascii_alphabetic() {
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: source[i..j].to_string(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Numbers (loose: consume digits, letters, `_`, and `.` followed
+        // by a digit — enough to keep `1.0e-3f64` and `0xFF_u8` atomic).
+        if b.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < bytes.len() {
+                let c = bytes[j];
+                let continues = c == b'_'
+                    || c.is_ascii_alphanumeric()
+                    || (c == b'.' && j + 1 < bytes.len() && bytes[j + 1].is_ascii_digit())
+                    // Exponent sign: keeps `1.5e-3f64` atomic.
+                    || ((c == b'+' || c == b'-')
+                        && (bytes[j - 1] | 0x20) == b'e'
+                        && j + 1 < bytes.len()
+                        && bytes[j + 1].is_ascii_digit());
+                if !continues {
+                    break;
+                }
+                j += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: source[i..j].to_string(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Strings.
+        if b == b'"' {
+            let (end, newlines) = string_end(bytes, i, b'"');
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text: source[i..end].to_string(),
+                line: start_line,
+            });
+            line += newlines;
+            i = end;
+            continue;
+        }
+
+        // Char literal vs. lifetime. A `'` starts a char literal if it
+        // closes within a short span (`'a'`, `'\n'`, `'\u{1F600}'`);
+        // otherwise it is a lifetime (`'a`, `'static`).
+        if b == b'\'' {
+            if let Some(end) = char_literal_end(bytes, i) {
+                tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: source[i..end].to_string(),
+                    line: start_line,
+                });
+                i = end;
+            } else {
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: source[i..j].to_string(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            continue;
+        }
+
+        // Everything else: single-character punctuation. Multi-character
+        // operators arrive as successive Punct tokens, which is exactly
+        // what the rule matchers want (`::` is Punct(":") Punct(":")).
+        let ch_len = utf8_len(b);
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: source[i..i + ch_len].to_string(),
+            line: start_line,
+        });
+        i += ch_len;
+    }
+
+    tokens
+}
+
+/// Length in bytes of the UTF-8 character starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Index of the next `\n` at or after `from` (or end of input).
+fn memchr_newline(bytes: &[u8], from: usize) -> usize {
+    let mut i = from;
+    while i < bytes.len() && bytes[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+/// End index (exclusive) of the block comment starting at `start`, plus
+/// the number of newlines inside it. Handles nesting.
+fn block_comment_end(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut depth = 0usize;
+    let mut i = start;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            newlines += 1;
+            i += 1;
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return (i, newlines);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    (bytes.len(), newlines)
+}
+
+/// End index (exclusive) of a quoted string starting at `start` (which
+/// holds the opening quote), plus newline count. Honors backslash
+/// escapes.
+fn string_end(bytes: &[u8], start: usize, quote: u8) -> (usize, u32) {
+    let mut i = start + 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            c if c == quote => return (i + 1, newlines),
+            _ => i += 1,
+        }
+    }
+    (bytes.len(), newlines)
+}
+
+/// If a raw string / raw identifier / byte literal starts at `i`, return
+/// `(end, newlines, kind)`.
+///
+/// Recognized shapes: `r"…"`, `r#…#"…"#…#`, `r#ident`, `b"…"`, `br"…"`,
+/// `br#"…"#`, `b'…'`, `c"…"` (C strings, for completeness).
+fn raw_or_prefixed_literal(bytes: &[u8], i: usize) -> Option<(usize, u32, TokenKind)> {
+    let b = bytes[i];
+    if b != b'r' && b != b'b' && b != b'c' {
+        return None;
+    }
+    // Reject if this is just an identifier starting with r/b/c: the
+    // character after the prefix must begin a literal.
+    let mut j = i + 1;
+    if b == b'b' && j < bytes.len() && bytes[j] == b'r' {
+        j += 1; // br…
+    }
+    if j >= bytes.len() {
+        return None;
+    }
+    match bytes[j] {
+        b'"' if b != b'r' || j == i + 1 => {
+            // b"…" or c"…" or (r handled below via hash path with 0 hashes)
+            if b == b'r' || (b == b'b' && j > i + 1) {
+                // r"…" / br"…": raw string with zero hashes.
+                let (end, nl) = raw_string_end(bytes, j, 0)?;
+                return Some((end, nl, TokenKind::Str));
+            }
+            let (end, nl) = string_end(bytes, j, b'"');
+            Some((end, nl, TokenKind::Str))
+        }
+        b'"' => {
+            // br"…" with b consumed above: raw, zero hashes.
+            let (end, nl) = raw_string_end(bytes, j, 0)?;
+            Some((end, nl, TokenKind::Str))
+        }
+        b'\'' if b == b'b' && j == i + 1 => {
+            // b'…' byte char.
+            let end = char_literal_end(bytes, j)?;
+            Some((end, 0, TokenKind::Char))
+        }
+        b'#' if b != b'c' => {
+            // Count hashes; then either a raw (byte) string or a raw
+            // identifier (`r#match`).
+            let mut hashes = 0usize;
+            let mut k = j;
+            while k < bytes.len() && bytes[k] == b'#' {
+                hashes += 1;
+                k += 1;
+            }
+            if k < bytes.len() && bytes[k] == b'"' {
+                let (end, nl) = raw_string_end(bytes, k, hashes)?;
+                return Some((end, nl, TokenKind::Str));
+            }
+            if b == b'r' && hashes == 1 && k < bytes.len() && is_ident_start(bytes[k]) {
+                let mut m = k + 1;
+                while m < bytes.len() && (bytes[m] == b'_' || bytes[m].is_ascii_alphanumeric()) {
+                    m += 1;
+                }
+                return Some((m, 0, TokenKind::Ident));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+/// End of a raw string whose opening `"` is at `quote_at`, expecting
+/// `hashes` closing hashes. Returns `(end, newlines)`.
+fn raw_string_end(bytes: &[u8], quote_at: usize, hashes: usize) -> Option<(usize, u32)> {
+    let mut i = quote_at + 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            newlines += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            let mut k = i + 1;
+            let mut seen = 0usize;
+            while k < bytes.len() && seen < hashes && bytes[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some((k, newlines));
+            }
+        }
+        i += 1;
+    }
+    Some((bytes.len(), newlines))
+}
+
+/// If a char literal starts at `i` (which holds `'`), return its end
+/// (exclusive); `None` means this apostrophe starts a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return None;
+    }
+    if bytes[j] == b'\\' {
+        // Escaped char: skip the backslash and the escape head, then run
+        // to the closing quote (covers \n, \x7F, \u{…}).
+        j += 2;
+        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b'\'' {
+            return Some(j + 1);
+        }
+        return None;
+    }
+    // Unescaped: exactly one character then a quote — `'a'`, `'±'`.
+    let ch_len = utf8_len(bytes[j]);
+    j += ch_len;
+    if j < bytes.len() && bytes[j] == b'\'' {
+        // `'a'` is a char only if the content is not itself a quote
+        // directly adjacent in a lifetime position; one-char + quote is
+        // always a char literal.
+        return Some(j + 1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("foo.bar::baz()");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "foo".into()),
+                (TokenKind::Punct, ".".into()),
+                (TokenKind::Ident, "bar".into()),
+                (TokenKind::Punct, ":".into()),
+                (TokenKind::Punct, ":".into()),
+                (TokenKind::Ident, "baz".into()),
+                (TokenKind::Punct, "(".into()),
+                (TokenKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let x = "HashMap.iter()";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "HashMap"));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let x = r#"say "hi" HashMap"# + 1;"##);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("say \"hi\""));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let nl = '\n'; let u = '\u{1F600}'; let q = '\'';");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_numbers() {
+        let src = "a\n/* outer /* inner */ still */\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokenKind::BlockComment);
+        assert_eq!(toks[2].text, "b");
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn line_comments_carry_text() {
+        let toks = lex("x // detlint::allow(wall-clock): timing\ny");
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert!(toks[1].text.contains("detlint::allow"));
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let toks = kinds(r##"let b = b"bytes"; let r = br#"raw"#; let k = r#match;"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn numbers_stay_atomic() {
+        let toks = kinds("let a = 0xFF_u8 + 1.5e-3f64 + 7i64;");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(nums, vec!["0xFF_u8", "1.5e-3f64", "7i64"]);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let toks = lex("let s = \"one\ntwo\";\nafter");
+        let after = toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! The `detlint` CLI.
+//!
+//! ```text
+//! cargo run -p detlint                      # lint the workspace, write results/lint.json
+//! cargo run -p detlint -- --deny            # CI mode: ratchet slack is fatal too
+//! cargo run -p detlint -- --update-baseline # rewrite lint-baseline.json from measured counts
+//! cargo run -p detlint -- --root DIR        # lint a different tree (fixtures)
+//! cargo run -p detlint -- --json PATH       # write the machine-readable report elsewhere
+//! cargo run -p detlint -- --no-json         # skip the JSON artifact
+//! ```
+//!
+//! Exit codes: `0` clean (warnings allowed unless `--deny`), `2` findings.
+
+#![forbid(unsafe_code)]
+
+use detlint::{baseline_of, lint_root, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    deny: bool,
+    update_baseline: bool,
+    json: Option<PathBuf>,
+    no_json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        deny: false,
+        update_baseline: false,
+        json: None,
+        no_json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--no-json" => args.no_json = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a path")?);
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "detlint: workspace determinism & hygiene linter\n\
+                     rules: wall-clock, unordered-iter, unseeded-rng, forbid-unsafe, panic-hygiene\n\
+                     flags: [--root DIR] [--deny] [--update-baseline] [--json PATH] [--no-json]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !args.root.join("Cargo.toml").exists() {
+        eprintln!(
+            "detlint: {} does not look like a workspace root (no Cargo.toml)",
+            args.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let config = Config::workspace();
+    let mut report = match lint_root(&args.root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.update_baseline {
+        let baseline = baseline_of(&report);
+        let path = args.root.join(&config.baseline_path);
+        if let Err(e) = std::fs::write(&path, baseline.to_json()) {
+            eprintln!("detlint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "detlint: wrote {} ({} hot-path files)",
+            path.display(),
+            baseline.panic_markers.len()
+        );
+        // Re-lint so the report (and exit code) reflect the new baseline.
+        report = match lint_root(&args.root, &config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("detlint: io error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+    }
+
+    print!("{}", report.render_human());
+
+    if !args.no_json {
+        let json_path = args
+            .json
+            .clone()
+            .unwrap_or_else(|| args.root.join("results").join("lint.json"));
+        if let Some(parent) = json_path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+            eprintln!("detlint: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let errors = report.errors();
+    let slack = report.slack();
+    if errors > 0 || (args.deny && slack > 0) {
+        if args.deny && slack > 0 {
+            eprintln!("detlint: --deny treats ratchet slack as an error");
+        }
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

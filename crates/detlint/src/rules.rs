@@ -1,0 +1,493 @@
+//! The rule catalog.
+//!
+//! Each rule is a pure function over one file's token stream (comments
+//! already filtered out — suppressions are handled by the engine, not
+//! here). Rules return findings with the line of the offending token;
+//! whether a finding survives suppression is decided later.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::{Finding, Rule, Severity};
+
+/// Everything a rule needs to know about one file.
+pub struct FileContext<'a> {
+    /// Workspace-relative `/`-separated path.
+    pub rel_path: &'a str,
+    /// Owning crate name (see [`crate::Config::crate_of`]).
+    pub crate_name: &'a str,
+    /// Token stream with comments removed.
+    pub tokens: &'a [Token],
+}
+
+fn finding(ctx: &FileContext<'_>, rule: Rule, line: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        file: ctx.rel_path.to_string(),
+        line,
+        message,
+        severity: Severity::Error,
+    }
+}
+
+/// Is `tokens[i..]` the path separator `::`?
+fn is_path_sep(tokens: &[Token], i: usize) -> bool {
+    i + 1 < tokens.len() && tokens[i].is_punct(":") && tokens[i + 1].is_punct(":")
+}
+
+/// **wall-clock** — `Instant::now()` / `SystemTime::now()` outside the
+/// allowlisted crates. Scan artifacts must be pure functions of
+/// `(config, seed)`; a wall-clock read in scan code is either a
+/// determinism bug or a telemetry measurement that belongs behind the
+/// telemetry span API (and then carries a scoped suppression naming it).
+pub fn wall_clock(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if !(t[i].is_ident("Instant") || t[i].is_ident("SystemTime")) {
+            continue;
+        }
+        if is_path_sep(t, i + 1) && i + 3 < t.len() && t[i + 3].is_ident("now") {
+            out.push(finding(
+                ctx,
+                Rule::WallClock,
+                t[i].line,
+                format!(
+                    "`{}::now` reads the wall clock; scan code must use simulation \
+                     time (crate `{}` is not on the wall-clock allowlist)",
+                    t[i].text, ctx.crate_name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Methods whose call on a hash collection observes its nondeterministic
+/// internal order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "into_iter",
+    "drain",
+    "retain",
+];
+
+/// **unordered-iter** — iterating a `HashMap`/`HashSet` in an
+/// artifact-producing crate.
+///
+/// Pass 1 collects names *declared* as hash collections in this file
+/// (`name: HashMap<…>` fields/params/lets and `name = HashMap::new()`
+/// style constructions); pass 2 flags order-observing uses of those
+/// names: `name.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()`
+/// and friends, plus `for … in &name` / `for … in name`.
+///
+/// This is a token-level heuristic, not type inference: a shadowed
+/// non-hash binding with the same name would false-positive (suppress it
+/// with a reason), and a hash map smuggled through a type alias escapes
+/// (the determinism diff gate still catches actual divergence). In
+/// practice the workspace's hash collections are declared where they are
+/// used, which is exactly the shape the heuristic covers.
+pub fn unordered_iter(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let t = ctx.tokens;
+    let mut declared: Vec<String> = Vec::new();
+    let mut declare = |name: &str| {
+        if !declared.iter().any(|d| d == name) {
+            declared.push(name.to_string());
+        }
+    };
+
+    for i in 0..t.len() {
+        if t[i].kind != TokenKind::Ident || !(t[i].text == "HashMap" || t[i].text == "HashSet") {
+            continue;
+        }
+        // `name = [path::]HashMap :: new(…)` — constructions. Walk back
+        // over the path prefix to the `=`, then take the identifier
+        // before it.
+        if is_path_sep(t, i + 1) {
+            let mut j = i;
+            while j >= 3 && is_path_sep(t, j - 2) && t[j - 3].kind == TokenKind::Ident {
+                j -= 3;
+            }
+            if j >= 2 && t[j - 1].is_punct("=") && t[j - 2].kind == TokenKind::Ident {
+                declare(&t[j - 2].text);
+                continue;
+            }
+        }
+        // `name : [&]['a][mut][path::] HashMap` — type ascriptions. Walk
+        // back over reference/mut/path noise to the `:`; reject `::`.
+        let mut j = i;
+        loop {
+            if j == 0 {
+                break;
+            }
+            let p = &t[j - 1];
+            if p.is_punct("&") || p.kind == TokenKind::Lifetime || p.is_ident("mut") {
+                j -= 1;
+            } else if j >= 3 && is_path_sep(t, j - 2) && t[j - 3].kind == TokenKind::Ident {
+                j -= 3;
+            } else {
+                break;
+            }
+        }
+        if j >= 2
+            && t[j - 1].is_punct(":")
+            && !(j >= 3 && t[j - 2].is_punct(":"))
+            && t[j - 2].kind == TokenKind::Ident
+        {
+            declare(&t[j - 2].text);
+        }
+    }
+
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if t[i].kind != TokenKind::Ident || !declared.iter().any(|d| *d == t[i].text) {
+            continue;
+        }
+        // Reject method positions: `something.name(…)` is a call of a
+        // method that happens to share the name (e.g. slice::windows) —
+        // but `self.name.values()` is a field access and stays eligible.
+        if i > 0 && t[i - 1].is_punct(".") && i + 1 < t.len() && t[i + 1].is_punct("(") {
+            continue;
+        }
+        let name = &t[i].text;
+        // `name . m (` with an order-observing method.
+        if i + 3 < t.len()
+            && t[i + 1].is_punct(".")
+            && t[i + 2].kind == TokenKind::Ident
+            && ITER_METHODS.contains(&t[i + 2].text.as_str())
+            && t[i + 3].is_punct("(")
+        {
+            out.push(finding(
+                ctx,
+                Rule::UnorderedIter,
+                t[i].line,
+                format!(
+                    "`{name}.{}()` observes HashMap/HashSet internal order, which is \
+                     nondeterministic; use a BTreeMap/BTreeSet or sort before iterating",
+                    t[i + 2].text
+                ),
+            ));
+            continue;
+        }
+        // `for … in [&][mut] name` not followed by a method call (a
+        // following `.` is either handled above or an ordered adapter
+        // misuse rare enough to leave to the dynamic gate).
+        if i + 1 < t.len() && t[i + 1].is_punct(".") {
+            continue;
+        }
+        let mut p = i;
+        if p > 0 && t[p - 1].is_ident("mut") {
+            p -= 1;
+        }
+        if p > 0 && t[p - 1].is_punct("&") {
+            p -= 1;
+        }
+        if p > 0 && t[p - 1].is_ident("in") {
+            out.push(finding(
+                ctx,
+                Rule::UnorderedIter,
+                t[i].line,
+                format!(
+                    "`for … in {name}` iterates a HashMap/HashSet in nondeterministic \
+                     order; use a BTreeMap/BTreeSet or sort before iterating"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Identifiers that construct nondeterministically-seeded RNGs. None of
+/// these exist in the vendored `rand` stand-in — the rule keeps it that
+/// way if the stand-in ever grows toward the real API.
+const BANNED_RNG: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "EntropyRng",
+];
+
+/// **unseeded-rng** — every RNG must be constructed from a value that
+/// traces to the campaign seed. Entropy-based constructors are banned
+/// outright; `seed_from_u64`/`from_seed` calls must have an argument
+/// containing either an integer literal (fixed test seeds) or an
+/// identifier mentioning `seed`/`shard`/`chunk` (the `seed_for_shard` /
+/// `seed_for_chunk` derivation chain).
+pub fn unseeded_rng(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if t[i].kind != TokenKind::Ident {
+            continue;
+        }
+        if BANNED_RNG.contains(&t[i].text.as_str()) {
+            out.push(finding(
+                ctx,
+                Rule::UnseededRng,
+                t[i].line,
+                format!(
+                    "`{}` constructs an entropy-seeded RNG; all randomness must derive \
+                     from the campaign seed (seed_for_shard / seed_for_chunk)",
+                    t[i].text
+                ),
+            ));
+            continue;
+        }
+        if (t[i].text == "seed_from_u64" || t[i].text == "from_seed")
+            && i + 1 < t.len()
+            && t[i + 1].is_punct("(")
+        {
+            let mut depth = 0usize;
+            let mut traceable = false;
+            for tok in &t[i + 1..] {
+                if tok.is_punct("(") {
+                    depth += 1;
+                } else if tok.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if tok.kind == TokenKind::Number {
+                    traceable = true;
+                } else if tok.kind == TokenKind::Ident {
+                    let lower = tok.text.to_ascii_lowercase();
+                    if lower.contains("seed") || lower.contains("shard") || lower.contains("chunk")
+                    {
+                        traceable = true;
+                    }
+                }
+            }
+            if !traceable {
+                out.push(finding(
+                    ctx,
+                    Rule::UnseededRng,
+                    t[i].line,
+                    format!(
+                        "`{}` argument does not trace to a literal or a \
+                         seed/shard/chunk derivation",
+                        t[i].text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// **forbid-unsafe** — crate roots must carry `#![forbid(unsafe_code)]`.
+/// Returns a finding if the attribute token sequence is absent.
+pub fn forbid_unsafe(ctx: &FileContext<'_>) -> Option<Finding> {
+    let t = ctx.tokens;
+    for i in 0..t.len().saturating_sub(7) {
+        if t[i].is_punct("#")
+            && t[i + 1].is_punct("!")
+            && t[i + 2].is_punct("[")
+            && t[i + 3].is_ident("forbid")
+            && t[i + 4].is_punct("(")
+            && t[i + 5].is_ident("unsafe_code")
+            && t[i + 6].is_punct(")")
+            && t[i + 7].is_punct("]")
+        {
+            return None;
+        }
+    }
+    Some(finding(
+        ctx,
+        Rule::ForbidUnsafe,
+        1,
+        "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+    ))
+}
+
+/// **panic-hygiene** — count panic markers in one file: `.unwrap(`,
+/// `.expect("…")` (string-literal argument only, so ASN.1 reader
+/// `.expect(Tag::…)` calls — which return `Result` — do not count),
+/// and `panic!`/`unreachable!`/`todo!`/`unimplemented!`. The engine
+/// compares these counts against the checked-in baseline.
+pub fn count_panic_markers(tokens: &[Token]) -> u64 {
+    let t = tokens;
+    let mut count = 0u64;
+    for i in 0..t.len() {
+        if t[i].is_punct(".")
+            && i + 2 < t.len()
+            && t[i + 1].is_ident("unwrap")
+            && t[i + 2].is_punct("(")
+        {
+            count += 1;
+        }
+        if t[i].is_punct(".")
+            && i + 3 < t.len()
+            && t[i + 1].is_ident("expect")
+            && t[i + 2].is_punct("(")
+            && t[i + 3].kind == TokenKind::Str
+        {
+            count += 1;
+        }
+        if t[i].kind == TokenKind::Ident
+            && matches!(
+                t[i].text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && i + 1 < t.len()
+            && t[i + 1].is_punct("!")
+        {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx_tokens(src: &str) -> Vec<Token> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::LineComment && t.kind != TokenKind::BlockComment)
+            .collect()
+    }
+
+    fn run<F: Fn(&FileContext<'_>) -> Vec<Finding>>(src: &str, f: F) -> Vec<Finding> {
+        let tokens = ctx_tokens(src);
+        let ctx = FileContext {
+            rel_path: "crates/scanner/src/x.rs",
+            crate_name: "scanner",
+            tokens: &tokens,
+        };
+        f(&ctx)
+    }
+
+    #[test]
+    fn wall_clock_hits_both_clocks() {
+        let found = run(
+            "let a = Instant::now(); let b = std::time::SystemTime::now();",
+            wall_clock,
+        );
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn wall_clock_ignores_strings_and_other_nows() {
+        let found = run(r#"let s = "Instant::now"; let t = sim.now();"#, wall_clock);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_flags_declared_maps() {
+        let src = r"
+            let mut m: HashMap<String, u32> = HashMap::new();
+            for (k, v) in &m { }
+            let ks: Vec<_> = m.keys().collect();
+            m.retain(|_, v| *v > 0);
+        ";
+        let found = run(src, unordered_iter);
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn unordered_iter_flags_constructions_and_fields() {
+        let src = r"
+            struct S { cache: std::collections::HashMap<u32, u32> }
+            impl S {
+                fn f(&mut self) {
+                    self.cache.insert(1, 2);
+                    for v in self.cache.values() { }
+                }
+            }
+            let set = HashSet::new();
+            for x in set { }
+        ";
+        let found = run(src, unordered_iter);
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn unordered_iter_keyed_access_is_fine() {
+        let src = r"
+            let mut m: HashMap<String, u32> = HashMap::new();
+            m.insert(k, 1);
+            let v = m.get(&k);
+            let n = m.len();
+            let e = m.entry(k).or_insert(0);
+        ";
+        assert!(run(src, unordered_iter).is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_ignores_same_name_methods() {
+        // `windows` is a HashMap field elsewhere, but `produced.windows(2)`
+        // is the slice method.
+        let src = r"
+            struct S { windows: HashMap<u64, u64> }
+            let pairs = produced.windows(2);
+        ";
+        assert!(run(src, unordered_iter).is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_btree_is_fine() {
+        let src = r"
+            let mut m: BTreeMap<String, u32> = BTreeMap::new();
+            for (k, v) in &m { }
+        ";
+        assert!(run(src, unordered_iter).is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_bans_entropy() {
+        let found = run("let mut rng = rand::thread_rng();", unseeded_rng);
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn unseeded_rng_accepts_traceable_seeds() {
+        let ok = r"
+            let a = StdRng::seed_from_u64(42);
+            let b = StdRng::seed_from_u64(eco.config.seed ^ 0xCD11);
+            let c = StdRng::seed_from_u64(seed_for_shard(base_seed, shard_id));
+            let d = StdRng::seed_from_u64(seed_for_chunk(base, shard, chunk));
+        ";
+        assert!(run(ok, unseeded_rng).is_empty());
+        let bad = "let r = StdRng::seed_from_u64(entropy_source());";
+        assert_eq!(run(bad, unseeded_rng).len(), 1);
+    }
+
+    #[test]
+    fn forbid_unsafe_detects_presence() {
+        let tokens = ctx_tokens("#![forbid(unsafe_code)]\npub fn f() {}");
+        let ctx = FileContext {
+            rel_path: "crates/x/src/lib.rs",
+            crate_name: "x",
+            tokens: &tokens,
+        };
+        assert!(forbid_unsafe(&ctx).is_none());
+        let tokens = ctx_tokens("pub fn f() {}");
+        let ctx = FileContext {
+            rel_path: "crates/x/src/lib.rs",
+            crate_name: "x",
+            tokens: &tokens,
+        };
+        assert!(forbid_unsafe(&ctx).is_some());
+    }
+
+    #[test]
+    fn panic_markers_counted_precisely() {
+        let src = r#"
+            let a = x.unwrap();
+            let b = y.expect("must hold");
+            let c = reader.expect(Tag::context_primitive(0))?; // NOT counted
+            panic!("boom");
+            unreachable!();
+            let s = "contains .unwrap() in a string"; // NOT counted
+        "#;
+        assert_eq!(count_panic_markers(&ctx_tokens(src)), 4);
+    }
+}

@@ -1,0 +1,3 @@
+pub fn f() -> u32 {
+    1
+}

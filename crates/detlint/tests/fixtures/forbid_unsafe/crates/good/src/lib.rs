@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+
+pub fn f() -> u32 {
+    1
+}

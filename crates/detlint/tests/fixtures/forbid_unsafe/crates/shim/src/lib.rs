@@ -1,0 +1,1 @@
+pub fn shim() {} // detlint::allow(forbid-unsafe): fixture shim with no unsafe surface to forbid

@@ -1,0 +1,10 @@
+//! Fixture: exactly three panic markers.
+
+pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("y must be present");
+    if a + b == 0 {
+        panic!("zero sum");
+    }
+    a + b
+}

@@ -1,0 +1,16 @@
+//! Fixture: HashMap iteration in an artifact-producing crate.
+
+use std::collections::HashMap;
+
+pub fn rows(m2: HashMap<u32, u32>) -> Vec<String> {
+    let mut m: HashMap<String, u32> = HashMap::new();
+    m.insert("a".to_string(), 1);
+    let mut out: Vec<String> = m.keys().cloned().collect();
+    for (k, _v) in &m2 {
+        out.push(k.to_string());
+    }
+    // detlint::allow(unordered-iter): a count over all values is order-insensitive
+    let _n = m.values().count();
+    out.sort();
+    out
+}

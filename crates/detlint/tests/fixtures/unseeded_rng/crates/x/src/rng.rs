@@ -1,0 +1,10 @@
+//! Fixture: RNG constructions, traceable and not.
+
+pub fn rngs(base_seed: u64) {
+    let _a = rand::thread_rng();
+    let _b = StdRng::seed_from_u64(entropy_source());
+    // detlint::allow(unseeded-rng): fixture exercises the suppression path
+    let _c = StdRng::seed_from_u64(opaque_value());
+    let _d = StdRng::seed_from_u64(seed_for_shard(base_seed, 3));
+    let _e = StdRng::seed_from_u64(0xD15C0);
+}

@@ -1,0 +1,6 @@
+//! Fixture: a suppression that silences nothing.
+
+// detlint::allow(wall-clock): stale — nothing here reads the clock
+pub fn f() -> u32 {
+    1
+}

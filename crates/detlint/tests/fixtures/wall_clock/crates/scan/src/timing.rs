@@ -1,0 +1,14 @@
+//! Fixture: wall-clock reads in a crate that is not on the allowlist.
+
+pub fn bad() -> (std::time::Instant, std::time::SystemTime) {
+    let a = Instant::now();
+    let b = SystemTime::now();
+    (a, b)
+}
+
+pub fn excused() -> u128 {
+    // detlint::allow(wall-clock): fixture models a telemetry span boundary
+    let started = Instant::now();
+    let t = Instant::now(); // detlint::allow(wall-clock): second span boundary
+    (t - started).as_nanos()
+}

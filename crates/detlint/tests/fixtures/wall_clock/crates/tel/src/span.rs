@@ -1,0 +1,5 @@
+//! Fixture: the same reads are fine in an allowlisted crate.
+
+pub fn span() -> Instant {
+    Instant::now()
+}

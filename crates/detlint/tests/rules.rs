@@ -1,0 +1,160 @@
+//! Per-rule fixture trees: each exercises the positive case, the
+//! suppressed case, and (where the fixture has one) the
+//! unused-suppression case, through the full `lint_root` engine.
+
+use detlint::{lint_root, Config, Report, Rule, Severity};
+use std::path::PathBuf;
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(name: &str, config: &Config) -> Report {
+    lint_root(&fixture_root(name), config).expect("fixture tree must be readable")
+}
+
+fn errors_of(report: &Report, rule: Rule) -> Vec<(String, u32)> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && f.severity == Severity::Error)
+        .map(|f| (f.file.clone(), f.line))
+        .collect()
+}
+
+#[test]
+fn wall_clock_flags_disallowed_crates_only() {
+    let mut config = Config::bare();
+    config.wall_clock_allowed_crates = vec!["tel".into()];
+    let report = lint("wall_clock", &config);
+    assert_eq!(
+        errors_of(&report, Rule::WallClock),
+        vec![
+            ("crates/scan/src/timing.rs".to_string(), 4),
+            ("crates/scan/src/timing.rs".to_string(), 5),
+        ],
+        "{}",
+        report.render_human()
+    );
+    // The two annotated reads are silenced, and both comments matched.
+    assert_eq!(report.suppressions_used, 2);
+    assert_eq!(errors_of(&report, Rule::Suppression), vec![]);
+}
+
+#[test]
+fn unordered_iter_flags_artifact_crates_only() {
+    let mut config = Config::bare();
+    config.artifact_crates = vec!["art".into()];
+    let report = lint("unordered_iter", &config);
+    assert_eq!(
+        errors_of(&report, Rule::UnorderedIter),
+        vec![
+            ("crates/art/src/rows.rs".to_string(), 8),
+            ("crates/art/src/rows.rs".to_string(), 9),
+        ],
+        "{}",
+        report.render_human()
+    );
+    assert_eq!(report.suppressions_used, 1);
+
+    // Outside the artifact set the same tree is clean — but the
+    // suppression then silences nothing, which is itself an error.
+    let report = lint("unordered_iter", &Config::bare());
+    assert_eq!(errors_of(&report, Rule::UnorderedIter), vec![]);
+    assert_eq!(
+        errors_of(&report, Rule::Suppression),
+        vec![("crates/art/src/rows.rs".to_string(), 12)]
+    );
+}
+
+#[test]
+fn unseeded_rng_flags_untraceable_constructions() {
+    let report = lint("unseeded_rng", &Config::bare());
+    assert_eq!(
+        errors_of(&report, Rule::UnseededRng),
+        vec![
+            ("crates/x/src/rng.rs".to_string(), 4),
+            ("crates/x/src/rng.rs".to_string(), 5),
+        ],
+        "{}",
+        report.render_human()
+    );
+    // The opaque-but-annotated construction is silenced; the
+    // seed_for_shard and literal-seed ones never fire.
+    assert_eq!(report.suppressions_used, 1);
+    assert_eq!(errors_of(&report, Rule::Suppression), vec![]);
+}
+
+#[test]
+fn forbid_unsafe_checks_crate_roots() {
+    let report = lint("forbid_unsafe", &Config::bare());
+    assert_eq!(
+        errors_of(&report, Rule::ForbidUnsafe),
+        vec![("crates/bad/src/lib.rs".to_string(), 1)],
+        "{}",
+        report.render_human()
+    );
+    // `good` carries the attribute; `shim` suppresses the finding with a
+    // trailing comment on the (single) line the finding anchors to.
+    assert_eq!(report.suppressions_used, 1);
+}
+
+#[test]
+fn unused_suppressions_are_errors() {
+    let report = lint("unused_suppression", &Config::bare());
+    assert_eq!(
+        errors_of(&report, Rule::Suppression),
+        vec![("crates/x/src/clean.rs".to_string(), 3)],
+        "{}",
+        report.render_human()
+    );
+    assert_eq!(report.suppressions_used, 0);
+}
+
+fn panic_config(baseline: &str) -> Config {
+    let mut config = Config::bare();
+    config.hot_path_files = vec!["crates/hot/src/path.rs".into()];
+    config.baseline_path = baseline.to_string();
+    config
+}
+
+#[test]
+fn panic_ratchet_accepts_exact_baseline() {
+    let report = lint("panic", &panic_config("baseline-exact.json"));
+    assert_eq!(report.errors(), 0, "{}", report.render_human());
+    assert_eq!(report.slack(), 0);
+    assert_eq!(report.panic_counts["crates/hot/src/path.rs"], 3);
+}
+
+#[test]
+fn panic_ratchet_rejects_counts_above_baseline() {
+    let report = lint("panic", &panic_config("baseline-tight.json"));
+    assert_eq!(
+        errors_of(&report, Rule::PanicHygiene),
+        vec![("crates/hot/src/path.rs".to_string(), 0)]
+    );
+}
+
+#[test]
+fn panic_ratchet_warns_on_slack() {
+    let report = lint("panic", &panic_config("baseline-slack.json"));
+    assert_eq!(report.errors(), 0, "{}", report.render_human());
+    assert_eq!(report.slack(), 1);
+}
+
+#[test]
+fn panic_ratchet_rejects_missing_and_stale_baselines() {
+    let report = lint("panic", &panic_config("no-such-baseline.json"));
+    assert_eq!(
+        errors_of(&report, Rule::PanicHygiene),
+        vec![("no-such-baseline.json".to_string(), 0)]
+    );
+
+    let report = lint("panic", &panic_config("baseline-stale.json"));
+    assert_eq!(
+        errors_of(&report, Rule::PanicHygiene),
+        vec![("crates/gone/src/old.rs".to_string(), 0)]
+    );
+}

@@ -1,0 +1,38 @@
+//! The linter run against the workspace it ships in: the tree must be
+//! lint-clean (this is the same gate CI's `detlint --deny` enforces),
+//! and the machine-readable report must be byte-stable.
+
+use detlint::{lint_root, Config};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/detlint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lint_root(&workspace_root(), &Config::workspace())
+        .expect("workspace tree must be readable");
+    assert!(report.files_scanned > 50, "walk found too few files");
+    assert_eq!(report.errors(), 0, "\n{}", report.render_human());
+    assert_eq!(
+        report.slack(),
+        0,
+        "baseline has slack; run `cargo run -p detlint -- --update-baseline`\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn lint_json_is_byte_stable() {
+    let root = workspace_root();
+    let config = Config::workspace();
+    let a = lint_root(&root, &config).expect("first pass").to_json();
+    let b = lint_root(&root, &config).expect("second pass").to_json();
+    assert_eq!(a, b);
+    assert!(a.ends_with('\n'));
+}

@@ -166,7 +166,7 @@ impl Topology {
     /// Members of a group.
     pub fn group_members(&self, group: &str) -> Vec<String> {
         let mut members: Vec<String> = self
-            .hosts
+            .hosts // detlint::allow(unordered-iter): the collected names are sorted below, so hash order never reaches a caller
             .iter()
             .filter(|(_, h)| h.group.as_deref() == Some(group))
             .map(|(name, _)| name.clone())

@@ -385,11 +385,24 @@ impl Responder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::response::BasicResponse;
     use pki::{IssueParams, RevocationReason};
     use rand::{rngs::StdRng, SeedableRng};
 
     fn now() -> Time {
         Time::from_civil(2018, 5, 1, 10, 30, 0)
+    }
+
+    /// Parse response bytes that are well-formed by fixture invariant.
+    fn parse(der: &[u8]) -> OcspResponse {
+        OcspResponse::from_der(der).expect("fixture responder must emit well-formed DER")
+    }
+
+    /// The basic payload of a response that is successful by fixture
+    /// invariant.
+    fn basic_of(resp: OcspResponse) -> BasicResponse {
+        resp.basic
+            .expect("successful fixture response must carry a basic payload")
     }
 
     struct Fixture {
@@ -410,7 +423,7 @@ mod tests {
         let mut responder = Responder::new("http://ocsp.ca.test/", profile);
         let req = OcspRequest::single(f.id.clone());
         let der = responder.handle(&f.ca, &req, now());
-        OcspResponse::from_der(&der).unwrap()
+        parse(&der)
     }
 
     #[test]
@@ -418,17 +431,17 @@ mod tests {
         let f = fixture(1);
         let resp = respond(&f, ResponderProfile::healthy());
         assert_eq!(resp.status, ResponseStatus::Successful);
-        let basic = resp.basic.unwrap();
+        let basic = basic_of(resp);
         assert!(basic.verify_signature(f.ca.certificate().public_key()));
         assert_eq!(basic.responses.len(), 1);
         assert_eq!(basic.responses[0].status, CertStatus::Good);
         assert_eq!(basic.responses[0].cert_id, f.id);
         // Margin: thisUpdate backdated one hour.
         assert_eq!(now() - basic.responses[0].this_update, 3_600);
-        assert_eq!(
-            basic.responses[0].next_update.unwrap() - basic.responses[0].this_update,
-            7 * 86_400
-        );
+        let next = basic.responses[0]
+            .next_update
+            .expect("healthy profile must populate nextUpdate");
+        assert_eq!(next - basic.responses[0].this_update, 7 * 86_400);
         let _ = f.leaf;
     }
 
@@ -441,7 +454,7 @@ mod tests {
             Some(RevocationReason::KeyCompromise),
         );
         let resp = respond(&f, ResponderProfile::healthy());
-        let basic = resp.basic.unwrap();
+        let basic = basic_of(resp);
         assert_eq!(
             basic.responses[0].status,
             CertStatus::Revoked {
@@ -458,8 +471,8 @@ mod tests {
         foreign.serial = Serial::from_u64(0xdeadbeef);
         let mut responder = Responder::new("http://ocsp.ca.test/", ResponderProfile::healthy());
         let der = responder.handle(&f.ca, &OcspRequest::single(foreign), now());
-        let resp = OcspResponse::from_der(&der).unwrap();
-        assert_eq!(resp.basic.unwrap().responses[0].status, CertStatus::Unknown);
+        let resp = parse(&der);
+        assert_eq!(basic_of(resp).responses[0].status, CertStatus::Unknown);
     }
 
     #[test]
@@ -472,7 +485,7 @@ mod tests {
         };
         let mut responder = Responder::new("http://ocsp.ca.test/", ResponderProfile::healthy());
         let der = responder.handle(&f.ca, &OcspRequest::single(foreign), now());
-        let resp = OcspResponse::from_der(&der).unwrap();
+        let resp = parse(&der);
         assert_eq!(resp.status, ResponseStatus::Unauthorized);
         assert!(resp.basic.is_none());
     }
@@ -480,7 +493,8 @@ mod tests {
     #[test]
     fn malformed_modes_produce_unparseable_bodies() {
         let f = fixture(5);
-        let cases: Vec<(MalformMode, fn(&[u8]) -> bool)> = vec![
+        type BodyCheck = fn(&[u8]) -> bool;
+        let cases: Vec<(MalformMode, BodyCheck)> = vec![
             (MalformMode::LiteralZero, |b| b == b"0"),
             (MalformMode::Empty, |b| b.is_empty()),
             (MalformMode::JavascriptPage, |b| b.starts_with(b"<html>")),
@@ -501,7 +515,7 @@ mod tests {
     fn wrong_serial_mode_mismatches() {
         let f = fixture(6);
         let resp = respond(&f, ResponderProfile::healthy().wrong_serial());
-        let basic = resp.basic.unwrap();
+        let basic = basic_of(resp);
         assert_ne!(basic.responses[0].cert_id.serial, f.id.serial);
     }
 
@@ -509,7 +523,7 @@ mod tests {
     fn corrupt_signature_mode_fails_verification() {
         let f = fixture(7);
         let resp = respond(&f, ResponderProfile::healthy().corrupt_signature());
-        let basic = resp.basic.unwrap();
+        let basic = basic_of(resp);
         assert!(!basic.verify_signature(f.ca.certificate().public_key()));
     }
 
@@ -522,7 +536,7 @@ mod tests {
                 .superfluous_certs(4)
                 .extra_serials(19),
         );
-        let basic = resp.basic.unwrap();
+        let basic = basic_of(resp);
         assert_eq!(basic.certs.len(), 4);
         assert_eq!(basic.responses.len(), 20);
         // The first entry is the one actually asked about.
@@ -533,16 +547,16 @@ mod tests {
     fn blank_next_update() {
         let f = fixture(9);
         let resp = respond(&f, ResponderProfile::healthy().blank_next_update());
-        assert_eq!(resp.basic.unwrap().responses[0].next_update, None);
+        assert_eq!(basic_of(resp).responses[0].next_update, None);
     }
 
     #[test]
     fn zero_margin_and_future_this_update() {
         let f = fixture(10);
         let zero = respond(&f, ResponderProfile::healthy().margin(0));
-        assert_eq!(zero.basic.unwrap().responses[0].this_update, now());
+        assert_eq!(basic_of(zero).responses[0].this_update, now());
         let future = respond(&f, ResponderProfile::healthy().margin(-120));
-        assert_eq!(future.basic.unwrap().responses[0].this_update, now() + 120);
+        assert_eq!(basic_of(future).responses[0].this_update, now() + 120);
     }
 
     #[test]
@@ -555,12 +569,12 @@ mod tests {
                 .validity(7_200),
         );
         let req = OcspRequest::single(f.id.clone());
-        let r1 = OcspResponse::from_der(&responder.handle(&f.ca, &req, now())).unwrap();
-        let r2 = OcspResponse::from_der(&responder.handle(&f.ca, &req, now() + 600)).unwrap();
-        let r3 = OcspResponse::from_der(&responder.handle(&f.ca, &req, now() + 7_200)).unwrap();
-        let t1 = r1.basic.unwrap().responses[0].this_update;
-        let t2 = r2.basic.unwrap().responses[0].this_update;
-        let t3 = r3.basic.unwrap().responses[0].this_update;
+        let r1 = parse(&responder.handle(&f.ca, &req, now()));
+        let r2 = parse(&responder.handle(&f.ca, &req, now() + 600));
+        let r3 = parse(&responder.handle(&f.ca, &req, now() + 7_200));
+        let t1 = basic_of(r1).responses[0].this_update;
+        let t2 = basic_of(r2).responses[0].this_update;
+        let t3 = basic_of(r3).responses[0].this_update;
         assert_eq!(t1, t2);
         assert!(t3 > t1);
     }
@@ -579,13 +593,7 @@ mod tests {
         let mut produced = Vec::new();
         for k in 0..48 {
             let body = responder.handle(&f.ca, &req, now() + k * 10);
-            produced.push(
-                OcspResponse::from_der(&body)
-                    .unwrap()
-                    .basic
-                    .unwrap()
-                    .produced_at,
-            );
+            produced.push(basic_of(parse(&body)).produced_at);
         }
         assert!(
             produced.windows(2).any(|w| w[1] < w[0]),
@@ -601,8 +609,7 @@ mod tests {
         let mut responder =
             Responder::with_delegated_signer("u", ResponderProfile::healthy(), cert.clone(), key);
         let der = responder.handle(&f.ca, &OcspRequest::single(f.id.clone()), now());
-        let resp = OcspResponse::from_der(&der).unwrap();
-        let basic = resp.basic.unwrap();
+        let basic = basic_of(parse(&der));
         // Signed by the delegate, not the CA.
         assert!(!basic.verify_signature(f.ca.certificate().public_key()));
         assert!(basic.verify_signature(cert.public_key()));
@@ -729,18 +736,8 @@ mod tests {
         let before = responder.handle_with(&f.ca, &req, now(), &mut reg);
         let after = responder.handle_with(&f.ca, &req, now() + 7_200, &mut reg);
         assert_ne!(before, after, "rollover must produce fresh bytes");
-        let t_before = OcspResponse::from_der(&before)
-            .unwrap()
-            .basic
-            .unwrap()
-            .responses[0]
-            .this_update;
-        let t_after = OcspResponse::from_der(&after)
-            .unwrap()
-            .basic
-            .unwrap()
-            .responses[0]
-            .this_update;
+        let t_before = basic_of(parse(&before)).responses[0].this_update;
+        let t_after = basic_of(parse(&after)).responses[0].this_update;
         assert!(t_after > t_before);
         assert_eq!(reg.counter("ocsp.responder.cache", "window_sign"), 2);
         assert_eq!(reg.counter("ocsp.responder.cache", "hit"), 0);
@@ -784,7 +781,7 @@ mod tests {
         let f = fixture(14);
         let mut responder = Responder::new("u", ResponderProfile::healthy());
         let der = responder.handle_bytes(&f.ca, b"not a request", now());
-        let resp = OcspResponse::from_der(&der).unwrap();
+        let resp = parse(&der);
         assert_eq!(resp.status, ResponseStatus::MalformedRequest);
     }
 }

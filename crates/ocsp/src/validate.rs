@@ -404,10 +404,19 @@ mod tests {
         validate_response(&body, &f.id, f.ca.certificate(), now(), config)
     }
 
+    /// `check` for profiles that must validate cleanly (fixture invariant).
+    fn check_ok(
+        f: &Fixture,
+        profile: ResponderProfile,
+        config: ValidationConfig,
+    ) -> ValidatedResponse {
+        check(f, profile, config).expect("fixture response must validate cleanly")
+    }
+
     #[test]
     fn healthy_response_validates() {
         let f = fixture(1);
-        let v = check(&f, ResponderProfile::healthy(), ValidationConfig::default()).unwrap();
+        let v = check_ok(&f, ResponderProfile::healthy(), ValidationConfig::default());
         assert_eq!(v.status, CertStatus::Good);
         assert_eq!(v.this_update_margin, 3_600);
         assert_eq!(v.validity_period(), Some(7 * 86_400));
@@ -425,7 +434,7 @@ mod tests {
             now() - 50,
             Some(RevocationReason::Superseded),
         );
-        let v = check(&f, ResponderProfile::healthy(), ValidationConfig::default()).unwrap();
+        let v = check_ok(&f, ResponderProfile::healthy(), ValidationConfig::default());
         assert!(matches!(v.status, CertStatus::Revoked { .. }));
     }
 
@@ -476,12 +485,11 @@ mod tests {
     fn zero_margin_fails_slow_clock_only() {
         let f = fixture(6);
         // Zero margin + accurate clock: fine.
-        check(
+        check_ok(
             &f,
             ResponderProfile::healthy().margin(0),
             ValidationConfig::default(),
-        )
-        .unwrap();
+        );
         // Zero margin + clock 30 s slow: rejected as not yet valid.
         let err = check(
             &f,
@@ -494,15 +502,14 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, ResponseError::NotYetValid { early_by: 30 });
         // Healthy margin + slow clock: fine.
-        check(
+        check_ok(
             &f,
             ResponderProfile::healthy(),
             ValidationConfig {
                 clock_skew: -30,
                 require_next_update: false,
             },
-        )
-        .unwrap();
+        );
     }
 
     #[test]
@@ -531,23 +538,22 @@ mod tests {
             ValidationConfig::default(),
         )
         .unwrap_err();
-        match err {
-            ResponseError::Expired { late_by } => {
-                assert_eq!(late_by, 86_400 - (7_200 - 3_600));
+        assert_eq!(
+            err,
+            ResponseError::Expired {
+                late_by: 86_400 - (7_200 - 3_600)
             }
-            other => panic!("expected Expired, got {other:?}"),
-        }
+        );
     }
 
     #[test]
     fn blank_next_update_accepted_by_default_rejected_when_strict() {
         let f = fixture(9);
-        let v = check(
+        let v = check_ok(
             &f,
             ResponderProfile::healthy().blank_next_update(),
             ValidationConfig::default(),
-        )
-        .unwrap();
+        );
         assert!(v.blank_next_update);
         assert_eq!(v.validity_period(), None);
         assert_eq!(v.cacheable_for(now()), None);
@@ -597,8 +603,8 @@ mod tests {
         let mut responder =
             Responder::with_delegated_signer("u", ResponderProfile::healthy(), cert, key);
         let body = responder.handle(&f.ca, &OcspRequest::single(f.id.clone()), now());
-        let v =
-            validate_response(&body, &f.id, f.ca.certificate(), now(), Default::default()).unwrap();
+        let v = validate_response(&body, &f.id, f.ca.certificate(), now(), Default::default())
+            .expect("delegated response must validate against the issuing CA");
         assert_eq!(v.status, CertStatus::Good);
         assert_eq!(v.cert_count, 1);
     }
@@ -636,7 +642,7 @@ mod tests {
             now(),
             ValidationConfig::default(),
         )
-        .unwrap();
+        .expect("healthy body must validate");
 
         let malformed = fetch(
             &f,
@@ -695,7 +701,7 @@ mod tests {
                 now() + i,
                 ValidationConfig::default(),
             )
-            .unwrap();
+            .expect("cached validation of a healthy body must succeed");
             let plain = validate_response(
                 &ok_body,
                 &f.id,
@@ -703,7 +709,7 @@ mod tests {
                 now() + i,
                 ValidationConfig::default(),
             )
-            .unwrap();
+            .expect("uncached validation of a healthy body must succeed");
             assert_eq!(cached, plain);
         }
         assert_eq!(reg.counter("ocsp.validate.sigcache", "miss"), 1);
@@ -770,7 +776,7 @@ mod tests {
             now(),
             ValidationConfig::default(),
         )
-        .unwrap();
+        .expect("fresh response must validate");
         // Same bytes, a day later: the sig stage hits but the window
         // check must still reject.
         let err = validate_response_cached(
@@ -810,15 +816,14 @@ mod tests {
     #[test]
     fn validity_metrics_exposed() {
         let f = fixture(13);
-        let v = check(
+        let v = check_ok(
             &f,
             ResponderProfile::healthy()
                 .validity(30 * 86_400 + 1) // the "over one month" hazard
                 .superfluous_certs(3)
                 .extra_serials(19),
             ValidationConfig::default(),
-        )
-        .unwrap();
+        );
         assert_eq!(v.validity_period(), Some(30 * 86_400 + 1));
         assert_eq!(v.cert_count, 3);
         assert_eq!(v.serial_count, 20);

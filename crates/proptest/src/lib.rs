@@ -413,7 +413,7 @@ pub mod test_runner {
         }
     }
 
-    fn fnv1a(s: &str) -> u64 {
+    fn seed_from_name(s: &str) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in s.bytes() {
             h ^= u64::from(b);
@@ -432,7 +432,7 @@ pub mod test_runner {
         S: Strategy,
         F: Fn(S::Value) -> Result<(), TestCaseError>,
     {
-        let mut rng = StdRng::seed_from_u64(fnv1a(name));
+        let mut rng = StdRng::seed_from_u64(seed_from_name(name));
         let mut accepted: u32 = 0;
         let mut rejected: u32 = 0;
         let max_rejects = config.cases.saturating_mul(16).max(1024);

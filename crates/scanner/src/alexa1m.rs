@@ -95,6 +95,7 @@ impl Alexa1mScan {
         });
 
         let mut telemetry = Registry::new();
+        // detlint::allow(wall-clock): merge wall timing feeds a telemetry span, which is excluded from artifact equality
         let merge_started = Instant::now();
         let mut sao_paulo_persistent = 0u64;
         for (contribution, shard_telemetry) in contributions.iter().flatten() {

@@ -19,7 +19,7 @@ use ecosystem::LiveEcosystem;
 use netsim::{HttpOutcome, Region, World};
 use ocsp::{validate_response_cached, CertStatus, OcspRequest, SigVerifyCache, ValidationConfig};
 use pki::Crl;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 use telemetry::Registry;
 
@@ -199,6 +199,7 @@ impl ConsistencyStudy {
             }
 
             let mut partial = ShardSummary {
+                // detlint::allow(unordered-iter): a count over all values is order-insensitive
                 crls_fetched: crls.values().filter(|c| c.is_some()).count(),
                 responses_collected: 0,
                 requests: 0,
@@ -210,7 +211,10 @@ impl ConsistencyStudy {
                 reason_other_mismatch: 0,
                 telemetry: Registry::new(),
             };
-            let mut per_responder: HashMap<String, DiscrepantResponder> = HashMap::new();
+            // BTreeMap, not HashMap: `into_values` feeds `partial.rows`,
+            // so the iteration order is artifact-relevant — keyed by URL
+            // it yields rows in a deterministic (sorted) order.
+            let mut per_responder: BTreeMap<String, DiscrepantResponder> = BTreeMap::new();
 
             // Step 2: OCSP for every revoked target; compare.
             for &idx in &targets_of[shard] {
@@ -295,6 +299,7 @@ impl ConsistencyStudy {
             reason_other_mismatch: 0,
             telemetry: Registry::new(),
         };
+        // detlint::allow(wall-clock): merge wall timing feeds a telemetry span, which is excluded from artifact equality
         let merge_started = Instant::now();
         for partial in shards.into_iter().flatten() {
             summary.crls_fetched += partial.crls_fetched;
@@ -388,6 +393,21 @@ mod tests {
                 "workers={workers}"
             );
         }
+    }
+
+    #[test]
+    fn table1_row_order_is_deterministic_and_sorted() {
+        // Regression: `per_responder` was once a HashMap, so intra-shard
+        // row order leaked hash order into Table 1 until the final sort.
+        // With the BTreeMap the rows are sorted (and thus repeatable) at
+        // every stage.
+        let a = summary();
+        let b = summary();
+        assert_eq!(a.table1, b.table1);
+        let urls: Vec<&str> = a.table1.iter().map(|r| r.ocsp_url.as_str()).collect();
+        let mut sorted = urls.clone();
+        sorted.sort();
+        assert_eq!(urls, sorted, "Table 1 rows must come out sorted by URL");
     }
 
     #[test]

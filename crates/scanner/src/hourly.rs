@@ -735,6 +735,7 @@ impl<'a> HourlyCampaign<'a> {
         // the serial probe sequence exactly.
         let mut requests = 0u64;
         let mut telemetry = Registry::new();
+        // detlint::allow(wall-clock): merge wall timing feeds a telemetry span, which is excluded from artifact equality
         let merge_started = Instant::now();
         let mut per_region: Vec<(Region, TimeSeries)> = Region::VANTAGE_POINTS
             .iter()

@@ -4,12 +4,11 @@
 use crate::server::SiteConfig;
 use asn1::Time;
 use ocsp::{CertId, OcspRequest, OcspResponse, Responder, ResponderProfile, ResponseStatus};
-use pki::{Certificate, CertificateAuthority, IssueParams};
+use pki::{CertificateAuthority, IssueParams};
 use rand::{rngs::StdRng, SeedableRng};
 
 pub struct Fixture {
     pub ca: CertificateAuthority,
-    pub leaf: Certificate,
     pub id: CertId,
     pub site: SiteConfig,
 }
@@ -26,7 +25,7 @@ pub fn fixture(seed: u64) -> Fixture {
     let site = SiteConfig {
         chain: vec![leaf.clone(), ca.certificate().clone()],
     };
-    Fixture { ca, leaf, id, site }
+    Fixture { ca, id, site }
 }
 
 /// Healthy 7-day-validity response bytes generated at `now`.

@@ -5,4 +5,6 @@
 //! surface lives in the workspace crates; the most convenient entry point
 //! is the [`mustaple`] crate, which re-exports everything.
 
+#![forbid(unsafe_code)]
+
 pub use mustaple as core;
