@@ -16,8 +16,11 @@
 //! CSVs — parallelism is purely a wall-clock knob.
 //!
 //! `--telemetry` additionally dumps the campaigns' deterministic
-//! counters and histograms to `telemetry.csv` (byte-identical for every
-//! worker count) with an ASCII summary on stdout.
+//! counters and histograms to `telemetry.csv`, a Prometheus text
+//! exposition to `telemetry.prom`, and the simulated-clock span tree to
+//! `trace.jsonl` (all byte-identical for every worker count), with
+//! histogram quantiles, the span tree, and wall timings summarized on
+//! stdout. Diff two runs' expositions with `cargo run -p teldiff`.
 
 #![forbid(unsafe_code)]
 
@@ -115,6 +118,18 @@ fn main() {
                     .expect("write readiness report");
             }
             "bench-scan" => emit(&out_dir, &bench_scan(&config)),
+            "telemetry" => {
+                let artifact = build("telemetry", &results).expect("telemetry artifact");
+                emit(&out_dir, &artifact);
+                fs::write(
+                    out_dir.join("telemetry.prom"),
+                    results.telemetry.to_prometheus(),
+                )
+                .expect("write Prometheus exposition");
+                fs::write(out_dir.join("trace.jsonl"), results.trace.to_jsonl())
+                    .expect("write trace spans");
+                println!("{}", mustaple_bench::telemetry_report(&results));
+            }
             name => match build(name, &results) {
                 Some(artifact) => emit(&out_dir, &artifact),
                 None => eprintln!("warning: unknown artifact `{name}` (skipped)"),

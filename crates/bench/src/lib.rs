@@ -660,6 +660,38 @@ fn telemetry_artifact(results: &StudyResults) -> Artifact {
     }
 }
 
+/// The human-oriented report printed by `figures --telemetry`:
+/// log2-interpolated histogram quantiles, the simulated-clock span
+/// tree, and the wall-clock report. Everything above the wall section
+/// is deterministic; the wall section is informational only and is
+/// excluded from every on-disk artifact.
+pub fn telemetry_report(results: &StudyResults) -> String {
+    let reg = &results.telemetry;
+    let mut out = String::new();
+    out.push_str("-- histogram quantiles (log2-interpolated) --\n");
+    let mut table = Table::new(&["metric", "label", "p50", "p90", "p99"]);
+    let mut any = false;
+    for (metric, label, h) in reg.histograms() {
+        any = true;
+        let q = |q: f64| {
+            h.quantile(q)
+                .map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "n/a".into())
+        };
+        table.row(&[metric.into(), label.into(), q(0.5), q(0.9), q(0.99)]);
+    }
+    if any {
+        out.push_str(&table.render());
+    } else {
+        out.push_str("(no histogram series recorded)\n");
+    }
+    out.push_str("\n-- span tree (simulated hours) --\n");
+    out.push_str(&results.trace.render_ascii(1));
+    out.push_str("\n-- wall timings (informational, excluded from artifacts) --\n");
+    out.push_str(&reg.wall_report());
+    out
+}
+
 /// The `bench-scan` artifact: serial vs parallel wall-clock for the
 /// hourly campaign, over the same ecosystem. Also sanity-checks the two
 /// runs agree (request count and responder reports), so the artifact

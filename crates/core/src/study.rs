@@ -45,6 +45,10 @@ pub struct StudyResults {
     /// alexa1m, consistency, cdn, table3 rows) so the combined registry
     /// is identical for every worker count.
     pub telemetry: telemetry::Registry,
+    /// Deterministic self-profile: a `campaign` root span over the four
+    /// scan pipelines' span trees (the `trace.jsonl` artifact; see
+    /// [`telemetry::trace`]).
+    pub trace: telemetry::trace::Span,
 }
 
 impl Study {
@@ -99,6 +103,17 @@ impl Study {
             telemetry.merge(&row.telemetry);
         }
 
+        // One root over the four pipelines, in the fixed merge order.
+        let trace = telemetry::trace::Span::aggregate(
+            "campaign",
+            vec![
+                hourly.trace.clone(),
+                alexa1m.trace.clone(),
+                consistency.trace.clone(),
+                cdn.trace.clone(),
+            ],
+        );
+
         StudyResults {
             config: self.config,
             corpus: corpus_stats,
@@ -111,6 +126,7 @@ impl Study {
             browsers,
             table3,
             telemetry,
+            trace,
         }
     }
 }

@@ -377,6 +377,23 @@ impl World {
             self.telemetry.incr("net.failure.http", client.label());
             HttpOutcome::HttpError(status)
         };
+        // Simulated warm-path (DNS-cached) latency, per vantage point.
+        // Model-derived and hash-jittered, never wall clock. The cold-DNS
+        // surcharge is excluded on purpose: DNS cache state is per-world
+        // (one world per shard chunk), so including it would make the
+        // histogram depend on the chunk plan and break the exported
+        // telemetry's chunking invariance.
+        let warm_ms = http_latency_ms(
+            self.topo.seed,
+            hostname,
+            client,
+            host.region,
+            now,
+            false,
+            host.server_time_ms,
+        );
+        self.telemetry
+            .observe("net.latency_ms", client.label(), warm_ms as u64);
         HttpResult {
             outcome,
             latency_ms,

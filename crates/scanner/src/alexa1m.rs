@@ -13,6 +13,7 @@ use crate::hourly::HourlyDataset;
 use asn1::Time;
 use netsim::Region;
 use std::time::Instant;
+use telemetry::trace::Span;
 use telemetry::Registry;
 
 /// Analysis wrapper over a completed campaign.
@@ -32,6 +33,11 @@ pub struct Alexa1mSummary {
     /// Per-shard contribution counters (`scan.alexa1m.*`), merged in
     /// shard-id order.
     pub telemetry: Registry,
+    /// Deterministic self-profile: one `scan.alexa1m` span over one
+    /// responder span per shard; the analysis reads the whole campaign,
+    /// so every span covers the full simulated hour range, with the
+    /// responder's Alexa domain weight as its work units.
+    pub trace: Span,
 }
 
 impl Alexa1mScan {
@@ -72,27 +78,42 @@ impl Alexa1mScan {
         // arithmetic ops, so the chunked API is used in its degenerate
         // (RNG-compatible) form purely for executor uniformity.
         let chunk_counts = vec![1usize; dataset.responders.len()];
-        let contributions = executor.run_chunked(0, &chunk_counts, |shard, _chunk, _rng| {
-            let report = &dataset.responders[shard];
-            // "Persistent" as the paper used it: dark from São Paulo for
-            // essentially the whole campaign while reachable elsewhere.
-            // (The digitalcertvalidation responders were fixed on Aug 31
-            // — footnote 11 — so a strict never-succeeded test would
-            // undercount them.)
-            let attempts = report.attempts[sp].max(1);
-            let dead_fraction = 1.0 - report.successes[sp] as f64 / attempts as f64;
-            let alive_elsewhere = (0..6).any(|i| i != sp && report.successes[i] > 0);
-            let mut shard_telemetry = Registry::new();
-            shard_telemetry.incr("scan.alexa1m.responders_evaluated", &report.url);
-            let contribution = if dead_fraction >= 0.9 && alive_elsewhere {
-                let weight = dataset.alexa_weights[shard] as u64;
-                shard_telemetry.add("scan.alexa1m.persistent_domains", &report.url, weight);
-                weight
-            } else {
-                0
-            };
-            (contribution, shard_telemetry)
-        });
+        let (campaign_start_hour, campaign_end_hour) =
+            (dataset.trace.start_hour, dataset.trace.end_hour);
+        let (contributions, shard_spans) = executor.run_chunked_traced(
+            0,
+            &chunk_counts,
+            |shard| dataset.responders[shard].url.clone(),
+            |shard, _chunk, _rng| {
+                let report = &dataset.responders[shard];
+                // "Persistent" as the paper used it: dark from São Paulo for
+                // essentially the whole campaign while reachable elsewhere.
+                // (The digitalcertvalidation responders were fixed on Aug 31
+                // — footnote 11 — so a strict never-succeeded test would
+                // undercount them.)
+                let attempts = report.attempts[sp].max(1);
+                let dead_fraction = 1.0 - report.successes[sp] as f64 / attempts as f64;
+                let alive_elsewhere = (0..6).any(|i| i != sp && report.successes[i] > 0);
+                let mut shard_telemetry = Registry::new();
+                shard_telemetry.incr("scan.alexa1m.responders_evaluated", &report.url);
+                let contribution = if dead_fraction >= 0.9 && alive_elsewhere {
+                    let weight = dataset.alexa_weights[shard] as u64;
+                    shard_telemetry.add("scan.alexa1m.persistent_domains", &report.url, weight);
+                    weight
+                } else {
+                    0
+                };
+                // The analysis reads the whole campaign for this responder;
+                // its weight (domains depending on it) is the work covered.
+                let span = Span::leaf(
+                    "chunk 0",
+                    campaign_start_hour,
+                    campaign_end_hour,
+                    dataset.alexa_weights[shard] as u64,
+                );
+                ((contribution, shard_telemetry), span)
+            },
+        );
 
         let mut telemetry = Registry::new();
         // detlint::allow(wall-clock): merge wall timing feeds a telemetry span, which is excluded from artifact equality
@@ -111,6 +132,7 @@ impl Alexa1mScan {
             sao_paulo_persistent,
             total_domains,
             telemetry,
+            trace: Span::aggregate("scan.alexa1m", shard_spans),
         }
     }
 }

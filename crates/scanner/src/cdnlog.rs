@@ -15,6 +15,7 @@ use ocsp::{OcspRequest, OcspResponse, ResponseStatus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use telemetry::trace::Span;
 
 /// Study results.
 #[derive(Debug, Clone)]
@@ -32,6 +33,10 @@ pub struct CdnSummary {
     /// Study telemetry: per-edge lookup counters plus everything the
     /// world recorded (edge hits/misses/origin fetches per region).
     pub telemetry: telemetry::Registry,
+    /// Deterministic self-profile: one `scan.cdnlog` span over the
+    /// single replay work unit, covering the replayed hour window with
+    /// one unit per lookup.
+    pub trace: Span,
 }
 
 /// The study driver.
@@ -64,13 +69,22 @@ impl CdnStudy {
         lookups_per_hour: usize,
         executor: &Executor,
     ) -> CdnSummary {
-        let mut out =
-            executor.run_chunked(eco.config.seed ^ 0xCD11, &[1], |_shard, _chunk, _rng| {
-                CdnStudy::replay(eco, start, hours, lookups_per_hour)
-            });
-        out.pop()
+        let (mut out, spans) = executor.run_chunked_traced(
+            eco.config.seed ^ 0xCD11,
+            &[1],
+            |_shard| "replay".to_string(),
+            |_shard, _chunk, _rng| {
+                let summary = CdnStudy::replay(eco, start, hours, lookups_per_hour);
+                let span = summary.trace.clone();
+                (summary, span)
+            },
+        );
+        let mut summary = out
+            .pop()
             .and_then(|mut chunks| chunks.pop())
-            .expect("one work unit")
+            .expect("one work unit");
+        summary.trace = Span::aggregate("scan.cdnlog", spans);
+        summary
     }
 
     /// The sequential replay body.
@@ -161,6 +175,12 @@ impl CdnStudy {
             },
             origin_fetches: origin,
             telemetry: world.take_telemetry(),
+            trace: Span::leaf(
+                "chunk 0",
+                ((start - eco.config.campaign_start).max(0) / 3_600) as u64,
+                ((start - eco.config.campaign_start).max(0) / 3_600 + hours.max(0)) as u64,
+                lookups,
+            ),
         }
     }
 }

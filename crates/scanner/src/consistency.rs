@@ -21,6 +21,7 @@ use ocsp::{validate_response_cached, CertStatus, OcspRequest, SigVerifyCache, Va
 use pki::Crl;
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
+use telemetry::trace::Span;
 use telemetry::Registry;
 
 /// One Table 1 row: a responder whose OCSP answers disagree with its CRL.
@@ -64,6 +65,11 @@ pub struct ConsistencySummary {
     /// order: CRL fetches, per-responder request counts, and one
     /// `scan.consistency.validate` counter per validation outcome.
     pub telemetry: Registry,
+    /// Deterministic self-profile: one `scan.consistency` span over one
+    /// operator span per shard. The study probes a single simulated
+    /// instant, so every span is a point at that campaign hour, with the
+    /// shard's request count as its work units.
+    pub trace: Span,
 }
 
 impl ConsistencySummary {
@@ -163,127 +169,136 @@ impl ConsistencyStudy {
         // to cut, so the chunked API is used in its degenerate
         // (RNG-compatible) form.
         let chunk_counts = vec![1usize; eco.operators.len()];
-        let shards = executor.run_chunked(eco.config.seed, &chunk_counts, |shard, _chunk, _rng| {
-            let mut world = World::from_topology(topo.clone());
-            // Memoized signature verification for this operator's
-            // responders — repeated bodies (shared windows, load
-            // balancing) verify once.
-            let mut sigcache = SigVerifyCache::new();
+        // The single probe instant, as a simulated campaign hour.
+        let study_hour = ((at - eco.config.campaign_start).max(0) / 3_600) as u64;
+        let (shards, shard_spans) = executor.run_chunked_traced(
+            eco.config.seed,
+            &chunk_counts,
+            |shard| eco.operators[shard].name.clone(),
+            |shard, _chunk, _rng| {
+                let mut world = World::from_topology(topo.clone());
+                // Memoized signature verification for this operator's
+                // responders — repeated bodies (shared windows, load
+                // balancing) verify once.
+                let mut sigcache = SigVerifyCache::new();
 
-            // Step 1: fetch and parse this operator's CRLs once each.
-            let mut crls: HashMap<String, Option<Crl>> = HashMap::new();
-            for &idx in &targets_of[shard] {
-                let target = &eco.revoked[idx];
-                crls.entry(target.crl_url.clone()).or_insert_with(|| {
-                    match world.http_post(vantage, &target.crl_url, b"", at).outcome {
-                        HttpOutcome::Ok(body) => {
-                            let parsed = Crl::from_der(&body).ok();
-                            let label = if parsed.is_some() {
-                                "ok"
-                            } else {
-                                "unparseable"
-                            };
-                            world
-                                .telemetry_mut()
-                                .incr("scan.consistency.crl_fetch", label);
-                            parsed
+                // Step 1: fetch and parse this operator's CRLs once each.
+                let mut crls: HashMap<String, Option<Crl>> = HashMap::new();
+                for &idx in &targets_of[shard] {
+                    let target = &eco.revoked[idx];
+                    crls.entry(target.crl_url.clone()).or_insert_with(|| {
+                        match world.http_post(vantage, &target.crl_url, b"", at).outcome {
+                            HttpOutcome::Ok(body) => {
+                                let parsed = Crl::from_der(&body).ok();
+                                let label = if parsed.is_some() {
+                                    "ok"
+                                } else {
+                                    "unparseable"
+                                };
+                                world
+                                    .telemetry_mut()
+                                    .incr("scan.consistency.crl_fetch", label);
+                                parsed
+                            }
+                            _ => {
+                                world
+                                    .telemetry_mut()
+                                    .incr("scan.consistency.crl_fetch", "unreachable");
+                                None
+                            }
                         }
-                        _ => {
-                            world
-                                .telemetry_mut()
-                                .incr("scan.consistency.crl_fetch", "unreachable");
-                            None
+                    });
+                }
+
+                let mut partial = ShardSummary {
+                    // detlint::allow(unordered-iter): a count over all values is order-insensitive
+                    crls_fetched: crls.values().filter(|c| c.is_some()).count(),
+                    responses_collected: 0,
+                    requests: 0,
+                    rows: Vec::new(),
+                    time_diffs: Vec::new(),
+                    reason_crl_only: 0,
+                    reason_match: 0,
+                    reason_absent: 0,
+                    reason_other_mismatch: 0,
+                    telemetry: Registry::new(),
+                };
+                // BTreeMap, not HashMap: `into_values` feeds `partial.rows`,
+                // so the iteration order is artifact-relevant — keyed by URL
+                // it yields rows in a deterministic (sorted) order.
+                let mut per_responder: BTreeMap<String, DiscrepantResponder> = BTreeMap::new();
+
+                // Step 2: OCSP for every revoked target; compare.
+                for &idx in &targets_of[shard] {
+                    let target = &eco.revoked[idx];
+                    let Some(Some(crl)) = crls.get(&target.crl_url) else {
+                        continue;
+                    };
+                    let Some(crl_entry) = crl.find(&target.serial) else {
+                        continue;
+                    };
+
+                    partial.requests += 1;
+                    world
+                        .telemetry_mut()
+                        .incr("scan.consistency.probes", &target.url);
+                    let req = OcspRequest::single(target.cert_id.clone()).to_der();
+                    let HttpOutcome::Ok(body) =
+                        world.http_post(vantage, &target.url, &req, at).outcome
+                    else {
+                        continue;
+                    };
+                    // "Collected" means an HTTP response arrived (the paper's
+                    // 99.9 %); unusable bodies are then excluded from comparison.
+                    partial.responses_collected += 1;
+                    let issuer = eco.issuer_of(target.operator);
+                    let Ok(validated) = validate_response_cached(
+                        world.telemetry_mut(),
+                        "scan.consistency.validate",
+                        &mut sigcache,
+                        &body,
+                        &target.cert_id,
+                        issuer,
+                        at,
+                        ValidationConfig::default(),
+                    ) else {
+                        continue;
+                    };
+
+                    let row = per_responder.entry(target.url.clone()).or_insert_with(|| {
+                        DiscrepantResponder {
+                            ocsp_url: target.url.clone(),
+                            crl_url: target.crl_url.clone(),
+                            unknown: 0,
+                            good: 0,
+                            revoked: 0,
                         }
-                    }
-                });
-            }
-
-            let mut partial = ShardSummary {
-                // detlint::allow(unordered-iter): a count over all values is order-insensitive
-                crls_fetched: crls.values().filter(|c| c.is_some()).count(),
-                responses_collected: 0,
-                requests: 0,
-                rows: Vec::new(),
-                time_diffs: Vec::new(),
-                reason_crl_only: 0,
-                reason_match: 0,
-                reason_absent: 0,
-                reason_other_mismatch: 0,
-                telemetry: Registry::new(),
-            };
-            // BTreeMap, not HashMap: `into_values` feeds `partial.rows`,
-            // so the iteration order is artifact-relevant — keyed by URL
-            // it yields rows in a deterministic (sorted) order.
-            let mut per_responder: BTreeMap<String, DiscrepantResponder> = BTreeMap::new();
-
-            // Step 2: OCSP for every revoked target; compare.
-            for &idx in &targets_of[shard] {
-                let target = &eco.revoked[idx];
-                let Some(Some(crl)) = crls.get(&target.crl_url) else {
-                    continue;
-                };
-                let Some(crl_entry) = crl.find(&target.serial) else {
-                    continue;
-                };
-
-                partial.requests += 1;
-                world
-                    .telemetry_mut()
-                    .incr("scan.consistency.probes", &target.url);
-                let req = OcspRequest::single(target.cert_id.clone()).to_der();
-                let HttpOutcome::Ok(body) = world.http_post(vantage, &target.url, &req, at).outcome
-                else {
-                    continue;
-                };
-                // "Collected" means an HTTP response arrived (the paper's
-                // 99.9 %); unusable bodies are then excluded from comparison.
-                partial.responses_collected += 1;
-                let issuer = eco.issuer_of(target.operator);
-                let Ok(validated) = validate_response_cached(
-                    world.telemetry_mut(),
-                    "scan.consistency.validate",
-                    &mut sigcache,
-                    &body,
-                    &target.cert_id,
-                    issuer,
-                    at,
-                    ValidationConfig::default(),
-                ) else {
-                    continue;
-                };
-
-                let row = per_responder.entry(target.url.clone()).or_insert_with(|| {
-                    DiscrepantResponder {
-                        ocsp_url: target.url.clone(),
-                        crl_url: target.crl_url.clone(),
-                        unknown: 0,
-                        good: 0,
-                        revoked: 0,
-                    }
-                });
-                match validated.status {
-                    CertStatus::Good => row.good += 1,
-                    CertStatus::Unknown => row.unknown += 1,
-                    CertStatus::Revoked { time, reason } => {
-                        row.revoked += 1;
-                        partial.time_diffs.push(time - crl_entry.revocation_time);
-                        match (crl_entry.reason, reason) {
-                            (None, None) => partial.reason_absent += 1,
-                            (Some(a), Some(b)) if a == b => partial.reason_match += 1,
-                            (Some(_), None) => partial.reason_crl_only += 1,
-                            _ => partial.reason_other_mismatch += 1,
+                    });
+                    match validated.status {
+                        CertStatus::Good => row.good += 1,
+                        CertStatus::Unknown => row.unknown += 1,
+                        CertStatus::Revoked { time, reason } => {
+                            row.revoked += 1;
+                            partial.time_diffs.push(time - crl_entry.revocation_time);
+                            match (crl_entry.reason, reason) {
+                                (None, None) => partial.reason_absent += 1,
+                                (Some(a), Some(b)) if a == b => partial.reason_match += 1,
+                                (Some(_), None) => partial.reason_crl_only += 1,
+                                _ => partial.reason_other_mismatch += 1,
+                            }
                         }
                     }
                 }
-            }
 
-            partial.rows = per_responder
-                .into_values()
-                .filter(|row| row.unknown + row.good > 0)
-                .collect();
-            partial.telemetry = world.take_telemetry();
-            partial
-        });
+                partial.rows = per_responder
+                    .into_values()
+                    .filter(|row| row.unknown + row.good > 0)
+                    .collect();
+                partial.telemetry = world.take_telemetry();
+                let span = Span::leaf("chunk 0", study_hour, study_hour, partial.requests);
+                (partial, span)
+            },
+        );
 
         // Canonical merge in shard-id (operator) order; Table 1 gets a
         // final global sort, so intra-shard row order is irrelevant.
@@ -298,6 +313,7 @@ impl ConsistencyStudy {
             reason_absent: 0,
             reason_other_mismatch: 0,
             telemetry: Registry::new(),
+            trace: Span::aggregate("scan.consistency", shard_spans),
         };
         // detlint::allow(wall-clock): merge wall timing feeds a telemetry span, which is excluded from artifact equality
         let merge_started = Instant::now();

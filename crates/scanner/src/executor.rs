@@ -28,6 +28,7 @@ use rand::SeedableRng;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use telemetry::trace::Span;
 
 /// Derive the RNG seed for one shard from the campaign's base seed.
 ///
@@ -221,6 +222,43 @@ impl Executor {
             .map(|&c| (&mut results).take(c).collect())
             .collect()
     }
+
+    /// [`Executor::run_chunked`], with a deterministic trace span per
+    /// chunk.
+    ///
+    /// `job` returns `(result, span)` per chunk; chunk spans aggregate
+    /// into one shard span named by `shard_name(shard_id)` (envelope
+    /// hours, summed units — see [`Span::aggregate`]). Returns the
+    /// per-shard results exactly as [`Executor::run_chunked`] would,
+    /// plus the shard spans in shard-id order, so the trace is as
+    /// worker-count-independent as the results themselves.
+    pub fn run_chunked_traced<R, F, N>(
+        &self,
+        base_seed: u64,
+        chunks_per_shard: &[usize],
+        shard_name: N,
+        job: F,
+    ) -> (Vec<Vec<R>>, Vec<Span>)
+    where
+        R: Send,
+        F: Fn(usize, usize, &mut StdRng) -> (R, Span) + Sync,
+        N: Fn(usize) -> String,
+    {
+        let per_shard = self.run_chunked(base_seed, chunks_per_shard, job);
+        let mut results = Vec::with_capacity(per_shard.len());
+        let mut spans = Vec::with_capacity(per_shard.len());
+        for (shard, pairs) in per_shard.into_iter().enumerate() {
+            let mut shard_results = Vec::with_capacity(pairs.len());
+            let mut chunk_spans = Vec::with_capacity(pairs.len());
+            for (result, span) in pairs {
+                shard_results.push(result);
+                chunk_spans.push(span);
+            }
+            results.push(shard_results);
+            spans.push(Span::aggregate(shard_name(shard), chunk_spans));
+        }
+        (results, spans)
+    }
 }
 
 impl Default for Executor {
@@ -365,6 +403,44 @@ mod tests {
         );
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(Vec::<()>::is_empty));
+    }
+
+    #[test]
+    fn traced_chunking_matches_plain_and_aggregates_spans() {
+        let chunks = [2usize, 1, 3];
+        let plain_job = |shard: usize, chunk: usize, rng: &mut StdRng| -> u64 {
+            rng.next_u64().wrapping_add((shard * 10 + chunk) as u64)
+        };
+        let traced_job = |shard: usize, chunk: usize, rng: &mut StdRng| -> (u64, Span) {
+            let value = plain_job(shard, chunk, rng);
+            let start = (chunk * 4) as u64;
+            (
+                value,
+                Span::leaf(format!("chunk {chunk}"), start, start + 4, 1),
+            )
+        };
+        let plain = Executor::serial().run_chunked(7, &chunks, plain_job);
+        let (results, spans) = Executor::serial().run_chunked_traced(
+            7,
+            &chunks,
+            |shard| format!("shard {shard}"),
+            traced_job,
+        );
+        assert_eq!(results, plain, "tracing must not perturb results");
+        assert_eq!(spans.len(), chunks.len());
+        assert_eq!(spans[0].name, "shard 0");
+        assert_eq!((spans[0].start_hour, spans[0].end_hour), (0, 8));
+        assert_eq!(spans[0].units, 2);
+        assert_eq!(spans[2].children.len(), 3);
+        for workers in [2usize, 4] {
+            let (_, parallel_spans) = Executor::new(NonZeroUsize::new(workers)).run_chunked_traced(
+                7,
+                &chunks,
+                |shard| format!("shard {shard}"),
+                traced_job,
+            );
+            assert_eq!(spans, parallel_spans, "workers={workers} trace diverged");
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ use ocsp::{validate_response_cached, OcspRequest, SigVerifyCache, ValidationConf
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
+use telemetry::trace::Span;
 use telemetry::Registry;
 
 /// Per-responder accumulators.
@@ -178,6 +179,10 @@ pub struct HourlyDataset {
     /// the per-shard worlds recorded (net failures, responder faults),
     /// merged in canonical shard order.
     pub telemetry: Registry,
+    /// Deterministic self-profile: one `scan.hourly` span over one
+    /// responder span per shard over one span per time chunk, stamped
+    /// with simulated campaign hours (see [`telemetry::trace`]).
+    pub trace: Span,
 }
 
 impl HourlyDataset {
@@ -614,121 +619,134 @@ impl<'a> HourlyCampaign<'a> {
         // The campaign draws no randomness of its own (probe times are
         // FNV-staggered, latency is a pure hash) — the unit RNG is part
         // of the executor contract but unused here.
-        let shards = executor.run_chunked(config.seed, &chunk_counts, |shard, chunk, _rng| {
-            let (start_round, end_round) = plans[shard][chunk];
-            let host = &eco.responders[shard];
-            let mut world = World::from_topology(topo.clone());
-            // Signature verification is memoized per work unit; entries
-            // never outlive the generation window that produced their
-            // bytes, so per-chunk caches count exactly like a
-            // per-responder one.
-            let mut sigcache = SigVerifyCache::new();
-            let mut records = ChunkRecords {
-                requests: 0,
-                report: ResponderReport::new(&host.url, &eco.operators[host.operator].name),
-                first_target_ok: std::array::from_fn(|_| Vec::new()),
-                per_region_success: (0..6).map(|_| TimeSeries::new(bin)).collect(),
-                class_series: ErrorClass::ALL
-                    .iter()
-                    .map(|_| TimeSeries::new(bin))
-                    .collect(),
-                alexa_unreachable: (0..6).map(|_| TimeSeries::new(bin)).collect(),
-                telemetry: Registry::new(),
-            };
-            let report = &mut records.report;
-            for round in start_round..end_round {
-                world.telemetry_mut().incr("scan.hourly.rounds", &host.url);
-                let round_start = config.campaign_start + round as i64 * config.scan_interval;
-                let t = round_start + offsets[shard];
-                for (region_idx, &region) in Region::VANTAGE_POINTS.iter().enumerate() {
-                    for &target_idx in &targets_of[shard] {
-                        let target = &eco.scan_targets[target_idx];
-                        records.requests += 1;
-                        world.telemetry_mut().incr("scan.hourly.probes", &host.url);
-                        let result =
-                            world.http_post(region, &target.url, &requests_der[target_idx], t);
-                        report.attempts[region_idx] += 1;
-                        let probe_ok = matches!(result.outcome, HttpOutcome::Ok(_));
-                        if first_target_of[shard] == Some(target_idx) {
-                            records.first_target_ok[region_idx].push(probe_ok);
-                        }
-
-                        let outcome = match result.outcome {
-                            HttpOutcome::Ok(body) => {
-                                report.successes[region_idx] += 1;
-                                match validate_response_cached(
-                                    world.telemetry_mut(),
-                                    "scan.hourly.validate",
-                                    &mut sigcache,
-                                    &body,
-                                    &target.cert_id,
-                                    eco.issuer_of(target.operator),
-                                    t,
-                                    ValidationConfig::default(),
-                                ) {
-                                    Ok(validated) => ProbeOutcome::Valid(validated),
-                                    Err(err) => classify_validation_error(err),
-                                }
+        let (shards, shard_spans) = executor.run_chunked_traced(
+            config.seed,
+            &chunk_counts,
+            |shard| eco.responders[shard].hostname.clone(),
+            |shard, chunk, _rng| {
+                let (start_round, end_round) = plans[shard][chunk];
+                let host = &eco.responders[shard];
+                let mut world = World::from_topology(topo.clone());
+                // Signature verification is memoized per work unit; entries
+                // never outlive the generation window that produced their
+                // bytes, so per-chunk caches count exactly like a
+                // per-responder one.
+                let mut sigcache = SigVerifyCache::new();
+                let mut records = ChunkRecords {
+                    requests: 0,
+                    report: ResponderReport::new(&host.url, &eco.operators[host.operator].name),
+                    first_target_ok: std::array::from_fn(|_| Vec::new()),
+                    per_region_success: (0..6).map(|_| TimeSeries::new(bin)).collect(),
+                    class_series: ErrorClass::ALL
+                        .iter()
+                        .map(|_| TimeSeries::new(bin))
+                        .collect(),
+                    alexa_unreachable: (0..6).map(|_| TimeSeries::new(bin)).collect(),
+                    telemetry: Registry::new(),
+                };
+                let report = &mut records.report;
+                for round in start_round..end_round {
+                    world.telemetry_mut().incr("scan.hourly.rounds", &host.url);
+                    let round_start = config.campaign_start + round as i64 * config.scan_interval;
+                    let t = round_start + offsets[shard];
+                    for (region_idx, &region) in Region::VANTAGE_POINTS.iter().enumerate() {
+                        for &target_idx in &targets_of[shard] {
+                            let target = &eco.scan_targets[target_idx];
+                            records.requests += 1;
+                            world.telemetry_mut().incr("scan.hourly.probes", &host.url);
+                            let result =
+                                world.http_post(region, &target.url, &requests_der[target_idx], t);
+                            report.attempts[region_idx] += 1;
+                            let probe_ok = matches!(result.outcome, HttpOutcome::Ok(_));
+                            if first_target_of[shard] == Some(target_idx) {
+                                records.first_target_ok[region_idx].push(probe_ok);
                             }
-                            other => ProbeOutcome::TransportFailure(other),
-                        };
 
-                        records.per_region_success[region_idx]
-                            .record_bool(t, outcome.http_success());
-                        if first_target_of[shard] == Some(target_idx) {
-                            let weight = alexa_weights[shard] as u64;
-                            let down = if outcome.http_success() { 0 } else { weight };
-                            records.alexa_unreachable[region_idx].record_hits(t, down, weight);
-                        }
-                        if outcome.http_success() {
-                            for (class_idx, class) in ErrorClass::ALL.iter().enumerate() {
-                                records.class_series[class_idx]
-                                    .record_bool(t, outcome.error_class() == Some(*class));
-                            }
-                        }
-                        match &outcome {
-                            ProbeOutcome::Valid(v) => {
-                                report.valid += 1;
-                                report.quality_samples += 1;
-                                report.cert_count_sum += v.cert_count as u64;
-                                report.serial_count_sum += v.serial_count as u64;
-                                match v.validity_period() {
-                                    Some(secs) => {
-                                        report.validity_sum += secs;
-                                        report.validity_samples += 1;
+                            let outcome = match result.outcome {
+                                HttpOutcome::Ok(body) => {
+                                    report.successes[region_idx] += 1;
+                                    match validate_response_cached(
+                                        world.telemetry_mut(),
+                                        "scan.hourly.validate",
+                                        &mut sigcache,
+                                        &body,
+                                        &target.cert_id,
+                                        eco.issuer_of(target.operator),
+                                        t,
+                                        ValidationConfig::default(),
+                                    ) {
+                                        Ok(validated) => ProbeOutcome::Valid(validated),
+                                        Err(err) => classify_validation_error(err),
                                     }
-                                    None => report.blank_next_update += 1,
                                 }
-                                report.margin_sum += v.this_update_margin;
-                                // The paper sampled producedAt across all of a
-                                // responder's tracked certificates; multiple
-                                // samples per window are what expose the
-                                // footnote 17 multi-instance regressions.
-                                if region == Region::Virginia {
-                                    report.produced_at_samples.push((t, v.produced_at));
+                                other => ProbeOutcome::TransportFailure(other),
+                            };
+
+                            records.per_region_success[region_idx]
+                                .record_bool(t, outcome.http_success());
+                            if first_target_of[shard] == Some(target_idx) {
+                                let weight = alexa_weights[shard] as u64;
+                                let down = if outcome.http_success() { 0 } else { weight };
+                                records.alexa_unreachable[region_idx].record_hits(t, down, weight);
+                            }
+                            if outcome.http_success() {
+                                for (class_idx, class) in ErrorClass::ALL.iter().enumerate() {
+                                    records.class_series[class_idx]
+                                        .record_bool(t, outcome.error_class() == Some(*class));
                                 }
                             }
-                            ProbeOutcome::Unusable(class) => {
-                                *report.unusable.entry(*class).or_default() += 1;
-                            }
-                            ProbeOutcome::OtherInvalid(err) => {
-                                report.other_invalid += 1;
-                                // Future-dated thisUpdate responders show up
-                                // here; keep their margin contribution so the
-                                // Figure 9 CDF reaches below zero.
-                                if let ocsp::ResponseError::NotYetValid { early_by } = err {
+                            match &outcome {
+                                ProbeOutcome::Valid(v) => {
+                                    report.valid += 1;
                                     report.quality_samples += 1;
-                                    report.margin_sum -= *early_by;
+                                    report.cert_count_sum += v.cert_count as u64;
+                                    report.serial_count_sum += v.serial_count as u64;
+                                    match v.validity_period() {
+                                        Some(secs) => {
+                                            report.validity_sum += secs;
+                                            report.validity_samples += 1;
+                                        }
+                                        None => report.blank_next_update += 1,
+                                    }
+                                    report.margin_sum += v.this_update_margin;
+                                    // The paper sampled producedAt across all of a
+                                    // responder's tracked certificates; multiple
+                                    // samples per window are what expose the
+                                    // footnote 17 multi-instance regressions.
+                                    if region == Region::Virginia {
+                                        report.produced_at_samples.push((t, v.produced_at));
+                                    }
                                 }
+                                ProbeOutcome::Unusable(class) => {
+                                    *report.unusable.entry(*class).or_default() += 1;
+                                }
+                                ProbeOutcome::OtherInvalid(err) => {
+                                    report.other_invalid += 1;
+                                    // Future-dated thisUpdate responders show up
+                                    // here; keep their margin contribution so the
+                                    // Figure 9 CDF reaches below zero.
+                                    if let ocsp::ResponseError::NotYetValid { early_by } = err {
+                                        report.quality_samples += 1;
+                                        report.margin_sum -= *early_by;
+                                    }
+                                }
+                                ProbeOutcome::TransportFailure(_) => {}
                             }
-                            ProbeOutcome::TransportFailure(_) => {}
                         }
                     }
                 }
-            }
-            records.telemetry = world.take_telemetry();
-            records
-        });
+                records.telemetry = world.take_telemetry();
+                // Chunk span: the simulated hour range this round slice
+                // covers, with one unit per probe sent.
+                let span = Span::leaf(
+                    format!("chunk {chunk}"),
+                    (start_round as i64 * config.scan_interval / 3_600) as u64,
+                    (end_round as i64 * config.scan_interval / 3_600) as u64,
+                    records.requests,
+                );
+                (records, span)
+            },
+        );
 
         // Canonical merge: shard-id order == responder order; within a
         // shard, chunk order == time order, so concatenated logs replay
@@ -786,6 +804,7 @@ impl<'a> HourlyCampaign<'a> {
             alexa_unreachable,
             alexa_weights,
             telemetry,
+            trace: Span::aggregate("scan.hourly", shard_spans),
         }
     }
 }
@@ -959,6 +978,7 @@ mod tests {
             alexa_unreachable: Vec::new(),
             alexa_weights: Vec::new(),
             telemetry: Registry::new(),
+            trace: Span::aggregate("scan.hourly", Vec::new()),
         };
         let mut cdf = d.cdf_outage_durations(3_600);
         assert_eq!(
@@ -1037,6 +1057,12 @@ mod tests {
             assert_eq!(coarse.alexa_weights, fine.alexa_weights);
             assert_eq!(coarse.telemetry, fine.telemetry, "workers={workers}");
             assert_eq!(coarse.telemetry.to_csv(), fine.telemetry.to_csv());
+            // The Prometheus exposition is chunking-invariant too (the
+            // span tree is not: chunk plans legitimately differ).
+            assert_eq!(
+                coarse.telemetry.to_prometheus(),
+                fine.telemetry.to_prometheus()
+            );
             for (a, b) in coarse
                 .per_region_success
                 .iter()
@@ -1085,6 +1111,8 @@ mod tests {
             assert_eq!(serial.alexa_weights, parallel.alexa_weights);
             assert_eq!(serial.telemetry, parallel.telemetry, "workers={workers}");
             assert_eq!(serial.telemetry.to_csv(), parallel.telemetry.to_csv());
+            assert_eq!(serial.trace, parallel.trace, "workers={workers}");
+            assert_eq!(serial.trace.to_jsonl(), parallel.trace.to_jsonl());
             for (a, b) in serial
                 .per_region_success
                 .iter()

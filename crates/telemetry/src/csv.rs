@@ -1,0 +1,285 @@
+//! The `kind,metric,label,value` CSV dialect behind
+//! [`Registry::to_csv`](crate::Registry::to_csv), plus a parser for it.
+//!
+//! Metric and label names are arbitrary strings — operators appear in
+//! labels verbatim, and nothing stops a future metric from containing a
+//! comma — so the writer quotes any field containing a comma, double
+//! quote, or line break (doubling inner quotes, the same minimal-quoting
+//! convention `analysis::Table::to_csv` uses). [`CsvSnapshot`] parses
+//! the dialect back; `parse ∘ emit` is byte-exact, which the round-trip
+//! property test in `tests/roundtrip.rs` pins down.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Quote `field` if it contains a CSV metacharacter; otherwise borrow it.
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Append one `counter` row to `out`.
+pub(crate) fn write_counter_row(out: &mut String, metric: &str, label: &str, value: u64) {
+    let _ = writeln!(out, "counter,{},{},{value}", field(metric), field(label));
+}
+
+/// Append one `histogram` summary row to `out`.
+pub(crate) fn write_histogram_row(
+    out: &mut String,
+    metric: &str,
+    label: &str,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+) {
+    let _ = writeln!(
+        out,
+        "histogram,{},{},count={count};sum={sum};min={min};max={max}",
+        field(metric),
+        field(label),
+    );
+}
+
+/// The summary a `histogram` CSV row carries (the log2 buckets are not
+/// serialized to CSV; the Prometheus exposition has them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramRow {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// A parsed `telemetry.csv`: the format-faithful view of one run's
+/// deterministic telemetry, re-emittable byte-exactly via
+/// [`CsvSnapshot::to_csv`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsvSnapshot {
+    /// `(metric, label) → value` for every counter row.
+    pub counters: BTreeMap<(String, String), u64>,
+    /// `(metric, label) → summary` for every histogram row.
+    pub histograms: BTreeMap<(String, String), HistogramRow>,
+}
+
+impl CsvSnapshot {
+    /// Parse a `kind,metric,label,value` CSV (as written by
+    /// [`Registry::to_csv`](crate::Registry::to_csv) or the `telemetry`
+    /// figures artifact). Strict: unknown kinds, malformed quoting, or a
+    /// wrong column count are errors.
+    pub fn parse(text: &str) -> Result<CsvSnapshot, String> {
+        let mut records = split_records(text)?;
+        if records.is_empty() {
+            return Err("empty input: expected a kind,metric,label,value header".into());
+        }
+        let header = records.remove(0);
+        if header != ["kind", "metric", "label", "value"] {
+            return Err(format!(
+                "unexpected header {header:?}: expected kind,metric,label,value"
+            ));
+        }
+        let mut snapshot = CsvSnapshot::default();
+        for (i, record) in records.into_iter().enumerate() {
+            let line = i + 2; // 1-based, after the header
+            let [kind, metric, label, value]: [String; 4] = record
+                .try_into()
+                .map_err(|r: Vec<String>| format!("line {line}: {} fields, want 4", r.len()))?;
+            let key = (metric, label);
+            match kind.as_str() {
+                "counter" => {
+                    let v: u64 = value
+                        .parse()
+                        .map_err(|_| format!("line {line}: bad counter value `{value}`"))?;
+                    if snapshot.counters.insert(key, v).is_some() {
+                        return Err(format!("line {line}: duplicate counter series"));
+                    }
+                }
+                "histogram" => {
+                    let row =
+                        parse_histogram_value(&value).map_err(|e| format!("line {line}: {e}"))?;
+                    if snapshot.histograms.insert(key, row).is_some() {
+                        return Err(format!("line {line}: duplicate histogram series"));
+                    }
+                }
+                other => return Err(format!("line {line}: unknown kind `{other}`")),
+            }
+        }
+        Ok(snapshot)
+    }
+
+    /// Re-emit the snapshot in the exact byte format
+    /// [`Registry::to_csv`](crate::Registry::to_csv) produces.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,metric,label,value\n");
+        for ((metric, label), v) in &self.counters {
+            write_counter_row(&mut out, metric, label, *v);
+        }
+        for ((metric, label), h) in &self.histograms {
+            write_histogram_row(&mut out, metric, label, h.count, h.sum, h.min, h.max);
+        }
+        out
+    }
+}
+
+/// Parse the packed `count=..;sum=..;min=..;max=..` histogram value.
+fn parse_histogram_value(value: &str) -> Result<HistogramRow, String> {
+    let mut fields = [0u64; 4];
+    let names = ["count", "sum", "min", "max"];
+    let parts: Vec<&str> = value.split(';').collect();
+    if parts.len() != 4 {
+        return Err(format!("bad histogram value `{value}`"));
+    }
+    for (slot, (part, name)) in fields.iter_mut().zip(parts.iter().zip(names.iter())) {
+        let rest = part
+            .strip_prefix(name)
+            .and_then(|r| r.strip_prefix('='))
+            .ok_or_else(|| format!("bad histogram field `{part}` (want {name}=N)"))?;
+        *slot = rest
+            .parse()
+            .map_err(|_| format!("bad histogram field `{part}`"))?;
+    }
+    Ok(HistogramRow {
+        count: fields[0],
+        sum: fields[1],
+        min: fields[2],
+        max: fields[3],
+    })
+}
+
+/// Split CSV text into records of unquoted fields. Quoted fields may
+/// contain commas, doubled quotes, and line breaks.
+fn split_records(text: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    // Whether the record in progress has any content (so a trailing
+    // newline doesn't produce a phantom empty record).
+    let mut started = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        current.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => current.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if current.is_empty() => {
+                in_quotes = true;
+                started = true;
+            }
+            '"' => return Err("stray quote inside an unquoted field".into()),
+            ',' => {
+                record.push(std::mem::take(&mut current));
+                started = true;
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut current));
+                records.push(std::mem::take(&mut record));
+                started = false;
+            }
+            _ => {
+                current.push(c);
+                started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    if started || !record.is_empty() {
+        record.push(current);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn plain_names_are_not_quoted() {
+        let mut r = Registry::new();
+        r.incr("net.failure.tcp", "Virginia");
+        assert_eq!(
+            r.to_csv(),
+            "kind,metric,label,value\ncounter,net.failure.tcp,Virginia,1\n"
+        );
+    }
+
+    #[test]
+    fn metacharacters_are_quoted_and_round_trip() {
+        let mut r = Registry::new();
+        r.incr("evil,metric", "with \"quotes\"");
+        r.add("multi\nline", "plain", 7);
+        r.observe("hist,og", "a,b", 3);
+        let csv = r.to_csv();
+        assert!(csv.contains("\"evil,metric\""));
+        assert!(csv.contains("\"with \"\"quotes\"\"\""));
+        assert!(csv.contains("\"multi\nline\""));
+        let parsed = CsvSnapshot::parse(&csv).expect("round-trip parse");
+        assert_eq!(parsed.to_csv(), csv);
+        assert_eq!(
+            parsed.counters[&("evil,metric".into(), "with \"quotes\"".into())],
+            1
+        );
+        assert_eq!(
+            parsed.histograms[&("hist,og".into(), "a,b".into())],
+            HistogramRow {
+                count: 1,
+                sum: 3,
+                min: 3,
+                max: 3
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(CsvSnapshot::parse("").is_err());
+        assert!(CsvSnapshot::parse("a,b,c\n").is_err());
+        assert!(CsvSnapshot::parse("kind,metric,label,value\nx,y,z,1\n").is_err());
+        assert!(CsvSnapshot::parse("kind,metric,label,value\ncounter,m,l,notanum\n").is_err());
+        assert!(CsvSnapshot::parse("kind,metric,label,value\ncounter,m,l\n").is_err());
+        assert!(CsvSnapshot::parse("kind,metric,label,value\nhistogram,m,l,count=1\n").is_err());
+        assert!(CsvSnapshot::parse("kind,metric,label,value\ncounter,\"m,l,1\n").is_err());
+        assert!(
+            CsvSnapshot::parse("kind,metric,label,value\ncounter,m,l,1\ncounter,m,l,2\n").is_err()
+        );
+    }
+
+    #[test]
+    fn empty_registry_round_trips() {
+        let csv = Registry::new().to_csv();
+        let parsed = CsvSnapshot::parse(&csv).expect("header-only parse");
+        assert_eq!(parsed, CsvSnapshot::default());
+        assert_eq!(parsed.to_csv(), csv);
+    }
+}

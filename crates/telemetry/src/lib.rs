@@ -24,6 +24,10 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod csv;
+pub mod prom;
+pub mod trace;
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -120,6 +124,49 @@ impl Histogram {
     /// Occupancy of one log2 bucket.
     pub fn bucket(&self, index: usize) -> u64 {
         self.buckets[index]
+    }
+
+    /// The value range a bucket covers, as an inclusive-exclusive
+    /// `[lo, hi)` pair in `f64` (bucket 0 is the point `[0, 1)`; bucket
+    /// `i ≥ 1` is `[2^(i-1), 2^i)`).
+    fn bucket_bounds(index: usize) -> (f64, f64) {
+        if index == 0 {
+            (0.0, 1.0)
+        } else {
+            ((1u128 << (index - 1)) as f64, (1u128 << index) as f64)
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the log2 bucket the target rank falls in, clamped to the
+    /// exact recorded `[min, max]`. `None` if the histogram is empty.
+    ///
+    /// The estimator: with `target = q · count`, walk the cumulative
+    /// bucket counts to the first bucket whose cumulative count reaches
+    /// `target`, then interpolate `lo + (target − below)/occupancy ·
+    /// (hi − lo)` across that bucket's value range. The clamp makes
+    /// single-bucket distributions exact at the recorded extremes.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut below = 0u64;
+        for (index, &occupancy) in self.buckets.iter().enumerate() {
+            if occupancy == 0 {
+                continue;
+            }
+            let cumulative = below + occupancy;
+            if cumulative as f64 >= target {
+                let (lo, hi) = Histogram::bucket_bounds(index);
+                let fraction = ((target - below as f64) / occupancy as f64).clamp(0.0, 1.0);
+                let estimate = lo + fraction * (hi - lo);
+                return Some(estimate.clamp(self.min as f64, self.max as f64));
+            }
+            below = cumulative;
+        }
+        Some(self.max as f64)
     }
 }
 
@@ -322,29 +369,48 @@ impl Registry {
     /// (`kind,metric,label,value`), in canonical order.
     ///
     /// Histogram rows pack their summary into the value column as
-    /// `count=..;sum=..;min=..;max=..`. Wall-clock spans are *not*
-    /// rendered: the artifact must be byte-identical across runs.
+    /// `count=..;sum=..;min=..;max=..`. Metric and label fields
+    /// containing commas, quotes, or newlines are quoted with doubled
+    /// inner quotes (the same convention `analysis::Table` uses), so
+    /// [`csv::CsvSnapshot::parse`] round-trips any name byte-exactly.
+    /// Wall-clock spans are *not* rendered: the artifact must be
+    /// byte-identical across runs.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("kind,metric,label,value\n");
         for (metric, label, v) in self.counters() {
-            let _ = writeln!(out, "counter,{metric},{label},{v}");
+            csv::write_counter_row(&mut out, metric, label, v);
         }
         for (metric, label, h) in self.histograms() {
-            let _ = writeln!(
-                out,
-                "histogram,{metric},{label},count={};sum={};min={};max={}",
+            csv::write_histogram_row(
+                &mut out,
+                metric,
+                label,
                 h.count(),
                 h.sum(),
                 h.min(),
-                h.max()
+                h.max(),
             );
         }
         out
     }
 
+    /// Render the deterministic sections in the Prometheus text
+    /// exposition format (the `telemetry.prom` artifact); see
+    /// [`prom::Exposition`] for the exact subset emitted. Byte-stable
+    /// across worker counts; wall-clock spans are never rendered.
+    pub fn to_prometheus(&self) -> String {
+        prom::Exposition::from_registry(self).render()
+    }
+
     /// Render the wall-clock spans for human inspection (never an
-    /// artifact). Returns one line per span: `name count total_ms`.
+    /// artifact). Returns one line per span: `name count total_ms` — or
+    /// an explicit `(no wall timings recorded)` line when no span was
+    /// ever timed (e.g. replayed or freshly-merged registries), so the
+    /// report is never silently empty.
     pub fn wall_report(&self) -> String {
+        if self.wall.is_empty() {
+            return String::from("(no wall timings recorded)\n");
+        }
         let mut out = String::new();
         for (name, span) in &self.wall {
             let _ = writeln!(
@@ -458,6 +524,67 @@ mod tests {
         assert_eq!(Histogram::bucket_of(3), 2);
         assert_eq!(Histogram::bucket_of(4), 3);
         assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantile_is_exact_on_single_bucket_distributions() {
+        // All mass in one bucket: the [min, max] clamp collapses the
+        // interpolation to the exact recorded value at every quantile.
+        let mut h = Histogram::new();
+        for _ in 0..5 {
+            h.record(7);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(7.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates_known_distributions() {
+        // Samples 1, 2, 3: bucket 1 holds {1}, bucket 2 ([2,4)) holds
+        // {2, 3}. target = q·3 walks the cumulative counts.
+        let mut h = Histogram::new();
+        for v in [1, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        // target 1.5 → bucket 2, fraction (1.5−1)/2 → 2 + 0.25·2 = 2.5.
+        assert_eq!(h.quantile(0.5), Some(2.5));
+        // target 3 lands at the top of bucket 2 → 4.0, clamped to max 3.
+        assert_eq!(h.quantile(1.0), Some(3.0));
+
+        // Zeros plus one far outlier: the median stays inside bucket 0
+        // and the tail clamps to the recorded max, not the bucket's
+        // upper bound (2048).
+        let mut h = Histogram::new();
+        for _ in 0..3 {
+            h.record(0);
+        }
+        h.record(1024);
+        // target 2 of 3 zeros → 0 + (2/3)·1 inside bucket 0's [0, 1).
+        assert!((h.quantile(0.5).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.quantile(0.9), Some(1024.0));
+        assert_eq!(h.quantile(1.0), Some(1024.0));
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_none_when_empty() {
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        let mut h = Histogram::new();
+        for v in [0, 1, 3, 9, 40, 41, 500, 8_000, 9_001] {
+            h.record(v);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for step in 0..=20 {
+            let q = step as f64 / 20.0;
+            let v = h.quantile(q).unwrap();
+            assert!(v >= last, "quantile not monotone at q={q}: {v} < {last}");
+            assert!((0.0..=9_001.0).contains(&v), "q={q} escaped [min, max]");
+            last = v;
+        }
+        // Out-of-range q clamps rather than panics.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
     }
 
     #[test]

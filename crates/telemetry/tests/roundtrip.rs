@@ -1,0 +1,54 @@
+//! Property tests: `parse ∘ emit` over the telemetry CSV dialect is
+//! byte-exact, for fields full of the metacharacters the minimal-quoting
+//! rules exist for (commas, double quotes, line breaks).
+
+use mustaple_telemetry::csv::CsvSnapshot;
+use mustaple_telemetry::Registry;
+use proptest::prelude::*;
+
+/// One metric or label: printable ASCII (which already includes commas,
+/// quotes, and `=`/`;`) salted with literal newlines and carriage
+/// returns in the middle.
+const FIELD: &str = "\\PC{0,8}[,\"\n\r=;]{0,2}\\PC{0,8}";
+
+proptest! {
+    #[test]
+    fn csv_emit_parse_emit_is_byte_exact(
+        counters in proptest::collection::vec((FIELD, FIELD, 0u64..1_000_000), 0..8),
+        histograms in proptest::collection::vec(
+            (FIELD, FIELD, proptest::collection::vec(0u64..10_000, 1..5)),
+            0..4,
+        ),
+    ) {
+        let mut r = Registry::new();
+        for (metric, label, value) in &counters {
+            r.add(metric, label, *value);
+        }
+        for (metric, label, samples) in &histograms {
+            for s in samples {
+                r.observe(metric, label, *s);
+            }
+        }
+
+        let csv = r.to_csv();
+        let parsed = match CsvSnapshot::parse(&csv) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("parse failed: {e}\n{csv}"))),
+        };
+        // Byte-exact re-emission, and no series lost or invented.
+        prop_assert_eq!(parsed.to_csv(), csv);
+        prop_assert_eq!(parsed.counters.len(), r.counters().count());
+        prop_assert_eq!(parsed.histograms.len(), r.histograms().count());
+        for (metric, label, value) in r.counters() {
+            let key = (metric.to_owned(), label.to_owned());
+            prop_assert_eq!(parsed.counters.get(&key), Some(&value));
+        }
+    }
+
+    /// Arbitrary printable text (with stray quotes and newlines) must
+    /// never panic the parser, only error.
+    #[test]
+    fn csv_parse_never_panics_on_garbage(text in "[\\PC]{0,2}\\PC{0,120}[,\"\n\r]{0,6}\\PC{0,40}") {
+        let _ = CsvSnapshot::parse(&text);
+    }
+}

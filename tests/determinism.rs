@@ -54,6 +54,27 @@ fn serial_and_parallel_artifacts_are_byte_identical() {
         parallel.readiness_report().render(),
         "readiness reports diverged"
     );
+
+    // The exported telemetry surface — the Prometheus exposition and the
+    // simulated-clock span tree — is part of the same contract: the
+    // bytes `figures --telemetry` writes to `telemetry.prom` and
+    // `trace.jsonl` must not depend on the worker count.
+    let two = run_study(2);
+    for (workers, run) in [(2usize, &two), (4, &parallel)] {
+        assert!(
+            serial.telemetry.to_prometheus().as_bytes() == run.telemetry.to_prometheus().as_bytes(),
+            "telemetry.prom differs between serial and {workers}-worker runs"
+        );
+        assert!(
+            serial.trace.to_jsonl().as_bytes() == run.trace.to_jsonl().as_bytes(),
+            "trace.jsonl differs between serial and {workers}-worker runs"
+        );
+    }
+    // And the exposition must survive its own parser unchanged, so
+    // `teldiff` sees exactly what was measured.
+    let parsed = telemetry::prom::Exposition::parse(&serial.telemetry.to_prometheus())
+        .expect("exposition round-trip");
+    assert_eq!(parsed.render(), serial.telemetry.to_prometheus());
 }
 
 #[test]
