@@ -10,17 +10,22 @@
 //! * [`bins`] — Alexa-rank binning (bins of 10 000) for the adoption
 //!   curves (Figures 2 and 11);
 //! * [`table`] — plain-text and CSV rendering used by the `figures`
-//!   binary so every table/figure has a machine-readable artifact.
+//!   binary so every table/figure has a machine-readable artifact;
+//! * [`stats`] — multi-seed ensemble statistics: mean / sample stddev /
+//!   Student-t 95 % confidence intervals per CSV cell, and the
+//!   `*.ens.csv` companion-table folding (DESIGN.md §11).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod bins;
 pub mod cdf;
+pub mod stats;
 pub mod table;
 pub mod timeseries;
 
 pub use bins::RankBins;
 pub use cdf::Cdf;
+pub use stats::Summary;
 pub use table::Table;
 pub use timeseries::TimeSeries;

@@ -37,6 +37,16 @@ impl Table {
         self.row(&owned)
     }
 
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Iterate the data rows in insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = &[String]> {
+        self.rows.iter().map(Vec::as_slice)
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

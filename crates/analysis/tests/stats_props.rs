@@ -1,0 +1,82 @@
+//! Property tests for the ensemble statistics (`analysis::stats`).
+//!
+//! The load-bearing property: for a fixed underlying dispersion, the
+//! 95 % confidence interval *shrinks* as the number of seeds grows —
+//! that is the whole point of running an ensemble instead of a single
+//! draw. Alternating samples `center ± spread` keep the sample standard
+//! deviation essentially constant while `n` varies, isolating the
+//! `t(n−1)/√n` factor the property is really about.
+
+use mustaple_analysis::stats::{fold_tables, Summary};
+use mustaple_analysis::Table;
+use proptest::prelude::*;
+
+/// `n` alternating samples `center − spread, center + spread, …` with
+/// `n` even, so mean and stddev are exact regardless of `n`.
+fn alternating(center: f64, spread: f64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                center - spread
+            } else {
+                center + spread
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn ci_width_shrinks_as_n_grows(
+        center in -1_000.0f64..1_000.0,
+        spread in 0.001f64..1_000.0,
+        k in 1usize..5,
+    ) {
+        // Even sample counts 2k, 4k, 8k, 16k: same population spread,
+        // strictly more seeds each step.
+        let widths: Vec<f64> = [2, 4, 8, 16]
+            .iter()
+            .map(|&factor| {
+                let samples = alternating(center, spread, factor * k);
+                Summary::from_samples(&samples).unwrap().ci_width()
+            })
+            .collect();
+        for pair in widths.windows(2) {
+            prop_assert!(
+                pair[1] < pair[0],
+                "CI failed to shrink: widths {widths:?} (center {center}, spread {spread}, k {k})"
+            );
+        }
+        // And every interval actually contains the mean.
+        let s = Summary::from_samples(&alternating(center, spread, 2 * k)).unwrap();
+        prop_assert!(s.ci_lo <= s.mean && s.mean <= s.ci_hi);
+    }
+
+    #[test]
+    fn summary_is_bounded_by_its_envelope(
+        samples in proptest::collection::vec(-1e6f64..1e6, 1..24),
+    ) {
+        let s = Summary::from_samples(&samples).unwrap();
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.ci_lo <= s.mean && s.mean <= s.ci_hi);
+        prop_assert!(s.stddev >= 0.0);
+        prop_assert_eq!(s.n, samples.len());
+    }
+
+    #[test]
+    fn folding_is_invariant_to_rerendering(
+        values in proptest::collection::vec((0u32..1000, 0u32..1000), 1..12),
+    ) {
+        // Folding the same per-seed tables twice is byte-identical —
+        // the determinism contract ensemble companions inherit.
+        let mut a = Table::new(&["key", "v"]);
+        let mut b = Table::new(&["key", "v"]);
+        for (i, &(va, vb)) in values.iter().enumerate() {
+            a.row(&[format!("k{i}"), format!("{va}")]);
+            b.row(&[format!("k{i}"), format!("{vb}")]);
+        }
+        let once = fold_tables(&[a.clone(), b.clone()]).unwrap().to_csv();
+        let again = fold_tables(&[a, b]).unwrap().to_csv();
+        prop_assert_eq!(once, again);
+    }
+}

@@ -1,7 +1,8 @@
 //! `figures` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! figures [--scale tiny|figures] [--out DIR] [--serial | --workers N] [ARTIFACT...]
+//! figures [--scale tiny|figures] [--out DIR] [--serial | --workers N]
+//!         [--seeds N | --seed-list a,b,c] [ARTIFACT...]
 //! ```
 //!
 //! With no artifact arguments, regenerates everything (all figures,
@@ -15,6 +16,16 @@
 //! `--workers N` pins the count. Every setting produces byte-identical
 //! CSVs — parallelism is purely a wall-clock knob.
 //!
+//! `--seeds N` reruns the whole study under N independently-derived
+//! seeds (`--seed-list` pins them explicitly) and writes, next to each
+//! regenerated artifact, an `<name>.ens.csv` companion carrying
+//! per-cell mean / 95 % confidence interval / stddev / min–max across
+//! the seeds, plus a `seeds.txt` manifest. The primary artifacts come
+//! from replica 0 — with derived seeds that replica *is* the base seed,
+//! so they are byte-identical to a single-seed run. Replicas are the
+//! parallel unit: `--workers N` spreads seeds across threads, and every
+//! worker count yields byte-identical output.
+//!
 //! `--telemetry` additionally dumps the campaigns' deterministic
 //! counters and histograms to `telemetry.csv`, a Prometheus text
 //! exposition to `telemetry.prom`, and the simulated-clock span tree to
@@ -25,7 +36,8 @@
 #![forbid(unsafe_code)]
 
 use ecosystem::EcosystemConfig;
-use mustaple::Study;
+use mustaple::{Study, StudyResults};
+use mustaple_bench::ensemble::{parse_seed_list, seeds_for, Ensemble};
 use mustaple_bench::{ablations, bench_scan, build, Artifact, ALL_ARTIFACTS};
 use std::fs;
 use std::path::PathBuf;
@@ -36,6 +48,8 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut workers: Option<usize> = None;
     let mut telemetry = false;
+    let mut seed_count: Option<usize> = None;
+    let mut seed_list: Option<Vec<u64>> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,9 +72,33 @@ fn main() {
                     usage(&format!("--workers needs a positive integer, got `{n}`"))
                 }));
             }
+            "--seeds" => {
+                let n = args
+                    .next()
+                    .unwrap_or_else(|| usage("--seeds needs a value"));
+                let n: usize = n.parse().unwrap_or_else(|_| {
+                    usage(&format!("--seeds needs a positive integer, got `{n}`"))
+                });
+                if n == 0 {
+                    usage("--seeds needs a positive integer, got `0`");
+                }
+                seed_count = Some(n);
+            }
+            "--seed-list" => {
+                let list = args
+                    .next()
+                    .unwrap_or_else(|| usage("--seed-list needs a value"));
+                seed_list = Some(
+                    parse_seed_list(&list)
+                        .unwrap_or_else(|err| usage(&format!("--seed-list: {err}"))),
+                );
+            }
             "--help" | "-h" => usage(""),
             name => wanted.push(name.to_string()),
         }
+    }
+    if seed_count.is_some() && seed_list.is_some() {
+        usage("--seeds and --seed-list are mutually exclusive");
     }
 
     let mut config = match scale.as_str() {
@@ -87,13 +125,28 @@ fn main() {
         wanted.push("telemetry".into());
     }
 
+    let seeds = seed_list.or_else(|| seed_count.map(|n| seeds_for(config.seed, n)));
+
     eprintln!(
-        "running the study at `{scale}` scale ({} responders, {} scan rounds)...",
+        "running the study at `{scale}` scale ({} responders, {} scan rounds{})...",
         config.responders,
-        config.scan_rounds()
+        config.scan_rounds(),
+        match &seeds {
+            Some(seeds) => format!(", {} seeds", seeds.len()),
+            None => String::new(),
+        }
     );
     let started = std::time::Instant::now();
-    let results = Study::new(config.clone()).run();
+    let ensemble = seeds.as_deref().map(|s| Ensemble::run(&config, s));
+    let single = match &ensemble {
+        Some(_) => None,
+        None => Some(Study::new(config.clone()).run()),
+    };
+    let results: &StudyResults = ensemble
+        .as_ref()
+        .map(Ensemble::primary)
+        .or(single.as_ref())
+        .expect("one of the two run paths produced results");
     let elapsed = started.elapsed();
     eprintln!(
         "study completed in {:.1?} ({:.0} hourly-scan req/s); rendering artifacts\n",
@@ -102,6 +155,9 @@ fn main() {
     );
 
     fs::create_dir_all(&out_dir).expect("create output directory");
+    if let Some(ensemble) = &ensemble {
+        fs::write(out_dir.join("seeds.txt"), ensemble.seeds_manifest()).expect("write seeds.txt");
+    }
 
     for name in &wanted {
         match name.as_str() {
@@ -119,24 +175,43 @@ fn main() {
             }
             "bench-scan" => emit(&out_dir, &bench_scan(&config)),
             "telemetry" => {
-                let artifact = build("telemetry", &results).expect("telemetry artifact");
+                let artifact = build("telemetry", results).expect("telemetry artifact");
                 emit(&out_dir, &artifact);
-                fs::write(
-                    out_dir.join("telemetry.prom"),
-                    results.telemetry.to_prometheus(),
-                )
-                .expect("write Prometheus exposition");
+                // Ensemble runs keep per-seed series separable in the
+                // exposition via a `seed` label; single runs are as
+                // before.
+                let exposition = match &ensemble {
+                    Some(ensemble) => ensemble.to_prometheus(),
+                    None => results.telemetry.to_prometheus(),
+                };
+                fs::write(out_dir.join("telemetry.prom"), exposition)
+                    .expect("write Prometheus exposition");
                 fs::write(out_dir.join("trace.jsonl"), results.trace.to_jsonl())
                     .expect("write trace spans");
-                println!("{}", mustaple_bench::telemetry_report(&results));
+                println!("{}", mustaple_bench::telemetry_report(results));
+                emit_companion(&out_dir, ensemble.as_ref(), name);
             }
-            name => match build(name, &results) {
-                Some(artifact) => emit(&out_dir, &artifact),
+            name => match build(name, results) {
+                Some(artifact) => {
+                    emit(&out_dir, &artifact);
+                    emit_companion(&out_dir, ensemble.as_ref(), name);
+                }
                 None => eprintln!("warning: unknown artifact `{name}` (skipped)"),
             },
         }
     }
     eprintln!("\nartifacts written to {}", out_dir.display());
+}
+
+/// Write `<name>.ens.csv` next to the primary artifact: the per-cell
+/// mean / CI / stddev / min–max statistics folded across all seeds.
+/// A no-op for single-seed (non-ensemble) runs.
+fn emit_companion(out_dir: &std::path::Path, ensemble: Option<&Ensemble>, name: &str) {
+    let Some(table) = ensemble.and_then(|e| e.companion(name)) else {
+        return;
+    };
+    fs::write(out_dir.join(format!("{name}.ens.csv")), table.to_csv())
+        .expect("write ensemble companion CSV");
 }
 
 fn emit(out_dir: &std::path::Path, artifact: &Artifact) {
@@ -174,8 +249,11 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: figures [--scale tiny|figures] [--out DIR] [--serial | --workers N] \
-         [--telemetry] [ARTIFACT...]\n\
-         artifacts: {} freshness recommendations telemetry ablations readiness bench-scan",
+         [--seeds N | --seed-list a,b,c] [--telemetry] [ARTIFACT...]\n\
+         artifacts: {} freshness recommendations telemetry ablations readiness bench-scan\n\
+         --seeds/--seed-list run a multi-seed ensemble: every artifact gains an \
+         <name>.ens.csv companion (mean, 95% CI, stddev, min/max per cell) plus a \
+         seeds.txt manifest",
         ALL_ARTIFACTS.join(" ")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod ensemble;
 
 use analysis::table::{pct, secs};
 use analysis::{Cdf, RankBins, Table};

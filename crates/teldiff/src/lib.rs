@@ -112,18 +112,25 @@ impl Snapshot {
 
     /// Flatten a parsed Prometheus exposition. The redundant `+Inf`
     /// bucket (always equal to `count`) is skipped so a count change is
-    /// reported once, not twice.
+    /// reported once, not twice. Ensemble series (the `seed` label) fold
+    /// the seed into the flattened label as `label,seed=N`, so each
+    /// replica's telemetry stays an independently-diffed series.
     pub fn from_exposition(exposition: &Exposition) -> Snapshot {
+        let flat = |key: &telemetry::prom::SeriesKey| match &key.seed {
+            None => key.label.clone(),
+            Some(seed) => format!("{},seed={seed}", key.label),
+        };
         let mut series = BTreeMap::new();
-        for (metric, label, value) in exposition.counters() {
-            series.insert(id(metric, label, ""), value);
+        for (metric, key, value) in exposition.counters() {
+            series.insert(id(metric, &flat(key), ""), value);
         }
-        for (metric, label, h) in exposition.histograms() {
-            series.insert(id(metric, label, "count"), h.count);
-            series.insert(id(metric, label, "sum"), h.sum);
+        for (metric, key, h) in exposition.histograms() {
+            let label = flat(key);
+            series.insert(id(metric, &label, "count"), h.count);
+            series.insert(id(metric, &label, "sum"), h.sum);
             for (le, cumulative) in &h.buckets {
                 if le != "+Inf" {
-                    series.insert(id(metric, label, &format!("bucket(le={le})")), *cumulative);
+                    series.insert(id(metric, &label, &format!("bucket(le={le})")), *cumulative);
                 }
             }
         }
@@ -443,6 +450,29 @@ mod tests {
             assert!(!report.has_breach());
             assert_eq!(report.render(), "no differences\n");
         }
+    }
+
+    #[test]
+    fn seeded_ensemble_series_diff_independently() {
+        use telemetry::prom::Exposition;
+        let a = registry();
+        let mut b = registry();
+        b.incr("scan.probes", "r0");
+        let baseline =
+            Snapshot::from_exposition(&Exposition::from_seeded_registries([(7, &a), (9, &b)]));
+        // Same ensemble, but replica 9 gains one more probe on r0.
+        let mut b2 = registry();
+        b2.add("scan.probes", "r0", 2);
+        let current =
+            Snapshot::from_exposition(&Exposition::from_seeded_registries([(7, &a), (9, &b2)]));
+        let report = diff(&baseline, &current, &Thresholds::default());
+        assert!(report.has_breach());
+        assert_eq!(report.changed.len(), 1);
+        assert_eq!(report.changed[0].id.to_string(), "scan.probes{r0,seed=9}");
+        assert_eq!(
+            (report.changed[0].before, report.changed[0].after),
+            (101, 102)
+        );
     }
 
     #[test]

@@ -47,6 +47,41 @@ impl FamilyKind {
     }
 }
 
+/// The key identifying one series within a family: the registry label,
+/// plus the optional `seed` dimension multi-seed ensembles add.
+///
+/// Single-run expositions carry no seed (`seed: None`) and render
+/// exactly as before — `name{label="…"} v`. An ensemble exposition (see
+/// [`Exposition::from_seeded_registries`]) renders every series as
+/// `name{label="…",seed="…"} v`, keeping per-seed telemetry separable
+/// after the merge. Ordering (and therefore rendering order) is by
+/// label first, then seed, with seedless series before seeded ones.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct SeriesKey {
+    /// The registry label.
+    pub label: String,
+    /// The ensemble seed this series came from, if any (decimal).
+    pub seed: Option<String>,
+}
+
+impl SeriesKey {
+    /// A seedless (single-run) key.
+    pub fn plain(label: &str) -> SeriesKey {
+        SeriesKey {
+            label: label.to_owned(),
+            seed: None,
+        }
+    }
+
+    /// A key carrying the ensemble seed dimension.
+    pub fn seeded(label: &str, seed: u64) -> SeriesKey {
+        SeriesKey {
+            label: label.to_owned(),
+            seed: Some(seed.to_string()),
+        }
+    }
+}
+
 /// One histogram series as exposed: cumulative buckets plus exact
 /// sum/count.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -68,10 +103,10 @@ pub struct Family {
     /// The original registry metric name (recovered from `# HELP`;
     /// equals the family name when sanitization changed nothing).
     pub metric: String,
-    /// `label → value` for counter families.
-    pub counters: BTreeMap<String, u64>,
-    /// `label → series` for histogram families.
-    pub histograms: BTreeMap<String, PromHistogram>,
+    /// `series key → value` for counter families.
+    pub counters: BTreeMap<SeriesKey, u64>,
+    /// `series key → series` for histogram families.
+    pub histograms: BTreeMap<SeriesKey, PromHistogram>,
 }
 
 /// A parsed (or registry-derived) exposition: the format-faithful view
@@ -165,17 +200,47 @@ impl Exposition {
     /// a programming error, not an input error.
     pub fn from_registry(registry: &Registry) -> Exposition {
         let mut exposition = Exposition::default();
-        for (metric, label, value) in registry.counters() {
-            let family = exposition.family_for(metric, FamilyKind::Counter);
-            family.counters.insert(label.to_owned(), value);
-        }
-        for (metric, label, histogram) in registry.histograms() {
-            let family = exposition.family_for(metric, FamilyKind::Histogram);
-            family
-                .histograms
-                .insert(label.to_owned(), PromHistogram::from_histogram(histogram));
+        exposition.absorb(registry, None);
+        exposition
+    }
+
+    /// Snapshot an *ensemble* of registries, one per seed, into a single
+    /// exposition whose every series carries a `seed` label.
+    ///
+    /// Registries are absorbed in the order given; callers pass seeds in
+    /// canonical (replica) order so the result is a pure function of the
+    /// per-seed registries. Duplicate seeds panic — each replica owns
+    /// its seed, so a repeat is a programming error.
+    pub fn from_seeded_registries<'a>(
+        parts: impl IntoIterator<Item = (u64, &'a Registry)>,
+    ) -> Exposition {
+        let mut exposition = Exposition::default();
+        let mut seen = BTreeMap::new();
+        for (seed, registry) in parts {
+            assert!(
+                seen.insert(seed, ()).is_none(),
+                "duplicate ensemble seed {seed}"
+            );
+            exposition.absorb(registry, Some(seed));
         }
         exposition
+    }
+
+    fn absorb(&mut self, registry: &Registry, seed: Option<u64>) {
+        let key = |label: &str| match seed {
+            None => SeriesKey::plain(label),
+            Some(seed) => SeriesKey::seeded(label, seed),
+        };
+        for (metric, label, value) in registry.counters() {
+            let family = self.family_for(metric, FamilyKind::Counter);
+            family.counters.insert(key(label), value);
+        }
+        for (metric, label, histogram) in registry.histograms() {
+            let family = self.family_for(metric, FamilyKind::Histogram);
+            family
+                .histograms
+                .insert(key(label), PromHistogram::from_histogram(histogram));
+        }
     }
 
     fn family_for(&mut self, metric: &str, kind: FamilyKind) -> &mut Family {
@@ -197,25 +262,31 @@ impl Exposition {
     /// Render the canonical text exposition. Families sort by name,
     /// samples by label; every byte is a pure function of the model.
     pub fn render(&self) -> String {
+        // The label set for one series: `label="…"` plus, for ensemble
+        // series, `,seed="…"`.
+        fn labels_of(key: &SeriesKey) -> String {
+            let mut set = format!("label=\"{}\"", escape_label(&key.label));
+            if let Some(seed) = &key.seed {
+                let _ = write!(set, ",seed=\"{}\"", escape_label(seed));
+            }
+            set
+        }
         let mut out = String::new();
         for (name, family) in &self.families {
             if family.metric != *name {
                 let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.metric));
             }
             let _ = writeln!(out, "# TYPE {name} {}", family.kind.keyword());
-            for (label, value) in &family.counters {
-                let _ = writeln!(out, "{name}{{label=\"{}\"}} {value}", escape_label(label));
+            for (key, value) in &family.counters {
+                let _ = writeln!(out, "{name}{{{}}} {value}", labels_of(key));
             }
-            for (label, h) in &family.histograms {
-                let label = escape_label(label);
+            for (key, h) in &family.histograms {
+                let labels = labels_of(key);
                 for (le, cumulative) in &h.buckets {
-                    let _ = writeln!(
-                        out,
-                        "{name}_bucket{{label=\"{label}\",le=\"{le}\"}} {cumulative}"
-                    );
+                    let _ = writeln!(out, "{name}_bucket{{{labels},le=\"{le}\"}} {cumulative}");
                 }
-                let _ = writeln!(out, "{name}_sum{{label=\"{label}\"}} {}", h.sum);
-                let _ = writeln!(out, "{name}_count{{label=\"{label}\"}} {}", h.count);
+                let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum);
+                let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count);
             }
         }
         out
@@ -283,10 +354,13 @@ impl Exposition {
             .parse()
             .map_err(|_| format!("bad sample value `{value}`"))?;
         let (name, labels) = series;
-        let label = labels
-            .get("label")
-            .cloned()
-            .ok_or_else(|| format!("sample `{name}` has no label=… pair"))?;
+        let label = SeriesKey {
+            label: labels
+                .get("label")
+                .cloned()
+                .ok_or_else(|| format!("sample `{name}` has no label=… pair"))?,
+            seed: labels.get("seed").cloned(),
+        };
 
         // Histogram sample names carry a suffix on the family name.
         for (suffix, is_bucket) in [("_bucket", true), ("_sum", false), ("_count", false)] {
@@ -330,25 +404,25 @@ impl Exposition {
         Ok(())
     }
 
-    /// Iterate every counter series as `(original metric, label, value)`
-    /// in canonical order.
-    pub fn counters(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+    /// Iterate every counter series as
+    /// `(original metric, series key, value)` in canonical order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, &SeriesKey, u64)> {
         self.families.values().flat_map(|family| {
             family
                 .counters
                 .iter()
-                .map(move |(label, v)| (family.metric.as_str(), label.as_str(), *v))
+                .map(move |(key, v)| (family.metric.as_str(), key, *v))
         })
     }
 
     /// Iterate every histogram series as
-    /// `(original metric, label, series)` in canonical order.
-    pub fn histograms(&self) -> impl Iterator<Item = (&str, &str, &PromHistogram)> {
+    /// `(original metric, series key, series)` in canonical order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &SeriesKey, &PromHistogram)> {
         self.families.values().flat_map(|family| {
             family
                 .histograms
                 .iter()
-                .map(move |(label, h)| (family.metric.as_str(), label.as_str(), h))
+                .map(move |(key, h)| (family.metric.as_str(), key, h))
         })
     }
 }
@@ -502,11 +576,14 @@ scan_probes{label=\"r0\"} 1
         r.incr("net.failure.tcp", "Virginia");
         r.observe("ocsp.latency", "x", 9);
         let parsed = Exposition::parse(&r.to_prometheus()).expect("parse");
-        let counters: Vec<_> = parsed.counters().collect();
+        let counters: Vec<_> = parsed
+            .counters()
+            .map(|(m, k, v)| (m, k.label.as_str(), v))
+            .collect();
         assert_eq!(counters, vec![("net.failure.tcp", "Virginia", 1)]);
         let histograms: Vec<_> = parsed
             .histograms()
-            .map(|(m, l, h)| (m, l, h.count, h.sum))
+            .map(|(m, k, h)| (m, k.label.as_str(), h.count, h.sum))
             .collect();
         assert_eq!(histograms, vec![("ocsp.latency", "x", 1, 9)]);
     }
@@ -521,8 +598,9 @@ scan_probes{label=\"r0\"} 1
         assert!(text.contains("\\n"));
         let parsed = Exposition::parse(&text).expect("parse");
         assert_eq!(parsed.render(), text);
-        let (_, label, v) = parsed.counters().next().expect("one series");
-        assert_eq!(label, "with \"quotes\" and \\slash\\ and\nnewline");
+        let (_, key, v) = parsed.counters().next().expect("one series");
+        assert_eq!(key.label, "with \"quotes\" and \\slash\\ and\nnewline");
+        assert_eq!(key.seed, None);
         assert_eq!(v, 1);
     }
 
@@ -579,6 +657,52 @@ scan_probes{label=\"r0\"} 1
         // Free-form comments are fine.
         let ok = Exposition::parse("# a comment\n# TYPE m counter\nm{label=\"x\"} 1\n");
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn seeded_ensemble_exposition_round_trips() {
+        let mut a = Registry::new();
+        a.incr("net.failure.tcp", "Virginia");
+        a.observe("latency", "Oregon", 7);
+        let mut b = Registry::new();
+        b.add("net.failure.tcp", "Virginia", 2);
+        b.observe("latency", "Oregon", 9);
+        let exposition = Exposition::from_seeded_registries([(2018, &a), (7, &b)]);
+        let text = exposition.render();
+        let expected = "\
+# TYPE latency histogram
+latency_bucket{label=\"Oregon\",seed=\"2018\",le=\"7\"} 1
+latency_bucket{label=\"Oregon\",seed=\"2018\",le=\"+Inf\"} 1
+latency_sum{label=\"Oregon\",seed=\"2018\"} 7
+latency_count{label=\"Oregon\",seed=\"2018\"} 1
+latency_bucket{label=\"Oregon\",seed=\"7\",le=\"15\"} 1
+latency_bucket{label=\"Oregon\",seed=\"7\",le=\"+Inf\"} 1
+latency_sum{label=\"Oregon\",seed=\"7\"} 9
+latency_count{label=\"Oregon\",seed=\"7\"} 1
+# HELP net_failure_tcp net.failure.tcp
+# TYPE net_failure_tcp counter
+net_failure_tcp{label=\"Virginia\",seed=\"2018\"} 1
+net_failure_tcp{label=\"Virginia\",seed=\"7\"} 2
+";
+        assert_eq!(text, expected);
+        let parsed = Exposition::parse(&text).expect("parse seeded output");
+        assert_eq!(parsed.render(), text);
+        assert_eq!(parsed, exposition);
+        let keys: Vec<_> = parsed.counters().map(|(_, k, _)| k.clone()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                SeriesKey::seeded("Virginia", 2018),
+                SeriesKey::seeded("Virginia", 7)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ensemble seed")]
+    fn duplicate_ensemble_seeds_are_loud() {
+        let r = Registry::new();
+        let _ = Exposition::from_seeded_registries([(7, &r), (7, &r)]);
     }
 
     #[test]
