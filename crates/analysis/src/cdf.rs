@@ -1,7 +1,19 @@
 //! Cumulative distribution functions.
+//!
+//! # Infinite-mass contract
+//!
+//! A [`Cdf`] may carry +∞ samples ([`Cdf::add_infinite`] — blank
+//! `nextUpdate` validity periods in Figure 8). They count toward
+//! [`Cdf::len`] and cap [`Cdf::curve`] / [`Cdf::fraction_at_most`]
+//! below 1.0, and any quantile that lands in that mass is `None`:
+//! with `f` finite and `k` infinite samples, [`Cdf::quantile`] returns
+//! `Some` exactly for `q ≤ f / (f + k)` and `None` above it. The
+//! finite maximum is never reported for a quantile an infinite sample
+//! occupies.
 
 /// A CDF over `f64` samples, with optional +∞ entries (used for blank
-/// `nextUpdate` validity periods in Figure 8).
+/// `nextUpdate` validity periods in Figure 8). See the module docs for
+/// the infinite-mass contract.
 #[derive(Debug, Clone, Default)]
 pub struct Cdf {
     samples: Vec<f64>,
@@ -24,9 +36,18 @@ impl Cdf {
         cdf
     }
 
-    /// Add one finite sample.
+    /// Add one sample. `+∞` is routed to [`Cdf::add_infinite`]; NaN and
+    /// `−∞` panic immediately — in every build profile — rather than
+    /// poisoning the sort inside `ensure_sorted` much later.
     pub fn add(&mut self, sample: f64) {
-        debug_assert!(sample.is_finite(), "use add_infinite for unbounded samples");
+        if sample == f64::INFINITY {
+            self.add_infinite();
+            return;
+        }
+        assert!(
+            sample.is_finite(),
+            "Cdf::add: non-finite sample {sample} (only +inf is representable, via add_infinite)"
+        );
         self.samples.push(sample);
         self.sorted = false;
     }
@@ -72,12 +93,22 @@ impl Cdf {
 
     /// The `q`-quantile (0 ≤ q ≤ 1) over finite samples; `None` when the
     /// quantile falls into the infinite mass or there are no samples.
+    ///
+    /// The rank is `⌈q·n⌉` over all `n` samples (infinite included), so
+    /// a quantile is `Some` exactly when `q` does not exceed the finite
+    /// fraction `f/n`. The old `⌊q·(n−1)⌋` rule clamped into the finite
+    /// samples and leaked the finite maximum for quantiles the infinite
+    /// mass owns.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
         if self.is_empty() {
             return None;
         }
         self.ensure_sorted();
-        let idx = (q * (self.len() - 1) as f64).floor() as usize;
+        let idx = if q <= 0.0 {
+            0
+        } else {
+            (q * self.len() as f64).ceil() as usize - 1
+        };
         self.samples.get(idx).copied()
     }
 
@@ -149,6 +180,58 @@ mod tests {
         assert_eq!(cdf.fraction_at_most(f64::MAX), 0.75);
         let curve = cdf.curve();
         assert_eq!(curve.last().unwrap().1, 0.75);
+    }
+
+    #[test]
+    fn quantiles_in_the_infinite_mass_are_none() {
+        // Regression: with [1, 2, 3] + ∞ the finite fraction is 0.75,
+        // and the old floor(q·(len−1)) rule clamped q=0.9 into the
+        // finite samples, leaking Some(3.0) for a quantile the
+        // infinite mass owns.
+        let mut cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0]);
+        cdf.add_infinite();
+        assert_eq!(cdf.quantile(0.75), Some(3.0));
+        assert_eq!(cdf.quantile(0.76), None, "just above the finite fraction");
+        assert_eq!(cdf.quantile(0.9), None);
+        assert_eq!(cdf.quantile(1.0), None);
+        assert_eq!(cdf.max(), Some(3.0), "max still reports the finite max");
+
+        // Every q in the infinite mass is None, no matter the split.
+        let mut half = Cdf::from_samples(vec![1.0, 2.0]);
+        half.add_infinite();
+        half.add_infinite();
+        assert_eq!(half.median(), Some(2.0));
+        assert_eq!(half.quantile(0.51), None);
+
+        // All-infinite: nothing finite to report at any q.
+        let mut all = Cdf::new();
+        all.add_infinite();
+        assert_eq!(all.quantile(0.0), None);
+        assert_eq!(all.quantile(0.5), None);
+    }
+
+    #[test]
+    fn add_routes_positive_infinity_to_the_infinite_mass() {
+        let mut cdf = Cdf::new();
+        cdf.add(1.0);
+        cdf.add(f64::INFINITY);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.infinite_count(), 1);
+        assert_eq!(cdf.fraction_at_most(f64::MAX), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn add_nan_panics_in_every_profile() {
+        // A plain assert!, not debug_assert!: a NaN accepted in release
+        // used to blow up much later, inside ensure_sorted's comparator.
+        Cdf::new().add(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn add_negative_infinity_panics() {
+        Cdf::new().add(f64::NEG_INFINITY);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! figures [--scale tiny|figures] [--out DIR] [--serial | --workers N]
+//!         [--engine threads|reactor] [--chunking per-responder|time-sliced]
 //!         [--seeds N | --seed-list a,b,c] [ARTIFACT...]
 //! ```
 //!
@@ -13,8 +14,11 @@
 //!
 //! The scan campaigns are sharded across worker threads by default
 //! (`available_parallelism`); `--serial` forces one worker and
-//! `--workers N` pins the count. Every setting produces byte-identical
-//! CSVs — parallelism is purely a wall-clock knob.
+//! `--workers N` pins the count. `--engine reactor` drives the probes
+//! through the simulated-time reactor instead of blocking calls, and
+//! `--chunking` picks the hourly work-unit split. Every combination
+//! produces byte-identical CSVs — all three are purely wall-clock
+//! knobs (DESIGN.md §12).
 //!
 //! `--seeds N` reruns the whole study under N independently-derived
 //! seeds (`--seed-list` pins them explicitly) and writes, next to each
@@ -35,7 +39,7 @@
 
 #![forbid(unsafe_code)]
 
-use ecosystem::EcosystemConfig;
+use ecosystem::{Chunking, EcosystemConfig, Engine};
 use mustaple::{Study, StudyResults};
 use mustaple_bench::ensemble::{parse_seed_list, seeds_for, Ensemble};
 use mustaple_bench::{ablations, bench_scan, build, Artifact, ALL_ARTIFACTS};
@@ -50,6 +54,8 @@ fn main() {
     let mut telemetry = false;
     let mut seed_count: Option<usize> = None;
     let mut seed_list: Option<Vec<u64>> = None;
+    let mut engine: Option<Engine> = None;
+    let mut chunking: Option<Chunking> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -93,6 +99,24 @@ fn main() {
                         .unwrap_or_else(|err| usage(&format!("--seed-list: {err}"))),
                 );
             }
+            "--engine" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--engine needs a value"));
+                engine = Some(Engine::parse(&v).unwrap_or_else(|| {
+                    usage(&format!("unknown engine `{v}` (use threads|reactor)"))
+                }));
+            }
+            "--chunking" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--chunking needs a value"));
+                chunking = Some(Chunking::parse(&v).unwrap_or_else(|| {
+                    usage(&format!(
+                        "unknown chunking `{v}` (use per-responder|time-sliced)"
+                    ))
+                }));
+            }
             "--help" | "-h" => usage(""),
             name => wanted.push(name.to_string()),
         }
@@ -111,6 +135,12 @@ fn main() {
             usage("--workers needs a positive integer, got `0`");
         }
         config = config.with_parallelism(n);
+    }
+    if let Some(engine) = engine {
+        config = config.with_engine(engine);
+    }
+    if let Some(chunking) = chunking {
+        config = config.with_chunking(chunking);
     }
 
     if wanted.is_empty() {
@@ -249,6 +279,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: figures [--scale tiny|figures] [--out DIR] [--serial | --workers N] \
+         [--engine threads|reactor] [--chunking per-responder|time-sliced] \
          [--seeds N | --seed-list a,b,c] [--telemetry] [ARTIFACT...]\n\
          artifacts: {} freshness recommendations telemetry ablations readiness bench-scan\n\
          --seeds/--seed-list run a multi-seed ensemble: every artifact gains an \

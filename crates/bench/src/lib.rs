@@ -13,7 +13,7 @@ pub mod ensemble;
 
 use analysis::table::{pct, secs};
 use analysis::{Cdf, RankBins, Table};
-use ecosystem::{monthly_snapshots, EcosystemConfig, LiveEcosystem};
+use ecosystem::{monthly_snapshots, EcosystemConfig, Engine, LiveEcosystem};
 use scanner::executor::Executor;
 use scanner::hourly::HourlyCampaign;
 use scanner::ErrorClass;
@@ -694,20 +694,22 @@ pub fn telemetry_report(results: &StudyResults) -> String {
 }
 
 /// The `bench-scan` artifact: serial vs parallel wall-clock for the
-/// hourly campaign, over the same ecosystem. Also sanity-checks the two
-/// runs agree (request count and responder reports), so the artifact
-/// doubles as a determinism probe at full scale.
+/// hourly campaign, on both probe engines, over the same ecosystem.
+/// Every leg replays the identical request count, so the rows are
+/// directly comparable — and the artifact doubles as a determinism
+/// probe at full scale (all four runs must agree on requests and
+/// responder reports).
 pub fn bench_scan(config: &EcosystemConfig) -> Artifact {
     let eco = LiveEcosystem::generate(config.clone());
-    let time = |executor: &Executor| {
+    let time = |executor: &Executor, engine: Engine| {
         let started = std::time::Instant::now();
-        let dataset = HourlyCampaign::new(&eco).run_with(executor);
+        let dataset = HourlyCampaign::new(&eco).run_with_engine(executor, config.chunking, engine);
         (started.elapsed(), dataset)
     };
 
     let serial_exec = Executor::serial();
-    // The parallel leg honors `config.parallelism` when set (and >1);
-    // otherwise it uses every available core, with a floor of 4 workers
+    // The parallel legs honor `config.parallelism` when set (and >1);
+    // otherwise they use every available core, with a floor of 4 workers
     // so the sharded path is always what gets measured (on a single-core
     // host the honest speedup is then ~1x).
     let parallel_exec = match config.parallelism {
@@ -719,18 +721,37 @@ pub fn bench_scan(config: &EcosystemConfig) -> Artifact {
             Executor::new(std::num::NonZeroUsize::new(avail.max(4)))
         }
     };
-    let (serial_wall, serial_data) = time(&serial_exec);
-    let (parallel_wall, parallel_data) = time(&parallel_exec);
-    assert_eq!(
-        serial_data.requests, parallel_data.requests,
-        "parallel run diverged"
-    );
-    assert_eq!(
-        serial_data.responders, parallel_data.responders,
-        "parallel run diverged from serial"
-    );
+    // (mode label, executor, engine) — serial threads first: it is the
+    // speedup baseline every other row is measured against.
+    let legs: [(&str, &Executor, Engine); 4] = [
+        ("serial", &serial_exec, Engine::Threads),
+        ("parallel", &parallel_exec, Engine::Threads),
+        ("serial", &serial_exec, Engine::Reactor),
+        ("parallel", &parallel_exec, Engine::Reactor),
+    ];
+    let runs: Vec<_> = legs
+        .iter()
+        .map(|&(mode, executor, engine)| {
+            let (wall, dataset) = time(executor, engine);
+            (mode, executor.workers(), engine, wall, dataset)
+        })
+        .collect();
+    let baseline = &runs[0];
+    for (mode, _, engine, _, dataset) in &runs[1..] {
+        assert_eq!(
+            baseline.4.requests,
+            dataset.requests,
+            "{mode}/{} run diverged",
+            engine.label()
+        );
+        assert_eq!(
+            baseline.4.responders,
+            dataset.responders,
+            "{mode}/{} run diverged from serial threads",
+            engine.label()
+        );
+    }
 
-    let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
     // Request-path cache effectiveness: `window_sign` events stand in
     // for the scheduled signing real pre-generating responders do off
     // the request path, so the hit rate is hit / (hit + miss).
@@ -743,6 +764,7 @@ pub fn bench_scan(config: &EcosystemConfig) -> Artifact {
         |requests: u64, wall: std::time::Duration| requests as f64 / wall.as_secs_f64().max(1e-9);
     let mut table = Table::new(&[
         "mode",
+        "engine",
         "workers",
         "wall_ms",
         "requests",
@@ -750,36 +772,41 @@ pub fn bench_scan(config: &EcosystemConfig) -> Artifact {
         "cache_hit_rate",
         "speedup",
     ]);
-    table.row(&[
-        "serial".into(),
-        "1".into(),
-        format!("{:.1}", serial_wall.as_secs_f64() * 1e3),
-        serial_data.requests.to_string(),
-        format!("{:.0}", req_per_sec(serial_data.requests, serial_wall)),
-        format!("{:.4}", cache_hit_rate(&serial_data)),
-        "1.00".into(),
-    ]);
-    table.row(&[
-        "parallel".into(),
-        parallel_exec.workers().to_string(),
-        format!("{:.1}", parallel_wall.as_secs_f64() * 1e3),
-        parallel_data.requests.to_string(),
-        format!("{:.0}", req_per_sec(parallel_data.requests, parallel_wall)),
-        format!("{:.4}", cache_hit_rate(&parallel_data)),
-        format!("{speedup:.2}"),
-    ]);
+    let serial_wall = baseline.3;
+    for (mode, workers, engine, wall, dataset) in &runs {
+        let speedup = serial_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+        table.row(&[
+            (*mode).into(),
+            engine.label().into(),
+            if *mode == "serial" {
+                "1".into()
+            } else {
+                workers.to_string()
+            },
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            dataset.requests.to_string(),
+            format!("{:.0}", req_per_sec(dataset.requests, *wall)),
+            format!("{:.4}", cache_hit_rate(dataset)),
+            format!("{speedup:.2}"),
+        ]);
+    }
+    let parallel_threads = &runs[1];
+    let speedup = serial_wall.as_secs_f64() / parallel_threads.3.as_secs_f64().max(1e-9);
     Artifact {
         name: "bench-scan",
         summary: format!(
-            "Hourly-scan wall clock, serial vs sharded: {:.1?} serial vs {:.1?} on {} \
-             workers ({speedup:.2}x) for {} probes at {:.0} req/s serial, responder-cache \
-             hit rate {:.1}% — outputs verified identical.",
+            "Hourly-scan wall clock, serial vs sharded on both engines: {:.1?} serial \
+             threads vs {:.1?} on {} workers ({speedup:.2}x), reactor {:.1?} serial / \
+             {:.1?} parallel, for {} probes at {:.0} req/s serial, responder-cache hit \
+             rate {:.1}% — all four outputs verified identical.",
             serial_wall,
-            parallel_wall,
-            parallel_exec.workers(),
-            serial_data.requests,
-            req_per_sec(serial_data.requests, serial_wall),
-            cache_hit_rate(&serial_data) * 100.0,
+            parallel_threads.3,
+            parallel_threads.1,
+            runs[2].3,
+            runs[3].3,
+            baseline.4.requests,
+            req_per_sec(baseline.4.requests, serial_wall),
+            cache_hit_rate(&baseline.4) * 100.0,
         ),
         table,
     }

@@ -1,0 +1,13 @@
+//! Fixture: a simulated-time event loop must never read the wall
+//! clock — completion order would depend on host timing and break the
+//! byte-for-byte engine equivalence (DESIGN.md §12).
+
+pub fn drain() -> u128 {
+    let deadline = Instant::now();
+    while pending() {
+        if SystemTime::now().elapsed().is_ok() {
+            park();
+        }
+    }
+    deadline.elapsed().as_nanos()
+}

@@ -32,6 +32,10 @@ fn wall_clock_flags_disallowed_crates_only() {
     assert_eq!(
         errors_of(&report, Rule::WallClock),
         vec![
+            // The reactor event loop: simulated time only — any wall
+            // read there is a determinism bug, never a span boundary.
+            ("crates/reactor/src/event_loop.rs".to_string(), 6),
+            ("crates/reactor/src/event_loop.rs".to_string(), 8),
             ("crates/scan/src/timing.rs".to_string(), 4),
             ("crates/scan/src/timing.rs".to_string(), 5),
         ],

@@ -38,7 +38,7 @@ pub mod live;
 
 pub use alexa::{AlexaList, AlexaSite};
 pub use authorities::{ConsistencyFault, OperatorSpec};
-pub use config::EcosystemConfig;
+pub use config::{Chunking, EcosystemConfig, Engine};
 pub use corpus::{Corpus, CorpusStats};
 pub use history::monthly_snapshots;
 pub use live::{LiveEcosystem, ScanTarget};

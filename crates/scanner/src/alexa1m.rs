@@ -7,6 +7,11 @@
 //! from Oregon/Sydney/Seoul during the Comodo episode; 77 k from Seoul
 //! during the Digicert episode; 318 domains *persistently* unavailable
 //! from São Paulo.
+//!
+//! Engine note: this analysis performs no network I/O of its own — it
+//! folds a completed [`HourlyDataset`], so `--engine reactor` reaches
+//! it through the hourly campaign (the dataset is byte-identical under
+//! either engine) and the fold itself is engine-independent.
 
 use crate::executor::Executor;
 use crate::hourly::HourlyDataset;

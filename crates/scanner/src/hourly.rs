@@ -13,11 +13,12 @@
 //!   instance `producedAt` regressions).
 
 use crate::executor::Executor;
+use crate::reactor::Reactor;
 use crate::records::{classify_validation_error, ErrorClass, ProbeOutcome};
 use analysis::{Cdf, TimeSeries};
 use asn1::Time;
 use ecosystem::LiveEcosystem;
-use netsim::{HttpOutcome, Region, Topology, World};
+use netsim::{HttpOutcome, PendingRequest, Region, Topology, World};
 use ocsp::profile::GenerationMode;
 use ocsp::{validate_response_cached, OcspRequest, SigVerifyCache, ValidationConfig};
 use std::collections::BTreeMap;
@@ -407,19 +408,10 @@ struct ChunkRecords {
     telemetry: Registry,
 }
 
-/// How the campaign splits its probe matrix into executor work units.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Chunking {
-    /// One work unit per responder — the original sharding. A slow
-    /// responder (many certs, long fault paths) straggles behind the
-    /// rest and caps parallel speedup.
-    PerResponder,
-    /// (responder × time-chunk) work units: each responder's rounds are
-    /// cut at cache-safe boundaries so many short units keep every
-    /// worker busy. Byte-identical to [`Chunking::PerResponder`] by
-    /// construction (see [`chunk_plan`]).
-    TimeSliced,
-}
+// `Chunking` moved to `ecosystem::config` (PR 7) so it can ride on
+// `EcosystemConfig` next to `Engine`; re-exported here for existing
+// callers.
+pub use ecosystem::{Chunking, Engine};
 
 /// Aim for this many time chunks per responder.
 const TARGET_CHUNKS_PER_SHARD: usize = 8;
@@ -493,6 +485,79 @@ fn absorb_report(into: &mut ResponderReport, chunk: ResponderReport) {
     into.produced_at_samples.extend(chunk.produced_at_samples);
 }
 
+/// Fold one classified probe into the chunk's accumulators — the one
+/// place record state mutates per probe, shared verbatim by the
+/// threads and reactor engines. The threads engine calls it right
+/// after each blocking probe; the reactor engine calls it in canonical
+/// submission order after draining all completions, so the two
+/// engines' records are byte-identical by construction.
+#[allow(clippy::too_many_arguments)]
+fn fold_probe(
+    records: &mut ChunkRecords,
+    region_idx: usize,
+    region: Region,
+    is_first_target: bool,
+    alexa_weight: u64,
+    t: Time,
+    outcome: &ProbeOutcome,
+) {
+    let report = &mut records.report;
+    report.attempts[region_idx] += 1;
+    let probe_ok = outcome.http_success();
+    if is_first_target {
+        records.first_target_ok[region_idx].push(probe_ok);
+    }
+    if probe_ok {
+        report.successes[region_idx] += 1;
+    }
+    records.per_region_success[region_idx].record_bool(t, probe_ok);
+    if is_first_target {
+        let down = if probe_ok { 0 } else { alexa_weight };
+        records.alexa_unreachable[region_idx].record_hits(t, down, alexa_weight);
+    }
+    if probe_ok {
+        for (class_idx, class) in ErrorClass::ALL.iter().enumerate() {
+            records.class_series[class_idx].record_bool(t, outcome.error_class() == Some(*class));
+        }
+    }
+    match outcome {
+        ProbeOutcome::Valid(v) => {
+            report.valid += 1;
+            report.quality_samples += 1;
+            report.cert_count_sum += v.cert_count as u64;
+            report.serial_count_sum += v.serial_count as u64;
+            match v.validity_period() {
+                Some(secs) => {
+                    report.validity_sum += secs;
+                    report.validity_samples += 1;
+                }
+                None => report.blank_next_update += 1,
+            }
+            report.margin_sum += v.this_update_margin;
+            // The paper sampled producedAt across all of a responder's
+            // tracked certificates; multiple samples per window are what
+            // expose the footnote 17 multi-instance regressions.
+            if region == Region::Virginia {
+                report.produced_at_samples.push((t, v.produced_at));
+            }
+        }
+        ProbeOutcome::Unusable(class) => {
+            *report.unusable.entry(*class).or_default() += 1;
+        }
+        ProbeOutcome::OtherInvalid(err) => {
+            report.other_invalid += 1;
+            // Future-dated thisUpdate responders show up here; keep
+            // their margin contribution so the Figure 9 CDF reaches
+            // below zero.
+            if let ocsp::ResponseError::NotYetValid { early_by } = err {
+                report.quality_samples += 1;
+                report.margin_sum -= *early_by;
+            }
+        }
+        ProbeOutcome::TransportFailure(_) => {}
+    }
+}
+
 /// The one streak pass both chunkings share: replay the per-round
 /// first-target outcomes in time order and fill the §8 streak fields.
 fn fill_streaks(report: &mut ResponderReport, first_target_ok: &[Vec<bool>; 6]) {
@@ -552,13 +617,38 @@ impl<'a> HourlyCampaign<'a> {
     /// from raw per-round logs at merge time — so the assembled dataset
     /// is byte-identical for every worker count and both chunkings.
     pub fn run_with(self, executor: &Executor) -> HourlyDataset {
-        self.run_with_chunking(executor, Chunking::TimeSliced)
+        let chunking = self.eco.config.chunking;
+        let engine = self.eco.config.engine;
+        self.run_with_engine(executor, chunking, engine)
     }
 
     /// [`HourlyCampaign::run_with`] with an explicit [`Chunking`] —
     /// the coarse plan exists so tests can prove the fine-grained one
     /// changes nothing but wall-clock time.
     pub fn run_with_chunking(self, executor: &Executor, chunking: Chunking) -> HourlyDataset {
+        let engine = self.eco.config.engine;
+        self.run_with_engine(executor, chunking, engine)
+    }
+
+    /// [`HourlyCampaign::run_with_chunking`] with an explicit
+    /// [`Engine`].
+    ///
+    /// Under [`Engine::Threads`] each work unit issues one blocking
+    /// `http_post` at a time. Under [`Engine::Reactor`] a work unit
+    /// *submits* every probe of its chunk up front in canonical
+    /// (round, region, target) order — `World::start_request` performs
+    /// all world mutation and draws the latency at submission time —
+    /// then drains completions from a simulated-time wheel and folds
+    /// the classified outcomes back in canonical order. Both engines
+    /// therefore mutate world state and records in the identical
+    /// sequence, and the assembled dataset is byte-identical
+    /// (DESIGN.md §12 gives the full argument).
+    pub fn run_with_engine(
+        self,
+        executor: &Executor,
+        chunking: Chunking,
+        engine: Engine,
+    ) -> HourlyDataset {
         let eco = self.eco;
         let config = &eco.config;
         let bin = config.scan_interval;
@@ -644,95 +734,154 @@ impl<'a> HourlyCampaign<'a> {
                     alexa_unreachable: (0..6).map(|_| TimeSeries::new(bin)).collect(),
                     telemetry: Registry::new(),
                 };
-                let report = &mut records.report;
-                for round in start_round..end_round {
-                    world.telemetry_mut().incr("scan.hourly.rounds", &host.url);
-                    let round_start = config.campaign_start + round as i64 * config.scan_interval;
-                    let t = round_start + offsets[shard];
-                    for (region_idx, &region) in Region::VANTAGE_POINTS.iter().enumerate() {
-                        for &target_idx in &targets_of[shard] {
-                            let target = &eco.scan_targets[target_idx];
-                            records.requests += 1;
-                            world.telemetry_mut().incr("scan.hourly.probes", &host.url);
-                            let result =
-                                world.http_post(region, &target.url, &requests_der[target_idx], t);
-                            report.attempts[region_idx] += 1;
-                            let probe_ok = matches!(result.outcome, HttpOutcome::Ok(_));
-                            if first_target_of[shard] == Some(target_idx) {
-                                records.first_target_ok[region_idx].push(probe_ok);
-                            }
-
-                            let outcome = match result.outcome {
-                                HttpOutcome::Ok(body) => {
-                                    report.successes[region_idx] += 1;
-                                    match validate_response_cached(
-                                        world.telemetry_mut(),
-                                        "scan.hourly.validate",
-                                        &mut sigcache,
-                                        &body,
-                                        &target.cert_id,
-                                        eco.issuer_of(target.operator),
+                // Classify one HTTP result: validation counters and the
+                // per-unit signature memo mutate here. Keyed purely by
+                // the request bytes and window, so calling this in
+                // completion order (reactor) instead of submission
+                // order (threads) changes no counter sums.
+                let classify = |world: &mut World,
+                                sigcache: &mut SigVerifyCache,
+                                target_idx: usize,
+                                t: Time,
+                                result: netsim::HttpResult|
+                 -> ProbeOutcome {
+                    let target = &eco.scan_targets[target_idx];
+                    match result.outcome {
+                        HttpOutcome::Ok(body) => match validate_response_cached(
+                            world.telemetry_mut(),
+                            "scan.hourly.validate",
+                            sigcache,
+                            &body,
+                            &target.cert_id,
+                            eco.issuer_of(target.operator),
+                            t,
+                            ValidationConfig::default(),
+                        ) {
+                            Ok(validated) => ProbeOutcome::Valid(validated),
+                            Err(err) => classify_validation_error(err),
+                        },
+                        other => ProbeOutcome::TransportFailure(other),
+                    }
+                };
+                let alexa_weight = alexa_weights[shard] as u64;
+                match engine {
+                    Engine::Threads => {
+                        for round in start_round..end_round {
+                            world.telemetry_mut().incr("scan.hourly.rounds", &host.url);
+                            let round_start =
+                                config.campaign_start + round as i64 * config.scan_interval;
+                            let t = round_start + offsets[shard];
+                            for (region_idx, &region) in Region::VANTAGE_POINTS.iter().enumerate() {
+                                for &target_idx in &targets_of[shard] {
+                                    let target = &eco.scan_targets[target_idx];
+                                    records.requests += 1;
+                                    world.telemetry_mut().incr("scan.hourly.probes", &host.url);
+                                    let result = world.http_post(
+                                        region,
+                                        &target.url,
+                                        &requests_der[target_idx],
                                         t,
-                                        ValidationConfig::default(),
-                                    ) {
-                                        Ok(validated) => ProbeOutcome::Valid(validated),
-                                        Err(err) => classify_validation_error(err),
-                                    }
+                                    );
+                                    let outcome =
+                                        classify(&mut world, &mut sigcache, target_idx, t, result);
+                                    fold_probe(
+                                        &mut records,
+                                        region_idx,
+                                        region,
+                                        first_target_of[shard] == Some(target_idx),
+                                        alexa_weight,
+                                        t,
+                                        &outcome,
+                                    );
                                 }
-                                other => ProbeOutcome::TransportFailure(other),
-                            };
-
-                            records.per_region_success[region_idx]
-                                .record_bool(t, outcome.http_success());
-                            if first_target_of[shard] == Some(target_idx) {
-                                let weight = alexa_weights[shard] as u64;
-                                let down = if outcome.http_success() { 0 } else { weight };
-                                records.alexa_unreachable[region_idx].record_hits(t, down, weight);
-                            }
-                            if outcome.http_success() {
-                                for (class_idx, class) in ErrorClass::ALL.iter().enumerate() {
-                                    records.class_series[class_idx]
-                                        .record_bool(t, outcome.error_class() == Some(*class));
-                                }
-                            }
-                            match &outcome {
-                                ProbeOutcome::Valid(v) => {
-                                    report.valid += 1;
-                                    report.quality_samples += 1;
-                                    report.cert_count_sum += v.cert_count as u64;
-                                    report.serial_count_sum += v.serial_count as u64;
-                                    match v.validity_period() {
-                                        Some(secs) => {
-                                            report.validity_sum += secs;
-                                            report.validity_samples += 1;
-                                        }
-                                        None => report.blank_next_update += 1,
-                                    }
-                                    report.margin_sum += v.this_update_margin;
-                                    // The paper sampled producedAt across all of a
-                                    // responder's tracked certificates; multiple
-                                    // samples per window are what expose the
-                                    // footnote 17 multi-instance regressions.
-                                    if region == Region::Virginia {
-                                        report.produced_at_samples.push((t, v.produced_at));
-                                    }
-                                }
-                                ProbeOutcome::Unusable(class) => {
-                                    *report.unusable.entry(*class).or_default() += 1;
-                                }
-                                ProbeOutcome::OtherInvalid(err) => {
-                                    report.other_invalid += 1;
-                                    // Future-dated thisUpdate responders show up
-                                    // here; keep their margin contribution so the
-                                    // Figure 9 CDF reaches below zero.
-                                    if let ocsp::ResponseError::NotYetValid { early_by } = err {
-                                        report.quality_samples += 1;
-                                        report.margin_sum -= *early_by;
-                                    }
-                                }
-                                ProbeOutcome::TransportFailure(_) => {}
                             }
                         }
+                    }
+                    Engine::Reactor => {
+                        // Phase 1 — submit the whole chunk in canonical
+                        // (round, region, target) order. All world
+                        // mutation (DNS cache, handler state, latency
+                        // draw, telemetry) happens here, so it replays
+                        // the threads engine's sequence exactly.
+                        let mut reactor = Reactor::new();
+                        let mut pending: Vec<(usize, Region, usize, Time, Option<PendingRequest>)> =
+                            Vec::new();
+                        let epoch = config.campaign_start;
+                        for round in start_round..end_round {
+                            world.telemetry_mut().incr("scan.hourly.rounds", &host.url);
+                            let round_start =
+                                config.campaign_start + round as i64 * config.scan_interval;
+                            let t = round_start + offsets[shard];
+                            for (region_idx, &region) in Region::VANTAGE_POINTS.iter().enumerate() {
+                                for &target_idx in &targets_of[shard] {
+                                    let target = &eco.scan_targets[target_idx];
+                                    records.requests += 1;
+                                    world.telemetry_mut().incr("scan.hourly.probes", &host.url);
+                                    let request = world.start_request(
+                                        region,
+                                        &target.url,
+                                        &requests_der[target_idx],
+                                        t,
+                                    );
+                                    let at_ms = t.seconds_since(epoch) as f64 * 1_000.0
+                                        + request.latency_ms();
+                                    reactor.submit(at_ms, pending.len());
+                                    pending.push((
+                                        region_idx,
+                                        region,
+                                        target_idx,
+                                        t,
+                                        Some(request),
+                                    ));
+                                }
+                            }
+                        }
+                        // Phase 2 — drain completions in simulated-time
+                        // order (ties broken by submission sequence).
+                        // Only validation runs here, and its counter
+                        // sums and signature-memo hits are completion-
+                        // order-insensitive.
+                        let mut outcomes: Vec<Option<ProbeOutcome>> =
+                            (0..pending.len()).map(|_| None).collect();
+                        while let Some((_, token)) = reactor.next_ready() {
+                            let (target_idx, t) = (pending[token].2, pending[token].3);
+                            let mut request =
+                                pending[token].4.take().expect("each token drains once");
+                            let latency_ms = request.latency_ms();
+                            let result = world
+                                .poll_response(&mut request, latency_ms)
+                                .expect("the wheel only releases completed requests");
+                            outcomes[token] =
+                                Some(classify(&mut world, &mut sigcache, target_idx, t, result));
+                        }
+                        // Phase 3 — fold in canonical submission order:
+                        // the order-sensitive record fields (streak
+                        // logs, producedAt samples, time series) see
+                        // the exact serial sequence.
+                        for (token, &(region_idx, region, target_idx, t, _)) in
+                            pending.iter().enumerate()
+                        {
+                            let outcome = outcomes[token].take().expect("every probe classified");
+                            fold_probe(
+                                &mut records,
+                                region_idx,
+                                region,
+                                first_target_of[shard] == Some(target_idx),
+                                alexa_weight,
+                                t,
+                                &outcome,
+                            );
+                        }
+                        // Introspection gauges: excluded from artifacts
+                        // (telemetry.prom/csv and equality), so the
+                        // engines stay byte-identical.
+                        world.telemetry_mut().set_gauge(
+                            "scan.hourly.reactor.depth",
+                            reactor.peak_in_flight() as u64,
+                        );
+                        world
+                            .telemetry_mut()
+                            .set_gauge("scan.hourly.reactor.ready", reactor.max_tick_width());
                     }
                 }
                 records.telemetry = world.take_telemetry();
@@ -1133,5 +1282,103 @@ mod tests {
                 assert_eq!(a.1.counts(), b.1.counts());
             }
         }
+    }
+
+    #[test]
+    fn reactor_engine_matches_threads_engine_byte_for_byte() {
+        // The tentpole acceptance test: the reactor engine must replay
+        // the threads engine exactly — every record, every telemetry
+        // counter, the exported Prometheus bytes, and the trace tree —
+        // at every worker count and under both chunkings.
+        let eco = LiveEcosystem::generate(EcosystemConfig::tiny());
+        for chunking in [Chunking::TimeSliced, Chunking::PerResponder] {
+            // The threads baseline shares the chunk plan under test:
+            // the trace tree has one span per chunk, so it is only
+            // engine- and worker-invariant *within* a chunking.
+            let baseline = HourlyCampaign::new(&eco).run_with_engine(
+                &Executor::serial(),
+                chunking,
+                Engine::Threads,
+            );
+            for workers in [1usize, 2, 4] {
+                let executor = Executor::new(std::num::NonZeroUsize::new(workers));
+                let reactor =
+                    HourlyCampaign::new(&eco).run_with_engine(&executor, chunking, Engine::Reactor);
+                let label = format!("chunking={chunking:?} workers={workers}");
+                assert_eq!(baseline.requests, reactor.requests, "{label}");
+                assert_eq!(baseline.responders, reactor.responders, "{label}");
+                assert_eq!(baseline.alexa_weights, reactor.alexa_weights, "{label}");
+                assert_eq!(baseline.telemetry, reactor.telemetry, "{label}");
+                assert_eq!(
+                    baseline.telemetry.to_csv(),
+                    reactor.telemetry.to_csv(),
+                    "{label}"
+                );
+                assert_eq!(
+                    baseline.telemetry.to_prometheus(),
+                    reactor.telemetry.to_prometheus(),
+                    "{label}"
+                );
+                assert_eq!(
+                    baseline.trace.to_jsonl(),
+                    reactor.trace.to_jsonl(),
+                    "{label}"
+                );
+                for (a, b) in baseline
+                    .per_region_success
+                    .iter()
+                    .zip(&reactor.per_region_success)
+                {
+                    assert_eq!(a.1.fractions(), b.1.fractions(), "{label}");
+                }
+                for (a, b) in baseline.class_series.iter().zip(&reactor.class_series) {
+                    assert_eq!(a.1.fractions(), b.1.fractions(), "{label}");
+                }
+                for (a, b) in baseline
+                    .alexa_unreachable
+                    .iter()
+                    .zip(&reactor.alexa_unreachable)
+                {
+                    assert_eq!(a.1.counts(), b.1.counts(), "{label}");
+                }
+                // The reactor's introspection gauges exist — but only
+                // outside the artifact surface.
+                assert!(reactor
+                    .telemetry
+                    .gauge_max("scan.hourly.reactor.depth")
+                    .is_some());
+                assert!(!reactor.telemetry.to_csv().contains("reactor"), "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_open_streak_is_reported_but_not_closed() {
+        // Pinned semantics for the reactor port (§8 streak fields): a
+        // failure streak still open at campaign end lands in
+        // `failure_streak` (persistent failure) but deliberately never
+        // in `closed_streaks` (transient-outage CDF) — only a
+        // subsequent success closes a streak.
+        let mut report = ResponderReport::new("http://r.test/", "op");
+        let mut first_target_ok: [Vec<bool>; 6] = std::array::from_fn(|_| Vec::new());
+        // Region 0: ok, fail, fail, ok, fail — one closed streak of 2,
+        // plus a trailing open streak of 1.
+        first_target_ok[0] = vec![true, false, false, true, false];
+        // Region 1: all failures — a fully open streak, nothing closed.
+        first_target_ok[1] = vec![false, false, false];
+        // Region 2: ends in a success — streak closed, none open.
+        first_target_ok[2] = vec![false, true];
+        fill_streaks(&mut report, &first_target_ok);
+
+        assert_eq!(report.closed_streaks[0], vec![2]);
+        assert_eq!(report.failure_streak[0], 1);
+        assert_eq!(report.max_failure_streak[0], 2);
+
+        assert!(report.closed_streaks[1].is_empty());
+        assert_eq!(report.failure_streak[1], 3);
+        assert_eq!(report.max_failure_streak[1], 3);
+
+        assert_eq!(report.closed_streaks[2], vec![1]);
+        assert_eq!(report.failure_streak[2], 0);
     }
 }

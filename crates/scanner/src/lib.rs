@@ -29,6 +29,7 @@ pub mod cdnlog;
 pub mod consistency;
 pub mod executor;
 pub mod hourly;
+pub mod reactor;
 pub mod records;
 
 pub use alexa1m::{Alexa1mScan, Alexa1mSummary};
@@ -36,4 +37,5 @@ pub use cdnlog::{CdnStudy, CdnSummary};
 pub use consistency::{ConsistencyStudy, ConsistencySummary};
 pub use executor::{seed_for_shard, Executor};
 pub use hourly::{HourlyCampaign, HourlyDataset, ResponderReport};
+pub use reactor::Reactor;
 pub use records::{ErrorClass, ProbeOutcome};

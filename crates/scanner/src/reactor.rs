@@ -1,0 +1,347 @@
+//! A deterministic simulated-time reactor: the event-loop core of the
+//! `--engine reactor` scan engine.
+//!
+//! The threads engine drives one blocking `World::http_post` per work
+//! unit; the reactor engine instead *submits* every probe in a work
+//! unit up front ([`netsim::World::start_request`] draws the latency
+//! and performs all world mutation at submission time) and then drains
+//! completions from a simulated-time wheel, so tens of thousands of
+//! responder connections can be in flight per core. DESIGN.md §12
+//! documents the state-machine lifecycle and the determinism argument.
+//!
+//! # Determinism contract
+//!
+//! The reactor must preserve the repo's byte-for-byte invariant
+//! (serial ≡ N workers ≡ any chunking). Two rules make that hold:
+//!
+//! 1. **All world mutation happens at submission time**, in canonical
+//!    `(shard, chunk, sequence)` order — the same order the blocking
+//!    engine issues requests in. Completion order can therefore never
+//!    influence RNG streams, DNS caches, handler state, or telemetry.
+//! 2. **Events at equal simulated timestamps are tie-broken by
+//!    submission sequence**, never by ready-queue arrival: the wheel
+//!    orders by `(ready_at, seq)` where `seq` is the canonical
+//!    submission index within the work unit (the executor's canonical
+//!    merge supplies the `(shard, chunk)` prefix across work units).
+//!
+//! Simulated time is milliseconds on an `f64` axis chosen by the
+//! caller (typically `probe timestamp × 1000 + latency`). The reactor
+//! never reads a wall clock — `detlint`'s wall-clock rule covers this
+//! file as a hot path.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use telemetry::trace::Span;
+
+/// One scheduled completion: a caller token that becomes ready at a
+/// simulated-time instant.
+#[derive(Debug)]
+struct Event<T> {
+    /// Simulated completion instant, in milliseconds.
+    ready_at: f64,
+    /// Submission sequence number — the tie-break for equal
+    /// timestamps. Canonical order, never ready-queue arrival.
+    seq: u64,
+    token: T,
+}
+
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Event<T>) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<T> Eq for Event<T> {}
+
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Event<T>) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Event<T> {
+    fn cmp(&self, other: &Event<T>) -> Ordering {
+        // Reversed on both keys: BinaryHeap is a max-heap, and we want
+        // the *earliest* (ready_at, seq) on top. Latencies are finite
+        // and non-negative, so `total_cmp` agrees with numeric order.
+        other
+            .ready_at
+            .total_cmp(&self.ready_at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A simulated-time event wheel with deterministic tie-breaking.
+///
+/// `T` is the caller's token — typically an index into a side table of
+/// [`netsim::PendingRequest`]s. See the module docs for the
+/// determinism contract.
+#[derive(Debug)]
+pub struct Reactor<T> {
+    wheel: BinaryHeap<Event<T>>,
+    next_seq: u64,
+    now_ms: f64,
+    peak_in_flight: usize,
+    /// Events drained at the current timestamp (the "ready queue"
+    /// width of the tick in progress).
+    current_tick_width: u64,
+    max_tick_width: u64,
+    ticks: u64,
+    completed: u64,
+    /// Per-tick `(time_ms, events)` log, kept only when tick tracing
+    /// is enabled — unbounded otherwise.
+    tick_log: Option<Vec<(f64, u64)>>,
+}
+
+impl<T> Default for Reactor<T> {
+    fn default() -> Reactor<T> {
+        Reactor::new()
+    }
+}
+
+impl<T> Reactor<T> {
+    /// An empty reactor with simulated time at zero and tick tracing
+    /// disabled.
+    pub fn new() -> Reactor<T> {
+        Reactor {
+            wheel: BinaryHeap::new(),
+            next_seq: 0,
+            now_ms: 0.0,
+            peak_in_flight: 0,
+            current_tick_width: 0,
+            max_tick_width: 0,
+            ticks: 0,
+            completed: 0,
+            tick_log: None,
+        }
+    }
+
+    /// Enable the per-tick log behind [`Reactor::trace_span`].
+    /// Off by default: a campaign-scale run has millions of ticks.
+    pub fn with_tick_trace(mut self) -> Reactor<T> {
+        self.tick_log = Some(Vec::new());
+        self
+    }
+
+    /// Schedule `token` to complete at simulated instant `ready_at_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ready_at_ms` is not finite or lies in the simulated
+    /// past — both are determinism bugs in the caller, not recoverable
+    /// conditions.
+    pub fn submit(&mut self, ready_at_ms: f64, token: T) {
+        assert!(
+            ready_at_ms.is_finite(),
+            "reactor: non-finite completion time {ready_at_ms}"
+        );
+        assert!(
+            ready_at_ms >= self.now_ms,
+            "reactor: submission into the simulated past ({ready_at_ms} < {})",
+            self.now_ms
+        );
+        self.wheel.push(Event {
+            ready_at: ready_at_ms,
+            seq: self.next_seq,
+            token,
+        });
+        self.next_seq += 1;
+        self.peak_in_flight = self.peak_in_flight.max(self.wheel.len());
+    }
+
+    /// Advance simulated time to the next completion and return
+    /// `(now_ms, token)`, or `None` when the wheel is empty.
+    ///
+    /// Equal-timestamp events come back in submission-sequence order.
+    pub fn next_ready(&mut self) -> Option<(f64, T)> {
+        let event = self.wheel.pop()?;
+        if self.ticks == 0 || event.ready_at > self.now_ms {
+            // A new distinct timestamp: close out the previous tick.
+            if let Some(log) = &mut self.tick_log {
+                if self.current_tick_width > 0 {
+                    log.push((self.now_ms, self.current_tick_width));
+                }
+            }
+            self.ticks += 1;
+            self.current_tick_width = 0;
+        }
+        self.now_ms = event.ready_at;
+        self.current_tick_width += 1;
+        self.max_tick_width = self.max_tick_width.max(self.current_tick_width);
+        self.completed += 1;
+        Some((event.ready_at, event.token))
+    }
+
+    /// Events submitted but not yet drained.
+    pub fn in_flight(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// High watermark of [`Reactor::in_flight`] over the reactor's
+    /// lifetime.
+    pub fn peak_in_flight(&self) -> usize {
+        self.peak_in_flight
+    }
+
+    /// Widest tick so far: the most events drained at one simulated
+    /// timestamp (the ready-queue width).
+    pub fn max_tick_width(&self) -> u64 {
+        self.max_tick_width
+    }
+
+    /// Distinct simulated timestamps drained so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Total events drained.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Current simulated time in milliseconds (the timestamp of the
+    /// most recent completion).
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// An introspection span tree over the per-tick log: one child per
+    /// simulated-time tick carrying its event count. Requires
+    /// [`Reactor::with_tick_trace`]; returns an empty aggregate
+    /// otherwise.
+    ///
+    /// This span is for humans and tests — it is *not* attached to the
+    /// campaign trace, which must stay byte-identical between engines.
+    pub fn trace_span(&self, name: &str) -> Span {
+        let mut children = Vec::new();
+        if let Some(log) = &self.tick_log {
+            for (time_ms, events) in log {
+                let hour = (*time_ms / 3_600_000.0) as u64;
+                children.push(Span::leaf(format!("tick@{time_ms}ms"), hour, hour, *events));
+            }
+        }
+        // The tick in progress (if any) hasn't been flushed to the log.
+        if self.tick_log.is_some() && self.current_tick_width > 0 {
+            let hour = (self.now_ms / 3_600_000.0) as u64;
+            children.push(Span::leaf(
+                format!("tick@{}ms", self.now_ms),
+                hour,
+                hour,
+                self.current_tick_width,
+            ));
+        }
+        Span::aggregate(name, children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completions_come_back_in_time_order() {
+        let mut r = Reactor::new();
+        r.submit(30.0, "c");
+        r.submit(10.0, "a");
+        r.submit(20.0, "b");
+        assert_eq!(r.in_flight(), 3);
+        assert_eq!(r.next_ready(), Some((10.0, "a")));
+        assert_eq!(r.next_ready(), Some((20.0, "b")));
+        assert_eq!(r.next_ready(), Some((30.0, "c")));
+        assert_eq!(r.next_ready(), None);
+        assert_eq!(r.completed(), 3);
+        assert_eq!(r.peak_in_flight(), 3);
+    }
+
+    #[test]
+    fn equal_timestamps_tie_break_by_submission_sequence() {
+        // The determinism rule: canonical submission order wins at
+        // equal simulated timestamps, regardless of heap internals.
+        let mut r = Reactor::new();
+        for token in 0..100u32 {
+            r.submit(5.0, token);
+        }
+        for expected in 0..100u32 {
+            assert_eq!(r.next_ready(), Some((5.0, expected)));
+        }
+    }
+
+    #[test]
+    fn interleaved_submit_and_drain_stays_ordered() {
+        let mut r = Reactor::new();
+        r.submit(10.0, 1);
+        r.submit(50.0, 2);
+        assert_eq!(r.next_ready(), Some((10.0, 1)));
+        // New submissions may land between pending ones...
+        r.submit(30.0, 3);
+        r.submit(10.0, 4); // ...or exactly at the current instant.
+        assert_eq!(r.next_ready(), Some((10.0, 4)));
+        assert_eq!(r.next_ready(), Some((30.0, 3)));
+        assert_eq!(r.next_ready(), Some((50.0, 2)));
+        assert_eq!(r.now_ms(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated past")]
+    fn submitting_into_the_past_panics() {
+        let mut r = Reactor::new();
+        r.submit(10.0, 1);
+        r.next_ready();
+        r.submit(5.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn submitting_nan_panics() {
+        let mut r = Reactor::new();
+        r.submit(f64::NAN, 1);
+    }
+
+    #[test]
+    fn ten_thousand_probes_in_flight_at_once() {
+        // The scale claim behind the engine: one reactor instance holds
+        // ≥ 10,000 concurrently-pending probes and drains them in
+        // deterministic order.
+        const N: u64 = 12_000;
+        let mut r = Reactor::new();
+        for i in 0..N {
+            // Colliding timestamps on purpose: 40 distinct instants.
+            r.submit((i % 40) as f64, i);
+        }
+        assert!(r.in_flight() >= 10_000, "in flight: {}", r.in_flight());
+        assert_eq!(r.peak_in_flight(), N as usize);
+        let mut drained = Vec::with_capacity(N as usize);
+        while let Some((at, token)) = r.next_ready() {
+            drained.push((at, token));
+        }
+        assert_eq!(drained.len(), N as usize);
+        // (time, seq) order: each instant's tokens ascend by submission
+        // sequence, instants ascend overall.
+        let mut expected: Vec<(f64, u64)> = (0..N).map(|i| ((i % 40) as f64, i)).collect();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        assert_eq!(drained, expected);
+        assert_eq!(r.ticks(), 40);
+        assert_eq!(r.max_tick_width(), N / 40);
+    }
+
+    #[test]
+    fn tick_trace_records_one_leaf_per_instant() {
+        let mut r = Reactor::new().with_tick_trace();
+        r.submit(1_000.0, 1);
+        r.submit(1_000.0, 2);
+        r.submit(2_000.0, 3);
+        while r.next_ready().is_some() {}
+        let span = r.trace_span("reactor");
+        let jsonl = span.to_jsonl();
+        assert!(jsonl.contains("tick@1000ms"));
+        assert!(jsonl.contains("tick@2000ms"));
+        assert_eq!(r.ticks(), 2);
+        assert_eq!(r.max_tick_width(), 2);
+
+        // Without tick tracing the span is an empty aggregate.
+        let mut quiet: Reactor<u32> = Reactor::new();
+        quiet.submit(5.0, 9);
+        quiet.next_ready();
+        assert!(!quiet.trace_span("reactor").to_jsonl().contains("tick@"));
+    }
+}

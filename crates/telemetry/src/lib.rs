@@ -16,6 +16,13 @@
 //!   **excluded** from `to_csv` and from `==`; they exist for human
 //!   inspection via [`Registry::wall_report`] only. No wall-clock value
 //!   can ever reach an artifact.
+//! * **Gauges** — [`Registry::set_gauge`] high-watermark gauges
+//!   (reactor in-flight depth, ready-queue width). Deterministic for a
+//!   fixed engine and chunk plan, but legitimately *different* between
+//!   engines or plans that produce byte-identical artifacts — so they
+//!   are excluded from `to_csv`, the Prometheus exposition, and `==`
+//!   just like wall-clock spans, and surface only through
+//!   [`Registry::gauge_report`] and the accessor methods.
 //!
 //! Counters and histograms are keyed by a `(metric, label)` pair of
 //! strings, e.g. `("net.failure.tcp", "Virginia")`. Lookups on the hot
@@ -178,6 +185,19 @@ struct WallSpan {
     total_nanos: u128,
 }
 
+/// A high-watermark gauge: last value set, maximum ever set, and how
+/// many times it was set. Introspection only (reactor queue depths and
+/// the like) — excluded from equality, `to_csv`, and the Prometheus
+/// exposition, exactly like wall-clock spans, because gauge values may
+/// legitimately differ between engines or chunk plans that produce
+/// byte-identical artifacts.
+#[derive(Debug, Clone, Copy, Default)]
+struct GaugeSpan {
+    last: u64,
+    max: u64,
+    sets: u64,
+}
+
 /// A mergeable set of deterministic counters/histograms plus
 /// non-deterministic wall-clock spans.
 ///
@@ -189,6 +209,7 @@ pub struct Registry {
     counters: BTreeMap<String, BTreeMap<String, u64>>,
     histograms: BTreeMap<String, BTreeMap<String, Histogram>>,
     wall: BTreeMap<String, WallSpan>,
+    gauges: BTreeMap<String, GaugeSpan>,
 }
 
 impl PartialEq for Registry {
@@ -307,6 +328,44 @@ impl Registry {
         self.wall.get(name).map(|s| s.count).unwrap_or(0)
     }
 
+    /// Set the gauge `name` to `value`, tracking its high watermark.
+    ///
+    /// Gauges are introspection-only (see [`GaugeSpan`]): they never
+    /// reach `to_csv`, the Prometheus exposition, or equality. Use them
+    /// for executor internals — reactor in-flight depth, ready-queue
+    /// width — whose values are allowed to differ between engines that
+    /// produce byte-identical artifacts.
+    pub fn set_gauge(&mut self, name: &str, value: u64) {
+        let g = self.gauges.entry(name.to_owned()).or_default();
+        g.last = value;
+        g.max = g.max.max(value);
+        g.sets += 1;
+    }
+
+    /// Last value set on gauge `name` (`None` if never set).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).map(|g| g.last)
+    }
+
+    /// High watermark of gauge `name` (`None` if never set).
+    pub fn gauge_max(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).map(|g| g.max)
+    }
+
+    /// Render the gauges for human inspection (never an artifact). One
+    /// line per gauge: `name last=.. max=.. sets=..`, or an explicit
+    /// placeholder when none were set.
+    pub fn gauge_report(&self) -> String {
+        if self.gauges.is_empty() {
+            return String::from("(no gauges recorded)\n");
+        }
+        let mut out = String::new();
+        for (name, g) in &self.gauges {
+            let _ = writeln!(out, "{name} last={} max={} sets={}", g.last, g.max, g.sets);
+        }
+        out
+    }
+
     /// Fold `other` into `self`.
     ///
     /// Counters and histograms add elementwise, so merging is
@@ -341,6 +400,18 @@ impl Registry {
                 mine.total_nanos += span.total_nanos;
             } else {
                 self.wall.insert(name.to_owned(), *span);
+            }
+        }
+        // Gauges combine by elementwise max (and summed set counts), so
+        // merging per-chunk registries in any order reports the same
+        // campaign-wide high watermark.
+        for (name, gauge) in &other.gauges {
+            if let Some(mine) = self.gauges.get_mut(name) {
+                mine.last = mine.last.max(gauge.last);
+                mine.max = mine.max.max(gauge.max);
+                mine.sets += gauge.sets;
+            } else {
+                self.gauges.insert(name.to_owned(), *gauge);
             }
         }
     }
@@ -600,6 +671,61 @@ mod tests {
         assert_eq!(with_wall.to_csv(), without_wall.to_csv());
         assert!(!with_wall.to_csv().contains("merge"));
         assert!(with_wall.wall_report().contains("merge count=2"));
+    }
+
+    #[test]
+    fn quantile_endpoints_are_exact_min_and_max() {
+        // Pinned for the reactor port: q=0.0 must report the exact
+        // recorded min and q=1.0 the exact recorded max, regardless of
+        // bucket boundaries.
+        let mut h = Histogram::new();
+        for v in [5, 17, 300, 4_096] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(5.0));
+        assert_eq!(h.quantile(1.0), Some(4_096.0));
+        let mut single = Histogram::new();
+        single.record(42);
+        assert_eq!(single.quantile(0.0), Some(42.0));
+        assert_eq!(single.quantile(1.0), Some(42.0));
+    }
+
+    #[test]
+    fn gauges_are_excluded_from_equality_and_artifacts() {
+        let mut with_gauge = sample_a();
+        with_gauge.set_gauge("reactor.depth", 12_000);
+        with_gauge.set_gauge("reactor.depth", 7);
+        assert_eq!(with_gauge.gauge("reactor.depth"), Some(7));
+        assert_eq!(with_gauge.gauge_max("reactor.depth"), Some(12_000));
+        assert_eq!(with_gauge.gauge("absent"), None);
+
+        let without_gauge = sample_a();
+        assert_eq!(with_gauge, without_gauge);
+        assert_eq!(with_gauge.to_csv(), without_gauge.to_csv());
+        assert_eq!(with_gauge.to_prometheus(), without_gauge.to_prometheus());
+        assert!(!with_gauge.to_csv().contains("reactor.depth"));
+        assert!(with_gauge
+            .gauge_report()
+            .contains("reactor.depth last=7 max=12000 sets=2"));
+        assert_eq!(Registry::new().gauge_report(), "(no gauges recorded)\n");
+    }
+
+    #[test]
+    fn gauges_merge_by_high_watermark_in_any_order() {
+        let mut a = Registry::new();
+        a.set_gauge("reactor.depth", 10);
+        let mut b = Registry::new();
+        b.set_gauge("reactor.depth", 25);
+        b.set_gauge("reactor.depth", 3);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for merged in [&ab, &ba] {
+            assert_eq!(merged.gauge_max("reactor.depth"), Some(25));
+            assert_eq!(merged.gauge("reactor.depth"), Some(10).max(Some(3)));
+            assert!(merged.gauge_report().contains("sets=3"));
+        }
     }
 
     #[test]

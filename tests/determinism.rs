@@ -7,12 +7,21 @@
 //! every scan-derived artifact's CSV must match byte for byte. CI runs
 //! this test plus a binary-level `figures` diff.
 
-use ecosystem::EcosystemConfig;
+use ecosystem::{EcosystemConfig, Engine};
 use mustaple::{Study, StudyResults};
 use mustaple_bench::{build, ALL_ARTIFACTS};
 
 fn run_study(workers: usize) -> StudyResults {
     Study::new(EcosystemConfig::tiny().with_parallelism(workers)).run()
+}
+
+fn run_study_on(workers: usize, engine: Engine) -> StudyResults {
+    Study::new(
+        EcosystemConfig::tiny()
+            .with_parallelism(workers)
+            .with_engine(engine),
+    )
+    .run()
 }
 
 #[test]
@@ -75,6 +84,46 @@ fn serial_and_parallel_artifacts_are_byte_identical() {
     let parsed = telemetry::prom::Exposition::parse(&serial.telemetry.to_prometheus())
         .expect("exposition round-trip");
     assert_eq!(parsed.render(), serial.telemetry.to_prometheus());
+}
+
+#[test]
+fn reactor_engine_artifacts_are_byte_identical_to_threads() {
+    // The engine axis of the same contract (DESIGN.md §12): the
+    // simulated-time reactor must reproduce the threads engine's whole
+    // artifact surface byte for byte, at every worker count.
+    let threads = run_study_on(1, Engine::Threads);
+    for workers in [1usize, 2, 4] {
+        let reactor = run_study_on(workers, Engine::Reactor);
+        for name in ALL_ARTIFACTS
+            .iter()
+            .chain(["freshness", "recommendations", "telemetry"].iter())
+        {
+            let a = build(name, &threads).unwrap_or_else(|| panic!("missing artifact {name}"));
+            let b = build(name, &reactor).unwrap_or_else(|| panic!("missing artifact {name}"));
+            assert!(
+                a.table.to_csv().as_bytes() == b.table.to_csv().as_bytes(),
+                "artifact `{name}` differs between threads and {workers}-worker reactor runs"
+            );
+        }
+        assert_eq!(
+            threads.telemetry, reactor.telemetry,
+            "telemetry diverged at {workers} reactor workers"
+        );
+        assert!(
+            threads.telemetry.to_prometheus().as_bytes()
+                == reactor.telemetry.to_prometheus().as_bytes(),
+            "telemetry.prom differs between threads and {workers}-worker reactor runs"
+        );
+        assert!(
+            threads.trace.to_jsonl().as_bytes() == reactor.trace.to_jsonl().as_bytes(),
+            "trace.jsonl differs between threads and {workers}-worker reactor runs"
+        );
+        assert_eq!(
+            threads.readiness_report().render(),
+            reactor.readiness_report().render(),
+            "readiness reports diverged at {workers} reactor workers"
+        );
+    }
 }
 
 #[test]
