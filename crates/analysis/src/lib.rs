@@ -13,7 +13,11 @@
 //!   binary so every table/figure has a machine-readable artifact;
 //! * [`stats`] — multi-seed ensemble statistics: mean / sample stddev /
 //!   Student-t 95 % confidence intervals per CSV cell, and the
-//!   `*.ens.csv` companion-table folding (DESIGN.md §11).
+//!   `*.ens.csv` companion-table folding (DESIGN.md §11);
+//! * [`stream`] — incremental accumulators for bounded-memory ×N scale:
+//!   an exact count-map [`StreamingCdf`] mirroring [`Cdf`] byte for
+//!   byte, and the folded Figure 2/11 rank-adoption summary
+//!   (DESIGN.md §13).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,11 +25,13 @@
 pub mod bins;
 pub mod cdf;
 pub mod stats;
+pub mod stream;
 pub mod table;
 pub mod timeseries;
 
 pub use bins::RankBins;
 pub use cdf::Cdf;
-pub use stats::Summary;
+pub use stats::{Summary, Welford};
+pub use stream::{AlexaAdoption, StreamingCdf};
 pub use table::Table;
 pub use timeseries::TimeSeries;

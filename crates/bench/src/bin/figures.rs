@@ -1,7 +1,8 @@
 //! `figures` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! figures [--scale tiny|figures] [--out DIR] [--serial | --workers N]
+//! figures [--scale tiny|figures] [--scale-mult K] [--streaming]
+//!         [--mem-budget BYTES] [--out DIR] [--serial | --workers N]
 //!         [--engine threads|reactor] [--chunking per-responder|time-sliced]
 //!         [--seeds N | --seed-list a,b,c] [ARTIFACT...]
 //! ```
@@ -30,6 +31,17 @@
 //! parallel unit: `--workers N` spreads seeds across threads, and every
 //! worker count yields byte-identical output.
 //!
+//! `--scale-mult K` multiplies the *statistical* populations (corpus +
+//! Alexa) by K, leaving the scan populations untouched; `--streaming`
+//! folds those populations off the pull-based feeds in bounded memory
+//! instead of materializing them. At `--scale-mult 1` streaming output
+//! is byte-identical to batch (DESIGN.md §13). Built with
+//! `--features mem-profile`, the binary installs a counting global
+//! allocator, reports `mem.peak_bytes` / `mem.alloc_count` as
+//! telemetry gauges (excluded from equality surfaces), and
+//! `--mem-budget BYTES` turns the peak into a hard gate (exit 3 when
+//! exceeded) — the CI peak-memory ratchet.
+//!
 //! `--telemetry` additionally dumps the campaigns' deterministic
 //! counters and histograms to `telemetry.csv`, a Prometheus text
 //! exposition to `telemetry.prom`, and the simulated-clock span tree to
@@ -46,6 +58,25 @@ use mustaple_bench::{ablations, bench_scan, build, Artifact, ALL_ARTIFACTS};
 use std::fs;
 use std::path::PathBuf;
 
+/// With `mem-profile`, the whole binary allocates through the counting
+/// allocator, so the peak covers the full study — generation,
+/// campaigns, and analysis.
+#[cfg(feature = "mem-profile")]
+#[global_allocator]
+static ALLOC: memprof::CountingAlloc = memprof::CountingAlloc;
+
+/// `(peak_bytes, alloc_count)` when instrumented, `None` otherwise.
+#[cfg(feature = "mem-profile")]
+fn mem_stats() -> Option<(u64, u64)> {
+    let stats = memprof::stats();
+    Some((stats.peak_bytes, stats.alloc_count))
+}
+
+#[cfg(not(feature = "mem-profile"))]
+fn mem_stats() -> Option<(u64, u64)> {
+    None
+}
+
 fn main() {
     let mut scale = "figures".to_string();
     let mut out_dir = PathBuf::from("results");
@@ -56,6 +87,9 @@ fn main() {
     let mut seed_list: Option<Vec<u64>> = None;
     let mut engine: Option<Engine> = None;
     let mut chunking: Option<Chunking> = None;
+    let mut scale_mult: usize = 1;
+    let mut streaming = false;
+    let mut mem_budget: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -117,6 +151,26 @@ fn main() {
                     ))
                 }));
             }
+            "--scale-mult" => {
+                let n = args
+                    .next()
+                    .unwrap_or_else(|| usage("--scale-mult needs a value"));
+                scale_mult = n.parse().unwrap_or_else(|_| {
+                    usage(&format!("--scale-mult needs a positive integer, got `{n}`"))
+                });
+                if scale_mult == 0 {
+                    usage("--scale-mult needs a positive integer, got `0`");
+                }
+            }
+            "--streaming" => streaming = true,
+            "--mem-budget" => {
+                let n = args
+                    .next()
+                    .unwrap_or_else(|| usage("--mem-budget needs a value"));
+                mem_budget = Some(n.parse().unwrap_or_else(|_| {
+                    usage(&format!("--mem-budget needs a byte count, got `{n}`"))
+                }));
+            }
             "--help" | "-h" => usage(""),
             name => wanted.push(name.to_string()),
         }
@@ -141,6 +195,10 @@ fn main() {
     }
     if let Some(chunking) = chunking {
         config = config.with_chunking(chunking);
+    }
+    config = config.with_scale_mult(scale_mult).with_streaming(streaming);
+    if mem_budget.is_some() && mem_stats().is_none() {
+        usage("--mem-budget requires building with `--features mem-profile`");
     }
 
     if wanted.is_empty() {
@@ -168,10 +226,18 @@ fn main() {
     );
     let started = std::time::Instant::now();
     let ensemble = seeds.as_deref().map(|s| Ensemble::run(&config, s));
-    let single = match &ensemble {
+    let mut single = match &ensemble {
         Some(_) => None,
         None => Some(Study::new(config.clone()).run()),
     };
+    // Export the allocator's high watermark as telemetry gauges —
+    // excluded from every artifact-equality surface, so instrumented
+    // and uninstrumented runs stay byte-identical (single-run only;
+    // the ensemble's primary results are shared borrows).
+    if let (Some((peak, allocs)), Some(results)) = (mem_stats(), single.as_mut()) {
+        results.telemetry.set_gauge("mem.peak_bytes", peak);
+        results.telemetry.set_gauge("mem.alloc_count", allocs);
+    }
     let results: &StudyResults = ensemble
         .as_ref()
         .map(Ensemble::primary)
@@ -231,6 +297,19 @@ fn main() {
         }
     }
     eprintln!("\nartifacts written to {}", out_dir.display());
+
+    // The peak-memory ratchet: report the high watermark, and gate on
+    // it when a budget was given.
+    if let Some((peak, allocs)) = mem_stats() {
+        eprintln!("peak allocation: {peak} bytes ({allocs} allocations)");
+        if let Some(budget) = mem_budget {
+            if peak > budget {
+                eprintln!("error: peak allocation {peak} bytes exceeds --mem-budget {budget}");
+                std::process::exit(3);
+            }
+            eprintln!("within --mem-budget {budget} bytes");
+        }
+    }
 }
 
 /// Write `<name>.ens.csv` next to the primary artifact: the per-cell
@@ -278,7 +357,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: figures [--scale tiny|figures] [--out DIR] [--serial | --workers N] \
+        "usage: figures [--scale tiny|figures] [--scale-mult K] [--streaming] \
+         [--mem-budget BYTES] [--out DIR] [--serial | --workers N] \
          [--engine threads|reactor] [--chunking per-responder|time-sliced] \
          [--seeds N | --seed-list a,b,c] [--telemetry] [ARTIFACT...]\n\
          artifacts: {} freshness recommendations telemetry ablations readiness bench-scan\n\

@@ -12,8 +12,10 @@ pub mod ablations;
 pub mod ensemble;
 
 use analysis::table::{pct, secs};
-use analysis::{Cdf, RankBins, Table};
-use ecosystem::{monthly_snapshots, EcosystemConfig, Engine, LiveEcosystem};
+use analysis::{AlexaAdoption, Cdf, Table};
+use ecosystem::{
+    monthly_snapshots, AlexaStream, CorpusStream, EcosystemConfig, Engine, LiveEcosystem,
+};
 use scanner::executor::Executor;
 use scanner::hourly::HourlyCampaign;
 use scanner::ErrorClass;
@@ -102,15 +104,10 @@ fn sec4(results: &StudyResults) -> Artifact {
 }
 
 fn fig2(results: &StudyResults) -> Artifact {
-    let bin_width = (results.alexa.len() / 100).max(1);
-    let mut https_bins = RankBins::new(bin_width);
-    let mut ocsp_bins = RankBins::new(bin_width);
-    for site in results.alexa.sites() {
-        https_bins.record(site.rank, site.https);
-        if site.https {
-            ocsp_bins.record(site.rank, site.ocsp);
-        }
-    }
+    // The rank folds arrive pre-accumulated from the study (batch and
+    // streaming runs fold identically — DESIGN.md §13).
+    let https_bins = results.alexa.https();
+    let ocsp_bins = results.alexa.ocsp_of_https();
     let mut table = Table::new(&["rank_bin", "https_pct", "ocsp_pct_of_https"]);
     for ((rank, https), (_, ocsp)) in https_bins
         .percentages()
@@ -422,13 +419,7 @@ fn table2(results: &StudyResults) -> Artifact {
 }
 
 fn fig11(results: &StudyResults) -> Artifact {
-    let bin_width = (results.alexa.len() / 100).max(1);
-    let mut bins = RankBins::new(bin_width);
-    for site in results.alexa.sites() {
-        if site.ocsp {
-            bins.record(site.rank, site.staples);
-        }
-    }
+    let bins = results.alexa.staples_of_ocsp();
     let mut table = Table::new(&["rank_bin", "stapling_pct_of_ocsp"]);
     for (rank, staple) in bins.percentages() {
         table.row(&[rank.to_string(), format!("{staple:.1}")]);
@@ -729,15 +720,52 @@ pub fn bench_scan(config: &EcosystemConfig) -> Artifact {
         ("serial", &serial_exec, Engine::Reactor),
         ("parallel", &parallel_exec, Engine::Reactor),
     ];
-    let runs: Vec<_> = legs
+    let mut runs: Vec<_> = legs
         .iter()
         .map(|&(mode, executor, engine)| {
+            let mem_before = mem_leg_start();
             let (wall, dataset) = time(executor, engine);
-            (mode, executor.workers(), engine, wall, dataset)
+            let (peak, allocs) = mem_leg_end(mem_before);
+            (
+                mode,
+                executor.workers(),
+                engine,
+                wall,
+                dataset,
+                peak,
+                allocs,
+            )
         })
         .collect();
+
+    // The streaming leg: the same serial threads campaign plus the
+    // streaming statistical pass (corpus + Alexa folds off the feeds at
+    // the scaled sizes) — what a bounded-memory `figures --streaming`
+    // run pays, at equal hourly request counts.
+    {
+        let mem_before = mem_leg_start();
+        let started = std::time::Instant::now();
+        let mut corpus_stream = CorpusStream::new(config.seed, config.scaled_corpus_size());
+        for _ in corpus_stream.by_ref() {}
+        let corpus_fold = corpus_stream.into_fold();
+        assert!(corpus_fold.stats().total > 0, "streaming corpus fold ran");
+        let mut adoption = AlexaAdoption::new(config.scaled_alexa_size());
+        for site in AlexaStream::new(config.seed, config.scaled_alexa_size()) {
+            adoption.record(site.rank, site.https, site.ocsp, site.staples);
+        }
+        assert!(!adoption.is_empty(), "streaming Alexa fold ran");
+        let dataset = HourlyCampaign::new(&eco).run_with_engine(
+            &serial_exec,
+            config.chunking,
+            Engine::Threads,
+        );
+        let wall = started.elapsed();
+        let (peak, allocs) = mem_leg_end(mem_before);
+        runs.push(("streaming", 1, Engine::Threads, wall, dataset, peak, allocs));
+    }
+
     let baseline = &runs[0];
-    for (mode, _, engine, _, dataset) in &runs[1..] {
+    for (mode, _, engine, _, dataset, _, _) in &runs[1..] {
         assert_eq!(
             baseline.4.requests,
             dataset.requests,
@@ -771,23 +799,27 @@ pub fn bench_scan(config: &EcosystemConfig) -> Artifact {
         "req_per_sec",
         "cache_hit_rate",
         "speedup",
+        "peak_alloc_bytes",
+        "alloc_count",
     ]);
     let serial_wall = baseline.3;
-    for (mode, workers, engine, wall, dataset) in &runs {
+    for (mode, workers, engine, wall, dataset, peak, allocs) in &runs {
         let speedup = serial_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9);
         table.row(&[
             (*mode).into(),
             engine.label().into(),
-            if *mode == "serial" {
-                "1".into()
-            } else {
+            if *mode == "parallel" {
                 workers.to_string()
+            } else {
+                "1".into()
             },
             format!("{:.1}", wall.as_secs_f64() * 1e3),
             dataset.requests.to_string(),
             format!("{:.0}", req_per_sec(dataset.requests, *wall)),
             format!("{:.4}", cache_hit_rate(dataset)),
             format!("{speedup:.2}"),
+            peak.clone(),
+            allocs.clone(),
         ]);
     }
     let parallel_threads = &runs[1];
@@ -797,19 +829,58 @@ pub fn bench_scan(config: &EcosystemConfig) -> Artifact {
         summary: format!(
             "Hourly-scan wall clock, serial vs sharded on both engines: {:.1?} serial \
              threads vs {:.1?} on {} workers ({speedup:.2}x), reactor {:.1?} serial / \
-             {:.1?} parallel, for {} probes at {:.0} req/s serial, responder-cache hit \
-             rate {:.1}% — all four outputs verified identical.",
+             {:.1?} parallel, streaming {:.1?} (campaign + corpus/Alexa folds), for {} \
+             probes at {:.0} req/s serial, responder-cache hit rate {:.1}% — all five \
+             outputs verified identical. Peak-allocation columns are real only under \
+             `--features mem-profile` (else n/a).",
             serial_wall,
             parallel_threads.3,
             parallel_threads.1,
             runs[2].3,
             runs[3].3,
+            runs[4].3,
             baseline.4.requests,
             req_per_sec(baseline.4.requests, serial_wall),
             cache_hit_rate(&baseline.4) * 100.0,
         ),
         table,
     }
+}
+
+/// Start a `bench_scan` leg's memory window: reset the allocator's high
+/// watermark and remember the allocation count. Returns 0 when the
+/// `mem-profile` feature is off.
+#[cfg(feature = "mem-profile")]
+fn mem_leg_start() -> u64 {
+    memprof::reset_peak();
+    memprof::stats().alloc_count
+}
+
+#[cfg(not(feature = "mem-profile"))]
+fn mem_leg_start() -> u64 {
+    0
+}
+
+/// Close a leg's memory window: `(peak_alloc_bytes, alloc_count)` cells.
+/// Honest `n/a` when the feature is off — and also when the counting
+/// allocator is not actually installed (the counters never moved), so a
+/// `mem-profile` library build inside an uninstrumented binary cannot
+/// report a fake zero.
+#[cfg(feature = "mem-profile")]
+fn mem_leg_end(before: u64) -> (String, String) {
+    let stats = memprof::stats();
+    if stats.alloc_count == 0 {
+        return ("n/a".into(), "n/a".into());
+    }
+    (
+        stats.peak_bytes.to_string(),
+        (stats.alloc_count - before).to_string(),
+    )
+}
+
+#[cfg(not(feature = "mem-profile"))]
+fn mem_leg_end(_before: u64) -> (String, String) {
+    ("n/a".into(), "n/a".into())
 }
 
 fn mark(b: bool) -> &'static str {

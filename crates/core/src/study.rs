@@ -1,8 +1,12 @@
 //! The end-to-end study driver.
 
 use crate::readiness::ReadinessReport;
+use analysis::AlexaAdoption;
 use browser::testsuite::{run_browser_suite, SuiteRow};
-use ecosystem::{AlexaList, Corpus, CorpusStats, EcosystemConfig, LiveEcosystem};
+use ecosystem::{
+    AlexaList, AlexaStream, ChurnStream, Corpus, CorpusStats, CorpusStream, EcosystemConfig,
+    LiveEcosystem,
+};
 use netsim::Region;
 use pki::RootStore;
 use scanner::alexa1m::{Alexa1mScan, Alexa1mSummary};
@@ -27,8 +31,12 @@ pub struct StudyResults {
     pub corpus: CorpusStats,
     /// §4: the per-CA Must-Staple breakdown.
     pub must_staple_by_ca: Vec<(String, usize)>,
-    /// §4 / Figures 2 & 11: the Alexa list.
-    pub alexa: AlexaList,
+    /// §4 / Figures 2 & 11: the folded Alexa rank-adoption summary.
+    /// Batch and streaming runs produce identical folds (the batch
+    /// path records the materialized list through the same
+    /// accumulator), so every downstream artifact is byte-identical
+    /// either way (DESIGN.md §13).
+    pub alexa: AlexaAdoption,
     /// §5: the Hourly campaign aggregation (Figures 3, 5–9, freshness).
     pub hourly: HourlyDataset,
     /// §5.2 / Figure 4: the Alexa-impact summary.
@@ -60,11 +68,30 @@ impl Study {
     /// Run every campaign. At [`EcosystemConfig::tiny`] scale this takes
     /// around a second; at [`EcosystemConfig::figures`] scale, minutes.
     pub fn run(self) -> StudyResults {
-        // §4: the statistical corpus and Alexa list.
-        let corpus = Corpus::generate(self.config.seed, self.config.corpus_size);
-        let corpus_stats = corpus.stats();
-        let must_staple_by_ca = corpus.must_staple_by_issuer();
-        let alexa = AlexaList::generate(self.config.seed, self.config.alexa_size);
+        // §4: the statistical corpus and Alexa list, at the scaled
+        // sizes. Scan populations below intentionally keep the *base*
+        // sizes, so `scale_mult` moves only these statistical passes.
+        let corpus_size = self.config.scaled_corpus_size();
+        let alexa_size = self.config.scaled_alexa_size();
+        let (corpus_stats, must_staple_by_ca, alexa) = if self.config.streaming {
+            // Bounded memory: drain the feeds, keep only the folds.
+            let mut corpus_stream = CorpusStream::new(self.config.seed, corpus_size);
+            for _ in corpus_stream.by_ref() {}
+            let fold = corpus_stream.into_fold();
+            let mut adoption = AlexaAdoption::new(alexa_size);
+            for site in AlexaStream::new(self.config.seed, alexa_size) {
+                adoption.record(site.rank, site.https, site.ocsp, site.staples);
+            }
+            (fold.stats().clone(), fold.must_staple_by_issuer(), adoption)
+        } else {
+            let corpus = Corpus::generate(self.config.seed, corpus_size);
+            let list = AlexaList::generate(self.config.seed, alexa_size);
+            let mut adoption = AlexaAdoption::new(list.len());
+            for site in list.sites() {
+                adoption.record(site.rank, site.https, site.ocsp, site.staples);
+            }
+            (corpus.stats(), corpus.must_staple_by_issuer(), adoption)
+        };
 
         // §5: the live ecosystem and its campaigns. One executor, sized
         // by `config.parallelism`, drives all of them; every worker
@@ -101,6 +128,21 @@ impl Study {
         telemetry.merge(&cdn.telemetry);
         for row in &table3 {
             telemetry.merge(&row.telemetry);
+        }
+
+        // Optional mid-campaign churn: a churn-salted RNG stream, so the
+        // base populations are untouched. Its summary lands in gauges,
+        // which are excluded from every artifact-equality surface —
+        // enabling churn changes no committed artifact.
+        if let Some(churn) = &self.config.churn {
+            let mut events =
+                ChurnStream::new(self.config.seed, churn.clone(), self.config.scan_rounds());
+            for _ in events.by_ref() {}
+            let summary = events.summary();
+            telemetry.set_gauge("ecosystem.churn.issued", summary.issued);
+            telemetry.set_gauge("ecosystem.churn.expired", summary.expired);
+            telemetry.set_gauge("ecosystem.churn.revoked", summary.revoked);
+            telemetry.set_gauge("ecosystem.churn.live", summary.live);
         }
 
         // One root over the four pipelines, in the fixed merge order.

@@ -51,6 +51,9 @@ impl Config {
                 "crates/scanner/src/executor.rs".into(),
                 "crates/netsim/src/world.rs".into(),
                 "crates/netsim/src/cdn.rs".into(),
+                "crates/ecosystem/src/stream.rs".into(),
+                "crates/analysis/src/stream.rs".into(),
+                "crates/memprof/src/lib.rs".into(),
             ],
             exclude: vec!["crates/detlint/tests/fixtures".into()],
             baseline_path: "lint-baseline.json".into(),

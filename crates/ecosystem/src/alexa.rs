@@ -4,9 +4,7 @@
 //! "tail" value across the rank range, which is exactly the shape of the
 //! paper's Figures 2 and 11: high and slowly declining.
 
-use crate::calibration as cal;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::stream::AlexaStream;
 
 /// One ranked site.
 #[derive(Debug, Clone)]
@@ -31,53 +29,14 @@ pub struct AlexaList {
     sites: Vec<AlexaSite>,
 }
 
-/// Interpolate between `top` (rank 1) and `tail` (rank n) on a
-/// log-rank scale.
-fn interp(rank: usize, n: usize, top: f64, tail: f64) -> f64 {
-    if n <= 1 {
-        return top;
-    }
-    let x = (rank as f64).ln() / (n as f64).ln();
-    top + (tail - top) * x
-}
-
 impl AlexaList {
-    /// Generate `size` ranked sites with `seed`.
+    /// Generate `size` ranked sites with `seed` — [`AlexaStream`]'s
+    /// collect, so batch and streaming lists are byte-identical by
+    /// construction (DESIGN.md §13).
     pub fn generate(seed: u64, size: usize) -> AlexaList {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xA1E7A);
-        let mut sites = Vec::with_capacity(size);
-        for rank in 1..=size {
-            let https = rng.gen_bool(interp(
-                rank,
-                size,
-                cal::ALEXA_HTTPS_TOP,
-                cal::ALEXA_HTTPS_TAIL,
-            ));
-            let ocsp = https
-                && rng.gen_bool(interp(
-                    rank,
-                    size,
-                    cal::ALEXA_OCSP_TOP,
-                    cal::ALEXA_OCSP_TAIL,
-                ));
-            let staples = ocsp
-                && rng.gen_bool(interp(
-                    rank,
-                    size,
-                    cal::ALEXA_STAPLING_TOP,
-                    cal::ALEXA_STAPLING_TAIL,
-                ));
-            let must_staple = ocsp && rng.gen_bool(cal::ALEXA_MUST_STAPLE_FRACTION);
-            sites.push(AlexaSite {
-                rank,
-                domain: format!("site-{rank:07}.example"),
-                https,
-                ocsp,
-                staples,
-                must_staple,
-            });
+        AlexaList {
+            sites: AlexaStream::new(seed, size).collect(),
         }
-        AlexaList { sites }
     }
 
     /// All sites, rank order.

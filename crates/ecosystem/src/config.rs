@@ -1,5 +1,6 @@
 //! Scale configuration.
 
+use crate::stream::ChurnConfig;
 use asn1::Time;
 use std::num::NonZeroUsize;
 
@@ -109,6 +110,21 @@ pub struct EcosystemConfig {
     /// Hourly-campaign work-unit chunking. Byte-identical output either
     /// way (DESIGN.md §8).
     pub chunking: Chunking,
+    /// Multiplier on the *statistical* populations (corpus + Alexa —
+    /// see [`EcosystemConfig::scaled_corpus_size`]). Scan populations
+    /// are untouched, so `1` (the default) reproduces every artifact
+    /// byte for byte.
+    pub scale_mult: usize,
+    /// Run the §4 / Figure 2 / Figure 11 passes off the pull-based
+    /// feeds ([`crate::stream`]) instead of materialized vectors.
+    /// Byte-identical output either way; this is purely a memory knob
+    /// (DESIGN.md §13).
+    pub streaming: bool,
+    /// Mid-campaign certificate churn (issuance/expiry/revocation
+    /// events). `None` (the default) disables churn entirely; enabling
+    /// it only adds telemetry gauges, which are excluded from every
+    /// artifact-equality surface.
+    pub churn: Option<ChurnConfig>,
 }
 
 impl EcosystemConfig {
@@ -129,6 +145,9 @@ impl EcosystemConfig {
             parallelism: None,
             engine: Engine::Threads,
             chunking: Chunking::TimeSliced,
+            scale_mult: 1,
+            streaming: false,
+            churn: None,
         }
     }
 
@@ -148,6 +167,9 @@ impl EcosystemConfig {
             parallelism: None,
             engine: Engine::Threads,
             chunking: Chunking::TimeSliced,
+            scale_mult: 1,
+            streaming: false,
+            churn: None,
         }
     }
 
@@ -173,6 +195,38 @@ impl EcosystemConfig {
     pub fn with_chunking(mut self, chunking: Chunking) -> EcosystemConfig {
         self.chunking = chunking;
         self
+    }
+
+    /// Override the statistical-population scale multiplier.
+    pub fn with_scale_mult(mut self, scale_mult: usize) -> EcosystemConfig {
+        self.scale_mult = scale_mult;
+        self
+    }
+
+    /// Toggle the streaming (bounded-memory) analysis paths.
+    pub fn with_streaming(mut self, streaming: bool) -> EcosystemConfig {
+        self.streaming = streaming;
+        self
+    }
+
+    /// Enable mid-campaign certificate churn.
+    pub fn with_churn(mut self, churn: ChurnConfig) -> EcosystemConfig {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// The corpus size after the scale multiplier — what the §4 pass
+    /// actually streams/generates.
+    pub fn scaled_corpus_size(&self) -> usize {
+        self.corpus_size * self.scale_mult.max(1)
+    }
+
+    /// The Alexa list size after the scale multiplier — what the
+    /// Figure 2 / Figure 11 folds actually stream/generate. Scan-path
+    /// populations (e.g. the Alexa1M probe set) intentionally keep the
+    /// *base* `alexa_size`, so scan artifacts are scale-invariant.
+    pub fn scaled_alexa_size(&self) -> usize {
+        self.alexa_size * self.scale_mult.max(1)
     }
 
     /// Number of scan rounds in the campaign.

@@ -6,13 +6,10 @@
 //! attached. (Full cryptographic certificates live in [`crate::live`],
 //! where the scanning experiments need them.)
 
-use crate::authorities::{named_operators, OperatorSpec};
-use crate::calibration as cal;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::stream::{CorpusFold, CorpusStream};
 
 /// One corpus certificate (the fields §4 reads).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorpusCert {
     /// Issuing operator name ("Let's Encrypt", "Comodo", …; filler
     /// operators are "Other-N").
@@ -28,7 +25,7 @@ pub struct CorpusCert {
 }
 
 /// Aggregate statistics over a corpus (the §4 numbers).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CorpusStats {
     /// Total valid certificates.
     pub total: usize,
@@ -60,38 +57,27 @@ impl CorpusStats {
 }
 
 /// The synthetic Censys corpus.
+///
+/// Since the streaming refactor (DESIGN.md §13) this is simply
+/// [`CorpusStream`]'s collect: one generation code path, so batch and
+/// streaming corpora are byte-identical by construction, and the §4
+/// statistics are folded during generation rather than recomputed from
+/// the materialized slice.
 #[derive(Debug, Clone)]
 pub struct Corpus {
     certs: Vec<CorpusCert>,
+    fold: CorpusFold,
 }
 
 impl Corpus {
     /// Generate a corpus of `size` certificates with `seed`.
     pub fn generate(seed: u64, size: usize) -> Corpus {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_45_05);
-        let operators = named_operators();
-        let named_share: f64 = operators.iter().map(|o| o.market_share).sum();
-        let mut certs = Vec::with_capacity(size);
-        for _ in 0..size {
-            let spec = pick_operator(&mut rng, &operators, named_share);
-            let (issuer, supports_crl, ms_share) = match spec {
-                Some(op) => (op.name.to_string(), op.supports_crl, op.must_staple_share),
-                None => {
-                    // Long-tail filler CA: generic behavior, no Must-Staple.
-                    (format!("Other-{}", rng.gen_range(0..40)), true, 0.0)
-                }
-            };
-            let has_ocsp = rng.gen_bool(cal::OCSP_SUPPORT_FRACTION);
-            let has_must_staple = has_ocsp && rng.gen_bool(ms_share);
-            certs.push(CorpusCert {
-                issuer,
-                has_ocsp,
-                has_must_staple,
-                has_crl: supports_crl,
-                multi_responder: has_ocsp && rng.gen_bool(cal::MULTI_RESPONDER_FRACTION),
-            });
+        let mut stream = CorpusStream::new(seed, size);
+        let certs: Vec<CorpusCert> = stream.by_ref().collect();
+        Corpus {
+            certs,
+            fold: stream.into_fold(),
         }
-        Corpus { certs }
     }
 
     /// The certificates.
@@ -99,69 +85,22 @@ impl Corpus {
         &self.certs
     }
 
-    /// Compute the §4 statistics.
+    /// The §4 statistics (folded during generation).
     pub fn stats(&self) -> CorpusStats {
-        let mut stats = CorpusStats {
-            total: self.certs.len(),
-            ocsp: 0,
-            must_staple: 0,
-            must_staple_lets_encrypt: 0,
-            multi_responder: 0,
-        };
-        for cert in &self.certs {
-            if cert.has_ocsp {
-                stats.ocsp += 1;
-            }
-            if cert.has_must_staple {
-                stats.must_staple += 1;
-                if cert.issuer == "Let's Encrypt" {
-                    stats.must_staple_lets_encrypt += 1;
-                }
-            }
-            if cert.multi_responder {
-                stats.multi_responder += 1;
-            }
-        }
-        stats
+        self.fold.stats().clone()
     }
 
-    /// Must-Staple counts per issuer, descending — the §4 CA breakdown.
+    /// Must-Staple counts per issuer, descending — the §4 CA breakdown
+    /// (folded during generation).
     pub fn must_staple_by_issuer(&self) -> Vec<(String, usize)> {
-        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
-        for cert in self.certs.iter().filter(|c| c.has_must_staple) {
-            *counts.entry(&cert.issuer).or_default() += 1;
-        }
-        let mut out: Vec<(String, usize)> = counts
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect();
-        out.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
-        out
+        self.fold.must_staple_by_issuer()
     }
-}
-
-fn pick_operator<'a>(
-    rng: &mut StdRng,
-    operators: &'a [OperatorSpec],
-    named_share: f64,
-) -> Option<&'a OperatorSpec> {
-    let x: f64 = rng.gen_range(0.0..1.0);
-    if x >= named_share {
-        return None;
-    }
-    let mut acc = 0.0;
-    for op in operators {
-        acc += op.market_share;
-        if x < acc {
-            return Some(op);
-        }
-    }
-    operators.last()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::calibration as cal;
 
     fn corpus() -> Corpus {
         Corpus::generate(1, 200_000)

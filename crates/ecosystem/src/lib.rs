@@ -18,7 +18,11 @@
 //! * [`live`] — the *live* ecosystem: real CAs, real responders, a
 //!   [`netsim::World`] wired with the paper's outage script, scan
 //!   targets, and the revoked-certificate pool for the §5.4 consistency
-//!   study.
+//!   study;
+//! * [`stream`] — the pull-based certificate feed: seeded deterministic
+//!   iterators behind [`corpus`]/[`alexa`] (the batch types are now the
+//!   streams' collects) plus mid-campaign churn events, enabling
+//!   bounded-memory ×N scale (DESIGN.md §13).
 //!
 //! Scale is configurable; see [`config::EcosystemConfig`]. Defaults are
 //! roughly 1:5 on responders and 1:1000 on certificate volume, which
@@ -35,6 +39,7 @@ pub mod config;
 pub mod corpus;
 pub mod history;
 pub mod live;
+pub mod stream;
 
 pub use alexa::{AlexaList, AlexaSite};
 pub use authorities::{ConsistencyFault, OperatorSpec};
@@ -42,3 +47,6 @@ pub use config::{Chunking, EcosystemConfig, Engine};
 pub use corpus::{Corpus, CorpusStats};
 pub use history::monthly_snapshots;
 pub use live::{LiveEcosystem, ScanTarget};
+pub use stream::{
+    AlexaStream, CertEvent, ChurnConfig, ChurnStream, ChurnSummary, CorpusFold, CorpusStream,
+};

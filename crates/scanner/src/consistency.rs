@@ -14,7 +14,7 @@
 
 use crate::executor::Executor;
 use crate::reactor::Reactor;
-use analysis::Cdf;
+use analysis::{Cdf, StreamingCdf};
 use asn1::Time;
 use ecosystem::{Engine, LiveEcosystem};
 use netsim::{HttpOutcome, PendingRequest, Region, World};
@@ -55,8 +55,11 @@ pub struct ConsistencySummary {
     /// Table 1: responders with status discrepancies.
     pub table1: Vec<DiscrepantResponder>,
     /// All `T_ocsp − T_crl` differences for revoked-on-both-sides
-    /// certificates, seconds (Figure 10's sample set).
-    pub time_diffs: Vec<i64>,
+    /// certificates, seconds (Figure 10's sample set) — held as a
+    /// streaming count-map, so memory is bounded by the number of
+    /// *distinct* differences (a handful of fault-model lags), not the
+    /// pool size (DESIGN.md §13).
+    pub time_diffs: StreamingCdf,
     /// Revocations whose reason exists in the CRL but not over OCSP.
     pub reason_crl_only: u64,
     /// Revocations whose reasons are present and equal on both sides.
@@ -79,32 +82,43 @@ pub struct ConsistencySummary {
 impl ConsistencySummary {
     /// Fraction of matched revocations with differing times (paper: 0.15 %).
     pub fn time_diff_fraction(&self) -> f64 {
-        let differing = self.time_diffs.iter().filter(|&&d| d != 0).count();
-        differing as f64 / self.time_diffs.len().max(1) as f64
+        let differing: u64 = self
+            .time_diffs
+            .counts()
+            .filter(|&(d, _)| d != 0.0)
+            .map(|(_, n)| n)
+            .sum();
+        differing as f64 / (self.time_diffs.len().max(1)) as f64
     }
 
     /// Of the differing times, the fraction that are negative
     /// (paper: 14.7 %).
     pub fn negative_diff_fraction(&self) -> f64 {
-        let differing: Vec<i64> = self
+        let differing: u64 = self
             .time_diffs
-            .iter()
-            .copied()
-            .filter(|&d| d != 0)
-            .collect();
-        if differing.is_empty() {
+            .counts()
+            .filter(|&(d, _)| d != 0.0)
+            .map(|(_, n)| n)
+            .sum();
+        if differing == 0 {
             return 0.0;
         }
-        differing.iter().filter(|&&d| d < 0).count() as f64 / differing.len() as f64
+        let negative: u64 = self
+            .time_diffs
+            .counts()
+            .filter(|&(d, _)| d < 0.0)
+            .map(|(_, n)| n)
+            .sum();
+        negative as f64 / differing as f64
     }
 
     /// Figure 10: the CDF of nonzero time differences.
     pub fn time_diff_cdf(&self) -> Cdf {
         Cdf::from_samples(
             self.time_diffs
-                .iter()
-                .filter(|&&d| d != 0)
-                .map(|&d| d as f64),
+                .counts()
+                .filter(|&(d, _)| d != 0.0)
+                .flat_map(|(d, n)| std::iter::repeat_n(d, n as usize)),
         )
     }
 
@@ -124,7 +138,7 @@ struct ShardSummary {
     responses_collected: u64,
     requests: u64,
     rows: Vec<DiscrepantResponder>,
-    time_diffs: Vec<i64>,
+    time_diffs: StreamingCdf,
     reason_crl_only: u64,
     reason_match: u64,
     reason_absent: u64,
@@ -290,7 +304,7 @@ impl ConsistencyStudy {
                     responses_collected: 0,
                     requests: 0,
                     rows: Vec::new(),
-                    time_diffs: Vec::new(),
+                    time_diffs: StreamingCdf::new(),
                     reason_crl_only: 0,
                     reason_match: 0,
                     reason_absent: 0,
@@ -333,7 +347,11 @@ impl ConsistencyStudy {
                             CertStatus::Unknown => row.unknown += 1,
                             CertStatus::Revoked { time, reason } => {
                                 row.revoked += 1;
-                                partial.time_diffs.push(time - crl_entry.revocation_time);
+                                // i64 seconds are exact in f64 far past any
+                                // campaign-scale difference (< 2^53).
+                                partial
+                                    .time_diffs
+                                    .add((time - crl_entry.revocation_time) as f64);
                                 match (crl_entry.reason, reason) {
                                     (None, None) => partial.reason_absent += 1,
                                     (Some(a), Some(b)) if a == b => partial.reason_match += 1,
@@ -478,7 +496,7 @@ impl ConsistencyStudy {
             responses_collected: 0,
             requests: 0,
             table1: Vec::new(),
-            time_diffs: Vec::new(),
+            time_diffs: StreamingCdf::new(),
             reason_crl_only: 0,
             reason_match: 0,
             reason_absent: 0,
@@ -493,7 +511,7 @@ impl ConsistencyStudy {
             summary.responses_collected += partial.responses_collected;
             summary.requests += partial.requests;
             summary.table1.extend(partial.rows);
-            summary.time_diffs.extend(partial.time_diffs);
+            summary.time_diffs.merge(&partial.time_diffs);
             summary.reason_crl_only += partial.reason_crl_only;
             summary.reason_match += partial.reason_match;
             summary.reason_absent += partial.reason_absent;
@@ -560,7 +578,7 @@ mod tests {
         assert!(f < 0.2, "diff fraction {f}");
         // The msocsp lag is present: some positive diffs of >= 7 hours.
         assert!(
-            s.time_diffs.iter().any(|&d| d >= 7 * 3_600),
+            s.time_diffs.max().is_some_and(|d| d >= (7 * 3_600) as f64),
             "expected msocsp-style lag"
         );
     }

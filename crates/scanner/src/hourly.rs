@@ -21,7 +21,7 @@ use ecosystem::LiveEcosystem;
 use netsim::{HttpOutcome, PendingRequest, Region, Topology, World};
 use ocsp::profile::GenerationMode;
 use ocsp::{validate_response_cached, OcspRequest, SigVerifyCache, ValidationConfig};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
 use telemetry::trace::Span;
@@ -58,9 +58,12 @@ pub struct ResponderReport {
     pub blank_next_update: u64,
     /// Sum of `thisUpdate` margins (receive − thisUpdate, seconds).
     pub margin_sum: i64,
-    /// `(probe_time, produced_at)` samples from the Virginia client for
-    /// the freshness analysis.
-    pub produced_at_samples: Vec<(Time, Time)>,
+    /// Freshness accumulator fed by the Virginia client's
+    /// `(probe_time, produced_at)` samples — stale/sample counts, the
+    /// regression flag, and the distinct-`producedAt` set, folded
+    /// per-probe instead of retaining the raw sample vector
+    /// (DESIGN.md §13).
+    pub freshness: FreshnessAccumulator,
     /// Current consecutive-failure streak per region (scan rounds).
     pub failure_streak: [u32; 6],
     /// Longest observed failure streak per region (scan rounds) — the
@@ -91,7 +94,7 @@ impl ResponderReport {
             validity_samples: 0,
             blank_next_update: 0,
             margin_sum: 0,
-            produced_at_samples: Vec::new(),
+            freshness: FreshnessAccumulator::new(),
             failure_streak: [0; 6],
             max_failure_streak: [0; 6],
             closed_streaks: std::array::from_fn(|_| Vec::new()),
@@ -318,36 +321,22 @@ impl HourlyDataset {
     pub fn freshness(&self) -> FreshnessReport {
         let mut report = FreshnessReport::default();
         for r in &self.responders {
-            if r.produced_at_samples.len() < 2 {
+            if r.freshness.samples() < 2 {
                 continue;
             }
-            // The paper's rule, applied per responder behavior: a sample
-            // is "not generated on demand" when producedAt is more than
-            // two minutes before receipt, and a responder is classified
-            // pre-generated when the *majority* of its samples say so —
-            // a lone stale outlier (cache, load balancer hiccup) must
-            // not flip an on-demand responder.
-            if !is_pre_generated(&r.produced_at_samples) {
+            if !r.freshness.is_pre_generated() {
                 report.on_demand += 1;
                 continue;
             }
             report.pre_generated += 1;
 
-            // Refresh-period estimate: minimum positive gap between
-            // distinct consecutive producedAt values.
-            let mut produced: Vec<Time> = r.produced_at_samples.iter().map(|&(_, p)| p).collect();
             // Regressions (footnote 17): producedAt going backwards.
-            if produced.windows(2).any(|w| w[1] < w[0]) {
+            if r.freshness.has_regression() {
                 report.produced_at_regressions.push(r.url.clone());
             }
-            produced.sort();
-            produced.dedup();
-            let refresh = produced
-                .windows(2)
-                .map(|w| w[1] - w[0])
-                .filter(|&d| d > 0)
-                .min();
-            if let (Some(refresh), Some(Some(validity))) = (refresh, r.avg_validity()) {
+            if let (Some(refresh), Some(Some(validity))) =
+                (r.freshness.min_refresh_gap(), r.avg_validity())
+            {
                 if validity as i64 <= refresh {
                     report.non_overlapping.push(r.url.clone());
                 }
@@ -357,15 +346,112 @@ impl HourlyDataset {
     }
 }
 
-/// The §5.4 per-responder behavioral rule: pre-generated iff a strict
-/// majority of `(probe_time, produced_at)` samples show `producedAt`
-/// more than two minutes before receipt.
-fn is_pre_generated(samples: &[(Time, Time)]) -> bool {
-    let stale = samples
-        .iter()
-        .filter(|&&(probe, produced)| probe - produced > 120)
-        .count();
-    stale * 2 > samples.len()
+/// The §5.4 freshness fold: everything the freshness analysis needs
+/// from a responder's Virginia `(probe_time, produced_at)` samples,
+/// accumulated per probe so no raw sample vector is ever retained.
+/// Memory is bounded by the number of *distinct* `producedAt` values
+/// (at most one per refresh window for pre-generated responders).
+///
+/// The paper's rule, applied per responder behavior: a sample is "not
+/// generated on demand" when `producedAt` is more than two minutes
+/// before receipt, and a responder is classified pre-generated when
+/// the *majority* of its samples say so — a lone stale outlier (cache,
+/// load balancer hiccup) must not flip an on-demand responder.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FreshnessAccumulator {
+    samples: u64,
+    stale: u64,
+    first_produced: Option<Time>,
+    last_produced: Option<Time>,
+    regressed: bool,
+    produced: BTreeSet<Time>,
+}
+
+impl FreshnessAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> FreshnessAccumulator {
+        FreshnessAccumulator::default()
+    }
+
+    /// Fold one Virginia sample in. Samples must arrive in probe-time
+    /// order (they do: chunks run rounds in order and merge in time
+    /// order), so a backwards `producedAt` step is observable right
+    /// here.
+    pub fn record(&mut self, probe: Time, produced: Time) {
+        self.samples += 1;
+        if probe - produced > 120 {
+            self.stale += 1;
+        }
+        if let Some(last) = self.last_produced {
+            if produced < last {
+                self.regressed = true;
+            }
+        }
+        if self.first_produced.is_none() {
+            self.first_produced = Some(produced);
+        }
+        self.last_produced = Some(produced);
+        self.produced.insert(produced);
+    }
+
+    /// Fold a later chunk's accumulator in (chunks merge in time
+    /// order), stitching regression detection across the chunk
+    /// boundary.
+    pub fn merge(&mut self, other: &FreshnessAccumulator) {
+        if other.samples == 0 {
+            return;
+        }
+        self.samples += other.samples;
+        self.stale += other.stale;
+        self.regressed |= other.regressed;
+        if let (Some(last), Some(first)) = (self.last_produced, other.first_produced) {
+            if first < last {
+                self.regressed = true;
+            }
+        }
+        if self.first_produced.is_none() {
+            self.first_produced = other.first_produced;
+        }
+        self.last_produced = other.last_produced;
+        self.produced.extend(other.produced.iter().copied());
+    }
+
+    /// Number of samples folded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The §5.4 per-responder behavioral rule: pre-generated iff a
+    /// strict majority of samples show `producedAt` more than two
+    /// minutes before receipt.
+    pub fn is_pre_generated(&self) -> bool {
+        self.stale * 2 > self.samples
+    }
+
+    /// Whether `producedAt` ever went backwards (footnote 17's
+    /// multi-instance regressions).
+    pub fn has_regression(&self) -> bool {
+        self.regressed
+    }
+
+    /// Refresh-period estimate: minimum positive gap between distinct
+    /// consecutive `producedAt` values. (The set is sorted and
+    /// deduplicated, so consecutive gaps are exactly the old
+    /// sort+dedup+windows computation.)
+    pub fn min_refresh_gap(&self) -> Option<i64> {
+        let mut prev: Option<Time> = None;
+        let mut min_gap: Option<i64> = None;
+        for &p in &self.produced {
+            if let Some(prev) = prev {
+                let gap = p - prev;
+                if gap > 0 && min_gap.is_none_or(|m| gap < m) {
+                    min_gap = Some(gap);
+                }
+            }
+            prev = Some(p);
+        }
+        min_gap
+    }
 }
 
 /// Deterministic FNV-1a hash used to stagger probe times per responder.
@@ -482,7 +568,7 @@ fn absorb_report(into: &mut ResponderReport, chunk: ResponderReport) {
     into.validity_samples += chunk.validity_samples;
     into.blank_next_update += chunk.blank_next_update;
     into.margin_sum += chunk.margin_sum;
-    into.produced_at_samples.extend(chunk.produced_at_samples);
+    into.freshness.merge(&chunk.freshness);
 }
 
 /// Fold one classified probe into the chunk's accumulators — the one
@@ -538,7 +624,7 @@ fn fold_probe(
             // tracked certificates; multiple samples per window are what
             // expose the footnote 17 multi-instance regressions.
             if region == Region::Virginia {
-                report.produced_at_samples.push((t, v.produced_at));
+                report.freshness.record(t, v.produced_at);
             }
         }
         ProbeOutcome::Unusable(class) => {
@@ -1065,6 +1151,14 @@ mod tests {
         // scale just ensure the analysis runs.
     }
 
+    fn accumulate(samples: &[(Time, Time)]) -> FreshnessAccumulator {
+        let mut acc = FreshnessAccumulator::new();
+        for &(probe, produced) in samples {
+            acc.record(probe, produced);
+        }
+        acc
+    }
+
     #[test]
     fn one_stale_outlier_does_not_flip_freshness_to_pre_generated() {
         // Regression: the old rule (`.any(gap > 120)`) classified a
@@ -1081,7 +1175,7 @@ mod tests {
                 .any(|&(probe, produced)| probe - produced > 120),
             "the outlier must trip the old any() rule"
         );
-        assert!(!is_pre_generated(&samples));
+        assert!(!accumulate(&samples).is_pre_generated());
     }
 
     #[test]
@@ -1095,7 +1189,7 @@ mod tests {
                 (probe, produced)
             })
             .collect();
-        assert!(is_pre_generated(&samples));
+        assert!(accumulate(&samples).is_pre_generated());
         // An exact half is not a strict majority.
         let split: Vec<(Time, Time)> = (0..10)
             .map(|k| {
@@ -1104,7 +1198,47 @@ mod tests {
                 (probe, produced)
             })
             .collect();
-        assert!(!is_pre_generated(&split));
+        assert!(!accumulate(&split).is_pre_generated());
+    }
+
+    #[test]
+    fn freshness_merge_stitches_regressions_across_chunks() {
+        // A producedAt step backwards exactly at a chunk boundary must
+        // still be seen as a regression after the chunks merge.
+        let t0 = Time::from_civil(2018, 4, 25, 0, 0, 0);
+        let mut first = FreshnessAccumulator::new();
+        first.record(t0, t0 - 7_200);
+        first.record(t0 + 3_600, t0 - 3_600);
+        let mut second = FreshnessAccumulator::new();
+        second.record(t0 + 7_200, t0 - 5_400); // backwards vs. first's last
+        assert!(!first.has_regression());
+        assert!(!second.has_regression());
+        first.merge(&second);
+        assert!(first.has_regression());
+
+        // And the merged state equals recording everything in order.
+        let whole = accumulate(&[
+            (t0, t0 - 7_200),
+            (t0 + 3_600, t0 - 3_600),
+            (t0 + 7_200, t0 - 5_400),
+        ]);
+        assert_eq!(first, whole);
+    }
+
+    #[test]
+    fn min_refresh_gap_matches_sort_dedup_windows() {
+        let t0 = Time::from_civil(2018, 4, 25, 0, 0, 0);
+        // Produced values {0, 0, 7200, 18000}: gaps 7200 and 10800.
+        let acc = accumulate(&[
+            (t0 + 60, t0),
+            (t0 + 3_660, t0),
+            (t0 + 7_260, t0 + 7_200),
+            (t0 + 18_060, t0 + 18_000),
+        ]);
+        assert_eq!(acc.min_refresh_gap(), Some(7_200));
+        // Fewer than two distinct values: no estimate.
+        let flat = accumulate(&[(t0 + 60, t0), (t0 + 3_660, t0)]);
+        assert_eq!(flat.min_refresh_gap(), None);
     }
 
     #[test]

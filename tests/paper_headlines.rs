@@ -148,7 +148,10 @@ fn consistency_shapes_hold() {
     // lags of >= 7h exist.
     let diff_fraction = summary.time_diff_fraction();
     assert!(diff_fraction < 0.25, "diff fraction {diff_fraction}");
-    assert!(summary.time_diffs.iter().any(|&d| d >= 7 * 3_600));
+    assert!(summary
+        .time_diffs
+        .max()
+        .is_some_and(|d| d >= (7 * 3_600) as f64));
 
     // Reason codes: discrepancies exist and all are CRL-only.
     assert!(summary.reason_crl_only > 0);
