@@ -196,6 +196,19 @@ impl Welford {
     }
 }
 
+/// Sum `f64`s in a canonical order regardless of the input order:
+/// collect, sort by IEEE total order, then fold left-to-right. Float
+/// addition is not associative, so folding a `HashMap`'s iteration
+/// order directly would make the result depend on hasher state; this
+/// helper is one of the blessed order-insensitive accumulators the
+/// float-determinism lint accepts (with [`Welford`] and
+/// `StreamingCdf`).
+pub fn sum_sorted(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sorted: Vec<f64> = values.into_iter().collect();
+    sorted.sort_by(f64::total_cmp);
+    sorted.iter().sum()
+}
+
 /// The per-cell summary an ensemble reports: mean, sample stddev,
 /// t-distribution 95 % confidence interval, and the across-seed
 /// min/max envelope.
@@ -443,6 +456,22 @@ fn fold_aligned(tables: &[Table], out: &mut Table) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sum_sorted_is_order_insensitive_to_the_bit() {
+        let forward = vec![1e16, 1.0, -1e16, 0.25, 3.5, 1e-9];
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let mut interleaved = vec![0.25, 1e16, 1e-9, -1e16, 3.5, 1.0];
+        assert_eq!(
+            sum_sorted(forward).to_bits(),
+            sum_sorted(reversed).to_bits()
+        );
+        assert_eq!(
+            sum_sorted(interleaved.drain(..)).to_bits(),
+            sum_sorted(vec![1e16, 1.0, -1e16, 0.25, 3.5, 1e-9]).to_bits()
+        );
+    }
 
     #[test]
     fn mean_and_stddev_match_hand_computation() {

@@ -235,8 +235,12 @@ fn main() {
     // and uninstrumented runs stay byte-identical (single-run only;
     // the ensemble's primary results are shared borrows).
     if let (Some((peak, allocs)), Some(results)) = (mem_stats(), single.as_mut()) {
-        results.telemetry.set_gauge("mem.peak_bytes", peak);
-        results.telemetry.set_gauge("mem.alloc_count", allocs);
+        results
+            .telemetry
+            .set_gauge(telemetry::catalog::MEM_PEAK_BYTES, peak);
+        results
+            .telemetry
+            .set_gauge(telemetry::catalog::MEM_ALLOC_COUNT, allocs);
     }
     let results: &StudyResults = ensemble
         .as_ref()

@@ -21,6 +21,7 @@ use scanner::hourly::HourlyCampaign;
 use scanner::ErrorClass;
 
 use mustaple::StudyResults;
+use telemetry::catalog;
 
 /// A regenerated figure or table.
 pub struct Artifact {
@@ -784,8 +785,12 @@ pub fn bench_scan(config: &EcosystemConfig) -> Artifact {
     // for the scheduled signing real pre-generating responders do off
     // the request path, so the hit rate is hit / (hit + miss).
     let cache_hit_rate = |dataset: &scanner::hourly::HourlyDataset| {
-        let hit = dataset.telemetry.counter("ocsp.responder.cache", "hit");
-        let miss = dataset.telemetry.counter("ocsp.responder.cache", "miss");
+        let hit = dataset
+            .telemetry
+            .counter(catalog::OCSP_RESPONDER_CACHE, "hit");
+        let miss = dataset
+            .telemetry
+            .counter(catalog::OCSP_RESPONDER_CACHE, "miss");
         hit as f64 / (hit + miss).max(1) as f64
     };
     let req_per_sec =

@@ -14,6 +14,7 @@ use scanner::cdnlog::{CdnStudy, CdnSummary};
 use scanner::consistency::{ConsistencyStudy, ConsistencySummary};
 use scanner::executor::Executor;
 use scanner::hourly::{HourlyCampaign, HourlyDataset};
+use telemetry::catalog;
 use webserver::experiment::{run_table3_experiments, Table3Row, TestBench};
 use webserver::{Apache, Ideal, Nginx};
 
@@ -139,10 +140,10 @@ impl Study {
                 ChurnStream::new(self.config.seed, churn.clone(), self.config.scan_rounds());
             for _ in events.by_ref() {}
             let summary = events.summary();
-            telemetry.set_gauge("ecosystem.churn.issued", summary.issued);
-            telemetry.set_gauge("ecosystem.churn.expired", summary.expired);
-            telemetry.set_gauge("ecosystem.churn.revoked", summary.revoked);
-            telemetry.set_gauge("ecosystem.churn.live", summary.live);
+            telemetry.set_gauge(catalog::ECOSYSTEM_CHURN_ISSUED, summary.issued);
+            telemetry.set_gauge(catalog::ECOSYSTEM_CHURN_EXPIRED, summary.expired);
+            telemetry.set_gauge(catalog::ECOSYSTEM_CHURN_REVOKED, summary.revoked);
+            telemetry.set_gauge(catalog::ECOSYSTEM_CHURN_LIVE, summary.live);
         }
 
         // One root over the four pipelines, in the fixed merge order.

@@ -1,0 +1,246 @@
+//! The metric-catalog pack: one namespace for every telemetry name.
+//!
+//! `telemetry::catalog` declares every metric, gauge, and wall-span
+//! name as a `pub const NAME: &str = "dotted.name";`. This pass proves
+//! the three-way closure code ↔ baseline ↔ tolerances:
+//!
+//! * **call sites** — in the configured metric crates, the first
+//!   argument of every `Registry` call (`incr`, `observe`, `set_gauge`,
+//!   `record_wall`, reads included) must be a catalog constant: string
+//!   literals and `format!`-built names are errors, as are constants
+//!   the catalog does not declare. Test code keeps its literals — the
+//!   equality tests deliberately cross-check the constants' values.
+//! * **baseline** — every family in `results/telemetry.prom` (the
+//!   dotted name on each `# HELP` line) must be declared, so a retired
+//!   metric cannot linger silently in the committed baseline.
+//! * **tolerances** — every `["metric"]` section in `teldiff.toml`
+//!   must be declared, so a tolerance cannot outlive its metric.
+//! * **liveness** — every catalog constant must be referenced from at
+//!   least one file outside the catalog module; an orphaned constant is
+//!   a retired metric that should be deleted (or carry a reviewed
+//!   `detlint::allow(metric-catalog)` suppression explaining why it
+//!   stays).
+
+use crate::config::Config;
+use crate::dag;
+use crate::parse::{FileModel, FirstArg};
+use crate::report::{Finding, Rule, Severity};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// `Registry` methods whose first argument is a metric name. Covers
+/// both the emit and the read surface — a typo in a read silently
+/// queries a metric that never existed.
+const METRIC_METHODS: &[&str] = &[
+    "incr",
+    "add",
+    "observe",
+    "set_gauge",
+    "record_wall",
+    "time",
+    "counter",
+    "counter_total",
+    "histogram",
+    "gauge",
+    "gauge_max",
+    "wall_count",
+];
+
+fn err(file: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule: Rule::MetricCatalog,
+        file: file.to_string(),
+        line,
+        message,
+        severity: Severity::Error,
+    }
+}
+
+/// Run the metric-catalog checks. `models` maps workspace-relative
+/// `.rs` paths to their models; the catalog module itself must be one
+/// of them.
+pub fn check(root: &Path, config: &Config, models: &BTreeMap<String, FileModel>) -> Vec<Finding> {
+    let Some(policy) = &config.catalog else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+
+    let Some(catalog_model) = models.get(&policy.module) else {
+        out.push(err(
+            &policy.module,
+            0,
+            "metric catalog module is missing; declare metric names in \
+             telemetry::catalog"
+                .to_string(),
+        ));
+        return out;
+    };
+
+    // name → value and value → name, with duplicate detection.
+    let mut by_name: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut by_value: BTreeMap<&str, &str> = BTreeMap::new();
+    for c in &catalog_model.str_consts {
+        if by_name.insert(&c.name, &c.value).is_some() {
+            out.push(err(
+                &policy.module,
+                c.line,
+                format!("duplicate catalog constant `{}`", c.name),
+            ));
+        }
+        if let Some(prev) = by_value.insert(&c.value, &c.name) {
+            out.push(err(
+                &policy.module,
+                c.line,
+                format!(
+                    "catalog value \"{}\" is declared twice (`{prev}` and `{}`)",
+                    c.value, c.name
+                ),
+            ));
+        }
+    }
+    if by_name.is_empty() {
+        out.push(err(
+            &policy.module,
+            0,
+            "metric catalog declares no `pub const NAME: &str` entries".to_string(),
+        ));
+        return out;
+    }
+
+    // Call-site discipline in the metric crates.
+    for (rel, model) in models {
+        if rel == &policy.module || dag::is_test_path(rel) {
+            continue;
+        }
+        let crate_id = Config::crate_of(rel);
+        if !config.metric_crates.iter().any(|c| c == crate_id) {
+            continue;
+        }
+        for call in &model.calls {
+            if !METRIC_METHODS.contains(&call.method.as_str()) || model.in_test_range(call.line) {
+                continue;
+            }
+            match &call.arg {
+                FirstArg::Str(value) => {
+                    let hint = match by_value.get(value.as_str()) {
+                        Some(name) => format!("use telemetry::catalog::{name}"),
+                        None => "declare it in telemetry::catalog and use the constant".to_string(),
+                    };
+                    out.push(err(
+                        rel,
+                        call.line,
+                        format!(
+                            "hardcoded metric name \"{value}\" at `.{}(…)`; {hint}",
+                            call.method
+                        ),
+                    ));
+                }
+                FirstArg::Dynamic => {
+                    out.push(err(
+                        rel,
+                        call.line,
+                        format!(
+                            "metric name built with format! at `.{}(…)`; declare each \
+                             variant in telemetry::catalog and select one statically",
+                            call.method
+                        ),
+                    ));
+                }
+                FirstArg::Const(name) => {
+                    if !by_name.contains_key(name.as_str()) {
+                        out.push(err(
+                            rel,
+                            call.line,
+                            format!(
+                                "`.{}(…)` references constant `{name}`, which is not \
+                                 declared in telemetry::catalog",
+                                call.method
+                            ),
+                        ));
+                    }
+                }
+                FirstArg::Other => {}
+            }
+        }
+    }
+
+    // Baseline closure: every prom family resolves to a catalog value.
+    match fs::read_to_string(root.join(&policy.prom_baseline)) {
+        Ok(text) => {
+            for (idx, line) in text.lines().enumerate() {
+                let Some(rest) = line.strip_prefix("# HELP ") else {
+                    continue;
+                };
+                let Some((_, dotted)) = rest.split_once(' ') else {
+                    continue;
+                };
+                let dotted = dotted.trim();
+                if !by_value.contains_key(dotted) {
+                    out.push(err(
+                        &policy.prom_baseline,
+                        (idx + 1) as u32,
+                        format!(
+                            "baseline metric \"{dotted}\" is not declared in \
+                             telemetry::catalog; declare it or retire the baseline family"
+                        ),
+                    ));
+                }
+            }
+        }
+        Err(_) => out.push(err(
+            &policy.prom_baseline,
+            0,
+            "prometheus baseline is missing; the catalog closure cannot be checked".to_string(),
+        )),
+    }
+
+    // Tolerance closure: every teldiff section resolves to a catalog
+    // value.
+    match fs::read_to_string(root.join(&policy.teldiff)) {
+        Ok(text) => {
+            for (idx, line) in text.lines().enumerate() {
+                let line = line.trim();
+                let Some(name) = line.strip_prefix("[\"").and_then(|r| r.strip_suffix("\"]"))
+                else {
+                    continue;
+                };
+                if !by_value.contains_key(name) {
+                    out.push(err(
+                        &policy.teldiff,
+                        (idx + 1) as u32,
+                        format!(
+                            "tolerance section \"{name}\" names a metric not declared \
+                             in telemetry::catalog"
+                        ),
+                    ));
+                }
+            }
+        }
+        Err(_) => out.push(err(
+            &policy.teldiff,
+            0,
+            "teldiff tolerance file is missing; the catalog closure cannot be checked".to_string(),
+        )),
+    }
+
+    // Liveness: every catalog constant is referenced somewhere else.
+    for c in &catalog_model.str_consts {
+        let referenced = models
+            .iter()
+            .any(|(rel, m)| rel != &policy.module && m.idents.contains(&c.name));
+        if !referenced {
+            out.push(err(
+                &policy.module,
+                c.line,
+                format!(
+                    "catalog constant `{}` (\"{}\") is never referenced at any call \
+                     site; delete it or suppress with a retirement note",
+                    c.name, c.value
+                ),
+            ));
+        }
+    }
+
+    out
+}

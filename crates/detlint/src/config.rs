@@ -6,6 +6,48 @@
 //! workspace architecture changes, and a PR that changes the
 //! architecture should have to change this file in the same diff.
 
+/// One crate's position in the declared dependency DAG.
+#[derive(Debug, Clone)]
+pub struct CrateSpec {
+    /// Crate id — the directory name under `crates/`, or `study` for
+    /// the umbrella package.
+    pub id: String,
+    /// The name code imports it under (`use <lib>::…`), underscored.
+    pub lib: String,
+    /// Layer index for the DOT export and the inversion check: every
+    /// normal dependency must point at a strictly lower layer. `None`
+    /// exempts the crate from the layer ordering (cycle detection still
+    /// applies).
+    pub layer: Option<u32>,
+    /// Crate ids this crate may depend on (normal or dev).
+    pub deps: Vec<String>,
+}
+
+impl CrateSpec {
+    fn new(id: &str, lib: &str, layer: u32, deps: &[&str]) -> CrateSpec {
+        CrateSpec {
+            id: id.into(),
+            lib: lib.into(),
+            layer: Some(layer),
+            deps: deps.iter().map(|d| d.to_string()).collect(),
+        }
+    }
+}
+
+/// File paths the metric-catalog closure checks read.
+#[derive(Debug, Clone)]
+pub struct CatalogPolicy {
+    /// The catalog module, relative to the root (its `pub const NAME:
+    /// &str = "…";` items are the metric namespace).
+    pub module: String,
+    /// The committed Prometheus exposition baseline; every family in it
+    /// must be declared in the catalog.
+    pub prom_baseline: String,
+    /// The teldiff tolerance file; every `["metric"]` section must be
+    /// declared in the catalog.
+    pub teldiff: String,
+}
+
 /// Lint configuration for one root directory.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -26,6 +68,18 @@ pub struct Config {
     pub exclude: Vec<String>,
     /// Path of the panic-hygiene baseline, relative to the root.
     pub baseline_path: String,
+    /// The declared crate DAG. Empty disables the layering pack.
+    pub layering: Vec<CrateSpec>,
+    /// Crates whose telemetry call sites must route metric names through
+    /// `telemetry::catalog` constants. Empty disables the call-site
+    /// check.
+    pub metric_crates: Vec<String>,
+    /// Catalog ↔ baseline ↔ tolerance closure policy. `None` disables
+    /// the metric-catalog pack entirely.
+    pub catalog: Option<CatalogPolicy>,
+    /// Crates under the float-determinism rule (artifact crates plus the
+    /// figure/bench producers). Empty disables the pack.
+    pub float_crates: Vec<String>,
 }
 
 impl Config {
@@ -57,7 +111,170 @@ impl Config {
             ],
             exclude: vec!["crates/detlint/tests/fixtures".into()],
             baseline_path: "lint-baseline.json".into(),
+            layering: Self::workspace_layering(),
+            metric_crates: vec![
+                "netsim".into(),
+                "ocsp".into(),
+                "scanner".into(),
+                "webserver".into(),
+                "ecosystem".into(),
+                "core".into(),
+                "bench".into(),
+                "study".into(),
+            ],
+            catalog: Some(CatalogPolicy {
+                module: "crates/telemetry/src/catalog.rs".into(),
+                prom_baseline: "results/telemetry.prom".into(),
+                teldiff: "teldiff.toml".into(),
+            }),
+            float_crates: vec![
+                "scanner".into(),
+                "netsim".into(),
+                "ocsp".into(),
+                "analysis".into(),
+                "core".into(),
+                "ecosystem".into(),
+                "bench".into(),
+                "study".into(),
+            ],
         }
+    }
+
+    /// The declared workspace DAG: who may depend on whom, and at which
+    /// layer. Allowed sets are exact — a new edge must be added here (in
+    /// the same diff that justifies it) before `cargo` metadata may grow
+    /// it. Layers order the DOT export and catch inversions: every
+    /// normal dependency points at a strictly lower layer (dev
+    /// dependencies are exempt from the ordering, since test harness
+    /// edges like telemetry → proptest legitimately point upward).
+    fn workspace_layering() -> Vec<CrateSpec> {
+        vec![
+            // Layer 0: leaves — no workspace dependencies.
+            CrateSpec::new("rand", "rand", 0, &[]),
+            CrateSpec::new("asn1", "asn1", 0, &["proptest"]),
+            CrateSpec::new("memprof", "memprof", 0, &[]),
+            CrateSpec::new("detlint", "detlint", 0, &[]),
+            CrateSpec::new("telemetry", "telemetry", 0, &["proptest"]),
+            // Layer 1: primitives over the leaves.
+            CrateSpec::new("simcrypto", "simcrypto", 1, &["rand", "proptest"]),
+            CrateSpec::new("proptest", "proptest", 1, &["rand"]),
+            CrateSpec::new("criterion", "criterion", 1, &["telemetry"]),
+            CrateSpec::new("analysis", "analysis", 1, &["asn1", "proptest"]),
+            CrateSpec::new("teldiff", "teldiff", 1, &["telemetry"]),
+            // Layer 2–3: the PKI and protocol stack.
+            CrateSpec::new("pki", "pki", 2, &["asn1", "simcrypto", "rand", "proptest"]),
+            CrateSpec::new(
+                "ocsp",
+                "ocsp",
+                3,
+                &["asn1", "simcrypto", "pki", "rand", "telemetry", "proptest"],
+            ),
+            CrateSpec::new("tls", "tls", 3, &["asn1", "pki", "rand"]),
+            // Layer 4–5: simulated infrastructure and its clients.
+            CrateSpec::new("netsim", "netsim", 4, &["asn1", "telemetry", "simcrypto"]),
+            CrateSpec::new(
+                "webserver",
+                "webserver",
+                4,
+                &["asn1", "pki", "ocsp", "tls", "rand", "telemetry"],
+            ),
+            CrateSpec::new(
+                "browser",
+                "browser",
+                5,
+                &["asn1", "pki", "ocsp", "tls", "webserver"],
+            ),
+            CrateSpec::new(
+                "ecosystem",
+                "ecosystem",
+                5,
+                &["asn1", "pki", "ocsp", "netsim", "rand", "telemetry"],
+            ),
+            // Layer 6–7: the scan pipelines and the study facade.
+            CrateSpec::new(
+                "scanner",
+                "scanner",
+                6,
+                &[
+                    "asn1",
+                    "pki",
+                    "ocsp",
+                    "netsim",
+                    "ecosystem",
+                    "analysis",
+                    "rand",
+                    "telemetry",
+                    "proptest",
+                ],
+            ),
+            CrateSpec::new(
+                "core",
+                "mustaple",
+                7,
+                &[
+                    "asn1",
+                    "simcrypto",
+                    "pki",
+                    "ocsp",
+                    "netsim",
+                    "tls",
+                    "webserver",
+                    "browser",
+                    "ecosystem",
+                    "scanner",
+                    "analysis",
+                    "telemetry",
+                    "proptest",
+                ],
+            ),
+            // Layer 8–9: harnesses over everything.
+            CrateSpec::new(
+                "bench",
+                "mustaple_bench",
+                8,
+                &[
+                    "core",
+                    "asn1",
+                    "simcrypto",
+                    "pki",
+                    "ocsp",
+                    "netsim",
+                    "tls",
+                    "webserver",
+                    "browser",
+                    "ecosystem",
+                    "scanner",
+                    "analysis",
+                    "telemetry",
+                    "rand",
+                    "memprof",
+                    "criterion",
+                ],
+            ),
+            CrateSpec::new(
+                "study",
+                "mustaple_study",
+                9,
+                &[
+                    "core",
+                    "bench",
+                    "asn1",
+                    "simcrypto",
+                    "pki",
+                    "ocsp",
+                    "netsim",
+                    "tls",
+                    "webserver",
+                    "browser",
+                    "ecosystem",
+                    "scanner",
+                    "analysis",
+                    "telemetry",
+                    "rand",
+                    "proptest",
+                ],
+            ),
+        ]
     }
 
     /// An empty policy for fixture trees; tests fill in what they need.
@@ -68,6 +285,10 @@ impl Config {
             hot_path_files: Vec::new(),
             exclude: Vec::new(),
             baseline_path: "lint-baseline.json".into(),
+            layering: Vec::new(),
+            metric_crates: Vec::new(),
+            catalog: None,
+            float_crates: Vec::new(),
         }
     }
 

@@ -16,7 +16,18 @@
 //! * **forbid-unsafe** — every crate root carries
 //!   `#![forbid(unsafe_code)]`;
 //! * **panic-hygiene** — a ratchet over panic markers in the scan hot
-//!   path, gated on `lint-baseline.json`, which may only shrink.
+//!   path, gated on `lint-baseline.json`, which may only shrink;
+//! * **layering** — the workspace crate DAG declared in [`Config`] is
+//!   enforced against `Cargo.toml` dependencies and `use` statements
+//!   (undeclared edges, layer inversions, cycles, dev-deps reached
+//!   from non-test code);
+//! * **unused-dep** — declared dependencies no identifier references,
+//!   and normal deps referenced only from test code;
+//! * **metric-catalog** — every telemetry metric name routes through a
+//!   `telemetry::catalog` constant, and the catalog is closed against
+//!   the committed Prometheus baseline and the teldiff tolerances;
+//! * **float-determinism** — `f64` accumulation over `HashMap` order
+//!   outside the blessed order-insensitive helpers.
 //!
 //! Exceptions are scoped and documented:
 //! `// detlint::allow(rule): reason`, with unused suppressions
@@ -29,20 +40,30 @@
 
 #![forbid(unsafe_code)]
 
+pub mod catalog;
 pub mod config;
+pub mod dag;
+pub mod float;
 pub mod lexer;
+pub mod manifest;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod suppress;
 
 pub use config::Config;
 pub use report::{Baseline, Finding, Report, Rule, Severity};
 
 use lexer::TokenKind;
+use parse::FileModel;
+use report::SuppressionRecord;
 use rules::FileContext;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use suppress::Suppression;
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "results"];
@@ -95,10 +116,15 @@ fn rel_of(root: &Path, path: &Path) -> String {
     s
 }
 
-/// Lint one file's source text in the context of `config`; appends
-/// findings and returns the panic-marker count (whether or not the file
-/// is on the hot path — the caller decides what to do with it).
-fn lint_source(rel_path: &str, source: &str, config: &Config, report: &mut Report) -> u64 {
+/// Lint one file's source text: runs the per-file rules and extracts
+/// everything the workspace-level passes need. Findings stay *pending*
+/// (unsuppressed) — the engine applies the suppression pool once all
+/// passes have contributed.
+fn lint_source(
+    rel_path: &str,
+    source: &str,
+    config: &Config,
+) -> (Vec<Finding>, Vec<Suppression>, Vec<Finding>, FileModel, u64) {
     let all_tokens = lexer::lex(source);
     let code_tokens: Vec<_> = all_tokens
         .iter()
@@ -106,6 +132,7 @@ fn lint_source(rel_path: &str, source: &str, config: &Config, report: &mut Repor
         .cloned()
         .collect();
     let crate_name = Config::crate_of(rel_path);
+    let model = parse::model(&code_tokens);
     let ctx = FileContext {
         rel_path,
         crate_name,
@@ -127,31 +154,90 @@ fn lint_source(rel_path: &str, source: &str, config: &Config, report: &mut Repor
     if Config::is_crate_root(rel_path) {
         findings.extend(rules::forbid_unsafe(&ctx));
     }
+    if config.float_crates.iter().any(|c| c == crate_name) && !dag::is_test_path(rel_path) {
+        findings.extend(float::float_determinism(&ctx, &model));
+    }
 
-    let (mut sups, sup_errors) = suppress::parse(rel_path, &all_tokens);
-    report.findings.extend(sup_errors);
-    let mut unused = Vec::new();
-    report.suppressions_used += suppress::apply(rel_path, &mut sups, &mut findings, &mut unused);
-    report.findings.extend(findings);
-    report.findings.extend(unused);
-
-    rules::count_panic_markers(&code_tokens)
+    let (sups, sup_errors) = suppress::parse(rel_path, &all_tokens);
+    let markers = rules::count_panic_markers(&code_tokens);
+    (findings, sups, sup_errors, model, markers)
 }
 
 /// Lint the tree rooted at `root` under `config`, including the
 /// panic-hygiene baseline comparison. The returned report is finalized
 /// (findings sorted on the canonical key).
+///
+/// The engine runs in two phases. Phase one lexes and models every
+/// `.rs` file, running the per-file rules and collecting the
+/// suppression pool (`.rs` comments *and* `Cargo.toml` comments — the
+/// layering findings anchor to manifests). Phase two runs the
+/// workspace-level passes — layering/unused-dep over the manifests and
+/// file models, and the metric-catalog closure — then applies the pool:
+/// a suppression silences any same-rule finding on its covered line,
+/// regardless of which pass produced it, and every suppression is
+/// recorded for the `--audit-suppressions` inventory.
 pub fn lint_root(root: &Path, config: &Config) -> io::Result<Report> {
     let mut report = Report::default();
     let files = collect_rs_files(root, &config.exclude)?;
     report.files_scanned = files.len();
 
+    // Phase 1: per-file rules, models, suppression pool.
+    let mut models: BTreeMap<String, FileModel> = BTreeMap::new();
+    let mut pending: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    let mut pool: BTreeMap<String, Vec<Suppression>> = BTreeMap::new();
     for rel in &files {
         let source = fs::read_to_string(root.join(rel))?;
-        let markers = lint_source(rel, &source, config, &mut report);
+        let (findings, sups, sup_errors, model, markers) = lint_source(rel, &source, config);
+        report.findings.extend(sup_errors);
+        if !findings.is_empty() {
+            pending.entry(rel.clone()).or_default().extend(findings);
+        }
+        if !sups.is_empty() {
+            pool.entry(rel.clone()).or_default().extend(sups);
+        }
         if config.hot_path_files.iter().any(|f| f == rel) {
             report.panic_counts.insert(rel.clone(), markers);
         }
+        models.insert(rel.clone(), model);
+    }
+
+    // Phase 2: workspace-level passes over manifests and models.
+    if !config.layering.is_empty() || config.catalog.is_some() {
+        let (ws, manifest_errors, manifest_sups) = dag::load(root)?;
+        report.findings.extend(manifest_errors);
+        for (file, sups) in manifest_sups {
+            pool.entry(file).or_default().extend(sups);
+        }
+        if !config.layering.is_empty() {
+            for f in dag::check(config, &ws, &models) {
+                pending.entry(f.file.clone()).or_default().push(f);
+            }
+        }
+        for f in catalog::check(root, config, &models) {
+            pending.entry(f.file.clone()).or_default().push(f);
+        }
+    }
+
+    // Apply the suppression pool and build the audit inventory.
+    for (file, mut sups) in pool {
+        let mut findings = pending.remove(&file).unwrap_or_default();
+        let mut unused = Vec::new();
+        let used = suppress::apply(&file, &mut sups, &mut findings, &mut unused);
+        report.suppressions_used += used.iter().filter(|u| **u).count();
+        for (s, &was_used) in sups.iter().zip(used.iter()) {
+            report.suppression_records.push(SuppressionRecord {
+                file: file.clone(),
+                line: s.line,
+                rule: s.rule.name(),
+                reason: s.reason.clone(),
+                used: was_used,
+            });
+        }
+        report.findings.extend(findings);
+        report.findings.extend(unused);
+    }
+    for (_, findings) in pending {
+        report.findings.extend(findings);
     }
 
     // Hot-path files that were configured but never seen: the config has

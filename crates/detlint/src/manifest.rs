@@ -1,0 +1,348 @@
+//! A std-only Cargo.toml reader for the layering pass.
+//!
+//! This is not a TOML parser; it reads the narrow manifest dialect this
+//! workspace actually uses — `[package] name`, `[dependencies]` /
+//! `[dev-dependencies]` entries with inline tables (`path`, `package`,
+//! `workspace = true`), `[dependencies.key]` sub-tables, and the root's
+//! `[workspace.dependencies]` alias map. Everything else is skipped
+//! without error: the manifest already has to parse for `cargo` to run
+//! at all, so this reader's job is extraction, not validation.
+//!
+//! Manifests carry suppressions in comment form —
+//! `# detlint::allow(rule): reason` — with the same same-line /
+//! next-line scoping as the `//` form in Rust sources.
+
+use crate::report::{Finding, Rule, Severity};
+use crate::suppress::Suppression;
+use std::collections::BTreeMap;
+
+/// One declared dependency.
+#[derive(Debug, Clone)]
+pub struct Dep {
+    /// The dependency key — the name code imports (modulo `-` → `_`).
+    pub key: String,
+    /// Whether it sits in `[dev-dependencies]`.
+    pub dev: bool,
+    /// 1-based line of the declaration.
+    pub line: u32,
+    /// `path = "…"` value, if any.
+    pub path: Option<String>,
+    /// `package = "…"` rename, if any.
+    pub package: Option<String>,
+    /// Whether it is `workspace = true` (resolved via the root map).
+    pub workspace: bool,
+}
+
+/// One parsed manifest.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// `[package] name`, if present.
+    pub package_name: Option<String>,
+    /// All `[dependencies]` and `[dev-dependencies]` entries.
+    pub deps: Vec<Dep>,
+    /// Root-only: `[workspace.dependencies]` alias → (path, package).
+    pub workspace_deps: BTreeMap<String, (Option<String>, Option<String>)>,
+    /// `# detlint::allow(…)` suppressions found in the manifest.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Parse one manifest. `rel_path` anchors malformed-suppression
+/// findings.
+pub fn parse(rel_path: &str, text: &str) -> (Manifest, Vec<Finding>) {
+    let mut m = Manifest::default();
+    let mut errors = Vec::new();
+    let mut section = String::new();
+    // Full-line suppression comments waiting for the next content line.
+    let mut pending: Vec<(Rule, u32, String)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.trim();
+
+        // Comment handling first: a `#` either opens a full-line comment
+        // or trails content. (Quoted `#` does not occur in this
+        // workspace's manifests, and a false split would only hide a
+        // suppression — which then errors as malformed or unused.)
+        let (content, comment) = match raw.find('#') {
+            Some(at) => (raw[..at].trim(), Some(raw[at..].trim())),
+            None => (line, None),
+        };
+        if let Some(c) = comment {
+            if let Some(parsed) = parse_allow(c, rel_path, line_no, &mut errors) {
+                if content.is_empty() {
+                    pending.push(parsed);
+                } else {
+                    let (rule, _, reason) = parsed;
+                    m.suppressions.push(Suppression {
+                        rule,
+                        line: line_no,
+                        covers: line_no,
+                        reason,
+                    });
+                }
+            }
+        }
+        if content.is_empty() {
+            continue;
+        }
+        for (rule, at, reason) in pending.drain(..) {
+            m.suppressions.push(Suppression {
+                rule,
+                line: at,
+                covers: line_no,
+                reason,
+            });
+        }
+
+        // Section headers.
+        if content.starts_with('[') {
+            section = content
+                .trim_start_matches('[')
+                .trim_end_matches(']')
+                .trim()
+                .to_string();
+            // `[dependencies.key]` sub-table: synthesize the entry now;
+            // its attribute lines below fill it in.
+            for (prefix, dev) in [("dependencies.", false), ("dev-dependencies.", true)] {
+                if let Some(key) = section.strip_prefix(prefix) {
+                    m.deps.push(Dep {
+                        key: unquote(key).to_string(),
+                        dev,
+                        line: line_no,
+                        path: None,
+                        package: None,
+                        workspace: false,
+                    });
+                }
+            }
+            continue;
+        }
+
+        let Some((key, value)) = content.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+
+        match section.as_str() {
+            "package" if key == "name" => {
+                m.package_name = Some(unquote(value).to_string());
+            }
+            "dependencies" | "dev-dependencies" => {
+                let dev = section == "dev-dependencies";
+                // `key.workspace = true` shorthand.
+                if let Some(name) = key.strip_suffix(".workspace") {
+                    m.deps.push(Dep {
+                        key: unquote(name).to_string(),
+                        dev,
+                        line: line_no,
+                        path: None,
+                        package: None,
+                        workspace: value == "true",
+                    });
+                    continue;
+                }
+                m.deps.push(Dep {
+                    key: unquote(key).to_string(),
+                    dev,
+                    line: line_no,
+                    path: attr(value, "path"),
+                    package: attr(value, "package"),
+                    workspace: has_flag(value, "workspace"),
+                });
+            }
+            "workspace.dependencies" => {
+                m.workspace_deps.insert(
+                    unquote(key).to_string(),
+                    (attr(value, "path"), attr(value, "package")),
+                );
+            }
+            s if s.starts_with("dependencies.") || s.starts_with("dev-dependencies.") => {
+                if let Some(dep) = m.deps.last_mut() {
+                    match key {
+                        "path" => dep.path = Some(unquote(value).to_string()),
+                        "package" => dep.package = Some(unquote(value).to_string()),
+                        "workspace" => dep.workspace = value == "true",
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // A trailing full-line suppression annotating nothing: covers 0, so
+    // it surfaces as unused.
+    for (rule, at, reason) in pending {
+        m.suppressions.push(Suppression {
+            rule,
+            line: at,
+            covers: 0,
+            reason,
+        });
+    }
+    (m, errors)
+}
+
+/// Parse a `# detlint::allow(rule): reason` comment; `None` when the
+/// comment is not a suppression at all. Malformed suppressions become
+/// findings, exactly like the `//` form.
+fn parse_allow(
+    comment: &str,
+    rel_path: &str,
+    line: u32,
+    errors: &mut Vec<Finding>,
+) -> Option<(Rule, u32, String)> {
+    let body = comment.trim_start_matches('#').trim_start();
+    if !body.starts_with("detlint::allow") {
+        return None;
+    }
+    let mut err = |message: String| {
+        errors.push(Finding {
+            rule: Rule::Suppression,
+            file: rel_path.to_string(),
+            line,
+            message,
+            severity: Severity::Error,
+        });
+    };
+    let Some(rest) = body.strip_prefix("detlint::allow(") else {
+        err("malformed suppression: expected `detlint::allow(rule): reason`".to_string());
+        return None;
+    };
+    let Some(close) = rest.find(')') else {
+        err("malformed suppression: unterminated rule name".to_string());
+        return None;
+    };
+    let rule_name = rest[..close].trim();
+    let Some(rule) = Rule::suppressible(rule_name) else {
+        err(format!(
+            "suppression names unknown or unsuppressible rule `{rule_name}`"
+        ));
+        return None;
+    };
+    let after = &rest[close + 1..];
+    let Some(reason) = after.strip_prefix(':').map(str::trim) else {
+        err("malformed suppression: expected `: reason` after the rule name".to_string());
+        return None;
+    };
+    if reason.is_empty() {
+        err("suppression has an empty reason; justify the exception".to_string());
+        return None;
+    }
+    Some((rule, line, reason.to_string()))
+}
+
+/// Extract `name = "value"` from an inline table (or a bare string
+/// value when `name` is "path"/"package" and the whole value is one
+/// string — `foo = "1.0"` has neither).
+fn attr(value: &str, name: &str) -> Option<String> {
+    let inner = value.strip_prefix('{')?.strip_suffix('}')?;
+    for part in inner.split(',') {
+        // Parts without `=` (array elements from a split `features`
+        // list) are skipped, not fatal.
+        if let Some((k, v)) = part.split_once('=') {
+            if k.trim() == name {
+                return Some(unquote(v.trim()).to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Whether an inline table has `name = true`.
+fn has_flag(value: &str, name: &str) -> bool {
+    let Some(inner) = value.strip_prefix('{').and_then(|v| v.strip_suffix('}')) else {
+        return false;
+    };
+    inner.split(',').any(|part| {
+        part.split_once('=')
+            .map(|(k, v)| k.trim() == name && v.trim() == "true")
+            .unwrap_or(false)
+    })
+}
+
+fn unquote(s: &str) -> &str {
+    s.trim().trim_start_matches('"').trim_end_matches('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[package]
+name = "mustaple-netsim"
+version.workspace = true
+
+[dependencies]
+asn1 = { workspace = true }
+telemetry = { workspace = true }
+local = { path = "../local", package = "real-local" }
+
+[dev-dependencies]
+proptest.workspace = true
+"#;
+
+    #[test]
+    fn parses_package_and_deps() {
+        let (m, errs) = parse("crates/netsim/Cargo.toml", SAMPLE);
+        assert!(errs.is_empty());
+        assert_eq!(m.package_name.as_deref(), Some("mustaple-netsim"));
+        assert_eq!(m.deps.len(), 4);
+        assert!(m.deps[0].workspace && !m.deps[0].dev);
+        let local = &m.deps[2];
+        assert_eq!(local.path.as_deref(), Some("../local"));
+        assert_eq!(local.package.as_deref(), Some("real-local"));
+        let dev = &m.deps[3];
+        assert!(dev.dev && dev.workspace);
+        assert_eq!(dev.key, "proptest");
+    }
+
+    #[test]
+    fn parses_workspace_dep_map() {
+        let (m, _) = parse(
+            "Cargo.toml",
+            "[workspace.dependencies]\n\
+             rand = { path = \"crates/rand\" }\n\
+             telemetry = { path = \"crates/telemetry\", package = \"mustaple-telemetry\" }\n",
+        );
+        assert_eq!(
+            m.workspace_deps.get("telemetry"),
+            Some(&(
+                Some("crates/telemetry".to_string()),
+                Some("mustaple-telemetry".to_string())
+            ))
+        );
+    }
+
+    #[test]
+    fn dep_subtables() {
+        let (m, _) = parse(
+            "Cargo.toml",
+            "[dependencies.foo]\npath = \"../foo\"\nfeatures = [\"x\"]\n",
+        );
+        assert_eq!(m.deps.len(), 1);
+        assert_eq!(m.deps[0].path.as_deref(), Some("../foo"));
+    }
+
+    #[test]
+    fn suppressions_trailing_and_leading() {
+        let src = "\
+[dependencies]
+# detlint::allow(unused-dep): kept for the examples
+tls = { workspace = true }
+rand = { workspace = true } # detlint::allow(layering): transition
+";
+        let (m, errs) = parse("Cargo.toml", src);
+        assert!(errs.is_empty());
+        assert_eq!(m.suppressions.len(), 2);
+        assert_eq!(m.suppressions[0].covers, 3);
+        assert_eq!(m.suppressions[1].covers, 4);
+    }
+
+    #[test]
+    fn malformed_suppression_is_error() {
+        let (_, errs) = parse("Cargo.toml", "# detlint::allow(unused-dep) oops\n");
+        assert_eq!(errs.len(), 1);
+    }
+}

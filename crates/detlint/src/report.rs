@@ -24,6 +24,18 @@ pub enum Rule {
     /// Problems with suppression comments themselves (malformed or
     /// unused `detlint::allow`).
     Suppression,
+    /// A crate dependency or `use` that violates the declared DAG.
+    Layering,
+    /// A declared dependency that no code references (or that belongs in
+    /// `[dev-dependencies]`).
+    UnusedDep,
+    /// A telemetry metric name that does not resolve to a
+    /// `telemetry::catalog` constant, or a catalog/baseline/tolerance
+    /// closure violation.
+    MetricCatalog,
+    /// `f64` accumulation over non-canonical iteration outside the
+    /// blessed helpers.
+    FloatDeterminism,
 }
 
 impl Rule {
@@ -36,7 +48,45 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::PanicHygiene => "panic-hygiene",
             Rule::Suppression => "suppression",
+            Rule::Layering => "layering",
+            Rule::UnusedDep => "unused-dep",
+            Rule::MetricCatalog => "metric-catalog",
+            Rule::FloatDeterminism => "float-determinism",
         }
+    }
+
+    /// One-line description, used by the SARIF rule metadata.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock read outside the allowlisted measurement crates",
+            Rule::UnorderedIter => "HashMap/HashSet iteration order observed in an artifact crate",
+            Rule::UnseededRng => "RNG construction that does not trace to the campaign seed",
+            Rule::ForbidUnsafe => "crate root missing #![forbid(unsafe_code)]",
+            Rule::PanicHygiene => "panic-marker count drifted from the checked-in baseline",
+            Rule::Suppression => "malformed or unused detlint::allow comment",
+            Rule::Layering => "crate dependency or use outside the declared workspace DAG",
+            Rule::UnusedDep => "declared dependency that no code references",
+            Rule::MetricCatalog => "telemetry metric name not routed through telemetry::catalog",
+            Rule::FloatDeterminism => {
+                "f64 accumulation over non-canonical iteration outside blessed helpers"
+            }
+        }
+    }
+
+    /// Every rule, in report order — drives the SARIF rule table.
+    pub fn all() -> &'static [Rule] {
+        &[
+            Rule::WallClock,
+            Rule::UnorderedIter,
+            Rule::UnseededRng,
+            Rule::ForbidUnsafe,
+            Rule::PanicHygiene,
+            Rule::Suppression,
+            Rule::Layering,
+            Rule::UnusedDep,
+            Rule::MetricCatalog,
+            Rule::FloatDeterminism,
+        ]
     }
 
     /// Rules addressable from a `detlint::allow(…)` comment.
@@ -49,6 +99,10 @@ impl Rule {
             "unordered-iter" => Some(Rule::UnorderedIter),
             "unseeded-rng" => Some(Rule::UnseededRng),
             "forbid-unsafe" => Some(Rule::ForbidUnsafe),
+            "layering" => Some(Rule::Layering),
+            "unused-dep" => Some(Rule::UnusedDep),
+            "metric-catalog" => Some(Rule::MetricCatalog),
+            "float-determinism" => Some(Rule::FloatDeterminism),
             _ => None,
         }
     }
@@ -86,6 +140,22 @@ pub struct Finding {
     pub severity: Severity,
 }
 
+/// One `detlint::allow` comment, for the suppression audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressionRecord {
+    /// File carrying the comment (`.rs` or `Cargo.toml`).
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Name of the suppressed rule.
+    pub rule: &'static str,
+    /// The documented justification.
+    pub reason: String,
+    /// Whether it silenced a finding this run. `false` means stale —
+    /// the matching unused-suppression error is already in `findings`.
+    pub used: bool,
+}
+
 /// The result of linting one root.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -98,6 +168,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Suppressions that matched a finding.
     pub suppressions_used: usize,
+    /// Every suppression comment seen, sorted by (file, line) — the
+    /// `--audit-suppressions` inventory.
+    pub suppression_records: Vec<SuppressionRecord>,
 }
 
 impl Report {
@@ -106,6 +179,30 @@ impl Report {
         self.findings.sort_by(|a, b| {
             (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
         });
+        self.suppression_records
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// Render the `--audit-suppressions` inventory: every reviewed
+    /// exception in the tree, with its rule and justification. Stale
+    /// entries are marked; the matching errors are in the findings.
+    pub fn render_audit(&self) -> String {
+        let mut out = String::new();
+        for s in &self.suppression_records {
+            let status = if s.used { "active" } else { "STALE" };
+            out.push_str(&format!(
+                "{status:6} [{}] {}:{}: {}\n",
+                s.rule, s.file, s.line, s.reason
+            ));
+        }
+        let stale = self.suppression_records.iter().filter(|s| !s.used).count();
+        out.push_str(&format!(
+            "detlint: {} suppressions ({} active, {} stale)\n",
+            self.suppression_records.len(),
+            self.suppression_records.len() - stale,
+            stale
+        ));
+        out
     }
 
     /// Number of hard errors.

@@ -76,23 +76,11 @@ const ITER_METHODS: &[&str] = &[
     "retain",
 ];
 
-/// **unordered-iter** — iterating a `HashMap`/`HashSet` in an
-/// artifact-producing crate.
-///
-/// Pass 1 collects names *declared* as hash collections in this file
-/// (`name: HashMap<…>` fields/params/lets and `name = HashMap::new()`
-/// style constructions); pass 2 flags order-observing uses of those
-/// names: `name.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()`
-/// and friends, plus `for … in &name` / `for … in name`.
-///
-/// This is a token-level heuristic, not type inference: a shadowed
-/// non-hash binding with the same name would false-positive (suppress it
-/// with a reason), and a hash map smuggled through a type alias escapes
-/// (the determinism diff gate still catches actual divergence). In
-/// practice the workspace's hash collections are declared where they are
-/// used, which is exactly the shape the heuristic covers.
-pub fn unordered_iter(ctx: &FileContext<'_>) -> Vec<Finding> {
-    let t = ctx.tokens;
+/// Names *declared* as hash collections in this file: `name:
+/// HashMap<…>` fields/params/lets and `name = HashMap::new()` style
+/// constructions. Shared by the unordered-iter and float-determinism
+/// rules.
+pub fn hash_collection_names(t: &[Token]) -> Vec<String> {
     let mut declared: Vec<String> = Vec::new();
     let mut declare = |name: &str| {
         if !declared.iter().any(|d| d == name) {
@@ -141,7 +129,27 @@ pub fn unordered_iter(ctx: &FileContext<'_>) -> Vec<Finding> {
             declare(&t[j - 2].text);
         }
     }
+    declared
+}
 
+/// **unordered-iter** — iterating a `HashMap`/`HashSet` in an
+/// artifact-producing crate.
+///
+/// Pass 1 collects names *declared* as hash collections in this file
+/// (`name: HashMap<…>` fields/params/lets and `name = HashMap::new()`
+/// style constructions); pass 2 flags order-observing uses of those
+/// names: `name.iter()`, `.keys()`, `.values()`, `.drain()`, `.retain()`
+/// and friends, plus `for … in &name` / `for … in name`.
+///
+/// This is a token-level heuristic, not type inference: a shadowed
+/// non-hash binding with the same name would false-positive (suppress it
+/// with a reason), and a hash map smuggled through a type alias escapes
+/// (the determinism diff gate still catches actual divergence). In
+/// practice the workspace's hash collections are declared where they are
+/// used, which is exactly the shape the heuristic covers.
+pub fn unordered_iter(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let t = ctx.tokens;
+    let declared = hash_collection_names(t);
     let mut out = Vec::new();
     for i in 0..t.len() {
         if t[i].kind != TokenKind::Ident || !declared.iter().any(|d| *d == t[i].text) {

@@ -67,7 +67,8 @@ pub fn parse(rel_path: &str, tokens: &[Token]) -> (Vec<Suppression>, Vec<Finding
         let Some(rule) = Rule::suppressible(rule_name) else {
             err(format!(
                 "suppression names unknown or unsuppressible rule `{rule_name}` \
-                 (suppressible: wall-clock, unordered-iter, unseeded-rng, forbid-unsafe; \
+                 (suppressible: wall-clock, unordered-iter, unseeded-rng, forbid-unsafe, \
+                 layering, unused-dep, metric-catalog, float-determinism; \
                  panic-hygiene is governed by the baseline ratchet)"
             ));
             continue;
@@ -113,13 +114,14 @@ pub fn parse(rel_path: &str, tokens: &[Token]) -> (Vec<Suppression>, Vec<Finding
 
 /// Apply `sups` to `findings` (all from the same file): matched findings
 /// are removed, and each unused suppression becomes an error finding.
-/// Returns the number of suppressions that matched.
+/// Returns the per-suppression used flags (parallel to `sups`) — the
+/// suppression-audit inventory is built from them.
 pub fn apply(
     rel_path: &str,
     sups: &mut [Suppression],
     findings: &mut Vec<Finding>,
     out_errors: &mut Vec<Finding>,
-) -> usize {
+) -> Vec<bool> {
     let mut used = vec![false; sups.len()];
     findings.retain(|f| {
         for (i, s) in sups.iter().enumerate() {
@@ -145,7 +147,7 @@ pub fn apply(
             });
         }
     }
-    used.iter().filter(|u| **u).count()
+    used
 }
 
 #[cfg(test)]
@@ -210,8 +212,8 @@ let x = 1;\n";
             severity: Severity::Error,
         }];
         let mut unused = Vec::new();
-        let n = apply("f.rs", &mut sups, &mut findings, &mut unused);
-        assert_eq!(n, 1);
+        let used = apply("f.rs", &mut sups, &mut findings, &mut unused);
+        assert_eq!(used, vec![true, false]);
         assert!(findings.is_empty());
         assert_eq!(unused.len(), 1);
         assert!(unused[0].message.contains("stale"));

@@ -1,0 +1,36 @@
+//! Fixture: f64 accumulation over hash iteration order.
+
+use std::collections::HashMap;
+
+pub fn unordered_total(weights: &HashMap<String, f64>) -> f64 {
+    let total: f64 = weights.values().sum();
+    total
+}
+
+pub fn looped_total(weights: &HashMap<String, f64>) -> f64 {
+    let mut acc = 0.0;
+    for w in weights.values() {
+        acc += w;
+    }
+    acc
+}
+
+pub fn sorted_total(weights: &HashMap<String, f64>) -> f64 {
+    let mut vals: Vec<f64> = weights.values().copied().collect();
+    vals.sort_by(f64::total_cmp);
+    vals.iter().sum()
+}
+
+pub fn blessed_mean(weights: &HashMap<String, f64>) -> f64 {
+    let mut acc = Welford::new();
+    for w in weights.values() {
+        acc.add(*w);
+    }
+    acc.mean()
+}
+
+pub fn suppressed_total(weights: &HashMap<String, f64>) -> f64 {
+    // detlint::allow(float-determinism): inputs are bit-identical across runs in this fixture
+    let total: f64 = weights.values().sum();
+    total
+}

@@ -1,0 +1,5 @@
+//! Fixture crate `a`: depends on `b`, completing the a ⇄ b cycle.
+
+pub fn call() -> u32 {
+    b::value()
+}

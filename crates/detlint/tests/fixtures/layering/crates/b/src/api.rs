@@ -1,0 +1,5 @@
+//! Fixture crate `b`: uses `a`, never touches `c` or `d`.
+
+pub fn chain() -> u32 {
+    a::base()
+}

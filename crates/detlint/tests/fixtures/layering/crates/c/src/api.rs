@@ -1,0 +1,5 @@
+//! Fixture crate `c`: reaches into `a` without declaring the dependency.
+
+pub fn sneaky() -> u32 {
+    a::base()
+}

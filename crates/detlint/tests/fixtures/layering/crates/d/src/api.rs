@@ -1,0 +1,5 @@
+//! Fixture crate `d`: a leaf nothing references.
+
+pub fn value() -> u32 {
+    4
+}

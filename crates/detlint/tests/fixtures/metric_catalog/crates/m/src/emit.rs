@@ -1,0 +1,12 @@
+//! Fixture: telemetry call-site discipline in a metric crate.
+
+use tel::catalog;
+
+pub fn emit(reg: &mut Registry, shard: u32) {
+    reg.incr("hard.coded", "label");
+    reg.observe(&format!("dyn.shard{shard}"), "label", 1);
+    reg.add(catalog::UNKNOWN, "label", 2);
+    reg.incr(catalog::GOOD, "label");
+    // detlint::allow(metric-catalog): literal kept until the migration lands
+    reg.set_gauge("still.hard.coded", 3);
+}

@@ -1,0 +1,6 @@
+//! Fixture metric catalog.
+
+/// A live, properly routed counter.
+pub const GOOD: &str = "good.metric";
+/// Never referenced by any call site: the liveness check flags it.
+pub const ORPHAN: &str = "orphan.metric";

@@ -13,6 +13,7 @@ use crate::world::{HttpOutcome, HttpResult, World};
 use asn1::Time;
 use simcrypto::sha256;
 use std::collections::HashMap;
+use telemetry::catalog;
 
 /// Counters for the CDN-perspective analysis.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -95,7 +96,7 @@ impl CdnNode {
                 self.stats.cache_hits += 1;
                 world
                     .telemetry_mut()
-                    .incr("cdn.edge.hit", self.region.label());
+                    .incr(catalog::CDN_EDGE_HIT, self.region.label());
                 // Edge hit: client-to-edge latency is the caller's
                 // concern; edge processing is ~1 ms.
                 return HttpResult {
@@ -109,10 +110,10 @@ impl CdnNode {
         self.stats.origin_fetches += 1;
         world
             .telemetry_mut()
-            .incr("cdn.edge.miss", self.region.label());
+            .incr(catalog::CDN_EDGE_MISS, self.region.label());
         world
             .telemetry_mut()
-            .incr("cdn.origin.fetch", self.region.label());
+            .incr(catalog::CDN_ORIGIN_FETCH, self.region.label());
         // Origin fetch through the non-blocking request API: submit,
         // then poll at the completion instant. Identical to a blocking
         // `http_post` (which is itself submit + poll), but keeps the
@@ -126,7 +127,7 @@ impl CdnNode {
             self.stats.origin_successes += 1;
             world
                 .telemetry_mut()
-                .incr("cdn.origin.success", self.region.label());
+                .incr(catalog::CDN_ORIGIN_SUCCESS, self.region.label());
             let ttl = ttl_of(reply);
             if ttl > 0 {
                 self.cache.insert(

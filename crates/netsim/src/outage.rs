@@ -15,6 +15,7 @@
 
 use crate::region::Region;
 use asn1::Time;
+use telemetry::catalog;
 
 /// How a request fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,6 +51,20 @@ impl FailureKind {
             FailureKind::Http4xx => "http4xx",
             FailureKind::Http5xx => "http5xx",
             FailureKind::TlsBadCertificate => "tls",
+        }
+    }
+
+    /// The catalog constant for this failure's counter — the
+    /// `net.failure.<label>` family, routed through
+    /// [`telemetry::catalog`] so the metric-catalog lint can prove every
+    /// emitted name is declared.
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            FailureKind::DnsNxDomain => catalog::NET_FAILURE_DNS,
+            FailureKind::TcpConnect => catalog::NET_FAILURE_TCP,
+            FailureKind::Http4xx => catalog::NET_FAILURE_HTTP4XX,
+            FailureKind::Http5xx => catalog::NET_FAILURE_HTTP5XX,
+            FailureKind::TlsBadCertificate => catalog::NET_FAILURE_TLS,
         }
     }
 }

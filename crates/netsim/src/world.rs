@@ -26,7 +26,7 @@ use crate::region::Region;
 use asn1::Time;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use telemetry::Registry;
+use telemetry::{catalog, Registry};
 
 /// A boxed request handler: `(path, body, now, client_region, telemetry)
 /// -> (status, body)`. The handler may record its own events (e.g.
@@ -370,11 +370,12 @@ impl World {
     /// callers go through [`World::http_post`] or
     /// [`World::start_request`].
     fn request_now(&mut self, client: Region, url: &str, body: &[u8], now: Time) -> HttpResult {
-        self.telemetry.incr("net.request", client.label());
+        self.telemetry.incr(catalog::NET_REQUEST, client.label());
         let (scheme, hostname, path) = match split_url(url) {
             Some(parts) => parts,
             None => {
-                self.telemetry.incr("net.failure.dns", client.label());
+                self.telemetry
+                    .incr(catalog::NET_FAILURE_DNS, client.label());
                 return HttpResult {
                     outcome: HttpOutcome::DnsFailure,
                     latency_ms: 0.0,
@@ -384,7 +385,8 @@ impl World {
 
         let Some(host) = self.topo.hosts.get(hostname) else {
             // Unregistered host: NXDOMAIN after a resolver round trip.
-            self.telemetry.incr("net.failure.dns", client.label());
+            self.telemetry
+                .incr(catalog::NET_FAILURE_DNS, client.label());
             return HttpResult {
                 outcome: HttpOutcome::DnsFailure,
                 latency_ms: 30.0,
@@ -411,19 +413,17 @@ impl World {
             .and_then(|outages| first_active(outages, now, client));
         let failure = host_hit.or(group_hit).map(|o| o.kind);
         if let Some(kind) = failure {
-            self.telemetry.incr(
-                &format!("net.failure.{}", kind.metric_label()),
-                client.label(),
-            );
+            self.telemetry.incr(kind.metric_name(), client.label());
             if let Some(group) = &host.group {
-                self.telemetry.incr("net.failure.by_group", group);
+                self.telemetry.incr(catalog::NET_FAILURE_BY_GROUP, group);
             }
             let activation = if host_hit.is_some() {
                 hostname.to_string()
             } else {
                 format!("group:{}", host.group.as_deref().unwrap_or("?"))
             };
-            self.telemetry.incr("net.outage.activation", &activation);
+            self.telemetry
+                .incr(catalog::NET_OUTAGE_ACTIVATION, &activation);
             let outcome = match kind {
                 FailureKind::DnsNxDomain => HttpOutcome::DnsFailure,
                 FailureKind::TcpConnect => HttpOutcome::ConnectFailure,
@@ -464,7 +464,8 @@ impl World {
         let outcome = if status == 200 {
             HttpOutcome::Ok(reply)
         } else {
-            self.telemetry.incr("net.failure.http", client.label());
+            self.telemetry
+                .incr(catalog::NET_FAILURE_HTTP, client.label());
             HttpOutcome::HttpError(status)
         };
         // Simulated warm-path (DNS-cached) latency, per vantage point.
@@ -483,7 +484,7 @@ impl World {
             host.server_time_ms,
         );
         self.telemetry
-            .observe("net.latency_ms", client.label(), warm_ms as u64);
+            .observe(catalog::NET_LATENCY_MS, client.label(), warm_ms as u64);
         HttpResult {
             outcome,
             latency_ms,

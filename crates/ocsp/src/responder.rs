@@ -14,6 +14,7 @@ use asn1::Time;
 use pki::{Certificate, CertificateAuthority, Serial};
 use simcrypto::KeyPair;
 use std::collections::HashMap;
+use telemetry::catalog;
 
 /// Who signs the responses.
 #[derive(Debug, Clone)]
@@ -133,7 +134,7 @@ impl Responder {
         match OcspRequest::from_der(body) {
             Ok(req) => self.handle_with(ca, &req, now, reg),
             Err(_) => {
-                reg.incr("ocsp.responder.fault", "malformed_request");
+                reg.incr(catalog::OCSP_RESPONDER_FAULT, "malformed_request");
                 OcspResponse::error(ResponseStatus::MalformedRequest).to_der()
             }
         }
@@ -162,15 +163,15 @@ impl Responder {
         // Body-level mangling happens regardless of the request.
         match self.profile.malform {
             MalformMode::LiteralZero => {
-                reg.incr("ocsp.responder.fault", "malformed.literal_zero");
+                reg.incr(catalog::OCSP_RESPONDER_FAULT, "malformed.literal_zero");
                 return b"0".to_vec();
             }
             MalformMode::Empty => {
-                reg.incr("ocsp.responder.fault", "malformed.empty");
+                reg.incr(catalog::OCSP_RESPONDER_FAULT, "malformed.empty");
                 return Vec::new();
             }
             MalformMode::JavascriptPage => {
-                reg.incr("ocsp.responder.fault", "malformed.javascript");
+                reg.incr(catalog::OCSP_RESPONDER_FAULT, "malformed.javascript");
                 return b"<html><body><script>window.location='/status';</script></body></html>"
                     .to_vec();
             }
@@ -178,14 +179,14 @@ impl Responder {
         }
 
         if req.cert_ids.is_empty() {
-            reg.incr("ocsp.responder.fault", "malformed_request");
+            reg.incr(catalog::OCSP_RESPONDER_FAULT, "malformed_request");
             return OcspResponse::error(ResponseStatus::MalformedRequest).to_der();
         }
 
         // Refuse questions about certificates from other issuers.
         let issuer_cert = ca.certificate();
         if !req.cert_ids.iter().any(|id| id.matches_issuer(issuer_cert)) {
-            reg.incr("ocsp.responder.fault", "unauthorized");
+            reg.incr(catalog::OCSP_RESPONDER_FAULT, "unauthorized");
             return OcspResponse::error(ResponseStatus::Unauthorized).to_der();
         }
 
@@ -237,7 +238,7 @@ impl Responder {
                 role,
             );
             if let Some(bytes) = self.response_cache.get(&key) {
-                reg.incr("ocsp.responder.cache", "hit");
+                reg.incr(catalog::OCSP_RESPONDER_CACHE, "hit");
                 if pre_generated {
                     self.windows.insert(
                         req.cert_ids[0].serial.clone(),
@@ -280,7 +281,7 @@ impl Responder {
             if self.profile.wrong_serial {
                 // Answer about a different serial — §5.3's second error
                 // class. Perturb deterministically.
-                reg.incr("ocsp.responder.fault", "wrong_serial");
+                reg.incr(catalog::OCSP_RESPONDER_FAULT, "wrong_serial");
                 let mut bytes = id.serial.bytes().to_vec();
                 let last = bytes.len() - 1;
                 bytes[last] ^= 0x01;
@@ -297,7 +298,7 @@ impl Responder {
         // Unsolicited extras (Figure 7).
         if self.profile.extra_serials > 0 {
             reg.add(
-                "ocsp.responder.fault",
+                catalog::OCSP_RESPONDER_FAULT,
                 "extra_serials",
                 self.profile.extra_serials as u64,
             );
@@ -328,7 +329,7 @@ impl Responder {
         };
         if self.profile.superfluous_certs > 0 {
             reg.add(
-                "ocsp.responder.fault",
+                catalog::OCSP_RESPONDER_FAULT,
                 "superfluous_certs",
                 self.profile.superfluous_certs as u64,
             );
@@ -340,7 +341,7 @@ impl Responder {
         let mut response = OcspResponse::successful(&signing_key, produced_at, singles, certs);
 
         if self.profile.corrupt_signature {
-            reg.incr("ocsp.responder.fault", "corrupt_signature");
+            reg.incr(catalog::OCSP_RESPONDER_FAULT, "corrupt_signature");
             if let Some(basic) = &mut response.basic {
                 basic.signature[0] ^= 0xff;
             }
@@ -348,7 +349,7 @@ impl Responder {
 
         let mut der = response.to_der();
         if self.profile.malform == MalformMode::TruncatedDer {
-            reg.incr("ocsp.responder.fault", "malformed.truncated_der");
+            reg.incr(catalog::OCSP_RESPONDER_FAULT, "malformed.truncated_der");
             der.truncate(der.len() / 2);
         }
         if let Some((key, pre_generated)) = cache_key {
@@ -358,7 +359,7 @@ impl Responder {
             // on-demand responder signs in the request path proper, so
             // only the latter counts as a cache miss.
             reg.incr(
-                "ocsp.responder.cache",
+                catalog::OCSP_RESPONDER_CACHE,
                 if pre_generated { "window_sign" } else { "miss" },
             );
             self.response_cache.insert(key, der.clone());

@@ -21,6 +21,7 @@ use crate::response::{BasicResponse, CertStatus, OcspResponse, ResponseStatus};
 use asn1::Time;
 use pki::Certificate;
 use std::collections::HashMap;
+use telemetry::catalog;
 
 /// Memo for the signature-verification stage.
 ///
@@ -223,11 +224,11 @@ pub fn validate_with_sig_cache(
             let key = (issuer.public_key().key_id(), simcrypto::sha256(body));
             match cache.entries.get(&key) {
                 Some(outcome) => {
-                    reg.incr("ocsp.validate.sigcache", "hit");
+                    reg.incr(catalog::OCSP_VALIDATE_SIGCACHE, "hit");
                     outcome.clone()?;
                 }
                 None => {
-                    reg.incr("ocsp.validate.sigcache", "miss");
+                    reg.incr(catalog::OCSP_VALIDATE_SIGCACHE, "miss");
                     let outcome = verify_signature_stage(basic, issuer);
                     cache.entries.insert(key, outcome.clone());
                     outcome?;

@@ -18,6 +18,7 @@ use crate::hourly::HourlyDataset;
 use asn1::Time;
 use netsim::Region;
 use std::time::Instant;
+use telemetry::catalog;
 use telemetry::trace::Span;
 use telemetry::Registry;
 
@@ -100,10 +101,14 @@ impl Alexa1mScan {
                 let dead_fraction = 1.0 - report.successes[sp] as f64 / attempts as f64;
                 let alive_elsewhere = (0..6).any(|i| i != sp && report.successes[i] > 0);
                 let mut shard_telemetry = Registry::new();
-                shard_telemetry.incr("scan.alexa1m.responders_evaluated", &report.url);
+                shard_telemetry.incr(catalog::SCAN_ALEXA1M_RESPONDERS_EVALUATED, &report.url);
                 let contribution = if dead_fraction >= 0.9 && alive_elsewhere {
                     let weight = dataset.alexa_weights[shard] as u64;
-                    shard_telemetry.add("scan.alexa1m.persistent_domains", &report.url, weight);
+                    shard_telemetry.add(
+                        catalog::SCAN_ALEXA1M_PERSISTENT_DOMAINS,
+                        &report.url,
+                        weight,
+                    );
                     weight
                 } else {
                     0
@@ -128,7 +133,10 @@ impl Alexa1mScan {
             sao_paulo_persistent += contribution;
             telemetry.merge(shard_telemetry);
         }
-        telemetry.record_wall("scan.alexa1m.merge", merge_started.elapsed().as_nanos());
+        telemetry.record_wall(
+            catalog::SCAN_ALEXA1M_MERGE,
+            merge_started.elapsed().as_nanos(),
+        );
 
         let total_domains = dataset.alexa_weights.iter().map(|&w| w as u64).sum();
         Alexa1mSummary {

@@ -22,6 +22,7 @@ use ocsp::{OcspRequest, OcspResponse, ResponseStatus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use telemetry::catalog;
 use telemetry::trace::Span;
 
 /// Study results.
@@ -161,7 +162,7 @@ impl CdnStudy {
                 let _ = result;
                 world
                     .telemetry_mut()
-                    .incr("scan.cdn.lookups", edge_region.label());
+                    .incr(catalog::SCAN_CDN_LOOKUPS, edge_region.label());
                 lookups += 1;
             }
         }

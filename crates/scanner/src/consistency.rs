@@ -25,6 +25,7 @@ use ocsp::{
 use pki::Crl;
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
+use telemetry::catalog;
 use telemetry::trace::Span;
 use telemetry::Registry;
 
@@ -232,13 +233,13 @@ impl ConsistencyStudy {
                             };
                             world
                                 .telemetry_mut()
-                                .incr("scan.consistency.crl_fetch", label);
+                                .incr(catalog::SCAN_CONSISTENCY_CRL_FETCH, label);
                             parsed
                         }
                         _ => {
                             world
                                 .telemetry_mut()
-                                .incr("scan.consistency.crl_fetch", "unreachable");
+                                .incr(catalog::SCAN_CONSISTENCY_CRL_FETCH, "unreachable");
                             None
                         }
                     }
@@ -292,7 +293,7 @@ impl ConsistencyStudy {
                             crls.insert(url.clone(), parsed);
                         }
                         world.telemetry_mut().set_gauge(
-                            "scan.consistency.reactor.crl_depth",
+                            catalog::SCAN_CONSISTENCY_REACTOR_CRL_DEPTH,
                             reactor.peak_in_flight() as u64,
                         );
                     }
@@ -377,7 +378,7 @@ impl ConsistencyStudy {
                             partial.requests += 1;
                             world
                                 .telemetry_mut()
-                                .incr("scan.consistency.probes", &target.url);
+                                .incr(catalog::SCAN_CONSISTENCY_PROBES, &target.url);
                             let req = OcspRequest::single(target.cert_id.clone()).to_der();
                             let HttpOutcome::Ok(body) =
                                 world.http_post(vantage, &target.url, &req, at).outcome
@@ -391,7 +392,7 @@ impl ConsistencyStudy {
                             let issuer = eco.issuer_of(target.operator);
                             let Ok(validated) = validate_response_cached(
                                 world.telemetry_mut(),
-                                "scan.consistency.validate",
+                                catalog::SCAN_CONSISTENCY_VALIDATE,
                                 &mut sigcache,
                                 &body,
                                 &target.cert_id,
@@ -421,7 +422,7 @@ impl ConsistencyStudy {
                             partial.requests += 1;
                             world
                                 .telemetry_mut()
-                                .incr("scan.consistency.probes", &target.url);
+                                .incr(catalog::SCAN_CONSISTENCY_PROBES, &target.url);
                             let req = OcspRequest::single(target.cert_id.clone()).to_der();
                             let request = world.start_request(vantage, &target.url, &req, at);
                             reactor.submit(request.latency_ms(), pending.len());
@@ -447,7 +448,7 @@ impl ConsistencyStudy {
                                     let issuer = eco.issuer_of(target.operator);
                                     let validated = validate_response_cached(
                                         world.telemetry_mut(),
-                                        "scan.consistency.validate",
+                                        catalog::SCAN_CONSISTENCY_VALIDATE,
                                         &mut sigcache,
                                         &body,
                                         &target.cert_id,
@@ -473,7 +474,7 @@ impl ConsistencyStudy {
                             }
                         }
                         world.telemetry_mut().set_gauge(
-                            "scan.consistency.reactor.depth",
+                            catalog::SCAN_CONSISTENCY_REACTOR_DEPTH,
                             reactor.peak_in_flight() as u64,
                         );
                     }
@@ -518,9 +519,10 @@ impl ConsistencyStudy {
             summary.reason_other_mismatch += partial.reason_other_mismatch;
             summary.telemetry.merge(&partial.telemetry);
         }
-        summary
-            .telemetry
-            .record_wall("scan.consistency.merge", merge_started.elapsed().as_nanos());
+        summary.telemetry.record_wall(
+            catalog::SCAN_CONSISTENCY_MERGE,
+            merge_started.elapsed().as_nanos(),
+        );
         summary.table1.sort_by(|a, b| a.ocsp_url.cmp(&b.ocsp_url));
         summary
     }

@@ -24,6 +24,7 @@ use ocsp::{validate_response_cached, OcspRequest, SigVerifyCache, ValidationConf
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
+use telemetry::catalog;
 use telemetry::trace::Span;
 use telemetry::Registry;
 
@@ -835,7 +836,7 @@ impl<'a> HourlyCampaign<'a> {
                     match result.outcome {
                         HttpOutcome::Ok(body) => match validate_response_cached(
                             world.telemetry_mut(),
-                            "scan.hourly.validate",
+                            catalog::SCAN_HOURLY_VALIDATE,
                             sigcache,
                             &body,
                             &target.cert_id,
@@ -853,7 +854,9 @@ impl<'a> HourlyCampaign<'a> {
                 match engine {
                     Engine::Threads => {
                         for round in start_round..end_round {
-                            world.telemetry_mut().incr("scan.hourly.rounds", &host.url);
+                            world
+                                .telemetry_mut()
+                                .incr(catalog::SCAN_HOURLY_ROUNDS, &host.url);
                             let round_start =
                                 config.campaign_start + round as i64 * config.scan_interval;
                             let t = round_start + offsets[shard];
@@ -861,7 +864,9 @@ impl<'a> HourlyCampaign<'a> {
                                 for &target_idx in &targets_of[shard] {
                                     let target = &eco.scan_targets[target_idx];
                                     records.requests += 1;
-                                    world.telemetry_mut().incr("scan.hourly.probes", &host.url);
+                                    world
+                                        .telemetry_mut()
+                                        .incr(catalog::SCAN_HOURLY_PROBES, &host.url);
                                     let result = world.http_post(
                                         region,
                                         &target.url,
@@ -894,7 +899,9 @@ impl<'a> HourlyCampaign<'a> {
                             Vec::new();
                         let epoch = config.campaign_start;
                         for round in start_round..end_round {
-                            world.telemetry_mut().incr("scan.hourly.rounds", &host.url);
+                            world
+                                .telemetry_mut()
+                                .incr(catalog::SCAN_HOURLY_ROUNDS, &host.url);
                             let round_start =
                                 config.campaign_start + round as i64 * config.scan_interval;
                             let t = round_start + offsets[shard];
@@ -902,7 +909,9 @@ impl<'a> HourlyCampaign<'a> {
                                 for &target_idx in &targets_of[shard] {
                                     let target = &eco.scan_targets[target_idx];
                                     records.requests += 1;
-                                    world.telemetry_mut().incr("scan.hourly.probes", &host.url);
+                                    world
+                                        .telemetry_mut()
+                                        .incr(catalog::SCAN_HOURLY_PROBES, &host.url);
                                     let request = world.start_request(
                                         region,
                                         &target.url,
@@ -962,12 +971,13 @@ impl<'a> HourlyCampaign<'a> {
                         // (telemetry.prom/csv and equality), so the
                         // engines stay byte-identical.
                         world.telemetry_mut().set_gauge(
-                            "scan.hourly.reactor.depth",
+                            catalog::SCAN_HOURLY_REACTOR_DEPTH,
                             reactor.peak_in_flight() as u64,
                         );
-                        world
-                            .telemetry_mut()
-                            .set_gauge("scan.hourly.reactor.ready", reactor.max_tick_width());
+                        world.telemetry_mut().set_gauge(
+                            catalog::SCAN_HOURLY_REACTOR_READY,
+                            reactor.max_tick_width(),
+                        );
                     }
                 }
                 records.telemetry = world.take_telemetry();
@@ -1028,7 +1038,10 @@ impl<'a> HourlyCampaign<'a> {
             responders.push(report);
         }
         // Wall-clock span only — never serialized, never compared.
-        telemetry.record_wall("scan.hourly.merge", merge_started.elapsed().as_nanos());
+        telemetry.record_wall(
+            catalog::SCAN_HOURLY_MERGE,
+            merge_started.elapsed().as_nanos(),
+        );
 
         HourlyDataset {
             rounds,

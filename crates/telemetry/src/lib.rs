@@ -31,6 +31,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod catalog;
 pub mod csv;
 pub mod prom;
 pub mod trace;

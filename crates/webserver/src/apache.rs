@@ -19,7 +19,7 @@
 use crate::fetcher::{FetchOutcome, OcspFetcher};
 use crate::server::{CachedStaple, ServerKind, SiteConfig, StaplingServer};
 use asn1::Time;
-use telemetry::Registry;
+use telemetry::{catalog, Registry};
 use tls::ServerFlight;
 
 /// Default `SSLStaplingStandardCacheTimeout` in seconds.
@@ -65,13 +65,15 @@ impl Apache {
                 // Whatever came back gets cached and stapled — even an
                 // OCSP error response.
                 self.cache = Some(CachedStaple::from_fetch(body, now));
-                self.telemetry.incr("webserver.staple.install", "Apache");
+                self.telemetry
+                    .incr(catalog::WEBSERVER_STAPLE_INSTALL, "Apache");
                 latency_ms
             }
             FetchOutcome::Unreachable { latency_ms } => {
                 // The old response — even if still valid — is discarded.
                 self.cache = None;
-                self.telemetry.incr("webserver.staple.drop", "Apache");
+                self.telemetry
+                    .incr(catalog::WEBSERVER_STAPLE_DROP, "Apache");
                 latency_ms
             }
         }
@@ -85,14 +87,14 @@ impl StaplingServer for Apache {
 
     fn serve(&mut self, now: Time, fetcher: &mut dyn OcspFetcher) -> ServerFlight {
         if self.cache_live(now) {
-            self.telemetry.incr("webserver.cache.hit", "Apache");
+            self.telemetry.incr(catalog::WEBSERVER_CACHE_HIT, "Apache");
             let body = self.cache.as_ref().unwrap().body.clone();
             return self.site.flight(Some(body), 0.0);
         }
         // Cache miss (first connection or Apache-cache expiry): fetch
         // synchronously, pausing this handshake.
-        self.telemetry.incr("webserver.cache.miss", "Apache");
-        self.telemetry.incr("webserver.fetch.sync", "Apache");
+        self.telemetry.incr(catalog::WEBSERVER_CACHE_MISS, "Apache");
+        self.telemetry.incr(catalog::WEBSERVER_FETCH_SYNC, "Apache");
         let stall_ms = self.refresh(now, fetcher);
         let staple = self.cache.as_ref().map(|c| c.body.clone());
         self.site.flight(staple, stall_ms)

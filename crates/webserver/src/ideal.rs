@@ -14,7 +14,7 @@
 use crate::fetcher::{FetchOutcome, OcspFetcher};
 use crate::server::{CachedStaple, ServerKind, SiteConfig, StaplingServer};
 use asn1::Time;
-use telemetry::Registry;
+use telemetry::{catalog, Registry};
 use tls::ServerFlight;
 
 /// The recommended model.
@@ -59,16 +59,18 @@ impl Ideal {
             let fresh = CachedStaple::from_fetch(body, now);
             if fresh.is_successful_response && fresh.ocsp_fresh(now) {
                 self.cache = Some(fresh);
-                self.telemetry.incr("webserver.staple.install", "Ideal");
+                self.telemetry
+                    .incr(catalog::WEBSERVER_STAPLE_INSTALL, "Ideal");
             } else {
                 // Error responses and stale responses are ignored; the
                 // old staple stays.
                 self.telemetry
-                    .incr("webserver.staple.reject_error", "Ideal");
+                    .incr(catalog::WEBSERVER_STAPLE_REJECT_ERROR, "Ideal");
             }
         } else {
             // Unreachable: old staple stays; the next tick retries.
-            self.telemetry.incr("webserver.staple.retain", "Ideal");
+            self.telemetry
+                .incr(catalog::WEBSERVER_STAPLE_RETAIN, "Ideal");
         }
     }
 }
@@ -84,7 +86,7 @@ impl StaplingServer for Ideal {
         // background (never stall, never fail closed beyond this one
         // connection).
         if self.cache.is_none() {
-            self.refresh(now, fetcher, "webserver.fetch.background");
+            self.refresh(now, fetcher, catalog::WEBSERVER_FETCH_BACKGROUND);
         }
         // Never staple an expired response.
         let staple = self
@@ -93,13 +95,13 @@ impl StaplingServer for Ideal {
             .filter(|c| c.ocsp_fresh(now))
             .map(|c| c.body.clone());
         if staple.is_some() {
-            self.telemetry.incr("webserver.cache.hit", "Ideal");
+            self.telemetry.incr(catalog::WEBSERVER_CACHE_HIT, "Ideal");
         }
         self.site.flight(staple, 0.0)
     }
 
     fn tick(&mut self, now: Time, fetcher: &mut dyn OcspFetcher) {
-        self.refresh(now, fetcher, "webserver.prefetch");
+        self.refresh(now, fetcher, catalog::WEBSERVER_PREFETCH);
     }
 
     fn telemetry(&self) -> Option<&Registry> {

@@ -22,7 +22,7 @@
 use crate::fetcher::{FetchOutcome, OcspFetcher};
 use crate::server::{CachedStaple, ServerKind, SiteConfig, StaplingServer};
 use asn1::Time;
-use telemetry::Registry;
+use telemetry::{catalog, Registry};
 use tls::ServerFlight;
 
 /// Minimum seconds between refresh attempts (nginx hardcodes 5 minutes).
@@ -74,11 +74,13 @@ impl Nginx {
         if !self.clamp_allows(now) {
             // Footnote 28: a wanted refresh suppressed by the 5-minute
             // clamp — the window where clients get expired staples.
-            self.telemetry.incr("webserver.refresh.clamped", "Nginx");
+            self.telemetry
+                .incr(catalog::WEBSERVER_REFRESH_CLAMPED, "Nginx");
             return;
         }
         self.last_attempt = Some(now);
-        self.telemetry.incr("webserver.fetch.background", "Nginx");
+        self.telemetry
+            .incr(catalog::WEBSERVER_FETCH_BACKGROUND, "Nginx");
         match fetcher.fetch(now) {
             FetchOutcome::Fetched { body, .. } => {
                 let fresh = CachedStaple::from_fetch(body, now);
@@ -86,15 +88,17 @@ impl Nginx {
                 // error response leaves the old staple in place.
                 if fresh.is_successful_response {
                     self.cache = Some(fresh);
-                    self.telemetry.incr("webserver.staple.install", "Nginx");
+                    self.telemetry
+                        .incr(catalog::WEBSERVER_STAPLE_INSTALL, "Nginx");
                 } else {
                     self.telemetry
-                        .incr("webserver.staple.reject_error", "Nginx");
+                        .incr(catalog::WEBSERVER_STAPLE_REJECT_ERROR, "Nginx");
                 }
             }
             FetchOutcome::Unreachable { .. } => {
                 // Retain the old response (Table 3's ✓).
-                self.telemetry.incr("webserver.staple.retain", "Nginx");
+                self.telemetry
+                    .incr(catalog::WEBSERVER_STAPLE_RETAIN, "Nginx");
             }
         }
     }
@@ -113,10 +117,10 @@ impl StaplingServer for Nginx {
         self.refresh(now, fetcher);
         if !had_cache {
             // First client: no staple at all.
-            self.telemetry.incr("webserver.staple.none", "Nginx");
+            self.telemetry.incr(catalog::WEBSERVER_STAPLE_NONE, "Nginx");
             return self.site.flight(None, 0.0);
         }
-        self.telemetry.incr("webserver.cache.hit", "Nginx");
+        self.telemetry.incr(catalog::WEBSERVER_CACHE_HIT, "Nginx");
         self.site.flight(staple, 0.0)
     }
 
