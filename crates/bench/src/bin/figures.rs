@@ -44,10 +44,12 @@
 //!
 //! `--telemetry` additionally dumps the campaigns' deterministic
 //! counters and histograms to `telemetry.csv`, a Prometheus text
-//! exposition to `telemetry.prom`, and the simulated-clock span tree to
-//! `trace.jsonl` (all byte-identical for every worker count), with
-//! histogram quantiles, the span tree, and wall timings summarized on
-//! stdout. Diff two runs' expositions with `cargo run -p teldiff`.
+//! exposition to `telemetry.prom`, the simulated-clock span tree to
+//! `trace.jsonl`, and the operational event bus (health transitions,
+//! outages, window rollovers, revocations) to `events.jsonl` (all
+//! byte-identical for every worker count), with histogram quantiles,
+//! the span tree, and wall timings summarized on stdout. Diff two
+//! runs' expositions with `cargo run -p teldiff`.
 
 #![forbid(unsafe_code)]
 
@@ -288,6 +290,8 @@ fn main() {
                     .expect("write Prometheus exposition");
                 fs::write(out_dir.join("trace.jsonl"), results.trace.to_jsonl())
                     .expect("write trace spans");
+                fs::write(out_dir.join("events.jsonl"), results.events.to_jsonl())
+                    .expect("write operational events");
                 println!("{}", mustaple_bench::telemetry_report(results));
                 emit_companion(&out_dir, ensemble.as_ref(), name);
             }

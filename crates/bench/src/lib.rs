@@ -686,11 +686,12 @@ pub fn telemetry_report(results: &StudyResults) -> String {
 }
 
 /// The `bench-scan` artifact: serial vs parallel wall-clock for the
-/// hourly campaign, on both probe engines, over the same ecosystem.
+/// hourly campaign, on both probe engines, over the same ecosystem,
+/// plus the streaming pass and a live `ocspd` serve leg over loopback.
 /// Every leg replays the identical request count, so the rows are
 /// directly comparable — and the artifact doubles as a determinism
-/// probe at full scale (all four runs must agree on requests and
-/// responder reports).
+/// probe at full scale (all five campaign runs must agree on requests
+/// and responder reports).
 pub fn bench_scan(config: &EcosystemConfig) -> Artifact {
     let eco = LiveEcosystem::generate(config.clone());
     let time = |executor: &Executor, engine: Engine| {
@@ -766,6 +767,47 @@ pub fn bench_scan(config: &EcosystemConfig) -> Artifact {
     }
 
     let baseline = &runs[0];
+
+    // The serve leg: the same request count pushed through the live
+    // `ocspd` tier as real loopback HTTP — one connection per request,
+    // `Connection: close` — so the table shows what the operational
+    // surface costs next to the in-process campaign. The server thread
+    // hands its service back so the cache-hit column reads the same
+    // counters the other legs do.
+    let (serve_wall, serve_hit_rate, serve_peak, serve_allocs) = {
+        let total = baseline.4.requests;
+        let seed = config.seed;
+        let mem_before = mem_leg_start();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("loopback addr").to_string();
+        let server = std::thread::spawn(move || {
+            let mut service = ocspd::OcspService::new(seed);
+            ocspd::serve(&listener, &mut service, Some(total)).expect("serve loopback");
+            service
+        });
+        let body = ocspd::OcspService::new(seed).canonical_request();
+        let started = std::time::Instant::now();
+        for _ in 0..total {
+            let (status, response) =
+                ocspd::client::post(&addr, "/ocsp", "application/ocsp-request", &body)
+                    .expect("POST /ocsp over loopback");
+            assert_eq!(status, 200, "live responder refused the canonical request");
+            assert!(!response.is_empty(), "live responder sent an empty body");
+        }
+        let wall = started.elapsed();
+        let service = server.join().expect("join ocspd server thread");
+        assert_eq!(service.requests_served(), total, "serve leg lost requests");
+        let hit = service
+            .registry()
+            .counter(catalog::OCSP_RESPONDER_CACHE, "hit");
+        let miss = service
+            .registry()
+            .counter(catalog::OCSP_RESPONDER_CACHE, "miss");
+        let (peak, allocs) = mem_leg_end(mem_before);
+        let rate = hit as f64 / (hit + miss).max(1) as f64;
+        (wall, rate, peak, allocs)
+    };
+
     for (mode, _, engine, _, dataset, _, _) in &runs[1..] {
         assert_eq!(
             baseline.4.requests,
@@ -827,6 +869,25 @@ pub fn bench_scan(config: &EcosystemConfig) -> Artifact {
             allocs.clone(),
         ]);
     }
+    // The serve row last: it replays the canonical request through the
+    // live tier rather than running the campaign, so it carries no
+    // `HourlyDataset` and sits outside the dataset-identity assertion
+    // above — its request count is still pinned to the baseline's.
+    {
+        let speedup = serial_wall.as_secs_f64() / serve_wall.as_secs_f64().max(1e-9);
+        table.row(&[
+            "serve".into(),
+            "http".into(),
+            "1".into(),
+            format!("{:.1}", serve_wall.as_secs_f64() * 1e3),
+            baseline.4.requests.to_string(),
+            format!("{:.0}", req_per_sec(baseline.4.requests, serve_wall)),
+            format!("{serve_hit_rate:.4}"),
+            format!("{speedup:.2}"),
+            serve_peak,
+            serve_allocs,
+        ]);
+    }
     let parallel_threads = &runs[1];
     let speedup = serial_wall.as_secs_f64() / parallel_threads.3.as_secs_f64().max(1e-9);
     Artifact {
@@ -834,16 +895,19 @@ pub fn bench_scan(config: &EcosystemConfig) -> Artifact {
         summary: format!(
             "Hourly-scan wall clock, serial vs sharded on both engines: {:.1?} serial \
              threads vs {:.1?} on {} workers ({speedup:.2}x), reactor {:.1?} serial / \
-             {:.1?} parallel, streaming {:.1?} (campaign + corpus/Alexa folds), for {} \
-             probes at {:.0} req/s serial, responder-cache hit rate {:.1}% — all five \
-             outputs verified identical. Peak-allocation columns are real only under \
-             `--features mem-profile` (else n/a).",
+             {:.1?} parallel, streaming {:.1?} (campaign + corpus/Alexa folds), live \
+             `ocspd` serve {:.1?} ({:.0} req/s over loopback HTTP at the same request \
+             count), for {} probes at {:.0} req/s serial, responder-cache hit rate \
+             {:.1}% — all five campaign outputs verified identical. Peak-allocation \
+             columns are real only under `--features mem-profile` (else n/a).",
             serial_wall,
             parallel_threads.3,
             parallel_threads.1,
             runs[2].3,
             runs[3].3,
             runs[4].3,
+            serve_wall,
+            req_per_sec(baseline.4.requests, serve_wall),
             baseline.4.requests,
             req_per_sec(baseline.4.requests, serial_wall),
             cache_hit_rate(&baseline.4) * 100.0,

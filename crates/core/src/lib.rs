@@ -43,6 +43,7 @@ pub use browser;
 pub use ecosystem;
 pub use netsim;
 pub use ocsp;
+pub use opsmon;
 pub use pki;
 pub use scanner;
 pub use simcrypto;

@@ -58,6 +58,12 @@ pub struct StudyResults {
     /// scan pipelines' span trees (the `trace.jsonl` artifact; see
     /// [`telemetry::trace`]).
     pub trace: telemetry::trace::Span,
+    /// The operational event bus (the `events.jsonl` artifact): health
+    /// transitions, outage open/close pairs, window rollovers, and
+    /// revocation events from the hourly and consistency pipelines,
+    /// merged into one canonically-sorted stream. Byte-identical for
+    /// every worker count, engine, and chunking, like `trace.jsonl`.
+    pub events: opsmon::EventLog,
 }
 
 impl Study {
@@ -146,6 +152,11 @@ impl Study {
             telemetry.set_gauge(catalog::ECOSYSTEM_CHURN_LIVE, summary.live);
         }
 
+        // The event bus: both probing pipelines feed one stream. The
+        // merge order is irrelevant — `to_jsonl` sorts canonically.
+        let mut events = hourly.events.clone();
+        events.merge(consistency.events.clone());
+
         // One root over the four pipelines, in the fixed merge order.
         let trace = telemetry::trace::Span::aggregate(
             "campaign",
@@ -170,6 +181,7 @@ impl Study {
             table3,
             telemetry,
             trace,
+            events,
         }
     }
 }

@@ -92,6 +92,7 @@ impl Config {
                 "ocsp".into(),
                 "analysis".into(),
                 "core".into(),
+                "opsmon".into(),
             ],
             wall_clock_allowed_crates: vec!["telemetry".into(), "criterion".into(), "bench".into()],
             hot_path_files: vec![
@@ -121,6 +122,8 @@ impl Config {
                 "core".into(),
                 "bench".into(),
                 "study".into(),
+                "opsmon".into(),
+                "ocspd".into(),
             ],
             catalog: Some(CatalogPolicy {
                 module: "crates/telemetry/src/catalog.rs".into(),
@@ -158,6 +161,7 @@ impl Config {
             // Layer 1: primitives over the leaves.
             CrateSpec::new("simcrypto", "simcrypto", 1, &["rand", "proptest"]),
             CrateSpec::new("proptest", "proptest", 1, &["rand"]),
+            CrateSpec::new("opsmon", "opsmon", 1, &["asn1", "telemetry", "proptest"]),
             CrateSpec::new("criterion", "criterion", 1, &["telemetry"]),
             CrateSpec::new("analysis", "analysis", 1, &["asn1", "proptest"]),
             CrateSpec::new("teldiff", "teldiff", 1, &["telemetry"]),
@@ -172,6 +176,12 @@ impl Config {
             CrateSpec::new("tls", "tls", 3, &["asn1", "pki", "rand"]),
             // Layer 4–5: simulated infrastructure and its clients.
             CrateSpec::new("netsim", "netsim", 4, &["asn1", "telemetry", "simcrypto"]),
+            CrateSpec::new(
+                "ocspd",
+                "ocspd",
+                4,
+                &["asn1", "pki", "ocsp", "rand", "telemetry", "opsmon"],
+            ),
             CrateSpec::new(
                 "webserver",
                 "webserver",
@@ -204,6 +214,7 @@ impl Config {
                     "analysis",
                     "rand",
                     "telemetry",
+                    "opsmon",
                     "proptest",
                 ],
             ),
@@ -224,6 +235,7 @@ impl Config {
                     "scanner",
                     "analysis",
                     "telemetry",
+                    "opsmon",
                     "proptest",
                 ],
             ),
@@ -249,6 +261,7 @@ impl Config {
                     "rand",
                     "memprof",
                     "criterion",
+                    "ocspd",
                 ],
             ),
             CrateSpec::new(

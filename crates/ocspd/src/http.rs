@@ -1,0 +1,250 @@
+//! A minimal HTTP/1.1 subset: enough to parse one request and write one
+//! response per connection.
+//!
+//! Only what the daemon's three routes need is implemented — a request
+//! line, headers, an optional `Content-Length` body — and every
+//! connection is `Connection: close`, so there is no keep-alive or
+//! chunked-transfer machinery to get wrong.
+
+use std::io::{BufRead, Write};
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, e.g. `/ocsp`.
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Build a request in memory (the offline replay path — no socket).
+    pub fn new(method: &str, path: &str, body: &[u8]) -> HttpRequest {
+        HttpRequest {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Read one request from a buffered stream.
+    pub fn read_from(stream: &mut impl BufRead) -> Result<HttpRequest, String> {
+        let mut line = String::new();
+        stream
+            .read_line(&mut line)
+            .map_err(|e| format!("request line: {e}"))?;
+        let mut parts = line.split_whitespace();
+        let method = parts.next().ok_or("empty request line")?.to_owned();
+        let path = parts.next().ok_or("request line without path")?.to_owned();
+        let version = parts.next().ok_or("request line without version")?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(format!("unsupported version {version}"));
+        }
+
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            stream
+                .read_line(&mut header)
+                .map_err(|e| format!("header line: {e}"))?;
+            let header = header.trim_end_matches(['\r', '\n']);
+            if header.is_empty() {
+                break;
+            }
+            let (name, value) = header.split_once(':').ok_or("header without colon")?;
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_owned();
+            if name == "content-length" {
+                content_length = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad content-length {value:?}"))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(format!("body of {content_length} bytes refused"));
+                }
+            }
+            headers.push((name, value));
+        }
+
+        let mut body = vec![0u8; content_length];
+        stream
+            .read_exact(&mut body)
+            .map_err(|e| format!("body: {e}"))?;
+        Ok(HttpRequest {
+            method,
+            path,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Refuse absurd bodies before allocating for them.
+const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One HTTP response, always written `Connection: close`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A `200 OK`.
+    pub fn ok(content_type: &'static str, body: Vec<u8>) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    /// A plain-text error response.
+    pub fn error(status: u16, message: &str) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{message}\n").into_bytes(),
+        }
+    }
+
+    /// The canonical reason phrase for the statuses the daemon emits.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Serialize onto a stream.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+
+    /// Parse a response off a buffered stream (the probe client's half).
+    pub fn read_from(stream: &mut impl BufRead) -> Result<HttpResponse, String> {
+        let mut line = String::new();
+        stream
+            .read_line(&mut line)
+            .map_err(|e| format!("status line: {e}"))?;
+        let mut parts = line.split_whitespace();
+        let version = parts.next().ok_or("empty status line")?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(format!("unsupported version {version}"));
+        }
+        let status = parts
+            .next()
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or("status line without code")?;
+
+        let mut content_length = None;
+        loop {
+            let mut header = String::new();
+            stream
+                .read_line(&mut header)
+                .map_err(|e| format!("header line: {e}"))?;
+            let header = header.trim_end_matches(['\r', '\n']);
+            if header.is_empty() {
+                break;
+            }
+            let Some((name, value)) = header.split_once(':') else {
+                continue;
+            };
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+
+        let mut body = Vec::new();
+        match content_length {
+            Some(n) => {
+                if n > MAX_BODY_BYTES {
+                    return Err(format!("body of {n} bytes refused"));
+                }
+                body.resize(n, 0);
+                stream
+                    .read_exact(&mut body)
+                    .map_err(|e| format!("body: {e}"))?;
+            }
+            // Connection: close delimits the body.
+            None => {
+                stream
+                    .read_to_end(&mut body)
+                    .map_err(|e| format!("body: {e}"))?;
+            }
+        }
+        Ok(HttpResponse {
+            status,
+            content_type: "",
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trips_through_the_parser() {
+        let wire = b"POST /ocsp HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = HttpRequest::read_from(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/ocsp");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn response_serializes_and_parses() {
+        let resp = HttpResponse::ok("text/plain; charset=utf-8", b"hello".to_vec());
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let parsed = HttpResponse::read_from(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body, b"hello");
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused() {
+        let wire = b"POST /ocsp HTTP/1.1\r\nContent-Length: 9999999999\r\n\r\n";
+        assert!(HttpRequest::read_from(&mut BufReader::new(&wire[..])).is_err());
+    }
+
+    #[test]
+    fn garbage_request_lines_are_refused() {
+        for wire in [&b"\r\n\r\n"[..], b"GET /\r\n\r\n", b"GET / SPDY/3\r\n\r\n"] {
+            assert!(HttpRequest::read_from(&mut BufReader::new(wire)).is_err());
+        }
+    }
+}

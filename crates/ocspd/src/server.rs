@@ -1,0 +1,214 @@
+//! The accept loop and its counterpart probe client, plus the
+//! real-HTTP webhook sink — the only place in the workspace where the
+//! operational event bus leaves the process.
+
+use crate::http::{HttpRequest, HttpResponse};
+use crate::service::OcspService;
+use opsmon::EventSink;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Serve connections until `max_conns` have been handled (`None` =
+/// forever). One request per connection, `Connection: close`. Returns
+/// the number of connections served.
+pub fn serve(
+    listener: &TcpListener,
+    service: &mut OcspService,
+    max_conns: Option<u64>,
+) -> std::io::Result<u64> {
+    let mut served = 0u64;
+    while max_conns.is_none_or(|n| served < n) {
+        let (stream, _) = listener.accept()?;
+        // A broken client connection must not take the daemon down, so
+        // per-connection errors are swallowed after the response (or
+        // refusal) is attempted.
+        let _ = handle_connection(stream, service);
+        served += 1;
+    }
+    Ok(served)
+}
+
+fn handle_connection(stream: TcpStream, service: &mut OcspService) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let response = match HttpRequest::read_from(&mut reader) {
+        Ok(request) => service.handle(&request),
+        Err(reason) => HttpResponse::error(400, &reason),
+    };
+    let mut writer = BufWriter::new(stream);
+    response.write_to(&mut writer)
+}
+
+/// A webhook-style [`EventSink`] that POSTs each payload to a real HTTP
+/// endpoint — the live tier's delivery arm. The deterministic studies
+/// never construct one; they stop at [`opsmon::EventLog`].
+#[derive(Debug, Clone)]
+pub struct HttpWebhookSink {
+    addr: String,
+    path: String,
+}
+
+impl HttpWebhookSink {
+    /// A sink POSTing to `http://{addr}{path}`.
+    pub fn new(addr: &str, path: &str) -> HttpWebhookSink {
+        HttpWebhookSink {
+            addr: addr.to_owned(),
+            path: path.to_owned(),
+        }
+    }
+}
+
+impl EventSink for HttpWebhookSink {
+    fn deliver(&mut self, payload: &str) -> Result<(), String> {
+        let (status, _) = client::post(
+            &self.addr,
+            &self.path,
+            "application/json",
+            payload.as_bytes(),
+        )
+        .map_err(|e| format!("webhook {}: {e}", self.addr))?;
+        if status == 200 {
+            Ok(())
+        } else {
+            Err(format!("webhook {}: status {status}", self.addr))
+        }
+    }
+}
+
+/// The probe client: plain blocking HTTP/1.1 over `TcpStream`, used by
+/// the `ocspd probe` subcommand and the live-smoke CI job.
+pub mod client {
+    use super::*;
+
+    /// POST `body` to `http://{addr}{path}`; returns `(status, body)`.
+    pub fn post(
+        addr: &str,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let stream = TcpStream::connect(addr)?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        write!(
+            writer,
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )?;
+        writer.write_all(body)?;
+        writer.flush()?;
+        read_response(stream)
+    }
+
+    /// GET `http://{addr}{path}`; returns `(status, body)`.
+    pub fn get(addr: &str, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
+        let stream = TcpStream::connect(addr)?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        write!(
+            writer,
+            "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        )?;
+        writer.flush()?;
+        read_response(stream)
+    }
+
+    fn read_response(stream: TcpStream) -> std::io::Result<(u16, Vec<u8>)> {
+        let mut reader = BufReader::new(stream);
+        let response = HttpResponse::read_from(&mut reader)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok((response.status, response.body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::RequestPlan;
+    use opsmon::{Event, EventKind, Notifier, WebhookNotifier};
+    use telemetry::prom::GAUGE_SECTION_MARKER;
+
+    /// Boot a real loopback server, drive it with the probe client, and
+    /// pin the live scrape's gated prefix to the offline replay — the
+    /// same assertion the CI live-smoke job makes across processes.
+    #[test]
+    fn loopback_roundtrip_matches_offline_replay() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let plan = RequestPlan {
+            total: 12,
+            malformed_every: 5,
+        };
+
+        let server = std::thread::spawn(move || {
+            let mut service = OcspService::new(42);
+            // N requests + /metrics + /health.
+            serve(&listener, &mut service, Some(plan.total + 2)).unwrap();
+            (service.events().to_jsonl(), service.requests_served())
+        });
+
+        let canonical = OcspService::new(42).canonical_request();
+        for i in 0..plan.total {
+            let body = plan.body(i, &canonical);
+            let (status, der) =
+                client::post(&addr, "/ocsp", "application/ocsp-request", &body).unwrap();
+            assert_eq!(status, 200);
+            assert!(!der.is_empty());
+        }
+        let (status, scrape) = client::get(&addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        let (status, table) = client::get(&addr, "/health").unwrap();
+        assert_eq!(status, 200);
+        assert!(String::from_utf8(table).unwrap().starts_with("subjects=1"));
+
+        let (live_events, served) = server.join().unwrap();
+        assert_eq!(served, plan.total);
+
+        let mut offline = OcspService::new(42);
+        offline.run_offline(&plan);
+        let scrape = String::from_utf8(scrape).unwrap();
+        let gated = scrape
+            .split(&format!("{GAUGE_SECTION_MARKER}\n"))
+            .next()
+            .unwrap();
+        assert_eq!(gated, offline.gated_metrics());
+        assert_eq!(live_events, offline.events().to_jsonl());
+    }
+
+    /// The webhook sink delivers each event payload to a real HTTP
+    /// endpoint and tallies outcomes.
+    #[test]
+    fn webhook_sink_posts_payloads_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+
+        let receiver = std::thread::spawn(move || {
+            let mut bodies = Vec::new();
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone()?);
+                let request = HttpRequest::read_from(&mut reader)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                bodies.push(String::from_utf8(request.body).unwrap());
+                let mut writer = BufWriter::new(stream);
+                HttpResponse::ok("text/plain; charset=utf-8", b"ok".to_vec())
+                    .write_to(&mut writer)?;
+            }
+            Ok::<_, std::io::Error>(bodies)
+        });
+
+        let mut notifier = WebhookNotifier::new(HttpWebhookSink::new(&addr, "/webhook"));
+        let epoch = asn1::Time::from_unix(crate::service::CAMPAIGN_EPOCH_UNIX);
+        notifier.notify(Event::new(
+            epoch,
+            EventKind::Health,
+            "r",
+            "healthy -> degraded",
+        ));
+        notifier.notify(Event::new(epoch + 60, EventKind::Outage, "r", "open"));
+        assert_eq!(notifier.delivered(), 2);
+        assert_eq!(notifier.failed(), 0);
+
+        let bodies = receiver.join().unwrap().unwrap();
+        assert_eq!(bodies.len(), 2);
+        assert!(bodies[0].contains("\"kind\":\"health\""));
+        assert!(bodies[1].contains("\"kind\":\"outage\""));
+    }
+}

@@ -22,6 +22,7 @@ use ocsp::{
     validate_response_cached, CertStatus, OcspRequest, SigVerifyCache, ValidatedResponse,
     ValidationConfig,
 };
+use opsmon::{Event, EventKind, EventLog, HealthLog, HealthPolicy, HealthReport};
 use pki::Crl;
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
@@ -78,6 +79,14 @@ pub struct ConsistencySummary {
     /// instant, so every span is a point at that campaign hour, with the
     /// shard's request count as its work units.
     pub trace: Span,
+    /// Per-responder health snapshots: every probe outcome (collected
+    /// or not) at the study instant, replayed through the [`opsmon`]
+    /// state machine in pool order.
+    pub health: HealthReport,
+    /// The study's event stream: health transitions, outage open/close
+    /// pairs, and one revocation event per serial confirmed revoked
+    /// over both channels, stamped with the CRL's revocation time.
+    pub events: EventLog,
 }
 
 impl ConsistencySummary {
@@ -145,6 +154,8 @@ struct ShardSummary {
     reason_absent: u64,
     reason_other_mismatch: u64,
     telemetry: Registry,
+    health: HealthLog,
+    events: EventLog,
 }
 
 /// The study driver.
@@ -311,6 +322,8 @@ impl ConsistencyStudy {
                     reason_absent: 0,
                     reason_other_mismatch: 0,
                     telemetry: Registry::new(),
+                    health: HealthLog::new(),
+                    events: EventLog::new(),
                 };
                 // BTreeMap, not HashMap: `into_values` feeds `partial.rows`,
                 // so the iteration order is artifact-relevant — keyed by URL
@@ -348,6 +361,16 @@ impl ConsistencyStudy {
                             CertStatus::Unknown => row.unknown += 1,
                             CertStatus::Revoked { time, reason } => {
                                 row.revoked += 1;
+                                // One bus event per serial revoked on both
+                                // channels, stamped with the CRL's time —
+                                // the channel the paper treats as ground
+                                // truth for Figure 10.
+                                partial.events.push(Event::new(
+                                    crl_entry.revocation_time,
+                                    EventKind::Revocation,
+                                    &target.url,
+                                    &format!("serial {}", target.serial),
+                                ));
                                 // i64 seconds are exact in f64 far past any
                                 // campaign-scale difference (< 2^53).
                                 partial
@@ -380,9 +403,13 @@ impl ConsistencyStudy {
                                 .telemetry_mut()
                                 .incr(catalog::SCAN_CONSISTENCY_PROBES, &target.url);
                             let req = OcspRequest::single(target.cert_id.clone()).to_der();
-                            let HttpOutcome::Ok(body) =
-                                world.http_post(vantage, &target.url, &req, at).outcome
-                            else {
+                            let outcome = world.http_post(vantage, &target.url, &req, at).outcome;
+                            partial.health.record(
+                                &target.url,
+                                at,
+                                matches!(outcome, HttpOutcome::Ok(_)),
+                            );
+                            let HttpOutcome::Ok(body) = outcome else {
                                 continue;
                             };
                             // "Collected" means an HTTP response arrived (the
@@ -462,10 +489,13 @@ impl ConsistencyStudy {
                                 _ => (false, None),
                             });
                         }
-                        // Fold in pool (submission) order.
+                        // Fold in pool (submission) order — health
+                        // observations included, so the reactor's log
+                        // matches the threads engine's byte-for-byte.
                         for (token, &(idx, _)) in pending.iter().enumerate() {
                             let (collected, validated) =
                                 results[token].take().expect("every probe classified");
+                            partial.health.record(&eco.revoked[idx].url, at, collected);
                             if collected {
                                 partial.responses_collected += 1;
                             }
@@ -504,9 +534,12 @@ impl ConsistencyStudy {
             reason_other_mismatch: 0,
             telemetry: Registry::new(),
             trace: Span::aggregate("scan.consistency", shard_spans),
+            health: HealthReport::default(),
+            events: EventLog::new(),
         };
         // detlint::allow(wall-clock): merge wall timing feeds a telemetry span, which is excluded from artifact equality
         let merge_started = Instant::now();
+        let mut health_log = HealthLog::new();
         for partial in shards.into_iter().flatten() {
             summary.crls_fetched += partial.crls_fetched;
             summary.responses_collected += partial.responses_collected;
@@ -518,7 +551,11 @@ impl ConsistencyStudy {
             summary.reason_absent += partial.reason_absent;
             summary.reason_other_mismatch += partial.reason_other_mismatch;
             summary.telemetry.merge(&partial.telemetry);
+            health_log.merge(partial.health);
+            summary.events.merge(partial.events);
         }
+        summary.health = health_log.replay(&HealthPolicy::default(), &mut summary.events);
+        summary.health.export(&mut summary.telemetry);
         summary.telemetry.record_wall(
             catalog::SCAN_CONSISTENCY_MERGE,
             merge_started.elapsed().as_nanos(),

@@ -21,6 +21,7 @@ use ecosystem::LiveEcosystem;
 use netsim::{HttpOutcome, PendingRequest, Region, Topology, World};
 use ocsp::profile::GenerationMode;
 use ocsp::{validate_response_cached, OcspRequest, SigVerifyCache, ValidationConfig};
+use opsmon::{Event, EventKind, EventLog, HealthLog, HealthPolicy, HealthReport, Notifier};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -188,6 +189,16 @@ pub struct HourlyDataset {
     /// responder span per shard over one span per time chunk, stamped
     /// with simulated campaign hours (see [`telemetry::trace`]).
     pub trace: Span,
+    /// Per-responder health-state timelines, replayed from the stitched
+    /// first-target probe logs through the [`opsmon`] state machine in
+    /// canonical (responder, round, region) order — byte-stable across
+    /// worker counts, engines, and chunkings like every other field.
+    pub health: HealthReport,
+    /// The campaign's operational event stream: health transitions,
+    /// outage open/close pairs, and pre-generation window rollovers,
+    /// all stamped with simulated-clock instants (see
+    /// [`opsmon::EventLog`]).
+    pub events: EventLog,
 }
 
 impl HourlyDataset {
@@ -1013,10 +1024,16 @@ impl<'a> HourlyCampaign<'a> {
             .map(|&r| (r, TimeSeries::new(bin)))
             .collect();
         let mut responders = Vec::with_capacity(shards.len());
+        let mut health_log = HealthLog::new();
         for (shard_idx, chunks) in shards.into_iter().enumerate() {
             let host = &eco.responders[shard_idx];
             let mut report = ResponderReport::new(&host.url, &eco.operators[host.operator].name);
             let mut first_target_ok: [Vec<bool>; 6] = std::array::from_fn(|_| Vec::new());
+            // Chunks arrive in time order, so merging each chunk's
+            // probe-outcome log into the campaign log replays the serial
+            // (round, region) sequence — the associativity the opsmon
+            // property tests pin is exactly what makes this split safe.
+            let mut rounds_done = 0usize;
             for chunk in chunks {
                 requests += chunk.requests;
                 for (i, series) in chunk.per_region_success.iter().enumerate() {
@@ -1029,6 +1046,18 @@ impl<'a> HourlyCampaign<'a> {
                     alexa_unreachable[i].1.merge(series);
                 }
                 telemetry.merge(&chunk.telemetry);
+                let chunk_rounds = chunk.first_target_ok[0].len();
+                let mut chunk_health = HealthLog::new();
+                for round in 0..chunk_rounds {
+                    let t = config.campaign_start
+                        + (rounds_done + round) as i64 * config.scan_interval
+                        + offsets[shard_idx];
+                    for region_log in &chunk.first_target_ok {
+                        chunk_health.record(&host.url, t, region_log[round]);
+                    }
+                }
+                rounds_done += chunk_rounds;
+                health_log.merge(chunk_health);
                 for (into, log) in first_target_ok.iter_mut().zip(chunk.first_target_ok.iter()) {
                     into.extend_from_slice(log);
                 }
@@ -1036,6 +1065,29 @@ impl<'a> HourlyCampaign<'a> {
             }
             fill_streaks(&mut report, &first_target_ok);
             responders.push(report);
+        }
+        // Replay the stitched probe logs through the health-state
+        // machine and export the resulting gauges/counters; window
+        // rollovers for pre-generated responders ride the same bus.
+        let mut events = EventLog::new();
+        let health = health_log.replay(&HealthPolicy::default(), &mut events);
+        health.export(&mut telemetry);
+        if rounds > 0 {
+            for (shard_idx, host) in eco.responders.iter().enumerate() {
+                let GenerationMode::PreGenerated { interval } = host.profile.generation else {
+                    continue;
+                };
+                let first = config.campaign_start.unix() + offsets[shard_idx];
+                let last = first + (rounds - 1) as i64 * config.scan_interval;
+                for window in (first.div_euclid(interval) + 1)..=(last.div_euclid(interval)) {
+                    events.notify(Event::new(
+                        Time::from_unix(window * interval),
+                        EventKind::Rollover,
+                        &host.url,
+                        &format!("window {window}"),
+                    ));
+                }
+            }
         }
         // Wall-clock span only — never serialized, never compared.
         telemetry.record_wall(
@@ -1053,6 +1105,8 @@ impl<'a> HourlyCampaign<'a> {
             alexa_weights,
             telemetry,
             trace: Span::aggregate("scan.hourly", shard_spans),
+            health,
+            events,
         }
     }
 }
@@ -1275,6 +1329,8 @@ mod tests {
             alexa_weights: Vec::new(),
             telemetry: Registry::new(),
             trace: Span::aggregate("scan.hourly", Vec::new()),
+            health: HealthReport::default(),
+            events: EventLog::new(),
         };
         let mut cdf = d.cdf_outage_durations(3_600);
         assert_eq!(
@@ -1283,6 +1339,27 @@ mod tests {
             "all closed streaks counted, open one excluded"
         );
         assert_eq!(cdf.median(), Some(2.0 * 3_600.0));
+    }
+
+    #[test]
+    fn health_and_events_ride_the_campaign() {
+        let d = dataset();
+        // Only responders that fielded probes have a health timeline.
+        assert!(!d.health.subjects.is_empty());
+        assert!(d.health.subjects.len() <= d.responders.len());
+        // The exported transition counters live in the merged registry.
+        let exported: u64 = d.health.transition_counts.values().sum();
+        assert_eq!(
+            d.telemetry
+                .counter_total(telemetry::catalog::HEALTH_TRANSITIONS),
+            exported
+        );
+        // The event stream round-trips byte-exactly through its strict
+        // parser — the same contract trace.jsonl honours.
+        let text = d.events.to_jsonl();
+        let parsed = EventLog::parse_jsonl(&text).unwrap_or_else(|_| EventLog::new());
+        assert!(!text.is_empty(), "the campaign must emit events");
+        assert_eq!(parsed.to_jsonl(), text, "events.jsonl parses strictly");
     }
 
     #[test]

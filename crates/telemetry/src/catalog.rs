@@ -149,6 +149,38 @@ pub const ECOSYSTEM_CHURN_REVOKED: &str = "ecosystem.churn.revoked";
 /// Certificates live at the end of the simulated study window.
 pub const ECOSYSTEM_CHURN_LIVE: &str = "ecosystem.churn.live";
 
+// --- opsmon: responder health-state machine --------------------------
+
+/// Health-state transitions observed by the per-responder tracker, by
+/// edge label (`healthy_degraded`, `degraded_failed`,
+/// `degraded_healthy`, `failed_healthy`). Deterministic (replayed from
+/// probe classifications in simulated time), so artifact-grade.
+pub const HEALTH_TRANSITIONS: &str = "health.transitions";
+/// Subjects currently Healthy after the replay (gauge, excluded from
+/// artifacts).
+pub const HEALTH_STATE_HEALTHY: &str = "health.state.healthy";
+/// Subjects currently Degraded after the replay (gauge, excluded from
+/// artifacts).
+pub const HEALTH_STATE_DEGRADED: &str = "health.state.degraded";
+/// Subjects currently Failed after the replay (gauge, excluded from
+/// artifacts).
+pub const HEALTH_STATE_FAILED: &str = "health.state.failed";
+/// Worst scheduled retry backoff across Failed subjects, in seconds
+/// (gauge, excluded from artifacts).
+pub const HEALTH_BACKOFF_SECS: &str = "health.backoff_secs";
+
+// --- ocspd: the live service tier ------------------------------------
+
+/// OCSP requests served over the live `POST /ocsp` socket path, by
+/// route label. Deterministic given the request sequence (the
+/// live-smoke job replays it offline for byte comparison).
+pub const OCSPD_REQUESTS: &str = "ocspd.requests";
+/// Live `GET /metrics` scrapes served (gauge — scrape counts are
+/// operational, never part of the equality-gated exposition).
+pub const OCSPD_SCRAPES_METRICS: &str = "ocspd.scrapes.metrics";
+/// Live `GET /health` scrapes served (gauge, excluded from artifacts).
+pub const OCSPD_SCRAPES_HEALTH: &str = "ocspd.scrapes.health";
+
 // --- bench: allocator instrumentation gauges -------------------------
 
 /// Peak bytes outstanding reported by the counting allocator
@@ -209,6 +241,14 @@ mod tests {
             WEBSERVER_FETCH_BACKGROUND,
             WEBSERVER_PREFETCH,
             WEBSERVER_REFRESH_CLAMPED,
+            HEALTH_TRANSITIONS,
+            HEALTH_STATE_HEALTHY,
+            HEALTH_STATE_DEGRADED,
+            HEALTH_STATE_FAILED,
+            HEALTH_BACKOFF_SECS,
+            OCSPD_REQUESTS,
+            OCSPD_SCRAPES_METRICS,
+            OCSPD_SCRAPES_HEALTH,
             ECOSYSTEM_CHURN_ISSUED,
             ECOSYSTEM_CHURN_EXPIRED,
             ECOSYSTEM_CHURN_REVOKED,

@@ -474,6 +474,40 @@ impl Registry {
         prom::Exposition::from_registry(self).render()
     }
 
+    /// Render the *operational* exposition the live service serves at
+    /// `GET /metrics`: the equality-gated [`Registry::to_prometheus`]
+    /// bytes as an exact prefix, then — after
+    /// [`prom::GAUGE_SECTION_MARKER`] — every gauge as a Prometheus
+    /// `gauge` family with `stat="last"/"max"/"sets"` samples.
+    ///
+    /// The prefix property is the contract the live-smoke CI job
+    /// leans on: truncating a scrape at the marker yields bytes that
+    /// must equal an offline [`Registry::to_prometheus`] render, while
+    /// the gauge tail may differ between engines/runs exactly like
+    /// every other gauge surface. [`prom::Exposition::parse`] rejects
+    /// `gauge` families on purpose, so the tail can never leak into
+    /// the determinism-gated toolchain; see `telemetry::prom` for the
+    /// full split.
+    pub fn to_prometheus_with_gauges(&self) -> String {
+        let mut out = self.to_prometheus();
+        if self.gauges.is_empty() {
+            return out;
+        }
+        out.push_str(prom::GAUGE_SECTION_MARKER);
+        out.push('\n');
+        for (name, g) in &self.gauges {
+            let family = prom::sanitize_metric(name);
+            if family != *name {
+                let _ = writeln!(out, "# HELP {family} {name}");
+            }
+            let _ = writeln!(out, "# TYPE {family} gauge");
+            let _ = writeln!(out, "{family}{{stat=\"last\"}} {}", g.last);
+            let _ = writeln!(out, "{family}{{stat=\"max\"}} {}", g.max);
+            let _ = writeln!(out, "{family}{{stat=\"sets\"}} {}", g.sets);
+        }
+        out
+    }
+
     /// Render the wall-clock spans for human inspection (never an
     /// artifact). Returns one line per span: `name count total_ms` — or
     /// an explicit `(no wall timings recorded)` line when no span was
@@ -709,6 +743,38 @@ mod tests {
             .gauge_report()
             .contains("reactor.depth last=7 max=12000 sets=2"));
         assert_eq!(Registry::new().gauge_report(), "(no gauges recorded)\n");
+    }
+
+    #[test]
+    fn gauge_exposition_extends_the_equality_gated_render_as_a_prefix() {
+        let mut r = sample_a();
+        r.set_gauge("reactor.depth", 12);
+        r.set_gauge("reactor.depth", 7);
+        let gated = r.to_prometheus();
+        let operational = r.to_prometheus_with_gauges();
+        // The equality-gated bytes are an exact prefix…
+        assert!(operational.starts_with(&gated));
+        // …separated by the marker, below which the gauges render as
+        // stat-labeled gauge families.
+        let tail = &operational[gated.len()..];
+        assert!(tail.starts_with(prom::GAUGE_SECTION_MARKER));
+        assert!(tail.contains("# TYPE reactor_depth gauge"));
+        assert!(tail.contains("# HELP reactor_depth reactor.depth"));
+        assert!(tail.contains("reactor_depth{stat=\"last\"} 7"));
+        assert!(tail.contains("reactor_depth{stat=\"max\"} 12"));
+        assert!(tail.contains("reactor_depth{stat=\"sets\"} 2"));
+        // Truncating at the marker recovers the gated subset — the
+        // live-smoke contract.
+        let truncated = &operational[..gated.len()];
+        assert_eq!(truncated, gated);
+        assert!(prom::Exposition::parse(truncated).is_ok());
+        // The gauge tail is unparseable by design.
+        assert!(prom::Exposition::parse(tail).is_err());
+        // No gauges → the two renders coincide.
+        assert_eq!(
+            sample_a().to_prometheus_with_gauges(),
+            sample_a().to_prometheus()
+        );
     }
 
     #[test]

@@ -24,6 +24,25 @@
 //! * Families sort by name, samples by label — rendering is canonical,
 //!   and `parse ∘ render` is the identity (pinned by the round-trip
 //!   property test in `tests/roundtrip.rs`).
+//!
+//! # The equality-gated / operational split
+//!
+//! Two expositions share this module's format:
+//!
+//! * [`Registry::to_prometheus`] — **equality-gated**: counters and
+//!   histograms only, byte-identical across worker counts, engines,
+//!   and chunkings; committed as `results/telemetry.prom` and diffed
+//!   in CI. This is the only exposition [`Exposition::parse`]
+//!   accepts — `# TYPE … gauge` lines are rejected on purpose.
+//! * [`Registry::to_prometheus_with_gauges`](crate::Registry::to_prometheus_with_gauges)
+//!   — **operational**: the equality-gated bytes as an *exact prefix*,
+//!   then [`GAUGE_SECTION_MARKER`] and the gauges (`mem.*`, reactor
+//!   depth, `health.*`, `ocspd.*`) as `gauge` families with
+//!   `stat="last"/"max"/"sets"` samples. Gauges are legitimately
+//!   engine-dependent, so this render is never an artifact and never
+//!   parsed back; the live `/metrics` endpoint serves it, and the
+//!   live-smoke CI job truncates a scrape at the marker to recover the
+//!   equality-gated subset for byte comparison.
 
 use crate::{Histogram, Registry, HISTOGRAM_BUCKETS};
 use std::collections::BTreeMap;
@@ -116,6 +135,16 @@ pub struct Exposition {
     /// Families keyed by sanitized name.
     pub families: BTreeMap<String, Family>,
 }
+
+/// The comment line separating the equality-gated exposition from the
+/// operational gauge section in
+/// [`Registry::to_prometheus_with_gauges`](crate::Registry::to_prometheus_with_gauges).
+/// Everything *above* the marker must byte-equal
+/// [`Registry::to_prometheus`]; everything below is gauge territory
+/// that [`Exposition::parse`] would reject. CI's live-smoke job
+/// truncates scrapes at this line.
+pub const GAUGE_SECTION_MARKER: &str =
+    "# --- operational gauges (excluded from determinism gating) ---";
 
 /// Sanitize a registry metric name into a Prometheus metric name:
 /// every character outside `[A-Za-z0-9_:]` becomes `_`, and a leading

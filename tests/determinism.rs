@@ -7,7 +7,7 @@
 //! every scan-derived artifact's CSV must match byte for byte. CI runs
 //! this test plus a binary-level `figures` diff.
 
-use ecosystem::{EcosystemConfig, Engine};
+use ecosystem::{Chunking, EcosystemConfig, Engine};
 use mustaple::{Study, StudyResults};
 use mustaple_bench::{build, ALL_ARTIFACTS};
 
@@ -78,6 +78,10 @@ fn serial_and_parallel_artifacts_are_byte_identical() {
             serial.trace.to_jsonl().as_bytes() == run.trace.to_jsonl().as_bytes(),
             "trace.jsonl differs between serial and {workers}-worker runs"
         );
+        assert!(
+            serial.events.to_jsonl().as_bytes() == run.events.to_jsonl().as_bytes(),
+            "events.jsonl differs between serial and {workers}-worker runs"
+        );
     }
     // And the exposition must survive its own parser unchanged, so
     // `teldiff` sees exactly what was measured.
@@ -118,11 +122,64 @@ fn reactor_engine_artifacts_are_byte_identical_to_threads() {
             threads.trace.to_jsonl().as_bytes() == reactor.trace.to_jsonl().as_bytes(),
             "trace.jsonl differs between threads and {workers}-worker reactor runs"
         );
+        assert!(
+            threads.events.to_jsonl().as_bytes() == reactor.events.to_jsonl().as_bytes(),
+            "events.jsonl differs between threads and {workers}-worker reactor runs"
+        );
         assert_eq!(
             threads.readiness_report().render(),
             reactor.readiness_report().render(),
             "readiness reports diverged at {workers} reactor workers"
         );
+    }
+}
+
+#[test]
+fn event_bus_is_byte_identical_across_the_whole_split_matrix() {
+    // The event bus joins trace.jsonl under the determinism contract:
+    // health transitions, outages, rollovers, and revocation events
+    // must render the same bytes for every worker count × engine ×
+    // chunking, and the health-state machine's exported counters must
+    // agree with them.
+    let reference = Study::new(
+        EcosystemConfig::tiny()
+            .with_parallelism(1)
+            .with_engine(Engine::Threads)
+            .with_chunking(Chunking::PerResponder),
+    )
+    .run();
+    let baseline = reference.events.to_jsonl();
+    assert!(!baseline.is_empty(), "tiny scale must produce events");
+
+    // The artifact honours the same strict-parse round-trip contract
+    // as trace.jsonl.
+    let parsed = mustaple::opsmon::EventLog::parse_jsonl(&baseline).expect("events round-trip");
+    assert_eq!(parsed.to_jsonl(), baseline);
+
+    for engine in [Engine::Threads, Engine::Reactor] {
+        for chunking in [Chunking::PerResponder, Chunking::TimeSliced] {
+            for workers in [1usize, 4] {
+                let run = Study::new(
+                    EcosystemConfig::tiny()
+                        .with_parallelism(workers)
+                        .with_engine(engine)
+                        .with_chunking(chunking),
+                )
+                .run();
+                assert!(
+                    run.events.to_jsonl().as_bytes() == baseline.as_bytes(),
+                    "events.jsonl differs at {workers} workers / {engine:?} / {chunking:?}"
+                );
+                assert_eq!(
+                    run.hourly.health, reference.hourly.health,
+                    "hourly health report differs at {workers} workers / {engine:?} / {chunking:?}"
+                );
+                assert_eq!(
+                    run.consistency.health, reference.consistency.health,
+                    "consistency health differs at {workers} workers / {engine:?} / {chunking:?}"
+                );
+            }
+        }
     }
 }
 
